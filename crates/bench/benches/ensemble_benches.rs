@@ -1,0 +1,70 @@
+//! Cost of the analysis layer: bitset algebra, contingency, adjudication,
+//! metrics, ROC.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use divscrape_detect::{run, Arcane, Sentinel};
+use divscrape_ensemble::{
+    AgreementDiversity, AlertVector, ConfusionMatrix, Contingency, KOutOfN, RocCurve,
+    StatusBreakdown,
+};
+use divscrape_traffic::{generate, ScenarioConfig};
+use std::hint::black_box;
+
+fn setup() -> (
+    divscrape_traffic::LabelledLog,
+    AlertVector,
+    AlertVector,
+    Vec<f32>,
+) {
+    let log = generate(&ScenarioConfig::small(4)).unwrap();
+    let sentinel_verdicts = run(&mut Sentinel::stock(), log.entries());
+    let arcane_verdicts = run(&mut Arcane::stock(), log.entries());
+    let s = AlertVector::from_bools(
+        "sentinel",
+        &sentinel_verdicts.iter().map(|v| v.alert).collect::<Vec<_>>(),
+    );
+    let a = AlertVector::from_bools(
+        "arcane",
+        &arcane_verdicts.iter().map(|v| v.alert).collect::<Vec<_>>(),
+    );
+    let scores: Vec<f32> = arcane_verdicts.iter().map(|v| v.score).collect();
+    (log, s, a, scores)
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let (log, s, a, scores) = setup();
+    let n = log.len() as u64;
+
+    let mut g = c.benchmark_group("ensemble");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("bitset_and_or_minus_12k", |b| {
+        b.iter(|| {
+            let both = s.and(&a);
+            let either = s.or(&a);
+            let only = s.minus(&a);
+            black_box((both.count(), either.count(), only.count()))
+        })
+    });
+    g.bench_function("contingency_12k", |b| {
+        b.iter(|| Contingency::of(black_box(&s), black_box(&a)))
+    });
+    g.bench_function("status_breakdown_12k", |b| {
+        b.iter(|| StatusBreakdown::of(black_box(&s), log.entries()))
+    });
+    g.bench_function("k_out_of_n_12k", |b| {
+        b.iter(|| KOutOfN::any(2).apply(&[black_box(&s), black_box(&a)]))
+    });
+    g.bench_function("confusion_matrix_12k", |b| {
+        b.iter(|| ConfusionMatrix::of(black_box(&s), log.truth()))
+    });
+    g.bench_function("agreement_diversity_12k", |b| {
+        b.iter(|| AgreementDiversity::of(black_box(&s), black_box(&a)))
+    });
+    g.bench_function("roc_curve_12k", |b| {
+        b.iter(|| RocCurve::from_scores(black_box(&scores), log.truth()).unwrap().auc())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ensemble);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Throughput of the access-log substrate: parse, format, stream.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use divscrape_httplog::{LogEntry, LogReader};
+use divscrape_traffic::{generate, ScenarioConfig};
+use std::hint::black_box;
+use std::io::Cursor;
+
+const SAMPLE: &str = r#"198.51.100.7 - - [11/Mar/2018:06:25:14 +0000] "GET /search?q=NCE-LHR&currency=EUR HTTP/1.1" 200 51234 "https://shop.example/" "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36""#;
+
+fn bench_parse_line(c: &mut Criterion) {
+    let mut g = c.benchmark_group("httplog");
+    g.throughput(Throughput::Bytes(SAMPLE.len() as u64));
+    g.bench_function("parse_combined_line", |b| {
+        b.iter(|| LogEntry::parse(black_box(SAMPLE)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_format_line(c: &mut Criterion) {
+    let entry = LogEntry::parse(SAMPLE).unwrap();
+    c.bench_function("httplog/format_combined_line", |b| {
+        b.iter(|| black_box(&entry).to_string())
+    });
+}
+
+fn bench_stream_log(c: &mut Criterion) {
+    // A realistic 12k-line log rendered to text, then streamed back.
+    let log = generate(&ScenarioConfig::small(1)).unwrap();
+    let mut text = Vec::new();
+    log.write_log(&mut text).unwrap();
+    let mut g = c.benchmark_group("httplog");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("stream_12k_lines", |b| {
+        b.iter_batched(
+            || Cursor::new(text.clone()),
+            |cursor| {
+                let n = LogReader::new(cursor).filter(Result::is_ok).count();
+                assert_eq!(n, 12_000);
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse_line, bench_format_line, bench_stream_log);
+criterion_main!(benches);

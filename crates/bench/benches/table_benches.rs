@@ -1,0 +1,70 @@
+//! One benchmark per paper table: the cost of regenerating each of the
+//! paper's four tables from raw verdicts, plus the end-to-end study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use divscrape::{tables, DiversityStudy, StudyConfig};
+use divscrape_ensemble::{Contingency, StatusBreakdown};
+use divscrape_traffic::ScenarioConfig;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let report = DiversityStudy::new(StudyConfig::new(ScenarioConfig::small(5)))
+        .run()
+        .unwrap();
+
+    let mut g = c.benchmark_group("tables");
+    // Table 1: per-tool alert totals.
+    g.bench_function("table1_totals", |b| {
+        b.iter(|| {
+            (
+                black_box(&report.sentinel).count(),
+                black_box(&report.arcane).count(),
+            )
+        })
+    });
+    // Table 2: contingency.
+    g.bench_function("table2_contingency", |b| {
+        b.iter(|| Contingency::of(black_box(&report.sentinel), black_box(&report.arcane)))
+    });
+    // Table 3: per-status breakdown, both tools.
+    g.bench_function("table3_status_overall", |b| {
+        b.iter(|| {
+            (
+                StatusBreakdown::of(&report.sentinel, report.log.entries()),
+                StatusBreakdown::of(&report.arcane, report.log.entries()),
+            )
+        })
+    });
+    // Table 4: per-status breakdown of the exclusive sets.
+    g.bench_function("table4_status_exclusive", |b| {
+        b.iter(|| {
+            let s_only = report.sentinel.minus(&report.arcane);
+            let a_only = report.arcane.minus(&report.sentinel);
+            (
+                StatusBreakdown::of(&s_only, report.log.entries()),
+                StatusBreakdown::of(&a_only, report.log.entries()),
+            )
+        })
+    });
+    // Rendering all four tables as text.
+    g.bench_function("render_all_tables", |b| {
+        b.iter(|| tables::full_report(black_box(&report)).len())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("study");
+    g.sample_size(10);
+    // End-to-end: generate + detect + analyze at small scale.
+    g.bench_function("end_to_end_small_12k", |b| {
+        b.iter(|| {
+            DiversityStudy::new(StudyConfig::new(ScenarioConfig::small(6)))
+                .run()
+                .unwrap()
+                .total_requests()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Throughput of the synthetic traffic generator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use divscrape_traffic::{generate, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic/generate");
+    for (name, scenario) in [
+        ("tiny_1k", ScenarioConfig::tiny(1)),
+        ("small_12k", ScenarioConfig::small(1)),
+        ("medium_120k", ScenarioConfig::medium(1)),
+    ] {
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(scenario.target_requests));
+        g.bench_function(name, |b| {
+            b.iter(|| generate(black_box(&scenario)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_render_to_clf(c: &mut Criterion) {
+    let log = generate(&ScenarioConfig::small(2)).unwrap();
+    let mut g = c.benchmark_group("traffic");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(log.len() as u64));
+    g.bench_function("render_12k_to_clf", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(4 << 20);
+            log.write_log(&mut out).unwrap();
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_render_to_clf);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! E8: ablation — what each Sentinel signal family and each Arcane rule
+//! contributes to alert volume and labelled quality.
+
+use std::process::ExitCode;
+
+use divscrape_bench::parse_options;
+use divscrape_detect::{
+    run_alerts, Arcane, ArcaneConfig, ReputationFeed, Sentinel, SentinelConfig, SignatureEngine,
+};
+use divscrape_ensemble::report::{percent, TextTable};
+use divscrape_ensemble::{AlertVector, ConfusionMatrix};
+use divscrape_traffic::{generate, LabelledLog};
+
+fn measure(alerts: &AlertVector, log: &LabelledLog) -> (f64, f64, f64) {
+    let cm = ConfusionMatrix::of(alerts, log.truth());
+    (alerts.rate(), cm.sensitivity(), cm.fpr())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options("medium") {
+        Ok(o) => o,
+        Err(usage) => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("E8 ablation — scale={} seed={}\n", opts.scale, opts.seed);
+    let log = match generate(&opts.scenario) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Sentinel: drop one signal at a time.
+    let mut t = TextTable::new("Sentinel signal ablation (drop one signal)");
+    t.columns(&["Configuration", "Alert rate", "Sensitivity", "FPR"]);
+    let stock = {
+        let mut d = Sentinel::stock();
+        AlertVector::from_bools("sentinel", &run_alerts(&mut d, log.entries()))
+    };
+    let (rate, sens, fpr) = measure(&stock, &log);
+    t.row_owned(vec![
+        "stock (all signals)".into(),
+        percent(rate),
+        percent(sens),
+        percent(fpr),
+    ]);
+    for signal in SentinelConfig::SIGNALS {
+        let cfg = SentinelConfig::default().without(signal);
+        let mut d = Sentinel::new(cfg, SignatureEngine::stock(), ReputationFeed::stock());
+        let alerts = AlertVector::from_bools("sentinel", &run_alerts(&mut d, log.entries()));
+        let (rate, sens, fpr) = measure(&alerts, &log);
+        t.row_owned(vec![
+            format!("without {signal}"),
+            percent(rate),
+            percent(sens),
+            percent(fpr),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Arcane: drop one rule at a time.
+    let mut t = TextTable::new("Arcane rule ablation (drop one rule)");
+    t.columns(&["Configuration", "Alert rate", "Sensitivity", "FPR"]);
+    let stock = {
+        let mut d = Arcane::stock();
+        AlertVector::from_bools("arcane", &run_alerts(&mut d, log.entries()))
+    };
+    let (rate, sens, fpr) = measure(&stock, &log);
+    t.row_owned(vec![
+        "stock (all rules)".into(),
+        percent(rate),
+        percent(sens),
+        percent(fpr),
+    ]);
+    for rule in ArcaneConfig::RULES {
+        let mut d = Arcane::new(ArcaneConfig::default().without(rule));
+        let alerts = AlertVector::from_bools("arcane", &run_alerts(&mut d, log.entries()));
+        let (rate, sens, fpr) = measure(&alerts, &log);
+        t.row_owned(vec![
+            format!("without {rule}"),
+            percent(rate),
+            percent(sens),
+            percent(fpr),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Where do the first trips come from with everything enabled?
+    let mut sentinel = Sentinel::stock();
+    let _ = run_alerts(&mut sentinel, log.entries());
+    println!("Sentinel first-trip signal counts (clients): {:?}", sentinel.trip_counts());
+    let mut arcane = Arcane::stock();
+    let _ = run_alerts(&mut arcane, log.entries());
+    println!("Arcane rule hit counts (alerting requests): {:?}", arcane.rule_hits());
+    ExitCode::SUCCESS
+}

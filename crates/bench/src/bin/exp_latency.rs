@@ -1,0 +1,65 @@
+//! E10: detection latency — how many requests each attack population gets
+//! through before each tool's first alert. This is the mechanism behind the
+//! paper's single-tool exclusive alerts: identity-based signals fire
+//! instantly, behavioural evidence takes a dozen requests.
+
+use std::process::ExitCode;
+
+use divscrape::{DiversityStudy, StudyConfig};
+use divscrape_bench::parse_options;
+use divscrape_ensemble::report::{percent, TextTable};
+use divscrape_ensemble::{latency_by_actor, rollup_sessions};
+
+fn main() -> ExitCode {
+    let opts = match parse_options("medium") {
+        Ok(o) => o,
+        Err(usage) => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "E10 detection latency — scale={} seed={}\n",
+        opts.scale, opts.seed
+    );
+    let report = match DiversityStudy::new(StudyConfig::new(opts.scenario).with_workers(2)).run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sentinel = latency_by_actor(&rollup_sessions(&report.log, &report.sentinel));
+    let arcane = latency_by_actor(&rollup_sessions(&report.log, &report.arcane));
+
+    let mut t = TextTable::new("Per-session detection latency (requests before first alert)");
+    t.columns(&[
+        "Actor",
+        "Sessions",
+        "sentinel detect%",
+        "sentinel med",
+        "sentinel p90",
+        "arcane detect%",
+        "arcane med",
+        "arcane p90",
+    ]);
+    for (actor, s) in &sentinel {
+        let a = &arcane[actor];
+        t.row_owned(vec![
+            actor.name().to_owned(),
+            s.sessions.to_string(),
+            percent(s.detection_rate()),
+            s.median_latency.to_string(),
+            s.p90_latency.to_string(),
+            percent(a.detection_rate()),
+            a.median_latency.to_string(),
+            a.p90_latency.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: the commercial tool flags signature/reputation-visible campaigns\non their very first request; the behavioural tool needs its evidence window\n(~12 bare page views). Those windows are precisely the requests that show up\nas 'Distil only' in the paper's Table 2."
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,121 @@
+//! E7: labelled per-tool quality and ROC/AUC analysis, including the
+//! related-work ML baselines trained on a held-out labelled run.
+
+use std::process::ExitCode;
+
+use divscrape_bench::parse_options;
+use divscrape_detect::baselines::{
+    Cart, CartParams, Logistic, LogisticParams, NaiveBayes, RateLimiter, SessionModelDetector,
+    SignatureOnly, TrainingSet,
+};
+use divscrape_detect::{run, Arcane, Detector, Sentinel};
+use divscrape_ensemble::report::{percent, TextTable};
+use divscrape_ensemble::{AlertVector, ConfusionMatrix, RocCurve};
+use divscrape_traffic::generate;
+
+fn evaluate(
+    name: &str,
+    detector: &mut dyn Detector,
+    log: &divscrape_traffic::LabelledLog,
+    table: &mut TextTable,
+) {
+    let verdicts = run(detector, log.entries());
+    let alerts: Vec<bool> = verdicts.iter().map(|v| v.alert).collect();
+    let scores: Vec<f32> = verdicts.iter().map(|v| v.score).collect();
+    let vector = AlertVector::from_bools(name, &alerts);
+    let cm = ConfusionMatrix::of(&vector, log.truth());
+    let auc = RocCurve::from_scores(&scores, log.truth())
+        .map(|r| format!("{:.4}", r.auc()))
+        .unwrap_or_else(|_| "n/a".into());
+    table.row_owned(vec![
+        name.to_owned(),
+        percent(cm.sensitivity()),
+        percent(cm.specificity()),
+        percent(cm.precision()),
+        format!("{:.4}", cm.f1()),
+        auc,
+    ]);
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options("medium") {
+        Ok(o) => o,
+        Err(usage) => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "E7 labelled quality + ROC — scale={} seed={} (baselines train on seed {})\n",
+        opts.scale,
+        opts.seed,
+        opts.seed + 1
+    );
+
+    let log = match generate(&opts.scenario) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Train the learned baselines on a *different* seed at small scale:
+    // the models must generalise across runs, not memorise one.
+    let mut train_scenario = opts.scenario.clone();
+    train_scenario.seed = opts.seed + 1;
+    train_scenario.target_requests = train_scenario.target_requests.min(60_000);
+    let train_log = generate(&train_scenario).expect("training scenario is valid");
+    let training = TrainingSet::from_log(&train_log, 3);
+
+    let bayes = NaiveBayes::train(&training).expect("two classes present");
+    let logistic =
+        Logistic::train(&training, LogisticParams::default()).expect("two classes present");
+    let cart = Cart::train(&training, CartParams::default()).expect("nonempty training set");
+
+    let mut t = TextTable::new("Per-detector labelled quality and AUC");
+    t.columns(&["Detector", "Sensitivity", "Specificity", "Precision", "F1", "AUC"]);
+    evaluate("sentinel", &mut Sentinel::stock(), &log, &mut t);
+    evaluate("arcane", &mut Arcane::stock(), &log, &mut t);
+    evaluate("rate-limiter(60/min)", &mut RateLimiter::new(60), &log, &mut t);
+    evaluate("signature-only", &mut SignatureOnly::stock(), &log, &mut t);
+    evaluate(
+        "naive-bayes",
+        &mut SessionModelDetector::new(bayes, 0.5, 3),
+        &log,
+        &mut t,
+    );
+    evaluate(
+        "logistic",
+        &mut SessionModelDetector::new(logistic, 0.5, 3),
+        &log,
+        &mut t,
+    );
+    evaluate(
+        "cart",
+        &mut SessionModelDetector::new(cart, 0.5, 3),
+        &log,
+        &mut t,
+    );
+    println!("{}", t.render());
+
+    // Print the Arcane score ROC as a plottable series (threshold sweep).
+    let verdicts = run(&mut Arcane::stock(), log.entries());
+    let scores: Vec<f32> = verdicts.iter().map(|v| v.score).collect();
+    match RocCurve::from_scores(&scores, log.truth()) {
+        Ok(roc) => {
+            println!("Arcane score ROC (AUC {:.4}):", roc.auc());
+            println!("threshold  fpr      tpr");
+            for p in roc.sampled(12) {
+                println!("{:>9.2}  {:.5}  {:.5}", p.threshold, p.fpr, p.tpr);
+            }
+            let best = roc.best_youden();
+            println!(
+                "best Youden J at threshold {:.2}: tpr={:.4} fpr={:.4}",
+                best.threshold, best.tpr, best.fpr
+            );
+        }
+        Err(e) => println!("ROC unavailable: {e}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,113 @@
+//! E11: a third diverse detector — the honeytrap — joins the pair. The
+//! paper's closing question is "how diversity could enhance the detection
+//! rate"; this experiment measures what a maximally different third tool
+//! buys across every adjudication scheme.
+
+use std::process::ExitCode;
+
+use divscrape_bench::parse_options;
+use divscrape_detect::{run_alerts, Arcane, Sentinel, TrapDetector};
+use divscrape_ensemble::report::{percent, thousands, TextTable};
+use divscrape_ensemble::{
+    AgreementDiversity, AlertVector, ConfusionMatrix, KOutOfN, MultiContingency,
+};
+use divscrape_traffic::{generate, SiteModel};
+
+fn main() -> ExitCode {
+    let opts = match parse_options("medium") {
+        Ok(o) => o,
+        Err(usage) => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "E11 three diverse tools — scale={} seed={}\n",
+        opts.scale, opts.seed
+    );
+    let site = SiteModel::new(opts.scenario.site_offers);
+    let log = match generate(&opts.scenario) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sentinel = AlertVector::from_bools(
+        "sentinel",
+        &run_alerts(&mut Sentinel::stock(), log.entries()),
+    );
+    let arcane = AlertVector::from_bools("arcane", &run_alerts(&mut Arcane::stock(), log.entries()));
+    let trap = AlertVector::from_bools(
+        "honeytrap",
+        &run_alerts(&mut TrapDetector::for_site(&site), log.entries()),
+    );
+    let tools = [&sentinel, &arcane, &trap];
+
+    // The full 8-cell agreement breakdown.
+    let multi = MultiContingency::of(&tools);
+    let mut t = TextTable::new("Three-tool agreement breakdown (all 8 alert patterns)");
+    t.columns(&["Alerted by", "Count", "Share"]);
+    let mut patterns: Vec<usize> = (0..8).collect();
+    patterns.sort_by_key(|p| std::cmp::Reverse(multi.cell(*p)));
+    for p in patterns {
+        t.row_owned(vec![
+            multi.pattern_label(p),
+            thousands(multi.cell(p)),
+            percent(multi.cell(p) as f64 / multi.total() as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Pairwise diversity: the trap is far more "different" than the pair.
+    let mut t = TextTable::new("Pairwise diversity");
+    t.columns(&["Pair", "Yule Q", "Disagreement", "Kappa"]);
+    for (name, a, b) in [
+        ("sentinel vs arcane", &sentinel, &arcane),
+        ("sentinel vs honeytrap", &sentinel, &trap),
+        ("arcane vs honeytrap", &arcane, &trap),
+    ] {
+        let d = AgreementDiversity::of(a, b);
+        t.row_owned(vec![
+            name.to_owned(),
+            format!("{:.4}", d.yule_q),
+            percent(d.disagreement),
+            format!("{:.4}", d.kappa),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Quality of every adjudication level.
+    let mut t = TextTable::new("Adjudication over three tools (labelled)");
+    t.columns(&["Scheme", "Sensitivity", "Specificity", "Precision"]);
+    for (label, cm) in [
+        ("sentinel alone", ConfusionMatrix::of(&sentinel, log.truth())),
+        ("arcane alone", ConfusionMatrix::of(&arcane, log.truth())),
+        ("honeytrap alone", ConfusionMatrix::of(&trap, log.truth())),
+        (
+            "1oo3",
+            ConfusionMatrix::of(&KOutOfN::any(3).apply(&tools), log.truth()),
+        ),
+        (
+            "2oo3 majority",
+            ConfusionMatrix::of(&KOutOfN::new(2, 3).unwrap().apply(&tools), log.truth()),
+        ),
+        (
+            "3oo3",
+            ConfusionMatrix::of(&KOutOfN::all(3).apply(&tools), log.truth()),
+        ),
+    ] {
+        t.row_owned(vec![
+            label.to_owned(),
+            percent(cm.sensitivity()),
+            percent(cm.specificity()),
+            percent(cm.precision()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: the honeytrap alone has modest coverage but a ~zero false-positive\nrate, so it barely moves 1oo3 yet makes the 2oo3 majority nearly as sensitive\nas 1oo2 while keeping 2oo2-grade specificity — the concrete sense in which a\nthird *diverse* opinion \"enhances the detection rate\"."
+    );
+    ExitCode::SUCCESS
+}

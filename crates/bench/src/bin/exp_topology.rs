@@ -1,0 +1,104 @@
+//! E6: parallel vs. serial deployment of the two tools — detection quality
+//! against per-stage analysis cost (the paper's Section V trade-off).
+
+use std::process::ExitCode;
+
+use divscrape_bench::parse_options;
+use divscrape_detect::{Arcane, Sentinel};
+use divscrape_ensemble::report::{percent, thousands, TextTable};
+use divscrape_ensemble::{run_parallel, run_serial, ConfusionMatrix, SerialMode, TopologyOutcome};
+use divscrape_traffic::generate;
+
+fn main() -> ExitCode {
+    let opts = match parse_options("medium") {
+        Ok(o) => o,
+        Err(usage) => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "E6 deployment topologies — scale={} seed={}\n",
+        opts.scale, opts.seed
+    );
+    let log = match generate(&opts.scenario) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let runs: Vec<(&str, TopologyOutcome)> = vec![
+        (
+            "parallel 1oo2",
+            run_parallel(&mut Sentinel::stock(), &mut Arcane::stock(), log.entries(), true),
+        ),
+        (
+            "parallel 2oo2",
+            run_parallel(&mut Sentinel::stock(), &mut Arcane::stock(), log.entries(), false),
+        ),
+        (
+            "serial sentinel→arcane confirm",
+            run_serial(
+                &mut Sentinel::stock(),
+                &mut Arcane::stock(),
+                log.entries(),
+                SerialMode::Confirm,
+            ),
+        ),
+        (
+            "serial sentinel→arcane escalate",
+            run_serial(
+                &mut Sentinel::stock(),
+                &mut Arcane::stock(),
+                log.entries(),
+                SerialMode::Escalate,
+            ),
+        ),
+        (
+            "serial arcane→sentinel confirm",
+            run_serial(
+                &mut Arcane::stock(),
+                &mut Sentinel::stock(),
+                log.entries(),
+                SerialMode::Confirm,
+            ),
+        ),
+        (
+            "serial arcane→sentinel escalate",
+            run_serial(
+                &mut Arcane::stock(),
+                &mut Sentinel::stock(),
+                log.entries(),
+                SerialMode::Escalate,
+            ),
+        ),
+    ];
+
+    let mut t = TextTable::new("Topology trade-offs (cost = requests each stage analyzes)");
+    t.columns(&[
+        "Topology",
+        "Stage1 cost",
+        "Stage2 cost",
+        "Sensitivity",
+        "Specificity",
+        "FPR",
+    ]);
+    for (name, outcome) in &runs {
+        let cm = ConfusionMatrix::of(&outcome.alerts, log.truth());
+        t.row_owned(vec![
+            (*name).to_owned(),
+            thousands(outcome.first_processed),
+            thousands(outcome.second_processed),
+            percent(cm.sensitivity()),
+            percent(cm.specificity()),
+            percent(cm.fpr()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: the escalate pipelines keep nearly all of parallel 1oo2's\nsensitivity while the second tool analyzes only the first tool's residue;\nconfirm pipelines approximate 2oo2 at a fraction of the second tool's load\n(but on bot-dominated traffic 'residue' is the cheaper stream to forward)."
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,57 @@
+//! E1–E4: regenerates the paper's Tables 1–4 (paper vs. measured) and runs
+//! the shape-reproduction checks.
+//!
+//! ```text
+//! cargo run --release -p divscrape-bench --bin repro_tables            # paper scale
+//! cargo run --release -p divscrape-bench --bin repro_tables -- --scale medium
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use divscrape::{calibration, tables, DiversityStudy, StudyConfig};
+use divscrape_bench::parse_options;
+
+fn main() -> ExitCode {
+    let opts = match parse_options("paper") {
+        Ok(o) => o,
+        Err(usage) => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "divscrape table reproduction — scale={} seed={} ({} requests)\n",
+        opts.scale, opts.seed, opts.scenario.target_requests
+    );
+
+    let started = Instant::now();
+    let study = DiversityStudy::new(StudyConfig::new(opts.scenario).with_workers(2));
+    let report = match study.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "generated + analyzed {} requests in {:.2?}\n",
+        report.total_requests(),
+        started.elapsed()
+    );
+
+    println!("{}", tables::table1(&report));
+    println!("{}", tables::table2(&report));
+    println!("{}", tables::table3(&report));
+    println!("{}", tables::table4(&report));
+    println!("{}", tables::labelled_metrics(&report));
+    println!("{}", tables::per_actor(&report));
+
+    let findings = calibration::check_shape(&report);
+    println!("{}", calibration::render_findings(&findings));
+    if findings.iter().all(|f| f.passed) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

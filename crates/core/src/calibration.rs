@@ -1,0 +1,175 @@
+//! Shape checks: does a measured run reproduce the *structure* of the
+//! paper's results?
+//!
+//! Absolute counts cannot match (the substrate is a simulator, not the
+//! Amadeus production estate), so reproduction quality is judged on shape:
+//! which tool alerts more, how dominant the overlap is, how asymmetric the
+//! exclusive sets are, and how the exclusive sets skew by HTTP status.
+
+use divscrape_httplog::HttpStatus;
+use serde::Serialize;
+
+use crate::study::StudyReport;
+
+/// One shape assertion with its outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShapeFinding {
+    /// Short stable identifier.
+    pub name: &'static str,
+    /// What the paper's tables show.
+    pub expectation: String,
+    /// What this run measured.
+    pub measured: String,
+    /// Whether the run reproduces the shape.
+    pub passed: bool,
+}
+
+impl ShapeFinding {
+    fn new(
+        name: &'static str,
+        expectation: impl Into<String>,
+        measured: impl Into<String>,
+        passed: bool,
+    ) -> Self {
+        Self {
+            name,
+            expectation: expectation.into(),
+            measured: measured.into(),
+            passed,
+        }
+    }
+}
+
+/// Runs every shape check against a report.
+pub fn check_shape(report: &StudyReport) -> Vec<ShapeFinding> {
+    let mut findings = Vec::new();
+    let total = report.total_requests().max(1) as f64;
+    let c = &report.contingency;
+
+    let sentinel_rate = report.sentinel.rate();
+    let arcane_rate = report.arcane.rate();
+    findings.push(ShapeFinding::new(
+        "commercial-tool-alerts-more",
+        "Distil 86.8% > Arcane 84.4%",
+        format!("sentinel {:.2}% vs arcane {:.2}%", sentinel_rate * 100.0, arcane_rate * 100.0),
+        sentinel_rate > arcane_rate,
+    ));
+
+    let both_share = c.both as f64 / total;
+    findings.push(ShapeFinding::new(
+        "overlap-dominates",
+        "both-alerted ≈ 83.8% (accept 70–95%)",
+        format!("{:.2}%", both_share * 100.0),
+        (0.70..=0.95).contains(&both_share),
+    ));
+
+    let neither_share = c.neither as f64 / total;
+    findings.push(ShapeFinding::new(
+        "neither-is-the-clean-minority",
+        "neither ≈ 12.6% (accept 6–22%)",
+        format!("{:.2}%", neither_share * 100.0),
+        (0.06..=0.22).contains(&neither_share),
+    ));
+
+    let ratio = c.only_first as f64 / c.only_second.max(1) as f64;
+    findings.push(ShapeFinding::new(
+        "exclusive-asymmetry",
+        "Distil-only ≈ 4.7× Arcane-only (accept 2–10×)",
+        format!("{ratio:.2}×"),
+        (2.0..=10.0).contains(&ratio),
+    ));
+
+    let s200 = report.status_sentinel_only.share(HttpStatus::OK);
+    findings.push(ShapeFinding::new(
+        "distil-only-is-mostly-200",
+        "97.4% of Distil-only alerts are 200 (accept ≥ 85%)",
+        format!("{:.2}%", s200 * 100.0),
+        s200 >= 0.85,
+    ));
+
+    let a204 = report.status_arcane_only.share(HttpStatus::NO_CONTENT);
+    let a400 = report.status_arcane_only.share(HttpStatus::BAD_REQUEST);
+    findings.push(ShapeFinding::new(
+        "arcane-only-skews-to-beacons",
+        "10.3% of Arcane-only alerts are 204 (accept ≥ 3%)",
+        format!("{:.2}%", a204 * 100.0),
+        a204 >= 0.03,
+    ));
+    findings.push(ShapeFinding::new(
+        "arcane-only-skews-to-errors",
+        "2.7% of Arcane-only alerts are 400 (accept ≥ 0.8%)",
+        format!("{:.2}%", a400 * 100.0),
+        a400 >= 0.008,
+    ));
+
+    // Table 3 status ordering: 200 dominates, 302 second, for both tools.
+    for (name, breakdown) in [
+        ("arcane-status-ordering", &report.status_arcane),
+        ("sentinel-status-ordering", &report.status_sentinel),
+    ] {
+        let rows = breakdown.rows();
+        let ok = rows.first().map(|(s, _)| *s) == Some(200)
+            && rows.get(1).map(|(s, _)| *s) == Some(302);
+        findings.push(ShapeFinding::new(
+            name,
+            "200 first, 302 second in the alert-status ordering",
+            format!(
+                "top statuses: {:?}",
+                rows.iter().take(3).map(|(s, _)| *s).collect::<Vec<_>>()
+            ),
+            ok,
+        ));
+    }
+
+    findings
+}
+
+/// Renders findings as a text report.
+pub fn render_findings(findings: &[ShapeFinding]) -> String {
+    let mut out = String::from("Shape reproduction checks\n=========================\n");
+    for f in findings {
+        out.push_str(&format!(
+            "[{}] {}\n    paper:    {}\n    measured: {}\n",
+            if f.passed { "PASS" } else { "FAIL" },
+            f.name,
+            f.expectation,
+            f.measured,
+        ));
+    }
+    let passed = findings.iter().filter(|f| f.passed).count();
+    out.push_str(&format!("{passed}/{} checks passed\n", findings.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{DiversityStudy, StudyConfig};
+    use divscrape_traffic::ScenarioConfig;
+
+    #[test]
+    fn medium_scale_run_reproduces_every_shape() {
+        let report = DiversityStudy::new(StudyConfig::new(ScenarioConfig::medium(2018)))
+            .run()
+            .unwrap();
+        let findings = check_shape(&report);
+        let failed: Vec<&ShapeFinding> = findings.iter().filter(|f| !f.passed).collect();
+        assert!(
+            failed.is_empty(),
+            "failed shape checks:\n{}",
+            render_findings(&findings)
+        );
+    }
+
+    #[test]
+    fn findings_render_with_verdicts() {
+        let report = DiversityStudy::new(StudyConfig::new(ScenarioConfig::small(3)))
+            .run()
+            .unwrap();
+        let findings = check_shape(&report);
+        let text = render_findings(&findings);
+        assert!(text.contains("PASS") || text.contains("FAIL"));
+        assert!(text.contains("checks passed"));
+        assert_eq!(findings.len(), 9);
+    }
+}

@@ -1,0 +1,56 @@
+//! `divscrape` — a reproduction of *"Using Diverse Detectors for Detecting
+//! Malicious Web Scraping Activity"* (Marques et al., DSN 2018).
+//!
+//! The paper runs two independently built scraping detectors — Distil
+//! Networks (commercial) and Arcane (Amadeus in-house) — over 1.47 M
+//! production access-log requests and measures the *diversity* of their
+//! alerting behaviour. Everything in that study is proprietary; this
+//! workspace rebuilds the whole stack:
+//!
+//! | Layer | Crate |
+//! |---|---|
+//! | Apache Combined Log Format substrate | `divscrape-httplog` |
+//! | Labelled e-commerce traffic simulator | `divscrape-traffic` |
+//! | The diverse detectors + baselines | `divscrape-detect` |
+//! | Contingency, adjudication, metrics | `divscrape-ensemble` |
+//! | The study pipeline (this crate) | `divscrape` |
+//!
+//! # Quick start
+//!
+//! ```
+//! use divscrape::{tables, DiversityStudy, StudyConfig};
+//! use divscrape_traffic::ScenarioConfig;
+//!
+//! // A 12k-request study (use `StudyConfig::paper_scale(seed)` for the
+//! // full 1,469,744-request reproduction).
+//! let report = DiversityStudy::new(StudyConfig::new(ScenarioConfig::small(2018))).run()?;
+//!
+//! // The paper's Table 2, paper-vs-measured.
+//! println!("{}", tables::table2(&report));
+//! assert_eq!(report.contingency.total(), report.total_requests());
+//! # Ok::<(), divscrape::StudyError>(())
+//! ```
+//!
+//! The [`paper`] module holds the published numbers; [`tables`] renders
+//! paper-vs-measured tables; [`calibration`] checks that a run reproduces
+//! the paper's *shape* (who wins, how dominant the overlap is, how the
+//! exclusive sets skew).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod dataset;
+pub mod paper;
+mod study;
+pub mod tables;
+
+pub use study::{
+    ActorDetection, DiversityStudy, LabelledAnalysis, StudyConfig, StudyError, StudyReport,
+};
+
+// Re-export the workspace layers so downstream users need one dependency.
+pub use divscrape_detect as detect;
+pub use divscrape_ensemble as ensemble;
+pub use divscrape_httplog as httplog;
+pub use divscrape_traffic as traffic;

@@ -1,0 +1,147 @@
+//! The numbers the paper reports, as typed constants.
+//!
+//! Every reproduction harness prints these next to its own measurements.
+//! Source: Marques et al., "Using Diverse Detectors for Detecting Malicious
+//! Web Scraping Activity", DSN 2018 — Tables 1–4. In this workspace the
+//! commercial tool (Distil Networks) is reproduced as `sentinel` and the
+//! in-house tool (Arcane) as `arcane`.
+
+/// Table 1: total traffic and per-tool alert totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperTotals {
+    /// Total HTTP requests in the dataset.
+    pub total_requests: u64,
+    /// Requests alerted by Distil (the commercial tool).
+    pub distil_alerts: u64,
+    /// Requests alerted by Arcane (the in-house tool).
+    pub arcane_alerts: u64,
+}
+
+/// Table 1 as published.
+pub const TABLE1: PaperTotals = PaperTotals {
+    total_requests: 1_469_744,
+    distil_alerts: 1_275_056,
+    arcane_alerts: 1_240_713,
+};
+
+/// Table 2: the 2×2 agreement breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperContingency {
+    /// Alerted by both tools.
+    pub both: u64,
+    /// Alerted by neither.
+    pub neither: u64,
+    /// Alerted by Arcane only.
+    pub arcane_only: u64,
+    /// Alerted by Distil only.
+    pub distil_only: u64,
+}
+
+/// Table 2 as published.
+pub const TABLE2: PaperContingency = PaperContingency {
+    both: 1_231_408,
+    neither: 185_383,
+    arcane_only: 9_305,
+    distil_only: 43_648,
+};
+
+/// Table 3, Arcane column: alerted requests by HTTP status (overall).
+pub const TABLE3_ARCANE: [(u16, u64); 7] = [
+    (200, 1_204_241),
+    (302, 34_561),
+    (204, 1_560),
+    (400, 256),
+    (304, 76),
+    (500, 11),
+    (404, 8),
+];
+
+/// Table 3, Distil column: alerted requests by HTTP status (overall).
+pub const TABLE3_DISTIL: [(u16, u64); 8] = [
+    (200, 1_239_079),
+    (302, 34_832),
+    (204, 1_018),
+    (400, 73),
+    (404, 32),
+    (304, 15),
+    (500, 6),
+    (403, 1),
+];
+
+/// Table 4, Arcane-only column: statuses of requests alerted only by Arcane.
+pub const TABLE4_ARCANE_ONLY: [(u16, u64); 7] = [
+    (200, 7_693),
+    (204, 956),
+    (302, 321),
+    (400, 247),
+    (304, 76),
+    (404, 7),
+    (500, 5),
+];
+
+/// Table 4, Distil-only column: statuses of requests alerted only by Distil.
+pub const TABLE4_DISTIL_ONLY: [(u16, u64); 7] = [
+    (200, 42_531),
+    (302, 592),
+    (204, 414),
+    (400, 64),
+    (404, 31),
+    (304, 15),
+    (403, 1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_partitions_table1_exactly() {
+        // The paper's tables are internally consistent; encode that as an
+        // invariant so a typo in the constants cannot survive.
+        assert_eq!(
+            TABLE2.both + TABLE2.neither + TABLE2.arcane_only + TABLE2.distil_only,
+            TABLE1.total_requests
+        );
+        assert_eq!(TABLE2.both + TABLE2.distil_only, TABLE1.distil_alerts);
+        assert_eq!(TABLE2.both + TABLE2.arcane_only, TABLE1.arcane_alerts);
+    }
+
+    #[test]
+    fn table3_columns_sum_to_the_tool_totals() {
+        let arcane: u64 = TABLE3_ARCANE.iter().map(|(_, c)| c).sum();
+        let distil: u64 = TABLE3_DISTIL.iter().map(|(_, c)| c).sum();
+        assert_eq!(arcane, TABLE1.arcane_alerts);
+        assert_eq!(distil, TABLE1.distil_alerts);
+    }
+
+    #[test]
+    fn table4_columns_sum_to_the_exclusive_counts() {
+        let arcane_only: u64 = TABLE4_ARCANE_ONLY.iter().map(|(_, c)| c).sum();
+        let distil_only: u64 = TABLE4_DISTIL_ONLY.iter().map(|(_, c)| c).sum();
+        assert_eq!(arcane_only, TABLE2.arcane_only);
+        assert_eq!(distil_only, TABLE2.distil_only);
+    }
+
+    #[test]
+    fn per_status_both_counts_are_consistent_across_tables() {
+        // For every status: Table3(tool) − Table4(tool-only) must agree
+        // between the tools (it is the same "both alerted" population).
+        let get = |table: &[(u16, u64)], status: u16| {
+            table
+                .iter()
+                .find(|(s, _)| *s == status)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        for status in [200u16, 204, 302, 304, 400, 403, 404, 500] {
+            let both_via_arcane =
+                get(&TABLE3_ARCANE, status) - get(&TABLE4_ARCANE_ONLY, status);
+            let both_via_distil =
+                get(&TABLE3_DISTIL, status) - get(&TABLE4_DISTIL_ONLY, status);
+            assert_eq!(
+                both_via_arcane, both_via_distil,
+                "status {status} inconsistent"
+            );
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Paper-vs-measured table rendering.
+//!
+//! Each function renders one of the paper's tables with the published
+//! counts alongside this reproduction's measurements. Absolute counts are
+//! not expected to match (the substrate is a simulator); the *shape*
+//! assertions live in [`crate::calibration`].
+
+use divscrape_ensemble::report::{percent, thousands, TextTable};
+use divscrape_httplog::HttpStatus;
+
+use crate::paper;
+use crate::study::StudyReport;
+
+fn status_label(code: u16) -> String {
+    HttpStatus::new(code).map_or_else(|| code.to_string(), |s| s.paper_label())
+}
+
+/// Table 1 — total requests and per-tool alert totals.
+pub fn table1(report: &StudyReport) -> String {
+    let mut t = TextTable::new("Table 1 - HTTP requests alerted by the two tools");
+    t.columns(&["", "Paper", "Measured", "Measured %"]);
+    t.row_owned(vec![
+        "Total HTTP requests".into(),
+        thousands(paper::TABLE1.total_requests),
+        thousands(report.total_requests()),
+        String::new(),
+    ]);
+    t.row_owned(vec![
+        "Alerted by Distil / sentinel".into(),
+        thousands(paper::TABLE1.distil_alerts),
+        thousands(report.sentinel.count()),
+        percent(report.sentinel.rate()),
+    ]);
+    t.row_owned(vec![
+        "Alerted by Arcane / arcane".into(),
+        thousands(paper::TABLE1.arcane_alerts),
+        thousands(report.arcane.count()),
+        percent(report.arcane.rate()),
+    ]);
+    t.render()
+}
+
+/// Table 2 — diversity in the alerting behaviour.
+pub fn table2(report: &StudyReport) -> String {
+    let c = &report.contingency;
+    let total = c.total().max(1) as f64;
+    let mut t = TextTable::new("Table 2 - Diversity in the alerting behavior of the two tools");
+    t.columns(&["HTTP requests alerted by:", "Paper", "Measured", "Measured %"]);
+    let rows: [(&str, u64, u64); 4] = [
+        ("Both tools", paper::TABLE2.both, c.both),
+        ("Neither", paper::TABLE2.neither, c.neither),
+        ("Arcane only", paper::TABLE2.arcane_only, c.only_second),
+        ("Distil/sentinel only", paper::TABLE2.distil_only, c.only_first),
+    ];
+    for (label, paper_count, measured) in rows {
+        t.row_owned(vec![
+            label.into(),
+            thousands(paper_count),
+            thousands(measured),
+            percent(measured as f64 / total),
+        ]);
+    }
+    t.render()
+}
+
+fn status_table(
+    title: &str,
+    paper_rows: &[(u16, u64)],
+    measured: &divscrape_ensemble::StatusBreakdown,
+) -> String {
+    let mut t = TextTable::new(title);
+    t.columns(&["HTTP status", "Paper", "Measured"]);
+    let mut seen: Vec<u16> = paper_rows.iter().map(|(s, _)| *s).collect();
+    for s in measured.statuses() {
+        if !seen.contains(&s) {
+            seen.push(s);
+        }
+    }
+    // Order by measured count descending (the paper orders by count too).
+    seen.sort_by_key(|s| {
+        std::cmp::Reverse(
+            HttpStatus::new(*s)
+                .map(|st| measured.count(st))
+                .unwrap_or(0),
+        )
+    });
+    for code in seen {
+        let paper_count = paper_rows
+            .iter()
+            .find(|(s, _)| *s == code)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        let measured_count = HttpStatus::new(code).map_or(0, |s| measured.count(s));
+        if paper_count == 0 && measured_count == 0 {
+            continue;
+        }
+        t.row_owned(vec![
+            status_label(code),
+            thousands(paper_count),
+            thousands(measured_count),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 3 — alerted requests by HTTP status, overall counts (both tools).
+pub fn table3(report: &StudyReport) -> String {
+    let arcane = status_table(
+        "Table 3a - Alerted requests by HTTP status (Arcane, overall)",
+        &paper::TABLE3_ARCANE,
+        &report.status_arcane,
+    );
+    let sentinel = status_table(
+        "Table 3b - Alerted requests by HTTP status (Distil/sentinel, overall)",
+        &paper::TABLE3_DISTIL,
+        &report.status_sentinel,
+    );
+    format!("{arcane}\n{sentinel}")
+}
+
+/// Table 4 — statuses of the requests alerted by exactly one tool.
+pub fn table4(report: &StudyReport) -> String {
+    let arcane = status_table(
+        "Table 4a - Alerted by Arcane only, by HTTP status",
+        &paper::TABLE4_ARCANE_ONLY,
+        &report.status_arcane_only,
+    );
+    let sentinel = status_table(
+        "Table 4b - Alerted by Distil/sentinel only, by HTTP status",
+        &paper::TABLE4_DISTIL_ONLY,
+        &report.status_sentinel_only,
+    );
+    format!("{arcane}\n{sentinel}")
+}
+
+/// The Section-V labelled analysis: per-tool and per-scheme quality.
+pub fn labelled_metrics(report: &StudyReport) -> String {
+    let mut t = TextTable::new("Labelled analysis (the paper's Section V, completed)");
+    t.columns(&[
+        "Detector / scheme",
+        "Sensitivity",
+        "Specificity",
+        "Precision",
+        "F1",
+        "MCC",
+    ]);
+    let l = &report.labelled;
+    for (name, m) in [
+        ("sentinel (Distil-like)", &l.sentinel),
+        ("arcane (in-house-like)", &l.arcane),
+        ("1-out-of-2 (either alerts)", &l.one_out_of_two),
+        ("2-out-of-2 (both alert)", &l.two_out_of_two),
+    ] {
+        t.row_owned(vec![
+            name.into(),
+            percent(m.sensitivity()),
+            percent(m.specificity()),
+            percent(m.precision()),
+            format!("{:.4}", m.f1()),
+            format!("{:.4}", m.mcc()),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nDouble-fault rate (both tools wrong): {}\nAgreement diversity: Q={:.4} phi={:.4} disagreement={} kappa={:.4}\n",
+        percent(l.oracle.double_fault()),
+        report.agreement.yule_q,
+        report.agreement.phi,
+        percent(report.agreement.disagreement),
+        report.agreement.kappa,
+    ));
+    out
+}
+
+/// Per-actor detection rates — the root-cause view of the exclusive alerts.
+pub fn per_actor(report: &StudyReport) -> String {
+    let mut t = TextTable::new("Detection rate by actor population");
+    t.columns(&["Actor", "Requests", "Sentinel", "Arcane"]);
+    for (actor, d) in &report.per_actor {
+        t.row_owned(vec![
+            actor.name().into(),
+            thousands(d.requests),
+            percent(d.sentinel_rate),
+            percent(d.arcane_rate),
+        ]);
+    }
+    t.render()
+}
+
+/// All tables, concatenated — the full paper-style report.
+pub fn full_report(report: &StudyReport) -> String {
+    format!(
+        "{}\n{}\n{}\n{}\n{}\n{}",
+        table1(report),
+        table2(report),
+        table3(report),
+        table4(report),
+        labelled_metrics(report),
+        per_actor(report),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{DiversityStudy, StudyConfig};
+    use divscrape_traffic::ScenarioConfig;
+
+    fn report() -> StudyReport {
+        DiversityStudy::new(StudyConfig::new(ScenarioConfig::small(2018)))
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn tables_render_paper_and_measured_columns() {
+        let r = report();
+        let t1 = table1(&r);
+        assert!(t1.contains("1,469,744"), "paper total missing:\n{t1}");
+        assert!(t1.contains("12,000"), "measured total missing:\n{t1}");
+        let t2 = table2(&r);
+        assert!(t2.contains("Both tools"));
+        assert!(t2.contains("1,231,408"));
+        let t3 = table3(&r);
+        assert!(t3.contains("200 (OK)"));
+        assert!(t3.contains("302 (Found)"));
+        let t4 = table4(&r);
+        assert!(t4.contains("Arcane only"));
+    }
+
+    #[test]
+    fn labelled_section_reports_all_schemes() {
+        let r = report();
+        let text = labelled_metrics(&r);
+        for needle in ["sentinel", "arcane", "1-out-of-2", "2-out-of-2", "Double-fault"] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn per_actor_lists_every_population() {
+        let r = report();
+        let text = per_actor(&r);
+        for actor in ["human", "price-scraper-bot", "stealth-scraper", "scanner"] {
+            assert!(text.contains(actor), "missing {actor}");
+        }
+    }
+
+    #[test]
+    fn full_report_contains_all_sections() {
+        let text = full_report(&report());
+        for needle in ["Table 1", "Table 2", "Table 3a", "Table 4b", "Labelled", "Detection rate"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Arcane configuration: rule weights, thresholds and ablation toggles.
+
+/// Weights and thresholds of Arcane's scoring rules.
+///
+/// Each rule contributes its weight to the session's suspicion score when
+/// its condition holds; Arcane alerts on a request when the score reaches
+/// [`alert_threshold`](Self::alert_threshold). Setting a weight to `0`
+/// disables the rule (ablation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcaneConfig {
+    /// Score needed to alert.
+    pub alert_threshold: u32,
+    /// Weight: user agent is an HTTP tool or empty.
+    pub w_tool_agent: u32,
+    /// Weight: request method outside GET/HEAD/POST.
+    pub w_nonbrowsing_method: u32,
+    /// Weight: any vulnerability-probe path in the session.
+    pub w_probe_path: u32,
+    /// Weight: ≥ `starvation_min_pages` page views with zero asset fetches.
+    pub w_asset_starvation: u32,
+    /// Weight: beacon anomaly (`204` responses concentrated well above
+    /// anything page navigation produces).
+    pub w_beacon_anomaly: u32,
+    /// Weight: ≥ `burst_threshold` requests within one minute.
+    pub w_burst: u32,
+    /// Weight: sustained machine pacing (mean gap below
+    /// `sustained_gap_secs` over ≥ `sustained_min_requests` requests).
+    pub w_sustained_rate: u32,
+    /// Weight: session error ratio ≥ `error_ratio_threshold`.
+    pub w_error_ratio: u32,
+    /// Weight: ≥ `bad_request_min` malformed (`400`) requests.
+    pub w_bad_requests: u32,
+    /// Weight: ≥ `repetition_min_offers` offer-page hits in one session.
+    pub w_repetition: u32,
+    /// Weight: `robots.txt` fetched by a client not claiming to be a
+    /// crawler.
+    pub w_robots_fetch: u32,
+    /// Weight: persistent absence of referrers on a sizeable session.
+    pub w_no_referrer: u32,
+    /// Whether the known-operator whitelist is applied.
+    pub enable_whitelist: bool,
+
+    /// Pages with zero assets needed for the starvation rule.
+    pub starvation_min_pages: u32,
+    /// Requests needed before the beacon rule can fire.
+    pub beacon_min_requests: u32,
+    /// `204` count needed for the beacon rule.
+    pub beacon_min_count: u32,
+    /// `204` ratio needed for the beacon rule.
+    pub beacon_min_ratio: f64,
+    /// One-minute burst size for the burst rule.
+    pub burst_threshold: u32,
+    /// Requests needed before the sustained-rate rule can fire.
+    pub sustained_min_requests: u32,
+    /// Mean inter-request gap (seconds) below which pacing is machine-like.
+    pub sustained_gap_secs: f64,
+    /// Requests needed before the error-ratio rule can fire.
+    pub error_min_requests: u32,
+    /// Error ratio for the error rule.
+    pub error_ratio_threshold: f64,
+    /// Malformed-request count for the bad-request rule.
+    pub bad_request_min: u32,
+    /// Offer hits for the repetition rule.
+    pub repetition_min_offers: u32,
+    /// Requests needed before the no-referrer rule can fire.
+    pub referrer_min_requests: u32,
+    /// Referrer ratio below which the no-referrer rule fires.
+    pub referrer_max_ratio: f64,
+}
+
+impl Default for ArcaneConfig {
+    fn default() -> Self {
+        Self {
+            alert_threshold: 3,
+            w_tool_agent: 3,
+            w_nonbrowsing_method: 3,
+            w_probe_path: 3,
+            w_asset_starvation: 3,
+            w_beacon_anomaly: 3,
+            w_burst: 2,
+            w_sustained_rate: 2,
+            w_error_ratio: 2,
+            w_bad_requests: 2,
+            w_repetition: 1,
+            w_robots_fetch: 1,
+            w_no_referrer: 1,
+            enable_whitelist: true,
+            starvation_min_pages: 12,
+            beacon_min_requests: 20,
+            beacon_min_count: 3,
+            beacon_min_ratio: 0.05,
+            burst_threshold: 25,
+            sustained_min_requests: 30,
+            sustained_gap_secs: 2.5,
+            error_min_requests: 10,
+            error_ratio_threshold: 0.08,
+            bad_request_min: 3,
+            repetition_min_offers: 100,
+            referrer_min_requests: 15,
+            referrer_max_ratio: 0.1,
+        }
+    }
+}
+
+impl ArcaneConfig {
+    /// The ablatable rule names accepted by [`without`](Self::without).
+    pub const RULES: [&'static str; 12] = [
+        "tool_agent",
+        "nonbrowsing_method",
+        "probe_path",
+        "asset_starvation",
+        "beacon_anomaly",
+        "burst",
+        "sustained_rate",
+        "error_ratio",
+        "bad_requests",
+        "repetition",
+        "robots_fetch",
+        "no_referrer",
+    ];
+
+    /// Returns a copy with one named rule's weight zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown rule name.
+    #[must_use]
+    pub fn without(&self, rule: &str) -> Self {
+        let mut cfg = self.clone();
+        match rule {
+            "tool_agent" => cfg.w_tool_agent = 0,
+            "nonbrowsing_method" => cfg.w_nonbrowsing_method = 0,
+            "probe_path" => cfg.w_probe_path = 0,
+            "asset_starvation" => cfg.w_asset_starvation = 0,
+            "beacon_anomaly" => cfg.w_beacon_anomaly = 0,
+            "burst" => cfg.w_burst = 0,
+            "sustained_rate" => cfg.w_sustained_rate = 0,
+            "error_ratio" => cfg.w_error_ratio = 0,
+            "bad_requests" => cfg.w_bad_requests = 0,
+            "repetition" => cfg.w_repetition = 0,
+            "robots_fetch" => cfg.w_robots_fetch = 0,
+            "no_referrer" => cfg.w_no_referrer = 0,
+            other => panic!("unknown Arcane rule `{other}`"),
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threshold_is_reachable_by_single_strong_rules() {
+        let cfg = ArcaneConfig::default();
+        assert!(cfg.w_tool_agent >= cfg.alert_threshold);
+        assert!(cfg.w_probe_path >= cfg.alert_threshold);
+        assert!(cfg.w_asset_starvation >= cfg.alert_threshold);
+        assert!(cfg.w_beacon_anomaly >= cfg.alert_threshold);
+        // ...but weak rules need corroboration.
+        assert!(cfg.w_burst < cfg.alert_threshold);
+        assert!(cfg.w_repetition < cfg.alert_threshold);
+    }
+
+    #[test]
+    fn without_zeroes_exactly_one_rule() {
+        let base = ArcaneConfig::default();
+        for rule in ArcaneConfig::RULES {
+            let cfg = base.without(rule);
+            let weights = |c: &ArcaneConfig| {
+                [
+                    c.w_tool_agent,
+                    c.w_nonbrowsing_method,
+                    c.w_probe_path,
+                    c.w_asset_starvation,
+                    c.w_beacon_anomaly,
+                    c.w_burst,
+                    c.w_sustained_rate,
+                    c.w_error_ratio,
+                    c.w_bad_requests,
+                    c.w_repetition,
+                    c.w_robots_fetch,
+                    c.w_no_referrer,
+                ]
+            };
+            let changed = weights(&base)
+                .iter()
+                .zip(weights(&cfg))
+                .filter(|(a, b)| **a != *b)
+                .count();
+            assert_eq!(changed, 1, "{rule}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn without_rejects_unknown_rules() {
+        let _ = ArcaneConfig::default().without("clairvoyance");
+    }
+}

@@ -1,0 +1,245 @@
+//! A CART decision tree (Gini impurity), the data-mining baseline of
+//! Stevanovic et al. [1].
+
+use super::{SessionModel, TrainingSet, FEATURE_DIM};
+
+/// Tree-growing hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CartParams {
+    /// Maximum tree depth.
+    pub max_depth: u32,
+    /// Minimum examples a node needs before it may split.
+    pub min_split: usize,
+    /// Candidate thresholds tried per feature (quantiles).
+    pub candidates_per_feature: usize,
+}
+
+impl Default for CartParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            min_split: 24,
+            candidates_per_feature: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        p_malicious: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained CART classifier.
+#[derive(Debug, Clone)]
+pub struct Cart {
+    root: Node,
+    nodes: usize,
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+impl Cart {
+    /// Grows the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the training set is empty.
+    pub fn train(data: &TrainingSet, params: CartParams) -> Result<Self, String> {
+        if data.is_empty() {
+            return Err("cannot grow a tree from no examples".into());
+        }
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut nodes = 0usize;
+        let root = Self::grow(data, &indices, params, 0, &mut nodes);
+        Ok(Self { root, nodes })
+    }
+
+    fn grow(
+        data: &TrainingSet,
+        idx: &[usize],
+        params: CartParams,
+        depth: u32,
+        nodes: &mut usize,
+    ) -> Node {
+        *nodes += 1;
+        let pos = idx.iter().filter(|&&i| data.labels()[i]).count();
+        let total = idx.len();
+        let p = pos as f64 / total.max(1) as f64;
+
+        if depth >= params.max_depth || total < params.min_split || pos == 0 || pos == total {
+            return Node::Leaf { p_malicious: p };
+        }
+
+        let parent_gini = gini(pos, total);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+
+        for feature in 0..FEATURE_DIM {
+            let mut values: Vec<f64> = idx.iter().map(|&i| data.features()[i][feature]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("features are finite"));
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            let step = (values.len() / params.candidates_per_feature).max(1);
+            for w in values.windows(2).step_by(step) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let (mut lp, mut lt) = (0usize, 0usize);
+                for &i in idx {
+                    if data.features()[i][feature] <= threshold {
+                        lt += 1;
+                        lp += usize::from(data.labels()[i]);
+                    }
+                }
+                let (rt, rp) = (total - lt, pos - lp);
+                if lt == 0 || rt == 0 {
+                    continue;
+                }
+                let weighted = (lt as f64 * gini(lp, lt) + rt as f64 * gini(rp, rt)) / total as f64;
+                let gain = parent_gini - weighted;
+                if best.map_or(true, |(_, _, g)| gain > g) {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, threshold, gain)) if gain > 1e-6 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                    .iter()
+                    .partition(|&&i| data.features()[i][feature] <= threshold);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(Self::grow(data, &left_idx, params, depth + 1, nodes)),
+                    right: Box::new(Self::grow(data, &right_idx, params, depth + 1, nodes)),
+                }
+            }
+            _ => Node::Leaf { p_malicious: p },
+        }
+    }
+
+    /// Number of nodes in the grown tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// The leaf probability for one feature vector.
+    pub fn predict(&self, x: &[f64; FEATURE_DIM]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { p_malicious } => return *p_malicious,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+impl SessionModel for Cart {
+    fn model_name(&self) -> &'static str {
+        "cart"
+    }
+
+    fn score(&self, x: &[f64; FEATURE_DIM]) -> f64 {
+        self.predict(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::SessionModelDetector;
+    use crate::detector::run_alerts;
+    use divscrape_traffic::{generate, ScenarioConfig};
+
+    #[test]
+    fn grows_a_nontrivial_tree() {
+        let log = generate(&ScenarioConfig::small(41)).unwrap();
+        let set = TrainingSet::from_log(&log, 5);
+        let tree = Cart::train(&set, CartParams::default()).unwrap();
+        assert!(tree.node_count() > 3, "tree has {} nodes", tree.node_count());
+    }
+
+    #[test]
+    fn rejects_empty_training() {
+        let empty = TrainingSet::from_parts(Vec::new(), Vec::new());
+        assert!(Cart::train(&empty, CartParams::default()).is_err());
+    }
+
+    #[test]
+    fn pure_sets_yield_single_leaves() {
+        let xs = vec![[0.5; FEATURE_DIM]; 50];
+        let set = TrainingSet::from_parts(xs, vec![true; 50]);
+        let tree = Cart::train(&set, CartParams::default()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[0.5; FEATURE_DIM]), 1.0);
+    }
+
+    #[test]
+    fn learns_a_planted_threshold() {
+        // Plant a rule: feature 2 (error_ratio) > 0.3 ⇒ malicious.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..400 {
+            let mut x = [0.1; FEATURE_DIM];
+            let v = (i % 100) as f64 / 100.0;
+            x[2] = v;
+            xs.push(x);
+            ys.push(v > 0.3);
+        }
+        let set = TrainingSet::from_parts(xs, ys);
+        let tree = Cart::train(&set, CartParams::default()).unwrap();
+        let mut low = [0.1; FEATURE_DIM];
+        low[2] = 0.05;
+        let mut high = [0.1; FEATURE_DIM];
+        high[2] = 0.9;
+        assert!(tree.predict(&low) < 0.2, "low {}", tree.predict(&low));
+        assert!(tree.predict(&high) > 0.8, "high {}", tree.predict(&high));
+    }
+
+    #[test]
+    fn separates_held_out_traffic() {
+        let train_log = generate(&ScenarioConfig::small(42)).unwrap();
+        let set = TrainingSet::from_log(&train_log, 3);
+        let tree = Cart::train(&set, CartParams::default()).unwrap();
+
+        let test_log = generate(&ScenarioConfig::small(88)).unwrap();
+        let mut det = SessionModelDetector::new(tree, 0.5, 3);
+        let alerts = run_alerts(&mut det, test_log.entries());
+        let (mut tp, mut fp, mut pos, mut neg) = (0u64, 0u64, 0u64, 0u64);
+        for ((_, truth), alert) in test_log.iter().zip(&alerts) {
+            if truth.is_malicious() {
+                pos += 1;
+                tp += u64::from(*alert);
+            } else {
+                neg += 1;
+                fp += u64::from(*alert);
+            }
+        }
+        let tpr = tp as f64 / pos as f64;
+        let fpr = fp as f64 / neg as f64;
+        assert!(tpr > 0.75, "TPR {tpr}");
+        assert!(fpr < 0.30, "FPR {fpr}");
+    }
+}

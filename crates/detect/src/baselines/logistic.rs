@@ -1,0 +1,172 @@
+//! Logistic regression trained by stochastic gradient descent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::{SessionModel, TrainingSet, FEATURE_DIM};
+
+/// A trained logistic-regression classifier over session features.
+#[derive(Debug, Clone)]
+pub struct Logistic {
+    weights: [f64; FEATURE_DIM],
+    bias: f64,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticParams {
+    /// Full passes over the data.
+    pub epochs: u32,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LogisticParams {
+    fn default() -> Self {
+        Self {
+            epochs: 6,
+            learning_rate: 0.15,
+            l2: 1e-5,
+            seed: 17,
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z.clamp(-50.0, 50.0)).exp())
+}
+
+impl Logistic {
+    /// Fits the classifier by SGD.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the training set is empty or single-class.
+    pub fn train(data: &TrainingSet, params: LogisticParams) -> Result<Self, String> {
+        let n_pos = data.positives();
+        if data.is_empty() || n_pos == 0 || n_pos == data.len() {
+            return Err(format!(
+                "need both classes to train: {n_pos} of {} positive",
+                data.len()
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut w = [0.0f64; FEATURE_DIM];
+        let mut b = 0.0f64;
+        let n = data.len();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        for epoch in 0..params.epochs {
+            // Fisher–Yates shuffle per epoch.
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let lr = params.learning_rate / (1.0 + epoch as f64 * 0.5);
+            for &i in &order {
+                let x = &data.features()[i];
+                let y = f64::from(u8::from(data.labels()[i]));
+                let z = b + w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>();
+                let err = sigmoid(z) - y;
+                for j in 0..FEATURE_DIM {
+                    w[j] -= lr * (err * x[j] + params.l2 * w[j]);
+                }
+                b -= lr * err;
+            }
+        }
+        Ok(Self { weights: w, bias: b })
+    }
+
+    /// The learned weights (for interpretability reports).
+    pub fn weights(&self) -> &[f64; FEATURE_DIM] {
+        &self.weights
+    }
+
+    /// The learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+impl SessionModel for Logistic {
+    fn model_name(&self) -> &'static str {
+        "logistic"
+    }
+
+    fn score(&self, x: &[f64; FEATURE_DIM]) -> f64 {
+        let z = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(wi, xi)| wi * xi)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::SessionModelDetector;
+    use crate::detector::run_alerts;
+    use divscrape_traffic::{generate, ScenarioConfig};
+
+    #[test]
+    fn training_is_deterministic() {
+        let log = generate(&ScenarioConfig::small(31)).unwrap();
+        let set = TrainingSet::from_log(&log, 5);
+        let a = Logistic::train(&set, LogisticParams::default()).unwrap();
+        let b = Logistic::train(&set, LogisticParams::default()).unwrap();
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.bias(), b.bias());
+    }
+
+    #[test]
+    fn rejects_degenerate_training_sets() {
+        let log = generate(&ScenarioConfig::tiny(1)).unwrap();
+        let set = TrainingSet::from_log(&log, 1);
+        let one_class =
+            TrainingSet::from_parts(set.features().to_vec(), vec![true; set.len()]);
+        assert!(Logistic::train(&one_class, LogisticParams::default()).is_err());
+    }
+
+    #[test]
+    fn separates_held_out_traffic() {
+        let train_log = generate(&ScenarioConfig::small(32)).unwrap();
+        let set = TrainingSet::from_log(&train_log, 3);
+        let model = Logistic::train(&set, LogisticParams::default()).unwrap();
+
+        let test_log = generate(&ScenarioConfig::small(77)).unwrap();
+        let mut det = SessionModelDetector::new(model, 0.5, 3);
+        let alerts = run_alerts(&mut det, test_log.entries());
+        let (mut tp, mut fp, mut pos, mut neg) = (0u64, 0u64, 0u64, 0u64);
+        for ((_, truth), alert) in test_log.iter().zip(&alerts) {
+            if truth.is_malicious() {
+                pos += 1;
+                tp += u64::from(*alert);
+            } else {
+                neg += 1;
+                fp += u64::from(*alert);
+            }
+        }
+        let tpr = tp as f64 / pos as f64;
+        let fpr = fp as f64 / neg as f64;
+        assert!(tpr > 0.75, "TPR {tpr}");
+        assert!(fpr < 0.30, "FPR {fpr}");
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        let log = generate(&ScenarioConfig::tiny(5)).unwrap();
+        let set = TrainingSet::from_log(&log, 1);
+        let model = Logistic::train(&set, LogisticParams::default()).unwrap();
+        for x in set.features() {
+            let s = model.score(x);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

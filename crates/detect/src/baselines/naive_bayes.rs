@@ -1,0 +1,178 @@
+//! Gaussian naive Bayes over session features.
+//!
+//! The probabilistic-reasoning approach of Stassopoulou & Dikaiakos [2],
+//! reduced to its workhorse core: per-class Gaussian likelihoods over each
+//! feature with a class prior, combined under the independence assumption.
+
+use super::{SessionModel, TrainingSet, FEATURE_DIM};
+
+/// A trained Gaussian naive Bayes classifier.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    prior_log_odds: f64,
+    mean: [[f64; FEATURE_DIM]; 2],
+    var: [[f64; FEATURE_DIM]; 2],
+}
+
+/// Variance floor preventing degenerate spikes on near-constant features.
+const VAR_FLOOR: f64 = 1e-4;
+
+impl NaiveBayes {
+    /// Fits the classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either class is absent from the training set —
+    /// a one-class "classifier" would be a constant.
+    pub fn train(data: &TrainingSet) -> Result<Self, String> {
+        let n_pos = data.positives();
+        let n_neg = data.len() - n_pos;
+        if n_pos == 0 || n_neg == 0 {
+            return Err(format!(
+                "need both classes to train: {n_pos} positive, {n_neg} negative"
+            ));
+        }
+
+        let mut mean = [[0.0; FEATURE_DIM]; 2];
+        let mut var = [[0.0; FEATURE_DIM]; 2];
+        let counts = [n_neg as f64, n_pos as f64];
+
+        for (x, &y) in data.features().iter().zip(data.labels()) {
+            let c = usize::from(y);
+            for (j, v) in x.iter().enumerate() {
+                mean[c][j] += v;
+            }
+        }
+        for c in 0..2 {
+            for j in 0..FEATURE_DIM {
+                mean[c][j] /= counts[c];
+            }
+        }
+        for (x, &y) in data.features().iter().zip(data.labels()) {
+            let c = usize::from(y);
+            for (j, v) in x.iter().enumerate() {
+                let d = v - mean[c][j];
+                var[c][j] += d * d;
+            }
+        }
+        for c in 0..2 {
+            for j in 0..FEATURE_DIM {
+                var[c][j] = (var[c][j] / counts[c]).max(VAR_FLOOR);
+            }
+        }
+
+        Ok(Self {
+            prior_log_odds: (n_pos as f64 / n_neg as f64).ln(),
+            mean,
+            var,
+        })
+    }
+
+    /// Log-odds of the positive (malicious) class for one feature vector.
+    pub fn log_odds(&self, x: &[f64; FEATURE_DIM]) -> f64 {
+        let mut odds = self.prior_log_odds;
+        for j in 0..FEATURE_DIM {
+            let ll = |c: usize| {
+                let d = x[j] - self.mean[c][j];
+                -0.5 * (self.var[c][j].ln() + d * d / self.var[c][j])
+            };
+            odds += ll(1) - ll(0);
+        }
+        odds
+    }
+}
+
+impl SessionModel for NaiveBayes {
+    fn model_name(&self) -> &'static str {
+        "naive-bayes"
+    }
+
+    fn score(&self, x: &[f64; FEATURE_DIM]) -> f64 {
+        // Logistic squash of the log-odds.
+        let odds = self.log_odds(x).clamp(-50.0, 50.0);
+        1.0 / (1.0 + (-odds).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::SessionModelDetector;
+    use crate::detector::run_alerts;
+    use divscrape_traffic::{generate, ScenarioConfig};
+
+    fn trained(seed: u64) -> NaiveBayes {
+        let log = generate(&ScenarioConfig::small(seed)).unwrap();
+        NaiveBayes::train(&TrainingSet::from_log(&log, 3)).unwrap()
+    }
+
+    #[test]
+    fn training_requires_both_classes() {
+        let log = generate(&ScenarioConfig::tiny(1)).unwrap();
+        let set = TrainingSet::from_log(&log, 1);
+        assert!(NaiveBayes::train(&set).is_ok());
+        let one_class = TrainingSet::from_parts(
+            set.features().to_vec(),
+            vec![false; set.len()],
+        );
+        assert!(NaiveBayes::train(&one_class).is_err());
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let model = trained(21);
+        let log = generate(&ScenarioConfig::tiny(22)).unwrap();
+        let set = TrainingSet::from_log(&log, 1);
+        for x in set.features() {
+            let s = model.score(x);
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn generalizes_to_an_unseen_seed() {
+        let model = trained(21);
+        let log = generate(&ScenarioConfig::small(99)).unwrap();
+        let mut det = SessionModelDetector::new(model, 0.5, 3);
+        let alerts = run_alerts(&mut det, log.entries());
+
+        let mut tp = 0u64;
+        let mut fp = 0u64;
+        let mut pos = 0u64;
+        let mut neg = 0u64;
+        for ((_, truth), alert) in log.iter().zip(&alerts) {
+            if truth.is_malicious() {
+                pos += 1;
+                tp += u64::from(*alert);
+            } else {
+                neg += 1;
+                fp += u64::from(*alert);
+            }
+        }
+        let tpr = tp as f64 / pos as f64;
+        let fpr = fp as f64 / neg as f64;
+        assert!(tpr > 0.7, "TPR {tpr}");
+        assert!(fpr < 0.35, "FPR {fpr}");
+        assert!(tpr > fpr * 2.0, "no real separation: TPR {tpr} FPR {fpr}");
+    }
+
+    #[test]
+    fn log_odds_orders_obvious_cases() {
+        let model = trained(21);
+        // A bot-like snapshot: many requests, machine pacing, no assets,
+        // no referrers, offer-heavy.
+        let bot = [
+            0.9, 0.002, 0.0, 0.0, 0.0, 0.0, 0.0, 0.4, 0.5, 0.0, 0.0, 0.0, 0.8, 0.0,
+        ];
+        // A human-like snapshot: few requests, slow, asset-rich, referrers.
+        let human = [
+            0.3, 0.05, 0.0, 0.0, 0.5, 0.2, 0.9, 0.9, 0.1, 0.0, 0.05, 0.0, 0.2, 0.0,
+        ];
+        assert!(
+            model.log_odds(&bot) > model.log_odds(&human),
+            "bot {} vs human {}",
+            model.log_odds(&bot),
+            model.log_odds(&human)
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! The naive rate-threshold baseline.
+
+use std::collections::{HashMap, VecDeque};
+
+use divscrape_httplog::LogEntry;
+
+use crate::session::ClientKey;
+use crate::{Detector, Verdict};
+
+/// Alerts whenever a client exceeds a fixed request rate.
+///
+/// This is the baseline every operations team deploys first — and the one
+/// sophisticated scrapers calibrate against, which is why the stealth
+/// population sails under it.
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    threshold_per_min: u32,
+    windows: HashMap<ClientKey, VecDeque<i64>>,
+}
+
+impl RateLimiter {
+    /// A limiter alerting at `threshold_per_min` requests per minute from
+    /// one client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_per_min == 0`.
+    pub fn new(threshold_per_min: u32) -> Self {
+        assert!(threshold_per_min > 0, "threshold must be positive");
+        Self {
+            threshold_per_min,
+            windows: HashMap::new(),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold_per_min
+    }
+}
+
+impl Default for RateLimiter {
+    /// 60 requests/minute — a common production default.
+    fn default() -> Self {
+        Self::new(60)
+    }
+}
+
+impl Detector for RateLimiter {
+    fn name(&self) -> &str {
+        "rate-limiter"
+    }
+
+    fn observe(&mut self, entry: &LogEntry) -> Verdict {
+        let ts = entry.timestamp().epoch_seconds();
+        let window = self.windows.entry(entry.client_key()).or_default();
+        while let Some(&front) = window.front() {
+            if ts - front >= 60 {
+                window.pop_front();
+            } else {
+                break;
+            }
+        }
+        window.push_back(ts);
+        let count = window.len() as u32;
+        Verdict::new(
+            count >= self.threshold_per_min,
+            count as f32 / self.threshold_per_min as f32,
+        )
+    }
+
+    fn reset(&mut self) {
+        self.windows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_httplog::{ClfTimestamp, HttpStatus};
+    use std::net::Ipv4Addr;
+
+    fn entry(secs: i64) -> LogEntry {
+        LogEntry::builder()
+            .addr(Ipv4Addr::new(10, 0, 0, 1))
+            .timestamp(ClfTimestamp::PAPER_WINDOW_START.plus_seconds(secs))
+            .request("GET /x HTTP/1.1".parse().unwrap())
+            .status(HttpStatus::OK)
+            .user_agent("u")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trips_exactly_at_the_threshold() {
+        let mut rl = RateLimiter::new(10);
+        for i in 0..9 {
+            assert!(!rl.observe(&entry(i)).alert, "request {i}");
+        }
+        assert!(rl.observe(&entry(9)).alert);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut rl = RateLimiter::new(10);
+        for i in 0..9 {
+            rl.observe(&entry(i));
+        }
+        // 61 seconds later the window has drained; no alert.
+        assert!(!rl.observe(&entry(70)).alert);
+    }
+
+    #[test]
+    fn score_is_proportional_to_rate() {
+        let mut rl = RateLimiter::new(10);
+        let v = rl.observe(&entry(0));
+        assert!((v.score - 0.1).abs() < 1e-6);
+        for i in 1..5 {
+            rl.observe(&entry(i));
+        }
+        let v = rl.observe(&entry(5));
+        assert!((v.score - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threshold_is_rejected() {
+        let _ = RateLimiter::new(0);
+    }
+}

@@ -1,0 +1,207 @@
+//! A streaming committee of detectors.
+//!
+//! [`Committee`] wraps N heterogeneous detectors behind the single
+//! [`Detector`] interface and adjudicates **online**: every request gets
+//! each member's verdict and the committee alerts when at least `k` members
+//! do. This is the deployable form of the paper's adjudication schemes —
+//! unlike the offline [`KOutOfN`](divscrape_ensemble::KOutOfN) analysis, a
+//! committee can sit in a real pipeline and also exposes each member's
+//! contribution for the exclusive-alert investigation.
+
+use divscrape_httplog::LogEntry;
+
+use crate::{Detector, Verdict};
+
+/// A k-out-of-n committee over boxed detectors.
+///
+/// ```
+/// use divscrape_detect::{Arcane, Committee, Detector, Sentinel};
+/// use divscrape_traffic::{generate, ScenarioConfig};
+///
+/// let log = generate(&ScenarioConfig::tiny(1))?;
+/// let mut committee = Committee::new(
+///     vec![Box::new(Sentinel::stock()), Box::new(Arcane::stock())],
+///     2, // unanimity
+/// ).unwrap();
+/// let verdict = committee.observe(&log.entries()[0]);
+/// assert!(verdict.score >= 0.0);
+/// # Ok::<(), String>(())
+/// ```
+pub struct Committee {
+    members: Vec<Box<dyn Detector + Send>>,
+    k: usize,
+    member_alerts: Vec<u64>,
+    requests_seen: u64,
+}
+
+impl std::fmt::Debug for Committee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Committee")
+            .field("members", &self.member_names())
+            .field("k", &self.k)
+            .field("requests_seen", &self.requests_seen)
+            .finish()
+    }
+}
+
+impl Committee {
+    /// Creates a committee requiring `k` of the members to alert.
+    ///
+    /// Returns `None` when `members` is empty or `k` is not in
+    /// `1..=members.len()`.
+    pub fn new(members: Vec<Box<dyn Detector + Send>>, k: usize) -> Option<Self> {
+        if members.is_empty() || k == 0 || k > members.len() {
+            return None;
+        }
+        let n = members.len();
+        Some(Self {
+            members,
+            k,
+            member_alerts: vec![0; n],
+            requests_seen: 0,
+        })
+    }
+
+    /// The paper's two-tool pair as a committee: Sentinel + Arcane with the
+    /// given vote requirement (1 = either, 2 = both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not 1 or 2.
+    pub fn stock_pair(k: usize) -> Self {
+        Self::new(
+            vec![
+                Box::new(crate::Sentinel::stock()),
+                Box::new(crate::Arcane::stock()),
+            ],
+            k,
+        )
+        .expect("k must be 1 or 2 for the stock pair")
+    }
+
+    /// Number of members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Required votes.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The member names, in vote order.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Per-member alert counts since construction or reset, aligned with
+    /// [`member_names`](Self::member_names).
+    pub fn member_alert_counts(&self) -> &[u64] {
+        &self.member_alerts
+    }
+
+    /// Requests observed so far.
+    pub fn requests_seen(&self) -> u64 {
+        self.requests_seen
+    }
+}
+
+impl Detector for Committee {
+    fn name(&self) -> &str {
+        "committee"
+    }
+
+    fn observe(&mut self, entry: &LogEntry) -> Verdict {
+        self.requests_seen += 1;
+        let mut votes = 0usize;
+        let mut score_sum = 0.0f32;
+        for (i, member) in self.members.iter_mut().enumerate() {
+            let v = member.observe(entry);
+            if v.alert {
+                votes += 1;
+                self.member_alerts[i] += 1;
+            }
+            score_sum += f32::from(u8::from(v.alert));
+        }
+        // Score: fraction of members alerting — a natural committee score
+        // for ROC sweeps over k.
+        Verdict::new(votes >= self.k, score_sum / self.members.len() as f32)
+    }
+
+    fn reset(&mut self) {
+        for m in &mut self.members {
+            m.reset();
+        }
+        self.member_alerts.iter_mut().for_each(|c| *c = 0);
+        self.requests_seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::run_alerts;
+    use crate::{Arcane, Sentinel};
+    use divscrape_traffic::{generate, ScenarioConfig};
+
+    #[test]
+    fn construction_validates_k() {
+        assert!(Committee::new(vec![], 1).is_none());
+        assert!(Committee::new(vec![Box::new(Sentinel::stock())], 0).is_none());
+        assert!(Committee::new(vec![Box::new(Sentinel::stock())], 2).is_none());
+        assert!(Committee::new(vec![Box::new(Sentinel::stock())], 1).is_some());
+    }
+
+    #[test]
+    fn online_committee_matches_offline_adjudication() {
+        let log = generate(&ScenarioConfig::small(71)).unwrap();
+        let sentinel = run_alerts(&mut Sentinel::stock(), log.entries());
+        let arcane = run_alerts(&mut Arcane::stock(), log.entries());
+
+        for k in 1..=2usize {
+            let mut committee = Committee::stock_pair(k);
+            let online = run_alerts(&mut committee, log.entries());
+            let offline: Vec<bool> = sentinel
+                .iter()
+                .zip(&arcane)
+                .map(|(s, a)| (usize::from(*s) + usize::from(*a)) >= k)
+                .collect();
+            assert_eq!(online, offline, "k={k} diverged");
+        }
+    }
+
+    #[test]
+    fn member_accounting_matches_individual_runs() {
+        let log = generate(&ScenarioConfig::tiny(72)).unwrap();
+        let mut committee = Committee::stock_pair(1);
+        let _ = run_alerts(&mut committee, log.entries());
+        assert_eq!(committee.requests_seen(), log.len() as u64);
+        let sentinel_alone = run_alerts(&mut Sentinel::stock(), log.entries())
+            .iter()
+            .filter(|a| **a)
+            .count() as u64;
+        assert_eq!(committee.member_alert_counts()[0], sentinel_alone);
+        assert_eq!(committee.member_names(), vec!["sentinel", "arcane"]);
+    }
+
+    #[test]
+    fn reset_propagates_to_members() {
+        let log = generate(&ScenarioConfig::tiny(73)).unwrap();
+        let mut committee = Committee::stock_pair(2);
+        let first = run_alerts(&mut committee, log.entries());
+        committee.reset();
+        assert_eq!(committee.requests_seen(), 0);
+        let second = run_alerts(&mut committee, log.entries());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn committee_score_is_the_vote_fraction() {
+        let log = generate(&ScenarioConfig::tiny(74)).unwrap();
+        let mut committee = Committee::stock_pair(1);
+        for e in log.entries().iter().take(200) {
+            let v = committee.observe(e);
+            assert!([0.0, 0.5, 1.0].contains(&v.score), "score {}", v.score);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The detector abstraction.
+//!
+//! Both tools in the paper — and every baseline here — consume the same
+//! stream of access-log records and decide, per HTTP request, whether to
+//! alert. That per-request decision is exactly what the paper counts in its
+//! tables, so the trait is deliberately minimal: observe one entry, return a
+//! [`Verdict`].
+
+use divscrape_httplog::LogEntry;
+
+/// A per-request decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Whether the tool alerts on this request.
+    pub alert: bool,
+    /// A monotone suspicion score (higher = more suspicious). The alert
+    /// decision is `score >= threshold` for threshold-style detectors, which
+    /// makes ROC sweeps possible; detectors without a natural score report
+    /// `1.0`/`0.0`.
+    pub score: f32,
+}
+
+impl Verdict {
+    /// A non-alerting verdict with zero score.
+    pub const CLEAR: Verdict = Verdict {
+        alert: false,
+        score: 0.0,
+    };
+
+    /// An alerting verdict with maximal confidence.
+    pub const ALERT: Verdict = Verdict {
+        alert: true,
+        score: 1.0,
+    };
+
+    /// A verdict that alerts iff `alert`, with the given score.
+    pub fn new(alert: bool, score: f32) -> Self {
+        Self { alert, score }
+    }
+}
+
+/// A streaming per-request scraping detector.
+///
+/// Detectors are stateful: they accumulate per-client and per-session
+/// evidence as entries arrive **in timestamp order**. Feeding entries out of
+/// order is not an error but degrades the detector exactly as it would a
+/// real tool.
+///
+/// # Implementing
+///
+/// ```
+/// use divscrape_detect::{Detector, Verdict};
+/// use divscrape_httplog::LogEntry;
+///
+/// /// Alerts on every request whose user agent is empty.
+/// #[derive(Debug, Clone, Default)]
+/// struct NoAgentDetector;
+///
+/// impl Detector for NoAgentDetector {
+///     fn name(&self) -> &str {
+///         "no-agent"
+///     }
+///     fn observe(&mut self, entry: &LogEntry) -> Verdict {
+///         Verdict::new(entry.user_agent().is_empty(), 0.0)
+///     }
+///     fn reset(&mut self) {}
+/// }
+/// ```
+pub trait Detector {
+    /// A short stable name used in reports (`"sentinel"`, `"arcane"`, ...).
+    fn name(&self) -> &str;
+
+    /// Consumes one log entry and returns the tool's verdict for it.
+    fn observe(&mut self, entry: &LogEntry) -> Verdict;
+
+    /// Clears all accumulated state, as if freshly constructed.
+    fn reset(&mut self);
+}
+
+impl<D: Detector + ?Sized> Detector for Box<D> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn observe(&mut self, entry: &LogEntry) -> Verdict {
+        (**self).observe(entry)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// Runs a detector over an entire log, returning one verdict per entry.
+pub fn run<D: Detector + ?Sized>(detector: &mut D, entries: &[LogEntry]) -> Vec<Verdict> {
+    entries.iter().map(|e| detector.observe(e)).collect()
+}
+
+/// Runs a detector and returns only the per-request alert flags.
+pub fn run_alerts<D: Detector + ?Sized>(detector: &mut D, entries: &[LogEntry]) -> Vec<bool> {
+    entries.iter().map(|e| detector.observe(e).alert).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_traffic::{generate, ScenarioConfig};
+
+    #[derive(Debug, Clone, Default)]
+    struct CountingDetector {
+        seen: u64,
+    }
+
+    impl Detector for CountingDetector {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn observe(&mut self, _entry: &LogEntry) -> Verdict {
+            self.seen += 1;
+            Verdict::new(self.seen % 2 == 0, self.seen as f32)
+        }
+        fn reset(&mut self) {
+            self.seen = 0;
+        }
+    }
+
+    #[test]
+    fn run_visits_every_entry_in_order() {
+        let log = generate(&ScenarioConfig::tiny(1)).unwrap();
+        let mut det = CountingDetector::default();
+        let verdicts = run(&mut det, log.entries());
+        assert_eq!(verdicts.len(), log.len());
+        assert_eq!(det.seen, log.len() as u64);
+        assert!(!verdicts[0].alert);
+        assert!(verdicts[1].alert);
+        assert_eq!(verdicts.last().unwrap().score, log.len() as f32);
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let log = generate(&ScenarioConfig::tiny(2)).unwrap();
+        let mut det = CountingDetector::default();
+        let first = run_alerts(&mut det, log.entries());
+        det.reset();
+        let second = run_alerts(&mut det, log.entries());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn boxed_detectors_delegate() {
+        let log = generate(&ScenarioConfig::tiny(3)).unwrap();
+        let mut boxed: Box<dyn Detector> = Box::new(CountingDetector::default());
+        assert_eq!(boxed.name(), "counting");
+        let verdicts = run(&mut boxed, log.entries());
+        assert_eq!(verdicts.len(), log.len());
+        boxed.reset();
+    }
+
+    #[test]
+    fn verdict_constants_are_sane() {
+        assert!(!Verdict::CLEAR.alert);
+        assert!(Verdict::ALERT.alert);
+        assert!(Verdict::ALERT.score > Verdict::CLEAR.score);
+    }
+}

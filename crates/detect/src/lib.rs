@@ -1,0 +1,61 @@
+//! Diverse web-scraping detectors for the `divscrape` reproduction.
+//!
+//! The paper runs two independently designed tools over the same access
+//! logs: Distil Networks (commercial) and Arcane (in-house). Both are
+//! closed; this crate implements functional equivalents plus the
+//! related-work baselines:
+//!
+//! * [`Sentinel`] — the commercial-style tool: user-agent signatures, an IP
+//!   reputation feed, a request-rate monitor, JavaScript-challenge
+//!   emulation, a known-violator cache, and a verified-operator whitelist.
+//! * [`Arcane`] — the in-house-style tool: sessionization plus weighted
+//!   behavioural heuristics (asset starvation, machine pacing, error and
+//!   beacon anomalies, probing, repetition).
+//! * [`baselines`] — a naive rate limiter, signature-only matching, and
+//!   hand-rolled ML baselines (Gaussian naive Bayes, logistic regression,
+//!   CART) over the Stevanovic-style session features.
+//!
+//! All detectors implement the streaming [`Detector`] trait: one
+//! [`Verdict`] per HTTP request, which is exactly the unit the paper's
+//! tables count. [`parallel::run_sharded`] runs any of them across worker
+//! threads with verdict-identical output.
+//!
+//! # Example
+//!
+//! ```
+//! use divscrape_detect::{run_alerts, Arcane, Sentinel};
+//! use divscrape_traffic::{generate, ScenarioConfig};
+//!
+//! let log = generate(&ScenarioConfig::tiny(2018))?;
+//! let sentinel_alerts = run_alerts(&mut Sentinel::stock(), log.entries());
+//! let arcane_alerts = run_alerts(&mut Arcane::stock(), log.entries());
+//!
+//! // The two tools agree on most requests but not all — the diversity the
+//! // paper measures.
+//! let disagreements = sentinel_alerts
+//!     .iter()
+//!     .zip(&arcane_alerts)
+//!     .filter(|(s, a)| s != a)
+//!     .count();
+//! assert!(disagreements < log.len() / 2);
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arcane;
+pub mod baselines;
+mod committee;
+mod detector;
+pub mod parallel;
+mod sentinel;
+mod session;
+mod trap;
+
+pub use arcane::{Arcane, ArcaneConfig};
+pub use committee::Committee;
+pub use trap::TrapDetector;
+pub use detector::{run, run_alerts, Detector, Verdict};
+pub use sentinel::{ReputationFeed, Sentinel, SentinelConfig, SentinelSignal, SignatureEngine};
+pub use session::{ClientKey, SessionFeatures, Sessionizer, SessionizerConfig};

@@ -1,0 +1,151 @@
+//! Parallel detector execution.
+//!
+//! Every detector in this crate keeps all mutable state *per client*
+//! (address + user agent), so a log can be partitioned by client and each
+//! shard processed by an independent detector instance without changing any
+//! verdict. This is how such tools scale horizontally in production, and it
+//! gives the benchmark harness a faithful multi-core mode.
+//!
+//! Each worker sees its shard's entries in the original (timestamp) order;
+//! verdicts are written back to the entries' original positions, so the
+//! output is bit-identical to a sequential run.
+
+use divscrape_httplog::LogEntry;
+
+use crate::session::Sessionizer;
+use crate::{Detector, Verdict};
+
+/// A detector whose state is fully client-local, making shard-parallel
+/// execution verdict-equivalent to sequential execution. All stock
+/// detectors in this crate qualify.
+pub trait ShardableDetector: Detector + Clone + Send {}
+
+impl<D: Detector + Clone + Send> ShardableDetector for D {}
+
+/// Runs `prototype` over `entries` using `workers` parallel shards.
+///
+/// Returns exactly the verdicts a sequential [`run`](crate::run) of the same
+/// detector would produce, as long as the detector keeps its state per
+/// client (see [`ShardableDetector`]).
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+pub fn run_sharded<D: ShardableDetector>(
+    prototype: &D,
+    entries: &[LogEntry],
+    workers: usize,
+) -> Vec<Verdict> {
+    assert!(workers > 0, "need at least one worker");
+    if workers == 1 || entries.len() < 2 * workers {
+        let mut det = prototype.clone();
+        det.reset();
+        return crate::run(&mut det, entries);
+    }
+
+    // Partition entry indices by client shard.
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for (i, e) in entries.iter().enumerate() {
+        shards[Sessionizer::shard_of(&e.client_key(), workers)].push(i);
+    }
+
+    let mut verdicts = vec![Verdict::CLEAR; entries.len()];
+    let chunks: Vec<Vec<(usize, Verdict)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let mut det = prototype.clone();
+                scope.spawn(move |_| {
+                    det.reset();
+                    shard
+                        .iter()
+                        .map(|&i| (i, det.observe(&entries[i])))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("crossbeam scope failed");
+
+    for chunk in chunks {
+        for (i, v) in chunk {
+            verdicts[i] = v;
+        }
+    }
+    verdicts
+}
+
+/// Like [`run_sharded`] but returns only the alert flags.
+pub fn run_sharded_alerts<D: ShardableDetector>(
+    prototype: &D,
+    entries: &[LogEntry],
+    workers: usize,
+) -> Vec<bool> {
+    run_sharded(prototype, entries, workers)
+        .into_iter()
+        .map(|v| v.alert)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RateLimiter;
+    use crate::{run, Arcane, Sentinel};
+    use divscrape_traffic::{generate, ScenarioConfig};
+
+    fn assert_parallel_equivalent<D: ShardableDetector>(proto: D, seed: u64) {
+        let log = generate(&ScenarioConfig::small(seed)).unwrap();
+        let mut sequential = proto.clone();
+        sequential.reset();
+        let expected = run(&mut sequential, log.entries());
+        for workers in [2, 3, 7] {
+            let got = run_sharded(&proto, log.entries(), workers);
+            assert_eq!(got.len(), expected.len());
+            let diff = got
+                .iter()
+                .zip(&expected)
+                .filter(|(a, b)| a.alert != b.alert)
+                .count();
+            assert_eq!(diff, 0, "{workers} workers diverged on {diff} verdicts");
+        }
+    }
+
+    #[test]
+    fn sentinel_is_shard_equivalent() {
+        assert_parallel_equivalent(Sentinel::stock(), 51);
+    }
+
+    #[test]
+    fn arcane_is_shard_equivalent() {
+        assert_parallel_equivalent(Arcane::stock(), 52);
+    }
+
+    #[test]
+    fn rate_limiter_is_shard_equivalent() {
+        assert_parallel_equivalent(RateLimiter::new(20), 53);
+    }
+
+    #[test]
+    fn single_worker_falls_back_to_sequential() {
+        let log = generate(&ScenarioConfig::tiny(5)).unwrap();
+        let verdicts = run_sharded(&Sentinel::stock(), log.entries(), 1);
+        assert_eq!(verdicts.len(), log.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_is_rejected() {
+        let log = generate(&ScenarioConfig::tiny(5)).unwrap();
+        let _ = run_sharded(&Sentinel::stock(), log.entries(), 0);
+    }
+
+    #[test]
+    fn alert_helper_matches_full_run() {
+        let log = generate(&ScenarioConfig::tiny(6)).unwrap();
+        let full = run_sharded(&Arcane::stock(), log.entries(), 3);
+        let alerts = run_sharded_alerts(&Arcane::stock(), log.entries(), 3);
+        assert_eq!(alerts, full.iter().map(|v| v.alert).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,133 @@
+//! Sentinel configuration.
+
+/// Tuning and ablation knobs for [`Sentinel`](super::Sentinel).
+///
+/// Every signal can be disabled independently, which is how the ablation
+/// experiment (E8 in `DESIGN.md`) measures each signal family's
+/// contribution to the tool's alert volume and accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelConfig {
+    /// User-agent signature engine (tool UAs, stale fingerprints).
+    pub enable_signature: bool,
+    /// IP reputation feed.
+    pub enable_reputation: bool,
+    /// Request-rate monitor.
+    pub enable_rate: bool,
+    /// JavaScript-challenge emulation.
+    pub enable_challenge: bool,
+    /// Verified-operator whitelist (crawlers, monitors, partners).
+    pub enable_whitelist: bool,
+    /// Known-violator cache: once a client trips any signal, all its later
+    /// requests alert too. This is what makes commercial tools alert on
+    /// nearly every request of a flagged client.
+    pub enable_violator_cache: bool,
+    /// Page/API requests per minute that trip the rate monitor.
+    pub rate_threshold_per_min: u32,
+    /// Page views without any script fetch that fail the JS challenge.
+    pub challenge_page_threshold: u32,
+    /// Idle gap that resets per-session challenge state, seconds.
+    pub session_idle_secs: i64,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        Self {
+            enable_signature: true,
+            enable_reputation: true,
+            enable_rate: true,
+            enable_challenge: true,
+            enable_whitelist: true,
+            enable_violator_cache: true,
+            rate_threshold_per_min: 30,
+            challenge_page_threshold: 6,
+            session_idle_secs: 1_800,
+        }
+    }
+}
+
+impl SentinelConfig {
+    /// A configuration with every optional signal disabled — alerts on
+    /// nothing. Useful as an experiment baseline.
+    pub fn disabled() -> Self {
+        Self {
+            enable_signature: false,
+            enable_reputation: false,
+            enable_rate: false,
+            enable_challenge: false,
+            enable_whitelist: false,
+            enable_violator_cache: false,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with one named signal disabled. Valid names:
+    /// `signature`, `reputation`, `rate`, `challenge`, `whitelist`,
+    /// `violator_cache`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown signal name — callers enumerate a fixed list.
+    #[must_use]
+    pub fn without(&self, signal: &str) -> Self {
+        let mut cfg = self.clone();
+        match signal {
+            "signature" => cfg.enable_signature = false,
+            "reputation" => cfg.enable_reputation = false,
+            "rate" => cfg.enable_rate = false,
+            "challenge" => cfg.enable_challenge = false,
+            "whitelist" => cfg.enable_whitelist = false,
+            "violator_cache" => cfg.enable_violator_cache = false,
+            other => panic!("unknown Sentinel signal `{other}`"),
+        }
+        cfg
+    }
+
+    /// The ablatable signal names accepted by [`without`](Self::without).
+    pub const SIGNALS: [&'static str; 6] = [
+        "signature",
+        "reputation",
+        "rate",
+        "challenge",
+        "whitelist",
+        "violator_cache",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let cfg = SentinelConfig::default();
+        assert!(cfg.enable_signature && cfg.enable_reputation);
+        assert!(cfg.enable_rate && cfg.enable_challenge);
+        assert!(cfg.enable_whitelist && cfg.enable_violator_cache);
+    }
+
+    #[test]
+    fn without_disables_exactly_one_signal() {
+        for signal in SentinelConfig::SIGNALS {
+            let cfg = SentinelConfig::default().without(signal);
+            let disabled = [
+                !cfg.enable_signature,
+                !cfg.enable_reputation,
+                !cfg.enable_rate,
+                !cfg.enable_challenge,
+                !cfg.enable_whitelist,
+                !cfg.enable_violator_cache,
+            ];
+            assert_eq!(
+                disabled.iter().filter(|d| **d).count(),
+                1,
+                "{signal} should disable exactly one flag"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn without_rejects_unknown_signals() {
+        let _ = SentinelConfig::default().without("telepathy");
+    }
+}

@@ -1,0 +1,102 @@
+//! The IP reputation feed.
+//!
+//! Commercial bot-mitigation vendors ship curated feeds of address ranges
+//! with a history of abuse — overwhelmingly cloud/hosting space, plus
+//! whatever residential ranges were recently implicated. Feeds are blunt
+//! instruments: the stock feed here deliberately includes one stale
+//! residential block (see
+//! [`reputation_contamination_block`](divscrape_traffic::network::reputation_contamination_block)),
+//! which is the realistic source of this signal's false positives.
+
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::Cidr;
+use divscrape_traffic::network;
+
+/// A CIDR-based reputation feed.
+#[derive(Debug, Clone)]
+pub struct ReputationFeed {
+    listed: Vec<Cidr>,
+}
+
+impl ReputationFeed {
+    /// The stock vendor feed: the data-center ranges the attack populations
+    /// rent from, plus one stale residential block (false positives).
+    pub fn stock() -> Self {
+        let mut listed = network::datacenter().blocks().to_vec();
+        listed.push(network::reputation_contamination_block());
+        Self { listed }
+    }
+
+    /// A feed with no entries.
+    pub fn empty() -> Self {
+        Self { listed: Vec::new() }
+    }
+
+    /// Builds a feed from explicit blocks.
+    pub fn from_blocks(blocks: Vec<Cidr>) -> Self {
+        Self { listed: blocks }
+    }
+
+    /// Whether an address is listed.
+    pub fn is_listed(&self, addr: Ipv4Addr) -> bool {
+        self.listed.iter().any(|b| b.contains(addr))
+    }
+
+    /// Number of listed blocks.
+    pub fn block_count(&self) -> usize {
+        self.listed.len()
+    }
+}
+
+impl Default for ReputationFeed {
+    fn default() -> Self {
+        Self::stock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lists_datacenter_space() {
+        let feed = ReputationFeed::stock();
+        let mut rng = StdRng::seed_from_u64(1);
+        let dc = network::datacenter();
+        for _ in 0..200 {
+            assert!(feed.is_listed(dc.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn mostly_passes_residential_space() {
+        let feed = ReputationFeed::stock();
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = network::residential();
+        let listed = (0..10_000)
+            .filter(|_| feed.is_listed(res.sample(&mut rng)))
+            .count();
+        // Only the contaminated /20 should hit: ~0.1% of draws.
+        assert!(listed < 100, "{listed} residential addresses listed");
+        assert!(listed > 0, "the contaminated block should surface");
+    }
+
+    #[test]
+    fn contaminated_block_is_listed() {
+        let feed = ReputationFeed::stock();
+        let block = network::reputation_contamination_block();
+        assert!(feed.is_listed(block.nth_host(7).unwrap()));
+    }
+
+    #[test]
+    fn empty_and_custom_feeds() {
+        assert_eq!(ReputationFeed::empty().block_count(), 0);
+        assert!(!ReputationFeed::empty().is_listed(Ipv4Addr::new(45, 76, 0, 1)));
+        let feed = ReputationFeed::from_blocks(vec!["10.0.0.0/8".parse().unwrap()]);
+        assert!(feed.is_listed(Ipv4Addr::new(10, 200, 3, 4)));
+        assert!(!feed.is_listed(Ipv4Addr::new(11, 0, 0, 1)));
+    }
+}

@@ -1,0 +1,113 @@
+//! User-agent signature engine.
+//!
+//! The cheapest and oldest commercial signal: a blocklist of HTTP-tool
+//! identities plus a fingerprint database of browser builds that no real
+//! user runs any more. A fleet announcing `Chrome/41` in 2018 is not a
+//! browser population; it is one operator's frozen scraping stack.
+
+use divscrape_httplog::{AgentFamily, UserAgent};
+
+/// A user-agent blocklist.
+#[derive(Debug, Clone)]
+pub struct SignatureEngine {
+    /// Alert on these coarse families outright.
+    blocked_families: Vec<AgentFamily>,
+    /// Alert when the raw string contains any of these markers
+    /// (case-sensitive; fingerprints are exact version tokens).
+    fingerprint_markers: Vec<String>,
+}
+
+impl SignatureEngine {
+    /// The stock 2018-era ruleset: block HTTP tools and empty agents, plus
+    /// fingerprints of long-dead browser builds and headless stacks.
+    pub fn stock() -> Self {
+        Self {
+            blocked_families: vec![AgentFamily::HttpTool, AgentFamily::Empty],
+            fingerprint_markers: vec![
+                "Chrome/41.0.2272.89".to_owned(), // the spoofed-campaign build
+                "MSIE 6.0".to_owned(),
+                "PhantomJS".to_owned(),
+                "HeadlessChrome".to_owned(),
+            ],
+        }
+    }
+
+    /// An engine that matches nothing.
+    pub fn empty() -> Self {
+        Self {
+            blocked_families: Vec::new(),
+            fingerprint_markers: Vec::new(),
+        }
+    }
+
+    /// Adds a fingerprint marker.
+    pub fn add_fingerprint(&mut self, marker: impl Into<String>) -> &mut Self {
+        self.fingerprint_markers.push(marker.into());
+        self
+    }
+
+    /// Whether the agent matches the blocklist.
+    pub fn matches(&self, agent: &UserAgent) -> bool {
+        if self.blocked_families.contains(&agent.family()) {
+            return true;
+        }
+        let raw = agent.as_str();
+        self.fingerprint_markers.iter().any(|m| raw.contains(m))
+    }
+
+    /// Number of fingerprint markers loaded.
+    pub fn fingerprint_count(&self) -> usize {
+        self.fingerprint_markers.len()
+    }
+}
+
+impl Default for SignatureEngine {
+    fn default() -> Self {
+        Self::stock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_traffic::useragents::{BOTNET_SPOOFED_BROWSER, GOOGLEBOT, SCRAPER_TOOLS};
+
+    #[test]
+    fn blocks_http_tools_and_empty_agents() {
+        let engine = SignatureEngine::stock();
+        for tool in SCRAPER_TOOLS {
+            assert!(engine.matches(&UserAgent::new(tool)), "{tool}");
+        }
+        assert!(engine.matches(&UserAgent::empty()));
+    }
+
+    #[test]
+    fn fingerprints_the_spoofed_campaign() {
+        let engine = SignatureEngine::stock();
+        assert!(engine.matches(&UserAgent::new(BOTNET_SPOOFED_BROWSER)));
+    }
+
+    #[test]
+    fn passes_real_browsers_and_crawlers() {
+        let engine = SignatureEngine::stock();
+        let chrome = "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36";
+        assert!(!engine.matches(&UserAgent::new(chrome)));
+        assert!(!engine.matches(&UserAgent::new(GOOGLEBOT)));
+    }
+
+    #[test]
+    fn empty_engine_matches_nothing() {
+        let engine = SignatureEngine::empty();
+        assert!(!engine.matches(&UserAgent::new("curl/7.58.0")));
+        assert!(!engine.matches(&UserAgent::empty()));
+        assert_eq!(engine.fingerprint_count(), 0);
+    }
+
+    #[test]
+    fn custom_fingerprints_extend_the_engine() {
+        let mut engine = SignatureEngine::empty();
+        engine.add_fingerprint("EvilBot/9");
+        assert!(engine.matches(&UserAgent::new("Mozilla/5.0 EvilBot/9.1")));
+        assert_eq!(engine.fingerprint_count(), 1);
+    }
+}

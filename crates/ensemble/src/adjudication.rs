@@ -1,0 +1,243 @@
+//! Adjudication schemes for combining tool verdicts.
+//!
+//! Section V of the paper names the schemes of interest: *1-out-of-2* (alarm
+//! when either tool alarms), *2-out-of-2* (alarm only when both do), and by
+//! extension *k-out-of-n*. A weighted-vote generalisation is included for
+//! unequal trust in the tools.
+
+use serde::{Deserialize, Serialize};
+
+use crate::AlertVector;
+
+/// The `k`-out-of-`n` voting rule.
+///
+/// ```
+/// use divscrape_ensemble::{AlertVector, KOutOfN};
+///
+/// let a = AlertVector::from_bools("a", &[true, true, false]);
+/// let b = AlertVector::from_bools("b", &[true, false, false]);
+/// let one = KOutOfN::any(2);   // 1-out-of-2
+/// let two = KOutOfN::all(2);   // 2-out-of-2
+/// assert_eq!(one.apply(&[&a, &b]).count(), 2);
+/// assert_eq!(two.apply(&[&a, &b]).count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KOutOfN {
+    k: u32,
+    n: u32,
+}
+
+impl KOutOfN {
+    /// Creates the rule requiring `k` of `n` tools to alert.
+    ///
+    /// Returns `None` unless `1 <= k <= n`.
+    pub fn new(k: u32, n: u32) -> Option<Self> {
+        (k >= 1 && k <= n).then_some(Self { k, n })
+    }
+
+    /// `1`-out-of-`n`: alarm when any tool alarms.
+    pub fn any(n: u32) -> Self {
+        Self::new(1, n).expect("n >= 1")
+    }
+
+    /// `n`-out-of-`n`: alarm only on unanimity.
+    pub fn all(n: u32) -> Self {
+        Self::new(n, n).expect("n >= 1")
+    }
+
+    /// Required votes.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of tools.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// A short label such as `"1oo2"`.
+    pub fn label(&self) -> String {
+        format!("{}oo{}", self.k, self.n)
+    }
+
+    /// Applies the rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the number of vectors differs from `n`, or when the
+    /// vectors cover different logs.
+    pub fn apply(&self, tools: &[&AlertVector]) -> AlertVector {
+        assert_eq!(
+            tools.len(),
+            self.n as usize,
+            "rule is {} but {} tools given",
+            self.label(),
+            tools.len()
+        );
+        let len = tools[0].len();
+        for t in tools {
+            assert_eq!(t.len(), len, "alert vectors cover different logs");
+        }
+        let flags: Vec<bool> = (0..len)
+            .map(|i| {
+                let votes = tools.iter().filter(|t| t.get(i)).count() as u32;
+                votes >= self.k
+            })
+            .collect();
+        AlertVector::from_bools(self.label(), &flags)
+    }
+}
+
+/// Weighted voting: alarm when the weighted sum of alerting tools reaches a
+/// threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedVote {
+    weights: Vec<f64>,
+    threshold: f64,
+}
+
+impl WeightedVote {
+    /// Creates the rule.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty weights, non-finite or negative weights, and
+    /// non-finite thresholds.
+    pub fn new(weights: Vec<f64>, threshold: f64) -> Result<Self, String> {
+        if weights.is_empty() {
+            return Err("weighted vote needs at least one tool".into());
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err("weights must be non-negative and finite".into());
+        }
+        if !threshold.is_finite() {
+            return Err("threshold must be finite".into());
+        }
+        Ok(Self { weights, threshold })
+    }
+
+    /// Applies the rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the number of vectors differs from the number of
+    /// weights, or the vectors cover different logs.
+    pub fn apply(&self, tools: &[&AlertVector]) -> AlertVector {
+        assert_eq!(tools.len(), self.weights.len(), "one weight per tool");
+        let len = tools.first().map_or(0, |t| t.len());
+        for t in tools {
+            assert_eq!(t.len(), len, "alert vectors cover different logs");
+        }
+        let flags: Vec<bool> = (0..len)
+            .map(|i| {
+                let sum: f64 = tools
+                    .iter()
+                    .zip(&self.weights)
+                    .filter(|(t, _)| t.get(i))
+                    .map(|(_, w)| *w)
+                    .sum();
+                sum >= self.threshold
+            })
+            .collect();
+        AlertVector::from_bools("weighted", &flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_validates_k() {
+        assert!(KOutOfN::new(0, 2).is_none());
+        assert!(KOutOfN::new(3, 2).is_none());
+        assert!(KOutOfN::new(1, 1).is_some());
+        assert_eq!(KOutOfN::any(2).label(), "1oo2");
+        assert_eq!(KOutOfN::all(2).label(), "2oo2");
+    }
+
+    #[test]
+    fn one_out_of_two_is_union_two_out_of_two_is_intersection() {
+        let a = AlertVector::from_bools("a", &[true, true, false, false]);
+        let b = AlertVector::from_bools("b", &[true, false, true, false]);
+        assert_eq!(
+            KOutOfN::any(2).apply(&[&a, &b]).to_bools(),
+            a.or(&b).to_bools()
+        );
+        assert_eq!(
+            KOutOfN::all(2).apply(&[&a, &b]).to_bools(),
+            a.and(&b).to_bools()
+        );
+    }
+
+    #[test]
+    fn majority_of_three() {
+        let a = AlertVector::from_bools("a", &[true, true, false]);
+        let b = AlertVector::from_bools("b", &[true, false, false]);
+        let c = AlertVector::from_bools("c", &[false, true, false]);
+        let maj = KOutOfN::new(2, 3).unwrap().apply(&[&a, &b, &c]);
+        assert_eq!(maj.to_bools(), vec![true, true, false]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tool_count_must_match_n() {
+        let a = AlertVector::from_bools("a", &[true]);
+        let _ = KOutOfN::any(2).apply(&[&a]);
+    }
+
+    #[test]
+    fn weighted_vote_validates() {
+        assert!(WeightedVote::new(vec![], 1.0).is_err());
+        assert!(WeightedVote::new(vec![-1.0], 1.0).is_err());
+        assert!(WeightedVote::new(vec![1.0], f64::NAN).is_err());
+        assert!(WeightedVote::new(vec![1.0, 0.5], 1.0).is_ok());
+    }
+
+    #[test]
+    fn weighted_vote_trusts_the_heavier_tool() {
+        let strong = AlertVector::from_bools("strong", &[true, false]);
+        let weak = AlertVector::from_bools("weak", &[false, true]);
+        let rule = WeightedVote::new(vec![1.0, 0.4], 1.0).unwrap();
+        let out = rule.apply(&[&strong, &weak]);
+        assert_eq!(out.to_bools(), vec![true, false]);
+    }
+
+    proptest! {
+        #[test]
+        fn raising_k_never_adds_alerts(
+            flags_a in proptest::collection::vec(any::<bool>(), 1..200),
+            flags_b in proptest::collection::vec(any::<bool>(), 1..200),
+            flags_c in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let n = flags_a.len().min(flags_b.len()).min(flags_c.len());
+            let a = AlertVector::from_bools("a", &flags_a[..n]);
+            let b = AlertVector::from_bools("b", &flags_b[..n]);
+            let c = AlertVector::from_bools("c", &flags_c[..n]);
+            let tools = [&a, &b, &c];
+            let mut prev = KOutOfN::new(1, 3).unwrap().apply(&tools).count();
+            for k in 2..=3 {
+                let cur = KOutOfN::new(k, 3).unwrap().apply(&tools).count();
+                prop_assert!(cur <= prev, "k={k}: {cur} > {prev}");
+                prev = cur;
+            }
+        }
+
+        #[test]
+        fn kofn_equals_weighted_with_unit_weights(
+            flags_a in proptest::collection::vec(any::<bool>(), 1..100),
+            flags_b in proptest::collection::vec(any::<bool>(), 1..100),
+            k in 1u32..=2,
+        ) {
+            let n = flags_a.len().min(flags_b.len());
+            let a = AlertVector::from_bools("a", &flags_a[..n]);
+            let b = AlertVector::from_bools("b", &flags_b[..n]);
+            let kofn = KOutOfN::new(k, 2).unwrap().apply(&[&a, &b]);
+            let weighted = WeightedVote::new(vec![1.0, 1.0], f64::from(k))
+                .unwrap()
+                .apply(&[&a, &b]);
+            prop_assert_eq!(kofn.to_bools(), weighted.to_bools());
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Two-tool contingency analysis — the engines behind the paper's
+//! Tables 2, 3 and 4.
+
+use std::collections::BTreeMap;
+
+use divscrape_httplog::{HttpStatus, LogEntry};
+use serde::{Deserialize, Serialize};
+
+use crate::AlertVector;
+
+/// The 2×2 agreement breakdown of two tools over one log (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contingency {
+    /// Alerted by both tools.
+    pub both: u64,
+    /// Alerted by neither tool.
+    pub neither: u64,
+    /// Alerted by the first tool only.
+    pub only_first: u64,
+    /// Alerted by the second tool only.
+    pub only_second: u64,
+}
+
+impl Contingency {
+    /// Computes the breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors cover different logs.
+    pub fn of(first: &AlertVector, second: &AlertVector) -> Self {
+        Self {
+            both: first.and(second).count(),
+            neither: first.neither(second).count(),
+            only_first: first.minus(second).count(),
+            only_second: second.minus(first).count(),
+        }
+    }
+
+    /// Total requests covered.
+    pub fn total(&self) -> u64 {
+        self.both + self.neither + self.only_first + self.only_second
+    }
+
+    /// Requests alerted by at least one tool (1-out-of-2 adjudication).
+    pub fn any(&self) -> u64 {
+        self.both + self.only_first + self.only_second
+    }
+
+    /// Requests where the tools disagree.
+    pub fn disagreements(&self) -> u64 {
+        self.only_first + self.only_second
+    }
+
+    /// Agreement rate: share of requests where the tools say the same.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        (self.both + self.neither) as f64 / self.total() as f64
+    }
+}
+
+/// Per-HTTP-status alert counts (Tables 3 and 4), ordered by count
+/// descending like the paper's tables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusBreakdown {
+    counts: BTreeMap<u16, u64>,
+}
+
+impl StatusBreakdown {
+    /// Counts, by response status, the requests flagged in `alerts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alerts` does not cover `entries`.
+    pub fn of(alerts: &AlertVector, entries: &[LogEntry]) -> Self {
+        assert_eq!(
+            alerts.len(),
+            entries.len(),
+            "alert vector covers {} requests, log has {}",
+            alerts.len(),
+            entries.len()
+        );
+        let mut counts = BTreeMap::new();
+        for i in alerts.iter_alerted() {
+            *counts.entry(entries[i].status().as_u16()).or_insert(0) += 1;
+        }
+        Self { counts }
+    }
+
+    /// Count for one status (0 if absent).
+    pub fn count(&self, status: HttpStatus) -> u64 {
+        self.counts.get(&status.as_u16()).copied().unwrap_or(0)
+    }
+
+    /// Total alerted requests across all statuses.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// `(status, count)` rows sorted by count descending, then status
+    /// ascending — the ordering the paper's tables use.
+    pub fn rows(&self) -> Vec<(u16, u64)> {
+        let mut rows: Vec<(u16, u64)> = self.counts.iter().map(|(s, c)| (*s, *c)).collect();
+        rows.sort_by_key(|(s, c)| (std::cmp::Reverse(*c), *s));
+        rows
+    }
+
+    /// Share of the breakdown's total carried by one status.
+    pub fn share(&self, status: HttpStatus) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(status) as f64 / total as f64
+        }
+    }
+
+    /// Statuses present in the breakdown.
+    pub fn statuses(&self) -> impl Iterator<Item = u16> + '_ {
+        self.counts.keys().copied()
+    }
+}
+
+/// Agreement breakdown across `N` tools: one cell per alert pattern.
+///
+/// Pattern bit `i` is set when tool `i` alerted; cell `0` is "alerted by
+/// nobody", cell `2^N - 1` is "alerted by everybody". Generalises
+/// [`Contingency`] to committees of more than two tools.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiContingency {
+    names: Vec<String>,
+    cells: Vec<u64>,
+}
+
+impl MultiContingency {
+    /// Maximum number of tools supported (the cell table is `2^N`).
+    pub const MAX_TOOLS: usize = 8;
+
+    /// Computes the breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no tools are given, more than
+    /// [`MAX_TOOLS`](Self::MAX_TOOLS), or the vectors cover different logs.
+    pub fn of(tools: &[&AlertVector]) -> Self {
+        assert!(!tools.is_empty(), "need at least one tool");
+        assert!(
+            tools.len() <= Self::MAX_TOOLS,
+            "at most {} tools supported",
+            Self::MAX_TOOLS
+        );
+        let len = tools[0].len();
+        for t in tools {
+            assert_eq!(t.len(), len, "alert vectors cover different logs");
+        }
+        let mut cells = vec![0u64; 1 << tools.len()];
+        for i in 0..len {
+            let mut pattern = 0usize;
+            for (bit, t) in tools.iter().enumerate() {
+                pattern |= usize::from(t.get(i)) << bit;
+            }
+            cells[pattern] += 1;
+        }
+        Self {
+            names: tools.iter().map(|t| t.name().to_owned()).collect(),
+            cells,
+        }
+    }
+
+    /// Number of tools.
+    pub fn tool_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The tools' names, in bit order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Count for one alert pattern (bit `i` = tool `i` alerted).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pattern >= 2^N`.
+    pub fn cell(&self, pattern: usize) -> u64 {
+        self.cells[pattern]
+    }
+
+    /// Requests alerted by exactly `k` tools.
+    pub fn by_vote_count(&self, k: u32) -> u64 {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| p.count_ones() == k)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Total requests covered.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    /// Requests alerted by at least `k` tools (the `k`-out-of-`n` volume).
+    pub fn at_least(&self, k: u32) -> u64 {
+        (k..=self.tool_count() as u32)
+            .map(|v| self.by_vote_count(v))
+            .sum()
+    }
+
+    /// A human-readable label for a pattern, e.g. `"sentinel+arcane"` or
+    /// `"(none)"`.
+    pub fn pattern_label(&self, pattern: usize) -> String {
+        if pattern == 0 {
+            return "(none)".to_owned();
+        }
+        let mut parts = Vec::new();
+        for (bit, name) in self.names.iter().enumerate() {
+            if pattern & (1 << bit) != 0 {
+                parts.push(name.as_str());
+            }
+        }
+        parts.join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_httplog::ClfTimestamp;
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    fn entry(status: u16) -> LogEntry {
+        LogEntry::builder()
+            .addr(Ipv4Addr::new(10, 0, 0, 1))
+            .timestamp(ClfTimestamp::PAPER_WINDOW_START)
+            .request("GET /x HTTP/1.1".parse().unwrap())
+            .status(HttpStatus::new(status).unwrap())
+            .user_agent("u")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn contingency_matches_hand_computation() {
+        let a = AlertVector::from_bools("a", &[true, true, false, false, true]);
+        let b = AlertVector::from_bools("b", &[true, false, true, false, true]);
+        let c = Contingency::of(&a, &b);
+        assert_eq!(c.both, 2);
+        assert_eq!(c.only_first, 1);
+        assert_eq!(c.only_second, 1);
+        assert_eq!(c.neither, 1);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.any(), 4);
+        assert_eq!(c.disagreements(), 2);
+        assert!((c.agreement_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contingency_is_symmetric_in_the_right_places() {
+        let a = AlertVector::from_bools("a", &[true, false, true]);
+        let b = AlertVector::from_bools("b", &[false, false, true]);
+        let ab = Contingency::of(&a, &b);
+        let ba = Contingency::of(&b, &a);
+        assert_eq!(ab.both, ba.both);
+        assert_eq!(ab.neither, ba.neither);
+        assert_eq!(ab.only_first, ba.only_second);
+        assert_eq!(ab.only_second, ba.only_first);
+    }
+
+    #[test]
+    fn status_breakdown_counts_only_alerted() {
+        let entries = vec![entry(200), entry(200), entry(404), entry(302), entry(200)];
+        let alerts = AlertVector::from_bools("t", &[true, false, true, true, true]);
+        let b = StatusBreakdown::of(&alerts, &entries);
+        assert_eq!(b.count(HttpStatus::OK), 2);
+        assert_eq!(b.count(HttpStatus::NOT_FOUND), 1);
+        assert_eq!(b.count(HttpStatus::FOUND), 1);
+        assert_eq!(b.count(HttpStatus::NO_CONTENT), 0);
+        assert_eq!(b.total(), 4);
+        assert!((b.share(HttpStatus::OK) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_are_ordered_like_the_paper() {
+        let entries = vec![entry(302), entry(302), entry(200), entry(200), entry(200), entry(404)];
+        let alerts = AlertVector::from_bools("t", &[true; 6]);
+        let rows = StatusBreakdown::of(&alerts, &entries).rows();
+        assert_eq!(rows, vec![(200, 3), (302, 2), (404, 1)]);
+    }
+
+    #[test]
+    fn ties_break_by_status_code() {
+        let entries = vec![entry(500), entry(400)];
+        let alerts = AlertVector::from_bools("t", &[true, true]);
+        let rows = StatusBreakdown::of(&alerts, &entries).rows();
+        assert_eq!(rows, vec![(400, 1), (500, 1)]);
+    }
+
+    #[test]
+    fn multi_contingency_generalises_the_pair_table() {
+        let a = AlertVector::from_bools("a", &[true, true, false, false, true]);
+        let b = AlertVector::from_bools("b", &[true, false, true, false, true]);
+        let pair = Contingency::of(&a, &b);
+        let multi = MultiContingency::of(&[&a, &b]);
+        assert_eq!(multi.cell(0b00), pair.neither);
+        assert_eq!(multi.cell(0b01), pair.only_first);
+        assert_eq!(multi.cell(0b10), pair.only_second);
+        assert_eq!(multi.cell(0b11), pair.both);
+        assert_eq!(multi.total(), pair.total());
+        assert_eq!(multi.at_least(1), pair.any());
+        assert_eq!(multi.at_least(2), pair.both);
+    }
+
+    #[test]
+    fn multi_contingency_three_tools() {
+        let a = AlertVector::from_bools("a", &[true, true, false]);
+        let b = AlertVector::from_bools("b", &[true, false, false]);
+        let c = AlertVector::from_bools("c", &[true, true, true]);
+        let m = MultiContingency::of(&[&a, &b, &c]);
+        assert_eq!(m.tool_count(), 3);
+        assert_eq!(m.cell(0b111), 1); // request 0
+        assert_eq!(m.cell(0b101), 1); // request 1: a and c
+        assert_eq!(m.cell(0b100), 1); // request 2: c only
+        assert_eq!(m.by_vote_count(3), 1);
+        assert_eq!(m.by_vote_count(2), 1);
+        assert_eq!(m.by_vote_count(1), 1);
+        assert_eq!(m.by_vote_count(0), 0);
+        assert_eq!(m.pattern_label(0b101), "a+c");
+        assert_eq!(m.pattern_label(0), "(none)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn multi_contingency_rejects_empty_tool_sets() {
+        let _ = MultiContingency::of(&[]);
+    }
+
+    proptest! {
+        #[test]
+        fn multi_cells_partition_and_votes_are_monotone(
+            flags_a in proptest::collection::vec(any::<bool>(), 1..150),
+            flags_b in proptest::collection::vec(any::<bool>(), 1..150),
+            flags_c in proptest::collection::vec(any::<bool>(), 1..150),
+        ) {
+            let n = flags_a.len().min(flags_b.len()).min(flags_c.len());
+            let a = AlertVector::from_bools("a", &flags_a[..n]);
+            let b = AlertVector::from_bools("b", &flags_b[..n]);
+            let c = AlertVector::from_bools("c", &flags_c[..n]);
+            let m = MultiContingency::of(&[&a, &b, &c]);
+            prop_assert_eq!(m.total() as usize, n);
+            let mut prev = m.at_least(1);
+            for k in 2..=3 {
+                let cur = m.at_least(k);
+                prop_assert!(cur <= prev);
+                prev = cur;
+            }
+            // Vote-count cells partition the total too.
+            let by_votes: u64 = (0..=3).map(|k| m.by_vote_count(k)).sum();
+            prop_assert_eq!(by_votes, m.total());
+        }
+
+        #[test]
+        fn contingency_partitions_the_log(
+            flags_a in proptest::collection::vec(any::<bool>(), 1..200),
+            flags_b in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let n = flags_a.len().min(flags_b.len());
+            let a = AlertVector::from_bools("a", &flags_a[..n]);
+            let b = AlertVector::from_bools("b", &flags_b[..n]);
+            let c = Contingency::of(&a, &b);
+            prop_assert_eq!(c.total() as usize, n);
+            prop_assert_eq!(c.both + c.only_first, a.count());
+            prop_assert_eq!(c.both + c.only_second, b.count());
+            prop_assert!(c.agreement_rate() >= 0.0 && c.agreement_rate() <= 1.0);
+        }
+
+        #[test]
+        fn breakdown_total_equals_alert_count(
+            statuses in proptest::collection::vec(
+                proptest::sample::select(vec![200u16, 204, 302, 304, 400, 403, 404, 500]),
+                1..120,
+            ),
+            flags in proptest::collection::vec(any::<bool>(), 1..120),
+        ) {
+            let n = statuses.len().min(flags.len());
+            let entries: Vec<LogEntry> = statuses[..n].iter().map(|s| entry(*s)).collect();
+            let alerts = AlertVector::from_bools("t", &flags[..n]);
+            let b = StatusBreakdown::of(&alerts, &entries);
+            prop_assert_eq!(b.total(), alerts.count());
+            // Row counts are positive and sorted descending.
+            let rows = b.rows();
+            prop_assert!(rows.windows(2).all(|w| w[0].1 >= w[1].1));
+            prop_assert!(rows.iter().all(|(_, c)| *c > 0));
+        }
+    }
+}

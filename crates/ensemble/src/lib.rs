@@ -1,0 +1,60 @@
+//! Diversity analysis, adjudication and deployment topologies for the
+//! `divscrape` reproduction.
+//!
+//! This crate turns per-request detector verdicts into the paper's
+//! analyses:
+//!
+//! * [`AlertVector`] — which requests a tool alerted on (compact bitset
+//!   with set algebra).
+//! * [`Contingency`] / [`StatusBreakdown`] — the engines behind the paper's
+//!   Table 2 (both / neither / only-one) and Tables 3–4 (per-HTTP-status
+//!   alert counts).
+//! * [`KOutOfN`] / [`WeightedVote`] — the adjudication schemes of Section V
+//!   (1-out-of-2, 2-out-of-2, …).
+//! * [`metrics`] — confusion-matrix measures (sensitivity, specificity,
+//!   MCC, …), pairwise diversity statistics (Yule's Q, φ, disagreement,
+//!   kappa, double fault) and ROC/AUC analysis.
+//! * [`topology`] — parallel vs. serial deployment with per-stage cost
+//!   accounting.
+//! * [`report`] — fixed-width text tables in the paper's layout.
+//!
+//! # Example: the paper's Table 2 on synthetic traffic
+//!
+//! ```
+//! use divscrape_detect::{run_alerts, Arcane, Sentinel};
+//! use divscrape_ensemble::{AlertVector, Contingency};
+//! use divscrape_traffic::{generate, ScenarioConfig};
+//!
+//! let log = generate(&ScenarioConfig::tiny(2018))?;
+//! let sentinel = AlertVector::from_bools(
+//!     "sentinel",
+//!     &run_alerts(&mut Sentinel::stock(), log.entries()),
+//! );
+//! let arcane = AlertVector::from_bools(
+//!     "arcane",
+//!     &run_alerts(&mut Arcane::stock(), log.entries()),
+//! );
+//! let table2 = Contingency::of(&sentinel, &arcane);
+//! assert_eq!(table2.total() as usize, log.len());
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adjudication;
+mod alerts;
+mod contingency;
+pub mod metrics;
+pub mod report;
+pub mod rollup;
+pub mod timeseries;
+pub mod topology;
+
+pub use adjudication::{KOutOfN, WeightedVote};
+pub use alerts::AlertVector;
+pub use contingency::{Contingency, MultiContingency, StatusBreakdown};
+pub use rollup::{latency_by_actor, rollup_sessions, LatencySummary, SessionOutcome};
+pub use timeseries::{DailySeries, DayStats};
+pub use metrics::{AgreementDiversity, ConfusionMatrix, OracleDiversity, RocCurve, RocPoint};
+pub use topology::{run_parallel, run_serial, SerialMode, TopologyOutcome};

@@ -1,0 +1,247 @@
+//! Binary-classifier quality metrics.
+//!
+//! Once the dataset is labelled, the paper's Section V asks for exactly
+//! these: sensitivity and specificity per tool and per adjudication scheme,
+//! plus the usual derived measures.
+
+use divscrape_traffic::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+use crate::AlertVector;
+
+/// A confusion matrix for per-request malice detection.
+///
+/// Convention: *positive* = malicious request, *alert* = predicted
+/// positive. Ratio methods return `f64::NAN` when their denominator is
+/// empty (e.g. specificity on a log with no benign traffic); callers that
+/// aggregate should check with [`f64::is_nan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Malicious requests alerted.
+    pub tp: u64,
+    /// Benign requests alerted.
+    pub fp: u64,
+    /// Benign requests not alerted.
+    pub tn: u64,
+    /// Malicious requests not alerted.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from an alert vector and ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alerts` and `truth` cover different logs.
+    pub fn of(alerts: &AlertVector, truth: &[GroundTruth]) -> Self {
+        assert_eq!(
+            alerts.len(),
+            truth.len(),
+            "alert vector covers {} requests, truth has {}",
+            alerts.len(),
+            truth.len()
+        );
+        let mut m = ConfusionMatrix::default();
+        for (i, t) in truth.iter().enumerate() {
+            match (t.is_malicious(), alerts.get(i)) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fn_ += 1,
+                (false, true) => m.fp += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Builds the matrix from raw predicted/actual flag slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length.
+    pub fn from_flags(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len());
+        let mut m = ConfusionMatrix::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (a, p) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fn_ += 1,
+                (false, true) => m.fp += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Total requests.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Actual positives.
+    pub fn positives(&self) -> u64 {
+        self.tp + self.fn_
+    }
+
+    /// Actual negatives.
+    pub fn negatives(&self) -> u64 {
+        self.fp + self.tn
+    }
+
+    fn ratio(num: u64, den: u64) -> f64 {
+        if den == 0 {
+            f64::NAN
+        } else {
+            num as f64 / den as f64
+        }
+    }
+
+    /// Sensitivity / recall / true-positive rate: `TP / (TP + FN)`.
+    pub fn sensitivity(&self) -> f64 {
+        Self::ratio(self.tp, self.positives())
+    }
+
+    /// Specificity / true-negative rate: `TN / (TN + FP)`.
+    pub fn specificity(&self) -> f64 {
+        Self::ratio(self.tn, self.negatives())
+    }
+
+    /// Precision / positive predictive value: `TP / (TP + FP)`.
+    pub fn precision(&self) -> f64 {
+        Self::ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Negative predictive value: `TN / (TN + FN)`.
+    pub fn npv(&self) -> f64 {
+        Self::ratio(self.tn, self.tn + self.fn_)
+    }
+
+    /// False-positive rate: `FP / (FP + TN)` = 1 − specificity.
+    pub fn fpr(&self) -> f64 {
+        Self::ratio(self.fp, self.negatives())
+    }
+
+    /// False-negative rate: `FN / (FN + TP)` = 1 − sensitivity.
+    pub fn fnr(&self) -> f64 {
+        Self::ratio(self.fn_, self.positives())
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        Self::ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Balanced accuracy: mean of sensitivity and specificity.
+    pub fn balanced_accuracy(&self) -> f64 {
+        (self.sensitivity() + self.specificity()) / 2.0
+    }
+
+    /// F1 score: harmonic mean of precision and sensitivity.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.sensitivity();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Matthews correlation coefficient.
+    pub fn mcc(&self) -> f64 {
+        let (tp, fp, tn, fn_) = (
+            self.tp as f64,
+            self.fp as f64,
+            self.tn as f64,
+            self.fn_ as f64,
+        );
+        let den = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if den == 0.0 {
+            f64::NAN
+        } else {
+            (tp * tn - fp * fn_) / den
+        }
+    }
+
+    /// Youden's J statistic: sensitivity + specificity − 1.
+    pub fn youden_j(&self) -> f64 {
+        self.sensitivity() + self.specificity() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn matrix(tp: u64, fp: u64, tn: u64, fn_: u64) -> ConfusionMatrix {
+        ConfusionMatrix { tp, fp, tn, fn_ }
+    }
+
+    #[test]
+    fn hand_checked_case() {
+        // 80 TP, 5 FP, 95 TN, 20 FN.
+        let m = matrix(80, 5, 95, 20);
+        assert_eq!(m.total(), 200);
+        assert!((m.sensitivity() - 0.8).abs() < 1e-12);
+        assert!((m.specificity() - 0.95).abs() < 1e-12);
+        assert!((m.precision() - 80.0 / 85.0).abs() < 1e-12);
+        assert!((m.fpr() - 0.05).abs() < 1e-12);
+        assert!((m.fnr() - 0.2).abs() < 1e-12);
+        assert!((m.accuracy() - 0.875).abs() < 1e-12);
+        assert!((m.balanced_accuracy() - 0.875).abs() < 1e-12);
+        assert!((m.youden_j() - 0.75).abs() < 1e-12);
+        // F1 = 2·(0.9412·0.8)/(0.9412+0.8) ≈ 0.8649.
+        assert!((m.f1() - 0.864_864_864_864_865).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_and_inverted_classifiers() {
+        let perfect = matrix(50, 0, 50, 0);
+        assert_eq!(perfect.mcc(), 1.0);
+        assert_eq!(perfect.f1(), 1.0);
+        let inverted = matrix(0, 50, 0, 50);
+        assert_eq!(inverted.mcc(), -1.0);
+        assert_eq!(inverted.f1(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_denominators_are_nan() {
+        let no_positives = matrix(0, 3, 7, 0);
+        assert!(no_positives.sensitivity().is_nan());
+        assert!(no_positives.fnr().is_nan());
+        assert!(!no_positives.specificity().is_nan());
+        let no_negatives = matrix(5, 0, 0, 5);
+        assert!(no_negatives.specificity().is_nan());
+        let nothing = matrix(0, 0, 0, 0);
+        assert!(nothing.accuracy().is_nan());
+        assert!(nothing.mcc().is_nan());
+    }
+
+    #[test]
+    fn from_flags_and_of_agree() {
+        let predicted = [true, true, false, false, true];
+        let actual = [true, false, true, false, true];
+        let m = ConfusionMatrix::from_flags(&predicted, &actual);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 1, 1, 1));
+    }
+
+    proptest! {
+        #[test]
+        fn identities_hold(tp in 0u64..500, fp in 0u64..500, tn in 0u64..500, fn_ in 0u64..500) {
+            let m = matrix(tp, fp, tn, fn_);
+            if m.positives() > 0 {
+                prop_assert!((m.sensitivity() + m.fnr() - 1.0).abs() < 1e-9);
+            }
+            if m.negatives() > 0 {
+                prop_assert!((m.specificity() + m.fpr() - 1.0).abs() < 1e-9);
+            }
+            if m.total() > 0 {
+                prop_assert!(m.accuracy() >= 0.0 && m.accuracy() <= 1.0);
+            }
+            if m.positives() > 0 && m.negatives() > 0 {
+                prop_assert!(m.mcc().is_nan() || (-1.0..=1.0).contains(&m.mcc()));
+                prop_assert!((-1.0..=1.0).contains(&m.youden_j()));
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Pairwise diversity statistics.
+//!
+//! The security-diversity literature the paper builds on (Littlewood &
+//! Strigini; the antivirus and OS diversity studies of Gashi et al.)
+//! quantifies how differently two detectors behave. Two families:
+//!
+//! * **Agreement diversity** — computed from the unlabelled 2×2 contingency
+//!   of alert decisions (what the paper can already measure in Table 2).
+//! * **Oracle diversity** — computed against ground truth (what the paper's
+//!   Section V is waiting for): both-correct / one-correct / both-wrong,
+//!   the double-fault measure, and friends.
+
+use divscrape_traffic::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+use crate::{AlertVector, Contingency};
+
+/// Diversity statistics over raw alert agreement (no labels needed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgreementDiversity {
+    /// Yule's Q statistic in `[-1, 1]`; 1 = always agree, 0 = independent.
+    pub yule_q: f64,
+    /// The φ (phi) correlation coefficient of the two alert streams.
+    pub phi: f64,
+    /// Disagreement measure: share of requests where exactly one alerts.
+    pub disagreement: f64,
+    /// Cohen's kappa: agreement beyond chance.
+    pub kappa: f64,
+}
+
+impl AgreementDiversity {
+    /// Computes the statistics from a contingency table.
+    ///
+    /// `yule_q`, `phi` and `kappa` are `NaN` when a margin is degenerate
+    /// (e.g. one tool alerts on everything).
+    pub fn from_contingency(c: &Contingency) -> Self {
+        let a = c.both as f64; // both alert
+        let b = c.only_first as f64; // first only
+        let d = c.only_second as f64; // second only
+        let e = c.neither as f64; // neither
+        let n = a + b + d + e;
+
+        let yule_q = (a * e - b * d) / (a * e + b * d);
+        let phi_den = ((a + b) * (d + e) * (a + d) * (b + e)).sqrt();
+        let phi = if phi_den == 0.0 {
+            f64::NAN
+        } else {
+            (a * e - b * d) / phi_den
+        };
+        let disagreement = if n == 0.0 { 0.0 } else { (b + d) / n };
+        let kappa = {
+            let po = (a + e) / n;
+            let p_first = (a + b) / n;
+            let p_second = (a + d) / n;
+            let pe = p_first * p_second + (1.0 - p_first) * (1.0 - p_second);
+            if (1.0 - pe).abs() < 1e-12 {
+                f64::NAN
+            } else {
+                (po - pe) / (1.0 - pe)
+            }
+        };
+        Self {
+            yule_q,
+            phi,
+            disagreement,
+            kappa,
+        }
+    }
+
+    /// Convenience: contingency + statistics straight from two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors cover different logs.
+    pub fn of(first: &AlertVector, second: &AlertVector) -> Self {
+        Self::from_contingency(&Contingency::of(first, second))
+    }
+}
+
+/// Diversity statistics against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleDiversity {
+    /// Requests where both tools are correct.
+    pub both_correct: u64,
+    /// Requests where only the first tool is correct.
+    pub only_first_correct: u64,
+    /// Requests where only the second tool is correct.
+    pub only_second_correct: u64,
+    /// Requests where both tools are wrong — the *double fault*.
+    pub both_wrong: u64,
+}
+
+impl OracleDiversity {
+    /// Computes the joint correctness breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inputs cover different logs.
+    pub fn of(first: &AlertVector, second: &AlertVector, truth: &[GroundTruth]) -> Self {
+        assert_eq!(first.len(), truth.len());
+        assert_eq!(second.len(), truth.len());
+        let mut out = Self {
+            both_correct: 0,
+            only_first_correct: 0,
+            only_second_correct: 0,
+            both_wrong: 0,
+        };
+        for (i, t) in truth.iter().enumerate() {
+            let actual = t.is_malicious();
+            let c1 = first.get(i) == actual;
+            let c2 = second.get(i) == actual;
+            match (c1, c2) {
+                (true, true) => out.both_correct += 1,
+                (true, false) => out.only_first_correct += 1,
+                (false, true) => out.only_second_correct += 1,
+                (false, false) => out.both_wrong += 1,
+            }
+        }
+        out
+    }
+
+    /// Total requests.
+    pub fn total(&self) -> u64 {
+        self.both_correct + self.only_first_correct + self.only_second_correct + self.both_wrong
+    }
+
+    /// The double-fault measure: share of requests where both tools fail.
+    /// The key quantity for 1-out-of-2 adjudication — these are the misses
+    /// no amount of OR-ing fixes.
+    pub fn double_fault(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.both_wrong as f64 / self.total() as f64
+        }
+    }
+
+    /// Share of requests at least one tool gets right — the ceiling for
+    /// 1-out-of-2.
+    pub fn at_least_one_correct(&self) -> f64 {
+        1.0 - self.double_fault()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_traffic::ActorClass;
+    use proptest::prelude::*;
+
+    fn truth_of(flags: &[bool]) -> Vec<GroundTruth> {
+        flags
+            .iter()
+            .map(|&m| {
+                GroundTruth::new(
+                    if m {
+                        ActorClass::PriceScraperBot
+                    } else {
+                        ActorClass::Human
+                    },
+                    0,
+                    0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_tools_have_q_one_and_no_disagreement() {
+        let a = AlertVector::from_bools("a", &[true, false, true, false]);
+        let d = AgreementDiversity::of(&a, &a.clone().renamed("b"));
+        assert_eq!(d.yule_q, 1.0);
+        assert_eq!(d.disagreement, 0.0);
+        assert!((d.kappa - 1.0).abs() < 1e-12);
+        assert!((d.phi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_tools_have_q_minus_one() {
+        let a = AlertVector::from_bools("a", &[true, true, false, false]);
+        let b = a.not();
+        let d = AgreementDiversity::of(&a, &b);
+        assert_eq!(d.yule_q, -1.0);
+        assert_eq!(d.disagreement, 1.0);
+        assert!(d.kappa < 0.0);
+    }
+
+    #[test]
+    fn hand_checked_contingency() {
+        // a=both=40, b=first-only=10, c=second-only=5, d=neither=45.
+        let c = Contingency {
+            both: 40,
+            only_first: 10,
+            only_second: 5,
+            neither: 45,
+        };
+        let d = AgreementDiversity::from_contingency(&c);
+        // Q = (40·45 − 10·5)/(40·45 + 10·5) = 1750/1850.
+        assert!((d.yule_q - 1750.0 / 1850.0).abs() < 1e-12);
+        assert!((d.disagreement - 0.15).abs() < 1e-12);
+        assert!(d.kappa > 0.5 && d.kappa < 1.0);
+    }
+
+    #[test]
+    fn oracle_diversity_hand_case() {
+        let truth = truth_of(&[true, true, true, false, false]);
+        let first = AlertVector::from_bools("f", &[true, true, false, false, true]);
+        let second = AlertVector::from_bools("s", &[true, false, true, false, true]);
+        let o = OracleDiversity::of(&first, &second, &truth);
+        // Request 0: both correct. 1: only first. 2: only second.
+        // 3: both correct (both say benign). 4: both wrong (both alert benign).
+        assert_eq!(o.both_correct, 2);
+        assert_eq!(o.only_first_correct, 1);
+        assert_eq!(o.only_second_correct, 1);
+        assert_eq!(o.both_wrong, 1);
+        assert!((o.double_fault() - 0.2).abs() < 1e-12);
+        assert!((o.at_least_one_correct() - 0.8).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn statistics_stay_in_range(
+            flags_a in proptest::collection::vec(any::<bool>(), 4..200),
+            flags_b in proptest::collection::vec(any::<bool>(), 4..200),
+            malice in proptest::collection::vec(any::<bool>(), 4..200),
+        ) {
+            let n = flags_a.len().min(flags_b.len()).min(malice.len());
+            let a = AlertVector::from_bools("a", &flags_a[..n]);
+            let b = AlertVector::from_bools("b", &flags_b[..n]);
+            let d = AgreementDiversity::of(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d.disagreement));
+            if !d.yule_q.is_nan() {
+                prop_assert!((-1.0..=1.0).contains(&d.yule_q), "Q {}", d.yule_q);
+            }
+            if !d.phi.is_nan() {
+                prop_assert!((-1.0 - 1e9..=1.0 + 1e-9).contains(&d.phi), "phi {}", d.phi);
+            }
+
+            let truth = truth_of(&malice[..n]);
+            let o = OracleDiversity::of(&a, &b, &truth);
+            prop_assert_eq!(o.total() as usize, n);
+            prop_assert!((0.0..=1.0).contains(&o.double_fault()));
+            prop_assert!(
+                (o.double_fault() + o.at_least_one_correct() - 1.0).abs() < 1e-12
+            );
+        }
+    }
+}

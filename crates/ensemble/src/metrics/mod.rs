@@ -1,0 +1,9 @@
+//! Classifier-quality and diversity metrics.
+
+mod confusion;
+mod diversity;
+mod roc;
+
+pub use confusion::ConfusionMatrix;
+pub use diversity::{AgreementDiversity, OracleDiversity};
+pub use roc::{RocCurve, RocPoint};

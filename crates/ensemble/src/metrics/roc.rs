@@ -1,0 +1,233 @@
+//! ROC analysis for scoring detectors.
+
+use divscrape_traffic::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+/// One operating point on a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Score threshold producing this point (alert when `score >= threshold`).
+    pub threshold: f32,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+}
+
+/// A ROC curve with its AUC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+    auc: f64,
+}
+
+impl RocCurve {
+    /// Builds the curve from per-request scores and ground truth.
+    ///
+    /// The AUC is computed exactly (Mann–Whitney with tie correction); the
+    /// point list contains one point per distinct threshold, endpoints
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the inputs differ in length, contain a
+    /// non-finite score, or lack one of the two classes.
+    pub fn from_scores(scores: &[f32], truth: &[GroundTruth]) -> Result<Self, String> {
+        if scores.len() != truth.len() {
+            return Err(format!(
+                "scores cover {} requests, truth {}",
+                scores.len(),
+                truth.len()
+            ));
+        }
+        if scores.iter().any(|s| !s.is_finite()) {
+            return Err("scores must be finite".into());
+        }
+        let pos = truth.iter().filter(|t| t.is_malicious()).count() as f64;
+        let neg = truth.len() as f64 - pos;
+        if pos == 0.0 || neg == 0.0 {
+            return Err("need both classes for a ROC curve".into());
+        }
+
+        // Sort by descending score; sweep thresholds.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("scores are finite")
+        });
+
+        let mut points = vec![RocPoint {
+            threshold: f32::INFINITY,
+            fpr: 0.0,
+            tpr: 0.0,
+        }];
+        let (mut tp, mut fp) = (0u64, 0u64);
+        let mut i = 0;
+        while i < order.len() {
+            let threshold = scores[order[i]];
+            // Consume the whole tie group.
+            while i < order.len() && scores[order[i]] == threshold {
+                if truth[order[i]].is_malicious() {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                threshold,
+                fpr: fp as f64 / neg,
+                tpr: tp as f64 / pos,
+            });
+        }
+
+        // Exact AUC by trapezoidal integration over the tie-grouped points
+        // (equivalent to the tie-corrected Mann–Whitney statistic).
+        let mut auc = 0.0;
+        for w in points.windows(2) {
+            auc += (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0;
+        }
+
+        Ok(Self { points, auc })
+    }
+
+    /// The operating points, from (0,0) to (1,1).
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the curve.
+    pub fn auc(&self) -> f64 {
+        self.auc
+    }
+
+    /// The point with the best Youden J (tpr − fpr).
+    pub fn best_youden(&self) -> RocPoint {
+        *self
+            .points
+            .iter()
+            .max_by(|a, b| {
+                (a.tpr - a.fpr)
+                    .partial_cmp(&(b.tpr - b.fpr))
+                    .expect("rates are finite")
+            })
+            .expect("curve always has endpoints")
+    }
+
+    /// Downsamples to at most `n` points for plotting (endpoints kept).
+    pub fn sampled(&self, n: usize) -> Vec<RocPoint> {
+        let n = n.max(2);
+        if self.points.len() <= n {
+            return self.points.clone();
+        }
+        let mut out = Vec::with_capacity(n);
+        let last = self.points.len() - 1;
+        for k in 0..n {
+            let idx = k * last / (n - 1);
+            out.push(self.points[idx]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_traffic::ActorClass;
+    use proptest::prelude::*;
+
+    fn truth_of(flags: &[bool]) -> Vec<GroundTruth> {
+        flags
+            .iter()
+            .map(|&m| {
+                GroundTruth::new(
+                    if m {
+                        ActorClass::Scanner
+                    } else {
+                        ActorClass::Human
+                    },
+                    0,
+                    0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let truth = truth_of(&[true, true, false, false]);
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        assert!((roc.auc() - 1.0).abs() < 1e-12);
+        let best = roc.best_youden();
+        assert_eq!(best.tpr, 1.0);
+        assert_eq!(best.fpr, 0.0);
+    }
+
+    #[test]
+    fn inverted_separation_gives_auc_zero() {
+        let scores = [0.1f32, 0.2, 0.8, 0.9];
+        let truth = truth_of(&[true, true, false, false]);
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        assert!(roc.auc().abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_scores_give_auc_half() {
+        let scores = [0.5f32; 10];
+        let truth = truth_of(&[true, false, true, false, true, false, true, false, true, false]);
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_auc_with_tie() {
+        // Scores: pos {0.9, 0.5}, neg {0.5, 0.1}. Pair contributions:
+        // (0.9>0.5)=1, (0.9>0.1)=1, (0.5=0.5)=0.5, (0.5>0.1)=1 → 3.5/4.
+        let scores = [0.9f32, 0.5, 0.5, 0.1];
+        let truth = truth_of(&[true, true, false, false]);
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        assert!((roc.auc() - 0.875).abs() < 1e-12, "auc {}", roc.auc());
+    }
+
+    #[test]
+    fn input_validation() {
+        let truth = truth_of(&[true, false]);
+        assert!(RocCurve::from_scores(&[0.1], &truth).is_err());
+        assert!(RocCurve::from_scores(&[f32::NAN, 0.1], &truth).is_err());
+        let all_pos = truth_of(&[true, true]);
+        assert!(RocCurve::from_scores(&[0.1, 0.2], &all_pos).is_err());
+    }
+
+    #[test]
+    fn sampling_keeps_endpoints() {
+        let scores: Vec<f32> = (0..500).map(|i| i as f32 / 500.0).collect();
+        let flags: Vec<bool> = (0..500).map(|i| i % 3 == 0).collect();
+        let roc = RocCurve::from_scores(&scores, &truth_of(&flags)).unwrap();
+        let sampled = roc.sampled(50);
+        assert!(sampled.len() <= 50);
+        assert_eq!(sampled.first().unwrap().fpr, 0.0);
+        assert_eq!(sampled.last().unwrap().fpr, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn auc_is_a_probability_and_curve_is_monotone(
+            scores in proptest::collection::vec(0.0f32..1.0, 8..200),
+            flags in proptest::collection::vec(any::<bool>(), 8..200),
+        ) {
+            let n = scores.len().min(flags.len());
+            let flags = &flags[..n];
+            prop_assume!(flags.iter().any(|f| *f) && flags.iter().any(|f| !*f));
+            let roc = RocCurve::from_scores(&scores[..n], &truth_of(flags)).unwrap();
+            prop_assert!((0.0..=1.0).contains(&roc.auc()));
+            for w in roc.points().windows(2) {
+                prop_assert!(w[1].fpr >= w[0].fpr);
+                prop_assert!(w[1].tpr >= w[0].tpr);
+            }
+            prop_assert_eq!(roc.points().last().unwrap().fpr, 1.0);
+            prop_assert_eq!(roc.points().last().unwrap().tpr, 1.0);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Fixed-width text tables in the paper's layout.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table builder used by every experiment
+/// harness to print paper-style tables.
+///
+/// ```
+/// use divscrape_ensemble::report::TextTable;
+///
+/// let mut t = TextTable::new("Table 2 - Diversity in alerting behavior");
+/// t.columns(&["HTTP requests alerted by:", "Count"]);
+/// t.row(&["Both tools", "1231408"]);
+/// t.row(&["Neither", "185383"]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("Both tools"));
+/// assert!(rendered.contains("1231408"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn columns(&mut self, names: &[&str]) -> &mut Self {
+        self.header = names.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+
+    /// Appends one row. Rows shorter than the header are padded with empty
+    /// cells; longer rows extend the column count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    /// Appends a row from owned strings (convenient with `format!`).
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{}", "=".repeat(self.title.chars().count().max(total)));
+        let render_row = |row: &[String], out: &mut String| {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == widths.len() {
+                    // Right-align the last column (counts).
+                    let _ = write!(line, "{cell:>width$}");
+                } else {
+                    let _ = write!(line, "{cell:<width$} | ");
+                }
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        };
+        if !self.header.is_empty() {
+            render_row(&self.header, &mut out);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a count with thousands separators, like the paper's tables
+/// (`1,469,744`).
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn percent(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_owned()
+    } else {
+        format!("{:.2}%", x * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(1_469_744), "1,469,744");
+        assert_eq!(thousands(1_000_000_007), "1,000,000,007");
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.8378), "83.78%");
+        assert_eq!(percent(f64::NAN), "n/a");
+        assert_eq!(percent(1.0), "100.00%");
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new("T");
+        t.columns(&["name", "count"]);
+        t.row(&["short", "1"]);
+        t.row(&["a much longer name", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, "=" rule, header, "-" rule, two data rows.
+        assert_eq!(lines.len(), 6);
+        // Both data lines end with right-aligned counts of equal width.
+        assert!(lines[4].ends_with("    1"));
+        assert!(lines[5].ends_with("12345"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut t = TextTable::new("ragged");
+        t.columns(&["a", "b"]);
+        t.row(&["only-one"]);
+        t.row(&["x", "y", "z"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+        assert!(s.contains('z'));
+    }
+}

@@ -1,0 +1,240 @@
+//! Per-day alert-rate series over the observation window.
+//!
+//! The paper's dataset spans 8 days (March 11th–18th 2018) but reports only
+//! aggregate tables. This module adds the time dimension: daily request and
+//! alert volumes per tool, and daily agreement — which shows whether the
+//! measured diversity is a stable property of the tool pair or an artefact
+//! of one noisy day.
+
+use divscrape_httplog::{ClfTimestamp, LogEntry, SECONDS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{percent, thousands, TextTable};
+use crate::AlertVector;
+
+/// One day's traffic and alerting volumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DayStats {
+    /// Requests logged this day.
+    pub requests: u64,
+    /// Requests alerted by the first tool.
+    pub first_alerts: u64,
+    /// Requests alerted by the second tool.
+    pub second_alerts: u64,
+    /// Requests alerted by both.
+    pub both: u64,
+    /// Requests where the tools disagree.
+    pub disagreements: u64,
+}
+
+impl DayStats {
+    /// First tool's alert rate for the day.
+    pub fn first_rate(&self) -> f64 {
+        self.first_alerts as f64 / self.requests.max(1) as f64
+    }
+
+    /// Second tool's alert rate for the day.
+    pub fn second_rate(&self) -> f64 {
+        self.second_alerts as f64 / self.requests.max(1) as f64
+    }
+
+    /// Share of the day's requests on which the tools disagree.
+    pub fn disagreement_rate(&self) -> f64 {
+        self.disagreements as f64 / self.requests.max(1) as f64
+    }
+}
+
+/// A per-day breakdown of two tools' alerting over a window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailySeries {
+    window_start: ClfTimestamp,
+    days: Vec<DayStats>,
+    first_name: String,
+    second_name: String,
+}
+
+impl DailySeries {
+    /// Builds the series.
+    ///
+    /// Entries with timestamps outside `[window_start, window_start +
+    /// days)` are ignored (real logs have stragglers; synthetic ones do
+    /// not).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the alert vectors do not cover `entries`, or when
+    /// `window_days == 0`.
+    pub fn of(
+        entries: &[LogEntry],
+        first: &AlertVector,
+        second: &AlertVector,
+        window_start: ClfTimestamp,
+        window_days: u32,
+    ) -> Self {
+        assert!(window_days > 0, "window must cover at least one day");
+        assert_eq!(entries.len(), first.len());
+        assert_eq!(entries.len(), second.len());
+        let mut days = vec![DayStats::default(); window_days as usize];
+        for (i, e) in entries.iter().enumerate() {
+            let offset = e.timestamp().epoch_seconds() - window_start.epoch_seconds();
+            if offset < 0 {
+                continue;
+            }
+            let day = (offset / SECONDS_PER_DAY) as usize;
+            if day >= days.len() {
+                continue;
+            }
+            let d = &mut days[day];
+            let (fa, sa) = (first.get(i), second.get(i));
+            d.requests += 1;
+            d.first_alerts += u64::from(fa);
+            d.second_alerts += u64::from(sa);
+            d.both += u64::from(fa && sa);
+            d.disagreements += u64::from(fa != sa);
+        }
+        Self {
+            window_start,
+            days,
+            first_name: first.name().to_owned(),
+            second_name: second.name().to_owned(),
+        }
+    }
+
+    /// The per-day statistics, in window order.
+    pub fn days(&self) -> &[DayStats] {
+        &self.days
+    }
+
+    /// The calendar date label of day `i` (e.g. `"11/Mar"`).
+    pub fn day_label(&self, i: usize) -> String {
+        let t = self.window_start.plus_seconds(i as i64 * SECONDS_PER_DAY);
+        let full = t.to_string();
+        full[..6].to_owned()
+    }
+
+    /// Largest absolute day-to-day swing in the disagreement rate. Small
+    /// values mean the tools' diversity is a stable structural property.
+    pub fn disagreement_swing(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .days
+            .iter()
+            .filter(|d| d.requests > 0)
+            .map(DayStats::disagreement_rate)
+            .collect();
+        let max = rates.iter().copied().fold(f64::MIN, f64::max);
+        let min = rates.iter().copied().fold(f64::MAX, f64::min);
+        if rates.is_empty() {
+            0.0
+        } else {
+            max - min
+        }
+    }
+
+    /// Renders the series as a paper-style text table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(format!(
+            "Daily alerting behaviour ({} vs {})",
+            self.first_name, self.second_name
+        ));
+        t.columns(&["Day", "Requests", self.first_name.as_str(), self.second_name.as_str(), "Disagree"]);
+        for (i, d) in self.days.iter().enumerate() {
+            t.row_owned(vec![
+                self.day_label(i),
+                thousands(d.requests),
+                percent(d.first_rate()),
+                percent(d.second_rate()),
+                percent(d.disagreement_rate()),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_httplog::HttpStatus;
+    use std::net::Ipv4Addr;
+
+    fn entry(day: i64, sec: i64) -> LogEntry {
+        LogEntry::builder()
+            .addr(Ipv4Addr::new(10, 0, 0, 1))
+            .timestamp(
+                ClfTimestamp::PAPER_WINDOW_START.plus_seconds(day * SECONDS_PER_DAY + sec),
+            )
+            .request("GET /x HTTP/1.1".parse().unwrap())
+            .status(HttpStatus::OK)
+            .user_agent("u")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn buckets_entries_by_day() {
+        let entries = vec![entry(0, 0), entry(0, 100), entry(1, 5), entry(7, 86_399)];
+        let a = AlertVector::from_bools("a", &[true, false, true, true]);
+        let b = AlertVector::from_bools("b", &[true, true, false, true]);
+        let s = DailySeries::of(&entries, &a, &b, ClfTimestamp::PAPER_WINDOW_START, 8);
+        assert_eq!(s.days().len(), 8);
+        assert_eq!(s.days()[0].requests, 2);
+        assert_eq!(s.days()[0].first_alerts, 1);
+        assert_eq!(s.days()[0].second_alerts, 2);
+        assert_eq!(s.days()[0].disagreements, 1);
+        assert_eq!(s.days()[1].requests, 1);
+        assert_eq!(s.days()[1].disagreements, 1);
+        assert_eq!(s.days()[7].both, 1);
+        for d in 2..7 {
+            assert_eq!(s.days()[d].requests, 0);
+        }
+    }
+
+    #[test]
+    fn out_of_window_entries_are_ignored() {
+        let entries = vec![entry(-1, 0), entry(9, 0), entry(3, 12)];
+        let a = AlertVector::from_bools("a", &[true, true, true]);
+        let b = AlertVector::from_bools("b", &[true, true, false]);
+        let s = DailySeries::of(&entries, &a, &b, ClfTimestamp::PAPER_WINDOW_START, 8);
+        let total: u64 = s.days().iter().map(|d| d.requests).sum();
+        assert_eq!(total, 1);
+        assert_eq!(s.days()[3].requests, 1);
+    }
+
+    #[test]
+    fn labels_follow_the_calendar() {
+        let entries = vec![entry(0, 0)];
+        let a = AlertVector::from_bools("a", &[true]);
+        let b = AlertVector::from_bools("b", &[true]);
+        let s = DailySeries::of(&entries, &a, &b, ClfTimestamp::PAPER_WINDOW_START, 8);
+        assert_eq!(s.day_label(0), "11/Mar");
+        assert_eq!(s.day_label(7), "18/Mar");
+    }
+
+    #[test]
+    fn swing_is_zero_for_identical_days() {
+        let entries = vec![entry(0, 0), entry(1, 0)];
+        let a = AlertVector::from_bools("a", &[true, true]);
+        let b = AlertVector::from_bools("b", &[false, false]);
+        let s = DailySeries::of(&entries, &a, &b, ClfTimestamp::PAPER_WINDOW_START, 2);
+        assert_eq!(s.disagreement_swing(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_all_days() {
+        let entries = vec![entry(0, 0), entry(1, 0)];
+        let a = AlertVector::from_bools("a", &[true, true]);
+        let b = AlertVector::from_bools("b", &[false, true]);
+        let s = DailySeries::of(&entries, &a, &b, ClfTimestamp::PAPER_WINDOW_START, 2);
+        let text = s.render();
+        assert!(text.contains("11/Mar"));
+        assert!(text.contains("12/Mar"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_day_window_is_rejected() {
+        let entries: Vec<LogEntry> = Vec::new();
+        let a = AlertVector::empty("a", 0);
+        let b = AlertVector::empty("b", 0);
+        let _ = DailySeries::of(&entries, &a, &b, ClfTimestamp::PAPER_WINDOW_START, 0);
+    }
+}

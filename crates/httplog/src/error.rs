@@ -1,0 +1,152 @@
+//! Error types for log parsing and entry construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// The reason a log line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseLogErrorKind {
+    /// The line ended before all Combined Log Format fields were present.
+    UnexpectedEnd,
+    /// The client address field is not a valid IPv4 address.
+    InvalidAddr,
+    /// The `[..]` timestamp field is malformed.
+    InvalidTimestamp(String),
+    /// The quoted request line is malformed.
+    InvalidRequestLine(String),
+    /// The status field is not a valid HTTP status code.
+    InvalidStatus(String),
+    /// The size field is neither `-` nor a non-negative integer.
+    InvalidSize(String),
+    /// A quoted field (request, referrer, user agent) is not terminated.
+    UnterminatedQuote,
+    /// A field delimiter was missing where one was required.
+    MissingDelimiter(&'static str),
+}
+
+impl fmt::Display for ParseLogErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEnd => write!(f, "line ended before all fields were present"),
+            Self::InvalidAddr => write!(f, "client address is not a valid IPv4 address"),
+            Self::InvalidTimestamp(t) => write!(f, "invalid timestamp field `{t}`"),
+            Self::InvalidRequestLine(r) => write!(f, "invalid request line `{r}`"),
+            Self::InvalidStatus(s) => write!(f, "invalid status code `{s}`"),
+            Self::InvalidSize(s) => write!(f, "invalid response size `{s}`"),
+            Self::UnterminatedQuote => write!(f, "unterminated quoted field"),
+            Self::MissingDelimiter(what) => write!(f, "missing delimiter before {what}"),
+        }
+    }
+}
+
+/// Error returned when a Combined Log Format line cannot be parsed.
+///
+/// Carries the failing [`kind`](Self::kind) and the byte
+/// [`offset`](Self::offset) within the line at which parsing failed, which
+/// makes malformed production logs practical to debug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLogError {
+    kind: ParseLogErrorKind,
+    offset: usize,
+}
+
+impl ParseLogError {
+    pub(crate) fn new(kind: ParseLogErrorKind, offset: usize) -> Self {
+        Self { kind, offset }
+    }
+
+    /// The specific malformation encountered.
+    pub fn kind(&self) -> &ParseLogErrorKind {
+        &self.kind
+    }
+
+    /// Byte offset within the input line at which parsing failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.kind, self.offset)
+    }
+}
+
+impl Error for ParseLogError {}
+
+/// Error returned by [`LogEntryBuilder::build`](crate::LogEntryBuilder::build)
+/// when a mandatory field is missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildLogEntryError {
+    missing: &'static str,
+}
+
+impl BuildLogEntryError {
+    pub(crate) fn new(missing: &'static str) -> Self {
+        Self { missing }
+    }
+
+    /// Name of the first missing mandatory field.
+    pub fn missing_field(&self) -> &'static str {
+        self.missing
+    }
+}
+
+impl fmt::Display for BuildLogEntryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log entry is missing mandatory field `{}`", self.missing)
+    }
+}
+
+impl Error for BuildLogEntryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_reports_kind_and_offset() {
+        let err = ParseLogError::new(ParseLogErrorKind::InvalidAddr, 3);
+        assert_eq!(*err.kind(), ParseLogErrorKind::InvalidAddr);
+        assert_eq!(err.offset(), 3);
+        let msg = err.to_string();
+        assert!(msg.contains("IPv4"), "unexpected message: {msg}");
+        assert!(msg.contains("byte 3"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn build_error_names_missing_field() {
+        let err = BuildLogEntryError::new("timestamp");
+        assert_eq!(err.missing_field(), "timestamp");
+        assert!(err.to_string().contains("timestamp"));
+    }
+
+    #[test]
+    fn error_kinds_display_distinctly() {
+        let kinds = [
+            ParseLogErrorKind::UnexpectedEnd,
+            ParseLogErrorKind::InvalidAddr,
+            ParseLogErrorKind::InvalidTimestamp("x".into()),
+            ParseLogErrorKind::InvalidRequestLine("y".into()),
+            ParseLogErrorKind::InvalidStatus("z".into()),
+            ParseLogErrorKind::InvalidSize("w".into()),
+            ParseLogErrorKind::UnterminatedQuote,
+            ParseLogErrorKind::MissingDelimiter("status"),
+        ];
+        let rendered: Vec<String> = kinds.iter().map(ToString::to_string).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in rendered.iter().skip(i + 1) {
+                assert_ne!(a, b, "two error kinds render identically");
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseLogError>();
+        assert_send_sync::<BuildLogEntryError>();
+    }
+}

@@ -1,0 +1,320 @@
+//! Streaming log I/O.
+
+use std::io::{self, BufRead, Write};
+
+use crate::{LogEntry, ParseLogError};
+
+/// Streaming reader over Combined Log Format lines.
+///
+/// Yields one item per non-empty line: `Ok(entry)` for well-formed lines,
+/// `Err(..)` for malformed ones (callers decide whether to skip or abort —
+/// production logs routinely contain the odd mangled line). I/O errors end
+/// the stream after yielding the error.
+///
+/// A `&mut R` also implements [`BufRead`], so a reader can be borrowed
+/// instead of consumed.
+///
+/// ```
+/// use divscrape_httplog::LogReader;
+/// use std::io::Cursor;
+///
+/// let data = "\
+/// 10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] \"GET / HTTP/1.1\" 200 12 \"-\" \"curl/7.58.0\"\n\
+/// garbage line\n\
+/// 10.0.0.2 - - [11/Mar/2018:00:00:01 +0000] \"GET / HTTP/1.1\" 200 12 \"-\" \"curl/7.58.0\"\n";
+/// let reader = LogReader::new(Cursor::new(data));
+/// let results: Vec<_> = reader.collect();
+/// assert_eq!(results.len(), 3);
+/// assert!(results[0].is_ok());
+/// assert!(results[1].is_err());
+/// assert!(results[2].is_ok());
+/// ```
+#[derive(Debug)]
+pub struct LogReader<R> {
+    inner: R,
+    line: String,
+    line_no: u64,
+    done: bool,
+}
+
+/// An error produced while streaming a log: either the line failed to parse
+/// or the underlying reader failed.
+#[derive(Debug)]
+pub enum ReadLogError {
+    /// The line at `line_no` (1-based) failed to parse.
+    Parse {
+        /// 1-based line number.
+        line_no: u64,
+        /// The parse failure.
+        source: ParseLogError,
+    },
+    /// The underlying reader failed; the stream ends after this.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ReadLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadLogError::Parse { line_no, source } => {
+                write!(f, "line {line_no}: {source}")
+            }
+            ReadLogError::Io(e) => write!(f, "i/o error while reading log: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadLogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadLogError::Parse { source, .. } => Some(source),
+            ReadLogError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl<R: BufRead> LogReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            line: String::new(),
+            line_no: 0,
+            done: false,
+        }
+    }
+
+    /// Consumes the reader, returning the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Reads every remaining well-formed entry, skipping malformed lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered; parse errors are counted and
+    /// returned alongside the entries.
+    pub fn read_lenient(mut self) -> io::Result<(Vec<LogEntry>, u64)> {
+        let mut entries = Vec::new();
+        let mut skipped = 0;
+        for item in &mut self {
+            match item {
+                Ok(e) => entries.push(e),
+                Err(ReadLogError::Parse { .. }) => skipped += 1,
+                Err(ReadLogError::Io(e)) => return Err(e),
+            }
+        }
+        Ok((entries, skipped))
+    }
+}
+
+impl<R: BufRead> Iterator for LogReader<R> {
+    type Item = Result<LogEntry, ReadLogError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.inner.read_line(&mut self.line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {
+                    self.line_no += 1;
+                    let trimmed = self.line.trim_end_matches(['\r', '\n']);
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    return Some(LogEntry::parse(trimmed).map_err(|source| {
+                        ReadLogError::Parse {
+                            line_no: self.line_no,
+                            source,
+                        }
+                    }));
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(ReadLogError::Io(e)));
+                }
+            }
+        }
+    }
+}
+
+/// Streaming writer emitting one Combined Log Format line per entry.
+///
+/// A `&mut W` also implements [`Write`], so a writer can be borrowed instead
+/// of consumed.
+///
+/// ```
+/// use divscrape_httplog::{LogEntry, LogWriter};
+///
+/// let line = "10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] \"GET / HTTP/1.1\" 200 12 \"-\" \"curl/7.58.0\"";
+/// let entry = LogEntry::parse(line)?;
+/// let mut out = Vec::new();
+/// let mut writer = LogWriter::new(&mut out);
+/// writer.write_entry(&entry)?;
+/// assert_eq!(String::from_utf8(out)?, format!("{line}\n"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct LogWriter<W> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> LogWriter<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> Self {
+        Self { inner, written: 0 }
+    }
+
+    /// Writes one entry followed by `\n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any underlying I/O error.
+    pub fn write_entry(&mut self, entry: &LogEntry) -> io::Result<()> {
+        writeln!(self.inner, "{entry}")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Writes every entry from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first underlying I/O error.
+    pub fn write_all<'a, I>(&mut self, entries: I) -> io::Result<()>
+    where
+        I: IntoIterator<Item = &'a LogEntry>,
+    {
+        for e in entries {
+            self.write_entry(e)?;
+        }
+        Ok(())
+    }
+
+    /// Number of entries written so far.
+    pub fn entries_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_lines(n: usize) -> String {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "10.0.{}.{} - - [11/Mar/2018:00:00:{:02} +0000] \"GET /offers/{} HTTP/1.1\" 200 {} \"-\" \"curl/7.58.0\"\n",
+                    i / 250,
+                    i % 250 + 1,
+                    i % 60,
+                    i,
+                    100 + i
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reads_every_line() {
+        let data = sample_lines(100);
+        let reader = LogReader::new(Cursor::new(data));
+        let entries: Vec<_> = reader.map(Result::unwrap).collect();
+        assert_eq!(entries.len(), 100);
+        assert_eq!(entries[42].request().path().path(), "/offers/42");
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = format!("\n\n{}\n\n", sample_lines(2).trim_end());
+        let reader = LogReader::new(Cursor::new(data));
+        let entries: Vec<_> = reader.map(Result::unwrap).collect();
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_parse_errors() {
+        let mut data = sample_lines(3);
+        data.insert_str(0, "mangled\n");
+        let reader = LogReader::new(Cursor::new(data));
+        let results: Vec<_> = reader.collect();
+        match &results[0] {
+            Err(ReadLogError::Parse { line_no, .. }) => assert_eq!(*line_no, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(results[1..].iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn lenient_reading_counts_skips() {
+        let mut data = sample_lines(5);
+        data.push_str("garbage one\n");
+        data.push_str(&sample_lines(2));
+        data.push_str("garbage two\n");
+        let (entries, skipped) = LogReader::new(Cursor::new(data)).read_lenient().unwrap();
+        assert_eq!(entries.len(), 7);
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let data = sample_lines(20);
+        let entries: Vec<LogEntry> = LogReader::new(Cursor::new(&data))
+            .map(Result::unwrap)
+            .collect();
+
+        let mut buf = Vec::new();
+        let mut writer = LogWriter::new(&mut buf);
+        writer.write_all(&entries).unwrap();
+        assert_eq!(writer.entries_written(), 20);
+
+        let reread: Vec<LogEntry> = LogReader::new(Cursor::new(buf))
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(reread, entries);
+    }
+
+    #[test]
+    fn io_error_ends_the_stream() {
+        struct FailingReader {
+            fed: bool,
+        }
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::Other, "disk on fire"))
+            }
+        }
+        impl BufRead for FailingReader {
+            fn fill_buf(&mut self) -> io::Result<&[u8]> {
+                if self.fed {
+                    Err(io::Error::new(io::ErrorKind::Other, "disk on fire"))
+                } else {
+                    Err(io::Error::new(io::ErrorKind::Other, "disk on fire"))
+                }
+            }
+            fn consume(&mut self, _amt: usize) {}
+        }
+        let mut reader = LogReader::new(FailingReader { fed: false });
+        assert!(matches!(reader.next(), Some(Err(ReadLogError::Io(_)))));
+        assert!(reader.next().is_none());
+    }
+}

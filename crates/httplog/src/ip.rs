@@ -1,0 +1,224 @@
+//! IPv4 subnet utilities.
+//!
+//! The traffic generator allocates botnet nodes across subnets and the
+//! detectors' reputation feeds are expressed as CIDR blocks, so both sides of
+//! the reproduction share this small substrate.
+
+use std::error::Error;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 CIDR block such as `203.0.113.0/24`.
+///
+/// The network address is stored normalised (host bits cleared), so two
+/// blocks constructed from any address inside the same network compare equal.
+///
+/// ```
+/// use divscrape_httplog::Cidr;
+/// use std::net::Ipv4Addr;
+///
+/// let block: Cidr = "203.0.113.0/24".parse()?;
+/// assert!(block.contains(Ipv4Addr::new(203, 0, 113, 77)));
+/// assert!(!block.contains(Ipv4Addr::new(203, 0, 114, 1)));
+/// assert_eq!(block.host_count(), 256);
+/// # Ok::<(), divscrape_httplog::ip::ParseCidrError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cidr {
+    network: u32,
+    prefix: u8,
+}
+
+impl Cidr {
+    /// Creates a block from any address within it and a prefix length.
+    ///
+    /// Returns `None` when `prefix > 32`.
+    pub fn new(addr: Ipv4Addr, prefix: u8) -> Option<Self> {
+        if prefix > 32 {
+            return None;
+        }
+        let raw = u32::from(addr);
+        Some(Self {
+            network: raw & Self::mask(prefix),
+            prefix,
+        })
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(prefix))
+        }
+    }
+
+    /// The (normalised) network address.
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.network)
+    }
+
+    /// The prefix length.
+    pub fn prefix(self) -> u8 {
+        self.prefix
+    }
+
+    /// Whether `addr` falls inside this block.
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask(self.prefix) == self.network
+    }
+
+    /// Number of addresses in the block (including network/broadcast).
+    pub fn host_count(self) -> u64 {
+        1u64 << (32 - self.prefix)
+    }
+
+    /// The `index`-th address of the block (0 = the network address).
+    ///
+    /// Returns `None` when `index >= host_count()`.
+    pub fn nth_host(self, index: u64) -> Option<Ipv4Addr> {
+        (index < self.host_count()).then(|| Ipv4Addr::from(self.network + index as u32))
+    }
+
+    /// Whether this block fully contains `other`.
+    pub fn contains_block(self, other: Cidr) -> bool {
+        self.prefix <= other.prefix && self.contains(other.network())
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.prefix)
+    }
+}
+
+/// Error returned when a CIDR string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCidrError {
+    input: String,
+}
+
+impl fmt::Display for ParseCidrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CIDR block `{}`", self.input)
+    }
+}
+
+impl Error for ParseCidrError {}
+
+impl FromStr for Cidr {
+    type Err = ParseCidrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseCidrError { input: s.to_owned() };
+        let (addr, prefix) = s.split_once('/').ok_or_else(err)?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| err())?;
+        let prefix: u8 = prefix.parse().map_err(|_| err())?;
+        Cidr::new(addr, prefix).ok_or_else(err)
+    }
+}
+
+/// A deterministic, well-distributed 64-bit hash of an IPv4 address.
+///
+/// Used wherever the workspace needs a stable pseudo-random stream keyed by
+/// client address (shard selection, per-client jitter) without pulling in a
+/// hashing crate. This is the 64-bit finaliser from SplitMix64.
+pub fn addr_hash(addr: Ipv4Addr, salt: u64) -> u64 {
+    let mut z = u64::from(u32::from(addr)) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    #[test]
+    fn normalises_host_bits() {
+        let a = Cidr::new(ip(203, 0, 113, 77), 24).unwrap();
+        let b = Cidr::new(ip(203, 0, 113, 0), 24).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.network(), ip(203, 0, 113, 0));
+    }
+
+    #[test]
+    fn containment_across_prefixes() {
+        let slash16 = Cidr::new(ip(10, 20, 0, 0), 16).unwrap();
+        let slash24 = Cidr::new(ip(10, 20, 30, 0), 24).unwrap();
+        assert!(slash16.contains_block(slash24));
+        assert!(!slash24.contains_block(slash16));
+        assert!(slash16.contains(ip(10, 20, 255, 255)));
+        assert!(!slash16.contains(ip(10, 21, 0, 0)));
+    }
+
+    #[test]
+    fn zero_prefix_contains_everything() {
+        let all = Cidr::new(ip(1, 2, 3, 4), 0).unwrap();
+        assert!(all.contains(ip(255, 255, 255, 255)));
+        assert!(all.contains(ip(0, 0, 0, 0)));
+        assert_eq!(all.host_count(), 1 << 32);
+    }
+
+    #[test]
+    fn host_enumeration() {
+        let block = Cidr::new(ip(192, 0, 2, 0), 30).unwrap();
+        assert_eq!(block.host_count(), 4);
+        assert_eq!(block.nth_host(0), Some(ip(192, 0, 2, 0)));
+        assert_eq!(block.nth_host(3), Some(ip(192, 0, 2, 3)));
+        assert_eq!(block.nth_host(4), None);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let block: Cidr = "198.51.100.0/22".parse().unwrap();
+        assert_eq!(block.prefix(), 22);
+        assert_eq!(block.to_string(), "198.51.100.0/22");
+        // Non-normalised input displays normalised.
+        let odd: Cidr = "198.51.100.99/24".parse().unwrap();
+        assert_eq!(odd.to_string(), "198.51.100.0/24");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "1.2.3.4", "1.2.3.4/33", "1.2.3/24", "a.b.c.d/8", "1.2.3.4/-1"] {
+            assert!(bad.parse::<Cidr>().is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn prefix_32_is_single_host() {
+        let host = Cidr::new(ip(8, 8, 8, 8), 32).unwrap();
+        assert_eq!(host.host_count(), 1);
+        assert!(host.contains(ip(8, 8, 8, 8)));
+        assert!(!host.contains(ip(8, 8, 8, 9)));
+    }
+
+    #[test]
+    fn addr_hash_is_deterministic_and_salt_sensitive() {
+        let a = addr_hash(ip(10, 0, 0, 1), 7);
+        let b = addr_hash(ip(10, 0, 0, 1), 7);
+        let c = addr_hash(ip(10, 0, 0, 1), 8);
+        let d = addr_hash(ip(10, 0, 0, 2), 7);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn addr_hash_spreads_sequential_addresses() {
+        // Sequential addresses should land in different low-bit buckets often
+        // enough to shard evenly: check at least 6 of 8 buckets hit over /29.
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0..64u8 {
+            buckets.insert(addr_hash(ip(10, 0, 0, i), 0) % 8);
+        }
+        assert!(buckets.len() >= 6, "only {} buckets hit", buckets.len());
+    }
+}

@@ -1,0 +1,198 @@
+//! HTTP request methods.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An HTTP request method as it appears in an access-log request line.
+///
+/// The set covers every method the traffic generator emits and the handful of
+/// exotic ones that scanners probe with; unknown tokens are a parse error
+/// (a real Apache log line with an unknown token is recorded verbatim by the
+/// server, but none of the systems modelled here ever emit one).
+///
+/// ```
+/// use divscrape_httplog::HttpMethod;
+///
+/// let m: HttpMethod = "GET".parse()?;
+/// assert_eq!(m, HttpMethod::Get);
+/// assert!(m.is_safe());
+/// # Ok::<(), divscrape_httplog::ParseMethodError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum HttpMethod {
+    /// `GET` — retrieve a resource.
+    Get,
+    /// `HEAD` — retrieve headers only. Over-represented in crawler traffic.
+    Head,
+    /// `POST` — submit a form or API call.
+    Post,
+    /// `PUT` — upload a resource (rare in browse traffic; a scanner signal).
+    Put,
+    /// `DELETE` — remove a resource (a scanner signal).
+    Delete,
+    /// `OPTIONS` — capability probe; CORS preflight or scanner probe.
+    Options,
+    /// `PATCH` — partial update.
+    Patch,
+    /// `TRACE` — diagnostic loop-back; essentially always a probe.
+    Trace,
+    /// `CONNECT` — tunnel request; essentially always a probe.
+    Connect,
+}
+
+impl HttpMethod {
+    /// All methods, in declaration order.
+    pub const ALL: [HttpMethod; 9] = [
+        HttpMethod::Get,
+        HttpMethod::Head,
+        HttpMethod::Post,
+        HttpMethod::Put,
+        HttpMethod::Delete,
+        HttpMethod::Options,
+        HttpMethod::Patch,
+        HttpMethod::Trace,
+        HttpMethod::Connect,
+    ];
+
+    /// The canonical upper-case token for the method.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HttpMethod::Get => "GET",
+            HttpMethod::Head => "HEAD",
+            HttpMethod::Post => "POST",
+            HttpMethod::Put => "PUT",
+            HttpMethod::Delete => "DELETE",
+            HttpMethod::Options => "OPTIONS",
+            HttpMethod::Patch => "PATCH",
+            HttpMethod::Trace => "TRACE",
+            HttpMethod::Connect => "CONNECT",
+        }
+    }
+
+    /// Whether the method is *safe* in the RFC 7231 sense (read-only).
+    pub fn is_safe(self) -> bool {
+        matches!(
+            self,
+            HttpMethod::Get | HttpMethod::Head | HttpMethod::Options | HttpMethod::Trace
+        )
+    }
+
+    /// Whether the method is idempotent per RFC 7231.
+    pub fn is_idempotent(self) -> bool {
+        self.is_safe() || matches!(self, HttpMethod::Put | HttpMethod::Delete)
+    }
+
+    /// Whether the method is one that ordinary browser navigation produces
+    /// (`GET`/`POST`, plus `HEAD` from some prefetchers). Scanners and
+    /// exfiltration tooling use the rest far more often, which is why several
+    /// detectors treat non-browsing methods as a suspicion signal.
+    pub fn is_browsing(self) -> bool {
+        matches!(self, HttpMethod::Get | HttpMethod::Post | HttpMethod::Head)
+    }
+}
+
+impl fmt::Display for HttpMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when a method token is not a recognised HTTP method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMethodError {
+    token: String,
+}
+
+impl ParseMethodError {
+    /// The offending token.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+}
+
+impl fmt::Display for ParseMethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognised HTTP method `{}`", self.token)
+    }
+}
+
+impl Error for ParseMethodError {}
+
+impl FromStr for HttpMethod {
+    type Err = ParseMethodError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "GET" => Ok(HttpMethod::Get),
+            "HEAD" => Ok(HttpMethod::Head),
+            "POST" => Ok(HttpMethod::Post),
+            "PUT" => Ok(HttpMethod::Put),
+            "DELETE" => Ok(HttpMethod::Delete),
+            "OPTIONS" => Ok(HttpMethod::Options),
+            "PATCH" => Ok(HttpMethod::Patch),
+            "TRACE" => Ok(HttpMethod::Trace),
+            "CONNECT" => Ok(HttpMethod::Connect),
+            other => Err(ParseMethodError {
+                token: other.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_methods() {
+        for m in HttpMethod::ALL {
+            let parsed: HttpMethod = m.as_str().parse().unwrap();
+            assert_eq!(parsed, m);
+            assert_eq!(m.to_string(), m.as_str());
+        }
+    }
+
+    #[test]
+    fn rejects_lowercase_and_garbage() {
+        assert!("get".parse::<HttpMethod>().is_err());
+        assert!("".parse::<HttpMethod>().is_err());
+        assert!("FETCH".parse::<HttpMethod>().is_err());
+        let err = "SPY".parse::<HttpMethod>().unwrap_err();
+        assert_eq!(err.token(), "SPY");
+    }
+
+    #[test]
+    fn safety_classification_matches_rfc7231() {
+        assert!(HttpMethod::Get.is_safe());
+        assert!(HttpMethod::Head.is_safe());
+        assert!(HttpMethod::Options.is_safe());
+        assert!(HttpMethod::Trace.is_safe());
+        assert!(!HttpMethod::Post.is_safe());
+        assert!(!HttpMethod::Put.is_safe());
+        assert!(!HttpMethod::Delete.is_safe());
+    }
+
+    #[test]
+    fn idempotency_includes_put_and_delete() {
+        assert!(HttpMethod::Put.is_idempotent());
+        assert!(HttpMethod::Delete.is_idempotent());
+        assert!(!HttpMethod::Post.is_idempotent());
+        assert!(!HttpMethod::Patch.is_idempotent());
+    }
+
+    #[test]
+    fn browsing_methods_are_narrow() {
+        let browsing: Vec<_> = HttpMethod::ALL
+            .into_iter()
+            .filter(|m| m.is_browsing())
+            .collect();
+        assert_eq!(
+            browsing,
+            vec![HttpMethod::Get, HttpMethod::Head, HttpMethod::Post]
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! HTTP response status codes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An HTTP response status code (`100..=599`).
+///
+/// A thin validated newtype over `u16`. Constants are provided for the eight
+/// statuses that appear in the paper's Tables 3 and 4; any other valid code
+/// can still be represented.
+///
+/// ```
+/// use divscrape_httplog::{HttpStatus, StatusClass};
+///
+/// let s = HttpStatus::OK;
+/// assert_eq!(s.as_u16(), 200);
+/// assert_eq!(s.class(), StatusClass::Success);
+/// assert_eq!(s.reason(), "OK");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct HttpStatus(u16);
+
+/// The response-class (first digit) of an HTTP status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StatusClass {
+    /// `1xx` — informational.
+    Informational,
+    /// `2xx` — success.
+    Success,
+    /// `3xx` — redirection.
+    Redirection,
+    /// `4xx` — client error.
+    ClientError,
+    /// `5xx` — server error.
+    ServerError,
+}
+
+impl HttpStatus {
+    /// `200 OK`.
+    pub const OK: HttpStatus = HttpStatus(200);
+    /// `204 No Content`.
+    pub const NO_CONTENT: HttpStatus = HttpStatus(204);
+    /// `302 Found`.
+    pub const FOUND: HttpStatus = HttpStatus(302);
+    /// `304 Not Modified`.
+    pub const NOT_MODIFIED: HttpStatus = HttpStatus(304);
+    /// `400 Bad Request`.
+    pub const BAD_REQUEST: HttpStatus = HttpStatus(400);
+    /// `403 Forbidden`.
+    pub const FORBIDDEN: HttpStatus = HttpStatus(403);
+    /// `404 Not Found`.
+    pub const NOT_FOUND: HttpStatus = HttpStatus(404);
+    /// `500 Internal Server Error`.
+    pub const INTERNAL_SERVER_ERROR: HttpStatus = HttpStatus(500);
+
+    /// The eight statuses reported in the paper's Tables 3 and 4, in the
+    /// canonical order used throughout the reproduction (numeric ascending).
+    pub const PAPER_STATUSES: [HttpStatus; 8] = [
+        HttpStatus::OK,
+        HttpStatus::NO_CONTENT,
+        HttpStatus::FOUND,
+        HttpStatus::NOT_MODIFIED,
+        HttpStatus::BAD_REQUEST,
+        HttpStatus::FORBIDDEN,
+        HttpStatus::NOT_FOUND,
+        HttpStatus::INTERNAL_SERVER_ERROR,
+    ];
+
+    /// Creates a status from a raw code.
+    ///
+    /// Returns `None` when `code` is outside `100..=599`.
+    pub fn new(code: u16) -> Option<Self> {
+        (100..=599).contains(&code).then_some(HttpStatus(code))
+    }
+
+    /// The numeric code.
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// The response class (first digit).
+    pub fn class(self) -> StatusClass {
+        match self.0 / 100 {
+            1 => StatusClass::Informational,
+            2 => StatusClass::Success,
+            3 => StatusClass::Redirection,
+            4 => StatusClass::ClientError,
+            _ => StatusClass::ServerError,
+        }
+    }
+
+    /// `true` for `4xx` and `5xx` responses.
+    ///
+    /// Several detectors use a session's error ratio as a probing signal, so
+    /// this predicate is on the hot path.
+    pub fn is_error(self) -> bool {
+        self.0 >= 400
+    }
+
+    /// `true` for `2xx` responses.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// `true` for `3xx` responses.
+    pub fn is_redirect(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// The canonical reason phrase for well-known codes, or `"Unknown"`.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            204 => "No Content",
+            206 => "Partial Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            303 => "See Other",
+            304 => "Not Modified",
+            307 => "Temporary Redirect",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            410 => "Gone",
+            418 => "I'm a teapot",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+
+    /// Renders the label the paper uses in its tables, e.g.
+    /// `"200 (OK)"` or `"500 (Internal Server Error)"`.
+    pub fn paper_label(self) -> String {
+        format!("{} ({})", self.0, self.reason())
+    }
+}
+
+impl fmt::Display for HttpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u16> for HttpStatus {
+    type Error = InvalidStatusCode;
+
+    fn try_from(code: u16) -> Result<Self, Self::Error> {
+        HttpStatus::new(code).ok_or(InvalidStatusCode(code))
+    }
+}
+
+impl From<HttpStatus> for u16 {
+    fn from(s: HttpStatus) -> u16 {
+        s.0
+    }
+}
+
+/// Error returned when converting an out-of-range integer to [`HttpStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidStatusCode(pub u16);
+
+impl fmt::Display for InvalidStatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "status code {} is outside 100..=599", self.0)
+    }
+}
+
+impl std::error::Error for InvalidStatusCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_range() {
+        assert!(HttpStatus::new(99).is_none());
+        assert!(HttpStatus::new(600).is_none());
+        assert!(HttpStatus::new(100).is_some());
+        assert!(HttpStatus::new(599).is_some());
+        assert_eq!(HttpStatus::try_from(604), Err(InvalidStatusCode(604)));
+        assert_eq!(HttpStatus::try_from(204).unwrap(), HttpStatus::NO_CONTENT);
+    }
+
+    #[test]
+    fn classes_follow_first_digit() {
+        assert_eq!(HttpStatus::new(101).unwrap().class(), StatusClass::Informational);
+        assert_eq!(HttpStatus::OK.class(), StatusClass::Success);
+        assert_eq!(HttpStatus::FOUND.class(), StatusClass::Redirection);
+        assert_eq!(HttpStatus::NOT_FOUND.class(), StatusClass::ClientError);
+        assert_eq!(
+            HttpStatus::INTERNAL_SERVER_ERROR.class(),
+            StatusClass::ServerError
+        );
+    }
+
+    #[test]
+    fn error_predicate_covers_4xx_and_5xx() {
+        assert!(HttpStatus::BAD_REQUEST.is_error());
+        assert!(HttpStatus::INTERNAL_SERVER_ERROR.is_error());
+        assert!(!HttpStatus::OK.is_error());
+        assert!(!HttpStatus::NOT_MODIFIED.is_error());
+        assert!(HttpStatus::NOT_MODIFIED.is_redirect());
+        assert!(HttpStatus::NO_CONTENT.is_success());
+    }
+
+    #[test]
+    fn paper_labels_match_the_tables() {
+        assert_eq!(HttpStatus::OK.paper_label(), "200 (OK)");
+        assert_eq!(HttpStatus::NO_CONTENT.paper_label(), "204 (No Content)");
+        assert_eq!(HttpStatus::FOUND.paper_label(), "302 (Found)");
+        assert_eq!(HttpStatus::NOT_MODIFIED.paper_label(), "304 (Not Modified)");
+        assert_eq!(HttpStatus::BAD_REQUEST.paper_label(), "400 (Bad Request)");
+        assert_eq!(HttpStatus::FORBIDDEN.paper_label(), "403 (Forbidden)");
+        assert_eq!(HttpStatus::NOT_FOUND.paper_label(), "404 (Not Found)");
+        assert_eq!(
+            HttpStatus::INTERNAL_SERVER_ERROR.paper_label(),
+            "500 (Internal Server Error)"
+        );
+    }
+
+    #[test]
+    fn paper_statuses_are_sorted_and_unique() {
+        let codes: Vec<u16> = HttpStatus::PAPER_STATUSES
+            .iter()
+            .map(|s| s.as_u16())
+            .collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted);
+        assert_eq!(codes.len(), 8);
+    }
+
+    #[test]
+    fn unknown_reason_is_nonempty() {
+        assert_eq!(HttpStatus::new(599).unwrap().reason(), "Unknown");
+    }
+}

@@ -1,0 +1,282 @@
+//! The aggressive price-scraping botnet — the paper's headline threat.
+//!
+//! Three campaigns with distinct evasion levels model the real spectrum of
+//! fare-scraping operations:
+//!
+//! * [`Campaign::Toolkit`] — off-the-shelf scrapers announcing HTTP-tool
+//!   user agents from data-center addresses. Trivially caught by signature
+//!   *and* behaviour.
+//! * [`Campaign::Spoofed`] — a stale, fixed browser identity spoofed across
+//!   the whole botnet (the fleet-wide uniformity is itself the fingerprint),
+//!   mixed data-center/residential addresses.
+//! * [`Campaign::Residential`] — current browser identities on compromised
+//!   residential machines; only *behaviour* (rate, asset starvation,
+//!   repetition) gives these away.
+//!
+//! All campaigns scrape the same way: systematic sweeps of search pages and
+//! offer pages for competitive routes, no assets, machine-paced intervals.
+
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::{ClfTimestamp, HttpStatus};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{api_bytes, error_bytes, page_bytes, redirect_bytes};
+use crate::distrib::{LogNormal, Pareto};
+use crate::session::{RequestSpec, SessionPlan};
+use crate::useragents::{BrowserPool, BOTNET_SPOOFED_BROWSER, SCRAPER_TOOLS};
+use crate::{ActorClass, SiteModel};
+
+/// The three modelled scraping campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Campaign {
+    /// HTTP-tool user agents, data-center addresses, fastest pacing.
+    Toolkit,
+    /// One stale spoofed browser identity fleet-wide.
+    Spoofed,
+    /// Fresh browser identities on residential addresses.
+    Residential,
+}
+
+/// Behavioural knobs for one botnet campaign.
+#[derive(Debug, Clone)]
+pub struct BotnetConfig {
+    /// Which campaign this is.
+    pub campaign: Campaign,
+    /// Mean seconds between requests.
+    pub interval_mean_secs: f64,
+    /// Mean session length in requests (Pareto-tailed).
+    pub session_len_mean: f64,
+    /// Probability a scrape hits the fare API instead of the HTML page.
+    pub api_share: f64,
+    /// Per-request probability of following the hidden honeytrap link —
+    /// link-enumerating scrapers cannot tell it from a real offer.
+    pub trap_prob: f64,
+}
+
+impl BotnetConfig {
+    /// Default tuning for a campaign.
+    pub fn for_campaign(campaign: Campaign) -> Self {
+        match campaign {
+            Campaign::Toolkit => Self {
+                campaign,
+                interval_mean_secs: 1.2,
+                session_len_mean: 380.0,
+                api_share: 0.10,
+                trap_prob: 0.004,
+            },
+            Campaign::Spoofed => Self {
+                campaign,
+                interval_mean_secs: 1.8,
+                session_len_mean: 380.0,
+                api_share: 0.04,
+                trap_prob: 0.003,
+            },
+            Campaign::Residential => Self {
+                campaign,
+                interval_mean_secs: 2.4,
+                session_len_mean: 380.0,
+                api_share: 0.02,
+                trap_prob: 0.003,
+            },
+        }
+    }
+}
+
+/// Draws the user agent a node of this campaign presents.
+pub fn campaign_user_agent(
+    campaign: Campaign,
+    rng: &mut StdRng,
+    browsers: &BrowserPool,
+) -> String {
+    match campaign {
+        Campaign::Toolkit => SCRAPER_TOOLS[rng.gen_range(0..SCRAPER_TOOLS.len())].to_owned(),
+        Campaign::Spoofed => BOTNET_SPOOFED_BROWSER.to_owned(),
+        Campaign::Residential => browsers.sample(rng).to_owned(),
+    }
+}
+
+/// Plans one scraping session for a botnet node.
+///
+/// `user_agent` must be stable per node (nodes keep their identity across
+/// sessions), so it is supplied by the caller rather than drawn here.
+pub fn plan_session(
+    cfg: &BotnetConfig,
+    site: &SiteModel,
+    rng: &mut StdRng,
+    start: ClfTimestamp,
+    addr: Ipv4Addr,
+    client_id: u32,
+    user_agent: String,
+) -> SessionPlan {
+    let len_dist = Pareto::new(cfg.session_len_mean * 0.55, 2.2);
+    let len = len_dist
+        .sample(rng)
+        .clamp(60.0, cfg.session_len_mean * 6.0) as usize;
+    let interval = LogNormal::from_mean_cv(cfg.interval_mean_secs, 0.45);
+
+    let mut requests = Vec::with_capacity(len);
+    let mut clock = 0.0f64;
+
+    // A sweep iterates routes; within each route it paginates search results
+    // then pulls the offers listed. The systematic repetition is the
+    // behavioural signature in-house detectors key on.
+    let mut route = site.sample_route(rng);
+    let mut page = 1u32;
+
+    for i in 0..len {
+        let is_api = rng.gen_bool(cfg.api_share);
+        let path = if !is_api && rng.gen_bool(cfg.trap_prob) {
+            site.trap_path()
+        } else if is_api {
+            site.api_fares_path(route)
+        } else if i % 7 == 0 {
+            // Advance the sweep: next search page, or next route.
+            page += 1;
+            if page > 5 {
+                page = 1;
+                route = site.sample_route(rng);
+            }
+            site.search_path(rng, route, page)
+        } else {
+            site.offer_path(site.sample_offer(rng))
+        };
+
+        // Status mix calibrated from the paper's Table 3 "both tools"
+        // column: ~97.2% 200, ~2.8% 302 (expired-session and geo redirects),
+        // trace levels of 204/400/404/500.
+        let (status, bytes) = {
+            let u: f64 = rng.gen();
+            if u < 0.971_40 {
+                let b = if is_api { api_bytes(rng) } else { page_bytes(rng) };
+                (HttpStatus::OK, Some(b))
+            } else if u < 0.999_20 {
+                (HttpStatus::FOUND, Some(redirect_bytes()))
+            } else if u < 0.999_70 {
+                (HttpStatus::NO_CONTENT, None)
+            } else if u < 0.999_82 {
+                (HttpStatus::BAD_REQUEST, Some(error_bytes(400)))
+            } else if u < 0.999_94 {
+                (HttpStatus::INTERNAL_SERVER_ERROR, Some(error_bytes(500)))
+            } else {
+                (HttpStatus::NOT_FOUND, Some(error_bytes(404)))
+            }
+        };
+
+        requests.push(RequestSpec::get(clock, path, status, bytes));
+        clock += interval.sample_clamped(rng, 0.3, 30.0);
+    }
+
+    SessionPlan {
+        start,
+        addr,
+        user_agent,
+        actor: ActorClass::PriceScraperBot,
+        client_id,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_httplog::{RequestPath, ResourceClass};
+    use rand::SeedableRng;
+
+    fn plan_one(campaign: Campaign, seed: u64) -> SessionPlan {
+        let site = SiteModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let browsers = BrowserPool::mainstream();
+        let cfg = BotnetConfig::for_campaign(campaign);
+        let ua = campaign_user_agent(campaign, &mut rng, &browsers);
+        plan_session(
+            &cfg,
+            &site,
+            &mut rng,
+            ClfTimestamp::PAPER_WINDOW_START,
+            Ipv4Addr::new(45, 76, 12, 8),
+            9,
+            ua,
+        )
+    }
+
+    #[test]
+    fn sessions_are_long_and_fast() {
+        let plan = plan_one(Campaign::Toolkit, 1);
+        assert!(plan.len() >= 60, "session too short: {}", plan.len());
+        let span = plan.requests.last().unwrap().offset;
+        let mean_gap = span / plan.len() as f64;
+        assert!(mean_gap < 3.0, "mean gap {mean_gap}s too slow for a bot");
+    }
+
+    #[test]
+    fn bots_never_fetch_assets() {
+        for campaign in [Campaign::Toolkit, Campaign::Spoofed, Campaign::Residential] {
+            let plan = plan_one(campaign, 2);
+            assert!(plan.requests.iter().all(|r| {
+                RequestPath::parse(&r.path).resource_class() != ResourceClass::Asset
+            }));
+        }
+    }
+
+    #[test]
+    fn sweep_targets_search_and_offers() {
+        let plan = plan_one(Campaign::Spoofed, 3);
+        let searches = plan
+            .requests
+            .iter()
+            .filter(|r| r.path.starts_with("/search"))
+            .count();
+        let offers = plan
+            .requests
+            .iter()
+            .filter(|r| r.path.starts_with("/offers/"))
+            .count();
+        assert!(searches > 0);
+        assert!(offers > searches, "offers {offers} vs searches {searches}");
+    }
+
+    #[test]
+    fn campaign_identities_differ() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let browsers = BrowserPool::mainstream();
+        let toolkit = campaign_user_agent(Campaign::Toolkit, &mut rng, &browsers);
+        let spoofed = campaign_user_agent(Campaign::Spoofed, &mut rng, &browsers);
+        let residential = campaign_user_agent(Campaign::Residential, &mut rng, &browsers);
+        assert!(
+            toolkit.contains('/') && !toolkit.starts_with("Mozilla/"),
+            "toolkit UA should be a tool: {toolkit}"
+        );
+        assert_eq!(spoofed, BOTNET_SPOOFED_BROWSER);
+        assert!(residential.starts_with("Mozilla/5.0"));
+        assert_ne!(residential, BOTNET_SPOOFED_BROWSER);
+    }
+
+    #[test]
+    fn status_mix_is_dominated_by_200_with_redirect_tail() {
+        let mut counts = std::collections::HashMap::new();
+        for seed in 0..40 {
+            let plan = plan_one(Campaign::Toolkit, seed);
+            for r in &plan.requests {
+                *counts.entry(r.status.as_u16()).or_insert(0u32) += 1;
+            }
+        }
+        let total: u32 = counts.values().sum();
+        let ok = counts.get(&200).copied().unwrap_or(0);
+        let found = counts.get(&302).copied().unwrap_or(0);
+        assert!(ok as f64 / total as f64 > 0.95, "200 share {ok}/{total}");
+        let r302 = found as f64 / total as f64;
+        assert!((0.015..0.045).contains(&r302), "302 share {r302}");
+        // 304 never appears in botnet traffic (no conditional revalidation).
+        assert_eq!(counts.get(&304), None);
+    }
+
+    #[test]
+    fn offsets_are_monotonic() {
+        for seed in 0..10 {
+            let plan = plan_one(Campaign::Residential, seed);
+            assert!(plan.requests.windows(2).all(|w| w[0].offset <= w[1].offset));
+        }
+    }
+}

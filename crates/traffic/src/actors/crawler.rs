@@ -1,0 +1,190 @@
+//! Well-behaved search-engine crawlers.
+//!
+//! Googlebot/Bingbot sessions: fetch `robots.txt` first, then the sitemap,
+//! then crawl pages politely (multi-second gaps), revalidating previously
+//! seen pages with conditional GETs. They self-identify in the user agent
+//! and crawl from their operators' published address ranges — which is what
+//! lets both detectors whitelist them.
+
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::{ClfTimestamp, HttpStatus};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::page_bytes;
+use crate::distrib::LogNormal;
+use crate::session::{RequestSpec, SessionPlan};
+use crate::useragents::{BINGBOT, GOOGLEBOT};
+use crate::{ActorClass, SiteModel};
+
+/// Behavioural knobs for the crawler population.
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// Mean seconds between fetches (polite pacing).
+    pub interval_mean_secs: f64,
+    /// Mean pages fetched per crawl session.
+    pub pages_mean: f64,
+    /// Share of fetches that are conditional revalidations (`304`).
+    pub revalidate_share: f64,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        Self {
+            interval_mean_secs: 18.0,
+            pages_mean: 220.0,
+            revalidate_share: 0.22,
+        }
+    }
+}
+
+/// Which crawler operator a client belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrawlerIdentity {
+    /// Googlebot.
+    Google,
+    /// Bingbot.
+    Bing,
+}
+
+impl CrawlerIdentity {
+    /// The crawler's user-agent string.
+    pub fn user_agent(self) -> &'static str {
+        match self {
+            CrawlerIdentity::Google => GOOGLEBOT,
+            CrawlerIdentity::Bing => BINGBOT,
+        }
+    }
+}
+
+/// Plans one crawl session.
+pub fn plan_session(
+    cfg: &CrawlerConfig,
+    site: &SiteModel,
+    rng: &mut StdRng,
+    start: ClfTimestamp,
+    addr: Ipv4Addr,
+    client_id: u32,
+    identity: CrawlerIdentity,
+) -> SessionPlan {
+    let len = LogNormal::from_mean_cv(cfg.pages_mean, 0.3)
+        .sample_clamped(rng, 40.0, 600.0) as usize;
+    let interval = LogNormal::from_mean_cv(cfg.interval_mean_secs, 0.5);
+
+    let mut requests = Vec::with_capacity(len + 2);
+    let mut clock = 0.0f64;
+
+    // Protocol hygiene: robots.txt, then the sitemap.
+    requests.push(RequestSpec::get(
+        clock,
+        site.robots_txt(),
+        HttpStatus::OK,
+        Some(412),
+    ));
+    clock += interval.sample_clamped(rng, 1.0, 60.0);
+    requests.push(RequestSpec::get(
+        clock,
+        site.sitemap(),
+        HttpStatus::OK,
+        Some(18_234),
+    ));
+    clock += interval.sample_clamped(rng, 1.0, 60.0);
+
+    let mut offer_cursor = rng.gen_range(0..site.offer_count());
+    for i in 0..len {
+        let path = match i % 13 {
+            0 => site.destination_path(rng.gen_range(0..24)),
+            1 => site.home(),
+            _ => {
+                offer_cursor = (offer_cursor + 1) % site.offer_count();
+                site.offer_path(offer_cursor)
+            }
+        };
+        let (status, bytes) = if rng.gen_bool(cfg.revalidate_share) {
+            (HttpStatus::NOT_MODIFIED, None)
+        } else if rng.gen_bool(0.004) {
+            // Stale sitemap entries 404 occasionally.
+            (HttpStatus::NOT_FOUND, Some(super::error_bytes(404)))
+        } else {
+            (HttpStatus::OK, Some(page_bytes(rng)))
+        };
+        requests.push(RequestSpec::get(clock, path, status, bytes));
+        clock += interval.sample_clamped(rng, 2.0, 120.0);
+    }
+
+    SessionPlan {
+        start,
+        addr,
+        user_agent: identity.user_agent().to_owned(),
+        actor: ActorClass::SearchCrawler,
+        client_id,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plan_one(seed: u64) -> SessionPlan {
+        let site = SiteModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        plan_session(
+            &CrawlerConfig::default(),
+            &site,
+            &mut rng,
+            ClfTimestamp::PAPER_WINDOW_START,
+            Ipv4Addr::new(66, 249, 66, 1),
+            2,
+            CrawlerIdentity::Google,
+        )
+    }
+
+    #[test]
+    fn crawl_starts_with_robots_then_sitemap() {
+        let plan = plan_one(1);
+        assert_eq!(plan.requests[0].path, "/robots.txt");
+        assert_eq!(plan.requests[1].path, "/sitemap.xml");
+    }
+
+    #[test]
+    fn crawler_self_identifies() {
+        let plan = plan_one(2);
+        assert!(plan.user_agent.contains("Googlebot"));
+        assert_eq!(
+            CrawlerIdentity::Bing.user_agent(),
+            crate::useragents::BINGBOT
+        );
+    }
+
+    #[test]
+    fn pacing_is_polite() {
+        let plan = plan_one(3);
+        let span = plan.requests.last().unwrap().offset;
+        let gap = span / plan.len() as f64;
+        assert!(gap > 8.0, "crawler gap {gap}s too aggressive");
+    }
+
+    #[test]
+    fn revalidations_produce_304s() {
+        let plan = plan_one(4);
+        let n304 = plan
+            .requests
+            .iter()
+            .filter(|r| r.status == HttpStatus::NOT_MODIFIED)
+            .count();
+        let share = n304 as f64 / plan.len() as f64;
+        assert!((0.1..0.4).contains(&share), "304 share {share}");
+    }
+
+    #[test]
+    fn crawler_fetches_no_assets() {
+        let plan = plan_one(5);
+        assert!(plan
+            .requests
+            .iter()
+            .all(|r| !r.path.starts_with("/static/")));
+    }
+}

@@ -1,0 +1,387 @@
+//! Human visitors.
+//!
+//! A human session lands from a search engine or direct navigation, browses
+//! search-results and offer pages with log-normal think times, pulls the
+//! assets each page references (with cache revalidation on repeat views),
+//! and occasionally enters the booking funnel.
+//!
+//! Two rare sub-behaviours matter for the study because they are the
+//! realistic false-positive surface:
+//!
+//! * **JS-disabled** clients render pages but never fetch script assets —
+//!   a Distil-style JS challenge can never see them succeed.
+//! * **Hyperactive** fare-comparison power users (e.g. offline travel
+//!   agents) fire search bursts fast enough to trip rate heuristics.
+
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::{ClfTimestamp, HttpMethod, HttpStatus};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{asset_bytes, error_bytes, page_bytes, redirect_bytes};
+use crate::distrib::LogNormal;
+use crate::session::{RequestSpec, SessionPlan, SITE_ORIGIN};
+use crate::useragents::BrowserPool;
+use crate::{ActorClass, SiteModel};
+
+/// Behavioural knobs for the human population.
+#[derive(Debug, Clone)]
+pub struct HumanConfig {
+    /// Mean think time between page views, seconds.
+    pub think_mean_secs: f64,
+    /// Mean number of page views per session.
+    pub pages_mean: f64,
+    /// Probability that a session belongs to a JS-disabled client.
+    pub js_disabled_prob: f64,
+    /// Probability that a session is a hyperactive power user.
+    pub hyperactive_prob: f64,
+    /// Probability a session that viewed an offer enters the booking funnel.
+    pub booking_prob: f64,
+    /// Probability an individual asset is served from cache revalidation
+    /// (`304`) rather than fetched fresh.
+    pub asset_revalidate_prob: f64,
+}
+
+impl Default for HumanConfig {
+    fn default() -> Self {
+        Self {
+            think_mean_secs: 24.0,
+            pages_mean: 5.0,
+            js_disabled_prob: 0.0025,
+            hyperactive_prob: 0.005,
+            booking_prob: 0.18,
+            asset_revalidate_prob: 0.13,
+        }
+    }
+}
+
+/// Which sub-behaviour a planned human session exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HumanKind {
+    /// Ordinary visitor.
+    Regular,
+    /// Browser with JavaScript disabled (never fetches `.js` assets).
+    JsDisabled,
+    /// Fare-comparison power user (burst searching).
+    Hyperactive,
+}
+
+/// Plans one human session. Returns the plan and the sub-behaviour drawn
+/// (exposed so tests and calibration can assert on the mix).
+pub fn plan_session(
+    cfg: &HumanConfig,
+    site: &SiteModel,
+    rng: &mut StdRng,
+    start: ClfTimestamp,
+    addr: Ipv4Addr,
+    client_id: u32,
+    browsers: &BrowserPool,
+) -> (SessionPlan, HumanKind) {
+    let kind = {
+        let u: f64 = rng.gen();
+        if u < cfg.js_disabled_prob {
+            HumanKind::JsDisabled
+        } else if u < cfg.js_disabled_prob + cfg.hyperactive_prob {
+            HumanKind::Hyperactive
+        } else {
+            HumanKind::Regular
+        }
+    };
+
+    let user_agent = browsers.sample(rng).to_owned();
+    let think = match kind {
+        HumanKind::Hyperactive => LogNormal::from_mean_cv(3.0, 0.6),
+        _ => LogNormal::from_mean_cv(cfg.think_mean_secs, 0.9),
+    };
+    let pages = match kind {
+        HumanKind::Hyperactive => rng.gen_range(18..=45),
+        _ => {
+            // Geometric-ish page count with the configured mean, min 1.
+            let mut n = 1u32;
+            while (n as f64) < 4.0 * cfg.pages_mean && rng.gen::<f64>() > 1.0 / cfg.pages_mean {
+                n += 1;
+            }
+            n
+        }
+    };
+
+    let mut requests = Vec::new();
+    let mut clock = 0.0f64;
+    let mut seen_offer = false;
+    let mut current_route = site.sample_route(rng);
+    let mut prev_page: Option<String> = None;
+
+    // Entry referrer: search engine, direct, or a partner deep link.
+    let entry_referrer: Option<String> = {
+        let u: f64 = rng.gen();
+        if u < 0.55 {
+            Some("https://www.google.com/".to_owned())
+        } else if u < 0.65 {
+            Some("https://www.bing.com/".to_owned())
+        } else {
+            None
+        }
+    };
+
+    for page_idx in 0..pages {
+        // Choose the next page.
+        let path = if page_idx == 0 {
+            if rng.gen_bool(0.3) {
+                site.home()
+            } else {
+                site.search_path(rng, current_route, 1)
+            }
+        } else {
+            let u: f64 = rng.gen();
+            if u < 0.45 {
+                seen_offer = true;
+                site.offer_path(site.sample_offer(rng))
+            } else if u < 0.75 {
+                if rng.gen_bool(0.3) {
+                    current_route = site.sample_route(rng);
+                }
+                let page = rng.gen_range(1..=3);
+                site.search_path(rng, current_route, page)
+            } else if u < 0.85 {
+                site.destination_path(rng.gen_range(0..24))
+            } else {
+                seen_offer = true;
+                site.offer_path(site.sample_offer(rng))
+            }
+        };
+
+        // Page status: overwhelmingly 200; sporadic redirects and errors.
+        let (status, bytes) = {
+            let u: f64 = rng.gen();
+            if u < 0.965 {
+                (HttpStatus::OK, Some(page_bytes(rng)))
+            } else if u < 0.990 {
+                (HttpStatus::FOUND, Some(redirect_bytes()))
+            } else if u < 0.997 {
+                (HttpStatus::NOT_FOUND, Some(error_bytes(404)))
+            } else {
+                (HttpStatus::INTERNAL_SERVER_ERROR, Some(error_bytes(500)))
+            }
+        };
+
+        let mut spec = RequestSpec::get(clock, path.clone(), status, bytes);
+        spec.referrer = match &prev_page {
+            Some(p) => Some(format!("{SITE_ORIGIN}{p}")),
+            None => entry_referrer.clone(),
+        };
+        requests.push(spec);
+
+        // Assets for the page, shortly after it.
+        if status == HttpStatus::OK {
+            let mut asset_clock = clock;
+            for asset in site.assets_for(&path) {
+                if kind == HumanKind::JsDisabled && asset.ends_with(".js") {
+                    continue;
+                }
+                // Returning visitors have warm caches: later pages skip most
+                // repeat assets entirely.
+                if page_idx > 0 && rng.gen_bool(0.6) {
+                    continue;
+                }
+                asset_clock += rng.gen_range(0.05..0.9);
+                let (astatus, abytes) = if rng.gen_bool(cfg.asset_revalidate_prob) {
+                    (HttpStatus::NOT_MODIFIED, None)
+                } else {
+                    (HttpStatus::OK, Some(asset_bytes(rng)))
+                };
+                requests.push(
+                    RequestSpec::get(asset_clock, asset, astatus, abytes)
+                        .with_site_referrer(&path),
+                );
+            }
+            clock = asset_clock;
+        }
+
+        prev_page = Some(path);
+        clock += think.sample_clamped(rng, 1.5, 420.0);
+    }
+
+    // Booking funnel for a fraction of sessions that saw an offer.
+    if seen_offer && rng.gen_bool(cfg.booking_prob) {
+        let funnel = site.booking_funnel();
+        let referrer_base = prev_page.clone().unwrap_or_else(|| site.home());
+        // POST /booking/start redirects into the funnel.
+        let mut spec = RequestSpec {
+            offset: clock,
+            method: HttpMethod::Post,
+            path: funnel[0].clone(),
+            status: HttpStatus::FOUND,
+            bytes: Some(redirect_bytes()),
+            referrer: Some(format!("{SITE_ORIGIN}{referrer_base}")),
+        };
+        requests.push(spec.clone());
+        clock += think.sample_clamped(rng, 2.0, 120.0);
+        spec = RequestSpec::get(clock, funnel[1].clone(), HttpStatus::OK, Some(page_bytes(rng)))
+            .with_site_referrer(&funnel[0]);
+        requests.push(spec);
+        clock += think.sample_clamped(rng, 5.0, 300.0);
+        // Most visitors abandon before checkout.
+        if rng.gen_bool(0.4) {
+            requests.push(RequestSpec {
+                offset: clock,
+                method: HttpMethod::Post,
+                path: funnel[2].clone(),
+                status: HttpStatus::FOUND,
+                bytes: Some(redirect_bytes()),
+                referrer: Some(format!("{SITE_ORIGIN}{}", funnel[1])),
+            });
+        }
+    }
+
+    (
+        SessionPlan {
+            start,
+            addr,
+            user_agent,
+            actor: ActorClass::Human,
+            client_id,
+            requests,
+        },
+        kind,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plan_one(seed: u64, cfg: &HumanConfig) -> (SessionPlan, HumanKind) {
+        let site = SiteModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        plan_session(
+            cfg,
+            &site,
+            &mut rng,
+            ClfTimestamp::PAPER_WINDOW_START,
+            Ipv4Addr::new(81, 2, 33, 44),
+            1,
+            &BrowserPool::mainstream(),
+        )
+    }
+
+    #[test]
+    fn sessions_interleave_pages_and_assets() {
+        let mut saw_assets = 0;
+        let mut saw_pages = 0;
+        for seed in 0..20 {
+            let (plan, _) = plan_one(seed, &HumanConfig::default());
+            for r in &plan.requests {
+                let class = divscrape_httplog::RequestPath::parse(&r.path).resource_class();
+                match class {
+                    divscrape_httplog::ResourceClass::Asset => saw_assets += 1,
+                    divscrape_httplog::ResourceClass::Page => saw_pages += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_pages > 0);
+        assert!(saw_assets > 0, "humans must fetch assets");
+        // Human sessions are asset-heavy relative to bot sessions.
+        assert!(saw_assets as f64 > saw_pages as f64 * 0.4);
+    }
+
+    #[test]
+    fn offsets_are_monotonic() {
+        for seed in 0..50 {
+            let (plan, _) = plan_one(seed, &HumanConfig::default());
+            assert!(
+                plan.requests.windows(2).all(|w| w[0].offset <= w[1].offset),
+                "non-monotonic offsets at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn js_disabled_sessions_never_fetch_scripts() {
+        let cfg = HumanConfig {
+            js_disabled_prob: 1.0,
+            hyperactive_prob: 0.0,
+            ..HumanConfig::default()
+        };
+        for seed in 0..20 {
+            let (plan, kind) = plan_one(seed, &cfg);
+            assert_eq!(kind, HumanKind::JsDisabled);
+            assert!(
+                plan.requests.iter().all(|r| !r.path.ends_with(".js")),
+                "js fetched in js-disabled session"
+            );
+        }
+    }
+
+    #[test]
+    fn hyperactive_sessions_are_fast_and_long() {
+        let cfg = HumanConfig {
+            js_disabled_prob: 0.0,
+            hyperactive_prob: 1.0,
+            ..HumanConfig::default()
+        };
+        let (plan, kind) = plan_one(3, &cfg);
+        assert_eq!(kind, HumanKind::Hyperactive);
+        assert!(plan.len() >= 18, "only {} requests", plan.len());
+        let span = plan.requests.last().unwrap().offset;
+        let rate = plan.len() as f64 / span.max(1.0);
+        assert!(rate > 0.15, "hyperactive rate {rate} too slow");
+    }
+
+    #[test]
+    fn regular_sessions_think_like_humans() {
+        let mut gaps = Vec::new();
+        for seed in 0..30 {
+            let (plan, _) = plan_one(seed, &HumanConfig::default());
+            // Gap between consecutive page requests only.
+            let pages: Vec<f64> = plan
+                .requests
+                .iter()
+                .filter(|r| {
+                    divscrape_httplog::RequestPath::parse(&r.path).resource_class()
+                        == divscrape_httplog::ResourceClass::Page
+                })
+                .map(|r| r.offset)
+                .collect();
+            gaps.extend(pages.windows(2).map(|w| w[1] - w[0]));
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(mean > 8.0, "mean page gap {mean}s is bot-like");
+    }
+
+    #[test]
+    fn first_request_carries_entry_referrer_or_none() {
+        for seed in 0..20 {
+            let (plan, _) = plan_one(seed, &HumanConfig::default());
+            let first = &plan.requests[0];
+            if let Some(r) = &first.referrer {
+                assert!(
+                    r.contains("google") || r.contains("bing"),
+                    "unexpected entry referrer {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn statuses_are_dominated_by_200() {
+        let mut ok = 0u32;
+        let mut total = 0u32;
+        for seed in 0..60 {
+            let (plan, _) = plan_one(seed, &HumanConfig::default());
+            for r in &plan.requests {
+                total += 1;
+                if r.status == HttpStatus::OK {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(
+            ok as f64 / total as f64 > 0.75,
+            "200 share {} of {total}",
+            ok
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Actor behaviour models.
+//!
+//! One module per client population. Every actor exposes a `plan_session`
+//! function that turns a seeded RNG plus a start time, address and client id
+//! into a [`SessionPlan`]. All behavioural knobs live in per-actor config
+//! structs so experiments (ablations, calibration sweeps) can perturb one
+//! population without touching the others.
+
+pub mod botnet;
+pub mod crawler;
+pub mod human;
+pub mod monitor;
+pub mod partner;
+pub mod scanner;
+pub mod stealth;
+
+use rand::Rng;
+
+use crate::distrib::LogNormal;
+
+/// Samples an HTML page response size.
+pub(crate) fn page_bytes<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    LogNormal::from_mean_cv(45_000.0, 0.5).sample_clamped(rng, 4_000.0, 400_000.0) as u64
+}
+
+/// Samples a static-asset response size.
+pub(crate) fn asset_bytes<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    LogNormal::from_mean_cv(26_000.0, 1.1).sample_clamped(rng, 200.0, 600_000.0) as u64
+}
+
+/// Samples an API (JSON) response size.
+pub(crate) fn api_bytes<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    LogNormal::from_mean_cv(2_200.0, 0.6).sample_clamped(rng, 150.0, 40_000.0) as u64
+}
+
+/// Size of a redirect response body.
+pub(crate) fn redirect_bytes() -> u64 {
+    352
+}
+
+/// Size of an error-page body for the given status.
+pub(crate) fn error_bytes(status: u16) -> u64 {
+    match status {
+        400 => 248,
+        403 => 199,
+        404 => 1_042,
+        _ => 612,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn size_helpers_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let p = page_bytes(&mut rng);
+            assert!((4_000..=400_000).contains(&p));
+            let a = asset_bytes(&mut rng);
+            assert!((200..=600_000).contains(&a));
+            let j = api_bytes(&mut rng);
+            assert!((150..=40_000).contains(&j));
+        }
+        assert!(redirect_bytes() < 1_000);
+        assert!(error_bytes(404) > error_bytes(400));
+    }
+}

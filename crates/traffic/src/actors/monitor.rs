@@ -1,0 +1,119 @@
+//! Uptime monitors.
+//!
+//! A monitoring service polls the health endpoint on a fixed cadence around
+//! the clock from a small published address range. Near-perfectly periodic,
+//! tiny volume, and whitelisted by both tools.
+
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::{ClfTimestamp, HttpStatus};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::session::{RequestSpec, SessionPlan};
+use crate::useragents::PINGDOM;
+use crate::{ActorClass, SiteModel};
+
+/// Behavioural knobs for the monitor population.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Seconds between health checks.
+    pub period_secs: f64,
+    /// Length of one planned run, seconds (a day by default; the generator
+    /// plans one session per day).
+    pub span_secs: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            period_secs: 300.0,
+            span_secs: 86_400.0,
+        }
+    }
+}
+
+/// Plans one day of health checks.
+pub fn plan_session(
+    cfg: &MonitorConfig,
+    site: &SiteModel,
+    rng: &mut StdRng,
+    start: ClfTimestamp,
+    addr: Ipv4Addr,
+    client_id: u32,
+) -> SessionPlan {
+    let checks = (cfg.span_secs / cfg.period_secs) as usize;
+    let mut requests = Vec::with_capacity(checks);
+    let mut clock = 0.0f64;
+    for _ in 0..checks {
+        // Health endpoint flaps very rarely.
+        let (status, bytes) = if rng.gen_bool(0.0015) {
+            (HttpStatus::INTERNAL_SERVER_ERROR, Some(super::error_bytes(500)))
+        } else {
+            (HttpStatus::OK, Some(17))
+        };
+        requests.push(RequestSpec::get(clock, site.health(), status, bytes));
+        // Small scheduler jitter around the fixed period.
+        clock += cfg.period_secs + rng.gen_range(-2.0..2.0);
+    }
+
+    SessionPlan {
+        start,
+        addr,
+        user_agent: PINGDOM.to_owned(),
+        actor: ActorClass::UptimeMonitor,
+        client_id,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plan_one(seed: u64) -> SessionPlan {
+        let site = SiteModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        plan_session(
+            &MonitorConfig::default(),
+            &site,
+            &mut rng,
+            ClfTimestamp::PAPER_WINDOW_START,
+            Ipv4Addr::new(178, 255, 152, 10),
+            6,
+        )
+    }
+
+    #[test]
+    fn polls_only_the_health_endpoint() {
+        let plan = plan_one(1);
+        assert!(plan.requests.iter().all(|r| r.path == "/health"));
+        assert_eq!(plan.len(), 288); // 86400 / 300
+    }
+
+    #[test]
+    fn cadence_is_near_periodic() {
+        let plan = plan_one(2);
+        for w in plan.requests.windows(2) {
+            let gap = w[1].offset - w[0].offset;
+            assert!((295.0..305.0).contains(&gap), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn monitor_identity_is_fixed() {
+        assert!(plan_one(3).user_agent.contains("Pingdom"));
+    }
+
+    #[test]
+    fn health_is_usually_up() {
+        let plan = plan_one(4);
+        let ok = plan
+            .requests
+            .iter()
+            .filter(|r| r.status == HttpStatus::OK)
+            .count();
+        assert!(ok as f64 / plan.len() as f64 > 0.98);
+    }
+}

@@ -1,0 +1,144 @@
+//! Contracted partner aggregators.
+//!
+//! A partner with an API contract pulls fares through `/api/v1/fares` during
+//! business hours and polls the change beacon between pulls. High volume for
+//! a single client, fully automated — behaviourally it *looks like* a
+//! scraper, which is exactly why it matters for the study: only
+//! configuration knowledge (address range + contract identity) separates it
+//! from the attack populations.
+
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::{ClfTimestamp, HttpStatus};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::api_bytes;
+use crate::distrib::LogNormal;
+use crate::session::{RequestSpec, SessionPlan};
+use crate::useragents::PARTNER_AGGREGATOR;
+use crate::{ActorClass, SiteModel};
+
+/// Behavioural knobs for the partner population.
+#[derive(Debug, Clone)]
+pub struct PartnerConfig {
+    /// Mean seconds between API calls during a pull window.
+    pub interval_mean_secs: f64,
+    /// Length of one pull window, seconds (a business day by default).
+    pub span_secs: f64,
+    /// Share of calls that poll the change beacon (`204` when unchanged).
+    pub beacon_share: f64,
+}
+
+impl Default for PartnerConfig {
+    fn default() -> Self {
+        Self {
+            interval_mean_secs: 45.0,
+            span_secs: 16.0 * 3600.0,
+            beacon_share: 0.35,
+        }
+    }
+}
+
+/// Plans one business-day pull window.
+pub fn plan_session(
+    cfg: &PartnerConfig,
+    site: &SiteModel,
+    rng: &mut StdRng,
+    start: ClfTimestamp,
+    addr: Ipv4Addr,
+    client_id: u32,
+) -> SessionPlan {
+    let interval = LogNormal::from_mean_cv(cfg.interval_mean_secs, 0.3);
+    let mut requests = Vec::new();
+    let mut clock = 0.0f64;
+    while clock < cfg.span_secs {
+        let route = site.sample_route(rng);
+        if rng.gen_bool(cfg.beacon_share) {
+            // Beacon: 204 unless a fare changed.
+            let changed = rng.gen_bool(0.07);
+            let (status, bytes) = if changed {
+                (HttpStatus::OK, Some(api_bytes(rng)))
+            } else {
+                (HttpStatus::NO_CONTENT, None)
+            };
+            requests.push(RequestSpec::get(
+                clock,
+                site.api_beacon_path(route),
+                status,
+                bytes,
+            ));
+        } else {
+            requests.push(RequestSpec::get(
+                clock,
+                site.api_fares_path(route),
+                HttpStatus::OK,
+                Some(api_bytes(rng)),
+            ));
+        }
+        clock += interval.sample_clamped(rng, 10.0, 240.0);
+    }
+
+    SessionPlan {
+        start,
+        addr,
+        user_agent: PARTNER_AGGREGATOR.to_owned(),
+        actor: ActorClass::PartnerAggregator,
+        client_id,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plan_one(seed: u64) -> SessionPlan {
+        let site = SiteModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        plan_session(
+            &PartnerConfig::default(),
+            &site,
+            &mut rng,
+            ClfTimestamp::PAPER_WINDOW_START,
+            Ipv4Addr::new(203, 0, 113, 5),
+            8,
+        )
+    }
+
+    #[test]
+    fn partner_only_touches_the_api() {
+        let plan = plan_one(1);
+        assert!(plan.requests.iter().all(|r| r.path.starts_with("/api/")));
+        assert!(plan.len() > 500, "a day of pulls, got {}", plan.len());
+    }
+
+    #[test]
+    fn beacons_mostly_answer_204() {
+        let plan = plan_one(2);
+        let beacons: Vec<_> = plan
+            .requests
+            .iter()
+            .filter(|r| r.path.starts_with("/api/v1/changes"))
+            .collect();
+        assert!(!beacons.is_empty());
+        let no_content = beacons
+            .iter()
+            .filter(|r| r.status == HttpStatus::NO_CONTENT)
+            .count();
+        assert!(no_content as f64 / beacons.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn window_respects_span() {
+        let plan = plan_one(3);
+        let last = plan.requests.last().unwrap().offset;
+        assert!(last <= 16.0 * 3600.0 + 240.0);
+    }
+
+    #[test]
+    fn partner_identity_names_the_contract() {
+        assert!(plan_one(4).user_agent.contains("FareConnect"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Reconnaissance scanners.
+//!
+//! The population behind the paper's *Arcane-only* exclusive set and its
+//! tell-tale status skew (400s and 204s over-represented in Table 4).
+//! A scanner runs real browser automation through residential proxies —
+//! clean user agent, clean IP reputation, full JavaScript — so
+//! signature/reputation/challenge detectors see nothing. Its *behaviour*
+//! is what is anomalous: it maps the site breadth-first, polls the change
+//! API (204s), fires malformed queries at the search endpoint (400s),
+//! fishes for open redirects (302s), replays conditional GETs (304s) and
+//! occasionally hits probe paths (404s).
+
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::{ClfTimestamp, HttpMethod, HttpStatus};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{asset_bytes, error_bytes, page_bytes, redirect_bytes};
+use crate::distrib::LogNormal;
+use crate::session::{RequestSpec, SessionPlan, SITE_ORIGIN};
+use crate::useragents::BrowserPool;
+use crate::{ActorClass, SiteModel};
+
+/// Behavioural knobs for the scanner population.
+#[derive(Debug, Clone)]
+pub struct ScannerConfig {
+    /// Mean seconds between requests.
+    pub interval_mean_secs: f64,
+    /// Mean session length in requests.
+    pub session_len_mean: f64,
+    /// Share of requests that poll the change-beacon API (`204`).
+    pub beacon_share: f64,
+    /// Share of requests that are malformed probes (`400`).
+    pub malformed_share: f64,
+    /// Share of requests fishing for redirects (`302`).
+    pub redirect_share: f64,
+    /// Share of conditional replays (`304`).
+    pub conditional_share: f64,
+    /// Share of vulnerability probes (`404`).
+    pub probe_share: f64,
+    /// Per-request probability of following the hidden honeytrap link
+    /// while mapping the site.
+    pub trap_prob: f64,
+}
+
+impl Default for ScannerConfig {
+    fn default() -> Self {
+        // Shares calibrated from Table 4's Arcane-only column:
+        // 200 82.7%, 204 10.3%, 302 3.5%, 400 2.7%, 304 0.8%, 404/500 trace.
+        Self {
+            interval_mean_secs: 7.0,
+            session_len_mean: 320.0,
+            beacon_share: 0.103,
+            malformed_share: 0.027,
+            redirect_share: 0.035,
+            conditional_share: 0.008,
+            probe_share: 0.0009,
+            trap_prob: 0.01,
+        }
+    }
+}
+
+/// Plans one scanner session.
+pub fn plan_session(
+    cfg: &ScannerConfig,
+    site: &SiteModel,
+    rng: &mut StdRng,
+    start: ClfTimestamp,
+    addr: Ipv4Addr,
+    client_id: u32,
+    browsers: &BrowserPool,
+) -> SessionPlan {
+    let user_agent = browsers.sample(rng).to_owned();
+    let len = LogNormal::from_mean_cv(cfg.session_len_mean, 0.4)
+        .sample_clamped(rng, 120.0, 900.0) as usize;
+    let interval = LogNormal::from_mean_cv(cfg.interval_mean_secs, 0.7);
+
+    let mut requests = Vec::with_capacity(len);
+    let mut clock = 0.0f64;
+    let mut offer_cursor = rng.gen_range(0..site.offer_count());
+    let mut route = site.sample_route(rng);
+    let mut prev: Option<String> = None;
+    // Real browser automation pulls the app bundle the moment the first
+    // page renders — which is exactly what lets a scanner pass JS
+    // challenges that catch cruder bots.
+    let mut fetched_bundle = false;
+
+    for i in 0..len {
+        let u: f64 = rng.gen();
+        let beacon_hi = cfg.beacon_share;
+        let malformed_hi = beacon_hi + cfg.malformed_share;
+        let redirect_hi = malformed_hi + cfg.redirect_share;
+        let conditional_hi = redirect_hi + cfg.conditional_share;
+        let probe_hi = conditional_hi + cfg.probe_share;
+
+        let (method, path, status, bytes): (HttpMethod, String, HttpStatus, Option<u64>) = if u
+            < beacon_hi
+        {
+            // Change-beacon polling: the server answers 204 when nothing
+            // changed, which is nearly always.
+            (
+                HttpMethod::Get,
+                site.api_beacon_path(route),
+                HttpStatus::NO_CONTENT,
+                None,
+            )
+        } else if u < malformed_hi {
+            // Malformed search queries poking at input handling.
+            let garbage = ["%00", "';--", "AAAA%FF", "q[]=x", "{{7*7}}"][rng.gen_range(0..5)];
+            (
+                HttpMethod::Get,
+                format!("/search?q={garbage}"),
+                HttpStatus::BAD_REQUEST,
+                Some(error_bytes(400)),
+            )
+        } else if u < redirect_hi {
+            // Hitting funnel pages without state fishes a redirect.
+            (
+                HttpMethod::Get,
+                site.booking_funnel()[rng.gen_range(0..3)].clone(),
+                HttpStatus::FOUND,
+                Some(redirect_bytes()),
+            )
+        } else if u < conditional_hi {
+            // Conditional replay of an already-seen page.
+            let path = prev.clone().unwrap_or_else(|| site.home());
+            (HttpMethod::Get, path, HttpStatus::NOT_MODIFIED, None)
+        } else if u < probe_hi {
+            let probes = site.probe_paths();
+            (
+                HttpMethod::Get,
+                probes[rng.gen_range(0..probes.len())].to_owned(),
+                HttpStatus::NOT_FOUND,
+                Some(error_bytes(404)),
+            )
+        } else {
+            // Breadth-first site mapping: sequential offers, searches,
+            // destination pages; browser automation pulls assets too.
+            let path = match i % 11 {
+                0 if rng.gen_bool(cfg.trap_prob * 11.0) => site.trap_path(),
+                0 => {
+                    route = site.sample_route(rng);
+                    site.search_path(rng, route, 1)
+                }
+                1 => site.destination_path(rng.gen_range(0..24)),
+                4 | 8 => {
+                    // Assets fetched by the automated browser.
+                    let assets = site.assets_for("/offers/0");
+                    assets[rng.gen_range(0..assets.len())].clone()
+                }
+                _ => {
+                    offer_cursor = (offer_cursor + 1) % site.offer_count();
+                    site.offer_path(offer_cursor)
+                }
+            };
+            let bytes = if path.starts_with("/static/") {
+                asset_bytes(rng)
+            } else {
+                page_bytes(rng)
+            };
+            // Trace-level 500s when probing odd corners.
+            if rng.gen_bool(0.000_6) {
+                (
+                    HttpMethod::Get,
+                    path,
+                    HttpStatus::INTERNAL_SERVER_ERROR,
+                    Some(error_bytes(500)),
+                )
+            } else {
+                (HttpMethod::Get, path, HttpStatus::OK, Some(bytes))
+            }
+        };
+
+        let mut spec = RequestSpec {
+            offset: clock,
+            method,
+            path: path.clone(),
+            status,
+            bytes,
+            referrer: prev.as_ref().map(|p| format!("{SITE_ORIGIN}{p}")),
+        };
+        if status == HttpStatus::BAD_REQUEST {
+            spec.referrer = None;
+        }
+        requests.push(spec);
+        if status == HttpStatus::OK && !path.starts_with("/static/") {
+            if !fetched_bundle {
+                // First rendered page: the automated browser loads the
+                // stylesheet and script bundle before anything else.
+                for asset in ["/static/css/main.css", "/static/js/app.js"] {
+                    clock += rng.gen_range(0.2..0.8);
+                    requests.push(
+                        RequestSpec::get(clock, asset, HttpStatus::OK, Some(asset_bytes(rng)))
+                            .with_site_referrer(&path),
+                    );
+                }
+                fetched_bundle = true;
+            }
+            prev = Some(path);
+        }
+        clock += interval.sample_clamped(rng, 1.0, 90.0);
+    }
+
+    SessionPlan {
+        start,
+        addr,
+        user_agent,
+        actor: ActorClass::Scanner,
+        client_id,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plan_one(seed: u64) -> SessionPlan {
+        let site = SiteModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        plan_session(
+            &ScannerConfig::default(),
+            &site,
+            &mut rng,
+            ClfTimestamp::PAPER_WINDOW_START,
+            Ipv4Addr::new(81, 2, 99, 7),
+            4,
+            &BrowserPool::mainstream(),
+        )
+    }
+
+    fn status_shares(seeds: std::ops::Range<u64>) -> std::collections::HashMap<u16, f64> {
+        let mut counts: std::collections::HashMap<u16, u32> = std::collections::HashMap::new();
+        let mut total = 0u32;
+        for seed in seeds {
+            for r in &plan_one(seed).requests {
+                *counts.entry(r.status.as_u16()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(k, v)| (k, v as f64 / total as f64))
+            .collect()
+    }
+
+    #[test]
+    fn status_mix_matches_the_arcane_only_profile() {
+        let shares = status_shares(0..40);
+        let s200 = shares.get(&200).copied().unwrap_or(0.0);
+        let s204 = shares.get(&204).copied().unwrap_or(0.0);
+        let s302 = shares.get(&302).copied().unwrap_or(0.0);
+        let s400 = shares.get(&400).copied().unwrap_or(0.0);
+        let s304 = shares.get(&304).copied().unwrap_or(0.0);
+        assert!((0.75..0.90).contains(&s200), "200 share {s200}");
+        assert!((0.07..0.14).contains(&s204), "204 share {s204}");
+        assert!((0.02..0.05).contains(&s302), "302 share {s302}");
+        assert!((0.015..0.045).contains(&s400), "400 share {s400}");
+        assert!(s304 > 0.0, "304 replays missing");
+        // The 204 and 400 skews are the fingerprint of this population:
+        // both must dwarf the botnet's trace levels (≈0.05% / 0.01%).
+        assert!(s204 > 0.05);
+        assert!(s400 > 0.01);
+    }
+
+    #[test]
+    fn scanner_walks_broadly() {
+        let plan = plan_one(1);
+        let distinct: std::collections::HashSet<&str> =
+            plan.requests.iter().map(|r| r.path.as_str()).collect();
+        assert!(
+            distinct.len() as f64 > plan.len() as f64 * 0.5,
+            "{} distinct of {}",
+            distinct.len(),
+            plan.len()
+        );
+    }
+
+    #[test]
+    fn scanner_fetches_script_assets_like_a_real_browser() {
+        let mut js = 0;
+        for seed in 0..10 {
+            js += plan_one(seed)
+                .requests
+                .iter()
+                .filter(|r| r.path.ends_with(".js"))
+                .count();
+        }
+        assert!(js > 0, "browser automation should pull scripts");
+    }
+
+    #[test]
+    fn pacing_is_moderate() {
+        let plan = plan_one(2);
+        let span = plan.requests.last().unwrap().offset;
+        let gap = span / plan.len() as f64;
+        assert!((2.0..20.0).contains(&gap), "gap {gap}");
+    }
+
+    #[test]
+    fn malformed_requests_drop_the_referrer() {
+        for seed in 0..10 {
+            for r in plan_one(seed).requests {
+                if r.status == HttpStatus::BAD_REQUEST {
+                    assert_eq!(r.referrer, None);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Stealthy low-and-slow scrapers.
+//!
+//! The population behind the paper's large *Distil-only* exclusive set:
+//! distributed across many rented cloud addresses, each client scrapes
+//! slowly (well under behavioural rate thresholds), presents a current
+//! browser identity rotated per session, and even fetches stylesheet/image
+//! assets to defeat asset-ratio heuristics. What it cannot cheaply fake is
+//! *JavaScript execution* (it never pulls script assets, so a JS challenge
+//! never sees it pass) and *where it runs from* (data-center ranges with
+//! poor IP reputation).
+
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::{ClfTimestamp, HttpStatus};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{asset_bytes, error_bytes, page_bytes, redirect_bytes};
+use crate::distrib::LogNormal;
+use crate::session::{RequestSpec, SessionPlan, SITE_ORIGIN};
+use crate::useragents::BrowserPool;
+use crate::{ActorClass, SiteModel};
+
+/// Behavioural knobs for the stealth-scraper population.
+#[derive(Debug, Clone)]
+pub struct StealthConfig {
+    /// Mean seconds between page fetches (slow by design).
+    pub interval_mean_secs: f64,
+    /// Mean session length in page fetches.
+    pub session_pages_mean: f64,
+    /// Mean non-script assets fetched per page (camouflage).
+    pub assets_per_page: f64,
+    /// Probability of one `403` in a session (the WAF catching a stray
+    /// request — the paper logs exactly one 403 across 1.47 M requests).
+    pub forbidden_prob: f64,
+    /// Per-page probability of following the hidden honeytrap link.
+    pub trap_prob: f64,
+}
+
+impl Default for StealthConfig {
+    fn default() -> Self {
+        Self {
+            interval_mean_secs: 22.0,
+            session_pages_mean: 45.0,
+            assets_per_page: 1.3,
+            forbidden_prob: 0.000_05,
+            trap_prob: 0.0015,
+        }
+    }
+}
+
+/// Plans one stealth-scraper session. The user agent is rotated per session
+/// (drawn here), unlike botnet nodes which keep a stable identity.
+pub fn plan_session(
+    cfg: &StealthConfig,
+    site: &SiteModel,
+    rng: &mut StdRng,
+    start: ClfTimestamp,
+    addr: Ipv4Addr,
+    client_id: u32,
+    browsers: &BrowserPool,
+) -> SessionPlan {
+    let user_agent = browsers.sample(rng).to_owned();
+    let pages = LogNormal::from_mean_cv(cfg.session_pages_mean, 0.5)
+        .sample_clamped(rng, 12.0, 160.0) as usize;
+    let interval = LogNormal::from_mean_cv(cfg.interval_mean_secs, 0.6);
+
+    let mut requests = Vec::new();
+    let mut clock = 0.0f64;
+    let mut route = site.sample_route(rng);
+    let mut prev: Option<String> = None;
+
+    for i in 0..pages {
+        if i % 9 == 0 {
+            route = site.sample_route(rng);
+        }
+        let path = if rng.gen_bool(cfg.trap_prob) {
+            site.trap_path()
+        } else if i % 9 == 0 {
+            site.search_path(rng, route, 1)
+        } else if rng.gen_bool(0.06) {
+            // Light beacon polling for fare changes.
+            site.api_beacon_path(route)
+        } else {
+            site.offer_path(site.sample_offer(rng))
+        };
+
+        // Status mix calibrated from Table 4's Distil-only column:
+        // ~97.4% 200, 1.36% 302, 0.95% 204 (the beacons), small 400/404/304,
+        // one-off 403.
+        let is_beacon = path.starts_with("/api/v1/changes");
+        let (status, bytes) = if is_beacon {
+            (HttpStatus::NO_CONTENT, None)
+        } else if rng.gen_bool(cfg.forbidden_prob) {
+            (HttpStatus::FORBIDDEN, Some(error_bytes(403)))
+        } else {
+            let u: f64 = rng.gen();
+            if u < 0.981 {
+                (HttpStatus::OK, Some(page_bytes(rng)))
+            } else if u < 0.995 {
+                (HttpStatus::FOUND, Some(redirect_bytes()))
+            } else if u < 0.9965 {
+                (HttpStatus::BAD_REQUEST, Some(error_bytes(400)))
+            } else if u < 0.9992 {
+                (HttpStatus::NOT_FOUND, Some(error_bytes(404)))
+            } else {
+                (HttpStatus::NOT_MODIFIED, None)
+            }
+        };
+
+        let mut spec = RequestSpec::get(clock, path.clone(), status, bytes);
+        if let Some(p) = &prev {
+            spec.referrer = Some(format!("{SITE_ORIGIN}{p}"));
+        }
+        requests.push(spec);
+
+        // Camouflage assets: stylesheets and images only — executing
+        // JavaScript is what this population avoids paying for.
+        if status == HttpStatus::OK && !is_beacon {
+            let n = if rng.gen_bool(cfg.assets_per_page / 2.0) { 2 } else { 1 };
+            let mut asset_clock = clock;
+            for asset in site.assets_for(&path).into_iter().take(n + 1) {
+                if asset.ends_with(".js") {
+                    continue;
+                }
+                asset_clock += rng.gen_range(0.1..1.2);
+                requests.push(
+                    RequestSpec::get(asset_clock, asset, HttpStatus::OK, Some(asset_bytes(rng)))
+                        .with_site_referrer(&path),
+                );
+            }
+            clock = asset_clock;
+        }
+
+        prev = Some(path);
+        clock += interval.sample_clamped(rng, 4.0, 180.0);
+    }
+
+    SessionPlan {
+        start,
+        addr,
+        user_agent,
+        actor: ActorClass::StealthScraper,
+        client_id,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plan_one(seed: u64) -> SessionPlan {
+        let site = SiteModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        plan_session(
+            &StealthConfig::default(),
+            &site,
+            &mut rng,
+            ClfTimestamp::PAPER_WINDOW_START,
+            Ipv4Addr::new(188, 166, 4, 20),
+            3,
+            &BrowserPool::mainstream(),
+        )
+    }
+
+    #[test]
+    fn pacing_is_slow() {
+        let plan = plan_one(1);
+        let span = plan.requests.last().unwrap().offset;
+        let mean_gap = span / plan.len() as f64;
+        assert!(mean_gap > 5.0, "stealth mean gap {mean_gap}s too fast");
+    }
+
+    #[test]
+    fn never_fetches_scripts_but_does_fetch_other_assets() {
+        let mut asset_count = 0;
+        for seed in 0..10 {
+            let plan = plan_one(seed);
+            for r in &plan.requests {
+                assert!(!r.path.ends_with(".js"), "script fetched: {}", r.path);
+                if r.path.starts_with("/static/") {
+                    asset_count += 1;
+                }
+            }
+        }
+        assert!(asset_count > 0, "camouflage assets missing");
+    }
+
+    #[test]
+    fn browser_identity_rotates_across_sessions() {
+        let mut agents = std::collections::HashSet::new();
+        for seed in 0..30 {
+            agents.insert(plan_one(seed).user_agent);
+        }
+        assert!(agents.len() >= 4, "only {} identities", agents.len());
+    }
+
+    #[test]
+    fn status_mix_is_mostly_200_with_beacon_204s() {
+        let mut counts = std::collections::HashMap::new();
+        for seed in 0..60 {
+            for r in &plan_one(seed).requests {
+                *counts.entry(r.status.as_u16()).or_insert(0u32) += 1;
+            }
+        }
+        let total: u32 = counts.values().sum();
+        let ok = *counts.get(&200).unwrap_or(&0) as f64 / total as f64;
+        assert!(ok > 0.93, "200 share {ok}");
+        assert!(counts.contains_key(&204), "beacon 204s missing");
+        // Errors stay trace-level.
+        let errors = counts.get(&400).copied().unwrap_or(0) + counts.get(&404).copied().unwrap_or(0);
+        assert!((errors as f64) < total as f64 * 0.01);
+    }
+
+    #[test]
+    fn sessions_are_moderate_length() {
+        for seed in 0..10 {
+            let plan = plan_one(seed);
+            assert!(
+                (12..=400).contains(&plan.len()),
+                "session length {}",
+                plan.len()
+            );
+        }
+    }
+}

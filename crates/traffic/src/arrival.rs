@@ -1,0 +1,144 @@
+//! Session arrival processes over the observation window.
+
+use divscrape_httplog::{ClfTimestamp, SECONDS_PER_DAY};
+use rand::Rng;
+
+/// How strongly a population's activity follows the human day/night cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiurnalProfile {
+    /// Strong day/night swing (human visitors): trough ~04:00, peak ~16:00.
+    Human,
+    /// Mild swing (botnets often throttle at night to blend in).
+    MildBot,
+    /// No swing at all (monitors, schedulers, most scanners).
+    Flat,
+}
+
+impl DiurnalProfile {
+    /// Relative intensity at `day_fraction` ∈ [0, 1). Mean over the day is
+    /// 1.0 for every profile, so totals are amplitude-independent.
+    pub fn intensity(self, day_fraction: f64) -> f64 {
+        let amplitude = match self {
+            DiurnalProfile::Human => 0.75,
+            DiurnalProfile::MildBot => 0.25,
+            DiurnalProfile::Flat => 0.0,
+        };
+        // Peak at 16:00 (fraction 2/3), trough 12h opposite at 04:00.
+        let phase = std::f64::consts::TAU * (day_fraction - 2.0 / 3.0);
+        1.0 + amplitude * phase.cos()
+    }
+
+    /// Draws a session start inside the window `[start, start + days)` by
+    /// rejection sampling against the diurnal intensity.
+    pub fn sample_start<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        window_start: ClfTimestamp,
+        window_days: u32,
+    ) -> ClfTimestamp {
+        let span = i64::from(window_days) * SECONDS_PER_DAY;
+        // Max intensity is 1 + amplitude <= 1.75; rejection with that bound.
+        loop {
+            let offset = rng.gen_range(0..span);
+            let t = window_start.plus_seconds(offset);
+            let accept: f64 = rng.gen_range(0.0..1.75);
+            if accept <= self.intensity(t.day_fraction()) {
+                return t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_intensity_is_one_for_all_profiles() {
+        for profile in [
+            DiurnalProfile::Human,
+            DiurnalProfile::MildBot,
+            DiurnalProfile::Flat,
+        ] {
+            let steps = 24 * 60;
+            let mean: f64 = (0..steps)
+                .map(|i| profile.intensity(i as f64 / steps as f64))
+                .sum::<f64>()
+                / steps as f64;
+            assert!(
+                (mean - 1.0).abs() < 1e-9,
+                "{profile:?} mean intensity {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn human_profile_peaks_in_the_afternoon() {
+        let p = DiurnalProfile::Human;
+        let afternoon = p.intensity(16.0 / 24.0);
+        let night = p.intensity(4.0 / 24.0);
+        assert!(afternoon > 1.5, "afternoon {afternoon}");
+        assert!(night < 0.5, "night {night}");
+        assert!(afternoon > night * 3.0);
+    }
+
+    #[test]
+    fn flat_profile_is_constant() {
+        let p = DiurnalProfile::Flat;
+        for i in 0..24 {
+            assert_eq!(p.intensity(i as f64 / 24.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn samples_stay_inside_the_window() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let start = ClfTimestamp::PAPER_WINDOW_START;
+        for _ in 0..2_000 {
+            let t = DiurnalProfile::Human.sample_start(&mut rng, start, 8);
+            assert!(t >= start);
+            assert!(t < start.plus_seconds(8 * SECONDS_PER_DAY));
+        }
+    }
+
+    #[test]
+    fn human_samples_skew_to_daytime() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let start = ClfTimestamp::PAPER_WINDOW_START;
+        let n = 10_000;
+        let mut afternoon = 0;
+        let mut early = 0;
+        for _ in 0..n {
+            let t = DiurnalProfile::Human.sample_start(&mut rng, start, 8);
+            match t.hour() {
+                14..=18 => afternoon += 1,
+                2..=6 => early += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            afternoon > early * 3,
+            "afternoon {afternoon} should dwarf early-morning {early}"
+        );
+    }
+
+    #[test]
+    fn flat_samples_cover_all_hours_evenly() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let start = ClfTimestamp::PAPER_WINDOW_START;
+        let mut buckets = [0u32; 24];
+        let n = 24_000;
+        for _ in 0..n {
+            let t = DiurnalProfile::Flat.sample_start(&mut rng, start, 8);
+            buckets[t.hour() as usize] += 1;
+        }
+        for (h, b) in buckets.iter().enumerate() {
+            assert!(
+                (700..1300).contains(b),
+                "hour {h} drew {b} of {n} samples"
+            );
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Hand-rolled samplers.
+//!
+//! `rand` 0.8 ships only uniform/Bernoulli primitives offline, so the heavy-
+//! tailed and discrete distributions the traffic model needs are implemented
+//! here: log-normal (Box–Muller), Zipf (CDF table + binary search), Poisson
+//! (Knuth / normal approximation), Pareto (inverse CDF), and weighted
+//! categorical choice.
+
+use rand::Rng;
+
+/// Log-normal distribution parameterised by the mean and sigma of the
+/// underlying normal. Used for human think times and page sizes.
+///
+/// ```
+/// use divscrape_traffic::distrib::LogNormal;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let d = LogNormal::new(3.0, 0.5);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution. `sigma` must be non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        Self { mu, sigma }
+    }
+
+    /// Builds the distribution from the *target* mean and coefficient of
+    /// variation of the log-normal itself (more intuitive for calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `cv < 0`.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0 && cv >= 0.0);
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller with guards against ln(0).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// Draws one sample clamped into `[lo, hi]`.
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`. Used for offer
+/// popularity (a handful of routes dominate fare lookups) and search terms.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // `new` rejects n == 0; a Zipf always has ranks.
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Draws a 0-based index in `0..n`.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample(rng) - 1
+    }
+}
+
+/// Poisson distribution. Used for per-page asset counts and arrival counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0);
+        Self { lambda }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda < 30.0 {
+            // Knuth's multiplication method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction; adequate for
+            // the arrival-count use case.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let x = self.lambda + self.lambda.sqrt() * z;
+            x.round().max(0.0) as u64
+        }
+    }
+}
+
+/// Pareto distribution (heavy-tailed). Used for botnet session lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates the distribution with minimum value `scale` and tail index
+    /// `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0);
+        assert!(shape.is_finite() && shape > 0.0);
+        Self { scale, shape }
+    }
+
+    /// Draws one sample (always `>= scale`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.scale / u.powf(1.0 / self.shape)
+    }
+}
+
+/// Weighted categorical choice over a fixed slice of outcomes.
+///
+/// ```
+/// use divscrape_traffic::distrib::Categorical;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let d = Categorical::new(vec![("a", 8.0), ("b", 2.0)]);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let picked = d.sample(&mut rng);
+/// assert!(*picked == "a" || *picked == "b");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Categorical<T> {
+    outcomes: Vec<T>,
+    cdf: Vec<f64>,
+}
+
+impl<T> Categorical<T> {
+    /// Creates the distribution from `(outcome, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty, any weight is negative or non-finite, or
+    /// all weights are zero.
+    pub fn new(pairs: Vec<(T, f64)>) -> Self {
+        assert!(!pairs.is_empty(), "categorical needs outcomes");
+        let mut outcomes = Vec::with_capacity(pairs.len());
+        let mut cdf = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for (outcome, w) in pairs {
+            assert!(w.is_finite() && w >= 0.0, "weights must be non-negative");
+            acc += w;
+            outcomes.push(outcome);
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "at least one weight must be positive");
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Self { outcomes, cdf }
+    }
+
+    /// Draws a reference to one outcome.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &T {
+        &self.outcomes[self.sample_index(rng)]
+    }
+
+    /// Draws the index of one outcome.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether there are no outcomes (never true; `new` rejects empty).
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+}
+
+/// Derives a child seed from a parent seed and a stream tag (SplitMix64
+/// step). Deterministic seeding hierarchy: scenario seed → population seed →
+/// client seed → session seed, so adding one population never perturbs the
+/// streams of another.
+pub fn child_seed(parent: u64, tag: u64) -> u64 {
+    let mut z = parent ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn lognormal_matches_target_mean() {
+        let d = LogNormal::from_mean_cv(20.0, 0.8);
+        let mut r = rng(42);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 20.0).abs() < 0.5,
+            "empirical mean {mean} far from 20"
+        );
+    }
+
+    #[test]
+    fn lognormal_clamps() {
+        let d = LogNormal::from_mean_cv(10.0, 2.0);
+        let mut r = rng(1);
+        for _ in 0..10_000 {
+            let x = d.sample_clamped(&mut r, 2.0, 30.0);
+            assert!((2.0..=30.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn lognormal_rejects_negative_sigma() {
+        let _ = LogNormal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let d = Zipf::new(100, 1.1);
+        let mut r = rng(3);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[d.sample_index(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 1 should beat rank 11");
+        assert!(counts[0] > counts[50] * 5, "head should dominate tail");
+        assert!((1..=100).contains(&d.sample(&mut r)));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let d = Zipf::new(10, 0.0);
+        let mut r = rng(4);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[d.sample_index(&mut r)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "uniform bucket off: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_zero_ranks() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let d = Poisson::new(3.5);
+        let mut r = rng(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let d = Poisson::new(200.0);
+        let mut r = rng(6);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let d = Pareto::new(50.0, 1.5);
+        let mut r = rng(7);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x >= 50.0));
+        // Heavy tail: some samples should exceed 10x the scale.
+        assert!(samples.iter().any(|&x| x > 500.0));
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let d = Categorical::new(vec![("common", 90.0), ("rare", 10.0)]);
+        let mut r = rng(8);
+        let mut common = 0;
+        for _ in 0..10_000 {
+            if *d.sample(&mut r) == "common" {
+                common += 1;
+            }
+        }
+        assert!((8_700..9_300).contains(&common), "common drawn {common}");
+    }
+
+    #[test]
+    fn categorical_zero_weight_outcomes_never_drawn() {
+        let d = Categorical::new(vec![("never", 0.0), ("always", 1.0)]);
+        let mut r = rng(9);
+        for _ in 0..1_000 {
+            assert_eq!(*d.sample(&mut r), "always");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_rejects_all_zero() {
+        let _ = Categorical::new(vec![("a", 0.0), ("b", 0.0)]);
+    }
+
+    #[test]
+    fn child_seeds_are_stable_and_distinct() {
+        assert_eq!(child_seed(1, 2), child_seed(1, 2));
+        assert_ne!(child_seed(1, 2), child_seed(1, 3));
+        assert_ne!(child_seed(1, 2), child_seed(2, 2));
+        // A realistic tree of seeds should not collide.
+        let mut seen = std::collections::HashSet::new();
+        for pop in 0..10u64 {
+            let p = child_seed(99, pop);
+            for client in 0..1000u64 {
+                assert!(seen.insert(child_seed(p, client)), "seed collision");
+            }
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_fixed_seed() {
+        let d = LogNormal::from_mean_cv(5.0, 1.0);
+        let a: Vec<f64> = {
+            let mut r = rng(11);
+            (0..32).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(11);
+            (0..32).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,569 @@
+//! The top-level traffic generator.
+//!
+//! Generates every population of a [`ScenarioConfig`], merges all sessions
+//! into a single timestamp-ordered log, and returns it together with the
+//! parallel ground-truth vector.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::{ClfTimestamp, LogEntry, LogWriter, SECONDS_PER_DAY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::actors::botnet::{self, Campaign};
+use crate::actors::crawler::{self, CrawlerIdentity};
+use crate::actors::{human, monitor, partner, scanner, stealth};
+use crate::arrival::DiurnalProfile;
+use crate::distrib::child_seed;
+use crate::network;
+use crate::session::SessionPlan;
+use crate::useragents::BrowserPool;
+use crate::{ActorClass, GroundTruth, ScenarioConfig, SiteModel};
+
+/// A generated log with per-request ground truth.
+///
+/// `entries[i]` and `truth[i]` describe the same request; entries are in
+/// non-decreasing timestamp order.
+///
+/// ```
+/// use divscrape_traffic::{generate, ScenarioConfig};
+///
+/// let log = generate(&ScenarioConfig::tiny(42))?;
+/// assert_eq!(log.len(), 1_200);
+/// assert_eq!(log.entries().len(), log.truth().len());
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LabelledLog {
+    entries: Vec<LogEntry>,
+    truth: Vec<GroundTruth>,
+    window_start: ClfTimestamp,
+    window_days: u32,
+}
+
+impl LabelledLog {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The log entries, in timestamp order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Ground truth parallel to [`entries`](Self::entries).
+    pub fn truth(&self) -> &[GroundTruth] {
+        &self.truth
+    }
+
+    /// Iterates over `(entry, truth)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&LogEntry, &GroundTruth)> {
+        self.entries.iter().zip(self.truth.iter())
+    }
+
+    /// First instant of the generation window.
+    pub fn window_start(&self) -> ClfTimestamp {
+        self.window_start
+    }
+
+    /// Window length in days.
+    pub fn window_days(&self) -> u32 {
+        self.window_days
+    }
+
+    /// Requests per actor class.
+    pub fn actor_counts(&self) -> BTreeMap<ActorClass, u64> {
+        let mut counts = BTreeMap::new();
+        for t in &self.truth {
+            *counts.entry(t.actor()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Number of malicious requests (the positive class).
+    pub fn malicious_count(&self) -> u64 {
+        self.truth.iter().filter(|t| t.is_malicious()).count() as u64
+    }
+
+    /// Writes the entries as Combined Log Format lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error.
+    pub fn write_log<W: Write>(&self, writer: W) -> io::Result<()> {
+        let mut w = LogWriter::new(writer);
+        w.write_all(&self.entries)?;
+        w.finish()?;
+        Ok(())
+    }
+}
+
+/// Shared state while populating one run.
+struct Emitter {
+    out: Vec<(LogEntry, GroundTruth)>,
+    window_end: ClfTimestamp,
+    next_session_id: u32,
+    next_client_id: u32,
+}
+
+impl Emitter {
+    /// Realizes a plan, clamps it to the window, truncates it to `budget`,
+    /// appends, and returns how many requests were emitted.
+    fn emit(&mut self, plan: &SessionPlan, budget: u64) -> u64 {
+        let session_id = self.next_session_id;
+        self.next_session_id += 1;
+        let mut emitted = 0u64;
+        for (entry, truth) in plan.realize(session_id) {
+            if emitted >= budget {
+                break;
+            }
+            if entry.timestamp() >= self.window_end {
+                continue;
+            }
+            self.out.push((entry, truth));
+            emitted += 1;
+        }
+        emitted
+    }
+
+    fn alloc_client(&mut self) -> u32 {
+        let id = self.next_client_id;
+        self.next_client_id += 1;
+        id
+    }
+}
+
+fn population_budgets(cfg: &ScenarioConfig) -> [u64; 9] {
+    let t = cfg.target_requests as f64;
+    let m = &cfg.mix;
+    let mut budgets = [
+        (m.human * t) as u64,
+        (m.crawler * t) as u64,
+        (m.monitor * t) as u64,
+        (m.partner * t) as u64,
+        (m.botnet_toolkit * t) as u64,
+        (m.botnet_spoofed * t) as u64,
+        (m.botnet_residential * t) as u64,
+        (m.stealth * t) as u64,
+        (m.scanner * t) as u64,
+    ];
+    // Hand the rounding remainder to the human population so the total is
+    // exactly the configured target.
+    let sum: u64 = budgets.iter().sum();
+    budgets[0] += cfg.target_requests - sum.min(cfg.target_requests);
+    budgets
+}
+
+/// Generates the configured scenario.
+///
+/// Deterministic: the same configuration (including seed) always produces
+/// the identical log.
+///
+/// # Errors
+///
+/// Returns a description of the problem when the configuration is invalid.
+pub fn generate(cfg: &ScenarioConfig) -> Result<LabelledLog, String> {
+    cfg.validate()?;
+    let site = SiteModel::new(cfg.site_offers);
+    let browsers = BrowserPool::mainstream();
+    let budgets = population_budgets(cfg);
+    let window_end = cfg
+        .window_start
+        .plus_seconds(i64::from(cfg.window_days) * SECONDS_PER_DAY);
+
+    let mut em = Emitter {
+        out: Vec::with_capacity(cfg.target_requests as usize),
+        window_end,
+        next_session_id: 0,
+        next_client_id: 0,
+    };
+
+    gen_crawlers(cfg, &site, budgets[1], &mut em);
+    gen_monitors(cfg, &site, budgets[2], &mut em);
+    gen_partners(cfg, &site, budgets[3], &mut em);
+    gen_botnet(cfg, &site, &browsers, Campaign::Toolkit, budgets[4], &mut em);
+    gen_botnet(cfg, &site, &browsers, Campaign::Spoofed, budgets[5], &mut em);
+    gen_botnet(
+        cfg,
+        &site,
+        &browsers,
+        Campaign::Residential,
+        budgets[6],
+        &mut em,
+    );
+    gen_stealth(cfg, &site, &browsers, budgets[7], &mut em);
+    gen_scanners(cfg, &site, &browsers, budgets[8], &mut em);
+    // Humans run last and absorb every other population's shortfall (the
+    // strictly periodic populations cannot exceed their natural volume), so
+    // the total always lands exactly on the configured target.
+    let human_budget = cfg.target_requests - (em.out.len() as u64).min(cfg.target_requests);
+    gen_humans(cfg, &site, &browsers, human_budget, &mut em);
+
+    // Merge all sessions into one log ordered by time; ties broken by
+    // client address then emission order so the result is fully
+    // deterministic.
+    let mut indexed: Vec<(usize, (LogEntry, GroundTruth))> =
+        em.out.into_iter().enumerate().collect();
+    indexed.sort_by_key(|(seq, (entry, _))| {
+        (entry.timestamp().epoch_seconds(), u32::from(entry.addr()), *seq)
+    });
+
+    let mut entries = Vec::with_capacity(indexed.len());
+    let mut truth = Vec::with_capacity(indexed.len());
+    for (_, (e, t)) in indexed {
+        entries.push(e);
+        truth.push(t);
+    }
+
+    Ok(LabelledLog {
+        entries,
+        truth,
+        window_start: cfg.window_start,
+        window_days: cfg.window_days,
+    })
+}
+
+fn gen_humans(
+    cfg: &ScenarioConfig,
+    site: &SiteModel,
+    browsers: &BrowserPool,
+    budget: u64,
+    em: &mut Emitter,
+) {
+    let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, 1));
+    let pool = network::residential();
+    let mut remaining = budget;
+    let mut clients: Vec<(Ipv4Addr, u32)> = Vec::new();
+    while remaining > 0 {
+        // 80% of sessions come from a first-time visitor.
+        let (addr, client_id) = if clients.is_empty() || rng.gen_bool(0.8) {
+            let c = (pool.sample(&mut rng), em.alloc_client());
+            clients.push(c);
+            c
+        } else {
+            clients[rng.gen_range(0..clients.len())]
+        };
+        let start = DiurnalProfile::Human.sample_start(&mut rng, cfg.window_start, cfg.window_days);
+        let (plan, _kind) =
+            human::plan_session(&cfg.human, site, &mut rng, start, addr, client_id, browsers);
+        remaining -= em.emit(&plan, remaining).min(remaining);
+    }
+}
+
+fn gen_crawlers(cfg: &ScenarioConfig, site: &SiteModel, budget: u64, em: &mut Emitter) {
+    let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, 2));
+    let google = (
+        network::crawler_google().sample(&mut rng),
+        em.alloc_client(),
+        CrawlerIdentity::Google,
+    );
+    let bing = (
+        network::crawler_bing().sample(&mut rng),
+        em.alloc_client(),
+        CrawlerIdentity::Bing,
+    );
+    // Big operators crawl several times a day; keep starting crawl passes
+    // until the population's budget is filled.
+    let mut remaining = budget;
+    'outer: for _pass in 0.. {
+        let before = remaining;
+        for day in 0..cfg.window_days {
+            for (addr, client_id, identity) in [google, bing] {
+                if remaining == 0 {
+                    break 'outer;
+                }
+                let offset =
+                    i64::from(day) * SECONDS_PER_DAY + rng.gen_range(0..SECONDS_PER_DAY * 3 / 4);
+                let start = cfg.window_start.plus_seconds(offset);
+                let plan = crawler::plan_session(
+                    &cfg.crawler,
+                    site,
+                    &mut rng,
+                    start,
+                    addr,
+                    client_id,
+                    identity,
+                );
+                remaining -= em.emit(&plan, remaining).min(remaining);
+            }
+        }
+        // Safety: a pass that emitted nothing cannot make progress.
+        if remaining == before {
+            break;
+        }
+    }
+}
+
+fn gen_monitors(cfg: &ScenarioConfig, site: &SiteModel, budget: u64, em: &mut Emitter) {
+    let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, 3));
+    let addr = network::monitor_range().sample(&mut rng);
+    let client_id = em.alloc_client();
+    let mut remaining = budget;
+    for day in 0..cfg.window_days {
+        if remaining == 0 {
+            break;
+        }
+        let start = cfg
+            .window_start
+            .plus_seconds(i64::from(day) * SECONDS_PER_DAY + rng.gen_range(0..30));
+        let plan = monitor::plan_session(&cfg.monitor, site, &mut rng, start, addr, client_id);
+        remaining -= em.emit(&plan, remaining).min(remaining);
+    }
+}
+
+fn gen_partners(cfg: &ScenarioConfig, site: &SiteModel, budget: u64, em: &mut Emitter) {
+    let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, 4));
+    let pool = network::partner_range();
+    let partners = [
+        (pool.sample(&mut rng), em.alloc_client()),
+        (pool.sample(&mut rng), em.alloc_client()),
+    ];
+    let mut remaining = budget;
+    'outer: for day in 0..cfg.window_days {
+        for (addr, client_id) in partners {
+            if remaining == 0 {
+                break 'outer;
+            }
+            // Pull window opens at 06:00 plus scheduler jitter.
+            let start = cfg.window_start.plus_seconds(
+                i64::from(day) * SECONDS_PER_DAY + 6 * 3600 + rng.gen_range(0..600),
+            );
+            let plan = partner::plan_session(&cfg.partner, site, &mut rng, start, addr, client_id);
+            remaining -= em.emit(&plan, remaining).min(remaining);
+        }
+    }
+}
+
+fn gen_botnet(
+    cfg: &ScenarioConfig,
+    site: &SiteModel,
+    browsers: &BrowserPool,
+    campaign: Campaign,
+    budget: u64,
+    em: &mut Emitter,
+) {
+    let (tag, bot_cfg) = match campaign {
+        Campaign::Toolkit => (5u64, &cfg.botnet_toolkit),
+        Campaign::Spoofed => (6u64, &cfg.botnet_spoofed),
+        Campaign::Residential => (7u64, &cfg.botnet_residential),
+    };
+    let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, tag));
+    let datacenter = network::datacenter();
+    let residential = network::residential();
+
+    // Node fleet sized so each node contributes a plausible number of
+    // sweeps across the window.
+    let nodes_wanted = (budget / 9_000).clamp(4, 400) as usize;
+    let mut nodes: Vec<(Ipv4Addr, u32, String)> = Vec::with_capacity(nodes_wanted);
+    for _ in 0..nodes_wanted {
+        let addr = match campaign {
+            Campaign::Toolkit => datacenter.sample(&mut rng),
+            Campaign::Spoofed => {
+                if rng.gen_bool(0.5) {
+                    datacenter.sample(&mut rng)
+                } else {
+                    residential.sample(&mut rng)
+                }
+            }
+            Campaign::Residential => residential.sample(&mut rng),
+        };
+        let ua = botnet::campaign_user_agent(campaign, &mut rng, browsers);
+        nodes.push((addr, em.alloc_client(), ua));
+    }
+
+    let mut remaining = budget;
+    while remaining > 0 {
+        let (addr, client_id, ua) = nodes[rng.gen_range(0..nodes.len())].clone();
+        let start =
+            DiurnalProfile::MildBot.sample_start(&mut rng, cfg.window_start, cfg.window_days);
+        let plan = botnet::plan_session(bot_cfg, site, &mut rng, start, addr, client_id, ua);
+        remaining -= em.emit(&plan, remaining).min(remaining);
+    }
+}
+
+fn gen_stealth(
+    cfg: &ScenarioConfig,
+    site: &SiteModel,
+    browsers: &BrowserPool,
+    budget: u64,
+    em: &mut Emitter,
+) {
+    let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, 8));
+    let pool = network::datacenter();
+    let clients_wanted = (budget / 140).clamp(3, 2_000) as usize;
+    let clients: Vec<(Ipv4Addr, u32)> = (0..clients_wanted)
+        .map(|_| (pool.sample(&mut rng), em.alloc_client()))
+        .collect();
+    let mut remaining = budget;
+    while remaining > 0 {
+        let (addr, client_id) = clients[rng.gen_range(0..clients.len())];
+        let start =
+            DiurnalProfile::MildBot.sample_start(&mut rng, cfg.window_start, cfg.window_days);
+        let plan =
+            stealth::plan_session(&cfg.stealth, site, &mut rng, start, addr, client_id, browsers);
+        remaining -= em.emit(&plan, remaining).min(remaining);
+    }
+}
+
+fn gen_scanners(
+    cfg: &ScenarioConfig,
+    site: &SiteModel,
+    browsers: &BrowserPool,
+    budget: u64,
+    em: &mut Emitter,
+) {
+    let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, 9));
+    let pool = network::residential();
+    let clients_wanted = (budget / 2_500).clamp(2, 64) as usize;
+    let clients: Vec<(Ipv4Addr, u32)> = (0..clients_wanted)
+        .map(|_| (pool.sample(&mut rng), em.alloc_client()))
+        .collect();
+    let mut remaining = budget;
+    while remaining > 0 {
+        let (addr, client_id) = clients[rng.gen_range(0..clients.len())];
+        let start = DiurnalProfile::Flat.sample_start(&mut rng, cfg.window_start, cfg.window_days);
+        let plan =
+            scanner::plan_session(&cfg.scanner, site, &mut rng, start, addr, client_id, browsers);
+        remaining -= em.emit(&plan, remaining).min(remaining);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioConfig;
+
+    #[test]
+    fn generates_exactly_the_target_count() {
+        for target in [500u64, 1_200, 5_000] {
+            let cfg = ScenarioConfig::with_target(7, target);
+            let log = generate(&cfg).unwrap();
+            assert_eq!(log.len() as u64, target);
+        }
+    }
+
+    #[test]
+    fn output_is_time_ordered_and_in_window() {
+        let log = generate(&ScenarioConfig::small(3)).unwrap();
+        let end = log
+            .window_start()
+            .plus_seconds(i64::from(log.window_days()) * SECONDS_PER_DAY);
+        for pair in log.entries().windows(2) {
+            assert!(pair[0].timestamp() <= pair[1].timestamp());
+        }
+        for e in log.entries() {
+            assert!(e.timestamp() >= log.window_start());
+            assert!(e.timestamp() < end);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&ScenarioConfig::small(11)).unwrap();
+        let b = generate(&ScenarioConfig::small(11)).unwrap();
+        assert_eq!(a.entries(), b.entries());
+        assert_eq!(a.truth(), b.truth());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&ScenarioConfig::tiny(1)).unwrap();
+        let b = generate(&ScenarioConfig::tiny(2)).unwrap();
+        assert_ne!(a.entries(), b.entries());
+    }
+
+    #[test]
+    fn population_shares_track_the_mix() {
+        let cfg = ScenarioConfig::medium(5);
+        let log = generate(&cfg).unwrap();
+        let counts = log.actor_counts();
+        let total = log.len() as f64;
+
+        let share = |a: ActorClass| *counts.get(&a).unwrap_or(&0) as f64 / total;
+        // Generous tolerances: budgets are exact but session truncation
+        // moves a few tenths of a percent between populations.
+        assert!(
+            (share(ActorClass::Human) - cfg.mix.human).abs() < 0.02,
+            "human share {}",
+            share(ActorClass::Human)
+        );
+        let botnet = share(ActorClass::PriceScraperBot);
+        let expected = cfg.mix.botnet_toolkit + cfg.mix.botnet_spoofed + cfg.mix.botnet_residential;
+        assert!((botnet - expected).abs() < 0.02, "botnet share {botnet}");
+        assert!(
+            (share(ActorClass::StealthScraper) - cfg.mix.stealth).abs() < 0.01,
+            "stealth share {}",
+            share(ActorClass::StealthScraper)
+        );
+        assert!(
+            (share(ActorClass::Scanner) - cfg.mix.scanner).abs() < 0.005,
+            "scanner share {}",
+            share(ActorClass::Scanner)
+        );
+    }
+
+    #[test]
+    fn malicious_fraction_is_bot_dominated() {
+        let log = generate(&ScenarioConfig::small(9)).unwrap();
+        let frac = log.malicious_count() as f64 / log.len() as f64;
+        assert!((0.80..0.92).contains(&frac), "malicious fraction {frac}");
+    }
+
+    #[test]
+    fn truth_is_parallel_and_sessions_are_coherent() {
+        let log = generate(&ScenarioConfig::tiny(4)).unwrap();
+        assert_eq!(log.entries().len(), log.truth().len());
+        // Within one session id, actor class and client id are constant and
+        // the address never changes.
+        let mut by_session: BTreeMap<u32, (ActorClass, u32, Ipv4Addr)> = BTreeMap::new();
+        for (e, t) in log.iter() {
+            let expect = by_session
+                .entry(t.session_id())
+                .or_insert((t.actor(), t.client_id(), e.addr()));
+            assert_eq!(expect.0, t.actor());
+            assert_eq!(expect.1, t.client_id());
+            assert_eq!(expect.2, e.addr());
+        }
+    }
+
+    #[test]
+    fn every_entry_round_trips_through_clf() {
+        let log = generate(&ScenarioConfig::tiny(6)).unwrap();
+        for e in log.entries() {
+            let line = e.to_string();
+            assert_eq!(&LogEntry::parse(&line).unwrap(), e, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn log_writes_as_valid_clf() {
+        let log = generate(&ScenarioConfig::tiny(8)).unwrap();
+        let mut buf = Vec::new();
+        log.write_log(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), log.len());
+        for line in text.lines().take(50) {
+            LogEntry::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_populations_are_present_at_medium_scale() {
+        let log = generate(&ScenarioConfig::medium(2)).unwrap();
+        let counts = log.actor_counts();
+        for actor in ActorClass::ALL {
+            assert!(
+                counts.get(&actor).copied().unwrap_or(0) > 0,
+                "{actor} missing from the log"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Ground-truth labels.
+//!
+//! The paper's dataset was *unlabelled* — Section V names labelling as the
+//! blocking next step. Because our substrate is a simulator, every request
+//! carries the label the Amadeus team were still working to produce: which
+//! actor generated it and whether that actor is malicious.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of client that generated a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ActorClass {
+    /// A human visitor using a browser.
+    Human,
+    /// A well-behaved search-engine crawler (robots.txt-compliant).
+    SearchCrawler,
+    /// An uptime monitor polling health endpoints.
+    UptimeMonitor,
+    /// A contracted partner pulling fares through the public API.
+    PartnerAggregator,
+    /// A node of an aggressive price-scraping botnet — the paper's core
+    /// threat model (fare scraping against travel e-commerce).
+    PriceScraperBot,
+    /// A stealthy, low-and-slow scraper with rotating browser identities.
+    StealthScraper,
+    /// A reconnaissance scanner mapping the site and probing endpoints.
+    Scanner,
+}
+
+impl ActorClass {
+    /// All classes, in declaration order.
+    pub const ALL: [ActorClass; 7] = [
+        ActorClass::Human,
+        ActorClass::SearchCrawler,
+        ActorClass::UptimeMonitor,
+        ActorClass::PartnerAggregator,
+        ActorClass::PriceScraperBot,
+        ActorClass::StealthScraper,
+        ActorClass::Scanner,
+    ];
+
+    /// Whether requests from this actor are *malicious scraping activity* in
+    /// the paper's sense (the positive class for every labelled metric).
+    pub fn is_malicious(self) -> bool {
+        matches!(
+            self,
+            ActorClass::PriceScraperBot | ActorClass::StealthScraper | ActorClass::Scanner
+        )
+    }
+
+    /// Whether the actor is automated at all (everything except humans).
+    pub fn is_bot(self) -> bool {
+        self != ActorClass::Human
+    }
+
+    /// Short stable name used in reports and serialized output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActorClass::Human => "human",
+            ActorClass::SearchCrawler => "search-crawler",
+            ActorClass::UptimeMonitor => "uptime-monitor",
+            ActorClass::PartnerAggregator => "partner-aggregator",
+            ActorClass::PriceScraperBot => "price-scraper-bot",
+            ActorClass::StealthScraper => "stealth-scraper",
+            ActorClass::Scanner => "scanner",
+        }
+    }
+}
+
+impl fmt::Display for ActorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Ground truth attached to one generated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroundTruth {
+    actor: ActorClass,
+    client_id: u32,
+    session_id: u32,
+}
+
+impl GroundTruth {
+    /// Creates a label. `client_id` is unique per simulated client across the
+    /// whole run; `session_id` is unique per session across the whole run.
+    pub fn new(actor: ActorClass, client_id: u32, session_id: u32) -> Self {
+        Self {
+            actor,
+            client_id,
+            session_id,
+        }
+    }
+
+    /// The generating actor class.
+    pub fn actor(self) -> ActorClass {
+        self.actor
+    }
+
+    /// Whether this request is malicious (the positive class).
+    pub fn is_malicious(self) -> bool {
+        self.actor.is_malicious()
+    }
+
+    /// Identifier of the simulated client (stable across its sessions).
+    pub fn client_id(self) -> u32 {
+        self.client_id
+    }
+
+    /// Identifier of the session this request belongs to.
+    pub fn session_id(self) -> u32 {
+        self.session_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malice_covers_exactly_the_three_attack_classes() {
+        let malicious: Vec<_> = ActorClass::ALL
+            .into_iter()
+            .filter(|a| a.is_malicious())
+            .collect();
+        assert_eq!(
+            malicious,
+            vec![
+                ActorClass::PriceScraperBot,
+                ActorClass::StealthScraper,
+                ActorClass::Scanner
+            ]
+        );
+    }
+
+    #[test]
+    fn only_humans_are_not_bots() {
+        let non_bots: Vec<_> = ActorClass::ALL
+            .into_iter()
+            .filter(|a| !a.is_bot())
+            .collect();
+        assert_eq!(non_bots, vec![ActorClass::Human]);
+    }
+
+    #[test]
+    fn names_are_unique_and_lowercase() {
+        let names: Vec<_> = ActorClass::ALL.iter().map(|a| a.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert_eq!(n, n.to_ascii_lowercase());
+            assert_eq!(ActorClass::ALL.iter().find(|a| a.name() == n).is_some(), true);
+        }
+    }
+
+    #[test]
+    fn ground_truth_carries_ids() {
+        let g = GroundTruth::new(ActorClass::Scanner, 7, 99);
+        assert!(g.is_malicious());
+        assert_eq!(g.actor(), ActorClass::Scanner);
+        assert_eq!(g.client_id(), 7);
+        assert_eq!(g.session_id(), 99);
+    }
+}

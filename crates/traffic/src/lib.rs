@@ -1,0 +1,55 @@
+//! Synthetic labelled e-commerce traffic for the `divscrape` reproduction.
+//!
+//! The paper's dataset — 1,469,744 Apache access-log requests from a
+//! production Amadeus travel e-commerce application over 8 days in March
+//! 2018 — is proprietary and unlabelled. This crate is the substitution:
+//! a deterministic, seedable simulator that generates Combined Log Format
+//! traffic with the *population structure* the paper's tables imply, plus
+//! the ground-truth labels the paper names as its blocking next step.
+//!
+//! # Populations
+//!
+//! * **Humans** ([`actors::human`]) — browsing sessions with think times,
+//!   asset fetches, booking funnel; includes the realistic false-positive
+//!   surface (JS-disabled clients, hyperactive fare-comparison users).
+//! * **Benign bots** ([`actors::crawler`], [`actors::monitor`],
+//!   [`actors::partner`]) — self-identified, whitelistable automation.
+//! * **The aggressive price-scraping botnet** ([`actors::botnet`]) — three
+//!   campaigns at different evasion levels; carries the bulk of the traffic
+//!   exactly as the paper's alert volumes imply.
+//! * **Stealth scrapers** ([`actors::stealth`]) — low-and-slow, reputation-
+//!   listed infrastructure; the model for the paper's Distil-only alerts.
+//! * **Scanners** ([`actors::scanner`]) — clean identity, anomalous
+//!   behaviour; the model for the paper's Arcane-only alerts.
+//!
+//! # Example
+//!
+//! ```
+//! use divscrape_traffic::{generate, ScenarioConfig};
+//!
+//! let log = generate(&ScenarioConfig::tiny(42))?;
+//! assert_eq!(log.len(), 1_200);
+//! let malicious = log.malicious_count() as f64 / log.len() as f64;
+//! assert!(malicious > 0.5); // bot-dominated, like the paper's dataset
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actors;
+pub mod arrival;
+pub mod distrib;
+mod generate;
+mod label;
+pub mod network;
+mod scenario;
+mod session;
+mod site;
+pub mod useragents;
+
+pub use generate::{generate, LabelledLog};
+pub use label::{ActorClass, GroundTruth};
+pub use scenario::{PopulationMix, ScenarioConfig, PAPER_TOTAL_REQUESTS};
+pub use session::{RequestSpec, SessionPlan, SITE_ORIGIN};
+pub use site::{SiteModel, CURRENCIES, ROUTES};

@@ -1,0 +1,191 @@
+//! Address-space model.
+//!
+//! Each population draws client addresses from named pools that mirror the
+//! real internet's coarse structure: residential eyeball networks, cloud /
+//! hosting ranges, and the published ranges of crawler, monitoring and
+//! partner operators. Detector-side artefacts (Sentinel's reputation feed)
+//! are built over the *same* public structure — in reality, too, both the
+//! attacker's hosting choices and the vendor's feed derive from provider
+//! address registries.
+
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::Cidr;
+use rand::Rng;
+
+/// A weighted set of CIDR blocks to draw client addresses from.
+#[derive(Debug, Clone)]
+pub struct IpPool {
+    blocks: Vec<Cidr>,
+}
+
+impl IpPool {
+    /// Creates a pool from blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn new(blocks: Vec<Cidr>) -> Self {
+        assert!(!blocks.is_empty(), "a pool needs at least one block");
+        Self { blocks }
+    }
+
+    /// The blocks in this pool.
+    pub fn blocks(&self) -> &[Cidr] {
+        &self.blocks
+    }
+
+    /// Draws one address uniformly across the pool's total address space.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Ipv4Addr {
+        let total: u64 = self.blocks.iter().map(|b| b.host_count()).sum();
+        let mut pick = rng.gen_range(0..total);
+        for block in &self.blocks {
+            if pick < block.host_count() {
+                // Skip the network (.0-ish) and broadcast edges for realism.
+                let idx = pick.clamp(1, block.host_count().saturating_sub(2).max(1));
+                return block.nth_host(idx).expect("index clamped into block");
+            }
+            pick -= block.host_count();
+        }
+        unreachable!("pick is within total host count");
+    }
+
+    /// Whether an address falls in any block of the pool.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.blocks.iter().any(|b| b.contains(addr))
+    }
+}
+
+fn cidr(s: &str) -> Cidr {
+    s.parse().expect("static CIDR tables are well-formed")
+}
+
+/// Residential eyeball networks: where humans (and compromised home
+/// machines) live.
+pub fn residential() -> IpPool {
+    IpPool::new(vec![
+        cidr("81.2.0.0/15"),
+        cidr("92.136.0.0/13"),
+        cidr("109.64.0.0/12"),
+        cidr("177.32.0.0/12"),
+        cidr("24.16.0.0/13"),
+        cidr("151.48.0.0/14"),
+    ])
+}
+
+/// Cloud/hosting ranges: where scraping infrastructure is rented. These are
+/// exactly the ranges a commercial reputation feed lists.
+pub fn datacenter() -> IpPool {
+    IpPool::new(vec![
+        cidr("45.76.0.0/14"),
+        cidr("104.131.0.0/16"),
+        cidr("159.203.0.0/16"),
+        cidr("188.166.0.0/16"),
+        cidr("5.188.0.0/16"),
+        cidr("185.220.0.0/16"),
+        cidr("192.241.0.0/16"),
+    ])
+}
+
+/// A residential `/20` that a sloppy reputation feed wrongly lists (stale
+/// evidence from a long-cleaned infection). Humans unlucky enough to draw an
+/// address here become the feed's false positives.
+pub fn reputation_contamination_block() -> Cidr {
+    cidr("92.143.0.0/20")
+}
+
+/// Googlebot's published crawl range (subset).
+pub fn crawler_google() -> IpPool {
+    IpPool::new(vec![cidr("66.249.64.0/19")])
+}
+
+/// Bingbot's published crawl range (subset).
+pub fn crawler_bing() -> IpPool {
+    IpPool::new(vec![cidr("157.55.32.0/20")])
+}
+
+/// The uptime-monitoring operator's published range.
+pub fn monitor_range() -> IpPool {
+    IpPool::new(vec![cidr("178.255.152.0/24")])
+}
+
+/// The contracted partner's range (from the API contract).
+pub fn partner_range() -> IpPool {
+    IpPool::new(vec![cidr("203.0.113.0/24")])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_fall_inside_their_pool() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for pool in [
+            residential(),
+            datacenter(),
+            crawler_google(),
+            crawler_bing(),
+            monitor_range(),
+            partner_range(),
+        ] {
+            for _ in 0..500 {
+                let a = pool.sample(&mut rng);
+                assert!(pool.contains(a), "{a} escaped its pool");
+            }
+        }
+    }
+
+    #[test]
+    fn pools_are_disjoint_where_it_matters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dc = datacenter();
+        let res = residential();
+        for _ in 0..2_000 {
+            let a = dc.sample(&mut rng);
+            assert!(!res.contains(a), "{a} in both datacenter and residential");
+        }
+        for _ in 0..2_000 {
+            let a = res.sample(&mut rng);
+            assert!(!dc.contains(a), "{a} in both residential and datacenter");
+        }
+    }
+
+    #[test]
+    fn contamination_block_sits_inside_residential_space() {
+        let res = residential();
+        let block = reputation_contamination_block();
+        assert!(res.contains(block.network()));
+        assert!(res.contains(block.nth_host(block.host_count() - 1).unwrap()));
+        // ... and is NOT inside datacenter space.
+        assert!(!datacenter().contains(block.network()));
+    }
+
+    #[test]
+    fn residential_sampling_occasionally_hits_the_contaminated_block() {
+        // The block is 4096 of ~3.6M residential addresses (~0.11%); with
+        // 100k draws we expect ~115 hits — assert a loose band.
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = residential();
+        let block = reputation_contamination_block();
+        let hits = (0..100_000)
+            .filter(|_| block.contains(res.sample(&mut rng)))
+            .count();
+        assert!((20..400).contains(&hits), "contamination hits {hits}");
+    }
+
+    #[test]
+    fn sampling_spreads_across_blocks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let res = residential();
+        let mut per_block = vec![0u32; res.blocks().len()];
+        for _ in 0..10_000 {
+            let a = res.sample(&mut rng);
+            let i = res.blocks().iter().position(|b| b.contains(a)).unwrap();
+            per_block[i] += 1;
+        }
+        assert!(per_block.iter().all(|&c| c > 0), "some block never drawn: {per_block:?}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Scenario configuration and presets.
+
+use divscrape_httplog::ClfTimestamp;
+
+use crate::actors::botnet::{BotnetConfig, Campaign};
+use crate::actors::crawler::CrawlerConfig;
+use crate::actors::human::HumanConfig;
+use crate::actors::monitor::MonitorConfig;
+use crate::actors::partner::PartnerConfig;
+use crate::actors::scanner::ScannerConfig;
+use crate::actors::stealth::StealthConfig;
+
+/// Number of HTTP requests in the paper's dataset (Table 1).
+pub const PAPER_TOTAL_REQUESTS: u64 = 1_469_744;
+
+/// Fraction of total requests contributed by each population.
+///
+/// The defaults are the calibration that reproduces the shape of the paper's
+/// Tables 1–4 (see `DESIGN.md` §5): the aggressive botnet carries the
+/// "alerted by both" mass, stealth scrapers the "Distil-only" set, scanners
+/// the "Arcane-only" set, and humans plus benign bots the "neither" set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationMix {
+    /// Human visitors.
+    pub human: f64,
+    /// Search-engine crawlers.
+    pub crawler: f64,
+    /// Uptime monitors.
+    pub monitor: f64,
+    /// Contracted partner aggregators.
+    pub partner: f64,
+    /// Botnet, toolkit campaign.
+    pub botnet_toolkit: f64,
+    /// Botnet, spoofed-identity campaign.
+    pub botnet_spoofed: f64,
+    /// Botnet, residential campaign.
+    pub botnet_residential: f64,
+    /// Stealth scrapers.
+    pub stealth: f64,
+    /// Reconnaissance scanners.
+    pub scanner: f64,
+}
+
+impl Default for PopulationMix {
+    fn default() -> Self {
+        Self {
+            human: 0.1225,
+            crawler: 0.0055,
+            monitor: 0.0018,
+            partner: 0.0041,
+            botnet_toolkit: 0.3351,
+            botnet_spoofed: 0.3770,
+            botnet_residential: 0.1257,
+            stealth: 0.0220,
+            scanner: 0.0063,
+        }
+    }
+}
+
+impl PopulationMix {
+    /// Sum of all fractions (should be ≈ 1).
+    pub fn total(&self) -> f64 {
+        self.human
+            + self.crawler
+            + self.monitor
+            + self.partner
+            + self.botnet_toolkit
+            + self.botnet_spoofed
+            + self.botnet_residential
+            + self.stealth
+            + self.scanner
+    }
+
+    /// Validates that all fractions are non-negative and sum to ~1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let parts = [
+            ("human", self.human),
+            ("crawler", self.crawler),
+            ("monitor", self.monitor),
+            ("partner", self.partner),
+            ("botnet_toolkit", self.botnet_toolkit),
+            ("botnet_spoofed", self.botnet_spoofed),
+            ("botnet_residential", self.botnet_residential),
+            ("stealth", self.stealth),
+            ("scanner", self.scanner),
+        ];
+        for (name, v) in parts {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("population fraction `{name}` is {v}"));
+            }
+        }
+        let total = self.total();
+        if (total - 1.0).abs() > 0.01 {
+            return Err(format!("population fractions sum to {total}, expected ~1"));
+        }
+        Ok(())
+    }
+
+    /// Total fraction of malicious traffic.
+    pub fn malicious_fraction(&self) -> f64 {
+        self.botnet_toolkit
+            + self.botnet_spoofed
+            + self.botnet_residential
+            + self.stealth
+            + self.scanner
+    }
+}
+
+/// Full configuration of one synthetic-traffic run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed; every stream in the run derives from it.
+    pub seed: u64,
+    /// Total number of requests to generate (exactly).
+    pub target_requests: u64,
+    /// First instant of the observation window.
+    pub window_start: ClfTimestamp,
+    /// Window length in days.
+    pub window_days: u32,
+    /// Number of offer pages on the site.
+    pub site_offers: usize,
+    /// Population mix.
+    pub mix: PopulationMix,
+    /// Human behaviour knobs.
+    pub human: HumanConfig,
+    /// Toolkit-campaign knobs.
+    pub botnet_toolkit: BotnetConfig,
+    /// Spoofed-campaign knobs.
+    pub botnet_spoofed: BotnetConfig,
+    /// Residential-campaign knobs.
+    pub botnet_residential: BotnetConfig,
+    /// Stealth-scraper knobs.
+    pub stealth: StealthConfig,
+    /// Scanner knobs.
+    pub scanner: ScannerConfig,
+    /// Crawler knobs.
+    pub crawler: CrawlerConfig,
+    /// Monitor knobs.
+    pub monitor: MonitorConfig,
+    /// Partner knobs.
+    pub partner: PartnerConfig,
+}
+
+impl ScenarioConfig {
+    /// A scenario of `target_requests` requests with default behaviour and
+    /// mix, over the paper's 8-day window.
+    pub fn with_target(seed: u64, target_requests: u64) -> Self {
+        Self {
+            seed,
+            target_requests,
+            window_start: ClfTimestamp::PAPER_WINDOW_START,
+            window_days: 8,
+            site_offers: 2_000,
+            mix: PopulationMix::default(),
+            human: HumanConfig::default(),
+            botnet_toolkit: BotnetConfig::for_campaign(Campaign::Toolkit),
+            botnet_spoofed: BotnetConfig::for_campaign(Campaign::Spoofed),
+            botnet_residential: BotnetConfig::for_campaign(Campaign::Residential),
+            stealth: StealthConfig::default(),
+            scanner: ScannerConfig::default(),
+            crawler: CrawlerConfig::default(),
+            monitor: MonitorConfig::default(),
+            partner: PartnerConfig::default(),
+        }
+    }
+
+    /// The full paper-scale scenario: 1,469,744 requests over 8 days
+    /// starting 2018-03-11, like the dataset in Section III.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::with_target(seed, PAPER_TOTAL_REQUESTS)
+    }
+
+    /// ~120k requests; the workhorse for experiments that sweep parameters.
+    pub fn medium(seed: u64) -> Self {
+        Self::with_target(seed, 120_000)
+    }
+
+    /// ~12k requests; integration-test scale.
+    pub fn small(seed: u64) -> Self {
+        Self::with_target(seed, 12_000)
+    }
+
+    /// ~1.2k requests; unit-test scale.
+    pub fn tiny(seed: u64) -> Self {
+        Self::with_target(seed, 1_200)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.target_requests == 0 {
+            return Err("target_requests must be positive".into());
+        }
+        if self.window_days == 0 {
+            return Err("window_days must be positive".into());
+        }
+        if self.site_offers == 0 {
+            return Err("site_offers must be positive".into());
+        }
+        self.mix.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_sums_to_one() {
+        let mix = PopulationMix::default();
+        assert!((mix.total() - 1.0).abs() < 1e-9, "total {}", mix.total());
+        mix.validate().unwrap();
+    }
+
+    #[test]
+    fn default_mix_is_bot_dominated_like_the_paper() {
+        // The paper's tools alert on ~84-87% of all traffic; the malicious
+        // fraction must sit in that region for the shape to reproduce.
+        let mix = PopulationMix::default();
+        let m = mix.malicious_fraction();
+        assert!((0.80..0.92).contains(&m), "malicious fraction {m}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_mixes() {
+        let mut mix = PopulationMix::default();
+        mix.human = -0.1;
+        assert!(mix.validate().is_err());
+        let mut mix = PopulationMix::default();
+        mix.human += 0.5;
+        assert!(mix.validate().is_err());
+    }
+
+    #[test]
+    fn presets_scale_down_consistently() {
+        let paper = ScenarioConfig::paper_scale(1);
+        let small = ScenarioConfig::small(1);
+        assert_eq!(paper.target_requests, 1_469_744);
+        assert_eq!(paper.window_days, 8);
+        assert_eq!(small.window_days, 8);
+        assert_eq!(paper.mix, small.mix);
+        paper.validate().unwrap();
+        small.validate().unwrap();
+        ScenarioConfig::medium(1).validate().unwrap();
+        ScenarioConfig::tiny(1).validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut cfg = ScenarioConfig::tiny(1);
+        cfg.target_requests = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ScenarioConfig::tiny(1);
+        cfg.window_days = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ScenarioConfig::tiny(1);
+        cfg.site_offers = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn paper_window_matches_section_three() {
+        let cfg = ScenarioConfig::paper_scale(0);
+        assert_eq!(cfg.window_start.year(), 2018);
+        assert_eq!(cfg.window_start.month(), 3);
+        assert_eq!(cfg.window_start.day(), 11);
+        assert_eq!(cfg.window_days, 8); // March 11th..18th inclusive.
+    }
+}

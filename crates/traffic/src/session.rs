@@ -1,0 +1,199 @@
+//! Session plans and their realization into log entries.
+
+use std::net::Ipv4Addr;
+
+use divscrape_httplog::{
+    ClfTimestamp, HttpMethod, HttpStatus, HttpVersion, LogEntry, RequestLine, RequestPath,
+};
+
+use crate::{ActorClass, GroundTruth};
+
+/// Base URL the site is served from; referrers are absolute URLs.
+pub const SITE_ORIGIN: &str = "https://shop.example";
+
+/// One planned request within a session, relative to the session start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpec {
+    /// Seconds after session start (fractional; rounded at realization —
+    /// CLF logs have one-second resolution).
+    pub offset: f64,
+    /// Request method.
+    pub method: HttpMethod,
+    /// Request target (path + query).
+    pub path: String,
+    /// Response status the server model assigned.
+    pub status: HttpStatus,
+    /// Response size; `None` logs as `-`.
+    pub bytes: Option<u64>,
+    /// Referrer (absolute URL), if the client sends one.
+    pub referrer: Option<String>,
+}
+
+impl RequestSpec {
+    /// Convenience constructor for the common GET case.
+    pub fn get(offset: f64, path: impl Into<String>, status: HttpStatus, bytes: Option<u64>) -> Self {
+        Self {
+            offset,
+            method: HttpMethod::Get,
+            path: path.into(),
+            status,
+            bytes,
+            referrer: None,
+        }
+    }
+
+    /// Sets the referrer to an absolute URL for an on-site path.
+    #[must_use]
+    pub fn with_site_referrer(mut self, path: &str) -> Self {
+        self.referrer = Some(format!("{SITE_ORIGIN}{path}"));
+        self
+    }
+
+    /// Sets an arbitrary referrer.
+    #[must_use]
+    pub fn with_referrer(mut self, referrer: impl Into<String>) -> Self {
+        self.referrer = Some(referrer.into());
+        self
+    }
+}
+
+/// A complete planned session for one client.
+#[derive(Debug, Clone)]
+pub struct SessionPlan {
+    /// Wall-clock session start.
+    pub start: ClfTimestamp,
+    /// Client address for the whole session.
+    pub addr: Ipv4Addr,
+    /// User-agent string for the whole session.
+    pub user_agent: String,
+    /// The actor class that generated the session.
+    pub actor: ActorClass,
+    /// Stable client identifier.
+    pub client_id: u32,
+    /// The planned requests, in offset order.
+    pub requests: Vec<RequestSpec>,
+}
+
+impl SessionPlan {
+    /// Number of requests in the plan.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Timestamp of the last request.
+    pub fn end(&self) -> ClfTimestamp {
+        let last = self
+            .requests
+            .last()
+            .map(|r| r.offset.round() as i64)
+            .unwrap_or(0);
+        self.start.plus_seconds(last)
+    }
+
+    /// Materialises the plan into labelled log entries.
+    ///
+    /// `session_id` becomes part of each request's [`GroundTruth`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a planned path is not parseable into a request line — that
+    /// is a bug in an actor model, not an input condition.
+    pub fn realize(&self, session_id: u32) -> Vec<(LogEntry, GroundTruth)> {
+        let truth = GroundTruth::new(self.actor, self.client_id, session_id);
+        self.requests
+            .iter()
+            .map(|spec| {
+                let request = RequestLine::new(
+                    spec.method,
+                    RequestPath::parse(&spec.path),
+                    HttpVersion::Http11,
+                );
+                let mut builder = LogEntry::builder()
+                    .addr(self.addr)
+                    .timestamp(self.start.plus_seconds(spec.offset.round() as i64))
+                    .request(request)
+                    .status(spec.status)
+                    .bytes(spec.bytes)
+                    .user_agent(self.user_agent.as_str());
+                if let Some(r) = &spec.referrer {
+                    builder = builder.referrer(r.clone());
+                }
+                (builder.build().expect("plan provides all mandatory fields"), truth)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> SessionPlan {
+        SessionPlan {
+            start: ClfTimestamp::PAPER_WINDOW_START,
+            addr: Ipv4Addr::new(10, 1, 2, 3),
+            user_agent: "curl/7.58.0".to_owned(),
+            actor: ActorClass::PriceScraperBot,
+            client_id: 5,
+            requests: vec![
+                RequestSpec::get(0.0, "/search?q=NCE-LHR", HttpStatus::OK, Some(5000)),
+                RequestSpec::get(1.4, "/offers/1", HttpStatus::OK, Some(9000))
+                    .with_site_referrer("/search?q=NCE-LHR"),
+                RequestSpec::get(2.6, "/offers/2", HttpStatus::FOUND, None),
+            ],
+        }
+    }
+
+    #[test]
+    fn realization_preserves_order_and_labels() {
+        let entries = plan().realize(77);
+        assert_eq!(entries.len(), 3);
+        for (entry, truth) in &entries {
+            assert_eq!(entry.addr(), Ipv4Addr::new(10, 1, 2, 3));
+            assert_eq!(truth.actor(), ActorClass::PriceScraperBot);
+            assert!(truth.is_malicious());
+            assert_eq!(truth.client_id(), 5);
+            assert_eq!(truth.session_id(), 77);
+        }
+        assert!(entries.windows(2).all(|w| w[0].0.timestamp() <= w[1].0.timestamp()));
+    }
+
+    #[test]
+    fn offsets_round_to_log_resolution() {
+        let entries = plan().realize(0);
+        let t0 = entries[0].0.timestamp();
+        assert_eq!(entries[1].0.timestamp() - t0, 1); // 1.4 → 1
+        assert_eq!(entries[2].0.timestamp() - t0, 3); // 2.6 → 3
+    }
+
+    #[test]
+    fn referrers_render_as_absolute_urls() {
+        let entries = plan().realize(0);
+        assert_eq!(entries[0].0.referrer(), None);
+        assert_eq!(
+            entries[1].0.referrer(),
+            Some("https://shop.example/search?q=NCE-LHR")
+        );
+    }
+
+    #[test]
+    fn end_reflects_last_offset() {
+        let p = plan();
+        assert_eq!(p.end() - p.start, 3);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn realized_entries_round_trip_through_the_log_format() {
+        for (entry, _) in plan().realize(3) {
+            let line = entry.to_string();
+            assert_eq!(LogEntry::parse(&line).unwrap(), entry);
+        }
+    }
+}

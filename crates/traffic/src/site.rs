@@ -1,0 +1,306 @@
+//! The e-commerce site model.
+//!
+//! The paper's application is a travel-fare e-commerce front end. The model
+//! is a page graph: home → destination/search pages → offer pages → a
+//! booking funnel, plus static assets per page, a JSON fare API, robots.txt
+//! and a sitemap. Offer popularity is Zipf-distributed: in fare scraping a
+//! handful of competitive routes attract the bulk of lookups.
+
+use rand::Rng;
+
+use crate::distrib::Zipf;
+
+/// Routes used for search queries and offer naming: realistic IATA city
+/// pairs for a European travel seller.
+pub const ROUTES: [&str; 24] = [
+    "NCE-LHR", "CDG-JFK", "MAD-LHR", "LIS-GRU", "FRA-SIN", "AMS-BCN", "FCO-CDG", "LHR-DXB",
+    "MUC-ATH", "ORY-LIS", "BCN-TXL", "VIE-ZRH", "CPH-OSL", "ARN-HEL", "DUB-AMS", "BRU-MAD",
+    "GVA-NCE", "MXP-LGW", "OPO-ORY", "ATH-SKG", "WAW-KRK", "PRG-LED", "BUD-OTP", "SOF-IST",
+];
+
+/// Currencies offered by the shop; appear as query parameters.
+pub const CURRENCIES: [&str; 6] = ["EUR", "GBP", "USD", "CHF", "SEK", "PLN"];
+
+/// The modelled site: URL space and popularity structure.
+///
+/// ```
+/// use divscrape_traffic::SiteModel;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let site = SiteModel::new(2_000);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let offer = site.offer_path(site.sample_offer(&mut rng));
+/// assert!(offer.starts_with("/offers/"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SiteModel {
+    n_offers: usize,
+    offer_popularity: Zipf,
+    route_popularity: Zipf,
+}
+
+impl SiteModel {
+    /// Creates a site with `n_offers` offer pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_offers == 0`.
+    pub fn new(n_offers: usize) -> Self {
+        Self {
+            n_offers,
+            offer_popularity: Zipf::new(n_offers, 0.9),
+            route_popularity: Zipf::new(ROUTES.len(), 0.8),
+        }
+    }
+
+    /// Number of offer pages.
+    pub fn offer_count(&self) -> usize {
+        self.n_offers
+    }
+
+    /// The home page.
+    pub fn home(&self) -> String {
+        "/".to_owned()
+    }
+
+    /// Draws an offer id with Zipf popularity (`0..offer_count`).
+    pub fn sample_offer<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.offer_popularity.sample_index(rng)
+    }
+
+    /// The canonical path of an offer page.
+    pub fn offer_path(&self, offer_id: usize) -> String {
+        format!("/offers/{}", offer_id % self.n_offers)
+    }
+
+    /// Draws a route string with Zipf popularity.
+    pub fn sample_route<R: Rng + ?Sized>(&self, rng: &mut R) -> &'static str {
+        ROUTES[self.route_popularity.sample_index(rng)]
+    }
+
+    /// A search-results page for a route. `page` is 1-based pagination.
+    pub fn search_path<R: Rng + ?Sized>(&self, rng: &mut R, route: &str, page: u32) -> String {
+        let currency = CURRENCIES[rng.gen_range(0..CURRENCIES.len())];
+        if page <= 1 {
+            format!("/search?q={route}&currency={currency}")
+        } else {
+            format!("/search?q={route}&currency={currency}&page={page}")
+        }
+    }
+
+    /// A destination landing page (SEO pages crawled by search engines).
+    pub fn destination_path(&self, index: usize) -> String {
+        let route = ROUTES[index % ROUTES.len()];
+        let city = &route[4..];
+        format!("/destinations/{}", city.to_ascii_lowercase())
+    }
+
+    /// The JSON fare API endpoint for a route.
+    pub fn api_fares_path(&self, route: &str) -> String {
+        format!("/api/v1/fares?route={route}")
+    }
+
+    /// The API availability-beacon endpoint (returns `204 No Content` when
+    /// there is no fare change — a favourite polling target).
+    pub fn api_beacon_path(&self, route: &str) -> String {
+        format!("/api/v1/changes?route={route}")
+    }
+
+    /// The steps of the booking funnel, in order.
+    pub fn booking_funnel(&self) -> [String; 3] {
+        [
+            "/booking/start".to_owned(),
+            "/booking/details".to_owned(),
+            "/booking/checkout".to_owned(),
+        ]
+    }
+
+    /// `robots.txt`.
+    pub fn robots_txt(&self) -> String {
+        "/robots.txt".to_owned()
+    }
+
+    /// The sitemap index.
+    pub fn sitemap(&self) -> String {
+        "/sitemap.xml".to_owned()
+    }
+
+    /// The health endpoint polled by uptime monitors.
+    pub fn health(&self) -> String {
+        "/health".to_owned()
+    }
+
+    /// Static assets referenced by a page of the given path. Deterministic
+    /// per page kind: every page pulls the app bundle and stylesheet, offer
+    /// pages add photos, search pages add the results script.
+    pub fn assets_for(&self, page_path: &str) -> Vec<String> {
+        let mut assets = vec![
+            "/static/css/main.css".to_owned(),
+            "/static/js/app.js".to_owned(),
+        ];
+        if page_path.starts_with("/offers/") {
+            let id: usize = page_path
+                .rsplit('/')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            assets.push(format!("/static/img/offers/{}.jpg", id % 500));
+            assets.push("/static/js/gallery.js".to_owned());
+        } else if page_path.starts_with("/search") {
+            assets.push("/static/js/results.js".to_owned());
+            assets.push("/static/img/spinner.gif".to_owned());
+        } else if page_path == "/" {
+            assets.push("/static/img/hero.jpg".to_owned());
+            assets.push("/static/fonts/brand.woff2".to_owned());
+        } else if page_path.starts_with("/booking") {
+            assets.push("/static/js/payment.js".to_owned());
+        }
+        assets
+    }
+
+    /// The honeytrap page: linked invisibly from every page (CSS-hidden)
+    /// and disallowed in `robots.txt`. No human ever sees the link and no
+    /// compliant crawler follows it — only link-enumerating automation
+    /// lands here, which is what makes it a detector in its own right.
+    pub fn trap_path(&self) -> String {
+        "/deals/unlisted-crossings".to_owned()
+    }
+
+    /// Paths a vulnerability scanner probes (none exist on the site).
+    pub fn probe_paths(&self) -> &'static [&'static str] {
+        &[
+            "/wp-admin/setup.php",
+            "/wp-login.php",
+            "/.env",
+            "/phpmyadmin/index.php",
+            "/.git/config",
+            "/cgi-bin/test.cgi",
+            "/admin.php",
+            "/config.php",
+            "/vendor/phpunit/phpunit/src/Util/PHP/eval-stdin.php",
+        ]
+    }
+}
+
+impl Default for SiteModel {
+    /// A site with 2,000 offers — the scale used by every scenario preset.
+    fn default() -> Self {
+        SiteModel::new(2_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_httplog::{RequestPath, ResourceClass};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn offer_paths_classify_as_pages() {
+        let site = SiteModel::default();
+        let p = RequestPath::parse(&site.offer_path(17));
+        assert_eq!(p.resource_class(), ResourceClass::Page);
+    }
+
+    #[test]
+    fn search_paths_carry_route_and_pagination() {
+        let site = SiteModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p1 = site.search_path(&mut rng, "NCE-LHR", 1);
+        assert!(p1.contains("q=NCE-LHR"), "{p1}");
+        assert!(!p1.contains("page="), "{p1}");
+        let p3 = site.search_path(&mut rng, "NCE-LHR", 3);
+        assert!(p3.contains("page=3"), "{p3}");
+        let parsed = RequestPath::parse(&p3);
+        assert_eq!(parsed.query_param("q"), Some("NCE-LHR"));
+        assert_eq!(parsed.query_param("page"), Some("3"));
+    }
+
+    #[test]
+    fn assets_are_deterministic_and_classified() {
+        let site = SiteModel::default();
+        let a1 = site.assets_for("/offers/42");
+        let a2 = site.assets_for("/offers/42");
+        assert_eq!(a1, a2);
+        assert!(a1.len() >= 3);
+        for asset in &a1 {
+            assert_eq!(
+                RequestPath::parse(asset).resource_class(),
+                ResourceClass::Asset,
+                "{asset} not an asset"
+            );
+        }
+    }
+
+    #[test]
+    fn popular_offers_dominate_samples() {
+        let site = SiteModel::new(1_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if site.sample_offer(&mut rng) < 50 {
+                head += 1;
+            }
+        }
+        // Top 5% of offers should draw well over 5% of traffic under Zipf.
+        assert!(head > n / 5, "head draws {head} of {n}");
+    }
+
+    #[test]
+    fn api_and_special_paths_classify_correctly() {
+        let site = SiteModel::default();
+        assert_eq!(
+            RequestPath::parse(&site.api_fares_path("NCE-LHR")).resource_class(),
+            ResourceClass::Api
+        );
+        assert_eq!(
+            RequestPath::parse(&site.api_beacon_path("NCE-LHR")).resource_class(),
+            ResourceClass::Api
+        );
+        assert_eq!(
+            RequestPath::parse(&site.robots_txt()).resource_class(),
+            ResourceClass::RobotsTxt
+        );
+        assert_eq!(
+            RequestPath::parse(&site.sitemap()).resource_class(),
+            ResourceClass::Sitemap
+        );
+        assert_eq!(
+            RequestPath::parse(&site.health()).resource_class(),
+            ResourceClass::Health
+        );
+        for probe in site.probe_paths() {
+            assert_eq!(
+                RequestPath::parse(probe).resource_class(),
+                ResourceClass::Probe,
+                "{probe} not a probe"
+            );
+        }
+    }
+
+    #[test]
+    fn booking_funnel_is_ordered_pages() {
+        let site = SiteModel::default();
+        let funnel = site.booking_funnel();
+        assert_eq!(funnel.len(), 3);
+        for step in &funnel {
+            assert_eq!(
+                RequestPath::parse(step).resource_class(),
+                ResourceClass::Page
+            );
+        }
+    }
+
+    #[test]
+    fn destination_pages_cover_routes() {
+        let site = SiteModel::default();
+        let d = site.destination_path(0);
+        assert!(d.starts_with("/destinations/"));
+        assert_eq!(
+            RequestPath::parse(&d).resource_class(),
+            ResourceClass::Page
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! User-agent pools for each actor population.
+
+use rand::Rng;
+
+use crate::distrib::Categorical;
+
+/// 2018-era mainstream browser user agents with market-share-like weights.
+const BROWSERS: [(&str, f64); 8] = [
+    (
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36",
+        34.0,
+    ),
+    (
+        "Mozilla/5.0 (Windows NT 6.1; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/63.0.3239.132 Safari/537.36",
+        14.0,
+    ),
+    (
+        "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_13_3) AppleWebKit/604.5.6 (KHTML, like Gecko) Version/11.0.3 Safari/604.5.6",
+        12.0,
+    ),
+    (
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:58.0) Gecko/20100101 Firefox/58.0",
+        11.0,
+    ),
+    (
+        "Mozilla/5.0 (X11; Ubuntu; Linux x86_64; rv:58.0) Gecko/20100101 Firefox/58.0",
+        5.0,
+    ),
+    (
+        "Mozilla/5.0 (iPhone; CPU iPhone OS 11_2_6 like Mac OS X) AppleWebKit/604.5.6 (KHTML, like Gecko) Version/11.0 Mobile/15D100 Safari/604.1",
+        13.0,
+    ),
+    (
+        "Mozilla/5.0 (Linux; Android 8.0.0; SM-G950F) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.137 Mobile Safari/537.36",
+        8.0,
+    ),
+    (
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36 Edge/16.16299",
+        3.0,
+    ),
+];
+
+/// The stale, never-updated browser identity an aggressive botnet spoofs —
+/// one fixed string across the whole campaign, which is precisely what makes
+/// it fingerprintable.
+pub const BOTNET_SPOOFED_BROWSER: &str =
+    "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/41.0.2272.89 Safari/537.36";
+
+/// HTTP-tool identities used by unsophisticated scraper campaigns.
+pub const SCRAPER_TOOLS: [&str; 4] = [
+    "python-requests/2.18.4",
+    "curl/7.58.0",
+    "Scrapy/1.5.0 (+https://scrapy.org)",
+    "Java/1.8.0_151",
+];
+
+/// The search-engine crawler identity.
+pub const GOOGLEBOT: &str =
+    "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)";
+
+/// Second search-engine crawler identity.
+pub const BINGBOT: &str =
+    "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)";
+
+/// The uptime monitor identity.
+pub const PINGDOM: &str = "Pingdom.com_bot_version_1.4_(http://www.pingdom.com/)";
+
+/// The contracted partner's API client identity.
+pub const PARTNER_AGGREGATOR: &str = "FareConnect-Partner-Client/3.2 (+contract AMS-2041)";
+
+/// A weighted pool of browser identities.
+#[derive(Debug, Clone)]
+pub struct BrowserPool {
+    pool: Categorical<&'static str>,
+}
+
+impl BrowserPool {
+    /// The 2018-era mainstream browser pool.
+    pub fn mainstream() -> Self {
+        Self {
+            pool: Categorical::new(BROWSERS.to_vec()),
+        }
+    }
+
+    /// Draws one browser identity.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &'static str {
+        self.pool.sample(rng)
+    }
+
+    /// Number of identities in the pool.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the pool is empty (never; the pool is a fixed table).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Default for BrowserPool {
+    fn default() -> Self {
+        Self::mainstream()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_httplog::{AgentFamily, UserAgent};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_browser_identities_classify_as_browsers() {
+        for (ua, _) in BROWSERS {
+            assert_eq!(
+                UserAgent::new(ua).family(),
+                AgentFamily::Browser,
+                "misclassified {ua}"
+            );
+        }
+        assert_eq!(
+            UserAgent::new(BOTNET_SPOOFED_BROWSER).family(),
+            AgentFamily::Browser
+        );
+    }
+
+    #[test]
+    fn tool_identities_classify_as_tools() {
+        for ua in SCRAPER_TOOLS {
+            assert_eq!(
+                UserAgent::new(ua).family(),
+                AgentFamily::HttpTool,
+                "misclassified {ua}"
+            );
+        }
+    }
+
+    #[test]
+    fn crawler_and_monitor_identities_classify() {
+        assert_eq!(UserAgent::new(GOOGLEBOT).family(), AgentFamily::KnownCrawler);
+        assert_eq!(UserAgent::new(BINGBOT).family(), AgentFamily::KnownCrawler);
+        assert_eq!(UserAgent::new(PINGDOM).family(), AgentFamily::Monitor);
+        assert_eq!(
+            UserAgent::new(PARTNER_AGGREGATOR).family(),
+            AgentFamily::Unknown
+        );
+    }
+
+    #[test]
+    fn pool_sampling_hits_multiple_identities() {
+        let pool = BrowserPool::mainstream();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            seen.insert(pool.sample(&mut rng));
+        }
+        assert!(seen.len() >= 6, "only {} identities drawn", seen.len());
+    }
+}

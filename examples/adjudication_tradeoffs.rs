@@ -1,0 +1,59 @@
+//! Adjudication schemes on labelled data: how 1-out-of-2 and 2-out-of-2
+//! trade false negatives against false positives (the paper's Section V).
+//!
+//! ```text
+//! cargo run --release --example adjudication_tradeoffs
+//! ```
+
+use divscrape::{DiversityStudy, StudyConfig};
+use divscrape_ensemble::report::{percent, TextTable};
+use divscrape_ensemble::{ConfusionMatrix, KOutOfN};
+use divscrape_traffic::ScenarioConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let report = DiversityStudy::new(StudyConfig::new(ScenarioConfig::medium(2018))).run()?;
+    let truth = report.log.truth();
+
+    let mut t = TextTable::new("False-negative vs false-positive trade-off");
+    t.columns(&["Scheme", "FN (missed attacks)", "FP (false alarms)", "Sensitivity", "Specificity"]);
+
+    let schemes: Vec<(String, ConfusionMatrix)> = vec![
+        ("sentinel alone".into(), report.labelled.sentinel),
+        ("arcane alone".into(), report.labelled.arcane),
+        (
+            "1oo2 (either)".into(),
+            ConfusionMatrix::of(
+                &KOutOfN::any(2).apply(&[&report.sentinel, &report.arcane]),
+                truth,
+            ),
+        ),
+        (
+            "2oo2 (both)".into(),
+            ConfusionMatrix::of(
+                &KOutOfN::all(2).apply(&[&report.sentinel, &report.arcane]),
+                truth,
+            ),
+        ),
+    ];
+    for (name, cm) in &schemes {
+        t.row_owned(vec![
+            name.clone(),
+            cm.fn_.to_string(),
+            cm.fp.to_string(),
+            percent(cm.sensitivity()),
+            percent(cm.specificity()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let one = &schemes[2].1;
+    let two = &schemes[3].1;
+    println!("1oo2 misses {} attacks (only the double faults); 2oo2 raises {} false alarms", one.fn_, two.fp);
+    println!(
+        "Double-fault floor: {} requests ({}).",
+        report.labelled.oracle.both_wrong,
+        percent(report.labelled.oracle.double_fault())
+    );
+    println!("\nWhether 1oo2 or 2oo2 is the right choice depends on the relative cost of a\nmissed scraper versus a blocked customer — with these tools, 1oo2 cuts misses\nby an order of magnitude for a modest false-alarm increase.");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Deployment topologies: both tools watching everything vs. one tool
+//! filtering for the other — detection quality against analysis cost.
+//!
+//! ```text
+//! cargo run --release --example serial_vs_parallel
+//! ```
+
+use divscrape_detect::{Arcane, Sentinel};
+use divscrape_ensemble::report::{percent, thousands, TextTable};
+use divscrape_ensemble::{run_parallel, run_serial, ConfusionMatrix, SerialMode};
+use divscrape_traffic::{generate, ScenarioConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let log = generate(&ScenarioConfig::medium(2018))?;
+
+    let mut t = TextTable::new("Parallel vs serial deployment (sentinel first)");
+    t.columns(&["Topology", "2nd-stage load", "Sensitivity", "FPR"]);
+
+    let configs = [
+        ("parallel 1oo2", None),
+        ("parallel 2oo2", None),
+        ("serial confirm", Some(SerialMode::Confirm)),
+        ("serial escalate", Some(SerialMode::Escalate)),
+    ];
+    for (i, (name, mode)) in configs.iter().enumerate() {
+        let outcome = match mode {
+            None => run_parallel(
+                &mut Sentinel::stock(),
+                &mut Arcane::stock(),
+                log.entries(),
+                i == 0,
+            ),
+            Some(m) => run_serial(
+                &mut Sentinel::stock(),
+                &mut Arcane::stock(),
+                log.entries(),
+                *m,
+            ),
+        };
+        let cm = ConfusionMatrix::of(&outcome.alerts, log.truth());
+        t.row_owned(vec![
+            (*name).to_owned(),
+            thousands(outcome.second_processed),
+            percent(cm.sensitivity()),
+            percent(cm.fpr()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The serial escalate pipeline needs the second tool to inspect only the\nfirst tool's residue, yet keeps nearly the union's sensitivity: on bot-heavy\ntraffic the residue is small, so the second tool's budget shrinks by ~6x."
+    );
+    Ok(())
+}

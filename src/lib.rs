@@ -1,0 +1,24 @@
+//! Workspace façade for the `divscrape` reproduction of *"Using Diverse
+//! Detectors for Detecting Malicious Web Scraping Activity"* (Marques et al.,
+//! DSN 2018).
+//!
+//! This crate exists so that the repository's `examples/` and `tests/`
+//! directories have a single dependency root; it simply re-exports the
+//! workspace crates under short names:
+//!
+//! * [`httplog`] — Apache Combined Log Format substrate.
+//! * [`traffic`] — synthetic labelled e-commerce traffic generator.
+//! * [`detect`] — the diverse detectors (Sentinel, Arcane, baselines).
+//! * [`ensemble`] — contingency/diversity analysis, adjudication, metrics.
+//! * [`study`] — the end-to-end diversity-study pipeline (`divscrape` core).
+//!
+//! See the individual crates for documentation, and `examples/quickstart.rs`
+//! for the fastest tour.
+
+#![forbid(unsafe_code)]
+
+pub use divscrape as study;
+pub use divscrape_detect as detect;
+pub use divscrape_ensemble as ensemble;
+pub use divscrape_httplog as httplog;
+pub use divscrape_traffic as traffic;

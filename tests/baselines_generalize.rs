@@ -1,0 +1,88 @@
+//! The related-work baselines must generalise across runs and slot into the
+//! same analysis pipeline as the two main tools.
+
+use divscrape_detect::baselines::{
+    Cart, CartParams, Logistic, LogisticParams, NaiveBayes, RateLimiter, SessionModelDetector,
+    TrainingSet,
+};
+use divscrape_detect::{run, Arcane, Detector, Sentinel};
+use divscrape_ensemble::{AlertVector, ConfusionMatrix, RocCurve};
+use divscrape_traffic::{generate, LabelledLog, ScenarioConfig};
+
+fn train_log() -> LabelledLog {
+    generate(&ScenarioConfig::small(100)).unwrap()
+}
+
+fn test_log() -> LabelledLog {
+    generate(&ScenarioConfig::small(200)).unwrap()
+}
+
+fn auc_of(det: &mut dyn Detector, log: &LabelledLog) -> f64 {
+    let verdicts = run(det, log.entries());
+    let scores: Vec<f32> = verdicts.iter().map(|v| v.score).collect();
+    RocCurve::from_scores(&scores, log.truth()).unwrap().auc()
+}
+
+#[test]
+fn learned_baselines_achieve_high_auc_on_held_out_traffic() {
+    let training = TrainingSet::from_log(&train_log(), 3);
+    let log = test_log();
+
+    let bayes = NaiveBayes::train(&training).unwrap();
+    let auc = auc_of(&mut SessionModelDetector::new(bayes, 0.5, 3), &log);
+    assert!(auc > 0.90, "naive Bayes AUC {auc}");
+
+    let logistic = Logistic::train(&training, LogisticParams::default()).unwrap();
+    let auc = auc_of(&mut SessionModelDetector::new(logistic, 0.5, 3), &log);
+    assert!(auc > 0.90, "logistic AUC {auc}");
+
+    let cart = Cart::train(&training, CartParams::default()).unwrap();
+    let auc = auc_of(&mut SessionModelDetector::new(cart, 0.5, 3), &log);
+    assert!(auc > 0.90, "CART AUC {auc}");
+}
+
+#[test]
+fn purpose_built_tools_beat_the_naive_rate_limiter() {
+    let log = test_log();
+    let rate = {
+        let mut det = RateLimiter::new(60);
+        let alerts = divscrape_detect::run_alerts(&mut det, log.entries());
+        ConfusionMatrix::of(&AlertVector::from_bools("rate", &alerts), log.truth())
+    };
+    let sentinel = {
+        let mut det = Sentinel::stock();
+        let alerts = divscrape_detect::run_alerts(&mut det, log.entries());
+        ConfusionMatrix::of(&AlertVector::from_bools("sentinel", &alerts), log.truth())
+    };
+    let arcane = {
+        let mut det = Arcane::stock();
+        let alerts = divscrape_detect::run_alerts(&mut det, log.entries());
+        ConfusionMatrix::of(&AlertVector::from_bools("arcane", &alerts), log.truth())
+    };
+    // The naive limiter misses the slow populations entirely.
+    assert!(sentinel.sensitivity() > rate.sensitivity() + 0.1);
+    assert!(arcane.sensitivity() > rate.sensitivity() + 0.05);
+}
+
+#[test]
+fn stealth_population_defeats_rate_limiting_but_not_sentinel() {
+    let log = test_log();
+    let mut rate_missed = 0u64;
+    let mut sentinel_missed = 0u64;
+    let mut stealth_total = 0u64;
+
+    let mut rate = RateLimiter::new(60);
+    let mut sentinel = Sentinel::stock();
+    let rate_alerts = divscrape_detect::run_alerts(&mut rate, log.entries());
+    let sentinel_alerts = divscrape_detect::run_alerts(&mut sentinel, log.entries());
+    for (i, (_, truth)) in log.iter().enumerate() {
+        if truth.actor() == divscrape_traffic::ActorClass::StealthScraper {
+            stealth_total += 1;
+            rate_missed += u64::from(!rate_alerts[i]);
+            sentinel_missed += u64::from(!sentinel_alerts[i]);
+        }
+    }
+    assert!(stealth_total > 0);
+    assert_eq!(rate_missed, stealth_total, "rate limiter should miss all stealth");
+    assert_eq!(sentinel_missed, 0, "sentinel should catch all stealth");
+}

@@ -1,0 +1,117 @@
+//! End-to-end integration: generation → detection → analysis across all
+//! workspace crates, asserting the cross-crate invariants hold on real
+//! (synthetic) traffic rather than hand-built fixtures.
+
+use divscrape::{tables, DiversityStudy, StudyConfig};
+use divscrape_ensemble::{Contingency, KOutOfN};
+use divscrape_httplog::HttpStatus;
+use divscrape_traffic::{ActorClass, ScenarioConfig};
+
+fn report() -> divscrape::StudyReport {
+    DiversityStudy::new(StudyConfig::new(ScenarioConfig::small(4242)))
+        .run()
+        .expect("small scenario is valid")
+}
+
+#[test]
+fn study_covers_every_request_exactly_once() {
+    let r = report();
+    assert_eq!(r.total_requests(), 12_000);
+    assert_eq!(r.contingency.total(), 12_000);
+    // Tables 3/4 totals reconcile with Tables 1/2 exactly, as in the paper.
+    assert_eq!(r.status_sentinel.total(), r.sentinel.count());
+    assert_eq!(r.status_arcane.total(), r.arcane.count());
+    assert_eq!(r.status_sentinel_only.total(), r.contingency.only_first);
+    assert_eq!(r.status_arcane_only.total(), r.contingency.only_second);
+}
+
+#[test]
+fn contingency_recomputes_from_vectors() {
+    let r = report();
+    let again = Contingency::of(&r.sentinel, &r.arcane);
+    assert_eq!(again, r.contingency);
+}
+
+#[test]
+fn adjudication_counts_derive_from_contingency() {
+    let r = report();
+    let one = KOutOfN::any(2).apply(&[&r.sentinel, &r.arcane]);
+    let two = KOutOfN::all(2).apply(&[&r.sentinel, &r.arcane]);
+    assert_eq!(one.count(), r.contingency.any());
+    assert_eq!(two.count(), r.contingency.both);
+}
+
+#[test]
+fn alerted_statuses_are_a_subset_of_generated_statuses() {
+    let r = report();
+    let generated: std::collections::HashSet<u16> = r
+        .log
+        .entries()
+        .iter()
+        .map(|e| e.status().as_u16())
+        .collect();
+    for breakdown in [
+        &r.status_sentinel,
+        &r.status_arcane,
+        &r.status_sentinel_only,
+        &r.status_arcane_only,
+    ] {
+        for status in breakdown.statuses() {
+            assert!(generated.contains(&status), "alerted unseen status {status}");
+        }
+    }
+}
+
+#[test]
+fn benign_automation_is_never_alerted() {
+    let r = report();
+    for actor in [
+        ActorClass::SearchCrawler,
+        ActorClass::UptimeMonitor,
+        ActorClass::PartnerAggregator,
+    ] {
+        if let Some(d) = r.per_actor.get(&actor) {
+            assert_eq!(
+                (d.sentinel_rate, d.arcane_rate),
+                (0.0, 0.0),
+                "{actor} was alerted"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_dominant_alert_status_is_200_for_both_tools() {
+    let r = report();
+    assert!(r.status_sentinel.share(HttpStatus::OK) > 0.9);
+    assert!(r.status_arcane.share(HttpStatus::OK) > 0.9);
+}
+
+#[test]
+fn rendered_tables_reconcile_with_the_report() {
+    let r = report();
+    let t1 = tables::table1(&r);
+    // The rendered measured counts appear in the text.
+    assert!(t1.contains(&divscrape_ensemble::report::thousands(r.sentinel.count())));
+    assert!(t1.contains(&divscrape_ensemble::report::thousands(r.arcane.count())));
+    let t2 = tables::table2(&r);
+    assert!(t2.contains(&divscrape_ensemble::report::thousands(r.contingency.both)));
+}
+
+#[test]
+fn labelled_metrics_are_consistent_with_the_oracle_view() {
+    let r = report();
+    let l = &r.labelled;
+    // Double faults = FN of 1oo2 + FP of 2oo2 (both-wrong splits into
+    // both-miss on malicious and both-alert on benign).
+    assert_eq!(
+        l.oracle.both_wrong,
+        l.one_out_of_two.fn_ + l.two_out_of_two.fp
+    );
+    // Everyone's TP+FN equals the malicious request count.
+    let malicious = r.log.malicious_count();
+    for cm in [&l.sentinel, &l.arcane, &l.one_out_of_two, &l.two_out_of_two] {
+        assert_eq!(cm.positives(), malicious);
+        assert_eq!(cm.total(), r.total_requests());
+    }
+}

@@ -1,0 +1,42 @@
+//! The headline integration test: a medium-scale run reproduces the shape
+//! of every table in the paper, across seeds.
+
+use divscrape::{calibration, DiversityStudy, StudyConfig};
+use divscrape_traffic::ScenarioConfig;
+
+#[test]
+fn medium_scale_reproduces_all_shapes_for_the_default_seed() {
+    let report = DiversityStudy::new(StudyConfig::new(ScenarioConfig::medium(2018)))
+        .run()
+        .unwrap();
+    let findings = calibration::check_shape(&report);
+    assert!(
+        findings.iter().all(|f| f.passed),
+        "{}",
+        calibration::render_findings(&findings)
+    );
+}
+
+#[test]
+fn shape_is_stable_across_seeds() {
+    // The reproduction must not hinge on one lucky seed.
+    for seed in [1u64, 77, 31_337] {
+        let report = DiversityStudy::new(StudyConfig::new(ScenarioConfig::medium(seed)))
+            .run()
+            .unwrap();
+        let findings = calibration::check_shape(&report);
+        let failed: Vec<_> = findings.iter().filter(|f| !f.passed).collect();
+        assert!(
+            failed.is_empty(),
+            "seed {seed} failed:\n{}",
+            calibration::render_findings(&findings)
+        );
+    }
+}
+
+#[test]
+fn paper_scale_totals_match_table1_exactly_in_count() {
+    // Only the request *count* is pinned; alert counts are shape-checked.
+    let cfg = ScenarioConfig::paper_scale(2018);
+    assert_eq!(cfg.target_requests, divscrape::paper::TABLE1.total_requests);
+}
