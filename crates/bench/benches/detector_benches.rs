@@ -14,7 +14,12 @@ fn log() -> LabelledLog {
     generate(&ScenarioConfig::small(3)).unwrap()
 }
 
-fn bench_detector<D: Detector + Clone>(c: &mut Criterion, name: &str, proto: &D, log: &LabelledLog) {
+fn bench_detector<D: Detector + Clone>(
+    c: &mut Criterion,
+    name: &str,
+    proto: &D,
+    log: &LabelledLog,
+) {
     let mut g = c.benchmark_group("detector");
     g.sample_size(10);
     g.throughput(Throughput::Elements(log.len() as u64));
@@ -37,11 +42,26 @@ fn bench_all(c: &mut Criterion) {
 
     let training = TrainingSet::from_log(&log, 5);
     let bayes = NaiveBayes::train(&training).unwrap();
-    bench_detector(c, "naive_bayes_12k", &SessionModelDetector::new(bayes, 0.5, 3), &log);
+    bench_detector(
+        c,
+        "naive_bayes_12k",
+        &SessionModelDetector::new(bayes, 0.5, 3),
+        &log,
+    );
     let logistic = Logistic::train(&training, LogisticParams::default()).unwrap();
-    bench_detector(c, "logistic_12k", &SessionModelDetector::new(logistic, 0.5, 3), &log);
+    bench_detector(
+        c,
+        "logistic_12k",
+        &SessionModelDetector::new(logistic, 0.5, 3),
+        &log,
+    );
     let cart = Cart::train(&training, CartParams::default()).unwrap();
-    bench_detector(c, "cart_12k", &SessionModelDetector::new(cart, 0.5, 3), &log);
+    bench_detector(
+        c,
+        "cart_12k",
+        &SessionModelDetector::new(cart, 0.5, 3),
+        &log,
+    );
 }
 
 fn bench_sessionizer(c: &mut Criterion) {
@@ -91,5 +111,11 @@ fn bench_training(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_all, bench_sessionizer, bench_sharded, bench_training);
+criterion_group!(
+    benches,
+    bench_all,
+    bench_sessionizer,
+    bench_sharded,
+    bench_training
+);
 criterion_main!(benches);

@@ -21,7 +21,10 @@ fn setup() -> (
     let arcane_verdicts = run(&mut Arcane::stock(), log.entries());
     let s = AlertVector::from_bools(
         "sentinel",
-        &sentinel_verdicts.iter().map(|v| v.alert).collect::<Vec<_>>(),
+        &sentinel_verdicts
+            .iter()
+            .map(|v| v.alert)
+            .collect::<Vec<_>>(),
     );
     let a = AlertVector::from_bools(
         "arcane",
@@ -61,7 +64,11 @@ fn bench_ensemble(c: &mut Criterion) {
         b.iter(|| AgreementDiversity::of(black_box(&s), black_box(&a)))
     });
     g.bench_function("roc_curve_12k", |b| {
-        b.iter(|| RocCurve::from_scores(black_box(&scores), log.truth()).unwrap().auc())
+        b.iter(|| {
+            RocCurve::from_scores(black_box(&scores), log.truth())
+                .unwrap()
+                .auc()
+        })
     });
     g.finish();
 }

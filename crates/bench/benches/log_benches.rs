@@ -45,5 +45,10 @@ fn bench_stream_log(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parse_line, bench_format_line, bench_stream_log);
+criterion_group!(
+    benches,
+    bench_parse_line,
+    bench_format_line,
+    bench_stream_log
+);
 criterion_main!(benches);

@@ -13,9 +13,7 @@ fn bench_generate(c: &mut Criterion) {
     ] {
         g.sample_size(10);
         g.throughput(Throughput::Elements(scenario.target_requests));
-        g.bench_function(name, |b| {
-            b.iter(|| generate(black_box(&scenario)).unwrap())
-        });
+        g.bench_function(name, |b| b.iter(|| generate(black_box(&scenario)).unwrap()));
     }
     g.finish();
 }

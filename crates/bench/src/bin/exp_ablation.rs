@@ -9,11 +9,25 @@ use divscrape_detect::{
 };
 use divscrape_ensemble::report::{percent, TextTable};
 use divscrape_ensemble::{AlertVector, ConfusionMatrix};
+use divscrape_pipeline::{PipelineBuilder, PipelineDetector};
 use divscrape_traffic::{generate, LabelledLog};
 
 fn measure(alerts: &AlertVector, log: &LabelledLog) -> (f64, f64, f64) {
     let cm = ConfusionMatrix::of(alerts, log.truth());
     (alerts.rate(), cm.sensitivity(), cm.fpr())
+}
+
+/// Streams the log through one ablated detector on a two-worker pipeline;
+/// every ablation row gets the sharded fast path with identical verdicts.
+fn stream_alerts<D: PipelineDetector + 'static>(detector: D, log: &LabelledLog) -> AlertVector {
+    let mut pipeline = PipelineBuilder::new()
+        .detector(detector)
+        .workers(2)
+        .build()
+        .expect("a single detector always composes");
+    pipeline.push_batch(log.entries());
+    let mut streamed = pipeline.drain();
+    streamed.members.remove(0)
 }
 
 fn main() -> ExitCode {
@@ -36,10 +50,7 @@ fn main() -> ExitCode {
     // Sentinel: drop one signal at a time.
     let mut t = TextTable::new("Sentinel signal ablation (drop one signal)");
     t.columns(&["Configuration", "Alert rate", "Sensitivity", "FPR"]);
-    let stock = {
-        let mut d = Sentinel::stock();
-        AlertVector::from_bools("sentinel", &run_alerts(&mut d, log.entries()))
-    };
+    let stock = stream_alerts(Sentinel::stock(), &log);
     let (rate, sens, fpr) = measure(&stock, &log);
     t.row_owned(vec![
         "stock (all signals)".into(),
@@ -49,8 +60,10 @@ fn main() -> ExitCode {
     ]);
     for signal in SentinelConfig::SIGNALS {
         let cfg = SentinelConfig::default().without(signal);
-        let mut d = Sentinel::new(cfg, SignatureEngine::stock(), ReputationFeed::stock());
-        let alerts = AlertVector::from_bools("sentinel", &run_alerts(&mut d, log.entries()));
+        let alerts = stream_alerts(
+            Sentinel::new(cfg, SignatureEngine::stock(), ReputationFeed::stock()),
+            &log,
+        );
         let (rate, sens, fpr) = measure(&alerts, &log);
         t.row_owned(vec![
             format!("without {signal}"),
@@ -64,10 +77,7 @@ fn main() -> ExitCode {
     // Arcane: drop one rule at a time.
     let mut t = TextTable::new("Arcane rule ablation (drop one rule)");
     t.columns(&["Configuration", "Alert rate", "Sensitivity", "FPR"]);
-    let stock = {
-        let mut d = Arcane::stock();
-        AlertVector::from_bools("arcane", &run_alerts(&mut d, log.entries()))
-    };
+    let stock = stream_alerts(Arcane::stock(), &log);
     let (rate, sens, fpr) = measure(&stock, &log);
     t.row_owned(vec![
         "stock (all rules)".into(),
@@ -76,8 +86,7 @@ fn main() -> ExitCode {
         percent(fpr),
     ]);
     for rule in ArcaneConfig::RULES {
-        let mut d = Arcane::new(ArcaneConfig::default().without(rule));
-        let alerts = AlertVector::from_bools("arcane", &run_alerts(&mut d, log.entries()));
+        let alerts = stream_alerts(Arcane::new(ArcaneConfig::default().without(rule)), &log);
         let (rate, sens, fpr) = measure(&alerts, &log);
         t.row_owned(vec![
             format!("without {rule}"),
@@ -91,9 +100,15 @@ fn main() -> ExitCode {
     // Where do the first trips come from with everything enabled?
     let mut sentinel = Sentinel::stock();
     let _ = run_alerts(&mut sentinel, log.entries());
-    println!("Sentinel first-trip signal counts (clients): {:?}", sentinel.trip_counts());
+    println!(
+        "Sentinel first-trip signal counts (clients): {:?}",
+        sentinel.trip_counts()
+    );
     let mut arcane = Arcane::stock();
     let _ = run_alerts(&mut arcane, log.entries());
-    println!("Arcane rule hit counts (alerting requests): {:?}", arcane.rule_hits());
+    println!(
+        "Arcane rule hit counts (alerting requests): {:?}",
+        arcane.rule_hits()
+    );
     ExitCode::SUCCESS
 }

@@ -61,7 +61,11 @@ fn main() -> ExitCode {
         &report.labelled.sentinel,
         report.sentinel.count(),
     );
-    add("arcane alone", &report.labelled.arcane, report.arcane.count());
+    add(
+        "arcane alone",
+        &report.labelled.arcane,
+        report.arcane.count(),
+    );
 
     for k in 1..=2u32 {
         let rule = KOutOfN::new(k, 2).expect("valid k");

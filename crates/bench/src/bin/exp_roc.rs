@@ -74,10 +74,22 @@ fn main() -> ExitCode {
     let cart = Cart::train(&training, CartParams::default()).expect("nonempty training set");
 
     let mut t = TextTable::new("Per-detector labelled quality and AUC");
-    t.columns(&["Detector", "Sensitivity", "Specificity", "Precision", "F1", "AUC"]);
+    t.columns(&[
+        "Detector",
+        "Sensitivity",
+        "Specificity",
+        "Precision",
+        "F1",
+        "AUC",
+    ]);
     evaluate("sentinel", &mut Sentinel::stock(), &log, &mut t);
     evaluate("arcane", &mut Arcane::stock(), &log, &mut t);
-    evaluate("rate-limiter(60/min)", &mut RateLimiter::new(60), &log, &mut t);
+    evaluate(
+        "rate-limiter(60/min)",
+        &mut RateLimiter::new(60),
+        &log,
+        &mut t,
+    );
     evaluate("signature-only", &mut SignatureOnly::stock(), &log, &mut t);
     evaluate(
         "naive-bayes",

@@ -6,11 +6,10 @@
 use std::process::ExitCode;
 
 use divscrape_bench::parse_options;
-use divscrape_detect::{run_alerts, Arcane, Sentinel, TrapDetector};
+use divscrape_detect::{Arcane, Sentinel, TrapDetector};
 use divscrape_ensemble::report::{percent, thousands, TextTable};
-use divscrape_ensemble::{
-    AgreementDiversity, AlertVector, ConfusionMatrix, KOutOfN, MultiContingency,
-};
+use divscrape_ensemble::{AgreementDiversity, ConfusionMatrix, KOutOfN, MultiContingency};
+use divscrape_pipeline::{Adjudication, PipelineBuilder};
 use divscrape_traffic::{generate, SiteModel};
 
 fn main() -> ExitCode {
@@ -34,15 +33,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let sentinel = AlertVector::from_bools(
-        "sentinel",
-        &run_alerts(&mut Sentinel::stock(), log.entries()),
-    );
-    let arcane = AlertVector::from_bools("arcane", &run_alerts(&mut Arcane::stock(), log.entries()));
-    let trap = AlertVector::from_bools(
-        "honeytrap",
-        &run_alerts(&mut TrapDetector::for_site(&site), log.entries()),
-    );
+    // One streaming pipeline runs all three tools over the log; its report
+    // hands back the per-member alert vectors the analyses consume.
+    let mut pipeline = PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .detector(TrapDetector::for_site(&site))
+        .adjudication(Adjudication::k_of_n(1))
+        .workers(2)
+        .build()
+        .expect("three tools with 1oo3 compose");
+    pipeline.push_batch(log.entries());
+    let streamed = pipeline.drain();
+    let [sentinel, arcane, trap]: [_; 3] =
+        streamed.members.try_into().expect("three member vectors");
     let tools = [&sentinel, &arcane, &trap];
 
     // The full 8-cell agreement breakdown.
@@ -82,7 +86,10 @@ fn main() -> ExitCode {
     let mut t = TextTable::new("Adjudication over three tools (labelled)");
     t.columns(&["Scheme", "Sensitivity", "Specificity", "Precision"]);
     for (label, cm) in [
-        ("sentinel alone", ConfusionMatrix::of(&sentinel, log.truth())),
+        (
+            "sentinel alone",
+            ConfusionMatrix::of(&sentinel, log.truth()),
+        ),
         ("arcane alone", ConfusionMatrix::of(&arcane, log.truth())),
         ("honeytrap alone", ConfusionMatrix::of(&trap, log.truth())),
         (

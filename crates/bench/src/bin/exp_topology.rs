@@ -32,11 +32,21 @@ fn main() -> ExitCode {
     let runs: Vec<(&str, TopologyOutcome)> = vec![
         (
             "parallel 1oo2",
-            run_parallel(&mut Sentinel::stock(), &mut Arcane::stock(), log.entries(), true),
+            run_parallel(
+                &mut Sentinel::stock(),
+                &mut Arcane::stock(),
+                log.entries(),
+                true,
+            ),
         ),
         (
             "parallel 2oo2",
-            run_parallel(&mut Sentinel::stock(), &mut Arcane::stock(), log.entries(), false),
+            run_parallel(
+                &mut Sentinel::stock(),
+                &mut Arcane::stock(),
+                log.entries(),
+                false,
+            ),
         ),
         (
             "serial sentinel→arcane confirm",

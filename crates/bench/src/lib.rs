@@ -90,10 +90,7 @@ mod tests {
         assert_eq!(scenario_for("tiny", 1).unwrap().target_requests, 1_200);
         assert_eq!(scenario_for("small", 1).unwrap().target_requests, 12_000);
         assert_eq!(scenario_for("medium", 1).unwrap().target_requests, 120_000);
-        assert_eq!(
-            scenario_for("paper", 1).unwrap().target_requests,
-            1_469_744
-        );
+        assert_eq!(scenario_for("paper", 1).unwrap().target_requests, 1_469_744);
         assert!(scenario_for("galactic", 1).is_err());
     }
 }

@@ -5,6 +5,10 @@
 //! shareable artefact: the traffic as a standard Apache access log (so any
 //! third-party tool can consume it), and the ground truth as a JSON-lines
 //! sidecar keyed by line number.
+//!
+//! The sidecar records are flat five-field JSON objects; serialization is
+//! hand-rolled here (see [`LabelRecord::to_json_string`]) so the dataset
+//! format carries no dependency beyond the standard library.
 
 use std::io::{self, BufRead, Write};
 
@@ -25,6 +29,203 @@ pub struct LabelRecord {
     pub client_id: u32,
     /// Simulated session id.
     pub session_id: u32,
+}
+
+impl LabelRecord {
+    /// Renders the record as one compact JSON object, in stable field
+    /// order: `{"index":..,"actor":"..","malicious":..,"client_id":..,"session_id":..}`.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"index\":");
+        out.push_str(&self.index.to_string());
+        out.push_str(",\"actor\":\"");
+        for c in self.actor.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\",\"malicious\":");
+        out.push_str(if self.malicious { "true" } else { "false" });
+        out.push_str(",\"client_id\":");
+        out.push_str(&self.client_id.to_string());
+        out.push_str(",\"session_id\":");
+        out.push_str(&self.session_id.to_string());
+        out.push('}');
+        out
+    }
+
+    /// Parses a record rendered by [`to_json_string`](Self::to_json_string)
+    /// (fields may appear in any order; unknown fields are rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntactic or semantic problem.
+    pub fn from_json_str(s: &str) -> Result<Self, String> {
+        let mut index = None;
+        let mut actor = None;
+        let mut malicious = None;
+        let mut client_id = None;
+        let mut session_id = None;
+        for (key, value) in json::parse_flat_object(s)? {
+            match (key.as_str(), value) {
+                ("index", json::Scalar::Number(n)) => index = Some(n),
+                ("actor", json::Scalar::String(a)) => actor = Some(a),
+                ("malicious", json::Scalar::Bool(b)) => malicious = Some(b),
+                ("client_id", json::Scalar::Number(n)) => {
+                    client_id = Some(u32::try_from(n).map_err(|_| "client_id overflows u32")?);
+                }
+                ("session_id", json::Scalar::Number(n)) => {
+                    session_id = Some(u32::try_from(n).map_err(|_| "session_id overflows u32")?);
+                }
+                (other, _) => return Err(format!("unexpected or mistyped field `{other}`")),
+            }
+        }
+        Ok(LabelRecord {
+            index: index.ok_or("missing field `index`")?,
+            actor: actor.ok_or("missing field `actor`")?,
+            malicious: malicious.ok_or("missing field `malicious`")?,
+            client_id: client_id.ok_or("missing field `client_id`")?,
+            session_id: session_id.ok_or("missing field `session_id`")?,
+        })
+    }
+}
+
+/// A minimal parser for flat JSON objects of scalars — all a label sidecar
+/// line ever contains.
+mod json {
+    /// A scalar JSON value.
+    pub enum Scalar {
+        /// A JSON string (escapes resolved).
+        String(String),
+        /// A non-negative integer.
+        Number(u64),
+        /// `true` / `false`.
+        Bool(bool),
+    }
+
+    /// Parses `{"key":scalar,..}` into key/value pairs.
+    pub fn parse_flat_object(s: &str) -> Result<Vec<(String, Scalar)>, String> {
+        let mut chars = s.trim().chars().peekable();
+        let mut pairs = Vec::new();
+        if chars.next() != Some('{') {
+            return Err("expected `{`".into());
+        }
+        skip_ws(&mut chars);
+        if chars.peek() == Some(&'}') {
+            chars.next();
+            return finish(chars, pairs);
+        }
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected `:` after key `{key}`"));
+            }
+            skip_ws(&mut chars);
+            let value = parse_scalar(&mut chars)?;
+            pairs.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => return finish(chars, pairs),
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+
+    fn finish(
+        mut chars: std::iter::Peekable<std::str::Chars<'_>>,
+        pairs: Vec<(String, Scalar)>,
+    ) -> Result<Vec<(String, Scalar)>, String> {
+        skip_ws(&mut chars);
+        if chars.next().is_some() {
+            return Err("trailing characters after object".into());
+        }
+        Ok(pairs)
+    }
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<String, String> {
+        if chars.next() != Some('"') {
+            return Err("expected `\"`".into());
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        out.push(char::from_u32(code).ok_or("bad unicode escape")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn parse_scalar(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<Scalar, String> {
+        match chars.peek() {
+            Some('"') => Ok(Scalar::String(parse_string(chars)?)),
+            Some('t') | Some('f') => {
+                let word: String = std::iter::from_fn(|| {
+                    chars
+                        .peek()
+                        .filter(|c| c.is_ascii_alphabetic())
+                        .copied()
+                        .inspect(|_c| {
+                            chars.next();
+                        })
+                })
+                .collect();
+                match word.as_str() {
+                    "true" => Ok(Scalar::Bool(true)),
+                    "false" => Ok(Scalar::Bool(false)),
+                    other => Err(format!("unexpected literal `{other}`")),
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let digits: String = std::iter::from_fn(|| {
+                    chars
+                        .peek()
+                        .filter(|c| c.is_ascii_digit())
+                        .copied()
+                        .inspect(|_c| {
+                            chars.next();
+                        })
+                })
+                .collect();
+                digits
+                    .parse::<u64>()
+                    .map(Scalar::Number)
+                    .map_err(|e| format!("bad number `{digits}`: {e}"))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
 }
 
 /// Error while writing or reading a dataset.
@@ -79,9 +280,7 @@ pub fn write_dataset<W1: Write, W2: Write>(
             client_id: truth.client_id(),
             session_id: truth.session_id(),
         };
-        let line = serde_json::to_string(&record)
-            .map_err(|e| DatasetError::Label(e.to_string()))?;
-        writeln!(label_writer, "{line}")?;
+        writeln!(label_writer, "{}", record.to_json_string())?;
     }
     label_writer.flush()?;
     Ok(())
@@ -114,7 +313,7 @@ pub fn read_dataset<R1: BufRead, R2: BufRead>(
         if line.trim().is_empty() {
             continue;
         }
-        let record: LabelRecord = serde_json::from_str(&line)
+        let record = LabelRecord::from_json_str(&line)
             .map_err(|e| DatasetError::Label(format!("line {}: {e}", i + 1)))?;
         if record.index != truth.len() as u64 {
             return Err(DatasetError::Label(format!(
@@ -124,7 +323,11 @@ pub fn read_dataset<R1: BufRead, R2: BufRead>(
             )));
         }
         let actor = actor_by_name(&record.actor).ok_or_else(|| {
-            DatasetError::Label(format!("unknown actor `{}` at line {}", record.actor, i + 1))
+            DatasetError::Label(format!(
+                "unknown actor `{}` at line {}",
+                record.actor,
+                i + 1
+            ))
         })?;
         if actor.is_malicious() != record.malicious {
             return Err(DatasetError::Label(format!(
@@ -157,8 +360,7 @@ mod tests {
         let mut log_buf = Vec::new();
         let mut label_buf = Vec::new();
         write_dataset(&log, &mut log_buf, &mut label_buf).unwrap();
-        let (entries, truth) =
-            read_dataset(Cursor::new(log_buf), Cursor::new(label_buf)).unwrap();
+        let (entries, truth) = read_dataset(Cursor::new(log_buf), Cursor::new(label_buf)).unwrap();
         (log, entries, truth)
     }
 
@@ -177,7 +379,7 @@ mod tests {
         write_dataset(&log, &mut log_buf, &mut label_buf).unwrap();
         let text = String::from_utf8(label_buf).unwrap();
         assert_eq!(text.lines().count(), log.len());
-        let first: LabelRecord = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        let first = LabelRecord::from_json_str(text.lines().next().unwrap()).unwrap();
         assert_eq!(first.index, 0);
     }
 
@@ -208,12 +410,13 @@ mod tests {
         let mut label_buf = Vec::new();
         write_dataset(&log, &mut log_buf, &mut label_buf).unwrap();
         let text = String::from_utf8(label_buf).unwrap();
-        let truncated: String = text.lines().take(log.len() - 1).collect::<Vec<_>>().join("\n");
-        let err = read_dataset(
-            Cursor::new(log_buf),
-            Cursor::new(truncated.into_bytes()),
-        )
-        .unwrap_err();
+        let truncated: String = text
+            .lines()
+            .take(log.len() - 1)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err =
+            read_dataset(Cursor::new(log_buf), Cursor::new(truncated.into_bytes())).unwrap_err();
         assert!(matches!(err, DatasetError::Label(_)));
     }
 

@@ -134,10 +134,8 @@ mod tests {
                 .unwrap_or(0)
         };
         for status in [200u16, 204, 302, 304, 400, 403, 404, 500] {
-            let both_via_arcane =
-                get(&TABLE3_ARCANE, status) - get(&TABLE4_ARCANE_ONLY, status);
-            let both_via_distil =
-                get(&TABLE3_DISTIL, status) - get(&TABLE4_DISTIL_ONLY, status);
+            let both_via_arcane = get(&TABLE3_ARCANE, status) - get(&TABLE4_ARCANE_ONLY, status);
+            let both_via_distil = get(&TABLE3_DISTIL, status) - get(&TABLE4_DISTIL_ONLY, status);
             assert_eq!(
                 both_via_arcane, both_via_distil,
                 "status {status} inconsistent"

@@ -1,20 +1,23 @@
 //! The end-to-end diversity study.
 //!
 //! [`DiversityStudy`] wires the whole reproduction together: generate the
-//! scenario, run both tools (optionally sharded across threads), and
-//! compute everything the paper reports plus the labelled analyses its
-//! Section V calls for.
+//! scenario, stream it through a two-tool detection
+//! [`Pipeline`](divscrape_pipeline::Pipeline) (optionally sharded across
+//! worker threads), and compute everything the paper reports plus the
+//! labelled analyses its Section V calls for.
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use divscrape_detect::parallel::run_sharded_alerts;
-use divscrape_detect::{Arcane, ArcaneConfig, ReputationFeed, Sentinel, SentinelConfig, SignatureEngine};
+use divscrape_detect::{
+    Arcane, ArcaneConfig, ReputationFeed, Sentinel, SentinelConfig, SignatureEngine,
+};
 use divscrape_ensemble::{
     AgreementDiversity, AlertVector, ConfusionMatrix, Contingency, KOutOfN, OracleDiversity,
     StatusBreakdown,
 };
+use divscrape_pipeline::{Adjudication, PipelineBuilder};
 use divscrape_traffic::{generate, ActorClass, LabelledLog, ScenarioConfig};
 use serde::Serialize;
 
@@ -157,28 +160,39 @@ impl DiversityStudy {
 
     /// Runs the detectors and analyses over an existing log (e.g. to reuse
     /// one expensive generation across experiments).
+    ///
+    /// Both tools run inside one streaming
+    /// [`Pipeline`](divscrape_pipeline::Pipeline) with 1-out-of-2
+    /// adjudication; the configured worker count becomes the pipeline's
+    /// client-shard width, which never changes a verdict.
     pub fn run_on(&self, log: LabelledLog) -> StudyReport {
-        let sentinel_proto = Sentinel::new(
-            self.config.sentinel.clone(),
-            SignatureEngine::stock(),
-            ReputationFeed::stock(),
-        );
-        let arcane_proto = Arcane::new(self.config.arcane.clone());
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::new(
+                self.config.sentinel.clone(),
+                SignatureEngine::stock(),
+                ReputationFeed::stock(),
+            ))
+            .detector(Arcane::new(self.config.arcane.clone()))
+            .adjudication(Adjudication::k_of_n(1))
+            // Clamp: `workers` is a pub field, so 0 is constructible even
+            // though `with_workers` never produces it.
+            .workers(self.config.workers.max(1))
+            .build()
+            .expect("two detectors with 1oo2 always compose");
+        pipeline.push_batch(log.entries());
+        let streamed = pipeline.drain();
 
-        let sentinel = AlertVector::from_bools(
-            "sentinel",
-            &run_sharded_alerts(&sentinel_proto, log.entries(), self.config.workers),
-        );
-        let arcane = AlertVector::from_bools(
-            "arcane",
-            &run_sharded_alerts(&arcane_proto, log.entries(), self.config.workers),
+        let one = streamed.combined;
+        let mut members = streamed.members.into_iter();
+        let (sentinel, arcane) = (
+            members.next().expect("sentinel member"),
+            members.next().expect("arcane member"),
         );
 
         let contingency = Contingency::of(&sentinel, &arcane);
         let sentinel_only = sentinel.minus(&arcane);
         let arcane_only = arcane.minus(&sentinel);
 
-        let one = KOutOfN::any(2).apply(&[&sentinel, &arcane]);
         let two = KOutOfN::all(2).apply(&[&sentinel, &arcane]);
 
         let labelled = LabelledAnalysis {

@@ -45,12 +45,21 @@ pub fn table2(report: &StudyReport) -> String {
     let c = &report.contingency;
     let total = c.total().max(1) as f64;
     let mut t = TextTable::new("Table 2 - Diversity in the alerting behavior of the two tools");
-    t.columns(&["HTTP requests alerted by:", "Paper", "Measured", "Measured %"]);
+    t.columns(&[
+        "HTTP requests alerted by:",
+        "Paper",
+        "Measured",
+        "Measured %",
+    ]);
     let rows: [(&str, u64, u64); 4] = [
         ("Both tools", paper::TABLE2.both, c.both),
         ("Neither", paper::TABLE2.neither, c.neither),
         ("Arcane only", paper::TABLE2.arcane_only, c.only_second),
-        ("Distil/sentinel only", paper::TABLE2.distil_only, c.only_first),
+        (
+            "Distil/sentinel only",
+            paper::TABLE2.distil_only,
+            c.only_first,
+        ),
     ];
     for (label, paper_count, measured) in rows {
         t.row_owned(vec![
@@ -232,7 +241,13 @@ mod tests {
     fn labelled_section_reports_all_schemes() {
         let r = report();
         let text = labelled_metrics(&r);
-        for needle in ["sentinel", "arcane", "1-out-of-2", "2-out-of-2", "Double-fault"] {
+        for needle in [
+            "sentinel",
+            "arcane",
+            "1-out-of-2",
+            "2-out-of-2",
+            "Double-fault",
+        ] {
             assert!(text.contains(needle), "missing {needle}:\n{text}");
         }
     }
@@ -249,7 +264,14 @@ mod tests {
     #[test]
     fn full_report_contains_all_sections() {
         let text = full_report(&report());
-        for needle in ["Table 1", "Table 2", "Table 3a", "Table 4b", "Labelled", "Detection rate"] {
+        for needle in [
+            "Table 1",
+            "Table 2",
+            "Table 3a",
+            "Table 4b",
+            "Labelled",
+            "Detection rate",
+        ] {
             assert!(text.contains(needle), "missing {needle}");
         }
     }

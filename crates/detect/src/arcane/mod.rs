@@ -86,7 +86,14 @@ impl Arcane {
     }
 
     /// Scores the session this entry belongs to (after incorporating it).
-    fn score(cfg: &ArcaneConfig, f: &SessionFeatures, entry: &LogEntry) -> (u32, Vec<&'static str>) {
+    ///
+    /// `family` is the entry's user-agent family — client-constant, so the
+    /// batch path classifies it once per client run.
+    fn score(
+        cfg: &ArcaneConfig,
+        f: &SessionFeatures,
+        family: AgentFamily,
+    ) -> (u32, Vec<&'static str>) {
         let mut score = 0u32;
         let mut hits = Vec::new();
         let mut apply = |w: u32, name: &'static str, cond: bool| {
@@ -96,7 +103,6 @@ impl Arcane {
             }
         };
 
-        let family = entry.user_agent().family();
         apply(
             cfg.w_tool_agent,
             "tool_agent",
@@ -128,14 +134,12 @@ impl Arcane {
         apply(
             cfg.w_sustained_rate,
             "sustained_rate",
-            f.requests >= cfg.sustained_min_requests
-                && f.mean_gap_secs() < cfg.sustained_gap_secs,
+            f.requests >= cfg.sustained_min_requests && f.mean_gap_secs() < cfg.sustained_gap_secs,
         );
         apply(
             cfg.w_error_ratio,
             "error_ratio",
-            f.requests >= cfg.error_min_requests
-                && f.error_ratio() >= cfg.error_ratio_threshold,
+            f.requests >= cfg.error_min_requests && f.error_ratio() >= cfg.error_ratio_threshold,
         );
         apply(
             cfg.w_bad_requests,
@@ -155,8 +159,7 @@ impl Arcane {
         apply(
             cfg.w_no_referrer,
             "no_referrer",
-            f.requests >= cfg.referrer_min_requests
-                && f.referrer_ratio() < cfg.referrer_max_ratio,
+            f.requests >= cfg.referrer_min_requests && f.referrer_ratio() < cfg.referrer_max_ratio,
         );
         (score, hits)
     }
@@ -171,8 +174,9 @@ impl Detector for Arcane {
         if self.is_whitelisted(entry) {
             return Verdict::CLEAR;
         }
+        let family = entry.user_agent().family();
         let features = self.sessions.observe(entry);
-        let (score, hits) = Self::score(&self.cfg, features, entry);
+        let (score, hits) = Self::score(&self.cfg, features, family);
         let alert = score >= self.cfg.alert_threshold;
         if alert {
             for h in hits {
@@ -180,6 +184,34 @@ impl Detector for Arcane {
             }
         }
         Verdict::new(alert, score as f32)
+    }
+
+    fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
+        out.reserve(entries.len());
+        for run in crate::detector::client_runs(entries) {
+            let first = &run[0];
+
+            // Whitelisting, the key hash and the agent-family
+            // classification are identity-derived: once per client run.
+            if self.is_whitelisted(first) {
+                out.extend(std::iter::repeat_n(Verdict::CLEAR, run.len()));
+                continue;
+            }
+            let key = first.client_key();
+            let family = first.user_agent().family();
+
+            for entry in run {
+                let features = self.sessions.observe_with_key(key, entry);
+                let (score, hits) = Self::score(&self.cfg, features, family);
+                let alert = score >= self.cfg.alert_threshold;
+                if alert {
+                    for h in hits {
+                        *self.rule_hits.entry(h).or_insert(0) += 1;
+                    }
+                }
+                out.push(Verdict::new(alert, score as f32));
+            }
+        }
     }
 
     fn reset(&mut self) {
@@ -327,7 +359,11 @@ mod tests {
             let v = a.observe(&entry(base, &format!("/offers/{i}"), 200, BROWSER));
             assert!(!v.alert, "page {i} alerted");
             for j in 0..3 {
-                let asset = ["/static/css/main.css", "/static/js/app.js", "/static/img/x.jpg"][j];
+                let asset = [
+                    "/static/css/main.css",
+                    "/static/js/app.js",
+                    "/static/img/x.jpg",
+                ][j];
                 let v = a.observe(&entry(base + 1 + j as i64, asset, 200, BROWSER));
                 assert!(!v.alert);
             }

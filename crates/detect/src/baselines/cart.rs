@@ -110,7 +110,7 @@ impl Cart {
                 }
                 let weighted = (lt as f64 * gini(lp, lt) + rt as f64 * gini(rp, rt)) / total as f64;
                 let gain = parent_gini - weighted;
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((feature, threshold, gain));
                 }
             }
@@ -149,7 +149,11 @@ impl Cart {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -178,7 +182,11 @@ mod tests {
         let log = generate(&ScenarioConfig::small(41)).unwrap();
         let set = TrainingSet::from_log(&log, 5);
         let tree = Cart::train(&set, CartParams::default()).unwrap();
-        assert!(tree.node_count() > 3, "tree has {} nodes", tree.node_count());
+        assert!(
+            tree.node_count() > 3,
+            "tree has {} nodes",
+            tree.node_count()
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl Logistic {
                 b -= lr * err;
             }
         }
-        Ok(Self { weights: w, bias: b })
+        Ok(Self {
+            weights: w,
+            bias: b,
+        })
     }
 
     /// The learned weights (for interpretability reports).
@@ -129,8 +132,7 @@ mod tests {
     fn rejects_degenerate_training_sets() {
         let log = generate(&ScenarioConfig::tiny(1)).unwrap();
         let set = TrainingSet::from_log(&log, 1);
-        let one_class =
-            TrainingSet::from_parts(set.features().to_vec(), vec![true; set.len()]);
+        let one_class = TrainingSet::from_parts(set.features().to_vec(), vec![true; set.len()]);
         assert!(Logistic::train(&one_class, LogisticParams::default()).is_err());
     }
 

@@ -159,6 +159,24 @@ impl<M: SessionModel> Detector for SessionModelDetector<M> {
         Verdict::new(enough && score >= self.threshold, score as f32)
     }
 
+    fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
+        out.reserve(entries.len());
+        for run in crate::detector::client_runs(entries) {
+            // One key hash per client run; the sessionizer and model still
+            // see every entry.
+            let key = run[0].client_key();
+            for entry in run {
+                let features = self.sessions.observe_with_key(key, entry);
+                let enough = features.requests >= self.min_requests;
+                let score = self.model.score(&features.feature_vector());
+                out.push(Verdict::new(
+                    enough && score >= self.threshold,
+                    score as f32,
+                ));
+            }
+        }
+    }
+
     fn reset(&mut self) {
         self.sessions.reset();
     }

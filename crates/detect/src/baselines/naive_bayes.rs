@@ -44,8 +44,8 @@ impl NaiveBayes {
             }
         }
         for c in 0..2 {
-            for j in 0..FEATURE_DIM {
-                mean[c][j] /= counts[c];
+            for m in &mut mean[c] {
+                *m /= counts[c];
             }
         }
         for (x, &y) in data.features().iter().zip(data.labels()) {
@@ -56,8 +56,8 @@ impl NaiveBayes {
             }
         }
         for c in 0..2 {
-            for j in 0..FEATURE_DIM {
-                var[c][j] = (var[c][j] / counts[c]).max(VAR_FLOOR);
+            for v in &mut var[c] {
+                *v = (*v / counts[c]).max(VAR_FLOOR);
             }
         }
 
@@ -71,9 +71,9 @@ impl NaiveBayes {
     /// Log-odds of the positive (malicious) class for one feature vector.
     pub fn log_odds(&self, x: &[f64; FEATURE_DIM]) -> f64 {
         let mut odds = self.prior_log_odds;
-        for j in 0..FEATURE_DIM {
+        for (j, xj) in x.iter().enumerate() {
             let ll = |c: usize| {
-                let d = x[j] - self.mean[c][j];
+                let d = xj - self.mean[c][j];
                 -0.5 * (self.var[c][j].ln() + d * d / self.var[c][j])
             };
             odds += ll(1) - ll(0);
@@ -111,10 +111,7 @@ mod tests {
         let log = generate(&ScenarioConfig::tiny(1)).unwrap();
         let set = TrainingSet::from_log(&log, 1);
         assert!(NaiveBayes::train(&set).is_ok());
-        let one_class = TrainingSet::from_parts(
-            set.features().to_vec(),
-            vec![false; set.len()],
-        );
+        let one_class = TrainingSet::from_parts(set.features().to_vec(), vec![false; set.len()]);
         assert!(NaiveBayes::train(&one_class).is_err());
     }
 

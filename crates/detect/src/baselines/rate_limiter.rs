@@ -69,6 +69,30 @@ impl Detector for RateLimiter {
         )
     }
 
+    fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
+        out.reserve(entries.len());
+        for run in crate::detector::client_runs(entries) {
+            // One key hash and one window lookup per client run.
+            let window = self.windows.entry(run[0].client_key()).or_default();
+            for entry in run {
+                let ts = entry.timestamp().epoch_seconds();
+                while let Some(&front) = window.front() {
+                    if ts - front >= 60 {
+                        window.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                window.push_back(ts);
+                let count = window.len() as u32;
+                out.push(Verdict::new(
+                    count >= self.threshold_per_min,
+                    count as f32 / self.threshold_per_min as f32,
+                ));
+            }
+        }
+    }
+
     fn reset(&mut self) {
         self.windows.clear();
     }

@@ -42,6 +42,20 @@ impl Detector for SignatureOnly {
         }
     }
 
+    fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
+        out.reserve(entries.len());
+        for run in crate::detector::client_runs(entries) {
+            // The verdict is a pure function of the user agent, so one
+            // signature scan covers the whole client run.
+            let verdict = if self.engine.matches(run[0].user_agent()) {
+                Verdict::ALERT
+            } else {
+                Verdict::CLEAR
+            };
+            out.extend(std::iter::repeat_n(verdict, run.len()));
+        }
+    }
+
     fn reset(&mut self) {}
 }
 

@@ -128,6 +128,34 @@ impl Detector for Committee {
         Verdict::new(votes >= self.k, score_sum / self.members.len() as f32)
     }
 
+    fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
+        // Hand the whole batch to each member so their own batch fast
+        // paths apply, then fold the member columns into committee votes.
+        // Members only ever see entries in log order, so this is
+        // verdict-identical to the per-entry path.
+        self.requests_seen += entries.len() as u64;
+        let mut votes = vec![0u32; entries.len()];
+        let mut buf = Vec::with_capacity(entries.len());
+        for (i, member) in self.members.iter_mut().enumerate() {
+            buf.clear();
+            member.observe_batch(entries, &mut buf);
+            debug_assert_eq!(buf.len(), entries.len(), "member verdict count");
+            for (votes, v) in votes.iter_mut().zip(&buf) {
+                if v.alert {
+                    *votes += 1;
+                    self.member_alerts[i] += 1;
+                }
+            }
+        }
+        let n = self.members.len() as f32;
+        out.reserve(entries.len());
+        out.extend(
+            votes
+                .into_iter()
+                .map(|v| Verdict::new(v as usize >= self.k, v as f32 / n)),
+        );
+    }
+
     fn reset(&mut self) {
         for m in &mut self.members {
             m.reset();
@@ -193,6 +221,28 @@ mod tests {
         assert_eq!(committee.requests_seen(), 0);
         let second = run_alerts(&mut committee, log.entries());
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn reset_clears_all_accounting_and_rewinds_members() {
+        let log = generate(&ScenarioConfig::tiny(75)).unwrap();
+        let mut committee = Committee::stock_pair(1);
+        let first = run_alerts(&mut committee, log.entries());
+        let counts_before = committee.member_alert_counts().to_vec();
+        assert!(counts_before.iter().any(|c| *c > 0), "nothing alerted");
+        assert_eq!(committee.requests_seen(), log.len() as u64);
+
+        committee.reset();
+        // Every counter back to zero...
+        assert_eq!(committee.requests_seen(), 0);
+        assert!(committee.member_alert_counts().iter().all(|c| *c == 0));
+
+        // ...and the members' own state rewound: the re-run reproduces
+        // both the verdicts and the per-member accounting exactly.
+        let second = run_alerts(&mut committee, log.entries());
+        assert_eq!(first, second);
+        assert_eq!(committee.member_alert_counts(), counts_before.as_slice());
+        assert_eq!(committee.requests_seen(), log.len() as u64);
     }
 
     #[test]

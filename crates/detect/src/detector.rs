@@ -73,6 +73,24 @@ pub trait Detector {
     /// Consumes one log entry and returns the tool's verdict for it.
     fn observe(&mut self, entry: &LogEntry) -> Verdict;
 
+    /// Consumes a batch of log entries, appending one verdict per entry to
+    /// `out` in order.
+    ///
+    /// The default implementation loops over [`observe`](Self::observe);
+    /// detectors with per-entry overheads worth amortizing (hashing, state
+    /// table lookups) override it with a batched hot path. Overrides must
+    /// stay **verdict-equivalent** to the default: feeding a log in any
+    /// sequence of batches — including one entry at a time — must produce
+    /// exactly the verdicts a sequential `observe` loop would. The
+    /// equivalence tests in this crate hold every stock detector to that
+    /// contract.
+    fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
+        out.reserve(entries.len());
+        for entry in entries {
+            out.push(self.observe(entry));
+        }
+    }
+
     /// Clears all accumulated state, as if freshly constructed.
     fn reset(&mut self);
 }
@@ -86,19 +104,84 @@ impl<D: Detector + ?Sized> Detector for Box<D> {
         (**self).observe(entry)
     }
 
+    fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
+        (**self).observe_batch(entries, out)
+    }
+
     fn reset(&mut self) {
         (**self).reset()
     }
 }
 
+impl<D: Detector + ?Sized> Detector for &mut D {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn observe(&mut self, entry: &LogEntry) -> Verdict {
+        (**self).observe(entry)
+    }
+
+    fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
+        (**self).observe_batch(entries, out)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// Length of the longest prefix of `entries` coming from a single client
+/// (same address and user-agent string).
+///
+/// The stock detectors' `observe_batch` implementations amortize per-client
+/// work — key hashing, whitelist checks, signature and reputation lookups,
+/// state-table probes — over such runs, which real access logs are full of
+/// (bots burst, page views tow their asset fetches).
+pub(crate) fn client_span(entries: &[LogEntry]) -> usize {
+    let Some(first) = entries.first() else {
+        return 0;
+    };
+    let addr = first.addr();
+    let agent = first.user_agent().as_str();
+    1 + entries[1..]
+        .iter()
+        .take_while(|e| e.addr() == addr && e.user_agent().as_str() == agent)
+        .count()
+}
+
+/// Splits `entries` into maximal single-client runs (see [`client_span`]),
+/// in order. The shared skeleton of every specialized `observe_batch`:
+/// detectors iterate the runs and hoist their client-constant work out of
+/// the per-entry loop.
+pub(crate) fn client_runs(entries: &[LogEntry]) -> impl Iterator<Item = &[LogEntry]> {
+    let mut rest = entries;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        let (run, tail) = rest.split_at(client_span(rest));
+        rest = tail;
+        Some(run)
+    })
+}
+
 /// Runs a detector over an entire log, returning one verdict per entry.
+///
+/// Routes through [`Detector::observe_batch`], so detectors with a
+/// specialized batch path get it automatically.
 pub fn run<D: Detector + ?Sized>(detector: &mut D, entries: &[LogEntry]) -> Vec<Verdict> {
-    entries.iter().map(|e| detector.observe(e)).collect()
+    let mut out = Vec::with_capacity(entries.len());
+    detector.observe_batch(entries, &mut out);
+    out
 }
 
 /// Runs a detector and returns only the per-request alert flags.
 pub fn run_alerts<D: Detector + ?Sized>(detector: &mut D, entries: &[LogEntry]) -> Vec<bool> {
-    entries.iter().map(|e| detector.observe(e).alert).collect()
+    run(detector, entries)
+        .into_iter()
+        .map(|v| v.alert)
+        .collect()
 }
 
 #[cfg(test)]
@@ -117,7 +200,7 @@ mod tests {
         }
         fn observe(&mut self, _entry: &LogEntry) -> Verdict {
             self.seen += 1;
-            Verdict::new(self.seen % 2 == 0, self.seen as f32)
+            Verdict::new(self.seen.is_multiple_of(2), self.seen as f32)
         }
         fn reset(&mut self) {
             self.seen = 0;
@@ -157,6 +240,71 @@ mod tests {
     }
 
     #[test]
+    fn mutable_references_are_detectors_too() {
+        // Pipelines can borrow a member for a while without boxing it and
+        // hand it back with its accumulated state intact.
+        let log = generate(&ScenarioConfig::tiny(4)).unwrap();
+        let mut det = CountingDetector::default();
+        let (a, b) = log.entries().split_at(log.len() / 2);
+
+        let mut borrowed: &mut CountingDetector = &mut det;
+        // `run::<&mut CountingDetector>` — the detector is the reference.
+        let first = run(&mut borrowed, a);
+        assert_eq!(first.len(), a.len());
+
+        // State accumulated through the borrow is visible on the owner.
+        assert_eq!(det.seen, a.len() as u64);
+        let second = run(&mut det, b);
+        assert_eq!(second.last().unwrap().score, log.len() as f32);
+
+        // And a &mut works through the batch path as well.
+        let mut fresh = CountingDetector::default();
+        let mut out = Vec::new();
+        Detector::observe_batch(&mut (&mut fresh), log.entries(), &mut out);
+        assert_eq!(out.len(), log.len());
+        assert_eq!(fresh.seen, log.len() as u64);
+    }
+
+    #[test]
+    fn default_observe_batch_loops_in_order() {
+        let log = generate(&ScenarioConfig::tiny(5)).unwrap();
+        let mut det = CountingDetector::default();
+        let mut out = Vec::new();
+        det.observe_batch(&log.entries()[..10], &mut out);
+        det.observe_batch(&log.entries()[10..], &mut out);
+        assert_eq!(out.len(), log.len());
+        let mut again = CountingDetector::default();
+        let reference: Vec<Verdict> = log.entries().iter().map(|e| again.observe(e)).collect();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn client_span_groups_same_client_prefixes() {
+        let log = generate(&ScenarioConfig::tiny(6)).unwrap();
+        let entries = log.entries();
+        let mut i = 0;
+        let mut spans = 0usize;
+        while i < entries.len() {
+            let span = client_span(&entries[i..]);
+            assert!(span >= 1);
+            let key = entries[i].client_key();
+            assert!(entries[i..i + span].iter().all(|e| e.client_key() == key));
+            if i + span < entries.len() {
+                assert_ne!(
+                    entries[i + span].client_key(),
+                    key,
+                    "span ended early at {i}+{span}"
+                );
+            }
+            i += span;
+            spans += 1;
+        }
+        assert!(spans < entries.len(), "log should contain client bursts");
+        assert_eq!(client_span(&[]), 0);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn verdict_constants_are_sane() {
         assert!(!Verdict::CLEAR.alert);
         assert!(Verdict::ALERT.alert);

@@ -16,11 +16,48 @@
 //!   CART) over the Stevanovic-style session features.
 //!
 //! All detectors implement the streaming [`Detector`] trait: one
-//! [`Verdict`] per HTTP request, which is exactly the unit the paper's
-//! tables count. [`parallel::run_sharded`] runs any of them across worker
-//! threads with verdict-identical output.
+//! [`Verdict`] per HTTP request — exactly the unit the paper's tables
+//! count — delivered either one entry at a time ([`Detector::observe`]) or
+//! over a batch ([`Detector::observe_batch`]). Every stock detector ships
+//! a specialized batch path that amortizes its per-entry identity work
+//! (user-agent hashing, whitelist checks, signature and reputation
+//! lookups, state-table probes) over runs of same-client entries, with
+//! verdicts guaranteed identical to the per-entry loop. [`run`] and
+//! [`parallel::run_sharded`] route through it automatically, and
+//! [`parallel::run_sharded`] spreads any detector across worker threads
+//! with verdict-identical output.
 //!
-//! # Example
+//! Detectors compose: [`Committee`] adjudicates any member set online
+//! behind the same trait, `Detector` is implemented for `Box<D>` and
+//! `&mut D` so members can be owned or borrowed, and the
+//! `divscrape-pipeline` crate builds full streaming deployments
+//! (incremental ingestion, client-sharded workers, alert sinks) on top of
+//! this trait.
+//!
+//! # Streaming quickstart
+//!
+//! ```
+//! use divscrape_detect::{run_alerts, Committee, Detector, Sentinel};
+//! use divscrape_traffic::{generate, ScenarioConfig};
+//!
+//! let log = generate(&ScenarioConfig::tiny(2018))?;
+//!
+//! // Entries arrive over time; feed them in whatever batches show up.
+//! // Batch boundaries never change a verdict.
+//! let mut committee = Committee::stock_pair(1); // sentinel OR arcane
+//! let mut verdicts = Vec::new();
+//! for batch in log.entries().chunks(500) {
+//!     committee.observe_batch(batch, &mut verdicts);
+//! }
+//! let alerts = verdicts.iter().filter(|v| v.alert).count();
+//!
+//! // Identical to a per-entry offline run of the same pair.
+//! let offline = run_alerts(&mut Committee::stock_pair(1), log.entries());
+//! assert_eq!(alerts, offline.iter().filter(|a| **a).count());
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! # Offline example: the diversity the paper measures
 //!
 //! ```
 //! use divscrape_detect::{run_alerts, Arcane, Sentinel};
@@ -55,7 +92,7 @@ mod trap;
 
 pub use arcane::{Arcane, ArcaneConfig};
 pub use committee::Committee;
-pub use trap::TrapDetector;
 pub use detector::{run, run_alerts, Detector, Verdict};
 pub use sentinel::{ReputationFeed, Sentinel, SentinelConfig, SentinelSignal, SignatureEngine};
 pub use session::{ClientKey, SessionFeatures, Sessionizer, SessionizerConfig};
+pub use trap::TrapDetector;

@@ -8,7 +8,10 @@
 //!
 //! Each worker sees its shard's entries in the original (timestamp) order;
 //! verdicts are written back to the entries' original positions, so the
-//! output is bit-identical to a sequential run.
+//! output is bit-identical to a sequential run. Within a shard, maximal
+//! runs of consecutive entries are fed through
+//! [`Detector::observe_batch`], so detectors with a specialized batch path
+//! keep it under sharding.
 
 use divscrape_httplog::LogEntry;
 
@@ -22,11 +25,18 @@ pub trait ShardableDetector: Detector + Clone + Send {}
 
 impl<D: Detector + Clone + Send> ShardableDetector for D {}
 
-/// Runs `prototype` over `entries` using `workers` parallel shards.
+/// Runs `prototype` over `entries` using up to `workers` parallel shards.
 ///
 /// Returns exactly the verdicts a sequential [`run`](crate::run) of the same
 /// detector would produce, as long as the detector keeps its state per
 /// client (see [`ShardableDetector`]).
+///
+/// The worker count is clamped to `workers.min(entries.len()).max(1)`:
+/// asking for more workers than entries spawns only as many as can receive
+/// at least one entry, and a request on an empty log runs (trivially) on a
+/// single worker. The clamp replaces an earlier silent fallback to
+/// sequential execution for small logs — the requested parallelism is now
+/// honored whenever the log can feed it.
 ///
 /// # Panics
 ///
@@ -37,7 +47,8 @@ pub fn run_sharded<D: ShardableDetector>(
     workers: usize,
 ) -> Vec<Verdict> {
     assert!(workers > 0, "need at least one worker");
-    if workers == 1 || entries.len() < 2 * workers {
+    let workers = workers.min(entries.len()).max(1);
+    if workers == 1 {
         let mut det = prototype.clone();
         det.reset();
         return crate::run(&mut det, entries);
@@ -50,23 +61,22 @@ pub fn run_sharded<D: ShardableDetector>(
     }
 
     let mut verdicts = vec![Verdict::CLEAR; entries.len()];
-    let chunks: Vec<Vec<(usize, Verdict)>> = crossbeam::scope(|scope| {
+    let chunks: Vec<Vec<(usize, Verdict)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
                 let mut det = prototype.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     det.reset();
-                    shard
-                        .iter()
-                        .map(|&i| (i, det.observe(&entries[i])))
-                        .collect::<Vec<_>>()
+                    run_index_runs(&mut det, entries, shard)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     for chunk in chunks {
         for (i, v) in chunk {
@@ -74,6 +84,36 @@ pub fn run_sharded<D: ShardableDetector>(
         }
     }
     verdicts
+}
+
+/// Feeds one shard's (sorted) entry indices through the detector, batching
+/// each maximal run of consecutive indices so the detector's
+/// [`observe_batch`](Detector::observe_batch) fast path applies. Returns
+/// `(original_index, verdict)` pairs.
+///
+/// This is the scatter/gather kernel shared by [`run_sharded`] and the
+/// `divscrape-pipeline` sharded driver — any executor that partitions a
+/// log by client and needs verdicts back in original positions.
+pub fn run_index_runs<D: Detector + ?Sized>(
+    det: &mut D,
+    entries: &[LogEntry],
+    indices: &[usize],
+) -> Vec<(usize, Verdict)> {
+    let mut out = Vec::with_capacity(indices.len());
+    let mut buf = Vec::new();
+    let mut pos = 0;
+    while pos < indices.len() {
+        let start = indices[pos];
+        let mut end = pos + 1;
+        while end < indices.len() && indices[end] == indices[end - 1] + 1 {
+            end += 1;
+        }
+        buf.clear();
+        det.observe_batch(&entries[start..start + (end - pos)], &mut buf);
+        out.extend(buf.drain(..).enumerate().map(|(k, v)| (start + k, v)));
+        pos = end;
+    }
+    out
 }
 
 /// Like [`run_sharded`] but returns only the alert flags.
@@ -132,6 +172,25 @@ mod tests {
         let log = generate(&ScenarioConfig::tiny(5)).unwrap();
         let verdicts = run_sharded(&Sentinel::stock(), log.entries(), 1);
         assert_eq!(verdicts.len(), log.len());
+    }
+
+    #[test]
+    fn worker_count_clamps_to_log_size() {
+        let log = generate(&ScenarioConfig::tiny(8)).unwrap();
+        // Tiny logs used to fall back to sequential silently; now the
+        // request is honored with a clamped worker count and must still be
+        // verdict-identical.
+        let few = &log.entries()[..7];
+        let mut sequential = Sentinel::stock();
+        let expected = run(&mut sequential, few);
+        for workers in [2, 7, 64] {
+            let got = run_sharded(&Sentinel::stock(), few, workers);
+            assert_eq!(got.len(), expected.len());
+            let same = got.iter().zip(&expected).all(|(a, b)| a.alert == b.alert);
+            assert!(same, "{workers} workers diverged on a 7-entry log");
+        }
+        // And an empty log is fine under any worker request.
+        assert!(run_sharded(&Sentinel::stock(), &[], 16).is_empty());
     }
 
     #[test]

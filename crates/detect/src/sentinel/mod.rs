@@ -107,7 +107,11 @@ impl Sentinel {
     }
 
     /// Sentinel with explicit configuration and rule sets.
-    pub fn new(cfg: SentinelConfig, signatures: SignatureEngine, reputation: ReputationFeed) -> Self {
+    pub fn new(
+        cfg: SentinelConfig,
+        signatures: SignatureEngine,
+        reputation: ReputationFeed,
+    ) -> Self {
         Self {
             cfg,
             signatures,
@@ -152,15 +156,23 @@ impl Sentinel {
         }
     }
 
-    /// Evaluates all signals for this entry, returning the first match in
-    /// priority order.
-    fn active_signal(&mut self, entry: &LogEntry) -> (Option<SentinelSignal>, u32) {
-        let key = entry.client_key();
+    /// Updates `state` with this entry and evaluates all signals, returning
+    /// the first match in priority order and the number of active signals.
+    ///
+    /// The identity signals — signature and reputation — depend only on the
+    /// client, so callers evaluate them once per client run and pass the
+    /// results in; this is what the batch path amortizes.
+    fn update_and_signal(
+        cfg: &SentinelConfig,
+        state: &mut ClientState,
+        entry: &LogEntry,
+        signature_hit: bool,
+        reputation_hit: bool,
+    ) -> (Option<SentinelSignal>, u32) {
         let ts = entry.timestamp().epoch_seconds();
-        let state = self.clients.entry(key).or_default();
 
         // Session-scoped challenge counters reset on idle.
-        if state.last_ts != 0 && ts - state.last_ts > self.cfg.session_idle_secs {
+        if state.last_ts != 0 && ts - state.last_ts > cfg.session_idle_secs {
             state.pages_in_session = 0;
             state.js_in_session = 0;
             state.page_window.clear();
@@ -170,10 +182,8 @@ impl Sentinel {
         let class = entry.request().path().resource_class();
         match class {
             ResourceClass::Page => state.pages_in_session += 1,
-            ResourceClass::Asset => {
-                if entry.request().path().path().ends_with(".js") {
-                    state.js_in_session += 1;
-                }
+            ResourceClass::Asset if entry.request().path().path().ends_with(".js") => {
+                state.js_in_session += 1;
             }
             _ => {}
         }
@@ -197,24 +207,30 @@ impl Sentinel {
             }
         };
 
-        if self.cfg.enable_signature && self.signatures.matches(entry.user_agent()) {
+        if signature_hit {
             hit(SentinelSignal::Signature, &mut active);
         }
-        if self.cfg.enable_reputation && self.reputation.is_listed(entry.addr()) {
+        if reputation_hit {
             hit(SentinelSignal::Reputation, &mut active);
         }
-        if self.cfg.enable_rate
-            && state.page_window.len() as u32 >= self.cfg.rate_threshold_per_min
-        {
+        if cfg.enable_rate && state.page_window.len() as u32 >= cfg.rate_threshold_per_min {
             hit(SentinelSignal::Rate, &mut active);
         }
-        if self.cfg.enable_challenge
-            && state.pages_in_session >= self.cfg.challenge_page_threshold
+        if cfg.enable_challenge
+            && state.pages_in_session >= cfg.challenge_page_threshold
             && state.js_in_session == 0
         {
             hit(SentinelSignal::Challenge, &mut active);
         }
         (first, active)
+    }
+
+    /// Evaluates the client-constant identity signals for an entry.
+    fn identity_hits(&self, entry: &LogEntry) -> (bool, bool) {
+        (
+            self.cfg.enable_signature && self.signatures.matches(entry.user_agent()),
+            self.cfg.enable_reputation && self.reputation.is_listed(entry.addr()),
+        )
     }
 }
 
@@ -229,10 +245,13 @@ impl Detector for Sentinel {
         }
         let key = entry.client_key();
         let cached = self.cfg.enable_violator_cache && self.violators.contains_key(&key);
-        let (signal, active) = self.active_signal(entry);
+        let (signature_hit, reputation_hit) = self.identity_hits(entry);
+        let state = self.clients.entry(key).or_default();
+        let (signal, active) =
+            Self::update_and_signal(&self.cfg, state, entry, signature_hit, reputation_hit);
 
         if let Some(signal) = signal {
-            if self.cfg.enable_violator_cache && !self.violators.contains_key(&key) {
+            if self.cfg.enable_violator_cache && !cached {
                 self.violators.insert(key, signal);
                 *self.trip_counts.entry(signal.name()).or_insert(0) += 1;
             }
@@ -242,6 +261,47 @@ impl Detector for Sentinel {
             return Verdict::new(true, 1.0);
         }
         Verdict::CLEAR
+    }
+
+    fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
+        out.reserve(entries.len());
+        for run in crate::detector::client_runs(entries) {
+            let first = &run[0];
+
+            // Everything identity-derived is constant across the run:
+            // whitelisting, the client key hash, signature and reputation.
+            if self.is_whitelisted(first) {
+                out.extend(std::iter::repeat_n(Verdict::CLEAR, run.len()));
+                continue;
+            }
+            let key = first.client_key();
+            let (signature_hit, reputation_hit) = self.identity_hits(first);
+            let mut cached = self.cfg.enable_violator_cache && self.violators.contains_key(&key);
+            let state = self.clients.entry(key).or_default();
+
+            for entry in run {
+                let (signal, active) =
+                    Self::update_and_signal(&self.cfg, state, entry, signature_hit, reputation_hit);
+                // `cached` reflects the violator cache *before* this entry,
+                // exactly as the per-entry path's map lookup sees it.
+                let cached_before = cached;
+                if let Some(signal) = signal {
+                    if self.cfg.enable_violator_cache && !cached_before {
+                        self.violators.insert(key, signal);
+                        *self.trip_counts.entry(signal.name()).or_insert(0) += 1;
+                        cached = true;
+                    }
+                    out.push(Verdict::new(
+                        true,
+                        (active + u32::from(cached_before)) as f32,
+                    ));
+                } else if cached_before {
+                    out.push(Verdict::new(true, 1.0));
+                } else {
+                    out.push(Verdict::CLEAR);
+                }
+            }
+        }
     }
 
     fn reset(&mut self) {
@@ -381,7 +441,12 @@ mod tests {
         let mut alerted = false;
         for i in 0..20 {
             alerted |= s
-                .observe(&entry(fake, 100_000 + i * 40, &format!("/offers/{i}"), GOOGLEBOT))
+                .observe(&entry(
+                    fake,
+                    100_000 + i * 40,
+                    &format!("/offers/{i}"),
+                    GOOGLEBOT,
+                ))
                 .alert;
         }
         assert!(alerted, "fake Googlebot escaped");

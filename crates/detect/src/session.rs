@@ -291,6 +291,17 @@ impl Sessionizer {
     /// (after incorporating the entry).
     pub fn observe(&mut self, entry: &LogEntry) -> &SessionFeatures {
         let key = entry.client_key();
+        self.observe_with_key(key, entry)
+    }
+
+    /// Like [`observe`](Self::observe) with the client key supplied by the
+    /// caller, so batch paths that process a run of same-client entries can
+    /// compute the key (an FNV hash of the full user-agent string) once per
+    /// run instead of once per entry.
+    ///
+    /// `key` must equal `entry.client_key()`; feeding a mismatched key
+    /// files the entry under the wrong client.
+    pub fn observe_with_key(&mut self, key: ClientKey, entry: &LogEntry) -> &SessionFeatures {
         let ts = entry.timestamp().epoch_seconds();
         match self.sessions.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut slot) => {
@@ -482,7 +493,12 @@ mod tests {
 
         fn arbitrary_entry() -> impl Strategy<Value = (u8, i64, u16, u8)> {
             // (client discriminator, gap seconds, status, path kind)
-            (0u8..4, 0i64..4_000, proptest::sample::select(vec![200u16, 204, 302, 304, 400, 404, 500]), 0u8..6)
+            (
+                0u8..4,
+                0i64..4_000,
+                proptest::sample::select(vec![200u16, 204, 302, 304, 400, 404, 500]),
+                0u8..6,
+            )
         }
 
         proptest! {

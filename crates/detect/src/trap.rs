@@ -85,6 +85,27 @@ impl Detector for TrapDetector {
         }
     }
 
+    fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
+        out.reserve(entries.len());
+        for run in crate::detector::client_runs(entries) {
+            // One key hash and one set probe per client run; within the
+            // run only the tripwire itself can change the client's fate.
+            let key = run[0].client_key();
+            let mut caught = self.trapped.contains(&key);
+            for entry in run {
+                if !caught && self.is_trap(entry) {
+                    self.trapped.insert(key);
+                    caught = true;
+                }
+                out.push(if caught {
+                    Verdict::ALERT
+                } else {
+                    Verdict::CLEAR
+                });
+            }
+        }
+    }
+
     fn reset(&mut self) {
         self.trapped.clear();
     }
@@ -165,7 +186,11 @@ mod tests {
         let e = LogEntry::builder()
             .addr(Ipv4Addr::new(10, 0, 0, 1))
             .timestamp(ClfTimestamp::PAPER_WINDOW_START)
-            .request("GET /deals/unlisted-crossings?utm=x HTTP/1.1".parse().unwrap())
+            .request(
+                "GET /deals/unlisted-crossings?utm=x HTTP/1.1"
+                    .parse()
+                    .unwrap(),
+            )
             .status(HttpStatus::OK)
             .user_agent("x")
             .build()

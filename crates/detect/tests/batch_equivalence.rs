@@ -1,0 +1,147 @@
+//! The `observe_batch` contract: every stock detector's specialized batch
+//! path must be verdict-identical to the per-entry `observe` loop (the
+//! trait's default), for any chunking of the log.
+
+use divscrape_detect::baselines::{
+    Cart, CartParams, Logistic, LogisticParams, NaiveBayes, RateLimiter, SessionModelDetector,
+    SignatureOnly, TrainingSet,
+};
+use divscrape_detect::{Arcane, Committee, Detector, Sentinel, TrapDetector, Verdict};
+use divscrape_traffic::{generate, LabelledLog, ScenarioConfig};
+
+fn log() -> LabelledLog {
+    generate(&ScenarioConfig::small(20_240)).unwrap()
+}
+
+/// Per-entry observation — exactly what the trait's default
+/// `observe_batch` does, used as the reference behavior.
+fn reference<D: Detector>(det: &mut D, log: &LabelledLog) -> Vec<Verdict> {
+    log.entries().iter().map(|e| det.observe(e)).collect()
+}
+
+/// The specialized batch path, fed in the given chunk sizes.
+fn batched<D: Detector>(det: &mut D, log: &LabelledLog, chunk: usize) -> Vec<Verdict> {
+    let mut out = Vec::new();
+    for part in log.entries().chunks(chunk) {
+        det.observe_batch(part, &mut out);
+    }
+    out
+}
+
+fn assert_batch_equivalent<D: Detector + Clone>(proto: D) {
+    let log = log();
+    let mut per_entry = proto.clone();
+    let expected = reference(&mut per_entry, &log);
+    // Whole-log, prime-sized, and single-entry chunking must all agree.
+    for chunk in [log.len(), 257, 1] {
+        let mut det = proto.clone();
+        let got = batched(&mut det, &log, chunk);
+        assert_eq!(got.len(), expected.len(), "{}: length", det.name());
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                g.alert,
+                e.alert,
+                "{}: alert diverged at entry {i} with chunk {chunk}",
+                det.name()
+            );
+            assert!(
+                (g.score - e.score).abs() < 1e-6,
+                "{}: score diverged at entry {i} with chunk {chunk}: {} vs {}",
+                det.name(),
+                g.score,
+                e.score
+            );
+        }
+    }
+}
+
+#[test]
+fn sentinel_batch_path_is_equivalent() {
+    assert_batch_equivalent(Sentinel::stock());
+}
+
+#[test]
+fn arcane_batch_path_is_equivalent() {
+    assert_batch_equivalent(Arcane::stock());
+}
+
+#[test]
+fn rate_limiter_batch_path_is_equivalent() {
+    assert_batch_equivalent(RateLimiter::new(30));
+}
+
+#[test]
+fn signature_only_batch_path_is_equivalent() {
+    assert_batch_equivalent(SignatureOnly::stock());
+}
+
+#[test]
+fn trap_detector_batch_path_is_equivalent() {
+    assert_batch_equivalent(TrapDetector::default());
+}
+
+#[test]
+fn session_model_batch_paths_are_equivalent() {
+    let training_log = generate(&ScenarioConfig::small(7)).unwrap();
+    let training = TrainingSet::from_log(&training_log, 5);
+    assert_batch_equivalent(SessionModelDetector::new(
+        NaiveBayes::train(&training).unwrap(),
+        0.5,
+        3,
+    ));
+    assert_batch_equivalent(SessionModelDetector::new(
+        Logistic::train(&training, LogisticParams::default()).unwrap(),
+        0.5,
+        3,
+    ));
+    assert_batch_equivalent(SessionModelDetector::new(
+        Cart::train(&training, CartParams::default()).unwrap(),
+        0.5,
+        3,
+    ));
+}
+
+#[test]
+fn committee_batch_path_is_equivalent() {
+    // Committee is not Clone (boxed members), so compare two fresh builds.
+    let log = log();
+    let mut per_entry = Committee::stock_pair(1);
+    let expected = reference(&mut per_entry, &log);
+    for chunk in [log.len(), 257, 1] {
+        let mut committee = Committee::stock_pair(1);
+        let got = batched(&mut committee, &log, chunk);
+        assert_eq!(got.len(), expected.len());
+        assert!(
+            got.iter()
+                .zip(&expected)
+                .all(|(g, e)| g.alert == e.alert && (g.score - e.score).abs() < 1e-6),
+            "committee diverged with chunk {chunk}"
+        );
+        // Member accounting must match the per-entry path too.
+        assert_eq!(committee.requests_seen(), per_entry.requests_seen());
+        assert_eq!(
+            committee.member_alert_counts(),
+            per_entry.member_alert_counts()
+        );
+    }
+}
+
+#[test]
+fn batch_path_amortization_preserves_introspection_counters() {
+    // The batched Sentinel/Arcane paths memoize identity lookups; the
+    // side-band counters (violator cache, rule hits) must still match the
+    // per-entry path exactly.
+    let log = log();
+    let mut a = Sentinel::stock();
+    let _ = reference(&mut a, &log);
+    let mut b = Sentinel::stock();
+    let _ = batched(&mut b, &log, 311);
+    assert_eq!(a.flagged_clients(), b.flagged_clients());
+    assert_eq!(a.trip_counts(), b.trip_counts());
+
+    let mut a = Arcane::stock();
+    let _ = reference(&mut a, &log);
+    let mut b = Arcane::stock();
+    let _ = batched(&mut b, &log, 311);
+    assert_eq!(a.rule_hits(), b.rule_hits());
+}

@@ -142,7 +142,11 @@ impl AlertVector {
     /// Panics when lengths differ.
     #[must_use]
     pub fn minus(&self, other: &Self) -> Self {
-        self.zip(other, |a, b| a & !b, format!("{}∖{}", self.name, other.name))
+        self.zip(
+            other,
+            |a, b| a & !b,
+            format!("{}∖{}", self.name, other.name),
+        )
     }
 
     /// Requests alerted by neither tool.

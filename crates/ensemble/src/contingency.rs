@@ -285,7 +285,14 @@ mod tests {
 
     #[test]
     fn rows_are_ordered_like_the_paper() {
-        let entries = vec![entry(302), entry(302), entry(200), entry(200), entry(200), entry(404)];
+        let entries = vec![
+            entry(302),
+            entry(302),
+            entry(200),
+            entry(200),
+            entry(200),
+            entry(404),
+        ];
         let alerts = AlertVector::from_bools("t", &[true; 6]);
         let rows = StatusBreakdown::of(&alerts, &entries).rows();
         assert_eq!(rows, vec![(200, 3), (302, 2), (404, 1)]);

@@ -54,7 +54,7 @@ pub mod topology;
 pub use adjudication::{KOutOfN, WeightedVote};
 pub use alerts::AlertVector;
 pub use contingency::{Contingency, MultiContingency, StatusBreakdown};
+pub use metrics::{AgreementDiversity, ConfusionMatrix, OracleDiversity, RocCurve, RocPoint};
 pub use rollup::{latency_by_actor, rollup_sessions, LatencySummary, SessionOutcome};
 pub use timeseries::{DailySeries, DayStats};
-pub use metrics::{AgreementDiversity, ConfusionMatrix, OracleDiversity, RocCurve, RocPoint};
 pub use topology::{run_parallel, run_serial, SerialMode, TopologyOutcome};

@@ -176,7 +176,9 @@ mod tests {
     #[test]
     fn constant_scores_give_auc_half() {
         let scores = [0.5f32; 10];
-        let truth = truth_of(&[true, false, true, false, true, false, true, false, true, false]);
+        let truth = truth_of(&[
+            true, false, true, false, true, false, true, false, true, false,
+        ]);
         let roc = RocCurve::from_scores(&scores, &truth).unwrap();
         assert!((roc.auc() - 0.5).abs() < 1e-12);
     }

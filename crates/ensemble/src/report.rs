@@ -42,7 +42,8 @@ impl TextTable {
     /// Appends one row. Rows shorter than the header are padded with empty
     /// cells; longer rows extend the column count.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
-        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
         self
     }
 
@@ -108,7 +109,7 @@ pub fn thousands(n: u64) -> String {
     let digits = n.to_string();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

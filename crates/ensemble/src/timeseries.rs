@@ -136,7 +136,13 @@ impl DailySeries {
             "Daily alerting behaviour ({} vs {})",
             self.first_name, self.second_name
         ));
-        t.columns(&["Day", "Requests", self.first_name.as_str(), self.second_name.as_str(), "Disagree"]);
+        t.columns(&[
+            "Day",
+            "Requests",
+            self.first_name.as_str(),
+            self.second_name.as_str(),
+            "Disagree",
+        ]);
         for (i, d) in self.days.iter().enumerate() {
             t.row_owned(vec![
                 self.day_label(i),
@@ -159,9 +165,7 @@ mod tests {
     fn entry(day: i64, sec: i64) -> LogEntry {
         LogEntry::builder()
             .addr(Ipv4Addr::new(10, 0, 0, 1))
-            .timestamp(
-                ClfTimestamp::PAPER_WINDOW_START.plus_seconds(day * SECONDS_PER_DAY + sec),
-            )
+            .timestamp(ClfTimestamp::PAPER_WINDOW_START.plus_seconds(day * SECONDS_PER_DAY + sec))
             .request("GET /x HTTP/1.1".parse().unwrap())
             .status(HttpStatus::OK)
             .user_agent("u")

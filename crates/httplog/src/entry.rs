@@ -243,7 +243,9 @@ impl LogEntryBuilder {
             request: self
                 .request
                 .ok_or_else(|| BuildLogEntryError::new("request"))?,
-            status: self.status.ok_or_else(|| BuildLogEntryError::new("status"))?,
+            status: self
+                .status
+                .ok_or_else(|| BuildLogEntryError::new("status"))?,
             bytes: self.bytes,
             referrer: self.referrer,
             user_agent: self.user_agent.unwrap_or_else(UserAgent::empty),
@@ -359,15 +361,15 @@ fn parse_line(line: &str) -> Result<LogEntry, ParseLogError> {
     let user = dash_to_none(cur.take_token()?);
 
     let ts_raw = cur.take_bracketed()?;
-    let timestamp: ClfTimestamp = ts_raw.parse().map_err(|_| {
-        cur.err(ParseLogErrorKind::InvalidTimestamp(ts_raw.to_owned()))
-    })?;
+    let timestamp: ClfTimestamp = ts_raw
+        .parse()
+        .map_err(|_| cur.err(ParseLogErrorKind::InvalidTimestamp(ts_raw.to_owned())))?;
     cur.expect_space("request")?;
 
     let req_raw = cur.take_quoted()?;
-    let request: RequestLine = req_raw.parse().map_err(|_| {
-        cur.err(ParseLogErrorKind::InvalidRequestLine(req_raw.to_owned()))
-    })?;
+    let request: RequestLine = req_raw
+        .parse()
+        .map_err(|_| cur.err(ParseLogErrorKind::InvalidRequestLine(req_raw.to_owned())))?;
     cur.expect_space("status")?;
 
     let status_tok = cur.take_token()?;
@@ -479,7 +481,8 @@ mod tests {
     #[test]
     fn accepts_plain_common_log_format() {
         // No referrer / user-agent fields at all (plain CLF).
-        let line = r#"10.0.0.1 - frank [11/Mar/2018:10:00:00 +0000] "GET /offers/3 HTTP/1.0" 200 2326"#;
+        let line =
+            r#"10.0.0.1 - frank [11/Mar/2018:10:00:00 +0000] "GET /offers/3 HTTP/1.0" 200 2326"#;
         let e = LogEntry::parse(line).unwrap();
         assert_eq!(e.user(), Some("frank"));
         assert_eq!(e.bytes(), Some(2326));
@@ -527,7 +530,10 @@ mod tests {
 
         let line = r#"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] "FETCH / HTTP/1.1" 200 1 "-" "-""#;
         let err = LogEntry::parse(line).unwrap_err();
-        assert!(matches!(err.kind(), ParseLogErrorKind::InvalidRequestLine(_)));
+        assert!(matches!(
+            err.kind(),
+            ParseLogErrorKind::InvalidRequestLine(_)
+        ));
 
         let line = r#"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 999 1 "-" "-""#;
         let err = LogEntry::parse(line).unwrap_err();

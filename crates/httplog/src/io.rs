@@ -128,12 +128,12 @@ impl<R: BufRead> Iterator for LogReader<R> {
                     if trimmed.is_empty() {
                         continue;
                     }
-                    return Some(LogEntry::parse(trimmed).map_err(|source| {
-                        ReadLogError::Parse {
+                    return Some(
+                        LogEntry::parse(trimmed).map_err(|source| ReadLogError::Parse {
                             line_no: self.line_no,
                             source,
-                        }
-                    }));
+                        }),
+                    );
                 }
                 Err(e) => {
                     self.done = true;
@@ -300,16 +300,13 @@ mod tests {
         }
         impl std::io::Read for FailingReader {
             fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
-                Err(io::Error::new(io::ErrorKind::Other, "disk on fire"))
+                Err(io::Error::other("disk on fire"))
             }
         }
         impl BufRead for FailingReader {
             fn fill_buf(&mut self) -> io::Result<&[u8]> {
-                if self.fed {
-                    Err(io::Error::new(io::ErrorKind::Other, "disk on fire"))
-                } else {
-                    Err(io::Error::new(io::ErrorKind::Other, "disk on fire"))
-                }
+                self.fed = true;
+                Err(io::Error::other("disk on fire"))
             }
             fn consume(&mut self, _amt: usize) {}
         }

@@ -112,7 +112,9 @@ impl FromStr for Cidr {
     type Err = ParseCidrError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseCidrError { input: s.to_owned() };
+        let err = || ParseCidrError {
+            input: s.to_owned(),
+        };
         let (addr, prefix) = s.split_once('/').ok_or_else(err)?;
         let addr: Ipv4Addr = addr.parse().map_err(|_| err())?;
         let prefix: u8 = prefix.parse().map_err(|_| err())?;
@@ -187,7 +189,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "1.2.3.4", "1.2.3.4/33", "1.2.3/24", "a.b.c.d/8", "1.2.3.4/-1"] {
+        for bad in [
+            "",
+            "1.2.3.4",
+            "1.2.3.4/33",
+            "1.2.3/24",
+            "a.b.c.d/8",
+            "1.2.3.4/-1",
+        ] {
             assert!(bad.parse::<Cidr>().is_err(), "accepted `{bad}`");
         }
     }

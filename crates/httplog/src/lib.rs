@@ -39,8 +39,8 @@
 
 mod entry;
 mod error;
-pub mod ip;
 mod io;
+pub mod ip;
 mod method;
 mod path;
 mod request;

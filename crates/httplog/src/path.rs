@@ -39,7 +39,10 @@ impl ResourceClass {
     pub fn is_browser_initiated(self) -> bool {
         matches!(
             self,
-            ResourceClass::Page | ResourceClass::Asset | ResourceClass::Favicon | ResourceClass::Api
+            ResourceClass::Page
+                | ResourceClass::Asset
+                | ResourceClass::Favicon
+                | ResourceClass::Api
         )
     }
 }

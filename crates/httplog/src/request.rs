@@ -116,7 +116,9 @@ impl FromStr for RequestLine {
     type Err = ParseRequestLineError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseRequestLineError { input: s.to_owned() };
+        let err = || ParseRequestLineError {
+            input: s.to_owned(),
+        };
         let mut parts = s.split(' ');
         let method: HttpMethod = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
         let target = parts.next().ok_or_else(err)?;
@@ -127,7 +129,11 @@ impl FromStr for RequestLine {
         if parts.next().is_some() {
             return Err(err());
         }
-        Ok(RequestLine::new(method, RequestPath::parse(target), version))
+        Ok(RequestLine::new(
+            method,
+            RequestPath::parse(target),
+            version,
+        ))
     }
 }
 
@@ -158,10 +164,10 @@ mod tests {
             "",
             "GET",
             "GET /x",
-            "GET  HTTP/1.1",          // empty target collapses into parts
-            "get /x HTTP/1.1",        // lowercase method
-            "GET /x HTTP/3.0",        // unknown version
-            "GET /x HTTP/1.1 extra",  // trailing junk
+            "GET  HTTP/1.1",         // empty target collapses into parts
+            "get /x HTTP/1.1",       // lowercase method
+            "GET /x HTTP/3.0",       // unknown version
+            "GET /x HTTP/1.1 extra", // trailing junk
         ] {
             assert!(bad.parse::<RequestLine>().is_err(), "accepted `{bad}`");
         }

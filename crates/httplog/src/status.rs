@@ -18,9 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.class(), StatusClass::Success);
 /// assert_eq!(s.reason(), "OK");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct HttpStatus(u16);
 
@@ -196,7 +194,10 @@ mod tests {
 
     #[test]
     fn classes_follow_first_digit() {
-        assert_eq!(HttpStatus::new(101).unwrap().class(), StatusClass::Informational);
+        assert_eq!(
+            HttpStatus::new(101).unwrap().class(),
+            StatusClass::Informational
+        );
         assert_eq!(HttpStatus::OK.class(), StatusClass::Success);
         assert_eq!(HttpStatus::FOUND.class(), StatusClass::Redirection);
         assert_eq!(HttpStatus::NOT_FOUND.class(), StatusClass::ClientError);

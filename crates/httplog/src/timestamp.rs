@@ -39,9 +39,7 @@ const WEEKDAY_ABBREV: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Su
 /// assert_eq!(t.to_string(), "11/Mar/2018:06:25:14 +0000");
 /// # Ok::<(), divscrape_httplog::ParseTimestampError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ClfTimestamp {
     epoch_seconds: i64,

@@ -163,7 +163,9 @@ mod tests {
 
     #[test]
     fn classifies_crawlers_even_with_mozilla_prefix() {
-        let ua = UserAgent::new("Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)");
+        let ua = UserAgent::new(
+            "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)",
+        );
         assert_eq!(ua.family(), AgentFamily::KnownCrawler);
     }
 

@@ -1,0 +1,302 @@
+//! Pipeline composition.
+
+use divscrape_ensemble::{KOutOfN, WeightedVote};
+
+use crate::engine::Pipeline;
+use crate::sink::AlertSink;
+use crate::PipelineDetector;
+
+/// Default number of entries buffered before a chunk is processed.
+pub(crate) const DEFAULT_CHUNK_CAPACITY: usize = 4_096;
+
+/// How member verdicts combine into the pipeline's alert decision.
+///
+/// Both variants are the schemes of the paper's Section V, applied online;
+/// the arithmetic is the `divscrape-ensemble` implementation, so offline
+/// analyses and the live pipeline can never disagree about a rule's
+/// meaning.
+#[derive(Debug, Clone)]
+pub enum Adjudication {
+    /// Alert when at least `k` of the detectors alert (`1` = union, the
+    /// detector count = unanimity).
+    KOutOfN {
+        /// Required votes.
+        k: u32,
+    },
+    /// Alert when the weighted sum of alerting detectors reaches the
+    /// threshold.
+    Weighted {
+        /// One non-negative finite weight per detector, in composition
+        /// order.
+        weights: Vec<f64>,
+        /// The alarm threshold.
+        threshold: f64,
+    },
+}
+
+impl Adjudication {
+    /// The `k`-out-of-`n` rule; `n` is the number of composed detectors.
+    pub fn k_of_n(k: u32) -> Self {
+        Adjudication::KOutOfN { k }
+    }
+
+    /// The weighted-vote rule.
+    pub fn weighted(weights: Vec<f64>, threshold: f64) -> Self {
+        Adjudication::Weighted { weights, threshold }
+    }
+}
+
+/// A resolved adjudication rule (validated against the detector count).
+#[derive(Debug, Clone)]
+pub(crate) enum Rule {
+    KOutOfN(KOutOfN),
+    Weighted(WeightedVote),
+}
+
+impl Rule {
+    /// Label used for the combined alert vector (`"1oo2"`, `"weighted"`).
+    pub(crate) fn label(&self) -> String {
+        match self {
+            Rule::KOutOfN(rule) => rule.label(),
+            Rule::Weighted(_) => "weighted".to_owned(),
+        }
+    }
+}
+
+/// Why a [`PipelineBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// No detectors were composed.
+    NoDetectors,
+    /// `k` is zero or exceeds the number of detectors.
+    BadVoteCount {
+        /// The requested `k`.
+        k: u32,
+        /// The number of composed detectors.
+        n: u32,
+    },
+    /// The weighted rule is malformed (weight count, negative or
+    /// non-finite values).
+    BadWeights(String),
+    /// `workers == 0`.
+    NoWorkers,
+    /// `chunk_capacity == 0`.
+    NoChunkCapacity,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoDetectors => write!(f, "pipeline needs at least one detector"),
+            BuildError::BadVoteCount { k, n } => {
+                write!(
+                    f,
+                    "k-out-of-n needs 1 <= k <= n, got k={k} with {n} detectors"
+                )
+            }
+            BuildError::BadWeights(msg) => write!(f, "bad weighted vote: {msg}"),
+            BuildError::NoWorkers => write!(f, "pipeline needs at least one worker"),
+            BuildError::NoChunkCapacity => write!(f, "chunk capacity must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Composes detectors, an adjudication rule and alert sinks into a
+/// [`Pipeline`].
+///
+/// See the [crate docs](crate) for a full example.
+#[must_use = "a builder does nothing until built"]
+pub struct PipelineBuilder {
+    detectors: Vec<Box<dyn PipelineDetector>>,
+    adjudication: Adjudication,
+    sinks: Vec<Box<dyn AlertSink>>,
+    workers: usize,
+    chunk_capacity: usize,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for PipelineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field(
+                "detectors",
+                &self
+                    .detectors
+                    .iter()
+                    .map(|d| d.name().to_owned())
+                    .collect::<Vec<_>>(),
+            )
+            .field("adjudication", &self.adjudication)
+            .field("sinks", &self.sinks.len())
+            .field("workers", &self.workers)
+            .field("chunk_capacity", &self.chunk_capacity)
+            .finish()
+    }
+}
+
+impl PipelineBuilder {
+    /// A builder with no detectors, 1-out-of-n adjudication, one worker
+    /// and the default chunk capacity.
+    pub fn new() -> Self {
+        Self {
+            detectors: Vec::new(),
+            adjudication: Adjudication::k_of_n(1),
+            sinks: Vec::new(),
+            workers: 1,
+            chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+        }
+    }
+
+    /// Adds a detector stage. Order fixes the member order in reports and
+    /// the weight order for [`Adjudication::weighted`].
+    pub fn detector<D: PipelineDetector + 'static>(mut self, detector: D) -> Self {
+        self.detectors.push(Box::new(detector));
+        self
+    }
+
+    /// Adds an already-boxed detector stage.
+    pub fn boxed_detector(mut self, detector: Box<dyn PipelineDetector>) -> Self {
+        self.detectors.push(detector);
+        self
+    }
+
+    /// Sets the adjudication rule (default: 1-out-of-n).
+    pub fn adjudication(mut self, adjudication: Adjudication) -> Self {
+        self.adjudication = adjudication;
+        self
+    }
+
+    /// Adds an alert sink, invoked (in registration order) for every
+    /// adjudicated alert.
+    pub fn sink<S: AlertSink + 'static>(mut self, sink: S) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Sets the number of shard workers (default 1). With more than one,
+    /// every chunk is partitioned by client across `workers` threads, each
+    /// holding its own replica of every detector; verdicts are unchanged
+    /// thanks to the detectors' client-local state.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets how many entries are buffered before a chunk is processed
+    /// (default 4096). Any value produces identical verdicts; larger
+    /// chunks amortize dispatch and sharding overhead better.
+    pub fn chunk_capacity(mut self, capacity: usize) -> Self {
+        self.chunk_capacity = capacity;
+        self
+    }
+
+    /// Validates the composition and builds the [`Pipeline`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the composition is empty or the
+    /// adjudication rule, worker count or chunk capacity is invalid.
+    pub fn build(self) -> Result<Pipeline, BuildError> {
+        let n = self.detectors.len();
+        if n == 0 {
+            return Err(BuildError::NoDetectors);
+        }
+        if self.workers == 0 {
+            return Err(BuildError::NoWorkers);
+        }
+        if self.chunk_capacity == 0 {
+            return Err(BuildError::NoChunkCapacity);
+        }
+        let rule = match &self.adjudication {
+            Adjudication::KOutOfN { k } => Rule::KOutOfN(
+                KOutOfN::new(*k, n as u32)
+                    .ok_or(BuildError::BadVoteCount { k: *k, n: n as u32 })?,
+            ),
+            Adjudication::Weighted { weights, threshold } => {
+                if weights.len() != n {
+                    return Err(BuildError::BadWeights(format!(
+                        "{} weights for {n} detectors",
+                        weights.len()
+                    )));
+                }
+                Rule::Weighted(
+                    WeightedVote::new(weights.clone(), *threshold)
+                        .map_err(BuildError::BadWeights)?,
+                )
+            }
+        };
+        Ok(Pipeline::assemble(
+            self.detectors,
+            rule,
+            self.sinks,
+            self.workers,
+            self.chunk_capacity,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_detect::{Arcane, Sentinel};
+
+    #[test]
+    fn empty_composition_is_rejected() {
+        assert!(matches!(
+            PipelineBuilder::new().build().unwrap_err(),
+            BuildError::NoDetectors
+        ));
+    }
+
+    #[test]
+    fn vote_count_is_validated() {
+        let err = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .adjudication(Adjudication::k_of_n(2))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::BadVoteCount { k: 2, n: 1 });
+        assert!(PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .adjudication(Adjudication::k_of_n(0))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn weights_are_validated() {
+        let err = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .adjudication(Adjudication::weighted(vec![1.0], 1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::BadWeights(_)));
+        let err = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .adjudication(Adjudication::weighted(vec![-1.0], 1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::BadWeights(_)));
+    }
+
+    #[test]
+    fn degenerate_runtime_parameters_are_rejected() {
+        let base = || PipelineBuilder::new().detector(Sentinel::stock());
+        assert_eq!(
+            base().workers(0).build().unwrap_err(),
+            BuildError::NoWorkers
+        );
+        assert_eq!(
+            base().chunk_capacity(0).build().unwrap_err(),
+            BuildError::NoChunkCapacity
+        );
+    }
+}

@@ -1,0 +1,473 @@
+//! The pipeline engine: chunked, client-sharded streaming execution.
+
+use divscrape_detect::parallel::run_index_runs;
+use divscrape_detect::{Sessionizer, Verdict};
+use divscrape_ensemble::AlertVector;
+use divscrape_httplog::LogEntry;
+
+use crate::builder::Rule;
+use crate::sink::{Alert, AlertSink};
+use crate::PipelineDetector;
+
+/// A composed streaming detection pipeline. Built by
+/// [`PipelineBuilder`](crate::PipelineBuilder); see the [crate docs](crate)
+/// for the model and a quickstart.
+///
+/// Entries are buffered until the chunk capacity is reached, then the
+/// chunk runs through every detector (client-sharded across workers when
+/// configured), the adjudication rule combines the member verdicts, sinks
+/// fire for every adjudicated alert, and the per-entry outcomes accumulate
+/// until [`drain`](Self::drain) collects them. Chunk boundaries, push
+/// granularity and worker count never change any verdict.
+pub struct Pipeline {
+    workers: Vec<WorkerState>,
+    names: Vec<String>,
+    rule: Rule,
+    sinks: Vec<Box<dyn AlertSink>>,
+    chunk_capacity: usize,
+    buffer: Vec<LogEntry>,
+    acc_combined: Vec<bool>,
+    acc_members: Vec<Vec<bool>>,
+    /// Entries processed through flushes so far; feed-order index base for
+    /// the buffered entries.
+    fed: u64,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("members", &self.names)
+            .field("rule", &self.rule.label())
+            .field("workers", &self.workers.len())
+            .field("chunk_capacity", &self.chunk_capacity)
+            .field("buffered", &self.buffer.len())
+            .field("processed", &self.fed)
+            .finish()
+    }
+}
+
+/// One shard worker's replicas of every composed detector.
+struct WorkerState {
+    detectors: Vec<Box<dyn PipelineDetector>>,
+}
+
+impl WorkerState {
+    /// Runs this worker's shard of a chunk through every replica.
+    ///
+    /// `indices` is the sorted list of chunk positions owned by this
+    /// shard; [`run_index_runs`] batches maximal runs of consecutive
+    /// positions through each detector's fast path. Returns, per
+    /// detector, the `(chunk_position, verdict)` pairs.
+    fn process(&mut self, chunk: &[LogEntry], indices: &[usize]) -> Vec<Vec<(usize, Verdict)>> {
+        self.detectors
+            .iter_mut()
+            .map(|det| run_index_runs(det, chunk, indices))
+            .collect()
+    }
+}
+
+/// What a [`Pipeline::drain`] returns: the adjudicated alert vector and
+/// one alert vector per member, all in feed order — directly consumable by
+/// the `divscrape-ensemble` contingency, diversity and metric analyses.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The adjudicated (combined) alerts, labelled with the rule
+    /// (`"1oo2"`, `"weighted"`, ...).
+    pub combined: AlertVector,
+    /// Per-member alerts, labelled with the detector names, in
+    /// composition order.
+    pub members: Vec<AlertVector>,
+}
+
+impl PipelineReport {
+    /// Number of requests covered by this report.
+    pub fn requests(&self) -> usize {
+        self.combined.len()
+    }
+
+    /// The member vector with the given detector name, if present.
+    pub fn member(&self, name: &str) -> Option<&AlertVector> {
+        self.members.iter().find(|m| m.name() == name)
+    }
+}
+
+impl Pipeline {
+    /// Assembles a validated pipeline (called by the builder).
+    pub(crate) fn assemble(
+        detectors: Vec<Box<dyn PipelineDetector>>,
+        rule: Rule,
+        sinks: Vec<Box<dyn AlertSink>>,
+        workers: usize,
+        chunk_capacity: usize,
+    ) -> Self {
+        let names: Vec<String> = detectors.iter().map(|d| d.name().to_owned()).collect();
+        let n_members = names.len();
+        let mut worker_states = Vec::with_capacity(workers);
+        // Replicas for the extra shard workers; worker 0 owns the
+        // originals.
+        for _ in 1..workers {
+            worker_states.push(WorkerState {
+                detectors: detectors.iter().map(|d| d.clone_boxed()).collect(),
+            });
+        }
+        worker_states.insert(0, WorkerState { detectors });
+        Self {
+            workers: worker_states,
+            names,
+            rule,
+            sinks,
+            chunk_capacity,
+            buffer: Vec::new(),
+            acc_combined: Vec::new(),
+            acc_members: vec![Vec::new(); n_members],
+            fed: 0,
+        }
+    }
+
+    /// The composed detector names, in composition order.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.names.iter().map(String::as_str).collect()
+    }
+
+    /// Number of shard workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Entries accepted so far (processed plus still buffered).
+    pub fn requests_seen(&self) -> u64 {
+        self.fed + self.buffer.len() as u64
+    }
+
+    /// Entries buffered and not yet run through the detectors.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Feeds one entry, flushing a chunk if the buffer is full.
+    pub fn push(&mut self, entry: LogEntry) {
+        self.buffer.push(entry);
+        self.flush_full_chunks();
+    }
+
+    /// Feeds a batch of entries, flushing as chunks fill. Any chunking of
+    /// a log — including one entry at a time — yields identical verdicts.
+    /// A push larger than the chunk capacity is processed as several
+    /// capacity-sized chunks, so per-flush scratch memory stays bounded by
+    /// the configured capacity regardless of push size.
+    pub fn push_batch(&mut self, entries: &[LogEntry]) {
+        self.buffer.extend_from_slice(entries);
+        self.flush_full_chunks();
+    }
+
+    /// Processes anything still buffered and returns everything
+    /// accumulated since construction (or the previous drain).
+    ///
+    /// Detector state is untouched — the stream can keep going, and
+    /// subsequent reports continue from the same per-client evidence.
+    pub fn drain(&mut self) -> PipelineReport {
+        self.flush_full_chunks();
+        if !self.buffer.is_empty() {
+            let residue = std::mem::take(&mut self.buffer);
+            self.process_chunk(residue);
+        }
+        let combined =
+            AlertVector::from_bools(self.rule.label(), &std::mem::take(&mut self.acc_combined));
+        let members = self
+            .names
+            .iter()
+            .zip(self.acc_members.iter_mut())
+            .map(|(name, acc)| AlertVector::from_bools(name, &std::mem::take(acc)))
+            .collect();
+        PipelineReport { combined, members }
+    }
+
+    /// Clears all state: detector evidence, buffered entries, accumulated
+    /// results and the feed-order counter. Sinks are kept but see a fresh
+    /// stream.
+    pub fn reset(&mut self) {
+        for worker in &mut self.workers {
+            for det in &mut worker.detectors {
+                det.reset();
+            }
+        }
+        self.buffer.clear();
+        self.acc_combined.clear();
+        for acc in &mut self.acc_members {
+            acc.clear();
+        }
+        self.fed = 0;
+    }
+
+    /// Processes capacity-sized chunks while the buffer holds at least one.
+    fn flush_full_chunks(&mut self) {
+        while self.buffer.len() >= self.chunk_capacity {
+            let chunk: Vec<LogEntry> = self.buffer.drain(..self.chunk_capacity).collect();
+            self.process_chunk(chunk);
+        }
+    }
+
+    /// Runs one chunk through the detectors, adjudicates, fires sinks and
+    /// accumulates the outcome.
+    fn process_chunk(&mut self, chunk: Vec<LogEntry>) {
+        let n_detectors = self.names.len();
+
+        let columns: Vec<Vec<Verdict>> = if self.workers.len() == 1 {
+            self.workers[0]
+                .detectors
+                .iter_mut()
+                .map(|det| {
+                    let mut col = Vec::with_capacity(chunk.len());
+                    det.observe_batch(&chunk, &mut col);
+                    col
+                })
+                .collect()
+        } else {
+            // Client-sharded execution: partition the chunk's positions by
+            // client, give each shard to its worker's replicas, and write
+            // the verdicts back to chunk positions. Client-local detector
+            // state makes this verdict-identical to the sequential path.
+            let shard_count = self.workers.len();
+            let mut shards: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+            for (i, e) in chunk.iter().enumerate() {
+                shards[Sessionizer::shard_of(&e.client_key(), shard_count)].push(i);
+            }
+            let mut columns = vec![vec![Verdict::CLEAR; chunk.len()]; n_detectors];
+            let chunk_ref = &chunk;
+            let results: Vec<Vec<Vec<(usize, Verdict)>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .zip(&shards)
+                    .filter(|(_, shard)| !shard.is_empty())
+                    .map(|(worker, shard)| scope.spawn(move || worker.process(chunk_ref, shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pipeline worker panicked"))
+                    .collect()
+            });
+            for per_detector in results {
+                for (d, pairs) in per_detector.into_iter().enumerate() {
+                    for (i, v) in pairs {
+                        columns[d][i] = v;
+                    }
+                }
+            }
+            columns
+        };
+
+        // Online adjudication, reusing the ensemble rules verbatim.
+        let member_bools: Vec<Vec<bool>> = columns
+            .iter()
+            .map(|col| col.iter().map(|v| v.alert).collect())
+            .collect();
+        let vectors: Vec<AlertVector> = member_bools
+            .iter()
+            .zip(&self.names)
+            .map(|(bools, name)| AlertVector::from_bools(name, bools))
+            .collect();
+        let refs: Vec<&AlertVector> = vectors.iter().collect();
+        let combined = match &self.rule {
+            Rule::KOutOfN(rule) => rule.apply(&refs),
+            Rule::Weighted(rule) => rule.apply(&refs),
+        };
+        let combined_bools = combined.to_bools();
+
+        if !self.sinks.is_empty() {
+            let mut votes = vec![false; n_detectors];
+            for (i, entry) in chunk.iter().enumerate() {
+                if combined_bools[i] {
+                    for (vote, member) in votes.iter_mut().zip(&member_bools) {
+                        *vote = member[i];
+                    }
+                    let alert = Alert {
+                        index: self.fed + i as u64,
+                        entry,
+                        votes: &votes,
+                    };
+                    for sink in &mut self.sinks {
+                        sink.on_alert(&alert);
+                    }
+                }
+            }
+        }
+
+        self.fed += chunk.len() as u64;
+        self.acc_combined.extend_from_slice(&combined_bools);
+        for (acc, member) in self.acc_members.iter_mut().zip(member_bools) {
+            acc.extend(member);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adjudication, CollectingSink, CountingSink, PipelineBuilder};
+    use divscrape_detect::baselines::RateLimiter;
+    use divscrape_detect::{run_alerts, Arcane, Sentinel};
+    use divscrape_ensemble::KOutOfN;
+    use divscrape_traffic::{generate, ScenarioConfig};
+
+    fn offline_kofn(log: &divscrape_traffic::LabelledLog, k: u32) -> Vec<bool> {
+        let sentinel = AlertVector::from_bools(
+            "sentinel",
+            &run_alerts(&mut Sentinel::stock(), log.entries()),
+        );
+        let arcane =
+            AlertVector::from_bools("arcane", &run_alerts(&mut Arcane::stock(), log.entries()));
+        KOutOfN::new(k, 2)
+            .unwrap()
+            .apply(&[&sentinel, &arcane])
+            .to_bools()
+    }
+
+    #[test]
+    fn matches_the_offline_path_for_both_vote_rules() {
+        let log = generate(&ScenarioConfig::tiny(11)).unwrap();
+        for k in 1..=2u32 {
+            let mut pipeline = PipelineBuilder::new()
+                .detector(Sentinel::stock())
+                .detector(Arcane::stock())
+                .adjudication(Adjudication::k_of_n(k))
+                .build()
+                .unwrap();
+            pipeline.push_batch(log.entries());
+            let report = pipeline.drain();
+            assert_eq!(report.combined.to_bools(), offline_kofn(&log, k), "k={k}");
+            assert_eq!(report.requests(), log.len());
+        }
+    }
+
+    #[test]
+    fn single_entry_pushes_and_tiny_chunks_change_nothing() {
+        let log = generate(&ScenarioConfig::tiny(12)).unwrap();
+        let expected = offline_kofn(&log, 1);
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .chunk_capacity(7)
+            .build()
+            .unwrap();
+        for e in log.entries() {
+            pipeline.push(e.clone());
+        }
+        assert_eq!(pipeline.drain().combined.to_bools(), expected);
+    }
+
+    #[test]
+    fn weighted_rule_runs_online() {
+        let log = generate(&ScenarioConfig::tiny(13)).unwrap();
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .adjudication(Adjudication::weighted(vec![1.0, 1.0], 2.0))
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let report = pipeline.drain();
+        // Unit weights with threshold 2 is exactly 2-out-of-2.
+        assert_eq!(report.combined.to_bools(), offline_kofn(&log, 2));
+        assert_eq!(report.combined.name(), "weighted");
+    }
+
+    #[test]
+    fn drain_is_incremental_and_state_persists() {
+        let log = generate(&ScenarioConfig::tiny(14)).unwrap();
+        let expected = offline_kofn(&log, 1);
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .build()
+            .unwrap();
+        let (a, b) = log.entries().split_at(log.len() / 3);
+        pipeline.push_batch(a);
+        let first = pipeline.drain();
+        pipeline.push_batch(b);
+        let second = pipeline.drain();
+        let mut all = first.combined.to_bools();
+        all.extend(second.combined.to_bools());
+        // Two drains still cover one continuous stream: detector evidence
+        // carried across the drain boundary.
+        assert_eq!(all, expected);
+        assert_eq!(pipeline.requests_seen(), log.len() as u64);
+    }
+
+    #[test]
+    fn sinks_fire_once_per_adjudicated_alert_in_feed_order() {
+        let log = generate(&ScenarioConfig::tiny(15)).unwrap();
+        let counter = CountingSink::new();
+        let count = counter.handle();
+        let collector = CollectingSink::new();
+        let indices = collector.handle();
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .sink(counter)
+            .sink(collector)
+            .chunk_capacity(113)
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let report = pipeline.drain();
+        let expected: Vec<u64> = report
+            .combined
+            .to_bools()
+            .iter()
+            .enumerate()
+            .filter(|(_, alert)| **alert)
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(
+            count.load(std::sync::atomic::Ordering::Relaxed),
+            expected.len() as u64
+        );
+        assert_eq!(*indices.lock().unwrap(), expected);
+    }
+
+    #[test]
+    fn closure_sinks_and_extra_members_compose() {
+        let log = generate(&ScenarioConfig::tiny(16)).unwrap();
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .detector(RateLimiter::new(40))
+            .adjudication(Adjudication::k_of_n(2))
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let report = pipeline.drain();
+        assert_eq!(report.members.len(), 3);
+        assert!(report.member("rate-limiter").is_some());
+        assert!(report.member("nonsense").is_none());
+    }
+
+    #[test]
+    fn reset_restarts_the_stream() {
+        let log = generate(&ScenarioConfig::tiny(17)).unwrap();
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let first = pipeline.drain();
+        pipeline.reset();
+        assert_eq!(pipeline.requests_seen(), 0);
+        pipeline.push_batch(log.entries());
+        let second = pipeline.drain();
+        assert_eq!(first.combined.to_bools(), second.combined.to_bools());
+    }
+
+    #[test]
+    fn empty_drain_is_well_formed() {
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .build()
+            .unwrap();
+        let report = pipeline.drain();
+        assert_eq!(report.requests(), 0);
+        assert_eq!(report.members.len(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Streaming detection pipeline for the `divscrape` reproduction.
+//!
+//! The paper's experiments run two detectors over a fully materialized log
+//! and adjudicate offline. Production deployments do not get that luxury:
+//! entries arrive incrementally, detectors run side by side, and the
+//! adjudicated verdict has to come out of one composed system. This crate
+//! is that system — the deployable form of the paper's diverse-detector
+//! study:
+//!
+//! * [`PipelineBuilder`] composes any set of [`Detector`]s with an online
+//!   adjudication stage ([`Adjudication::k_of_n`] or
+//!   [`Adjudication::weighted`], reusing the rules from
+//!   `divscrape-ensemble`) and any number of [`AlertSink`]s.
+//! * [`Pipeline`] accepts traffic incrementally — [`push`](Pipeline::push)
+//!   one entry, [`push_batch`](Pipeline::push_batch) a slice — buffers it
+//!   into chunks, and runs each chunk through every detector's batched
+//!   fast path ([`Detector::observe_batch`]).
+//! * With [`workers(n)`](PipelineBuilder::workers), each chunk is
+//!   client-sharded across `n` worker threads, each owning its own replica
+//!   of every detector. Because every stock detector keeps its state per
+//!   client, the output is **bit-identical** to a sequential run — the
+//!   same invariant `divscrape_detect::parallel` exploits, here with
+//!   detector state persisting across chunks.
+//! * [`drain`](Pipeline::drain) flushes and returns a [`PipelineReport`]
+//!   with the adjudicated [`AlertVector`] plus one per member, ready for
+//!   the contingency/diversity analyses in `divscrape-ensemble`.
+//!
+//! # Quickstart: stream a log through the paper's two tools
+//!
+//! ```
+//! use divscrape_detect::{Arcane, Sentinel};
+//! use divscrape_pipeline::{Adjudication, PipelineBuilder};
+//! use divscrape_traffic::{generate, ScenarioConfig};
+//!
+//! let log = generate(&ScenarioConfig::tiny(2018))?;
+//!
+//! let mut pipeline = PipelineBuilder::new()
+//!     .detector(Sentinel::stock())
+//!     .detector(Arcane::stock())
+//!     .adjudication(Adjudication::k_of_n(1)) // alert when either tool does
+//!     .workers(2)
+//!     .build()
+//!     .map_err(|e| e.to_string())?;
+//!
+//! // Feed incrementally — chunk boundaries never change verdicts.
+//! for chunk in log.entries().chunks(257) {
+//!     pipeline.push_batch(chunk);
+//! }
+//! let report = pipeline.drain();
+//!
+//! assert_eq!(report.combined.len(), log.len());
+//! assert_eq!(report.members.len(), 2);
+//! // The 1-of-2 union alerts at least as often as either tool alone.
+//! assert!(report.combined.count() >= report.members[0].count());
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod engine;
+mod sink;
+
+pub use builder::{Adjudication, BuildError, PipelineBuilder};
+pub use engine::{Pipeline, PipelineReport};
+pub use sink::{Alert, AlertSink, CollectingSink, CountingSink};
+
+use divscrape_detect::Detector;
+
+/// An object-safe, replicable detector: what a [`Pipeline`] runs.
+///
+/// Implemented automatically for every `Detector + Clone + Send` type, so
+/// all stock detectors and any user detector deriving `Clone` qualify.
+/// Replication is what lets the sharded driver give each worker thread its
+/// own instance while presenting one logical detector.
+pub trait PipelineDetector: Detector + Send {
+    /// Clones this detector behind a box.
+    fn clone_boxed(&self) -> Box<dyn PipelineDetector>;
+}
+
+impl<D: Detector + Clone + Send + 'static> PipelineDetector for D {
+    fn clone_boxed(&self) -> Box<dyn PipelineDetector> {
+        Box::new(self.clone())
+    }
+}

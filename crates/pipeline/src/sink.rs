@@ -1,0 +1,102 @@
+//! Alert sinks: where adjudicated alerts go.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use divscrape_httplog::LogEntry;
+
+/// One adjudicated alert, borrowed from the chunk being flushed.
+#[derive(Debug, Clone, Copy)]
+pub struct Alert<'a> {
+    /// 0-based position of the entry in the pipeline's feed order.
+    pub index: u64,
+    /// The alerting log entry.
+    pub entry: &'a LogEntry,
+    /// Which members voted to alert, in composition order.
+    pub votes: &'a [bool],
+}
+
+impl Alert<'_> {
+    /// Number of members that voted to alert.
+    pub fn vote_count(&self) -> usize {
+        self.votes.iter().filter(|v| **v).count()
+    }
+}
+
+/// Receives every adjudicated alert, in feed order.
+///
+/// Sinks run on the pipeline's driver thread during a chunk flush; a slow
+/// sink backpressures the pipeline, which is the honest behavior for an
+/// alerting stage. Closures qualify: any `FnMut(&Alert) + Send` is a sink.
+pub trait AlertSink: Send {
+    /// Called once per adjudicated alert.
+    fn on_alert(&mut self, alert: &Alert<'_>);
+}
+
+impl<F: FnMut(&Alert<'_>) + Send> AlertSink for F {
+    fn on_alert(&mut self, alert: &Alert<'_>) {
+        self(alert)
+    }
+}
+
+/// A sink that counts alerts, observable from outside the pipeline.
+///
+/// ```
+/// use divscrape_pipeline::CountingSink;
+///
+/// let sink = CountingSink::new();
+/// let handle = sink.handle();
+/// // ... builder.sink(sink) ... run the pipeline ...
+/// assert_eq!(handle.load(std::sync::atomic::Ordering::Relaxed), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    count: Arc<AtomicU64>,
+}
+
+impl CountingSink {
+    /// A sink with a fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle to the live counter; stays valid after the sink moves into
+    /// a pipeline.
+    pub fn handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.count)
+    }
+}
+
+impl AlertSink for CountingSink {
+    fn on_alert(&mut self, _alert: &Alert<'_>) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A sink that records the feed-order indices of all alerts.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    indices: Arc<Mutex<Vec<u64>>>,
+}
+
+impl CollectingSink {
+    /// A sink with a fresh store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle to the live store; stays valid after the sink moves into a
+    /// pipeline.
+    pub fn handle(&self) -> Arc<Mutex<Vec<u64>>> {
+        Arc::clone(&self.indices)
+    }
+}
+
+impl AlertSink for CollectingSink {
+    fn on_alert(&mut self, alert: &Alert<'_>) {
+        self.indices
+            .lock()
+            .expect("sink store poisoned")
+            .push(alert.index);
+    }
+}

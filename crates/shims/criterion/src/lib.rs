@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock bench harness exposing the subset of the criterion
+//! API this workspace's benches use: [`Criterion::benchmark_group`],
+//! group `sample_size`/`throughput`/`bench_function`/`finish`,
+//! [`Bencher::iter`] and [`Bencher::iter_batched`], [`Throughput`],
+//! [`BatchSize`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — mean over `sample_size` timed
+//! iterations after one warm-up — and results print one line per
+//! benchmark. When invoked by `cargo test` (criterion-style `--test`
+//! mode), every benchmark runs a single iteration as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Bench registry and runtime options.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_owned()),
+            }
+        }
+        Self { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let group_name = name.to_owned();
+        self.run_one(&group_name, None, 10, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        group: &str,
+        bench: Option<&str>,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let full = match bench {
+            Some(b) => format!("{group}/{b}"),
+            None => group.to_owned(),
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            iterations: if self.test_mode {
+                1
+            } else {
+                sample_size.max(1)
+            },
+            elapsed: Duration::ZERO,
+            iters_done: 0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{full}: ok (test mode)");
+            return;
+        }
+        let per_iter = if bencher.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iters_done as u32
+        };
+        match throughput {
+            Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!("{full}: {per_iter:?}/iter ({rate:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) if !per_iter.is_zero() => {
+                let rate = n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0);
+                println!("{full}: {per_iter:?}/iter ({rate:.1} MiB/s)");
+            }
+            _ => println!("{full}: {per_iter:?}/iter"),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let bench = name.into();
+        self.criterion.run_one(
+            &self.name,
+            Some(&bench),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Times closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: usize,
+    elapsed: Duration,
+    iters_done: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once for warm-up then `sample_size`
+    /// timed iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters_done += self.iterations;
+    }
+
+    /// Like [`iter`](Self::iter) with untimed per-iteration setup.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+        }
+    }
+}
+
+/// Collects bench functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

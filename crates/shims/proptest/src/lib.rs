@@ -1,0 +1,348 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic mini property-test runner. It supports exactly the
+//! surface this workspace's tests use:
+//!
+//! * the [`proptest!`] macro (`#[test] fn name(pat in strategy, ..) { .. }`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * range strategies (`0u8..4`, `1u8..=254`, `0.0f32..1.0`, ...),
+//! * `any::<bool>()`, [`collection::vec`], [`sample::select`],
+//!   [`option::of`], `num::i64::ANY`, and tuples of strategies.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the generated values left to the assertion message. Each test runs
+//! [`CASES`] cases from a seed derived from the test's name, so runs are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng, StandardSample};
+
+/// Number of cases each property runs.
+pub const CASES: usize = 64;
+
+/// Deterministic per-test random source.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from the test's name (FNV-1a), so every test
+    /// has its own reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a generated case did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )+};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a default "anything" strategy, used via [`any`].
+pub trait Arbitrary {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        bool::standard_sample(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$t>::standard_sample(rng)
+            }
+        }
+    )+};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy: arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for vectors with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: vectors of generated elements.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty length range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value sets.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy over a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    /// `select(values)`: one of the given values, uniformly.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select on empty set");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<T>` (None one time in four, like proptest's
+    /// default weighting of 1:3).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `of(inner)`: `Some` of the inner strategy, or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric "anything" strategies.
+
+    /// `i64` strategies.
+    pub mod i64 {
+        use crate::{Strategy, TestRng};
+        use rand::RngCore;
+
+        /// Strategy for any `i64`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyI64;
+
+        /// Any `i64`, uniformly.
+        pub const ANY: AnyI64 = AnyI64;
+
+        impl Strategy for AnyI64 {
+            type Value = i64;
+            fn generate(&self, rng: &mut TestRng) -> i64 {
+                rng.next_u64() as i64
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn` runs [`CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( #[test] $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted = 0usize;
+                let mut attempts = 0usize;
+                while accepted < $crate::CASES {
+                    attempts += 1;
+                    assert!(
+                        attempts <= $crate::CASES * 20,
+                        "prop_assume! rejected too many cases"
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let case = || -> $crate::TestCaseResult { $body Ok(()) };
+                    let outcome = case();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::TestCaseError::Reject) => continue,
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Rejects the current case, drawing a fresh one instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_generate_in_bounds(
+            x in 3u8..10,
+            v in crate::collection::vec(any::<bool>(), 1..5),
+            s in crate::sample::select(vec![2u16, 4, 8]),
+            o in crate::option::of(0u32..3),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..5).contains(&v.len()));
+            prop_assert!([2, 4, 8].contains(&s));
+            if let Some(o) = o {
+                prop_assert!(o < 3);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(x in 0u8..4) {
+            prop_assume!(x != 0);
+            prop_assert_ne!(x, 0);
+        }
+    }
+}

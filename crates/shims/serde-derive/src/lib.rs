@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so
+//! that, when built against the real serde in a networked environment, they
+//! serialize out of the box. This build environment has no crates.io
+//! access, so these derives accept the same syntax — including `#[serde(..)]`
+//! helper attributes — and expand to nothing. The one place that actually
+//! needs JSON (the dataset sidecar in `divscrape::dataset`) hand-rolls it.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

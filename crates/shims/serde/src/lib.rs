@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker traits named `Serialize`/`Deserialize` and re-exports
+//! the no-op derive macros of the same names, so `use serde::{Deserialize,
+//! Serialize}` + `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! Nothing in this workspace bounds on these traits (the dataset sidecar
+//! hand-rolls its JSON), so no real data model is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

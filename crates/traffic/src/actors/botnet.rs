@@ -85,11 +85,7 @@ impl BotnetConfig {
 }
 
 /// Draws the user agent a node of this campaign presents.
-pub fn campaign_user_agent(
-    campaign: Campaign,
-    rng: &mut StdRng,
-    browsers: &BrowserPool,
-) -> String {
+pub fn campaign_user_agent(campaign: Campaign, rng: &mut StdRng, browsers: &BrowserPool) -> String {
     match campaign {
         Campaign::Toolkit => SCRAPER_TOOLS[rng.gen_range(0..SCRAPER_TOOLS.len())].to_owned(),
         Campaign::Spoofed => BOTNET_SPOOFED_BROWSER.to_owned(),
@@ -111,9 +107,7 @@ pub fn plan_session(
     user_agent: String,
 ) -> SessionPlan {
     let len_dist = Pareto::new(cfg.session_len_mean * 0.55, 2.2);
-    let len = len_dist
-        .sample(rng)
-        .clamp(60.0, cfg.session_len_mean * 6.0) as usize;
+    let len = len_dist.sample(rng).clamp(60.0, cfg.session_len_mean * 6.0) as usize;
     let interval = LogNormal::from_mean_cv(cfg.interval_mean_secs, 0.45);
 
     let mut requests = Vec::with_capacity(len);
@@ -149,7 +143,11 @@ pub fn plan_session(
         let (status, bytes) = {
             let u: f64 = rng.gen();
             if u < 0.971_40 {
-                let b = if is_api { api_bytes(rng) } else { page_bytes(rng) };
+                let b = if is_api {
+                    api_bytes(rng)
+                } else {
+                    page_bytes(rng)
+                };
                 (HttpStatus::OK, Some(b))
             } else if u < 0.999_20 {
                 (HttpStatus::FOUND, Some(redirect_bytes()))
@@ -214,9 +212,10 @@ mod tests {
     fn bots_never_fetch_assets() {
         for campaign in [Campaign::Toolkit, Campaign::Spoofed, Campaign::Residential] {
             let plan = plan_one(campaign, 2);
-            assert!(plan.requests.iter().all(|r| {
-                RequestPath::parse(&r.path).resource_class() != ResourceClass::Asset
-            }));
+            assert!(plan
+                .requests
+                .iter()
+                .all(|r| { RequestPath::parse(&r.path).resource_class() != ResourceClass::Asset }));
         }
     }
 

@@ -68,8 +68,8 @@ pub fn plan_session(
     client_id: u32,
     identity: CrawlerIdentity,
 ) -> SessionPlan {
-    let len = LogNormal::from_mean_cv(cfg.pages_mean, 0.3)
-        .sample_clamped(rng, 40.0, 600.0) as usize;
+    let len =
+        LogNormal::from_mean_cv(cfg.pages_mean, 0.3).sample_clamped(rng, 40.0, 600.0) as usize;
     let interval = LogNormal::from_mean_cv(cfg.interval_mean_secs, 0.5);
 
     let mut requests = Vec::with_capacity(len + 2);

@@ -191,8 +191,7 @@ pub fn plan_session(
                     (HttpStatus::OK, Some(asset_bytes(rng)))
                 };
                 requests.push(
-                    RequestSpec::get(asset_clock, asset, astatus, abytes)
-                        .with_site_referrer(&path),
+                    RequestSpec::get(asset_clock, asset, astatus, abytes).with_site_referrer(&path),
                 );
             }
             clock = asset_clock;
@@ -217,8 +216,13 @@ pub fn plan_session(
         };
         requests.push(spec.clone());
         clock += think.sample_clamped(rng, 2.0, 120.0);
-        spec = RequestSpec::get(clock, funnel[1].clone(), HttpStatus::OK, Some(page_bytes(rng)))
-            .with_site_referrer(&funnel[0]);
+        spec = RequestSpec::get(
+            clock,
+            funnel[1].clone(),
+            HttpStatus::OK,
+            Some(page_bytes(rng)),
+        )
+        .with_site_referrer(&funnel[0]);
         requests.push(spec);
         clock += think.sample_clamped(rng, 5.0, 300.0);
         // Most visitors abandon before checkout.

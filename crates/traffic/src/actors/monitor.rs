@@ -48,7 +48,10 @@ pub fn plan_session(
     for _ in 0..checks {
         // Health endpoint flaps very rarely.
         let (status, bytes) = if rng.gen_bool(0.0015) {
-            (HttpStatus::INTERNAL_SERVER_ERROR, Some(super::error_bytes(500)))
+            (
+                HttpStatus::INTERNAL_SERVER_ERROR,
+                Some(super::error_bytes(500)),
+            )
         } else {
             (HttpStatus::OK, Some(17))
         };

@@ -72,8 +72,8 @@ pub fn plan_session(
     browsers: &BrowserPool,
 ) -> SessionPlan {
     let user_agent = browsers.sample(rng).to_owned();
-    let len = LogNormal::from_mean_cv(cfg.session_len_mean, 0.4)
-        .sample_clamped(rng, 120.0, 900.0) as usize;
+    let len = LogNormal::from_mean_cv(cfg.session_len_mean, 0.4).sample_clamped(rng, 120.0, 900.0)
+        as usize;
     let interval = LogNormal::from_mean_cv(cfg.interval_mean_secs, 0.7);
 
     let mut requests = Vec::with_capacity(len);
@@ -107,7 +107,7 @@ pub fn plan_session(
             )
         } else if u < malformed_hi {
             // Malformed search queries poking at input handling.
-            let garbage = ["%00", "';--", "AAAA%FF", "q[]=x", "{{7*7}}"][rng.gen_range(0..5)];
+            let garbage = ["%00", "';--", "AAAA%FF", "q[]=x", "{{7*7}}"][rng.gen_range(0..5usize)];
             (
                 HttpMethod::Get,
                 format!("/search?q={garbage}"),
@@ -118,7 +118,7 @@ pub fn plan_session(
             // Hitting funnel pages without state fishes a redirect.
             (
                 HttpMethod::Get,
-                site.booking_funnel()[rng.gen_range(0..3)].clone(),
+                site.booking_funnel()[rng.gen_range(0..3usize)].clone(),
                 HttpStatus::FOUND,
                 Some(redirect_bytes()),
             )

@@ -117,7 +117,11 @@ pub fn plan_session(
         // Camouflage assets: stylesheets and images only — executing
         // JavaScript is what this population avoids paying for.
         if status == HttpStatus::OK && !is_beacon {
-            let n = if rng.gen_bool(cfg.assets_per_page / 2.0) { 2 } else { 1 };
+            let n = if rng.gen_bool(cfg.assets_per_page / 2.0) {
+                2
+            } else {
+                1
+            };
             let mut asset_clock = clock;
             for asset in site.assets_for(&path).into_iter().take(n + 1) {
                 if asset.ends_with(".js") {
@@ -210,7 +214,8 @@ mod tests {
         assert!(ok > 0.93, "200 share {ok}");
         assert!(counts.contains_key(&204), "beacon 204s missing");
         // Errors stay trace-level.
-        let errors = counts.get(&400).copied().unwrap_or(0) + counts.get(&404).copied().unwrap_or(0);
+        let errors =
+            counts.get(&400).copied().unwrap_or(0) + counts.get(&404).copied().unwrap_or(0);
         assert!((errors as f64) < total as f64 * 0.01);
     }
 

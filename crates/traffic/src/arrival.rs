@@ -135,10 +135,7 @@ mod tests {
             buckets[t.hour() as usize] += 1;
         }
         for (h, b) in buckets.iter().enumerate() {
-            assert!(
-                (700..1300).contains(b),
-                "hour {h} drew {b} of {n} samples"
-            );
+            assert!((700..1300).contains(b), "hour {h} drew {b} of {n} samples");
         }
     }
 }

@@ -189,8 +189,22 @@ pub fn generate(cfg: &ScenarioConfig) -> Result<LabelledLog, String> {
     gen_crawlers(cfg, &site, budgets[1], &mut em);
     gen_monitors(cfg, &site, budgets[2], &mut em);
     gen_partners(cfg, &site, budgets[3], &mut em);
-    gen_botnet(cfg, &site, &browsers, Campaign::Toolkit, budgets[4], &mut em);
-    gen_botnet(cfg, &site, &browsers, Campaign::Spoofed, budgets[5], &mut em);
+    gen_botnet(
+        cfg,
+        &site,
+        &browsers,
+        Campaign::Toolkit,
+        budgets[4],
+        &mut em,
+    );
+    gen_botnet(
+        cfg,
+        &site,
+        &browsers,
+        Campaign::Spoofed,
+        budgets[5],
+        &mut em,
+    );
     gen_botnet(
         cfg,
         &site,
@@ -213,7 +227,11 @@ pub fn generate(cfg: &ScenarioConfig) -> Result<LabelledLog, String> {
     let mut indexed: Vec<(usize, (LogEntry, GroundTruth))> =
         em.out.into_iter().enumerate().collect();
     indexed.sort_by_key(|(seq, (entry, _))| {
-        (entry.timestamp().epoch_seconds(), u32::from(entry.addr()), *seq)
+        (
+            entry.timestamp().epoch_seconds(),
+            u32::from(entry.addr()),
+            *seq,
+        )
     });
 
     let mut entries = Vec::with_capacity(indexed.len());
@@ -313,7 +331,7 @@ fn gen_monitors(cfg: &ScenarioConfig, site: &SiteModel, budget: u64, em: &mut Em
         }
         let start = cfg
             .window_start
-            .plus_seconds(i64::from(day) * SECONDS_PER_DAY + rng.gen_range(0..30));
+            .plus_seconds(i64::from(day) * SECONDS_PER_DAY + rng.gen_range(0..30i64));
         let plan = monitor::plan_session(&cfg.monitor, site, &mut rng, start, addr, client_id);
         remaining -= em.emit(&plan, remaining).min(remaining);
     }
@@ -334,7 +352,7 @@ fn gen_partners(cfg: &ScenarioConfig, site: &SiteModel, budget: u64, em: &mut Em
             }
             // Pull window opens at 06:00 plus scheduler jitter.
             let start = cfg.window_start.plus_seconds(
-                i64::from(day) * SECONDS_PER_DAY + 6 * 3600 + rng.gen_range(0..600),
+                i64::from(day) * SECONDS_PER_DAY + 6 * 3600 + rng.gen_range(0..600i64),
             );
             let plan = partner::plan_session(&cfg.partner, site, &mut rng, start, addr, client_id);
             remaining -= em.emit(&plan, remaining).min(remaining);
@@ -407,8 +425,15 @@ fn gen_stealth(
         let (addr, client_id) = clients[rng.gen_range(0..clients.len())];
         let start =
             DiurnalProfile::MildBot.sample_start(&mut rng, cfg.window_start, cfg.window_days);
-        let plan =
-            stealth::plan_session(&cfg.stealth, site, &mut rng, start, addr, client_id, browsers);
+        let plan = stealth::plan_session(
+            &cfg.stealth,
+            site,
+            &mut rng,
+            start,
+            addr,
+            client_id,
+            browsers,
+        );
         remaining -= em.emit(&plan, remaining).min(remaining);
     }
 }
@@ -430,8 +455,15 @@ fn gen_scanners(
     while remaining > 0 {
         let (addr, client_id) = clients[rng.gen_range(0..clients.len())];
         let start = DiurnalProfile::Flat.sample_start(&mut rng, cfg.window_start, cfg.window_days);
-        let plan =
-            scanner::plan_session(&cfg.scanner, site, &mut rng, start, addr, client_id, browsers);
+        let plan = scanner::plan_session(
+            &cfg.scanner,
+            site,
+            &mut rng,
+            start,
+            addr,
+            client_id,
+            browsers,
+        );
         remaining -= em.emit(&plan, remaining).min(remaining);
     }
 }
@@ -525,9 +557,10 @@ mod tests {
         // the address never changes.
         let mut by_session: BTreeMap<u32, (ActorClass, u32, Ipv4Addr)> = BTreeMap::new();
         for (e, t) in log.iter() {
-            let expect = by_session
-                .entry(t.session_id())
-                .or_insert((t.actor(), t.client_id(), e.addr()));
+            let expect =
+                by_session
+                    .entry(t.session_id())
+                    .or_insert((t.actor(), t.client_id(), e.addr()));
             assert_eq!(expect.0, t.actor());
             assert_eq!(expect.1, t.client_id());
             assert_eq!(expect.2, e.addr());

@@ -153,7 +153,7 @@ mod tests {
         assert_eq!(dedup.len(), names.len());
         for n in names {
             assert_eq!(n, n.to_ascii_lowercase());
-            assert_eq!(ActorClass::ALL.iter().find(|a| a.name() == n).is_some(), true);
+            assert!(ActorClass::ALL.iter().find(|a| a.name() == n).is_some());
         }
     }
 

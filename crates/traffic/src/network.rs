@@ -186,6 +186,9 @@ mod tests {
             let i = res.blocks().iter().position(|b| b.contains(a)).unwrap();
             per_block[i] += 1;
         }
-        assert!(per_block.iter().all(|&c| c > 0), "some block never drawn: {per_block:?}");
+        assert!(
+            per_block.iter().all(|&c| c > 0),
+            "some block never drawn: {per_block:?}"
+        );
     }
 }

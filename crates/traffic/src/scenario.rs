@@ -230,11 +230,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_mixes() {
-        let mut mix = PopulationMix::default();
-        mix.human = -0.1;
+        let mix = PopulationMix {
+            human: -0.1,
+            ..PopulationMix::default()
+        };
         assert!(mix.validate().is_err());
-        let mut mix = PopulationMix::default();
-        mix.human += 0.5;
+        let mix = PopulationMix {
+            human: PopulationMix::default().human + 0.5,
+            ..PopulationMix::default()
+        };
         assert!(mix.validate().is_err());
     }
 

@@ -31,7 +31,12 @@ pub struct RequestSpec {
 
 impl RequestSpec {
     /// Convenience constructor for the common GET case.
-    pub fn get(offset: f64, path: impl Into<String>, status: HttpStatus, bytes: Option<u64>) -> Self {
+    pub fn get(
+        offset: f64,
+        path: impl Into<String>,
+        status: HttpStatus,
+        bytes: Option<u64>,
+    ) -> Self {
         Self {
             offset,
             method: HttpMethod::Get,
@@ -123,7 +128,10 @@ impl SessionPlan {
                 if let Some(r) = &spec.referrer {
                     builder = builder.referrer(r.clone());
                 }
-                (builder.build().expect("plan provides all mandatory fields"), truth)
+                (
+                    builder.build().expect("plan provides all mandatory fields"),
+                    truth,
+                )
             })
             .collect()
     }
@@ -160,7 +168,9 @@ mod tests {
             assert_eq!(truth.client_id(), 5);
             assert_eq!(truth.session_id(), 77);
         }
-        assert!(entries.windows(2).all(|w| w[0].0.timestamp() <= w[1].0.timestamp()));
+        assert!(entries
+            .windows(2)
+            .all(|w| w[0].0.timestamp() <= w[1].0.timestamp()));
     }
 
     #[test]

@@ -298,9 +298,6 @@ mod tests {
         let site = SiteModel::default();
         let d = site.destination_path(0);
         assert!(d.starts_with("/destinations/"));
-        assert_eq!(
-            RequestPath::parse(&d).resource_class(),
-            ResourceClass::Page
-        );
+        assert_eq!(RequestPath::parse(&d).resource_class(), ResourceClass::Page);
     }
 }

@@ -59,8 +59,7 @@ pub const GOOGLEBOT: &str =
     "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)";
 
 /// Second search-engine crawler identity.
-pub const BINGBOT: &str =
-    "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)";
+pub const BINGBOT: &str = "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)";
 
 /// The uptime monitor identity.
 pub const PINGDOM: &str = "Pingdom.com_bot_version_1.4_(http://www.pingdom.com/)";
@@ -139,7 +138,10 @@ mod tests {
 
     #[test]
     fn crawler_and_monitor_identities_classify() {
-        assert_eq!(UserAgent::new(GOOGLEBOT).family(), AgentFamily::KnownCrawler);
+        assert_eq!(
+            UserAgent::new(GOOGLEBOT).family(),
+            AgentFamily::KnownCrawler
+        );
         assert_eq!(UserAgent::new(BINGBOT).family(), AgentFamily::KnownCrawler);
         assert_eq!(UserAgent::new(PINGDOM).family(), AgentFamily::Monitor);
         assert_eq!(

@@ -1,15 +1,21 @@
 //! Bringing your own tool: implement [`Detector`] for a custom heuristic,
-//! then measure its diversity against the two stock tools and fold it into
-//! a 2-out-of-3 majority vote.
+//! compose it with the two stock tools in a streaming [`Pipeline`], then
+//! measure its diversity and fold it into a 2-out-of-3 majority vote.
+//!
+//! Any detector that is `Clone + Send` slots straight into a pipeline —
+//! including across sharded workers.
 //!
 //! ```text
 //! cargo run --release --example custom_detector
 //! ```
+//!
+//! [`Pipeline`]: divscrape_pipeline::Pipeline
 
-use divscrape_detect::{run_alerts, Arcane, Detector, Sentinel, SessionFeatures, Sessionizer, Verdict};
+use divscrape_detect::{Arcane, Detector, Sentinel, SessionFeatures, Sessionizer, Verdict};
 use divscrape_ensemble::report::{percent, TextTable};
-use divscrape_ensemble::{AgreementDiversity, AlertVector, ConfusionMatrix, KOutOfN};
+use divscrape_ensemble::{AgreementDiversity, ConfusionMatrix, KOutOfN};
 use divscrape_httplog::LogEntry;
+use divscrape_pipeline::{Adjudication, PipelineBuilder};
 use divscrape_traffic::{generate, ScenarioConfig};
 
 /// A deliberately narrow third opinion: flags clients whose sessions browse
@@ -29,7 +35,10 @@ impl Detector for OfferVelocity {
         // ≥ 30 offer pages at a mean pace under 4 s/request is not a person
         // comparing fares.
         let velocity = f.offer_hits >= 30 && f.mean_gap_secs() < 4.0;
-        Verdict::new(velocity, f.offer_hits as f32 / f.mean_gap_secs().max(0.1) as f32)
+        Verdict::new(
+            velocity,
+            f.offer_hits as f32 / f.mean_gap_secs().max(0.1) as f32,
+        )
     }
 
     fn reset(&mut self) {
@@ -40,15 +49,23 @@ impl Detector for OfferVelocity {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let log = generate(&ScenarioConfig::small(2018))?;
 
-    let sentinel = AlertVector::from_bools(
-        "sentinel",
-        &run_alerts(&mut Sentinel::stock(), log.entries()),
-    );
-    let arcane = AlertVector::from_bools("arcane", &run_alerts(&mut Arcane::stock(), log.entries()));
-    let custom = AlertVector::from_bools(
-        "offer-velocity",
-        &run_alerts(&mut OfferVelocity::default(), log.entries()),
-    );
+    // All three tools — two stock, one custom — run inside one streaming
+    // pipeline; the drained report hands back each member's alert vector.
+    let mut pipeline = PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .detector(OfferVelocity::default())
+        .adjudication(Adjudication::k_of_n(2)) // the majority vote, online
+        .build()
+        .map_err(|e| e.to_string())?;
+    for chunk in log.entries().chunks(1024) {
+        pipeline.push_batch(chunk); // a live deployment would feed as logs arrive
+    }
+    let streamed = pipeline.drain();
+    let (sentinel, arcane, custom) = match &streamed.members[..] {
+        [s, a, c] => (s.clone(), a.clone(), c.clone()),
+        _ => unreachable!("three members composed"),
+    };
 
     // How diverse is the newcomer against each incumbent?
     let mut t = TextTable::new("Pairwise agreement diversity");
@@ -82,6 +99,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("{}", t.render());
+
+    // The pipeline adjudicated 2oo3 online while streaming; the offline
+    // rule over the member vectors agrees bit for bit.
+    let offline = KOutOfN::new(2, 3)
+        .expect("valid")
+        .apply(&[&sentinel, &arcane, &custom]);
+    assert_eq!(streamed.combined.to_bools(), offline.to_bools());
+
     println!("A narrow third tool barely moves 1oo3 but hardens the majority vote:\nits alerts land almost entirely inside the bot population.");
     Ok(())
 }

@@ -10,6 +10,8 @@
 //! * [`traffic`] — synthetic labelled e-commerce traffic generator.
 //! * [`detect`] — the diverse detectors (Sentinel, Arcane, baselines).
 //! * [`ensemble`] — contingency/diversity analysis, adjudication, metrics.
+//! * [`pipeline`] — the streaming detection pipeline (composed detectors,
+//!   online adjudication, sinks, sharded workers).
 //! * [`study`] — the end-to-end diversity-study pipeline (`divscrape` core).
 //!
 //! See the individual crates for documentation, and `examples/quickstart.rs`
@@ -21,4 +23,5 @@ pub use divscrape as study;
 pub use divscrape_detect as detect;
 pub use divscrape_ensemble as ensemble;
 pub use divscrape_httplog as httplog;
+pub use divscrape_pipeline as pipeline;
 pub use divscrape_traffic as traffic;

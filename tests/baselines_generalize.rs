@@ -83,6 +83,9 @@ fn stealth_population_defeats_rate_limiting_but_not_sentinel() {
         }
     }
     assert!(stealth_total > 0);
-    assert_eq!(rate_missed, stealth_total, "rate limiter should miss all stealth");
+    assert_eq!(
+        rate_missed, stealth_total,
+        "rate limiter should miss all stealth"
+    );
     assert_eq!(sentinel_missed, 0, "sentinel should catch all stealth");
 }

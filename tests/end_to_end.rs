@@ -57,7 +57,10 @@ fn alerted_statuses_are_a_subset_of_generated_statuses() {
         &r.status_arcane_only,
     ] {
         for status in breakdown.statuses() {
-            assert!(generated.contains(&status), "alerted unseen status {status}");
+            assert!(
+                generated.contains(&status),
+                "alerted unseen status {status}"
+            );
         }
     }
 }

@@ -1,0 +1,127 @@
+//! The streaming pipeline's headline guarantee: a `Pipeline` built from
+//! Sentinel + Arcane with 1-of-2 adjudication, fed the log incrementally
+//! in arbitrary chunk sizes (including one entry at a time) across 1, 2
+//! and 4 workers, produces alert vectors identical to the sequential
+//! `run_alerts` + `KOutOfN` path.
+
+use divscrape_detect::{run_alerts, Arcane, Sentinel};
+use divscrape_ensemble::{AlertVector, KOutOfN};
+use divscrape_pipeline::{Adjudication, PipelineBuilder};
+use divscrape_traffic::{generate, LabelledLog, ScenarioConfig};
+
+struct Sequential {
+    sentinel: Vec<bool>,
+    arcane: Vec<bool>,
+    union: Vec<bool>,
+}
+
+fn sequential_reference(log: &LabelledLog) -> Sequential {
+    let sentinel = run_alerts(&mut Sentinel::stock(), log.entries());
+    let arcane = run_alerts(&mut Arcane::stock(), log.entries());
+    let union = KOutOfN::any(2)
+        .apply(&[
+            &AlertVector::from_bools("sentinel", &sentinel),
+            &AlertVector::from_bools("arcane", &arcane),
+        ])
+        .to_bools();
+    Sequential {
+        sentinel,
+        arcane,
+        union,
+    }
+}
+
+#[test]
+fn incremental_sharded_pipeline_matches_sequential_adjudication() {
+    let log = generate(&ScenarioConfig::small(2018)).unwrap();
+    let expected = sequential_reference(&log);
+
+    // Chunk sizes cover the degenerate single-entry feed, a prime that
+    // never aligns with the flush capacity, and one-shot ingestion.
+    for workers in [1usize, 2, 4] {
+        for chunk in [1usize, 613, log.len()] {
+            let mut pipeline = PipelineBuilder::new()
+                .detector(Sentinel::stock())
+                .detector(Arcane::stock())
+                .adjudication(Adjudication::k_of_n(1))
+                .workers(workers)
+                .chunk_capacity(1024)
+                .build()
+                .unwrap();
+            for part in log.entries().chunks(chunk) {
+                pipeline.push_batch(part);
+            }
+            let report = pipeline.drain();
+            assert_eq!(
+                report.combined.to_bools(),
+                expected.union,
+                "union diverged: workers={workers} chunk={chunk}"
+            );
+            assert_eq!(
+                report.members[0].to_bools(),
+                expected.sentinel,
+                "sentinel diverged: workers={workers} chunk={chunk}"
+            );
+            assert_eq!(
+                report.members[1].to_bools(),
+                expected.arcane,
+                "arcane diverged: workers={workers} chunk={chunk}"
+            );
+        }
+    }
+}
+
+#[test]
+fn push_and_push_batch_feeds_are_interchangeable() {
+    let log = generate(&ScenarioConfig::tiny(99)).unwrap();
+    let expected = sequential_reference(&log);
+
+    let mut pipeline = PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .adjudication(Adjudication::k_of_n(1))
+        .workers(2)
+        .chunk_capacity(97)
+        .build()
+        .unwrap();
+    // Mix single-entry pushes with slice pushes of irregular sizes.
+    let mut rest = log.entries();
+    let mut toggle = true;
+    while !rest.is_empty() {
+        if toggle {
+            pipeline.push(rest[0].clone());
+            rest = &rest[1..];
+        } else {
+            let take = rest.len().min(37);
+            pipeline.push_batch(&rest[..take]);
+            rest = &rest[take..];
+        }
+        toggle = !toggle;
+    }
+    assert_eq!(pipeline.drain().combined.to_bools(), expected.union);
+}
+
+#[test]
+fn unanimity_pipeline_matches_sequential_two_out_of_two() {
+    let log = generate(&ScenarioConfig::tiny(2019)).unwrap();
+    let sentinel = run_alerts(&mut Sentinel::stock(), log.entries());
+    let arcane = run_alerts(&mut Arcane::stock(), log.entries());
+    let both = KOutOfN::all(2)
+        .apply(&[
+            &AlertVector::from_bools("sentinel", &sentinel),
+            &AlertVector::from_bools("arcane", &arcane),
+        ])
+        .to_bools();
+
+    let mut pipeline = PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .adjudication(Adjudication::k_of_n(2))
+        .workers(4)
+        .build()
+        .unwrap();
+    for part in log.entries().chunks(41) {
+        pipeline.push_batch(part);
+    }
+    assert_eq!(pipeline.drain().combined.to_bools(), both);
+}

@@ -92,7 +92,7 @@ fn duplicate_entries_do_not_double_flag_clients() {
     // copy one implies an alert on copy two via the violator cache).
     for pair in alerts.chunks(2) {
         assert!(
-            !(pair[0] && !pair[1]),
+            !pair[0] || pair[1],
             "alert retracted between duplicate entries"
         );
     }
