@@ -28,7 +28,8 @@ use crate::{Detector, Verdict};
 /// Partner clients present this agent prefix (from the API contract).
 const PARTNER_UA_PREFIX: &str = "FareConnect-Partner-Client";
 
-/// The Arcane detector. See the [module docs](self).
+/// The Arcane detector: the in-house-style behavioural tool —
+/// sessionization plus weighted heuristics over each session's conduct.
 ///
 /// ```
 /// use divscrape_detect::{run_alerts, Arcane, Detector};
@@ -49,6 +50,12 @@ pub struct Arcane {
 
 impl Arcane {
     /// Arcane with default rules and a 30-minute session timeout.
+    ///
+    /// Per-client state is the sessionizer's table; installing an
+    /// eviction policy with a TTL of at least the 30-minute idle timeout
+    /// (via [`Detector::set_eviction`]) bounds it without changing any
+    /// verdict — an evicted client's session would have restarted on
+    /// return anyway.
     pub fn stock() -> Self {
         Self::new(ArcaneConfig::default())
     }
@@ -217,6 +224,14 @@ impl Detector for Arcane {
     fn reset(&mut self) {
         self.sessions.reset();
         self.rule_hits.clear();
+    }
+
+    fn set_eviction(&mut self, cfg: crate::EvictionConfig) {
+        self.sessions.set_eviction(cfg);
+    }
+
+    fn eviction_stats(&self) -> crate::EvictionStats {
+        self.sessions.eviction_stats()
     }
 }
 

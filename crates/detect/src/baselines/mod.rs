@@ -1,8 +1,8 @@
 //! Related-work baseline detectors.
 //!
 //! The paper's related work evaluates web-robot detection via data-mining
-//! over session features (Stevanovic et al. [1]) and probabilistic
-//! reasoning (Stassopoulou & Dikaiakos [2]). These baselines reproduce that
+//! over session features (Stevanovic et al. \[1\]) and probabilistic
+//! reasoning (Stassopoulou & Dikaiakos \[2\]). These baselines reproduce that
 //! family, hand-rolled because no mature Rust ML stack is available
 //! offline:
 //!
@@ -179,6 +179,14 @@ impl<M: SessionModel> Detector for SessionModelDetector<M> {
 
     fn reset(&mut self) {
         self.sessions.reset();
+    }
+
+    fn set_eviction(&mut self, cfg: crate::EvictionConfig) {
+        self.sessions.set_eviction(cfg);
+    }
+
+    fn eviction_stats(&self) -> crate::EvictionStats {
+        self.sessions.eviction_stats()
     }
 }
 

@@ -1,10 +1,10 @@
 //! The naive rate-threshold baseline.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use divscrape_httplog::LogEntry;
 
-use crate::session::ClientKey;
+use crate::evict::{ClientStateTable, EvictionConfig, EvictionStats};
 use crate::{Detector, Verdict};
 
 /// Alerts whenever a client exceeds a fixed request rate.
@@ -15,7 +15,7 @@ use crate::{Detector, Verdict};
 #[derive(Debug, Clone)]
 pub struct RateLimiter {
     threshold_per_min: u32,
-    windows: HashMap<ClientKey, VecDeque<i64>>,
+    windows: ClientStateTable<VecDeque<i64>>,
 }
 
 impl RateLimiter {
@@ -29,7 +29,7 @@ impl RateLimiter {
         assert!(threshold_per_min > 0, "threshold must be positive");
         Self {
             threshold_per_min,
-            windows: HashMap::new(),
+            windows: ClientStateTable::new(EvictionConfig::DISABLED),
         }
     }
 
@@ -53,42 +53,34 @@ impl Detector for RateLimiter {
 
     fn observe(&mut self, entry: &LogEntry) -> Verdict {
         let ts = entry.timestamp().epoch_seconds();
-        let window = self.windows.entry(entry.client_key()).or_default();
-        while let Some(&front) = window.front() {
-            if ts - front >= 60 {
-                window.pop_front();
-            } else {
-                break;
-            }
-        }
-        window.push_back(ts);
-        let count = window.len() as u32;
-        Verdict::new(
-            count >= self.threshold_per_min,
-            count as f32 / self.threshold_per_min as f32,
-        )
+        let (window, _) = self
+            .windows
+            .upsert_with(entry.client_key(), ts, VecDeque::new);
+        slide_and_score(window, ts, self.threshold_per_min)
     }
 
     fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
         out.reserve(entries.len());
+        let evicting = !self.windows.config().is_disabled();
         for run in crate::detector::client_runs(entries) {
-            // One key hash and one window lookup per client run.
-            let window = self.windows.entry(run[0].client_key()).or_default();
+            // One key hash per client run; with eviction off, one window
+            // lookup per run is exact (the table is a plain map then).
+            let key = run[0].client_key();
+            if evicting {
+                // Under eviction, touch the table per entry so mid-run
+                // idle gaps expire state exactly as in the per-entry path.
+                for entry in run {
+                    let ts = entry.timestamp().epoch_seconds();
+                    let (window, _) = self.windows.upsert_with(key, ts, VecDeque::new);
+                    out.push(slide_and_score(window, ts, self.threshold_per_min));
+                }
+                continue;
+            }
+            let ts0 = run[0].timestamp().epoch_seconds();
+            let (window, _) = self.windows.upsert_with(key, ts0, VecDeque::new);
             for entry in run {
                 let ts = entry.timestamp().epoch_seconds();
-                while let Some(&front) = window.front() {
-                    if ts - front >= 60 {
-                        window.pop_front();
-                    } else {
-                        break;
-                    }
-                }
-                window.push_back(ts);
-                let count = window.len() as u32;
-                out.push(Verdict::new(
-                    count >= self.threshold_per_min,
-                    count as f32 / self.threshold_per_min as f32,
-                ));
+                out.push(slide_and_score(window, ts, self.threshold_per_min));
             }
         }
     }
@@ -96,6 +88,30 @@ impl Detector for RateLimiter {
     fn reset(&mut self) {
         self.windows.clear();
     }
+
+    fn set_eviction(&mut self, cfg: EvictionConfig) {
+        self.windows.set_config(cfg);
+    }
+
+    fn eviction_stats(&self) -> EvictionStats {
+        self.windows.stats()
+    }
+}
+
+/// Slides `window` to `ts`, records the request and scores it against
+/// `threshold` — the rate limiter's per-entry kernel, shared by both
+/// observe paths.
+fn slide_and_score(window: &mut VecDeque<i64>, ts: i64, threshold: u32) -> Verdict {
+    while let Some(&front) = window.front() {
+        if ts - front >= 60 {
+            window.pop_front();
+        } else {
+            break;
+        }
+    }
+    window.push_back(ts);
+    let count = window.len() as u32;
+    Verdict::new(count >= threshold, count as f32 / threshold as f32)
 }
 
 #[cfg(test)]

@@ -163,6 +163,16 @@ impl Detector for Committee {
         self.member_alerts.iter_mut().for_each(|c| *c = 0);
         self.requests_seen = 0;
     }
+
+    fn set_eviction(&mut self, cfg: crate::EvictionConfig) {
+        for m in &mut self.members {
+            m.set_eviction(cfg);
+        }
+    }
+
+    fn eviction_stats(&self) -> crate::EvictionStats {
+        crate::EvictionStats::merge_all(self.members.iter().map(|m| m.eviction_stats()))
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 
 use divscrape_httplog::LogEntry;
 
+use crate::evict::{EvictionConfig, EvictionStats};
+
 /// A per-request decision.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Verdict {
@@ -93,6 +95,22 @@ pub trait Detector {
 
     /// Clears all accumulated state, as if freshly constructed.
     fn reset(&mut self);
+
+    /// Installs a per-client state eviction policy (see
+    /// [`EvictionConfig`]). Stateful stock detectors bound their client
+    /// tables with it; the default implementation ignores the policy,
+    /// which is correct for stateless detectors. Call before streaming
+    /// begins — the policy applies from the next observed entry.
+    fn set_eviction(&mut self, cfg: EvictionConfig) {
+        let _ = cfg;
+    }
+
+    /// A snapshot of this detector's client-state footprint: occupancy
+    /// of its largest per-client table and total evictions so far.
+    /// Stateless detectors report the default (all zeros).
+    fn eviction_stats(&self) -> EvictionStats {
+        EvictionStats::default()
+    }
 }
 
 impl<D: Detector + ?Sized> Detector for Box<D> {
@@ -111,6 +129,14 @@ impl<D: Detector + ?Sized> Detector for Box<D> {
     fn reset(&mut self) {
         (**self).reset()
     }
+
+    fn set_eviction(&mut self, cfg: EvictionConfig) {
+        (**self).set_eviction(cfg)
+    }
+
+    fn eviction_stats(&self) -> EvictionStats {
+        (**self).eviction_stats()
+    }
 }
 
 impl<D: Detector + ?Sized> Detector for &mut D {
@@ -128,6 +154,14 @@ impl<D: Detector + ?Sized> Detector for &mut D {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn set_eviction(&mut self, cfg: EvictionConfig) {
+        (**self).set_eviction(cfg)
+    }
+
+    fn eviction_stats(&self) -> EvictionStats {
+        (**self).eviction_stats()
     }
 }
 

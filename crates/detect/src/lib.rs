@@ -34,6 +34,13 @@
 //! (incremental ingestion, client-sharded workers, alert sinks) on top of
 //! this trait.
 //!
+//! For long-running streams, every stateful stock detector can bound its
+//! per-client tables with TTL and LRU-capacity eviction (the [`evict`]
+//! module): [`Detector::set_eviction`] installs an [`EvictionConfig`],
+//! [`Detector::eviction_stats`] reports occupancy and eviction counts.
+//! Eviction is off by default, in which case output is bit-identical to
+//! the unbounded tables.
+//!
 //! # Streaming quickstart
 //!
 //! ```
@@ -85,6 +92,7 @@ mod arcane;
 pub mod baselines;
 mod committee;
 mod detector;
+pub mod evict;
 pub mod parallel;
 mod sentinel;
 mod session;
@@ -93,6 +101,7 @@ mod trap;
 pub use arcane::{Arcane, ArcaneConfig};
 pub use committee::Committee;
 pub use detector::{run, run_alerts, Detector, Verdict};
+pub use evict::{ClientStateTable, EvictionConfig, EvictionStats};
 pub use sentinel::{ReputationFeed, Sentinel, SentinelConfig, SentinelSignal, SignatureEngine};
 pub use session::{ClientKey, SessionFeatures, Sessionizer, SessionizerConfig};
 pub use trap::TrapDetector;

@@ -92,8 +92,9 @@ pub fn run_sharded<D: ShardableDetector>(
 /// `(original_index, verdict)` pairs.
 ///
 /// This is the scatter/gather kernel shared by [`run_sharded`] and the
-/// `divscrape-pipeline` sharded driver — any executor that partitions a
-/// log by client and needs verdicts back in original positions.
+/// `divscrape-pipeline` persistent worker pool — any executor that
+/// partitions a log by client and needs verdicts back in original
+/// positions.
 pub fn run_index_runs<D: Detector + ?Sized>(
     det: &mut D,
     entries: &[LogEntry],

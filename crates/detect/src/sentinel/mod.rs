@@ -13,7 +13,10 @@
 //!    passed the injected challenge.
 //! 5. **Known-violator cache** — once flagged, a client stays flagged; all
 //!    its subsequent requests alert. This is why the paper sees the
-//!    commercial tool alerting on 86.8% of *all* requests.
+//!    commercial tool alerting on 86.8% of *all* requests. (Bounded
+//!    deployments can forget idle or least-recently-seen violators via
+//!    [`Detector::set_eviction`](crate::Detector::set_eviction), trading
+//!    this long-horizon memory for bounded tables.)
 //! 6. **Verified-operator whitelist** — search crawlers, uptime monitors and
 //!    contracted partners verified by identity *and* source range.
 
@@ -25,11 +28,12 @@ pub use config::SentinelConfig;
 pub use reputation::ReputationFeed;
 pub use signature::SignatureEngine;
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use divscrape_httplog::{AgentFamily, LogEntry, ResourceClass};
 use divscrape_traffic::network::{self, IpPool};
 
+use crate::evict::{ClientStateTable, EvictionConfig, EvictionStats};
 use crate::session::ClientKey;
 use crate::{Detector, Verdict};
 
@@ -69,7 +73,9 @@ struct ClientState {
     page_window: VecDeque<i64>,
 }
 
-/// The Sentinel detector. See the [module docs](self).
+/// The Sentinel detector: the commercial-style multi-signal tool —
+/// signatures, reputation, rate, JS-challenge, violator cache and
+/// whitelist.
 ///
 /// ```
 /// use divscrape_detect::{run_alerts, Detector, Sentinel};
@@ -90,8 +96,8 @@ pub struct Sentinel {
     crawler_ranges: Vec<IpPool>,
     monitor_range: IpPool,
     partner_range: IpPool,
-    clients: HashMap<ClientKey, ClientState>,
-    violators: HashMap<ClientKey, SentinelSignal>,
+    clients: ClientStateTable<ClientState>,
+    violators: ClientStateTable<SentinelSignal>,
     trip_counts: BTreeMap<&'static str, u64>,
 }
 
@@ -119,8 +125,8 @@ impl Sentinel {
             crawler_ranges: vec![network::crawler_google(), network::crawler_bing()],
             monitor_range: network::monitor_range(),
             partner_range: network::partner_range(),
-            clients: HashMap::new(),
-            violators: HashMap::new(),
+            clients: ClientStateTable::new(EvictionConfig::DISABLED),
+            violators: ClientStateTable::new(EvictionConfig::DISABLED),
             trip_counts: BTreeMap::new(),
         }
     }
@@ -130,12 +136,23 @@ impl Sentinel {
         &self.cfg
     }
 
-    /// Number of clients in the violator cache.
+    /// Number of clients *currently* in the violator cache. Without
+    /// eviction this equals "clients ever flagged"; with eviction it
+    /// shrinks as idle or least-recently-seen violators are forgotten.
     pub fn flagged_clients(&self) -> usize {
         self.violators.len()
     }
 
-    /// How many clients were first flagged by each signal.
+    /// Whether eviction is active on the client tables.
+    fn eviction_enabled(&self) -> bool {
+        !self.clients.config().is_disabled()
+    }
+
+    /// How many cache-entering flag *events* each signal produced.
+    /// Without eviction that is exactly "clients first flagged by the
+    /// signal" (one event per client, ever); with eviction, a violator
+    /// that is evicted and trips again is counted again, so the totals
+    /// count flag episodes rather than distinct clients.
     pub fn trip_counts(&self) -> &BTreeMap<&'static str, u64> {
         &self.trip_counts
     }
@@ -232,6 +249,44 @@ impl Sentinel {
             self.cfg.enable_reputation && self.reputation.is_listed(entry.addr()),
         )
     }
+
+    /// The shared per-entry tail of both observe paths: update the
+    /// client's state, evaluate the signals, maintain the violator cache
+    /// and build the verdict. `cached_before` is whether the violator
+    /// cache held this client before the entry; the second return value
+    /// is whether it holds the client after.
+    #[allow(clippy::too_many_arguments)]
+    fn decide(
+        cfg: &SentinelConfig,
+        violators: &mut ClientStateTable<SentinelSignal>,
+        trip_counts: &mut BTreeMap<&'static str, u64>,
+        state: &mut ClientState,
+        entry: &LogEntry,
+        key: ClientKey,
+        ts: i64,
+        cached_before: bool,
+        signature_hit: bool,
+        reputation_hit: bool,
+    ) -> (Verdict, bool) {
+        let (signal, active) =
+            Self::update_and_signal(cfg, state, entry, signature_hit, reputation_hit);
+        if let Some(signal) = signal {
+            let mut cached = cached_before;
+            if cfg.enable_violator_cache && !cached_before {
+                violators.insert(key, ts, signal);
+                *trip_counts.entry(signal.name()).or_insert(0) += 1;
+                cached = true;
+            }
+            (
+                Verdict::new(true, (active + u32::from(cached_before)) as f32),
+                cached,
+            )
+        } else if cached_before {
+            (Verdict::new(true, 1.0), true)
+        } else {
+            (Verdict::CLEAR, false)
+        }
+    }
 }
 
 impl Detector for Sentinel {
@@ -244,27 +299,29 @@ impl Detector for Sentinel {
             return Verdict::CLEAR;
         }
         let key = entry.client_key();
-        let cached = self.cfg.enable_violator_cache && self.violators.contains_key(&key);
+        let ts = entry.timestamp().epoch_seconds();
+        let cached =
+            self.cfg.enable_violator_cache && self.violators.get_refresh(&key, ts).is_some();
         let (signature_hit, reputation_hit) = self.identity_hits(entry);
-        let state = self.clients.entry(key).or_default();
-        let (signal, active) =
-            Self::update_and_signal(&self.cfg, state, entry, signature_hit, reputation_hit);
-
-        if let Some(signal) = signal {
-            if self.cfg.enable_violator_cache && !cached {
-                self.violators.insert(key, signal);
-                *self.trip_counts.entry(signal.name()).or_insert(0) += 1;
-            }
-            return Verdict::new(true, (active + u32::from(cached)) as f32);
-        }
-        if cached {
-            return Verdict::new(true, 1.0);
-        }
-        Verdict::CLEAR
+        let (state, _) = self.clients.upsert_with(key, ts, ClientState::default);
+        let (verdict, _) = Self::decide(
+            &self.cfg,
+            &mut self.violators,
+            &mut self.trip_counts,
+            state,
+            entry,
+            key,
+            ts,
+            cached,
+            signature_hit,
+            reputation_hit,
+        );
+        verdict
     }
 
     fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
         out.reserve(entries.len());
+        let evicting = self.eviction_enabled();
         for run in crate::detector::client_runs(entries) {
             let first = &run[0];
 
@@ -276,30 +333,60 @@ impl Detector for Sentinel {
             }
             let key = first.client_key();
             let (signature_hit, reputation_hit) = self.identity_hits(first);
-            let mut cached = self.cfg.enable_violator_cache && self.violators.contains_key(&key);
-            let state = self.clients.entry(key).or_default();
+
+            if evicting {
+                // With eviction enabled the state tables must be touched
+                // per entry — a large idle gap *inside* a client run (the
+                // log held no other traffic in between) can expire state
+                // mid-run, and the per-entry path would see that. The
+                // identity work above stays amortized over the run.
+                for entry in run {
+                    let ts = entry.timestamp().epoch_seconds();
+                    let cached = self.cfg.enable_violator_cache
+                        && self.violators.get_refresh(&key, ts).is_some();
+                    let (state, _) = self.clients.upsert_with(key, ts, ClientState::default);
+                    let (verdict, _) = Self::decide(
+                        &self.cfg,
+                        &mut self.violators,
+                        &mut self.trip_counts,
+                        state,
+                        entry,
+                        key,
+                        ts,
+                        cached,
+                        signature_hit,
+                        reputation_hit,
+                    );
+                    out.push(verdict);
+                }
+                continue;
+            }
+
+            // Eviction off: the tables behave like plain maps, so one
+            // probe per run is exact (what the batch path amortizes).
+            let ts0 = run[0].timestamp().epoch_seconds();
+            let mut cached =
+                self.cfg.enable_violator_cache && self.violators.get_refresh(&key, ts0).is_some();
+            let (state, _) = self.clients.upsert_with(key, ts0, ClientState::default);
 
             for entry in run {
-                let (signal, active) =
-                    Self::update_and_signal(&self.cfg, state, entry, signature_hit, reputation_hit);
+                let ts = entry.timestamp().epoch_seconds();
                 // `cached` reflects the violator cache *before* this entry,
-                // exactly as the per-entry path's map lookup sees it.
-                let cached_before = cached;
-                if let Some(signal) = signal {
-                    if self.cfg.enable_violator_cache && !cached_before {
-                        self.violators.insert(key, signal);
-                        *self.trip_counts.entry(signal.name()).or_insert(0) += 1;
-                        cached = true;
-                    }
-                    out.push(Verdict::new(
-                        true,
-                        (active + u32::from(cached_before)) as f32,
-                    ));
-                } else if cached_before {
-                    out.push(Verdict::new(true, 1.0));
-                } else {
-                    out.push(Verdict::CLEAR);
-                }
+                // exactly as the per-entry path's lookup sees it.
+                let (verdict, now_cached) = Self::decide(
+                    &self.cfg,
+                    &mut self.violators,
+                    &mut self.trip_counts,
+                    state,
+                    entry,
+                    key,
+                    ts,
+                    cached,
+                    signature_hit,
+                    reputation_hit,
+                );
+                cached = now_cached;
+                out.push(verdict);
             }
         }
     }
@@ -308,6 +395,15 @@ impl Detector for Sentinel {
         self.clients.clear();
         self.violators.clear();
         self.trip_counts.clear();
+    }
+
+    fn set_eviction(&mut self, cfg: EvictionConfig) {
+        self.clients.set_config(cfg);
+        self.violators.set_config(cfg);
+    }
+
+    fn eviction_stats(&self) -> EvictionStats {
+        self.clients.stats().merge(self.violators.stats())
     }
 }
 

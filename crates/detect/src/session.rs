@@ -7,10 +7,12 @@
 //! web-robot-detection literature: request mix by resource class, error and
 //! beacon ratios, pacing statistics, breadth and repetition measures.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 use divscrape_httplog::{ip::addr_hash, HttpMethod, LogEntry, ResourceClass};
+
+use crate::evict::{ClientStateTable, EvictionConfig, EvictionStats};
 
 /// Sessionizer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -273,7 +275,7 @@ pub type ClientKey = (Ipv4Addr, u64);
 #[derive(Debug, Clone)]
 pub struct Sessionizer {
     cfg: SessionizerConfig,
-    sessions: HashMap<ClientKey, SessionFeatures>,
+    sessions: ClientStateTable<SessionFeatures>,
     completed: u64,
 }
 
@@ -282,9 +284,24 @@ impl Sessionizer {
     pub fn new(cfg: SessionizerConfig) -> Self {
         Self {
             cfg,
-            sessions: HashMap::new(),
+            sessions: ClientStateTable::new(EvictionConfig::DISABLED),
             completed: 0,
         }
+    }
+
+    /// Bounds the session table with the given eviction policy (see
+    /// [`ClientStateTable`]). With a TTL at least as long as the idle
+    /// timeout, eviction never changes the features any session reports:
+    /// an evicted client would have restarted its session on return
+    /// anyway. A capacity bound can evict a *live* session, whose client
+    /// then restarts fresh on its next request.
+    pub fn set_eviction(&mut self, cfg: EvictionConfig) {
+        self.sessions.set_config(cfg);
+    }
+
+    /// Occupancy and eviction counters of the session table.
+    pub fn eviction_stats(&self) -> EvictionStats {
+        self.sessions.stats()
     }
 
     /// Feeds one entry; returns the features of the session it belongs to
@@ -303,39 +320,51 @@ impl Sessionizer {
     /// files the entry under the wrong client.
     pub fn observe_with_key(&mut self, key: ClientKey, entry: &LogEntry) -> &SessionFeatures {
         let ts = entry.timestamp().epoch_seconds();
-        match self.sessions.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut slot) => {
-                if ts - slot.get().last_ts > self.cfg.idle_timeout_secs {
-                    self.completed += 1;
-                    *slot.get_mut() = SessionFeatures::start(entry);
-                } else {
-                    slot.get_mut().update(entry);
-                }
-                slot.into_mut()
-            }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(SessionFeatures::start(entry))
+        let timeout = self.cfg.idle_timeout_secs;
+        let completed = &mut self.completed;
+        let (features, existed) = self
+            .sessions
+            .upsert_with(key, ts, || SessionFeatures::start(entry));
+        if existed {
+            if ts - features.last_ts > timeout {
+                *completed += 1;
+                *features = SessionFeatures::start(entry);
+            } else {
+                features.update(entry);
             }
         }
+        features
     }
 
-    /// Features of a client's current session, if any.
+    /// Features of a client's current session, if any (a non-touching
+    /// read: does not refresh eviction recency).
     pub fn current(&self, key: &ClientKey) -> Option<&SessionFeatures> {
         self.sessions.get(key)
     }
 
-    /// Number of clients with live session state.
+    /// Number of clients with live session state. Bounded by the
+    /// capacity of the policy installed via
+    /// [`set_eviction`](Self::set_eviction), if any.
     pub fn active_clients(&self) -> usize {
         self.sessions.len()
     }
 
-    /// Number of sessions closed by the idle timeout so far (live sessions
-    /// are not counted).
+    /// Number of sessions ended so far: closed by the idle timeout on the
+    /// client's return, or reaped by TTL eviction (both mean the client
+    /// went idle past a deadline). Live sessions are not counted, nor are
+    /// sessions truncated by a *capacity* eviction — those were cut short
+    /// for memory, not ended by idleness.
+    ///
+    /// Without eviction this counter is lazy: a session that times out is
+    /// only counted when its client returns. TTL eviction counts the reap
+    /// instead, so with a TTL equal to the idle timeout the total can
+    /// exceed the eviction-off count by the clients that went idle and
+    /// never came back.
     pub fn completed_sessions(&self) -> u64 {
-        self.completed
+        self.completed + self.sessions.evicted_ttl()
     }
 
-    /// Drops all state.
+    /// Drops all state (the eviction policy is kept).
     pub fn reset(&mut self) {
         self.sessions.clear();
         self.completed = 0;

@@ -12,14 +12,13 @@
 //! links is invisible) and latency (nothing is flagged until the tripwire
 //! fires), which the committee analyses in `exp_three_tools` quantify.
 
-use std::collections::HashSet;
-
 use divscrape_httplog::LogEntry;
 
-use crate::session::ClientKey;
+use crate::evict::{ClientStateTable, EvictionConfig, EvictionStats};
 use crate::{Detector, Verdict};
 
-/// The honeytrap detector. See the [module docs](self).
+/// The honeytrap detector: flags any client that ever fetches a trap
+/// path (CSS-hidden, robots.txt-disallowed), from the tripwire onwards.
 ///
 /// ```
 /// use divscrape_detect::{Detector, TrapDetector};
@@ -32,7 +31,7 @@ use crate::{Detector, Verdict};
 #[derive(Debug, Clone)]
 pub struct TrapDetector {
     trap_paths: Vec<String>,
-    trapped: HashSet<ClientKey>,
+    trapped: ClientStateTable<()>,
 }
 
 impl TrapDetector {
@@ -41,7 +40,7 @@ impl TrapDetector {
     pub fn new(trap_paths: Vec<String>) -> Self {
         Self {
             trap_paths,
-            trapped: HashSet::new(),
+            trapped: ClientStateTable::new(EvictionConfig::DISABLED),
         }
     }
 
@@ -75,10 +74,11 @@ impl Detector for TrapDetector {
 
     fn observe(&mut self, entry: &LogEntry) -> Verdict {
         let key = entry.client_key();
+        let ts = entry.timestamp().epoch_seconds();
         if self.is_trap(entry) {
-            self.trapped.insert(key);
+            self.trapped.insert(key, ts, ());
         }
-        if self.trapped.contains(&key) {
+        if self.trapped.get_refresh(&key, ts).is_some() {
             Verdict::ALERT
         } else {
             Verdict::CLEAR
@@ -87,14 +87,34 @@ impl Detector for TrapDetector {
 
     fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
         out.reserve(entries.len());
+        let evicting = !self.trapped.config().is_disabled();
         for run in crate::detector::client_runs(entries) {
+            let key = run[0].client_key();
+            if evicting {
+                // Per-entry probes under eviction: a mid-run idle gap can
+                // release a trapped client exactly as the per-entry path
+                // would (only key hashing is amortized over the run).
+                for entry in run {
+                    let ts = entry.timestamp().epoch_seconds();
+                    if self.is_trap(entry) {
+                        self.trapped.insert(key, ts, ());
+                    }
+                    out.push(if self.trapped.get_refresh(&key, ts).is_some() {
+                        Verdict::ALERT
+                    } else {
+                        Verdict::CLEAR
+                    });
+                }
+                continue;
+            }
             // One key hash and one set probe per client run; within the
             // run only the tripwire itself can change the client's fate.
-            let key = run[0].client_key();
-            let mut caught = self.trapped.contains(&key);
+            let ts0 = run[0].timestamp().epoch_seconds();
+            let mut caught = self.trapped.get_refresh(&key, ts0).is_some();
             for entry in run {
                 if !caught && self.is_trap(entry) {
-                    self.trapped.insert(key);
+                    self.trapped
+                        .insert(key, entry.timestamp().epoch_seconds(), ());
                     caught = true;
                 }
                 out.push(if caught {
@@ -108,6 +128,14 @@ impl Detector for TrapDetector {
 
     fn reset(&mut self) {
         self.trapped.clear();
+    }
+
+    fn set_eviction(&mut self, cfg: EvictionConfig) {
+        self.trapped.set_config(cfg);
+    }
+
+    fn eviction_stats(&self) -> EvictionStats {
+        self.trapped.stats()
     }
 }
 

@@ -1,5 +1,6 @@
 //! Pipeline composition.
 
+use divscrape_detect::EvictionConfig;
 use divscrape_ensemble::{KOutOfN, WeightedVote};
 
 use crate::engine::Pipeline;
@@ -8,6 +9,9 @@ use crate::PipelineDetector;
 
 /// Default number of entries buffered before a chunk is processed.
 pub(crate) const DEFAULT_CHUNK_CAPACITY: usize = 4_096;
+
+/// Default bounded job-queue capacity per pool worker, in chunks.
+pub(crate) const DEFAULT_QUEUE_DEPTH: usize = 2;
 
 /// How member verdicts combine into the pipeline's alert decision.
 ///
@@ -82,6 +86,8 @@ pub enum BuildError {
     NoWorkers,
     /// `chunk_capacity == 0`.
     NoChunkCapacity,
+    /// `queue_depth == 0`.
+    NoQueueDepth,
 }
 
 impl std::fmt::Display for BuildError {
@@ -97,6 +103,7 @@ impl std::fmt::Display for BuildError {
             BuildError::BadWeights(msg) => write!(f, "bad weighted vote: {msg}"),
             BuildError::NoWorkers => write!(f, "pipeline needs at least one worker"),
             BuildError::NoChunkCapacity => write!(f, "chunk capacity must be at least 1"),
+            BuildError::NoQueueDepth => write!(f, "queue depth must be at least 1"),
         }
     }
 }
@@ -114,6 +121,8 @@ pub struct PipelineBuilder {
     sinks: Vec<Box<dyn AlertSink>>,
     workers: usize,
     chunk_capacity: usize,
+    queue_depth: usize,
+    eviction: EvictionConfig,
 }
 
 impl Default for PipelineBuilder {
@@ -137,13 +146,15 @@ impl std::fmt::Debug for PipelineBuilder {
             .field("sinks", &self.sinks.len())
             .field("workers", &self.workers)
             .field("chunk_capacity", &self.chunk_capacity)
+            .field("queue_depth", &self.queue_depth)
+            .field("eviction", &self.eviction)
             .finish()
     }
 }
 
 impl PipelineBuilder {
-    /// A builder with no detectors, 1-out-of-n adjudication, one worker
-    /// and the default chunk capacity.
+    /// A builder with no detectors, 1-out-of-n adjudication, one worker,
+    /// the default chunk capacity and queue depth, and eviction disabled.
     pub fn new() -> Self {
         Self {
             detectors: Vec::new(),
@@ -151,6 +162,8 @@ impl PipelineBuilder {
             sinks: Vec::new(),
             workers: 1,
             chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            eviction: EvictionConfig::DISABLED,
         }
     }
 
@@ -180,10 +193,11 @@ impl PipelineBuilder {
         self
     }
 
-    /// Sets the number of shard workers (default 1). With more than one,
-    /// every chunk is partitioned by client across `workers` threads, each
-    /// holding its own replica of every detector; verdicts are unchanged
-    /// thanks to the detectors' client-local state.
+    /// Sets the number of pool workers (default 1). The pipeline spawns
+    /// this many long-lived threads, each holding its own replica of
+    /// every detector for the pipeline's lifetime; every chunk is
+    /// partitioned by client across them. Verdicts are unchanged for any
+    /// worker count thanks to the detectors' client-local state.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
@@ -194,6 +208,46 @@ impl PipelineBuilder {
     /// chunks amortize dispatch and sharding overhead better.
     pub fn chunk_capacity(mut self, capacity: usize) -> Self {
         self.chunk_capacity = capacity;
+        self
+    }
+
+    /// Sets each pool worker's bounded job-queue capacity, in chunks
+    /// (default 2). This is the backpressure knob:
+    /// [`push`](Pipeline::push) blocks once a target worker's queue is
+    /// full or `workers × queue_depth + 1` chunks are in flight, so
+    /// entries held by the pipeline are bounded by
+    /// `chunk_capacity × (workers × queue_depth + 1)` in flight plus up
+    /// to one chunk buffering for ingest. Deeper queues smooth bursty
+    /// feeds at the cost of memory and alert latency. Verdicts never
+    /// depend on this value.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Bounds every detector's per-client state tables with the given
+    /// eviction policy (default: [`EvictionConfig::DISABLED`]).
+    ///
+    /// The policy reaches detectors through
+    /// [`Detector::set_eviction`](divscrape_detect::Detector::set_eviction),
+    /// which every stock detector implements. For a custom detector the
+    /// default `set_eviction` is a **no-op**: its own state keeps
+    /// growing (and reports zero in [`Pipeline::stats`]) unless it
+    /// overrides the hook — e.g. by keeping its per-client state in a
+    /// [`ClientStateTable`](divscrape_detect::ClientStateTable).
+    ///
+    /// With eviction disabled, pipeline output is bit-identical to the
+    /// unbounded implementation. With a TTL at least as long as the
+    /// detectors' session timeouts, session-scoped state is evicted only
+    /// when it would have been restarted anyway; a capacity bound
+    /// guarantees no table exceeds `max_clients` entries **per detector
+    /// replica** (each pool worker keeps its own tables over its own
+    /// client shard), at the cost of forgetting long-idle or
+    /// least-recently-seen clients — including, for Sentinel, cached
+    /// violators. Under a capacity bound, verdicts can therefore depend
+    /// on the worker count.
+    pub fn eviction(mut self, eviction: EvictionConfig) -> Self {
+        self.eviction = eviction;
         self
     }
 
@@ -213,6 +267,9 @@ impl PipelineBuilder {
         }
         if self.chunk_capacity == 0 {
             return Err(BuildError::NoChunkCapacity);
+        }
+        if self.queue_depth == 0 {
+            return Err(BuildError::NoQueueDepth);
         }
         let rule = match &self.adjudication {
             Adjudication::KOutOfN { k } => Rule::KOutOfN(
@@ -238,6 +295,8 @@ impl PipelineBuilder {
             self.sinks,
             self.workers,
             self.chunk_capacity,
+            self.queue_depth,
+            self.eviction,
         ))
     }
 }
@@ -297,6 +356,10 @@ mod tests {
         assert_eq!(
             base().chunk_capacity(0).build().unwrap_err(),
             BuildError::NoChunkCapacity
+        );
+        assert_eq!(
+            base().queue_depth(0).build().unwrap_err(),
+            BuildError::NoQueueDepth
         );
     }
 }

@@ -1,36 +1,241 @@
-//! The pipeline engine: chunked, client-sharded streaming execution.
+//! The pipeline engine: a persistent worker pool running chunked,
+//! client-sharded streaming execution with bounded-queue backpressure.
+//!
+//! # Execution model
+//!
+//! With `workers > 1`, [`Pipeline::assemble`] spawns one long-lived
+//! thread per configured worker. Each thread owns its own replica of
+//! every composed detector for the lifetime of the pipeline, so
+//! per-client detector state persists across chunk flushes without any
+//! re-warming or per-flush thread spawning (the previous engine spawned
+//! a scoped thread per flush). A single-worker pipeline runs its
+//! detectors inline on the driver thread — there is no parallelism to
+//! buy, so a handoff would be pure overhead; ingestion then
+//! backpressures maximally (every chunk is fully processed inside
+//! `push`). For the pool, work flows through two kinds of channels:
+//!
+//! * **Jobs** travel over a *bounded* SPSC channel per worker
+//!   (`std::sync::mpsc::sync_channel`). When a target worker's queue is
+//!   full, or the reorder buffer is at its cap, [`Pipeline::push`]
+//!   blocks until the pool catches up — backpressure instead of
+//!   unbounded buffering. Entries held driver-side are bounded by
+//!   `chunk_capacity × (workers × queue_depth + 1)` in flight, plus up
+//!   to one chunk's worth in the ingest buffer.
+//! * **Results** return over one shared unbounded MPSC channel. The
+//!   driver keeps a reorder buffer keyed by chunk sequence number and
+//!   finalizes chunks strictly in feed order: adjudication, sink
+//!   delivery and outcome accumulation all happen on the driver thread,
+//!   exactly as in the synchronous engine.
+//!
+//! Chunks are client-sharded: every entry goes to the worker that owns
+//! its client (stable hash), each worker batches maximal runs of
+//! consecutive positions through the detectors' fast paths, and verdicts
+//! scatter back to chunk positions. Because all stock detectors keep
+//! their state per client, the output is bit-identical to a sequential
+//! run for any worker count, chunk size or push granularity.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use divscrape_detect::parallel::run_index_runs;
-use divscrape_detect::{Sessionizer, Verdict};
+use divscrape_detect::{EvictionConfig, EvictionStats, Sessionizer, Verdict};
 use divscrape_ensemble::AlertVector;
 use divscrape_httplog::LogEntry;
 
 use crate::builder::Rule;
 use crate::sink::{Alert, AlertSink};
+use crate::stats::PipelineStats;
 use crate::PipelineDetector;
+
+/// Work shipped to a pool worker.
+enum Job {
+    /// Process this worker's shard of a chunk.
+    Chunk {
+        /// Feed-order chunk sequence number, echoed back in the result.
+        seq: u64,
+        /// The whole chunk, shared across the participating workers.
+        chunk: Arc<Vec<LogEntry>>,
+        /// Sorted chunk positions owned by this worker's shard, or
+        /// `None` when the worker owns the entire chunk (single-worker
+        /// pools skip the index bookkeeping entirely).
+        indices: Option<Vec<usize>>,
+    },
+    /// Reset every detector replica (queued in order, so it takes effect
+    /// before any chunk submitted after it).
+    Reset,
+}
+
+/// Per-detector verdicts of one worker's shard.
+enum ShardColumns {
+    /// The worker owned the whole chunk: one verdict per chunk position,
+    /// already in order (no scatter needed).
+    Whole(Vec<Vec<Verdict>>),
+    /// A proper shard: `(chunk_position, verdict)` pairs per detector.
+    Pairs(Vec<Vec<(usize, Verdict)>>),
+}
+
+/// One worker's finished shard of one chunk.
+struct WorkerResult {
+    seq: u64,
+    worker: usize,
+    columns: ShardColumns,
+    /// Wall time the worker spent in the detectors for this shard.
+    busy: Duration,
+    /// The worker's client-state footprint after this shard.
+    evict: EvictionStats,
+}
+
+/// A long-lived pool worker: its bounded job queue and join handle.
+struct WorkerHandle {
+    /// `None` only during teardown.
+    jobs: Option<SyncSender<Job>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Spawns a pool worker owning `detectors` for the pipeline's lifetime.
+fn spawn_worker(
+    id: usize,
+    mut detectors: Vec<Box<dyn PipelineDetector>>,
+    queue_depth: usize,
+    results: mpsc::Sender<WorkerResult>,
+) -> WorkerHandle {
+    let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(queue_depth);
+    let thread = std::thread::Builder::new()
+        .name(format!("divscrape-pipeline-{id}"))
+        .spawn(move || {
+            while let Ok(job) = jobs_rx.recv() {
+                match job {
+                    Job::Chunk {
+                        seq,
+                        chunk,
+                        indices,
+                    } => {
+                        let started = Instant::now();
+                        let columns = match &indices {
+                            None => ShardColumns::Whole(
+                                detectors
+                                    .iter_mut()
+                                    .map(|det| {
+                                        let mut col = Vec::with_capacity(chunk.len());
+                                        det.observe_batch(&chunk, &mut col);
+                                        col
+                                    })
+                                    .collect(),
+                            ),
+                            Some(indices) => ShardColumns::Pairs(
+                                detectors
+                                    .iter_mut()
+                                    .map(|det| run_index_runs(det, &chunk, indices))
+                                    .collect(),
+                            ),
+                        };
+                        let evict = EvictionStats::merge_all(
+                            detectors.iter().map(|det| det.eviction_stats()),
+                        );
+                        // The driver may already be gone during teardown.
+                        let _ = results.send(WorkerResult {
+                            seq,
+                            worker: id,
+                            columns,
+                            busy: started.elapsed(),
+                            evict,
+                        });
+                    }
+                    Job::Reset => {
+                        for det in &mut detectors {
+                            det.reset();
+                        }
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn pipeline worker thread");
+    WorkerHandle {
+        jobs: Some(jobs_tx),
+        thread: Some(thread),
+    }
+}
+
+/// A submitted chunk waiting for its worker results.
+struct PendingChunk {
+    chunk: Arc<Vec<LogEntry>>,
+    /// Workers that still owe a result for this chunk.
+    awaiting: usize,
+    /// Per detector, one verdict per chunk position (scattered in as
+    /// results arrive).
+    columns: Vec<Vec<Verdict>>,
+}
+
+/// Driver-side stat accumulators (see [`PipelineStats`] for semantics).
+#[derive(Debug, Default)]
+struct StatCounters {
+    chunks: u64,
+    alerts: u64,
+    max_inflight: usize,
+    detect_busy: Duration,
+    adjudicate_busy: Duration,
+    sink_busy: Duration,
+    max_live_clients: usize,
+}
 
 /// A composed streaming detection pipeline. Built by
 /// [`PipelineBuilder`](crate::PipelineBuilder); see the [crate docs](crate)
-/// for the model and a quickstart.
+/// for the model and a quickstart (the engine-module source documents the
+/// worker-pool execution model in full).
 ///
 /// Entries are buffered until the chunk capacity is reached, then the
-/// chunk runs through every detector (client-sharded across workers when
-/// configured), the adjudication rule combines the member verdicts, sinks
-/// fire for every adjudicated alert, and the per-entry outcomes accumulate
-/// until [`drain`](Self::drain) collects them. Chunk boundaries, push
+/// chunk is client-sharded across the persistent worker pool. Finished
+/// chunks are finalized strictly in feed order on the driver thread: the
+/// adjudication rule combines the member verdicts, sinks fire for every
+/// adjudicated alert, and the per-entry outcomes accumulate until
+/// [`drain`](Self::drain) collects them. Chunk boundaries, push
 /// granularity and worker count never change any verdict.
+///
+/// # Backpressure
+///
+/// Each pool worker's job queue is bounded
+/// ([`queue_depth`](crate::PipelineBuilder::queue_depth) chunks), and at
+/// most `workers × queue_depth + 1` chunks are in flight; when the pool
+/// falls behind, [`push`](Self::push) and
+/// [`push_batch`](Self::push_batch) block until a slot frees up instead
+/// of buffering without bound. A single-worker pipeline processes every
+/// chunk inline inside `push` — maximal backpressure by construction.
+/// [`stats`](Self::stats) exposes queue depth, per-stage latency and
+/// eviction counters.
+///
+/// # Panics
+///
+/// A detector that panics kills its worker thread; the next interaction
+/// with the pipeline panics with a "worker thread died" message rather
+/// than deadlocking.
 pub struct Pipeline {
-    workers: Vec<WorkerState>,
     names: Vec<String>,
     rule: Rule,
     sinks: Vec<Box<dyn AlertSink>>,
     chunk_capacity: usize,
+    queue_depth: usize,
     buffer: Vec<LogEntry>,
     acc_combined: Vec<bool>,
     acc_members: Vec<Vec<bool>>,
-    /// Entries processed through flushes so far; feed-order index base for
-    /// the buffered entries.
-    fed: u64,
+    /// `Some` for a single-worker pipeline: the detectors run inline on
+    /// the driver and the pool machinery below sits idle.
+    inline_crew: Option<Vec<Box<dyn PipelineDetector>>>,
+    workers: Vec<WorkerHandle>,
+    results: Receiver<WorkerResult>,
+    /// Sequence number for the next submitted chunk.
+    next_seq: u64,
+    /// Reorder buffer: submitted chunks not yet finalized, by sequence.
+    inflight: BTreeMap<u64, PendingChunk>,
+    /// Entries submitted to the pool (finalized or in flight).
+    submitted: u64,
+    /// Entries finalized; feed-order index base for the next chunk.
+    finalized: u64,
+    stats: StatCounters,
+    /// Latest eviction snapshot per worker.
+    worker_evict: Vec<EvictionStats>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -38,31 +243,13 @@ impl std::fmt::Debug for Pipeline {
         f.debug_struct("Pipeline")
             .field("members", &self.names)
             .field("rule", &self.rule.label())
-            .field("workers", &self.workers.len())
+            .field("workers", &self.worker_count())
             .field("chunk_capacity", &self.chunk_capacity)
+            .field("queue_depth", &self.queue_depth)
             .field("buffered", &self.buffer.len())
-            .field("processed", &self.fed)
+            .field("inflight_chunks", &self.inflight.len())
+            .field("processed", &self.finalized)
             .finish()
-    }
-}
-
-/// One shard worker's replicas of every composed detector.
-struct WorkerState {
-    detectors: Vec<Box<dyn PipelineDetector>>,
-}
-
-impl WorkerState {
-    /// Runs this worker's shard of a chunk through every replica.
-    ///
-    /// `indices` is the sorted list of chunk positions owned by this
-    /// shard; [`run_index_runs`] batches maximal runs of consecutive
-    /// positions through each detector's fast path. Returns, per
-    /// detector, the `(chunk_position, verdict)` pairs.
-    fn process(&mut self, chunk: &[LogEntry], indices: &[usize]) -> Vec<Vec<(usize, Verdict)>> {
-        self.detectors
-            .iter_mut()
-            .map(|det| run_index_runs(det, chunk, indices))
-            .collect()
     }
 }
 
@@ -92,35 +279,78 @@ impl PipelineReport {
 }
 
 impl Pipeline {
-    /// Assembles a validated pipeline (called by the builder).
+    /// Assembles a validated pipeline and spawns its worker pool (called
+    /// by the builder). A single-worker pipeline runs its detectors
+    /// inline on the driver instead — there is no parallelism to buy, so
+    /// the cross-thread handoff would be pure overhead (this mirrors the
+    /// replaced engine, which only spawned threads for `workers > 1`).
     pub(crate) fn assemble(
         detectors: Vec<Box<dyn PipelineDetector>>,
         rule: Rule,
         sinks: Vec<Box<dyn AlertSink>>,
         workers: usize,
         chunk_capacity: usize,
+        queue_depth: usize,
+        eviction: EvictionConfig,
     ) -> Self {
         let names: Vec<String> = detectors.iter().map(|d| d.name().to_owned()).collect();
         let n_members = names.len();
-        let mut worker_states = Vec::with_capacity(workers);
-        // Replicas for the extra shard workers; worker 0 owns the
-        // originals.
-        for _ in 1..workers {
-            worker_states.push(WorkerState {
-                detectors: detectors.iter().map(|d| d.clone_boxed()).collect(),
-            });
-        }
-        worker_states.insert(0, WorkerState { detectors });
+
+        let (results_tx, results_rx) = mpsc::channel();
+        let mut inline_crew = None;
+        let handles: Vec<WorkerHandle> = if workers == 1 {
+            let mut crew = detectors;
+            if !eviction.is_disabled() {
+                for det in &mut crew {
+                    det.set_eviction(eviction);
+                }
+            }
+            inline_crew = Some(crew);
+            Vec::new()
+        } else {
+            // Worker 0 takes the originals; the others get replicas.
+            let mut crews: Vec<Vec<Box<dyn PipelineDetector>>> = Vec::with_capacity(workers);
+            for _ in 1..workers {
+                crews.push(detectors.iter().map(|d| d.clone_boxed()).collect());
+            }
+            crews.insert(0, detectors);
+            crews
+                .into_iter()
+                .enumerate()
+                .map(|(id, mut crew)| {
+                    if !eviction.is_disabled() {
+                        for det in &mut crew {
+                            det.set_eviction(eviction);
+                        }
+                    }
+                    spawn_worker(id, crew, queue_depth, results_tx.clone())
+                })
+                .collect()
+        };
+
+        let tracked_workers = if inline_crew.is_some() {
+            1
+        } else {
+            handles.len()
+        };
         Self {
-            workers: worker_states,
             names,
             rule,
             sinks,
             chunk_capacity,
+            queue_depth,
             buffer: Vec::new(),
             acc_combined: Vec::new(),
             acc_members: vec![Vec::new(); n_members],
-            fed: 0,
+            worker_evict: vec![EvictionStats::default(); tracked_workers],
+            inline_crew,
+            workers: handles,
+            results: results_rx,
+            next_seq: 0,
+            inflight: BTreeMap::new(),
+            submitted: 0,
+            finalized: 0,
+            stats: StatCounters::default(),
         }
     }
 
@@ -129,48 +359,112 @@ impl Pipeline {
         self.names.iter().map(String::as_str).collect()
     }
 
-    /// Number of shard workers.
+    /// Number of workers running detectors: the pool size, or 1 when the
+    /// pipeline runs inline on the driver.
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        if self.inline_crew.is_some() {
+            1
+        } else {
+            self.workers.len()
+        }
     }
 
-    /// Entries accepted so far (processed plus still buffered).
+    /// Bounded job-queue capacity per worker, in chunks.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Entries accepted so far (finalized, in flight, or buffered).
     pub fn requests_seen(&self) -> u64 {
-        self.fed + self.buffer.len() as u64
+        self.submitted + self.buffer.len() as u64
     }
 
-    /// Entries buffered and not yet run through the detectors.
+    /// Entries buffered on the driver and not yet submitted to the pool.
     pub fn pending(&self) -> usize {
         self.buffer.len()
     }
 
-    /// Feeds one entry, flushing a chunk if the buffer is full.
+    /// A snapshot of the pipeline's operational counters: throughput,
+    /// queue depth, per-stage latency and client-state eviction. Cheap —
+    /// reads driver-side accumulators only (worker eviction footprints
+    /// are as of each worker's most recently collected result).
+    pub fn stats(&self) -> PipelineStats {
+        let inflight_entries: usize = self.inflight.values().map(|p| p.chunk.len()).sum();
+        PipelineStats {
+            entries_processed: self.finalized,
+            entries_pending: self.buffer.len() + inflight_entries,
+            chunks_processed: self.stats.chunks,
+            alerts: self.stats.alerts,
+            inflight_chunks: self.inflight.len(),
+            max_inflight_chunks: self.stats.max_inflight,
+            detect_busy: self.stats.detect_busy,
+            adjudicate_busy: self.stats.adjudicate_busy,
+            sink_busy: self.stats.sink_busy,
+            live_clients: self
+                .worker_evict
+                .iter()
+                .map(|e| e.live_clients)
+                .max()
+                .unwrap_or(0),
+            max_live_clients: self.stats.max_live_clients,
+            evicted_clients: self.worker_evict.iter().map(|e| e.evicted_clients).sum(),
+        }
+    }
+
+    /// Feeds one entry, submitting a chunk to the pool if the buffer is
+    /// full. Blocks (backpressure) when a chunk must be submitted and
+    /// either a target worker's job queue is full or the number of
+    /// in-flight chunks has reached `workers × queue_depth + 1`.
     pub fn push(&mut self, entry: LogEntry) {
         self.buffer.push(entry);
         self.flush_full_chunks();
     }
 
-    /// Feeds a batch of entries, flushing as chunks fill. Any chunking of
-    /// a log — including one entry at a time — yields identical verdicts.
-    /// A push larger than the chunk capacity is processed as several
-    /// capacity-sized chunks, so per-flush scratch memory stays bounded by
-    /// the configured capacity regardless of push size.
+    /// Feeds a batch of entries, submitting chunks as they fill. Any
+    /// chunking of a log — including one entry at a time — yields
+    /// identical verdicts. The batch is consumed one chunk at a time
+    /// (copy a chunk's worth, submit, repeat), so entries held by the
+    /// pipeline stay bounded by the configured chunk capacity and queue
+    /// depths regardless of the batch size — a batch larger than the
+    /// in-flight budget simply blocks in here (backpressure) while the
+    /// caller's slice is read in place.
     pub fn push_batch(&mut self, entries: &[LogEntry]) {
-        self.buffer.extend_from_slice(entries);
-        self.flush_full_chunks();
+        let mut rest = entries;
+        loop {
+            let room = self.chunk_capacity - self.buffer.len();
+            if rest.len() < room {
+                self.buffer.extend_from_slice(rest);
+                return;
+            }
+            let (take, tail) = rest.split_at(room);
+            rest = tail;
+            self.buffer.extend_from_slice(take);
+            let chunk = std::mem::take(&mut self.buffer);
+            self.submit_chunk(chunk);
+        }
     }
 
-    /// Processes anything still buffered and returns everything
-    /// accumulated since construction (or the previous drain).
+    /// Processes anything still buffered or in flight and returns
+    /// everything accumulated since construction (or the previous
+    /// drain).
     ///
     /// Detector state is untouched — the stream can keep going, and
     /// subsequent reports continue from the same per-client evidence.
+    ///
+    /// The final partial chunk is processed exactly like a full one:
+    /// client-sharded across the pool, with workers whose shard is empty
+    /// (fewer distinct clients than workers — common at the tail of a
+    /// stream) simply not participating. An idle worker cannot change
+    /// any verdict, because verdicts only depend on per-client state and
+    /// every client's entries still reach its owning worker in feed
+    /// order.
     pub fn drain(&mut self) -> PipelineReport {
         self.flush_full_chunks();
         if !self.buffer.is_empty() {
             let residue = std::mem::take(&mut self.buffer);
-            self.process_chunk(residue);
+            self.submit_chunk(residue);
         }
+        self.wait_for_inflight();
         let combined =
             AlertVector::from_bools(self.rule.label(), &std::mem::take(&mut self.acc_combined));
         let members = self
@@ -185,79 +479,269 @@ impl Pipeline {
     /// Clears all state: detector evidence, buffered entries, accumulated
     /// results and the feed-order counter. Sinks are kept but see a fresh
     /// stream.
+    ///
+    /// Chunks already submitted to the pool are finalized first (their
+    /// sinks fire, as they would have at flush time in a synchronous
+    /// engine); buffered-but-unsubmitted entries are discarded.
     pub fn reset(&mut self) {
-        for worker in &mut self.workers {
-            for det in &mut worker.detectors {
+        self.wait_for_inflight();
+        if let Some(crew) = &mut self.inline_crew {
+            for det in crew {
                 det.reset();
             }
+        }
+        for worker in &self.workers {
+            worker
+                .jobs
+                .as_ref()
+                .expect("worker pool running")
+                .send(Job::Reset)
+                .expect("pipeline worker thread died");
         }
         self.buffer.clear();
         self.acc_combined.clear();
         for acc in &mut self.acc_members {
             acc.clear();
         }
-        self.fed = 0;
+        self.next_seq = 0;
+        self.submitted = 0;
+        self.finalized = 0;
+        self.stats = StatCounters::default();
+        self.worker_evict = vec![EvictionStats::default(); self.worker_evict.len()];
     }
 
-    /// Processes capacity-sized chunks while the buffer holds at least one.
+    /// Submits capacity-sized chunks while the buffer holds at least one.
     fn flush_full_chunks(&mut self) {
         while self.buffer.len() >= self.chunk_capacity {
             let chunk: Vec<LogEntry> = self.buffer.drain(..self.chunk_capacity).collect();
-            self.process_chunk(chunk);
+            self.submit_chunk(chunk);
         }
     }
 
-    /// Runs one chunk through the detectors, adjudicates, fires sinks and
-    /// accumulates the outcome.
-    fn process_chunk(&mut self, chunk: Vec<LogEntry>) {
-        let n_detectors = self.names.len();
+    /// Hard cap on chunks in flight. Per-worker queues alone do not
+    /// bound the reorder buffer: fast workers could complete chunk after
+    /// chunk behind one slow chunk that blocks in-order finalization,
+    /// all of them parked in the buffer. The global cap closes that
+    /// hole: at most `workers × queue_depth + 1` chunks are in flight,
+    /// on top of the (≤ one-chunk) ingest buffer.
+    fn inflight_cap(&self) -> usize {
+        self.workers.len() * self.queue_depth + 1
+    }
 
-        let columns: Vec<Vec<Verdict>> = if self.workers.len() == 1 {
-            self.workers[0]
-                .detectors
-                .iter_mut()
-                .map(|det| {
-                    let mut col = Vec::with_capacity(chunk.len());
-                    det.observe_batch(&chunk, &mut col);
-                    col
-                })
-                .collect()
+    /// Ships one chunk to the pool: client-shards it, enqueues a job per
+    /// participating worker (blocking on full queues or a full reorder
+    /// buffer — this is where backpressure bites) and opportunistically
+    /// finalizes any chunks whose results are already back.
+    fn submit_chunk(&mut self, chunk: Vec<LogEntry>) {
+        debug_assert!(!chunk.is_empty(), "never submit an empty chunk");
+        // Single-worker pipelines run the chunk inline on the driver:
+        // maximal backpressure, zero handoff.
+        if self.inline_crew.is_some() {
+            self.process_chunk_inline(chunk);
+            return;
+        }
+        // Backpressure, part one: keep the reorder buffer at or under
+        // the cap. The oldest in-flight chunk always has an outstanding
+        // worker job (anything complete and in order was finalized when
+        // its last result was applied), so a result is always coming.
+        while self.inflight.len() >= self.inflight_cap() {
+            let result = self.next_result();
+            self.apply_result(result);
+            self.finalize_ready();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let n = chunk.len();
+        let n_detectors = self.names.len();
+        let shard_count = self.workers.len();
+        let chunk = Arc::new(chunk);
+
+        // A chunk wholly owned by one worker (single-worker pool, or all
+        // clients hashing to one shard) skips the index bookkeeping: the
+        // worker runs the plain batch path and returns in-order columns.
+        let jobs: Vec<(usize, Option<Vec<usize>>)> = if shard_count == 1 {
+            vec![(0, None)]
         } else {
-            // Client-sharded execution: partition the chunk's positions by
-            // client, give each shard to its worker's replicas, and write
-            // the verdicts back to chunk positions. Client-local detector
-            // state makes this verdict-identical to the sequential path.
-            let shard_count = self.workers.len();
             let mut shards: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
             for (i, e) in chunk.iter().enumerate() {
                 shards[Sessionizer::shard_of(&e.client_key(), shard_count)].push(i);
             }
-            let mut columns = vec![vec![Verdict::CLEAR; chunk.len()]; n_detectors];
-            let chunk_ref = &chunk;
-            let results: Vec<Vec<Vec<(usize, Verdict)>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .workers
-                    .iter_mut()
-                    .zip(&shards)
-                    .filter(|(_, shard)| !shard.is_empty())
-                    .map(|(worker, shard)| scope.spawn(move || worker.process(chunk_ref, shard)))
-                    .collect();
-                handles
+            if shards.iter().filter(|shard| !shard.is_empty()).count() == 1 {
+                let owner = shards.iter().position(|shard| !shard.is_empty()).unwrap();
+                vec![(owner, None)]
+            } else {
+                shards
                     .into_iter()
-                    .map(|h| h.join().expect("pipeline worker panicked"))
+                    .enumerate()
+                    .filter(|(_, shard)| !shard.is_empty())
+                    .map(|(worker, shard)| (worker, Some(shard)))
                     .collect()
-            });
-            for per_detector in results {
-                for (d, pairs) in per_detector.into_iter().enumerate() {
-                    for (i, v) in pairs {
-                        columns[d][i] = v;
+            }
+        };
+        let columns = if matches!(jobs.as_slice(), [(_, None)]) {
+            Vec::new() // replaced wholesale by the whole-chunk result
+        } else {
+            vec![vec![Verdict::CLEAR; n]; n_detectors]
+        };
+        self.inflight.insert(
+            seq,
+            PendingChunk {
+                chunk: Arc::clone(&chunk),
+                awaiting: jobs.len(),
+                columns,
+            },
+        );
+        self.submitted += n as u64;
+        self.stats.max_inflight = self.stats.max_inflight.max(self.inflight.len());
+
+        for (worker, indices) in jobs {
+            let mut job = Job::Chunk {
+                seq,
+                chunk: Arc::clone(&chunk),
+                indices,
+            };
+            loop {
+                let sender = self.workers[worker].jobs.as_ref().expect("pool running");
+                match sender.try_send(job) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(returned)) => {
+                        // Backpressure: the worker's queue is full. Absorb
+                        // a finished result if one arrives, but retry the
+                        // send either way — a full queue usually means
+                        // chunk work is outstanding, but it can also hold
+                        // result-less `Job::Reset` entries, so blocking
+                        // for a result here could wait forever.
+                        job = returned;
+                        if let Some(result) = self.poll_result() {
+                            self.apply_result(result);
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        panic!("pipeline worker thread died")
                     }
                 }
             }
-            columns
-        };
+        }
+
+        // Absorb whatever already finished and finalize in feed order.
+        while let Ok(result) = self.results.try_recv() {
+            self.apply_result(result);
+        }
+        self.finalize_ready();
+    }
+
+    /// Runs one chunk through the inline crew on the driver thread and
+    /// finalizes it immediately — the single-worker execution path.
+    fn process_chunk_inline(&mut self, chunk: Vec<LogEntry>) {
+        let started = Instant::now();
+        let chunk = Arc::new(chunk);
+        let crew = self.inline_crew.as_mut().expect("inline pipeline");
+        let columns: Vec<Vec<Verdict>> = crew
+            .iter_mut()
+            .map(|det| {
+                let mut col = Vec::with_capacity(chunk.len());
+                det.observe_batch(&chunk, &mut col);
+                col
+            })
+            .collect();
+        let evict = EvictionStats::merge_all(crew.iter().map(|det| det.eviction_stats()));
+        self.stats.detect_busy += started.elapsed();
+        self.stats.max_live_clients = self.stats.max_live_clients.max(evict.live_clients);
+        self.worker_evict[0] = evict;
+        self.submitted += chunk.len() as u64;
+        self.finalize(PendingChunk {
+            chunk,
+            awaiting: 0,
+            columns,
+        });
+    }
+
+    /// Waits briefly for a worker result, detecting dead workers.
+    /// Returns `None` on a quiet timeout so the caller can retry
+    /// whatever it was blocked on.
+    fn poll_result(&mut self) -> Option<WorkerResult> {
+        match self.results.recv_timeout(Duration::from_millis(5)) {
+            Ok(result) => Some(result),
+            Err(RecvTimeoutError::Timeout) => {
+                let dead = self
+                    .workers
+                    .iter()
+                    .any(|w| w.thread.as_ref().is_some_and(|t| t.is_finished()));
+                assert!(!dead, "pipeline worker thread died");
+                None
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("all pipeline worker threads died")
+            }
+        }
+    }
+
+    /// Blocks for the next worker result, detecting dead workers instead
+    /// of hanging. Only sound while a chunk job is outstanding (a result
+    /// is guaranteed to arrive).
+    fn next_result(&mut self) -> WorkerResult {
+        loop {
+            if let Some(result) = self.poll_result() {
+                return result;
+            }
+        }
+    }
+
+    /// Merges one worker result into its pending chunk and updates the
+    /// pool telemetry.
+    fn apply_result(&mut self, result: WorkerResult) {
+        self.stats.detect_busy += result.busy;
+        self.stats.max_live_clients = self.stats.max_live_clients.max(result.evict.live_clients);
+        self.worker_evict[result.worker] = result.evict;
+        let pending = self
+            .inflight
+            .get_mut(&result.seq)
+            .expect("result for unknown chunk");
+        match result.columns {
+            ShardColumns::Whole(columns) => {
+                debug_assert_eq!(pending.awaiting, 1, "whole-chunk result shares a chunk");
+                pending.columns = columns;
+            }
+            ShardColumns::Pairs(per_detector) => {
+                for (det, pairs) in per_detector.into_iter().enumerate() {
+                    for (i, v) in pairs {
+                        pending.columns[det][i] = v;
+                    }
+                }
+            }
+        }
+        pending.awaiting -= 1;
+    }
+
+    /// Finalizes every chunk that is complete and next in feed order.
+    fn finalize_ready(&mut self) {
+        while let Some(entry) = self.inflight.first_entry() {
+            if entry.get().awaiting > 0 {
+                break;
+            }
+            let pending = entry.remove();
+            self.finalize(pending);
+        }
+    }
+
+    /// Blocks until every in-flight chunk is finalized.
+    fn wait_for_inflight(&mut self) {
+        self.finalize_ready();
+        while !self.inflight.is_empty() {
+            let result = self.next_result();
+            self.apply_result(result);
+            self.finalize_ready();
+        }
+    }
+
+    /// Adjudicates one finished chunk, fires sinks and accumulates the
+    /// outcome. Runs on the driver thread, strictly in feed order.
+    fn finalize(&mut self, pending: PendingChunk) {
+        let PendingChunk { chunk, columns, .. } = pending;
+        let n_detectors = self.names.len();
 
         // Online adjudication, reusing the ensemble rules verbatim.
+        let adjudicate_started = Instant::now();
         let member_bools: Vec<Vec<bool>> = columns
             .iter()
             .map(|col| col.iter().map(|v| v.alert).collect())
@@ -273,8 +757,11 @@ impl Pipeline {
             Rule::Weighted(rule) => rule.apply(&refs),
         };
         let combined_bools = combined.to_bools();
+        self.stats.adjudicate_busy += adjudicate_started.elapsed();
+        self.stats.alerts += combined_bools.iter().filter(|alert| **alert).count() as u64;
 
         if !self.sinks.is_empty() {
+            let sink_started = Instant::now();
             let mut votes = vec![false; n_detectors];
             for (i, entry) in chunk.iter().enumerate() {
                 if combined_bools[i] {
@@ -282,7 +769,7 @@ impl Pipeline {
                         *vote = member[i];
                     }
                     let alert = Alert {
-                        index: self.fed + i as u64,
+                        index: self.finalized + i as u64,
                         entry,
                         votes: &votes,
                     };
@@ -291,12 +778,29 @@ impl Pipeline {
                     }
                 }
             }
+            self.stats.sink_busy += sink_started.elapsed();
         }
 
-        self.fed += chunk.len() as u64;
+        self.finalized += chunk.len() as u64;
+        self.stats.chunks += 1;
         self.acc_combined.extend_from_slice(&combined_bools);
         for (acc, member) in self.acc_members.iter_mut().zip(member_bools) {
             acc.extend(member);
+        }
+    }
+}
+
+impl Drop for Pipeline {
+    /// Disconnects the job queues (workers exit after finishing what is
+    /// already queued) and joins the pool.
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            worker.jobs.take();
+        }
+        for worker in &mut self.workers {
+            if let Some(thread) = worker.thread.take() {
+                let _ = thread.join();
+            }
         }
     }
 }
@@ -424,6 +928,7 @@ mod tests {
             expected.len() as u64
         );
         assert_eq!(*indices.lock().unwrap(), expected);
+        assert_eq!(pipeline.stats().alerts, expected.len() as u64);
     }
 
     #[test]
@@ -469,5 +974,149 @@ mod tests {
         let report = pipeline.drain();
         assert_eq!(report.requests(), 0);
         assert_eq!(report.members.len(), 1);
+    }
+
+    #[test]
+    fn small_chunks_keep_memory_bounded_under_backpressure() {
+        // A tiny chunk capacity with a deep feed forces many in-flight
+        // submissions; the bounded queues must cap the reorder buffer at
+        // workers × queue_depth + 1 chunks.
+        let log = generate(&ScenarioConfig::tiny(18)).unwrap();
+        let expected = offline_kofn(&log, 1);
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .workers(2)
+            .queue_depth(1)
+            .chunk_capacity(13)
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let bound = pipeline.worker_count() * pipeline.queue_depth() + 1;
+        assert!(
+            pipeline.stats().max_inflight_chunks <= bound,
+            "inflight high-water {} exceeds bound {bound}",
+            pipeline.stats().max_inflight_chunks
+        );
+        assert_eq!(pipeline.drain().combined.to_bools(), expected);
+    }
+
+    #[test]
+    fn drain_flushes_partial_chunks_with_more_workers_than_clients() {
+        // The boundary the clamp used to paper over: a final partial
+        // chunk with fewer distinct clients than pool workers. Idle
+        // workers must not change verdicts or lose entries.
+        let log = generate(&ScenarioConfig::tiny(19)).unwrap();
+        // A slice short enough to hold only a handful of clients.
+        let few = &log.entries()[..5];
+        let mut sequential = Sentinel::stock();
+        let expected = run_alerts(&mut sequential, few);
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .workers(8)
+            .chunk_capacity(4096) // never fills: everything is drain residue
+            .build()
+            .unwrap();
+        pipeline.push_batch(few);
+        assert_eq!(pipeline.pending(), few.len(), "all residue pre-drain");
+        let report = pipeline.drain();
+        assert_eq!(report.combined.to_bools(), expected);
+        assert_eq!(report.requests(), few.len());
+    }
+
+    #[test]
+    fn stats_track_throughput_queue_depth_and_latency() {
+        let log = generate(&ScenarioConfig::tiny(20)).unwrap();
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .workers(2)
+            .chunk_capacity(100)
+            .build()
+            .unwrap();
+        assert_eq!(pipeline.stats(), PipelineStats::default());
+        pipeline.push_batch(log.entries());
+        let _ = pipeline.drain();
+        let stats = pipeline.stats();
+        assert_eq!(stats.entries_processed, log.len() as u64);
+        assert_eq!(stats.entries_pending, 0);
+        assert_eq!(stats.inflight_chunks, 0);
+        assert_eq!(stats.chunks_processed, (log.len() as u64).div_ceil(100));
+        assert!(stats.max_inflight_chunks >= 1);
+        assert!(stats.detect_busy > Duration::ZERO);
+        assert!(stats.alerts > 0, "bot-heavy traffic must alert");
+        // No eviction configured: tables grow, nothing is evicted.
+        assert!(stats.live_clients > 0);
+        assert_eq!(stats.evicted_clients, 0);
+        // Reset rewinds the telemetry.
+        pipeline.reset();
+        assert_eq!(pipeline.stats(), PipelineStats::default());
+    }
+
+    #[test]
+    fn push_immediately_after_reset_does_not_deadlock() {
+        // Regression: `reset` enqueues result-less `Job::Reset` entries;
+        // with depth-1 queues a chunk submitted before the workers
+        // dequeue them used to block forever waiting for a result that
+        // could never come.
+        let log = generate(&ScenarioConfig::tiny(22)).unwrap();
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .workers(2)
+            .queue_depth(1)
+            .chunk_capacity(11)
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let first = pipeline.drain();
+        pipeline.reset();
+        pipeline.push_batch(log.entries()); // races the queued Resets
+        let second = pipeline.drain();
+        assert_eq!(first.combined.to_bools(), second.combined.to_bools());
+    }
+
+    #[test]
+    fn one_shot_batch_is_consumed_chunk_by_chunk() {
+        // A batch far larger than the chunk capacity must not be staged
+        // in the driver buffer wholesale; the buffer never exceeds one
+        // chunk and the verdicts are unchanged.
+        let log = generate(&ScenarioConfig::tiny(23)).unwrap();
+        let expected = offline_kofn(&log, 1);
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .chunk_capacity(17)
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries()); // one shot, ~70 chunks
+        assert!(
+            pipeline.pending() < 17,
+            "ingest buffer held {} entries, over a chunk",
+            pipeline.pending()
+        );
+        assert_eq!(pipeline.drain().combined.to_bools(), expected);
+    }
+
+    #[test]
+    fn eviction_capacity_bounds_live_clients() {
+        let log = generate(&ScenarioConfig::tiny(21)).unwrap();
+        let cap = 8usize;
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .eviction(EvictionConfig::capacity(cap))
+            .chunk_capacity(64)
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let _ = pipeline.drain();
+        let stats = pipeline.stats();
+        assert!(
+            stats.max_live_clients <= cap,
+            "table occupancy {} exceeded capacity {cap}",
+            stats.max_live_clients
+        );
+        assert!(stats.evicted_clients > 0, "churn must evict");
     }
 }

@@ -15,15 +15,29 @@
 //!   one entry, [`push_batch`](Pipeline::push_batch) a slice — buffers it
 //!   into chunks, and runs each chunk through every detector's batched
 //!   fast path ([`Detector::observe_batch`]).
-//! * With [`workers(n)`](PipelineBuilder::workers), each chunk is
-//!   client-sharded across `n` worker threads, each owning its own replica
-//!   of every detector. Because every stock detector keeps its state per
-//!   client, the output is **bit-identical** to a sequential run — the
-//!   same invariant `divscrape_detect::parallel` exploits, here with
-//!   detector state persisting across chunks.
+//! * With [`workers(n)`](PipelineBuilder::workers), the pipeline runs a
+//!   **persistent worker pool**: `n` long-lived threads, each owning its
+//!   own replica of every detector for the pipeline's lifetime. Chunks
+//!   are client-sharded across the pool through *bounded* job queues, so
+//!   a feed that outruns the detectors blocks in
+//!   [`push`](Pipeline::push) (backpressure) instead of buffering
+//!   without bound; [`queue_depth`](PipelineBuilder::queue_depth) sets
+//!   the bound. Because every stock detector keeps its state per client,
+//!   the output is **bit-identical** to a sequential run — the same
+//!   invariant `divscrape_detect::parallel` exploits, here with detector
+//!   state persisting across chunks and no per-flush thread spawning.
+//! * For long-running streams,
+//!   [`eviction`](PipelineBuilder::eviction) bounds every detector's
+//!   per-client state tables with TTL and LRU-capacity policies
+//!   ([`EvictionConfig`], from `divscrape-detect`); off by default and
+//!   then bit-identical to the unbounded tables.
+//! * [`stats`](Pipeline::stats) snapshots the pipeline's operational
+//!   counters ([`PipelineStats`]): throughput, queue depth, per-stage
+//!   latency, and client-state occupancy/evictions.
 //! * [`drain`](Pipeline::drain) flushes and returns a [`PipelineReport`]
-//!   with the adjudicated [`AlertVector`] plus one per member, ready for
-//!   the contingency/diversity analyses in `divscrape-ensemble`.
+//!   with the adjudicated [`AlertVector`](divscrape_ensemble::AlertVector)
+//!   plus one per member, ready for the contingency/diversity analyses in
+//!   `divscrape-ensemble`.
 //!
 //! # Quickstart: stream a log through the paper's two tools
 //!
@@ -38,7 +52,8 @@
 //!     .detector(Sentinel::stock())
 //!     .detector(Arcane::stock())
 //!     .adjudication(Adjudication::k_of_n(1)) // alert when either tool does
-//!     .workers(2)
+//!     .workers(2)      // persistent two-thread pool
+//!     .queue_depth(2)  // at most 2 chunks queued per worker
 //!     .build()
 //!     .map_err(|e| e.to_string())?;
 //!
@@ -52,6 +67,34 @@
 //! assert_eq!(report.members.len(), 2);
 //! // The 1-of-2 union alerts at least as often as either tool alone.
 //! assert!(report.combined.count() >= report.members[0].count());
+//!
+//! // Operational telemetry: throughput, queue depth, stage latency.
+//! let stats = pipeline.stats();
+//! assert_eq!(stats.entries_processed, log.len() as u64);
+//! assert_eq!(stats.inflight_chunks, 0); // drained
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! # Bounding memory on endless streams
+//!
+//! Per-client detector state grows with the number of distinct clients;
+//! long-running deployments bound it with an eviction policy:
+//!
+//! ```
+//! use divscrape_detect::Sentinel;
+//! use divscrape_pipeline::{EvictionConfig, PipelineBuilder};
+//! use divscrape_traffic::{generate, ScenarioConfig};
+//!
+//! let log = generate(&ScenarioConfig::tiny(7))?;
+//! let mut pipeline = PipelineBuilder::new()
+//!     .detector(Sentinel::stock())
+//!     // Forget clients idle > 1 hour; never track more than 10k.
+//!     .eviction(EvictionConfig::ttl(3_600).with_capacity(10_000))
+//!     .build()
+//!     .map_err(|e| e.to_string())?;
+//! pipeline.push_batch(log.entries());
+//! let _ = pipeline.drain();
+//! assert!(pipeline.stats().max_live_clients <= 10_000);
 //! # Ok::<(), String>(())
 //! ```
 
@@ -61,10 +104,16 @@
 mod builder;
 mod engine;
 mod sink;
+mod stats;
 
 pub use builder::{Adjudication, BuildError, PipelineBuilder};
 pub use engine::{Pipeline, PipelineReport};
 pub use sink::{Alert, AlertSink, CollectingSink, CountingSink};
+pub use stats::PipelineStats;
+
+// Re-exported so pipeline deployments can configure state eviction
+// without depending on `divscrape-detect` directly.
+pub use divscrape_detect::{EvictionConfig, EvictionStats};
 
 use divscrape_detect::Detector;
 

@@ -25,9 +25,12 @@ impl Alert<'_> {
 
 /// Receives every adjudicated alert, in feed order.
 ///
-/// Sinks run on the pipeline's driver thread during a chunk flush; a slow
-/// sink backpressures the pipeline, which is the honest behavior for an
-/// alerting stage. Closures qualify: any `FnMut(&Alert) + Send` is a sink.
+/// Sinks run on the pipeline's driver thread when a finished chunk is
+/// finalized (chunks finalize strictly in feed order, so alerts arrive in
+/// feed order even under multi-worker execution). A slow sink slows the
+/// driver and therefore backpressures the pipeline, which is the honest
+/// behavior for an alerting stage. Closures qualify: any
+/// `FnMut(&Alert) + Send` is a sink.
 pub trait AlertSink: Send {
     /// Called once per adjudicated alert.
     fn on_alert(&mut self, alert: &Alert<'_>);

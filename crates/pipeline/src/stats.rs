@@ -1,0 +1,64 @@
+//! Pipeline observability: the [`Pipeline::stats`](crate::Pipeline::stats)
+//! snapshot.
+
+use std::time::Duration;
+
+/// A point-in-time snapshot of a pipeline's operational counters.
+///
+/// Returned by [`Pipeline::stats`](crate::Pipeline::stats). Counter
+/// semantics:
+///
+/// * **Throughput** — [`entries_processed`](Self::entries_processed),
+///   [`chunks_processed`](Self::chunks_processed) and
+///   [`alerts`](Self::alerts) cover finalized work only (adjudicated,
+///   sinks fired, outcome accumulated for the next drain).
+/// * **Queue depth** — [`inflight_chunks`](Self::inflight_chunks) is the
+///   number of chunks currently handed to the worker pool and not yet
+///   finalized; [`max_inflight_chunks`](Self::max_inflight_chunks) is its
+///   high-water mark. Together with
+///   [`entries_pending`](Self::entries_pending) (buffered + in-flight
+///   entries) they bound the pipeline's working memory.
+/// * **Per-stage latency** — [`detect_busy`](Self::detect_busy) is summed
+///   worker busy time across the pool (it can exceed wall-clock time when
+///   several workers run in parallel);
+///   [`adjudicate_busy`](Self::adjudicate_busy) and
+///   [`sink_busy`](Self::sink_busy) are driver-thread time spent
+///   combining verdicts and delivering alerts.
+/// * **Eviction** — [`live_clients`](Self::live_clients) is the occupancy
+///   of the largest single per-client state table across all detector
+///   replicas (as of each worker's most recently collected result),
+///   [`max_live_clients`](Self::max_live_clients) its high-water mark,
+///   and [`evicted_clients`](Self::evicted_clients) the total clients
+///   dropped by TTL or capacity eviction. With an eviction capacity `C`
+///   configured, `max_live_clients <= C` holds for the whole run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Entries finalized: run through the detectors, adjudicated and
+    /// accumulated.
+    pub entries_processed: u64,
+    /// Entries accepted but not yet finalized (driver buffer plus chunks
+    /// in flight on the worker pool).
+    pub entries_pending: usize,
+    /// Chunks finalized.
+    pub chunks_processed: u64,
+    /// Adjudicated alerts raised so far.
+    pub alerts: u64,
+    /// Chunks currently in flight on the worker pool.
+    pub inflight_chunks: usize,
+    /// High-water mark of [`inflight_chunks`](Self::inflight_chunks).
+    pub max_inflight_chunks: usize,
+    /// Total detector busy time summed across all workers.
+    pub detect_busy: Duration,
+    /// Driver time spent combining member verdicts.
+    pub adjudicate_busy: Duration,
+    /// Driver time spent delivering alerts to sinks.
+    pub sink_busy: Duration,
+    /// Current occupancy of the largest per-client state table across
+    /// all detector replicas.
+    pub live_clients: usize,
+    /// High-water mark of [`live_clients`](Self::live_clients).
+    pub max_live_clients: usize,
+    /// Clients evicted from detector state tables (TTL + capacity),
+    /// summed across all replicas.
+    pub evicted_clients: u64,
+}

@@ -2,7 +2,7 @@
 //!
 //! One module per client population. Every actor exposes a `plan_session`
 //! function that turns a seeded RNG plus a start time, address and client id
-//! into a [`SessionPlan`]. All behavioural knobs live in per-actor config
+//! into a [`SessionPlan`](crate::SessionPlan). All behavioural knobs live in per-actor config
 //! structs so experiments (ablations, calibration sweeps) can perturb one
 //! population without touching the others.
 

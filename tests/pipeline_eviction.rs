@@ -1,0 +1,116 @@
+//! Pipeline-level eviction and backpressure guarantees on long synthetic
+//! streams: with eviction enabled at capacity `C`, no detector replica's
+//! per-client table ever exceeds `C` entries, while the bounded job
+//! queues cap the reorder buffer — the two memory bounds that make the
+//! pipeline deployable on endless traffic.
+//!
+//! The default test streams hundreds of thousands of entries over tens
+//! of thousands of distinct clients (enough churn to evict constantly);
+//! the `#[ignore]`d variant scales the same check to 10× the paper's
+//! 1.47M-request log for release-mode soak runs:
+//! `cargo test --release -q -- --ignored pipeline_eviction`.
+
+use std::net::Ipv4Addr;
+
+use divscrape_detect::{Arcane, Sentinel};
+use divscrape_httplog::{ClfTimestamp, HttpStatus, LogEntry};
+use divscrape_pipeline::{EvictionConfig, PipelineBuilder};
+
+const BROWSER: &str = "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36";
+
+/// A cheap synthetic stream: `requests` entries in timestamp order,
+/// cycling over `clients` distinct clients with a mix of page, asset and
+/// search paths. Hand-rolled (rather than the traffic generator) so the
+/// 10× soak variant can build tens of millions of entries quickly.
+fn synthetic_stream(clients: u32, requests: u64) -> impl Iterator<Item = LogEntry> {
+    (0..requests).map(move |i| {
+        let c = (i % u64::from(clients)) as u32;
+        let path = match i % 5 {
+            0 => format!("/offers/{}", i % 211),
+            1 => "/static/js/app.js".to_owned(),
+            2 => format!("/search?q={}", i % 89),
+            3 => "/static/css/main.css".to_owned(),
+            _ => format!("/offers/{}", i % 53),
+        };
+        LogEntry::builder()
+            .addr(Ipv4Addr::new(
+                81,
+                (4 + c / 65_536) as u8,
+                ((c / 256) % 256) as u8,
+                (c % 256) as u8,
+            ))
+            .timestamp(ClfTimestamp::PAPER_WINDOW_START.plus_seconds((i / 20) as i64))
+            .request(format!("GET {path} HTTP/1.1").parse().unwrap())
+            .status(HttpStatus::OK)
+            .bytes(Some(1000))
+            .user_agent(BROWSER)
+            .build()
+            .unwrap()
+    })
+}
+
+/// Streams `requests` entries over `clients` clients through a
+/// capacity-bounded pipeline, asserting the table and queue bounds as
+/// invariants along the way.
+fn run_bounded_stream(clients: u32, requests: u64, cap: usize) {
+    let workers = 4usize;
+    let queue_depth = 2usize;
+    let mut pipeline = PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .workers(workers)
+        .queue_depth(queue_depth)
+        .chunk_capacity(4_096)
+        .eviction(EvictionConfig::capacity(cap))
+        .build()
+        .unwrap();
+
+    let mut batch = Vec::with_capacity(1_024);
+    for (i, entry) in synthetic_stream(clients, requests).enumerate() {
+        batch.push(entry);
+        if batch.len() == batch.capacity() {
+            pipeline.push_batch(&batch);
+            batch.clear();
+            if i % 65_536 < 1_024 {
+                let stats = pipeline.stats();
+                assert!(
+                    stats.max_live_clients <= cap,
+                    "table occupancy {} exceeded capacity {cap} at entry {i}",
+                    stats.max_live_clients
+                );
+            }
+        }
+    }
+    pipeline.push_batch(&batch);
+    let report = pipeline.drain();
+    assert_eq!(report.requests() as u64, requests);
+
+    let stats = pipeline.stats();
+    assert_eq!(stats.entries_processed, requests);
+    assert!(
+        stats.max_live_clients <= cap,
+        "final table occupancy {} exceeded capacity {cap}",
+        stats.max_live_clients
+    );
+    assert!(
+        stats.evicted_clients > 0,
+        "{clients} clients through {cap}-slot tables must evict"
+    );
+    let inflight_bound = workers * queue_depth + 1;
+    assert!(
+        stats.max_inflight_chunks <= inflight_bound,
+        "reorder buffer grew to {} chunks (bound {inflight_bound})",
+        stats.max_inflight_chunks
+    );
+}
+
+#[test]
+fn capacity_bound_holds_on_a_long_high_churn_stream() {
+    run_bounded_stream(30_000, 120_000, 512);
+}
+
+#[test]
+#[ignore = "10x-paper-scale soak; minutes of runtime — run with --release -- --ignored"]
+fn capacity_bound_holds_at_ten_times_paper_scale() {
+    run_bounded_stream(500_000, 14_697_440, 4_096);
+}
