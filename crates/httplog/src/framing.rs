@@ -1,0 +1,363 @@
+//! Incremental line framing for byte streams.
+//!
+//! Live log sources — a file being appended to, a TCP connection carrying
+//! log lines — deliver *bytes*, not lines: a read can end in the middle
+//! of a line, a line can span many reads, and a hostile or broken sender
+//! can ship a "line" that never ends. [`LineFramer`] turns that byte
+//! stream back into the complete, bounded lines [`LogEntry`] parsing
+//! expects:
+//!
+//! * **Chunk boundaries disappear.** Bytes are buffered until a `\n`
+//!   arrives; feeding a log one byte at a time yields exactly the same
+//!   lines as feeding it whole.
+//! * **Lines are bounded.** A line longer than the configured cap is
+//!   discarded as it streams in — the framer never buffers more than the
+//!   cap — and surfaces as one [`FramedLine::Oversized`] event so callers
+//!   can count it, instead of silently vanishing or exhausting memory.
+//! * **Terminators and encoding are normalized.** Trailing `\r` is
+//!   stripped (CRLF senders welcome), blank lines are skipped (matching
+//!   [`LogReader`](crate::LogReader)), and invalid UTF-8 is replaced
+//!   lossily so one mangled byte cannot wedge a feed.
+//!
+//! [`LogEntry`]: crate::LogEntry
+
+/// Default maximum line length in bytes (64 KiB) — far above any real
+/// Combined Log Format line, low enough that a newline-free sender
+/// cannot grow the buffer without bound.
+pub const DEFAULT_MAX_LINE: usize = 64 * 1024;
+
+/// One framed unit from a [`LineFramer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FramedLine {
+    /// A complete line (terminator stripped, never empty).
+    Complete(String),
+    /// A line longer than the framer's cap was discarded; `dropped_bytes`
+    /// is its length excluding the terminator.
+    Oversized {
+        /// Bytes of line content discarded.
+        dropped_bytes: usize,
+    },
+}
+
+/// Reassembles complete lines from arbitrarily chunked bytes.
+///
+/// Push bytes with [`push`](Self::push) as they arrive, then pop framed
+/// lines with [`next_line`](Self::next_line) until it returns `None`; at
+/// end-of-stream, [`finish`](Self::finish) flushes a trailing
+/// unterminated line.
+///
+/// ```
+/// use divscrape_httplog::{FramedLine, LineFramer};
+///
+/// let mut framer = LineFramer::new();
+/// // A chunk boundary in the middle of a line is invisible:
+/// framer.push(b"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] \"GET / ");
+/// assert!(framer.next_line().is_none());
+/// framer.push(b"HTTP/1.1\" 200 12 \"-\" \"curl/7.58.0\"\r\nnext");
+/// match framer.next_line() {
+///     Some(FramedLine::Complete(line)) => assert!(line.ends_with("\"curl/7.58.0\"")),
+///     other => panic!("expected a complete line, got {other:?}"),
+/// }
+/// // "next" has no terminator yet; finish() flushes it at end-of-stream.
+/// assert!(framer.next_line().is_none());
+/// assert_eq!(framer.finish(), Some(FramedLine::Complete("next".into())));
+/// ```
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// First unconsumed byte: `buf[..start]` was already handed out as
+    /// lines and is reclaimed (one memmove) on the next `push`.
+    start: usize,
+    /// Bytes in `start..scan` are known to contain no `\n`.
+    scan: usize,
+    max_line: usize,
+    /// Discarding an over-long line until its terminator arrives.
+    discarding: bool,
+    /// Bytes discarded so far from the current over-long line.
+    dropped: usize,
+    lines: u64,
+    oversized: u64,
+}
+
+impl Default for LineFramer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LineFramer {
+    /// A framer with the [default line cap](DEFAULT_MAX_LINE).
+    pub fn new() -> Self {
+        Self::with_max_line(DEFAULT_MAX_LINE)
+    }
+
+    /// A framer capping lines at `max_line` content bytes (terminator
+    /// excluded). Values below 1 are treated as 1.
+    pub fn with_max_line(max_line: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+            scan: 0,
+            max_line: max_line.max(1),
+            discarding: false,
+            dropped: 0,
+            lines: 0,
+            oversized: 0,
+        }
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact once per push: everything before `start` was already
+        // consumed by `next_line`. One memmove of the (usually tiny)
+        // unconsumed tail, instead of shifting the whole buffer per
+        // extracted line.
+        if self.start > 0 {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+            self.scan -= self.start;
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next framed line, or `None` when no complete line is
+    /// buffered yet. Blank lines are skipped; a buffered line exceeding
+    /// the cap is discarded and reported as [`FramedLine::Oversized`].
+    pub fn next_line(&mut self) -> Option<FramedLine> {
+        loop {
+            let Some(rel) = self.buf[self.scan..].iter().position(|&b| b == b'\n') else {
+                self.scan = self.buf.len();
+                // No terminator in sight: once the pending line exceeds
+                // the cap (+1 slack for a buffered `\r`), stop buffering
+                // and discard until the terminator shows up.
+                if self.discarding || self.pending_bytes() > self.max_line + 1 {
+                    self.dropped += self.pending_bytes();
+                    self.reset_buffer();
+                    self.discarding = true;
+                }
+                return None;
+            };
+            let newline = self.scan + rel;
+            if self.discarding {
+                let dropped_bytes = self.dropped + (newline - self.start);
+                self.consume_through(newline);
+                self.discarding = false;
+                self.dropped = 0;
+                self.oversized += 1;
+                return Some(FramedLine::Oversized { dropped_bytes });
+            }
+            let mut end = newline;
+            while end > self.start && self.buf[end - 1] == b'\r' {
+                end -= 1;
+            }
+            let framed = self.frame(end);
+            self.consume_through(newline);
+            if let Some(framed) = framed {
+                return Some(framed);
+            }
+            // Blank line: keep scanning.
+        }
+    }
+
+    /// Flushes a trailing line that ended without a terminator — call at
+    /// end-of-stream (a closed connection, the end of a static file).
+    /// Afterwards the framer is empty and reusable.
+    pub fn finish(&mut self) -> Option<FramedLine> {
+        if self.discarding {
+            let dropped_bytes = self.dropped + self.pending_bytes();
+            self.reset_buffer();
+            self.discarding = false;
+            self.dropped = 0;
+            self.oversized += 1;
+            return Some(FramedLine::Oversized { dropped_bytes });
+        }
+        let mut end = self.buf.len();
+        while end > self.start && self.buf[end - 1] == b'\r' {
+            end -= 1;
+        }
+        let framed = self.frame(end);
+        self.reset_buffer();
+        framed
+    }
+
+    /// Drops any buffered partial line without emitting it. Used when the
+    /// underlying stream is known to have discontinued mid-line (e.g. a
+    /// tailed file was truncated): the buffered prefix no longer
+    /// corresponds to anything.
+    pub fn abandon_partial(&mut self) {
+        self.reset_buffer();
+        self.discarding = false;
+        self.dropped = 0;
+    }
+
+    /// Bytes buffered waiting for a terminator.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Marks everything through `newline` (inclusive) as consumed; the
+    /// bytes are reclaimed by the next `push`.
+    fn consume_through(&mut self, newline: usize) {
+        self.start = newline + 1;
+        self.scan = self.start;
+    }
+
+    /// Empties the buffer entirely.
+    fn reset_buffer(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+        self.scan = 0;
+    }
+
+    /// Complete lines framed so far (blank lines excluded).
+    pub fn lines_framed(&self) -> u64 {
+        self.lines
+    }
+
+    /// Over-long lines discarded so far.
+    pub fn lines_oversized(&self) -> u64 {
+        self.oversized
+    }
+
+    /// Frames `buf[start..end]` as a line, bumping the counters. `None`
+    /// for a blank line.
+    fn frame(&mut self, end: usize) -> Option<FramedLine> {
+        let len = end - self.start;
+        if len == 0 {
+            return None;
+        }
+        if len > self.max_line {
+            self.oversized += 1;
+            return Some(FramedLine::Oversized { dropped_bytes: len });
+        }
+        self.lines += 1;
+        Some(FramedLine::Complete(
+            String::from_utf8_lossy(&self.buf[self.start..end]).into_owned(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(framed: Option<FramedLine>) -> String {
+        match framed {
+            Some(FramedLine::Complete(s)) => s,
+            other => panic!("expected complete line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_byte_feeding_matches_whole_feeding() {
+        let data = b"alpha\nbeta\r\ngamma\n";
+        let mut whole = LineFramer::new();
+        whole.push(data);
+        let mut by_byte = LineFramer::new();
+        let mut from_bytes = Vec::new();
+        for &b in data {
+            by_byte.push(&[b]);
+            while let Some(line) = by_byte.next_line() {
+                from_bytes.push(line);
+            }
+        }
+        let mut from_whole = Vec::new();
+        while let Some(line) = whole.next_line() {
+            from_whole.push(line);
+        }
+        assert_eq!(from_bytes, from_whole);
+        assert_eq!(from_bytes.len(), 3);
+        assert_eq!(complete(Some(from_bytes[1].clone())), "beta");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut f = LineFramer::new();
+        f.push(b"\n\r\n  x\n\n");
+        assert_eq!(complete(f.next_line()), "  x");
+        assert!(f.next_line().is_none());
+        assert_eq!(f.lines_framed(), 1);
+    }
+
+    #[test]
+    fn oversized_line_is_discarded_not_buffered() {
+        let mut f = LineFramer::with_max_line(8);
+        // Stream 100 bytes without a newline: the buffer must stay capped.
+        for _ in 0..10 {
+            f.push(b"0123456789");
+            assert!(f.next_line().is_none());
+            assert!(f.pending_bytes() <= 10 + 8, "buffer grew past the cap");
+        }
+        f.push(b"\nshort\n");
+        assert_eq!(
+            f.next_line(),
+            Some(FramedLine::Oversized { dropped_bytes: 100 })
+        );
+        assert_eq!(complete(f.next_line()), "short");
+        assert_eq!(f.lines_oversized(), 1);
+    }
+
+    #[test]
+    fn oversized_line_arriving_whole_is_still_flagged() {
+        let mut f = LineFramer::with_max_line(4);
+        f.push(b"longline\nok\n");
+        assert_eq!(
+            f.next_line(),
+            Some(FramedLine::Oversized { dropped_bytes: 8 })
+        );
+        assert_eq!(complete(f.next_line()), "ok");
+    }
+
+    #[test]
+    fn line_of_exactly_max_length_passes() {
+        let mut f = LineFramer::with_max_line(4);
+        f.push(b"abcd");
+        assert!(f.next_line().is_none()); // terminator not seen yet
+        f.push(b"\r\n");
+        assert_eq!(complete(f.next_line()), "abcd");
+    }
+
+    #[test]
+    fn finish_flushes_trailing_partial_and_resets() {
+        let mut f = LineFramer::new();
+        f.push(b"done\nhalf");
+        assert_eq!(complete(f.next_line()), "done");
+        assert!(f.next_line().is_none());
+        assert_eq!(f.finish(), Some(FramedLine::Complete("half".into())));
+        assert_eq!(f.finish(), None);
+        assert_eq!(f.pending_bytes(), 0);
+        f.push(b"again\n");
+        assert_eq!(complete(f.next_line()), "again");
+    }
+
+    #[test]
+    fn finish_reports_oversized_partial() {
+        let mut f = LineFramer::with_max_line(4);
+        f.push(b"0123456789");
+        assert!(f.next_line().is_none());
+        assert_eq!(
+            f.finish(),
+            Some(FramedLine::Oversized { dropped_bytes: 10 })
+        );
+    }
+
+    #[test]
+    fn abandon_partial_drops_buffered_prefix() {
+        let mut f = LineFramer::new();
+        f.push(b"orphaned prefix with no end");
+        f.abandon_partial();
+        f.push(b"fresh\n");
+        assert_eq!(complete(f.next_line()), "fresh");
+        assert_eq!(f.lines_framed(), 1);
+    }
+
+    #[test]
+    fn invalid_utf8_is_replaced_lossily() {
+        let mut f = LineFramer::new();
+        f.push(b"ok \xff\xfe bytes\n");
+        let line = complete(f.next_line());
+        assert!(line.starts_with("ok "));
+        assert!(line.contains('\u{FFFD}'));
+    }
+}

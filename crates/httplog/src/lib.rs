@@ -18,6 +18,9 @@
 //! * [`LogEntry`] — one Combined Log Format record, with a builder,
 //!   [`parse`](LogEntry::parse) and `Display` round-tripping.
 //! * [`LogReader`] / [`LogWriter`] — streaming line-oriented I/O.
+//! * [`LineFramer`] — incremental line framing for live byte streams
+//!   (file tails, sockets): chunk-boundary reassembly, bounded line
+//!   length, terminator/encoding normalization.
 //! * [`Cidr`] and [`ip`] helpers — IPv4 subnet utilities used by the traffic
 //!   generator (botnet address allocation) and detectors (reputation feeds).
 //!
@@ -39,6 +42,7 @@
 
 mod entry;
 mod error;
+mod framing;
 mod io;
 pub mod ip;
 mod method;
@@ -50,6 +54,7 @@ mod useragent;
 
 pub use entry::{LogEntry, LogEntryBuilder};
 pub use error::{BuildLogEntryError, ParseLogError, ParseLogErrorKind};
+pub use framing::{FramedLine, LineFramer, DEFAULT_MAX_LINE};
 pub use io::{LogReader, LogWriter};
 pub use ip::Cidr;
 pub use method::{HttpMethod, ParseMethodError};

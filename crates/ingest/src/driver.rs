@@ -1,0 +1,450 @@
+//! The [`IngestDriver`]: couples a [`LogSource`] to a
+//! [`Pipeline`], with malformed-line policy and graceful shutdown.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use divscrape_httplog::{LogEntry, ParseLogError};
+use divscrape_pipeline::{Pipeline, PipelineReport, PipelineStats};
+
+use crate::source::{LogSource, SourceEvent};
+
+/// Default source poll timeout: long enough to sleep efficiently, short
+/// enough that a stop request is honoured promptly.
+const DEFAULT_TICK: Duration = Duration::from_millis(25);
+
+/// What the driver does with a line that fails Combined Log Format
+/// parsing (or was discarded as over-long by the source's framer).
+///
+/// Production logs routinely contain the odd mangled line; which policy
+/// is right depends on whether the feed is trusted.
+///
+/// ```
+/// use divscrape_ingest::ErrorPolicy;
+///
+/// // Count and move on — the default, right for real-world feeds.
+/// let policy = ErrorPolicy::Skip;
+/// assert!(matches!(policy, ErrorPolicy::Skip));
+/// ```
+pub enum ErrorPolicy {
+    /// Count the line in [`IngestStats::parse_errors`] and continue.
+    Skip,
+    /// Stop the run with [`IngestError::Malformed`] /
+    /// [`IngestError::Oversized`] — for feeds that must be clean.
+    Abort,
+    /// Append the raw line to the given writer (one line per record,
+    /// reprocessable as a log file) and continue. Over-long lines, whose
+    /// bytes were already discarded, are recorded as a `#`-prefixed
+    /// marker comment instead.
+    Quarantine(Box<dyn Write + Send>),
+}
+
+impl ErrorPolicy {
+    /// Quarantines malformed lines to any writer.
+    ///
+    /// ```
+    /// use divscrape_ingest::ErrorPolicy;
+    ///
+    /// let policy = ErrorPolicy::quarantine_to(Vec::new());
+    /// assert!(matches!(policy, ErrorPolicy::Quarantine(_)));
+    /// ```
+    pub fn quarantine_to(writer: impl Write + Send + 'static) -> Self {
+        ErrorPolicy::Quarantine(Box::new(writer))
+    }
+
+    /// Quarantines malformed lines to a file, appending if it exists.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be opened for append.
+    pub fn quarantine_file(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(ErrorPolicy::Quarantine(Box::new(io::BufWriter::new(file))))
+    }
+}
+
+impl std::fmt::Debug for ErrorPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorPolicy::Skip => f.write_str("Skip"),
+            ErrorPolicy::Abort => f.write_str("Abort"),
+            ErrorPolicy::Quarantine(_) => f.write_str("Quarantine(..)"),
+        }
+    }
+}
+
+/// Counters describing one driver's ingestion so far — the source-side
+/// complement of [`PipelineStats`]. Cumulative across
+/// [`run`](IngestDriver::run)s of the same driver.
+///
+/// ```
+/// use divscrape_ingest::IngestStats;
+///
+/// let stats = IngestStats::default();
+/// assert_eq!(stats.lines_read, 0);
+/// assert_eq!(stats.blocked_in_push, std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Lines received from the source (well-formed or not, including
+    /// over-long discards).
+    pub lines_read: u64,
+    /// Entries parsed and pushed into the pipeline.
+    pub entries_ingested: u64,
+    /// Lines that failed Combined Log Format parsing.
+    pub parse_errors: u64,
+    /// Over-long lines the source's framer discarded.
+    pub oversized_lines: u64,
+    /// Malformed lines written to the quarantine.
+    pub quarantined: u64,
+    /// High-water mark of the source's reported backlog
+    /// ([`LogSource::backlog`]) — how far ingestion lagged the producer,
+    /// in source units (bytes for a file tail, entries for a replay).
+    /// Sampled (every idle tick and once per 1024 lines), not exact.
+    pub max_source_backlog: u64,
+    /// Total time spent inside [`Pipeline::push`]. Pushes are cheap
+    /// buffer appends until the worker pool saturates, so this is in
+    /// effect the time ingestion spent blocked on pipeline backpressure.
+    pub blocked_in_push: Duration,
+    /// Total time spent waiting on a quiet source.
+    pub source_wait: Duration,
+}
+
+/// Why an [`IngestDriver::run`] stopped ingesting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndReason {
+    /// The source reported [`SourceEvent::Eof`].
+    SourceExhausted,
+    /// A [`StopHandle`] requested shutdown.
+    Stopped,
+}
+
+/// Everything an [`IngestDriver::run`] produced: the drained pipeline
+/// report plus source-side and pipeline-side telemetry.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// The adjudicated alert vectors for every entry ingested by this
+    /// run (and any entries pushed since the pipeline's last drain).
+    pub report: PipelineReport,
+    /// Source-side counters, cumulative for the driver.
+    pub stats: IngestStats,
+    /// The pipeline's operational counters at drain time.
+    pub pipeline: PipelineStats,
+    /// Why ingestion ended.
+    pub end: EndReason,
+}
+
+/// Why an [`IngestDriver::run`] failed.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The source failed unrecoverably.
+    Source(io::Error),
+    /// A line failed to parse under [`ErrorPolicy::Abort`].
+    Malformed {
+        /// 1-based position of the line in this driver's feed.
+        line_no: u64,
+        /// The offending raw line.
+        line: String,
+        /// The parse failure.
+        source: ParseLogError,
+    },
+    /// The source discarded an over-long line under
+    /// [`ErrorPolicy::Abort`].
+    Oversized {
+        /// 1-based position of the line in this driver's feed.
+        line_no: u64,
+        /// Bytes of line content discarded.
+        dropped_bytes: usize,
+    },
+    /// The quarantine writer failed.
+    Quarantine(io::Error),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Source(e) => write!(f, "log source failed: {e}"),
+            IngestError::Malformed {
+                line_no, source, ..
+            } => write!(f, "malformed line {line_no}: {source}"),
+            IngestError::Oversized {
+                line_no,
+                dropped_bytes,
+            } => write!(
+                f,
+                "line {line_no} exceeded the length cap ({dropped_bytes} bytes dropped)"
+            ),
+            IngestError::Quarantine(e) => write!(f, "quarantine writer failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Source(e) | IngestError::Quarantine(e) => Some(e),
+            IngestError::Malformed { source, .. } => Some(source),
+            IngestError::Oversized { .. } => None,
+        }
+    }
+}
+
+/// Requests a graceful stop of a running [`IngestDriver`] from another
+/// thread: the driver stops pulling from the source, drains the
+/// pipeline (every entry already ingested is adjudicated and delivered
+/// to the sinks) and returns its [`IngestReport`].
+///
+/// ```
+/// use divscrape_ingest::{IngestDriver, StopHandle};
+/// use divscrape_detect::Sentinel;
+/// use divscrape_pipeline::PipelineBuilder;
+///
+/// let pipeline = PipelineBuilder::new().detector(Sentinel::stock()).build()?;
+/// let driver = IngestDriver::new(pipeline);
+/// let handle: StopHandle = driver.stop_handle();
+/// assert!(!handle.is_stopped());
+/// handle.stop(); // the next driver tick notices and drains
+/// assert!(handle.is_stopped());
+/// # Ok::<(), divscrape_pipeline::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StopHandle(Arc<AtomicBool>);
+
+impl StopHandle {
+    /// Requests the stop. Idempotent; effective within one driver tick.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Pumps a [`LogSource`] into a [`Pipeline`]: the composition root of
+/// live ingestion. Owns the pipeline; parse failures go through the
+/// configured [`ErrorPolicy`], a [`StopHandle`] ends ingestion
+/// gracefully (drain, not drop), and [`IngestStats`] accounts for every
+/// line on the way through.
+///
+/// ```
+/// use divscrape_detect::{Arcane, Sentinel};
+/// use divscrape_ingest::{EndReason, IngestDriver, Replay, ReplayPace};
+/// use divscrape_pipeline::{Adjudication, PipelineBuilder};
+/// use divscrape_traffic::{generate, ScenarioConfig};
+///
+/// let log = generate(&ScenarioConfig::tiny(42)).map_err(|e| e.to_string())?;
+/// let pipeline = PipelineBuilder::new()
+///     .detector(Sentinel::stock())
+///     .detector(Arcane::stock())
+///     .adjudication(Adjudication::k_of_n(1))
+///     .build()
+///     .map_err(|e| e.to_string())?;
+///
+/// let mut driver = IngestDriver::new(pipeline);
+/// let mut source = Replay::from_entries(log.entries(), ReplayPace::Unlimited);
+/// let outcome = driver.run(&mut source).map_err(|e| e.to_string())?;
+///
+/// assert_eq!(outcome.end, EndReason::SourceExhausted);
+/// assert_eq!(outcome.stats.entries_ingested, log.len() as u64);
+/// assert_eq!(outcome.report.requests(), log.len());
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug)]
+pub struct IngestDriver {
+    pipeline: Pipeline,
+    policy: ErrorPolicy,
+    tick: Duration,
+    stop: Arc<AtomicBool>,
+    stats: IngestStats,
+}
+
+impl IngestDriver {
+    /// A driver over `pipeline` with [`ErrorPolicy::Skip`] and the
+    /// default tick.
+    pub fn new(pipeline: Pipeline) -> Self {
+        Self {
+            pipeline,
+            policy: ErrorPolicy::Skip,
+            tick: DEFAULT_TICK,
+            stop: Arc::new(AtomicBool::new(false)),
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Sets the malformed-line policy (default: [`ErrorPolicy::Skip`]).
+    #[must_use]
+    pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the source poll timeout — the upper bound on how long a stop
+    /// request can go unnoticed while the source is quiet (default
+    /// 25ms).
+    #[must_use]
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick.max(Duration::from_millis(1));
+        self
+    }
+
+    /// A handle that stops a [`run`](Self::run) from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle(Arc::clone(&self.stop))
+    }
+
+    /// Source-side counters so far (cumulative across runs).
+    pub fn stats(&self) -> IngestStats {
+        self.stats.clone()
+    }
+
+    /// The driven pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Mutable access to the driven pipeline (e.g. to
+    /// [`reset`](Pipeline::reset) between runs).
+    pub fn pipeline_mut(&mut self) -> &mut Pipeline {
+        &mut self.pipeline
+    }
+
+    /// Releases the pipeline, detector state intact.
+    pub fn into_pipeline(self) -> Pipeline {
+        self.pipeline
+    }
+
+    /// Pumps `source` into the pipeline until the source is exhausted or
+    /// a [`StopHandle`] fires, then **drains**: every ingested entry is
+    /// adjudicated, delivered to the sinks (which are flushed) and
+    /// accounted in the returned [`IngestReport`]. Detector state
+    /// persists across runs, so consecutive runs continue one logical
+    /// stream. A stop requested while no run is active is not lost: the
+    /// next run observes it immediately (each run consumes one stop
+    /// request).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError`] when the source fails, the quarantine
+    /// writer fails, or a malformed line arrives under
+    /// [`ErrorPolicy::Abort`]. Entries ingested before the failure stay
+    /// in the pipeline (not drained), so a caller can recover and
+    /// continue or drain manually.
+    pub fn run<S: LogSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<IngestReport, IngestError> {
+        let end = self.pump(source);
+        // Flush the quarantine on *every* exit, error paths included —
+        // the most recent rejected lines are exactly what an operator
+        // diagnosing the failure needs to see on disk.
+        if let ErrorPolicy::Quarantine(writer) = &mut self.policy {
+            writer.flush().map_err(IngestError::Quarantine)?;
+        }
+        let end = end?;
+        let report = self.pipeline.drain();
+        Ok(IngestReport {
+            report,
+            stats: self.stats.clone(),
+            pipeline: self.pipeline.stats(),
+            end,
+        })
+    }
+
+    /// The ingestion loop of [`run`](Self::run): pulls source events
+    /// until EOF, a stop request, or a failure.
+    fn pump<S: LogSource + ?Sized>(&mut self, source: &mut S) -> Result<EndReason, IngestError> {
+        loop {
+            // `swap` consumes the request: a stop raised before this run
+            // even started still ends it (never silently discarded), and
+            // the next run starts fresh.
+            if self.stop.swap(false, Ordering::AcqRel) {
+                return Ok(EndReason::Stopped);
+            }
+            // `backlog` can cost a syscall (FileTail stats the path), so
+            // sample the lag gauge instead of paying it per line: on
+            // every idle tick, and once per 1024 lines while busy.
+            if self.stats.lines_read.is_multiple_of(1024) {
+                self.sample_backlog(&*source);
+            }
+            let polled = Instant::now();
+            match source.poll(self.tick).map_err(IngestError::Source)? {
+                SourceEvent::Line(line) => {
+                    self.stats.lines_read += 1;
+                    match LogEntry::parse(&line) {
+                        Ok(entry) => {
+                            let pushed = Instant::now();
+                            self.pipeline.push(entry);
+                            self.stats.blocked_in_push += pushed.elapsed();
+                            self.stats.entries_ingested += 1;
+                        }
+                        Err(source) => {
+                            self.stats.parse_errors += 1;
+                            self.handle_malformed(line, source)?;
+                        }
+                    }
+                }
+                SourceEvent::Truncated { dropped_bytes } => {
+                    self.stats.lines_read += 1;
+                    self.stats.oversized_lines += 1;
+                    self.handle_oversized(dropped_bytes)?;
+                }
+                SourceEvent::Idle => {
+                    self.stats.source_wait += polled.elapsed();
+                    self.sample_backlog(&*source);
+                }
+                SourceEvent::Eof => return Ok(EndReason::SourceExhausted),
+            }
+        }
+    }
+
+    /// Updates the source-lag high-water mark.
+    fn sample_backlog<S: LogSource + ?Sized>(&mut self, source: &S) {
+        if let Some(backlog) = source.backlog() {
+            self.stats.max_source_backlog = self.stats.max_source_backlog.max(backlog);
+        }
+    }
+
+    fn handle_malformed(&mut self, line: String, source: ParseLogError) -> Result<(), IngestError> {
+        match &mut self.policy {
+            ErrorPolicy::Skip => Ok(()),
+            ErrorPolicy::Abort => Err(IngestError::Malformed {
+                line_no: self.stats.lines_read,
+                line,
+                source,
+            }),
+            ErrorPolicy::Quarantine(writer) => {
+                writeln!(writer, "{line}").map_err(IngestError::Quarantine)?;
+                self.stats.quarantined += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn handle_oversized(&mut self, dropped_bytes: usize) -> Result<(), IngestError> {
+        match &mut self.policy {
+            ErrorPolicy::Skip => Ok(()),
+            ErrorPolicy::Abort => Err(IngestError::Oversized {
+                line_no: self.stats.lines_read,
+                dropped_bytes,
+            }),
+            ErrorPolicy::Quarantine(writer) => {
+                // The bytes are gone; leave a marker that is invisible to
+                // a reprocessing run (parse-wise) yet greppable.
+                writeln!(
+                    writer,
+                    "# divscrape-ingest: oversized line dropped ({dropped_bytes} bytes)"
+                )
+                .map_err(IngestError::Quarantine)?;
+                self.stats.quarantined += 1;
+                Ok(())
+            }
+        }
+    }
+}

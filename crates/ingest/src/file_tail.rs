@@ -1,0 +1,439 @@
+//! Follow a growing log file, surviving rotation and truncation.
+
+use std::fs::{File, Metadata};
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use divscrape_httplog::LineFramer;
+
+use crate::source::{LogSource, SourceEvent};
+
+/// How long the tail sleeps between looks at a quiet file.
+const QUIET_SLEEP: Duration = Duration::from_millis(10);
+
+/// A [`LogSource`] that reads a log file incrementally — the `tail -F`
+/// of this crate, with the semantics production log shippers need:
+///
+/// * **Growth** — bytes appended after the last read are picked up on
+///   the next [`poll`](LogSource::poll); a write that ends mid-line
+///   stays buffered until the line's terminator arrives.
+/// * **Rotation** — when the path is replaced by a new file (`logrotate`
+///   style: rename + recreate), the tail finishes the old file's last
+///   complete line, then reopens the path and continues from the new
+///   file's start. Detected by file identity (inode) on Unix, by the
+///   file shrinking elsewhere.
+/// * **Truncation** — when the file is truncated in place
+///   (`copytruncate` style), the tail rewinds to the start; a partial
+///   line buffered from before the truncation is discarded (its ending
+///   no longer exists).
+///
+/// One race is inherent to every polling tail (`tail -F` included) and
+/// is **not** detected: an in-place truncation whose file has already
+/// regrown past the previous read offset by the time the tail looks
+/// again is indistinguishable from a plain append (same identity, not
+/// shorter), so the bytes written before that offset are skipped. On
+/// busy logs prefer rename-based rotation, which the identity check
+/// catches regardless of timing.
+///
+/// Three entry points cover the deployment modes:
+/// [`follow`](Self::follow) starts at the current end (live tailing),
+/// [`follow_from_start`](Self::follow_from_start) replays the existing
+/// content first and then keeps following, and
+/// [`read_to_end`](Self::read_to_end) reads the current content and
+/// reports [`SourceEvent::Eof`] instead of waiting (batch mode).
+///
+/// ```
+/// use divscrape_ingest::{FileTail, LogSource, SourceEvent};
+/// use std::io::Write;
+/// use std::time::Duration;
+///
+/// let path = std::env::temp_dir().join(format!("divscrape-tail-doc-{}.log", std::process::id()));
+/// let line = r#"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 200 12 "-" "curl/7.58.0""#;
+/// std::fs::write(&path, format!("{line}\n"))?;
+///
+/// let mut tail = FileTail::read_to_end(&path)?;
+/// assert_eq!(
+///     tail.poll(Duration::from_millis(20))?,
+///     SourceEvent::Line(line.to_owned())
+/// );
+/// assert_eq!(tail.poll(Duration::from_millis(20))?, SourceEvent::Eof);
+/// std::fs::remove_file(&path)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct FileTail {
+    path: PathBuf,
+    file: Option<File>,
+    /// Identity of the open file, for rotation detection.
+    identity: Option<FileId>,
+    /// Bytes consumed from the open file.
+    pos: u64,
+    framer: LineFramer,
+    /// Keep waiting at end-of-file (`false` = report `Eof`).
+    follow: bool,
+    finished: bool,
+    rotations: u64,
+    truncations: u64,
+}
+
+/// What [`FileTail::check_rollover`] found at end-of-file.
+enum Rollover {
+    /// Same file, nothing new — wait (or finish, in batch mode).
+    Steady,
+    /// The old file's byte stream ended (rotation): flush its trailing
+    /// partial line, then keep reading from the replacement.
+    StreamEnded,
+    /// Same stream, new position (truncation): just re-read.
+    Repositioned,
+}
+
+/// Identity of an open file. On Unix the (device, inode) pair; on other
+/// platforms unavailable, so rotation falls back to shrink detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FileId {
+    #[cfg(unix)]
+    dev: u64,
+    #[cfg(unix)]
+    ino: u64,
+}
+
+fn file_id(metadata: &Metadata) -> FileId {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        FileId {
+            dev: metadata.dev(),
+            ino: metadata.ino(),
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = metadata;
+        FileId {}
+    }
+}
+
+/// Whether identity comparison is meaningful on this platform.
+fn identity_is_reliable() -> bool {
+    cfg!(unix)
+}
+
+impl FileTail {
+    /// Tails `path` from its **current end**, following growth, rotation
+    /// and truncation indefinitely (stop it through the driver's
+    /// [`StopHandle`](crate::StopHandle)).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be opened or inspected.
+    pub fn follow(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut tail = Self::open(path, true)?;
+        if let Some(file) = &mut tail.file {
+            tail.pos = file.seek(SeekFrom::End(0))?;
+        }
+        Ok(tail)
+    }
+
+    /// Tails `path` from its **start**: existing content is replayed
+    /// first, then the tail keeps following like [`follow`](Self::follow).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be opened or inspected.
+    pub fn follow_from_start(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open(path, true)
+    }
+
+    /// Reads `path` from start to end, then reports
+    /// [`SourceEvent::Eof`] — batch reprocessing of a finished log
+    /// through the same source machinery.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be opened or inspected.
+    pub fn read_to_end(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open(path, false)
+    }
+
+    fn open(path: impl AsRef<Path>, follow: bool) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let identity = Some(file_id(&file.metadata()?));
+        Ok(Self {
+            path,
+            file: Some(file),
+            identity,
+            pos: 0,
+            framer: LineFramer::new(),
+            follow,
+            finished: false,
+            rotations: 0,
+            truncations: 0,
+        })
+    }
+
+    /// Caps buffered line length at `max_line` bytes; over-long lines
+    /// surface as [`SourceEvent::Truncated`] (see
+    /// [`LineFramer`]).
+    #[must_use]
+    pub fn with_max_line(mut self, max_line: usize) -> Self {
+        self.framer = LineFramer::with_max_line(max_line);
+        self
+    }
+
+    /// The tailed path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rotations survived so far (path replaced by a new file).
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// In-place truncations survived so far.
+    pub fn truncations(&self) -> u64 {
+        self.truncations
+    }
+
+    /// Reads one buffer's worth from the open file into the framer.
+    /// `Ok(0)` means end-of-file (or no file currently open).
+    fn fill(&mut self) -> io::Result<usize> {
+        if self.file.is_none() {
+            // The path vanished earlier (rotation in progress); try to
+            // reopen — the rotated-in file may have appeared.
+            match File::open(&self.path) {
+                Ok(file) => {
+                    self.identity = Some(file_id(&file.metadata()?));
+                    self.file = Some(file);
+                    self.pos = 0;
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+                Err(e) => return Err(e),
+            }
+        }
+        let file = self.file.as_mut().expect("file open");
+        let mut buf = [0u8; 8192];
+        let n = file.read(&mut buf)?;
+        if n > 0 {
+            self.framer.push(&buf[..n]);
+            self.pos += n as u64;
+        }
+        Ok(n)
+    }
+
+    /// At end-of-file: checks whether the path was rotated or truncated
+    /// under us and repositions the tail accordingly.
+    fn check_rollover(&mut self) -> io::Result<Rollover> {
+        let metadata = match std::fs::metadata(&self.path) {
+            Ok(m) => m,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // Rotated away, nothing at the path yet: the old file's
+                // stream is over (`fill` reopens once the path returns).
+                if self.file.take().is_some() {
+                    self.identity = None;
+                    self.rotations += 1;
+                    return Ok(Rollover::StreamEnded);
+                }
+                return Ok(Rollover::Steady);
+            }
+            Err(e) => return Err(e),
+        };
+        let current = file_id(&metadata);
+        if identity_is_reliable() && self.identity.is_some_and(|id| id != current) {
+            // Renamed + recreated: reopen the new file from its start.
+            let file = File::open(&self.path)?;
+            self.identity = Some(file_id(&file.metadata()?));
+            self.file = Some(file);
+            self.pos = 0;
+            self.rotations += 1;
+            return Ok(Rollover::StreamEnded);
+        }
+        if metadata.len() < self.pos {
+            // Truncated in place (or rotated, on platforms without file
+            // identity): whatever half-line we buffered has lost its
+            // ending — drop it and rewind.
+            self.framer.abandon_partial();
+            if let Some(file) = &mut self.file {
+                file.seek(SeekFrom::Start(0))?;
+            }
+            self.pos = 0;
+            self.truncations += 1;
+            return Ok(Rollover::Repositioned);
+        }
+        Ok(Rollover::Steady)
+    }
+}
+
+impl LogSource for FileTail {
+    fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
+        if self.finished {
+            return Ok(SourceEvent::Eof);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(framed) = self.framer.next_line() {
+                return Ok(framed.into());
+            }
+            if self.fill()? > 0 {
+                continue;
+            }
+            // End of the open file: was it rotated or truncated?
+            match self.check_rollover()? {
+                Rollover::StreamEnded => {
+                    // Flush the old file's unterminated last line before
+                    // any byte of the replacement reaches the framer.
+                    if let Some(framed) = self.framer.finish() {
+                        return Ok(framed.into());
+                    }
+                    continue;
+                }
+                Rollover::Repositioned => continue,
+                Rollover::Steady => {}
+            }
+            if !self.follow {
+                self.finished = true;
+                if let Some(framed) = self.framer.finish() {
+                    return Ok(framed.into());
+                }
+                return Ok(SourceEvent::Eof);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(SourceEvent::Idle);
+            }
+            std::thread::sleep(QUIET_SLEEP.min(deadline - now));
+        }
+    }
+
+    fn backlog(&self) -> Option<u64> {
+        let on_disk = std::fs::metadata(&self.path)
+            .map(|m| m.len().saturating_sub(self.pos))
+            .unwrap_or(0);
+        Some(on_disk + self.framer.pending_bytes() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    /// A unique temp path per test (tests run concurrently).
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "divscrape-filetail-{tag}-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn line(i: usize) -> String {
+        format!(
+            "10.0.0.{} - - [11/Mar/2018:00:00:{:02} +0000] \"GET /t/{} HTTP/1.1\" 200 10 \"-\" \"curl/7.58.0\"",
+            i % 200 + 1,
+            i % 60,
+            i
+        )
+    }
+
+    fn collect(tail: &mut FileTail, n: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while out.len() < n {
+            assert!(Instant::now() < deadline, "timed out with {out:?}");
+            match tail.poll(Duration::from_millis(20)).unwrap() {
+                SourceEvent::Line(l) => out.push(l),
+                SourceEvent::Idle => {}
+                SourceEvent::Eof => panic!("unexpected EOF with {out:?}"),
+                SourceEvent::Truncated { .. } => panic!("unexpected truncation"),
+            }
+        }
+        out
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn read_to_end_reads_everything_then_eofs() {
+        let path = temp_path("batch");
+        let _cleanup = Cleanup(path.clone());
+        let body: String = (0..10).map(|i| format!("{}\n", line(i))).collect();
+        std::fs::write(&path, body).unwrap();
+        let mut tail = FileTail::read_to_end(&path).unwrap();
+        let lines = collect(&mut tail, 10);
+        assert_eq!(lines[3], line(3));
+        assert_eq!(
+            tail.poll(Duration::from_millis(5)).unwrap(),
+            SourceEvent::Eof
+        );
+        // Eof is sticky.
+        assert_eq!(
+            tail.poll(Duration::from_millis(5)).unwrap(),
+            SourceEvent::Eof
+        );
+    }
+
+    #[test]
+    fn follow_sees_appends_and_buffers_partial_writes() {
+        let path = temp_path("append");
+        let _cleanup = Cleanup(path.clone());
+        std::fs::write(&path, format!("{}\n", line(0))).unwrap();
+        let mut tail = FileTail::follow_from_start(&path).unwrap();
+        assert_eq!(collect(&mut tail, 1), vec![line(0)]);
+
+        // Append a line in two pieces: nothing until the terminator.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        let full = line(1);
+        let (a, b) = full.split_at(30);
+        f.write_all(a.as_bytes()).unwrap();
+        f.flush().unwrap();
+        assert_eq!(
+            tail.poll(Duration::from_millis(30)).unwrap(),
+            SourceEvent::Idle
+        );
+        f.write_all(b.as_bytes()).unwrap();
+        f.write_all(b"\n").unwrap();
+        f.flush().unwrap();
+        assert_eq!(collect(&mut tail, 1), vec![full]);
+    }
+
+    #[test]
+    fn follow_starts_at_the_current_end() {
+        let path = temp_path("end");
+        let _cleanup = Cleanup(path.clone());
+        std::fs::write(&path, format!("{}\n", line(0))).unwrap();
+        let mut tail = FileTail::follow(&path).unwrap();
+        assert_eq!(
+            tail.poll(Duration::from_millis(20)).unwrap(),
+            SourceEvent::Idle,
+            "pre-existing content must be skipped"
+        );
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        writeln!(f, "{}", line(1)).unwrap();
+        f.flush().unwrap();
+        assert_eq!(collect(&mut tail, 1), vec![line(1)]);
+    }
+
+    #[test]
+    fn backlog_reports_unread_bytes() {
+        let path = temp_path("backlog");
+        let _cleanup = Cleanup(path.clone());
+        let body: String = (0..5).map(|i| format!("{}\n", line(i))).collect();
+        std::fs::write(&path, &body).unwrap();
+        let tail = FileTail::follow_from_start(&path).unwrap();
+        assert_eq!(tail.backlog(), Some(body.len() as u64));
+    }
+}

@@ -1,0 +1,273 @@
+//! Rate-controlled replay of a recorded log.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use divscrape_httplog::LogEntry;
+
+use crate::source::{LogSource, SourceEvent};
+
+/// How fast a [`Replay`] re-emits its log.
+///
+/// ```
+/// use divscrape_ingest::ReplayPace;
+///
+/// // 10× faster than the original traffic arrived:
+/// let pace = ReplayPace::Multiplier(10.0);
+/// assert_ne!(pace, ReplayPace::Unlimited);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplayPace {
+    /// Emit as fast as the consumer accepts — for throughput benchmarks
+    /// and equivalence tests.
+    Unlimited,
+    /// Scale the recorded inter-arrival gaps: `Multiplier(2.0)` replays
+    /// a day of traffic in half a day, `Multiplier(0.5)` stretches it to
+    /// two. Requires entry timestamps
+    /// ([`Replay::from_entries`]); non-positive values behave like
+    /// [`Unlimited`](Self::Unlimited).
+    Multiplier(f64),
+    /// A fixed emission rate, independent of the recorded timestamps —
+    /// for load testing at a chosen request rate. Non-positive values
+    /// behave like [`Unlimited`](Self::Unlimited).
+    EventsPerSecond(f64),
+}
+
+/// A [`LogSource`] that re-emits a recorded log, optionally pacing the
+/// emission to the recorded inter-arrival times or a fixed rate.
+///
+/// Replay preserves order and content exactly: driving a pipeline from a
+/// `Replay` of a log produces bit-identical alerts to
+/// [`push_batch`](divscrape_pipeline::Pipeline::push_batch) of the same
+/// entries (the end-to-end equivalence test in this repository pins
+/// that).
+///
+/// ```
+/// use divscrape_ingest::{LogSource, Replay, ReplayPace, SourceEvent};
+/// use divscrape_httplog::LogEntry;
+/// use std::time::Duration;
+///
+/// let line = r#"10.0.0.9 - - [11/Mar/2018:00:00:05 +0000] "GET /offers HTTP/1.1" 200 77 "-" "curl/7.58.0""#;
+/// let entries = vec![LogEntry::parse(line)?];
+/// let mut replay = Replay::from_entries(&entries, ReplayPace::Unlimited);
+/// assert_eq!(replay.len(), 1);
+/// assert_eq!(
+///     replay.poll(Duration::from_millis(5))?,
+///     SourceEvent::Line(line.to_owned())
+/// );
+/// assert_eq!(replay.poll(Duration::from_millis(5))?, SourceEvent::Eof);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Replay {
+    lines: Vec<String>,
+    /// Target emission offset from the start of the replay, one per
+    /// line; empty for unpaced replays.
+    offsets: Vec<Duration>,
+    next: usize,
+    started: Option<Instant>,
+}
+
+impl Replay {
+    /// A replay of `entries`, rendered to canonical Combined Log Format
+    /// lines. All three [`ReplayPace`] modes are supported (the entry
+    /// timestamps feed [`ReplayPace::Multiplier`]).
+    pub fn from_entries(entries: &[LogEntry], pace: ReplayPace) -> Self {
+        let offsets = match pace {
+            ReplayPace::Multiplier(m) if m > 0.0 => {
+                let t0 = entries.first().map_or(0, |e| e.timestamp().epoch_seconds());
+                entries
+                    .iter()
+                    .map(|e| {
+                        let gap = (e.timestamp().epoch_seconds() - t0).max(0);
+                        Duration::from_secs_f64(gap as f64 / m)
+                    })
+                    .collect()
+            }
+            pace => fixed_rate_offsets(entries.len(), pace),
+        };
+        Self {
+            lines: entries.iter().map(ToString::to_string).collect(),
+            offsets,
+            next: 0,
+            started: None,
+        }
+    }
+
+    /// A replay of raw lines (emitted verbatim, not reparsed). Raw lines
+    /// carry no timestamps, so [`ReplayPace::Multiplier`] degrades to
+    /// [`ReplayPace::Unlimited`] here; use
+    /// [`from_entries`](Self::from_entries) for timestamp-faithful
+    /// pacing.
+    pub fn from_lines(lines: Vec<String>, pace: ReplayPace) -> Self {
+        let offsets = fixed_rate_offsets(lines.len(), pace);
+        Self {
+            lines,
+            offsets,
+            next: 0,
+            started: None,
+        }
+    }
+
+    /// Total lines this replay was built from.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the replay has no lines at all.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Lines not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.lines.len() - self.next
+    }
+}
+
+/// Emission offsets for a fixed-rate pace (empty = unpaced).
+fn fixed_rate_offsets(n: usize, pace: ReplayPace) -> Vec<Duration> {
+    match pace {
+        ReplayPace::EventsPerSecond(rate) if rate > 0.0 => (0..n)
+            .map(|i| Duration::from_secs_f64(i as f64 / rate))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+impl LogSource for Replay {
+    fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
+        if self.next >= self.lines.len() {
+            return Ok(SourceEvent::Eof);
+        }
+        // The pacing clock starts at the first poll, not construction.
+        let started = *self.started.get_or_insert_with(Instant::now);
+        if let Some(&due) = self.offsets.get(self.next) {
+            let elapsed = started.elapsed();
+            if elapsed < due {
+                let wait = due - elapsed;
+                if wait > timeout {
+                    std::thread::sleep(timeout);
+                    return Ok(SourceEvent::Idle);
+                }
+                std::thread::sleep(wait);
+            }
+        }
+        let line = std::mem::take(&mut self.lines[self.next]);
+        self.next += 1;
+        Ok(SourceEvent::Line(line))
+    }
+
+    fn backlog(&self) -> Option<u64> {
+        Some(self.remaining() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "10.0.0.{} - - [11/Mar/2018:00:00:{:02} +0000] \"GET /p/{} HTTP/1.1\" 200 10 \"-\" \"curl/7.58.0\"",
+                    i % 200 + 1,
+                    i % 60,
+                    i
+                )
+            })
+            .collect()
+    }
+
+    fn drain(replay: &mut Replay) -> Vec<String> {
+        let mut out = Vec::new();
+        loop {
+            match replay.poll(Duration::from_millis(50)).unwrap() {
+                SourceEvent::Line(l) => out.push(l),
+                SourceEvent::Idle => {}
+                SourceEvent::Eof => return out,
+                SourceEvent::Truncated { .. } => panic!("replay never truncates"),
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_replay_preserves_order_and_content() {
+        let input = lines(25);
+        let mut replay = Replay::from_lines(input.clone(), ReplayPace::Unlimited);
+        assert_eq!(replay.backlog(), Some(25));
+        assert_eq!(drain(&mut replay), input);
+        assert_eq!(replay.backlog(), Some(0));
+        assert_eq!(replay.poll(Duration::ZERO).unwrap(), SourceEvent::Eof);
+    }
+
+    #[test]
+    fn from_entries_round_trips_through_display() {
+        let input = lines(5);
+        let entries: Vec<LogEntry> = input.iter().map(|l| LogEntry::parse(l).unwrap()).collect();
+        let mut replay = Replay::from_entries(&entries, ReplayPace::Unlimited);
+        assert_eq!(drain(&mut replay), input);
+    }
+
+    #[test]
+    fn events_per_second_paces_emission() {
+        // 4 lines at 100/s: the last is due 30ms after the first.
+        let mut replay = Replay::from_lines(lines(4), ReplayPace::EventsPerSecond(100.0));
+        let start = Instant::now();
+        let out = drain(&mut replay);
+        assert_eq!(out.len(), 4);
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "finished too fast: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn multiplier_scales_recorded_gaps() {
+        let input = lines(3); // one second apart in log time
+        let entries: Vec<LogEntry> = input.iter().map(|l| LogEntry::parse(l).unwrap()).collect();
+        // 100×: two seconds of recorded traffic replay in ~20ms.
+        let mut replay = Replay::from_entries(&entries, ReplayPace::Multiplier(100.0));
+        let start = Instant::now();
+        assert_eq!(drain(&mut replay).len(), 3);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(20),
+            "too fast: {elapsed:?}"
+        );
+        assert!(elapsed < Duration::from_secs(2), "too slow: {elapsed:?}");
+    }
+
+    #[test]
+    fn paced_poll_yields_idle_when_the_gap_exceeds_the_timeout() {
+        let mut replay = Replay::from_lines(lines(2), ReplayPace::EventsPerSecond(10.0));
+        assert!(matches!(
+            replay.poll(Duration::from_millis(50)).unwrap(),
+            SourceEvent::Line(_)
+        ));
+        // The next line is due in ~100ms; a 5ms poll must yield Idle.
+        assert_eq!(
+            replay.poll(Duration::from_millis(5)).unwrap(),
+            SourceEvent::Idle
+        );
+        assert_eq!(replay.remaining(), 1);
+    }
+
+    #[test]
+    fn degenerate_paces_fall_back_to_unlimited() {
+        for pace in [
+            ReplayPace::EventsPerSecond(0.0),
+            ReplayPace::EventsPerSecond(-3.0),
+            ReplayPace::Multiplier(0.0),
+        ] {
+            let mut replay = Replay::from_lines(lines(10), pace);
+            let start = Instant::now();
+            assert_eq!(drain(&mut replay).len(), 10);
+            assert!(start.elapsed() < Duration::from_millis(500));
+        }
+        let empty = Replay::from_lines(Vec::new(), ReplayPace::Unlimited);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,423 @@
+//! Accept Combined Log Format lines over TCP.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use divscrape_httplog::{FramedLine, LineFramer, DEFAULT_MAX_LINE};
+
+use crate::source::{LogSource, SourceEvent};
+
+/// How often the acceptor re-checks for new connections / shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Per-connection read timeout, so reader threads observe shutdown.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Tuning for a [`SocketSource`].
+///
+/// ```
+/// use divscrape_ingest::SocketSourceConfig;
+///
+/// let config = SocketSourceConfig {
+///     finish_on_disconnect: true, // report Eof once all senders hang up
+///     ..SocketSourceConfig::default()
+/// };
+/// assert_eq!(config.queue_depth, 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketSourceConfig {
+    /// Bounded capacity of the shared line queue. When the consumer
+    /// falls behind, connection readers block here, which stalls their
+    /// TCP windows — backpressure reaches the senders.
+    pub queue_depth: usize,
+    /// Per-line byte cap (see
+    /// [`LineFramer`](divscrape_httplog::LineFramer)); over-long lines
+    /// surface as [`SourceEvent::Truncated`].
+    pub max_line: usize,
+    /// When `true`, the source reports [`SourceEvent::Eof`] once at
+    /// least one sender has connected, every connection has closed and
+    /// the queue is drained — the right mode for replay-style feeds and
+    /// tests. When `false` (the default), the source waits for senders
+    /// forever and only a driver stop ends ingestion.
+    pub finish_on_disconnect: bool,
+}
+
+impl Default for SocketSourceConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 1024,
+            max_line: DEFAULT_MAX_LINE,
+            finish_on_disconnect: false,
+        }
+    }
+}
+
+/// Connection bookkeeping shared between the acceptor, the per-connection
+/// readers and the consumer.
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    open: AtomicUsize,
+}
+
+/// A [`LogSource`] that accepts newline-delimited Combined Log Format
+/// lines over TCP — the drop-in for `rsyslog`/`filebeat`-style shippers
+/// pointed at this machine.
+///
+/// Any number of senders may connect concurrently; each connection gets
+/// its own [`LineFramer`](divscrape_httplog::LineFramer), so chunk
+/// boundaries mid-line are reassembled per sender and one sender's
+/// malformed framing cannot corrupt another's. Complete lines from all
+/// connections merge, in per-connection order, onto one **bounded**
+/// queue; a slow consumer therefore backpressures the senders through
+/// TCP instead of buffering without bound.
+///
+/// ```
+/// use divscrape_ingest::{LogSource, SocketSource, SocketSourceConfig, SourceEvent};
+/// use std::io::Write;
+/// use std::time::Duration;
+///
+/// let mut source = SocketSource::bind_with(
+///     "127.0.0.1:0",
+///     SocketSourceConfig { finish_on_disconnect: true, ..Default::default() },
+/// )?;
+/// let line = r#"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 200 12 "-" "curl/7.58.0""#;
+///
+/// let addr = source.local_addr();
+/// let sender = std::thread::spawn(move || {
+///     let mut conn = std::net::TcpStream::connect(addr).unwrap();
+///     writeln!(conn, "{line}").unwrap();
+/// }); // dropping the stream closes the connection
+///
+/// let mut got = Vec::new();
+/// loop {
+///     match source.poll(Duration::from_millis(50))? {
+///         SourceEvent::Line(l) => got.push(l),
+///         SourceEvent::Eof => break,
+///         _ => {}
+///     }
+/// }
+/// sender.join().unwrap();
+/// assert_eq!(got, vec![line.to_owned()]);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct SocketSource {
+    addr: SocketAddr,
+    lines: Receiver<FramedLine>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    acceptor: Option<JoinHandle<()>>,
+    finish_on_disconnect: bool,
+    finished: bool,
+}
+
+impl SocketSource {
+    /// Binds with the default [`SocketSourceConfig`]. Use port 0 to let
+    /// the OS pick one ([`local_addr`](Self::local_addr) reports it).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listener cannot bind.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::bind_with(addr, SocketSourceConfig::default())
+    }
+
+    /// Binds with an explicit [`SocketSourceConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listener cannot bind.
+    pub fn bind_with(addr: impl ToSocketAddrs, config: SocketSourceConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let acceptor = std::thread::Builder::new()
+            .name("divscrape-ingest-accept".to_owned())
+            .spawn({
+                let stop = Arc::clone(&stop);
+                let counters = Arc::clone(&counters);
+                move || accept_loop(listener, tx, stop, counters, config.max_line)
+            })?;
+        Ok(Self {
+            addr,
+            lines: rx,
+            stop,
+            counters,
+            acceptor: Some(acceptor),
+            finish_on_disconnect: config.finish_on_disconnect,
+            finished: false,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted since binding.
+    pub fn connections_accepted(&self) -> u64 {
+        self.counters.accepted.load(Ordering::Acquire)
+    }
+
+    /// Connections currently open.
+    pub fn connections_open(&self) -> usize {
+        self.counters.open.load(Ordering::Acquire)
+    }
+}
+
+impl LogSource for SocketSource {
+    fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
+        if self.finished {
+            return Ok(SourceEvent::Eof);
+        }
+        match self.lines.recv_timeout(timeout) {
+            Ok(framed) => Ok(framed.into()),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.finish_on_disconnect
+                    && self.connections_accepted() > 0
+                    && self.connections_open() == 0
+                {
+                    // Readers enqueue everything (including their final
+                    // partial line) before decrementing `open`, so one
+                    // last non-blocking look at the queue closes the
+                    // race between the timeout and a reader's exit.
+                    return match self.lines.try_recv() {
+                        Ok(framed) => Ok(framed.into()),
+                        Err(_) => {
+                            self.finished = true;
+                            Ok(SourceEvent::Eof)
+                        }
+                    };
+                }
+                Ok(SourceEvent::Idle)
+            }
+            // The acceptor only exits (dropping its sender) on shutdown.
+            Err(RecvTimeoutError::Disconnected) => {
+                self.finished = true;
+                Ok(SourceEvent::Eof)
+            }
+        }
+    }
+}
+
+impl Drop for SocketSource {
+    /// Stops the acceptor and asks connection readers to exit (they
+    /// notice within their read timeout, or immediately when blocked on
+    /// the queue — dropping the receiver disconnects it).
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Accepts connections until shutdown, spawning one reader per sender.
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<FramedLine>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    max_line: usize,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Readers use blocking reads with a timeout so they can
+                // observe the stop flag.
+                if stream.set_nonblocking(false).is_err()
+                    || stream.set_read_timeout(Some(READ_POLL)).is_err()
+                {
+                    continue;
+                }
+                // `open` strictly before `accepted`: a consumer that
+                // observes `accepted > 0 && open == 0` concludes every
+                // sender has come and gone, so this connection must be
+                // visible as open before it is visible as accepted.
+                counters.open.fetch_add(1, Ordering::AcqRel);
+                counters.accepted.fetch_add(1, Ordering::AcqRel);
+                let spawned = std::thread::Builder::new()
+                    .name("divscrape-ingest-conn".to_owned())
+                    .spawn({
+                        let tx = tx.clone();
+                        let stop = Arc::clone(&stop);
+                        let counters = Arc::clone(&counters);
+                        move || {
+                            read_connection(stream, &tx, &stop, max_line);
+                            counters.open.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    });
+                if spawned.is_err() {
+                    counters.open.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (connection reset during handshake
+            // etc.) — keep serving.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Reads one sender's byte stream, framing lines onto the shared queue.
+/// Exits when the peer closes, the source shuts down, or the consumer is
+/// gone.
+fn read_connection(
+    mut stream: TcpStream,
+    tx: &SyncSender<FramedLine>,
+    stop: &AtomicBool,
+    max_line: usize,
+) {
+    let mut framer = LineFramer::with_max_line(max_line);
+    let mut buf = [0u8; 8192];
+    // A full queue parks the reader in `send` — that block is the
+    // backpressure, and it cannot outlive the source: dropping the
+    // `SocketSource` drops the `Receiver`, which wakes every parked
+    // sender with `Disconnected`.
+    while !stop.load(Ordering::Acquire) {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                // Peer closed: flush an unterminated final line.
+                if let Some(framed) = framer.finish() {
+                    let _ = tx.send(framed);
+                }
+                return;
+            }
+            Ok(n) => {
+                framer.push(&buf[..n]);
+                while let Some(framed) = framer.next_line() {
+                    if tx.send(framed).is_err() {
+                        return; // consumer gone
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::time::Instant;
+
+    fn line(i: usize) -> String {
+        format!(
+            "10.1.0.{} - - [11/Mar/2018:00:01:{:02} +0000] \"GET /s/{} HTTP/1.1\" 200 10 \"-\" \"curl/7.58.0\"",
+            i % 200 + 1,
+            i % 60,
+            i
+        )
+    }
+
+    fn drain_to_eof(source: &mut SocketSource) -> Vec<String> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut out = Vec::new();
+        loop {
+            assert!(Instant::now() < deadline, "timed out with {out:?}");
+            match source.poll(Duration::from_millis(20)).unwrap() {
+                SourceEvent::Line(l) => out.push(l),
+                SourceEvent::Idle | SourceEvent::Truncated { .. } => {}
+                SourceEvent::Eof => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_concurrent_senders_all_arrive() {
+        let mut source = SocketSource::bind_with(
+            "127.0.0.1:0",
+            SocketSourceConfig {
+                finish_on_disconnect: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = source.local_addr();
+        let handles: Vec<_> = (0..3)
+            .map(|s| {
+                std::thread::spawn(move || {
+                    let mut conn = TcpStream::connect(addr).unwrap();
+                    for i in 0..20 {
+                        writeln!(conn, "{}", line(s * 100 + i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut got = drain_to_eof(&mut source);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 60);
+        // Per-sender order is preserved even though streams interleave.
+        for s in 0..3 {
+            let sent: Vec<String> = (0..20).map(|i| line(s * 100 + i)).collect();
+            let received: Vec<String> = got.iter().filter(|l| sent.contains(l)).cloned().collect();
+            assert_eq!(received, sent, "sender {s} lines reordered or lost");
+        }
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), 60, "duplicated lines");
+        assert_eq!(source.connections_accepted(), 3);
+        assert_eq!(source.connections_open(), 0);
+    }
+
+    #[test]
+    fn unterminated_final_line_is_flushed_on_disconnect() {
+        let mut source = SocketSource::bind_with(
+            "127.0.0.1:0",
+            SocketSourceConfig {
+                finish_on_disconnect: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = source.local_addr();
+        let l0 = line(0);
+        let l1 = line(1);
+        let (l0c, l1c) = (l0.clone(), l1.clone());
+        let sender = std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            // First line terminated, second one not: the close implies it.
+            write!(conn, "{l0c}\n{l1c}").unwrap();
+        });
+        let got = drain_to_eof(&mut source);
+        sender.join().unwrap();
+        assert_eq!(got, vec![l0, l1]);
+    }
+
+    #[test]
+    fn without_finish_on_disconnect_the_source_stays_live() {
+        let mut source = SocketSource::bind("127.0.0.1:0").unwrap();
+        let addr = source.local_addr();
+        {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            writeln!(conn, "{}", line(7)).unwrap();
+        } // disconnects immediately
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.is_empty() {
+            assert!(Instant::now() < deadline);
+            if let SourceEvent::Line(l) = source.poll(Duration::from_millis(20)).unwrap() {
+                got.push(l);
+            }
+        }
+        // All senders are gone, but a live source reports Idle, not Eof.
+        assert_eq!(
+            source.poll(Duration::from_millis(20)).unwrap(),
+            SourceEvent::Idle
+        );
+    }
+}

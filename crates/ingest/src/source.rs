@@ -1,0 +1,110 @@
+//! The [`LogSource`] abstraction: where log lines come from.
+
+use std::io;
+use std::time::Duration;
+
+use divscrape_httplog::FramedLine;
+
+/// One event pulled from a [`LogSource`].
+///
+/// ```
+/// use divscrape_ingest::SourceEvent;
+///
+/// let event = SourceEvent::Line("10.0.0.1 - - ...".to_owned());
+/// assert!(matches!(event, SourceEvent::Line(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceEvent {
+    /// One complete log line (terminator stripped, never empty).
+    Line(String),
+    /// The source discarded an over-long line (see
+    /// [`LineFramer`](divscrape_httplog::LineFramer)); treated as a
+    /// malformed line by the driver's
+    /// [`ErrorPolicy`](crate::ErrorPolicy).
+    Truncated {
+        /// Bytes of line content discarded.
+        dropped_bytes: usize,
+    },
+    /// Nothing arrived within the poll timeout; the source is still
+    /// live. Gives the driver a chance to observe its stop flag.
+    Idle,
+    /// The source is exhausted and will never produce another line.
+    Eof,
+}
+
+/// Every framed line maps to a source event: complete lines pass
+/// through, oversized discards surface as [`SourceEvent::Truncated`].
+impl From<FramedLine> for SourceEvent {
+    fn from(framed: FramedLine) -> Self {
+        match framed {
+            FramedLine::Complete(line) => SourceEvent::Line(line),
+            FramedLine::Oversized { dropped_bytes } => SourceEvent::Truncated { dropped_bytes },
+        }
+    }
+}
+
+/// A pull-based producer of log lines: the input side of an
+/// [`IngestDriver`](crate::IngestDriver).
+///
+/// Implementations in this crate: [`FileTail`](crate::FileTail) (follow
+/// a growing file), [`SocketSource`](crate::SocketSource) (accept CLF
+/// lines over TCP) and [`Replay`](crate::Replay) (re-emit a recorded
+/// log at a controlled rate). All are built on blocking `std` I/O and
+/// bounded channels — no async runtime.
+///
+/// [`poll`](Self::poll) must return within roughly `timeout` even when
+/// no line is available (yielding [`SourceEvent::Idle`]), so a driver
+/// can interleave stop-flag checks with waiting. Implementations should
+/// deliver lines in arrival order; for sources that frame a byte
+/// stream, a chunk boundary in the middle of a line must not split it.
+///
+/// ```
+/// use divscrape_ingest::{LogSource, Replay, ReplayPace, SourceEvent};
+/// use std::time::Duration;
+///
+/// // The simplest source: replay a recorded log as fast as possible.
+/// let line = r#"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 200 12 "-" "curl/7.58.0""#;
+/// let mut source = Replay::from_lines(vec![line.to_owned()], ReplayPace::Unlimited);
+/// assert_eq!(source.backlog(), Some(1));
+/// let event = source.poll(Duration::from_millis(10))?;
+/// assert_eq!(event, SourceEvent::Line(line.to_owned()));
+/// assert_eq!(source.poll(Duration::from_millis(10))?, SourceEvent::Eof);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub trait LogSource {
+    /// Pulls the next event, waiting up to `timeout` for one to arrive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the source fails
+    /// unrecoverably; the driver aborts the run on it.
+    fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent>;
+
+    /// How far behind the source's producer this consumer is, in
+    /// source-specific units (bytes not yet read for a file tail,
+    /// entries not yet emitted for a replay), when the source can tell.
+    /// The default reports `None` (unknown).
+    fn backlog(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<S: LogSource + ?Sized> LogSource for &mut S {
+    fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
+        (**self).poll(timeout)
+    }
+
+    fn backlog(&self) -> Option<u64> {
+        (**self).backlog()
+    }
+}
+
+impl<S: LogSource + ?Sized> LogSource for Box<S> {
+    fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
+        (**self).poll(timeout)
+    }
+
+    fn backlog(&self) -> Option<u64> {
+        (**self).backlog()
+    }
+}

@@ -88,6 +88,14 @@ pub enum BuildError {
     NoChunkCapacity,
     /// `queue_depth == 0`.
     NoQueueDepth,
+    /// A global eviction budget smaller than the worker count: it cannot
+    /// be split into at least one tracked client per replica.
+    BadEvictionBudget {
+        /// The requested pipeline-wide client budget.
+        budget: usize,
+        /// The configured worker count.
+        workers: usize,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -104,6 +112,11 @@ impl std::fmt::Display for BuildError {
             BuildError::NoWorkers => write!(f, "pipeline needs at least one worker"),
             BuildError::NoChunkCapacity => write!(f, "chunk capacity must be at least 1"),
             BuildError::NoQueueDepth => write!(f, "queue depth must be at least 1"),
+            BuildError::BadEvictionBudget { budget, workers } => write!(
+                f,
+                "global eviction budget {budget} cannot be split across {workers} workers \
+                 (needs at least one client per worker)"
+            ),
         }
     }
 }
@@ -123,6 +136,7 @@ pub struct PipelineBuilder {
     chunk_capacity: usize,
     queue_depth: usize,
     eviction: EvictionConfig,
+    eviction_budget: Option<usize>,
 }
 
 impl Default for PipelineBuilder {
@@ -148,6 +162,7 @@ impl std::fmt::Debug for PipelineBuilder {
             .field("chunk_capacity", &self.chunk_capacity)
             .field("queue_depth", &self.queue_depth)
             .field("eviction", &self.eviction)
+            .field("eviction_budget", &self.eviction_budget)
             .finish()
     }
 }
@@ -164,6 +179,7 @@ impl PipelineBuilder {
             chunk_capacity: DEFAULT_CHUNK_CAPACITY,
             queue_depth: DEFAULT_QUEUE_DEPTH,
             eviction: EvictionConfig::DISABLED,
+            eviction_budget: None,
         }
     }
 
@@ -251,6 +267,32 @@ impl PipelineBuilder {
         self
     }
 
+    /// Bounds the **pipeline-wide** client-state footprint at `budget`
+    /// tracked clients, split evenly across the worker replicas
+    /// (`⌊budget / workers⌋` per replica), instead of the per-replica
+    /// cap that [`eviction`](Self::eviction)'s `max_clients` sets.
+    ///
+    /// Because every replica's tables stay at or under its share, the
+    /// sum across replicas —
+    /// [`live_clients_aggregate`](crate::PipelineStats::live_clients_aggregate)
+    /// — never exceeds `budget`, for any worker count: scaling the pool
+    /// out no longer multiplies the memory bound. Composes with a TTL
+    /// from [`eviction`](Self::eviction); a `max_clients` set there is
+    /// overridden by the split budget.
+    ///
+    /// Like any capacity bound, the split budget can evict still-active
+    /// clients, and each worker only sees its own client shard — so with
+    /// a budget, verdicts can depend on the worker count (see
+    /// [`eviction`](Self::eviction)).
+    ///
+    /// [`build`](Self::build) rejects a budget smaller than the worker
+    /// count ([`BuildError::BadEvictionBudget`]): it cannot grant every
+    /// replica even one client.
+    pub fn eviction_global_capacity(mut self, budget: usize) -> Self {
+        self.eviction_budget = Some(budget);
+        self
+    }
+
     /// Validates the composition and builds the [`Pipeline`].
     ///
     /// # Errors
@@ -270,6 +312,16 @@ impl PipelineBuilder {
         }
         if self.queue_depth == 0 {
             return Err(BuildError::NoQueueDepth);
+        }
+        let mut eviction = self.eviction;
+        if let Some(budget) = self.eviction_budget {
+            if budget < self.workers {
+                return Err(BuildError::BadEvictionBudget {
+                    budget,
+                    workers: self.workers,
+                });
+            }
+            eviction = eviction.with_capacity(budget / self.workers);
         }
         let rule = match &self.adjudication {
             Adjudication::KOutOfN { k } => Rule::KOutOfN(
@@ -296,7 +348,7 @@ impl PipelineBuilder {
             self.workers,
             self.chunk_capacity,
             self.queue_depth,
-            self.eviction,
+            eviction,
         ))
     }
 }
@@ -344,6 +396,29 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, BuildError::BadWeights(_)));
+    }
+
+    #[test]
+    fn global_eviction_budget_must_cover_every_worker() {
+        let err = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .workers(4)
+            .eviction_global_capacity(3)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::BadEvictionBudget {
+                budget: 3,
+                workers: 4
+            }
+        );
+        assert!(PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .workers(4)
+            .eviction_global_capacity(4)
+            .build()
+            .is_ok());
     }
 
     #[test]

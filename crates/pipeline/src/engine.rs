@@ -406,6 +406,7 @@ impl Pipeline {
                 .map(|e| e.live_clients)
                 .max()
                 .unwrap_or(0),
+            live_clients_aggregate: self.worker_evict.iter().map(|e| e.live_clients).sum(),
             max_live_clients: self.stats.max_live_clients,
             evicted_clients: self.worker_evict.iter().map(|e| e.evicted_clients).sum(),
         }
@@ -465,6 +466,12 @@ impl Pipeline {
             self.submit_chunk(residue);
         }
         self.wait_for_inflight();
+        // Every alert of the drained stream has been delivered; give
+        // buffering sinks (files, sockets) the chance to make it
+        // durable before the caller observes the report.
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
         let combined =
             AlertVector::from_bools(self.rule.label(), &std::mem::take(&mut self.acc_combined));
         let members = self

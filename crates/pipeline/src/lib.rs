@@ -10,7 +10,9 @@
 //! * [`PipelineBuilder`] composes any set of [`Detector`]s with an online
 //!   adjudication stage ([`Adjudication::k_of_n`] or
 //!   [`Adjudication::weighted`], reusing the rules from
-//!   `divscrape-ensemble`) and any number of [`AlertSink`]s.
+//!   `divscrape-ensemble`) and any number of [`AlertSink`]s — in-memory
+//!   ([`CountingSink`], [`CollectingSink`]), file ([`JsonLinesSink`]) or
+//!   network ([`TcpSink`]) backends, flushed on every drain.
 //! * [`Pipeline`] accepts traffic incrementally — [`push`](Pipeline::push)
 //!   one entry, [`push_batch`](Pipeline::push_batch) a slice — buffers it
 //!   into chunks, and runs each chunk through every detector's batched
@@ -108,7 +110,9 @@ mod stats;
 
 pub use builder::{Adjudication, BuildError, PipelineBuilder};
 pub use engine::{Pipeline, PipelineReport};
-pub use sink::{Alert, AlertSink, CollectingSink, CountingSink};
+pub use sink::{
+    Alert, AlertSink, CollectingSink, CountingSink, JsonLinesSink, SinkTelemetry, TcpSink,
+};
 pub use stats::PipelineStats;
 
 // Re-exported so pipeline deployments can configure state eviction

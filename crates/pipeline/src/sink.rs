@@ -1,5 +1,13 @@
 //! Alert sinks: where adjudicated alerts go.
+//!
+//! Beyond the in-memory [`CountingSink`]/[`CollectingSink`] test
+//! helpers, two production backends ship here: [`JsonLinesSink`]
+//! (append alerts to a file, one JSON object per line) and [`TcpSink`]
+//! (stream the same lines to a TCP collector) — so a pipeline can be
+//! file/socket in *and* file/socket out.
 
+use std::io::{BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -21,6 +29,55 @@ impl Alert<'_> {
     pub fn vote_count(&self) -> usize {
         self.votes.iter().filter(|v| **v).count()
     }
+
+    /// Renders this alert as one self-contained JSON object (no trailing
+    /// newline) — the line format of [`JsonLinesSink`] and [`TcpSink`].
+    ///
+    /// Fields: `index` (feed order), `time` (CLF timestamp), `client`,
+    /// `agent`, `method`, `path`, `status`, `votes`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"index\":");
+        out.push_str(&self.index.to_string());
+        out.push_str(",\"time\":\"");
+        push_json_escaped(&mut out, &self.entry.timestamp().to_string());
+        out.push_str("\",\"client\":\"");
+        push_json_escaped(&mut out, &self.entry.addr().to_string());
+        out.push_str("\",\"agent\":\"");
+        push_json_escaped(&mut out, self.entry.user_agent().as_str());
+        out.push_str("\",\"method\":\"");
+        push_json_escaped(&mut out, self.entry.request().method().as_str());
+        out.push_str("\",\"path\":\"");
+        push_json_escaped(&mut out, self.entry.request().path().as_str());
+        out.push_str("\",\"status\":");
+        out.push_str(&self.entry.status().as_u16().to_string());
+        out.push_str(",\"votes\":[");
+        for (i, vote) in self.votes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(if *vote { "true" } else { "false" });
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping.
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
 }
 
 /// Receives every adjudicated alert, in feed order.
@@ -34,6 +91,12 @@ impl Alert<'_> {
 pub trait AlertSink: Send {
     /// Called once per adjudicated alert.
     fn on_alert(&mut self, alert: &Alert<'_>);
+
+    /// Called at the end of every [`Pipeline::drain`](crate::Pipeline::drain),
+    /// after the last chunk's alerts were delivered. Buffering sinks
+    /// (files, sockets) flush here so a drained pipeline's alerts are
+    /// durably out the door; the default is a no-op.
+    fn flush(&mut self) {}
 }
 
 impl<F: FnMut(&Alert<'_>) + Send> AlertSink for F {
@@ -101,5 +164,300 @@ impl AlertSink for CollectingSink {
             .lock()
             .expect("sink store poisoned")
             .push(alert.index);
+    }
+}
+
+/// Delivery counters shared by the I/O-backed sinks, observable from
+/// outside the pipeline through [`SinkTelemetry`].
+#[derive(Debug, Default)]
+struct SinkCounters {
+    written: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A live view of an I/O sink's delivery counters; stays valid after the
+/// sink moves into a pipeline.
+///
+/// ```
+/// use divscrape_pipeline::JsonLinesSink;
+///
+/// let sink = JsonLinesSink::new(Vec::new());
+/// let telemetry = sink.telemetry();
+/// // ... builder.sink(sink) ... run the pipeline ...
+/// assert_eq!(telemetry.written(), 0);
+/// assert_eq!(telemetry.errors(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SinkTelemetry(Arc<SinkCounters>);
+
+impl SinkTelemetry {
+    /// Alerts successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.0.written.load(Ordering::Acquire)
+    }
+
+    /// Write or flush failures so far. An I/O sink that fails keeps the
+    /// pipeline running (alerting must not take detection down) and
+    /// counts here instead.
+    pub fn errors(&self) -> u64 {
+        self.0.errors.load(Ordering::Acquire)
+    }
+}
+
+/// A sink that appends every adjudicated alert to a writer as one JSON
+/// object per line ([`Alert::to_json`]), flushed on every
+/// [`Pipeline::drain`](crate::Pipeline::drain).
+///
+/// Write failures are counted in [`SinkTelemetry::errors`] and otherwise
+/// ignored: a full disk must not stop detection.
+///
+/// ```
+/// use divscrape_pipeline::JsonLinesSink;
+///
+/// // Usually a file: JsonLinesSink::append("alerts.jsonl")?. Any writer works:
+/// let sink = JsonLinesSink::new(Vec::new());
+/// let telemetry = sink.telemetry();
+/// assert_eq!(telemetry.written(), 0);
+/// ```
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write + Send> {
+    out: W,
+    counters: Arc<SinkCounters>,
+}
+
+impl JsonLinesSink<BufWriter<std::fs::File>> {
+    /// Appends to the file at `path`, creating it if missing — the
+    /// standard deployment (`alerts.jsonl`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be opened for append.
+    pub fn append(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::new(BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        Self {
+            out,
+            counters: Arc::default(),
+        }
+    }
+
+    /// A live view of this sink's delivery counters.
+    pub fn telemetry(&self) -> SinkTelemetry {
+        SinkTelemetry(Arc::clone(&self.counters))
+    }
+}
+
+impl<W: Write + Send> AlertSink for JsonLinesSink<W> {
+    fn on_alert(&mut self, alert: &Alert<'_>) {
+        let mut line = alert.to_json();
+        line.push('\n');
+        match self.out.write_all(line.as_bytes()) {
+            Ok(()) => {
+                self.counters.written.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(_) => {
+                self.counters.errors.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.out.flush().is_err() {
+            self.counters.errors.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A sink that streams every adjudicated alert to a TCP collector, one
+/// JSON object per line ([`Alert::to_json`]) — the "aggregation
+/// service" backend: point it at a log collector, an alert router, or
+/// another divscrape instance's `SocketSource` (in `divscrape-ingest`).
+///
+/// Alerts are latency-sensitive, so each one is written to the socket
+/// as it is adjudicated (one line per write, `TCP_NODELAY` set) — a
+/// monitoring collector sees them live, not at the next drain.
+///
+/// A broken connection is counted in [`SinkTelemetry::errors`] and the
+/// stream is dropped; subsequent alerts count as errors too (detection
+/// keeps running without the collector). Reconnection is deliberately
+/// left to the operator — silently re-connecting would hide gaps in the
+/// delivered alert stream.
+///
+/// ```no_run
+/// use divscrape_pipeline::TcpSink;
+///
+/// let sink = TcpSink::connect("alerts.internal:6514")?;
+/// let telemetry = sink.telemetry();
+/// // ... builder.sink(sink) ...
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct TcpSink {
+    stream: Option<TcpStream>,
+    counters: Arc<SinkCounters>,
+}
+
+impl TcpSink {
+    /// Connects to the collector.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok(); // alerts are latency-sensitive
+        Ok(Self {
+            stream: Some(stream),
+            counters: Arc::default(),
+        })
+    }
+
+    /// A live view of this sink's delivery counters.
+    pub fn telemetry(&self) -> SinkTelemetry {
+        SinkTelemetry(Arc::clone(&self.counters))
+    }
+}
+
+impl AlertSink for TcpSink {
+    fn on_alert(&mut self, alert: &Alert<'_>) {
+        let Some(stream) = &mut self.stream else {
+            self.counters.errors.fetch_add(1, Ordering::AcqRel);
+            return;
+        };
+        let mut line = alert.to_json();
+        line.push('\n');
+        match stream.write_all(line.as_bytes()) {
+            Ok(()) => {
+                self.counters.written.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(_) => {
+                self.counters.errors.fetch_add(1, Ordering::AcqRel);
+                self.stream = None;
+            }
+        }
+    }
+
+    // No flush override: every alert already went straight to the
+    // socket in `on_alert`.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+
+    fn entry() -> LogEntry {
+        // The user agent carries a CLF-escaped quote: its raw form is
+        // `weird \"agent\"`, which JSON rendering must re-escape.
+        LogEntry::parse(
+            r#"198.51.100.7 - - [11/Mar/2018:06:25:14 +0000] "GET /search?q=NCE HTTP/1.1" 403 17 "-" "weird \"agent\"""#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn alert_json_is_one_escaped_object() {
+        let entry = entry();
+        let alert = Alert {
+            index: 41,
+            entry: &entry,
+            votes: &[true, false],
+        };
+        let json = alert.to_json();
+        assert!(json.starts_with("{\"index\":41,"));
+        assert!(json.contains("\"client\":\"198.51.100.7\""));
+        assert!(json.contains("\"path\":\"/search?q=NCE\""));
+        assert!(json.contains("\"status\":403"));
+        assert!(json.contains("\"votes\":[true,false]"));
+        // The agent's backslashes and quotes are escaped, keeping the
+        // object well-formed: `weird \"agent\"` → `weird \\\"agent\\\"`.
+        assert!(json.contains(r#"weird \\\"agent\\\""#), "{json}");
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn json_lines_sink_appends_and_flushes() {
+        let entry = entry();
+        let mut sink = JsonLinesSink::new(Vec::new());
+        let telemetry = sink.telemetry();
+        for index in 0..3 {
+            sink.on_alert(&Alert {
+                index,
+                entry: &entry,
+                votes: &[true],
+            });
+        }
+        sink.flush();
+        assert_eq!(telemetry.written(), 3);
+        assert_eq!(telemetry.errors(), 0);
+        let lines: Vec<&str> = std::str::from_utf8(&sink.out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].starts_with("{\"index\":2,"));
+    }
+
+    #[test]
+    fn failing_writer_counts_errors_without_panicking() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+        let entry = entry();
+        let mut sink = JsonLinesSink::new(Broken);
+        let telemetry = sink.telemetry();
+        sink.on_alert(&Alert {
+            index: 0,
+            entry: &entry,
+            votes: &[true],
+        });
+        sink.flush();
+        assert_eq!(telemetry.written(), 0);
+        assert_eq!(telemetry.errors(), 2);
+    }
+
+    #[test]
+    fn tcp_sink_delivers_line_delimited_json() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            let mut lines = Vec::new();
+            for line in BufReader::new(conn).lines() {
+                lines.push(line.unwrap());
+            }
+            lines
+        });
+
+        let entry = entry();
+        let mut sink = TcpSink::connect(addr).unwrap();
+        let telemetry = sink.telemetry();
+        for index in 0..2 {
+            sink.on_alert(&Alert {
+                index,
+                entry: &entry,
+                votes: &[false, true],
+            });
+        }
+        sink.flush();
+        drop(sink); // closes the connection, ending the server's read
+        let received = server.join().unwrap();
+        assert_eq!(telemetry.written(), 2);
+        assert_eq!(received.len(), 2);
+        assert!(received[0].starts_with("{\"index\":0,"));
+        assert!(received[1].contains("\"votes\":[false,true]"));
     }
 }

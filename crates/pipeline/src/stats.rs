@@ -56,6 +56,11 @@ pub struct PipelineStats {
     /// Current occupancy of the largest per-client state table across
     /// all detector replicas.
     pub live_clients: usize,
+    /// Sum over all worker replicas of each replica's largest per-client
+    /// table — the pipeline-wide client-state footprint that
+    /// [`eviction_global_capacity`](crate::PipelineBuilder::eviction_global_capacity)
+    /// bounds.
+    pub live_clients_aggregate: usize,
     /// High-water mark of [`live_clients`](Self::live_clients).
     pub max_live_clients: usize,
     /// Clients evicted from detector state tables (TTL + capacity),

@@ -1,0 +1,211 @@
+//! End-to-end live ingestion: CLF lines in over a TCP socket, alerts
+//! out to a JSON-lines file and a TCP collector.
+//!
+//! ```text
+//! socket in ──► IngestDriver ──► worker pool ──► adjudication ──► JSONL file
+//!                                                              └─► TCP collector
+//! ```
+//!
+//! Default (also `--smoke`, the CI gate): a fully self-driving run on
+//! loopback — a feeder thread replays a synthetic sample log over TCP
+//! into the pipeline's `SocketSource`, a collector thread receives the
+//! adjudicated alerts from the pipeline's `TcpSink`, and the process
+//! exits non-zero unless a nonzero number of alerts made the full trip.
+//!
+//! `--listen <addr>` instead binds the ingest socket at `addr` and waits
+//! for real senders (`ncat <host> <port> < access.log`), writing alerts
+//! to `alerts.jsonl` (override with `--jsonl <path>`) and optionally
+//! forwarding them with `--alerts-to <addr>`; the run ends when every
+//! sender has disconnected.
+//!
+//! ```text
+//! cargo run --release --example live_ingest -- --smoke
+//! cargo run --release --example live_ingest -- --listen 127.0.0.1:8514 --jsonl alerts.jsonl
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+use divscrape_detect::{Arcane, Sentinel};
+use divscrape_ingest::{IngestDriver, SocketSource, SocketSourceConfig};
+use divscrape_pipeline::{Adjudication, JsonLinesSink, PipelineBuilder, TcpSink};
+use divscrape_traffic::{generate, ScenarioConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen: Option<String> = None;
+    let mut jsonl = "alerts.jsonl".to_owned();
+    let mut alerts_to: Option<String> = None;
+    let mut smoke = args.is_empty();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--listen" => listen = Some(it.next().ok_or("--listen needs an address")?),
+            "--jsonl" => jsonl = it.next().ok_or("--jsonl needs a path")?,
+            "--alerts-to" => alerts_to = Some(it.next().ok_or("--alerts-to needs an address")?),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: live_ingest [--smoke | --listen <addr>] [--jsonl <path>] [--alerts-to <addr>]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)").into()),
+        }
+    }
+    match listen {
+        Some(addr) if !smoke => run_listen(&addr, &jsonl, alerts_to.as_deref()),
+        _ => run_smoke(),
+    }
+}
+
+/// Self-driving loopback run: replay a sample log over TCP, collect the
+/// alerts from the TCP sink, assert a nonzero count survived the trip.
+fn run_smoke() -> Result<(), Box<dyn std::error::Error>> {
+    let started = Instant::now();
+
+    // A small synthetic scenario with the paper's population structure —
+    // bot-heavy enough that the 1-of-2 committee must alert.
+    let log = generate(&ScenarioConfig::tiny(2018))?;
+    let sample: Vec<String> = log.entries().iter().map(ToString::to_string).collect();
+    println!("sample log: {} requests", sample.len());
+
+    // Alert collector: a loopback TCP listener counting JSON lines —
+    // the stand-in for a real aggregation service.
+    let collector = TcpListener::bind("127.0.0.1:0")?;
+    let collector_addr = collector.local_addr()?;
+    let collecting = std::thread::spawn(move || -> std::io::Result<u64> {
+        let (conn, _) = collector.accept()?;
+        let mut received = 0u64;
+        for line in BufReader::new(conn).lines() {
+            let line = line?;
+            // Every alert must be one self-contained JSON object.
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line: {line}"
+            );
+            received += 1;
+        }
+        Ok(received)
+    });
+
+    // Ingest socket: where the CLF lines come in.
+    let mut source = SocketSource::bind_with(
+        "127.0.0.1:0",
+        SocketSourceConfig {
+            finish_on_disconnect: true, // the run ends when the feeder hangs up
+            ..Default::default()
+        },
+    )?;
+    let ingest_addr = source.local_addr();
+
+    // Feeder: replays the sample log over TCP, rate-limited like a
+    // modest production feed (fragmented writes, not line-aligned).
+    let feeder = std::thread::spawn(move || -> std::io::Result<()> {
+        let payload: String = sample.iter().map(|l| format!("{l}\n")).collect();
+        let mut conn = TcpStream::connect(ingest_addr)?;
+        for chunk in payload.as_bytes().chunks(8_192) {
+            conn.write_all(chunk)?;
+        }
+        Ok(())
+    });
+
+    // The pipeline: the paper's two tools, 1-of-2 adjudication, a
+    // two-worker pool, alerts to a JSONL file and the TCP collector.
+    let jsonl_path = std::env::temp_dir().join(format!(
+        "divscrape-live-ingest-smoke-{}.jsonl",
+        std::process::id()
+    ));
+    let json_sink = JsonLinesSink::append(&jsonl_path)?;
+    let json_telemetry = json_sink.telemetry();
+    let tcp_sink = TcpSink::connect(collector_addr)?;
+    let tcp_telemetry = tcp_sink.telemetry();
+    let pipeline = PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .adjudication(Adjudication::k_of_n(1))
+        .workers(2)
+        .sink(json_sink)
+        .sink(tcp_sink)
+        .build()?;
+
+    let mut driver = IngestDriver::new(pipeline);
+    let outcome = driver.run(&mut source)?;
+    drop(driver); // closes the TCP sink → the collector's read ends
+    feeder.join().expect("feeder panicked")?;
+    let received = collecting.join().expect("collector panicked")?;
+
+    let alerts = outcome.report.combined.count();
+    println!(
+        "ingested {} entries ({} lines, {} parse errors) in {:?}",
+        outcome.stats.entries_ingested,
+        outcome.stats.lines_read,
+        outcome.stats.parse_errors,
+        started.elapsed(),
+    );
+    println!(
+        "alerts: {alerts} adjudicated | {} to {} (JSONL) | {received} over TCP",
+        json_telemetry.written(),
+        jsonl_path.display(),
+    );
+    let _ = std::fs::remove_file(&jsonl_path);
+
+    // The smoke gate: a nonzero alert count through the entire path.
+    assert!(alerts > 0, "smoke run produced no alerts");
+    assert_eq!(json_telemetry.written(), alerts, "JSONL sink lost alerts");
+    assert_eq!(tcp_telemetry.written(), alerts, "TCP sink lost alerts");
+    assert_eq!(received, alerts, "collector did not receive every alert");
+    assert_eq!(
+        outcome.stats.entries_ingested,
+        outcome.report.requests() as u64,
+        "drain lost entries"
+    );
+    println!("smoke OK");
+    Ok(())
+}
+
+/// Real-traffic mode: bind `addr`, ingest until every sender
+/// disconnects, alert to a JSONL file and (optionally) a collector.
+fn run_listen(
+    addr: &str,
+    jsonl: &str,
+    alerts_to: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut source = SocketSource::bind_with(
+        addr,
+        SocketSourceConfig {
+            finish_on_disconnect: true,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "listening on {} (feed me: ncat {} < access.log); alerts → {jsonl}",
+        source.local_addr(),
+        source.local_addr(),
+    );
+
+    let json_sink = JsonLinesSink::append(jsonl)?;
+    let json_telemetry = json_sink.telemetry();
+    let mut builder = PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .adjudication(Adjudication::k_of_n(1))
+        .workers(2)
+        .sink(json_sink);
+    if let Some(collector) = alerts_to {
+        builder = builder.sink(TcpSink::connect(collector)?);
+        println!("forwarding alerts to {collector}");
+    }
+
+    let mut driver = IngestDriver::new(builder.build()?);
+    let outcome = driver.run(&mut source)?;
+    println!(
+        "done: {} entries in, {} parse errors, {} alerts out ({} written to {jsonl})",
+        outcome.stats.entries_ingested,
+        outcome.stats.parse_errors,
+        outcome.report.combined.count(),
+        json_telemetry.written(),
+    );
+    Ok(())
+}

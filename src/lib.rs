@@ -12,6 +12,8 @@
 //! * [`ensemble`] — contingency/diversity analysis, adjudication, metrics.
 //! * [`pipeline`] — the streaming detection pipeline (composed detectors,
 //!   online adjudication, sinks, sharded workers).
+//! * [`ingest`] — live ingestion: file-tail, TCP-socket and replay log
+//!   sources driving the pipeline.
 //! * [`study`] — the end-to-end diversity-study pipeline (`divscrape` core).
 //!
 //! See the individual crates for documentation, and `examples/quickstart.rs`
@@ -23,5 +25,6 @@ pub use divscrape as study;
 pub use divscrape_detect as detect;
 pub use divscrape_ensemble as ensemble;
 pub use divscrape_httplog as httplog;
+pub use divscrape_ingest as ingest;
 pub use divscrape_pipeline as pipeline;
 pub use divscrape_traffic as traffic;

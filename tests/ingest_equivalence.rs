@@ -1,0 +1,188 @@
+//! The ingestion subsystem's headline guarantee: replaying a recorded
+//! log through each production `LogSource` — `FileTail`,
+//! `SocketSource` and `Replay` — produces **bit-identical** alerts
+//! (combined and per member) to `Pipeline::push_batch` of the same
+//! entries, including under eviction and across worker counts {1, 4}.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use divscrape_detect::{Arcane, EvictionConfig, Sentinel};
+use divscrape_httplog::{LogEntry, LogWriter};
+use divscrape_ingest::{
+    EndReason, FileTail, IngestDriver, Replay, ReplayPace, SocketSource, SocketSourceConfig,
+};
+use divscrape_pipeline::{Adjudication, Pipeline, PipelineBuilder, PipelineReport};
+use divscrape_traffic::{generate, ScenarioConfig};
+
+fn build_pipeline(workers: usize, eviction: Option<EvictionConfig>) -> Pipeline {
+    let mut builder = PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .adjudication(Adjudication::k_of_n(1))
+        .workers(workers)
+        .chunk_capacity(257); // never aligns with the log size
+    if let Some(eviction) = eviction {
+        builder = builder.eviction(eviction);
+    }
+    builder.build().unwrap()
+}
+
+/// The reference: the same pipeline configuration fed via `push_batch`.
+fn batch_reference(
+    entries: &[LogEntry],
+    workers: usize,
+    eviction: Option<EvictionConfig>,
+) -> PipelineReport {
+    let mut pipeline = build_pipeline(workers, eviction);
+    pipeline.push_batch(entries);
+    pipeline.drain()
+}
+
+fn assert_identical(case: &str, got: &PipelineReport, want: &PipelineReport) {
+    assert_eq!(
+        got.combined.to_bools(),
+        want.combined.to_bools(),
+        "{case}: combined alerts diverged from push_batch"
+    );
+    assert_eq!(got.members.len(), want.members.len(), "{case}");
+    for (g, w) in got.members.iter().zip(&want.members) {
+        assert_eq!(g.name(), w.name(), "{case}");
+        assert_eq!(
+            g.to_bools(),
+            w.to_bools(),
+            "{case}: member {} diverged from push_batch",
+            g.name()
+        );
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "divscrape-equiv-{tag}-{}-{:?}.log",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn run_replay(
+    entries: &[LogEntry],
+    workers: usize,
+    eviction: Option<EvictionConfig>,
+) -> PipelineReport {
+    let mut driver = IngestDriver::new(build_pipeline(workers, eviction));
+    let outcome = driver
+        .run(&mut Replay::from_entries(entries, ReplayPace::Unlimited))
+        .unwrap();
+    assert_eq!(outcome.end, EndReason::SourceExhausted);
+    assert_eq!(outcome.stats.parse_errors, 0);
+    outcome.report
+}
+
+fn run_file_tail(
+    entries: &[LogEntry],
+    workers: usize,
+    eviction: Option<EvictionConfig>,
+) -> PipelineReport {
+    let path = temp_path(&format!("w{workers}-e{}", eviction.is_some()));
+    let _cleanup = Cleanup(path.clone());
+    let mut writer = LogWriter::new(std::io::BufWriter::new(
+        std::fs::File::create(&path).unwrap(),
+    ));
+    writer.write_all(entries).unwrap();
+    writer.finish().unwrap().flush().unwrap();
+
+    let mut driver = IngestDriver::new(build_pipeline(workers, eviction));
+    let mut source = FileTail::read_to_end(&path).unwrap();
+    let outcome = driver.run(&mut source).unwrap();
+    assert_eq!(outcome.stats.entries_ingested, entries.len() as u64);
+    outcome.report
+}
+
+fn run_socket(
+    entries: &[LogEntry],
+    workers: usize,
+    eviction: Option<EvictionConfig>,
+) -> PipelineReport {
+    let mut source = SocketSource::bind_with(
+        "127.0.0.1:0",
+        SocketSourceConfig {
+            finish_on_disconnect: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = source.local_addr();
+    let payload: String = entries.iter().map(|e| format!("{e}\n")).collect();
+    let sender = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        // Fragment the stream so lines straddle socket reads.
+        for chunk in payload.as_bytes().chunks(4_003) {
+            conn.write_all(chunk).unwrap();
+        }
+    });
+    let mut driver = IngestDriver::new(build_pipeline(workers, eviction));
+    let outcome = driver.run(&mut source).unwrap();
+    sender.join().unwrap();
+    assert_eq!(outcome.stats.entries_ingested, entries.len() as u64);
+    outcome.report
+}
+
+#[test]
+fn every_source_is_bit_identical_to_push_batch() {
+    let log = generate(&ScenarioConfig::tiny(2024)).unwrap();
+    let entries = log.entries();
+    // TTL + capacity: both eviction mechanisms active during the run.
+    let eviction = EvictionConfig::ttl(3_600).with_capacity(64);
+
+    for workers in [1usize, 4] {
+        for evict in [None, Some(eviction)] {
+            let case_base = format!("workers={workers} eviction={}", evict.is_some());
+            let want = batch_reference(entries, workers, evict);
+            assert!(
+                want.combined.count() > 0,
+                "{case_base}: reference must alert"
+            );
+
+            assert_identical(
+                &format!("{case_base} source=replay"),
+                &run_replay(entries, workers, evict),
+                &want,
+            );
+            assert_identical(
+                &format!("{case_base} source=file_tail"),
+                &run_file_tail(entries, workers, evict),
+                &want,
+            );
+            assert_identical(
+                &format!("{case_base} source=socket"),
+                &run_socket(entries, workers, evict),
+                &want,
+            );
+        }
+    }
+}
+
+#[test]
+fn paced_replay_is_also_identical() {
+    // Pacing changes arrival wall-time, never content or order.
+    let log = generate(&ScenarioConfig::tiny(7)).unwrap();
+    let entries = &log.entries()[..200];
+    let want = batch_reference(entries, 2, None);
+    let mut driver = IngestDriver::new(build_pipeline(2, None));
+    let outcome = driver
+        .run(&mut Replay::from_entries(
+            entries,
+            ReplayPace::EventsPerSecond(20_000.0),
+        ))
+        .unwrap();
+    assert_identical("paced replay", &outcome.report, &want);
+}

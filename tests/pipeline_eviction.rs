@@ -109,6 +109,53 @@ fn capacity_bound_holds_on_a_long_high_churn_stream() {
     run_bounded_stream(30_000, 120_000, 512);
 }
 
+/// The shard-aware budget: `eviction_global_capacity(B)` must bound the
+/// *sum* of all replicas' table occupancies at `B`, for any worker
+/// count — per-replica capacity (`eviction`) only bounds each table.
+#[test]
+fn global_budget_bounds_the_aggregate_across_workers() {
+    let budget = 96usize;
+    for workers in [1usize, 3, 4] {
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .workers(workers)
+            .chunk_capacity(1_024)
+            .eviction_global_capacity(budget)
+            .build()
+            .unwrap();
+        let mut batch = Vec::with_capacity(1_024);
+        let mut max_aggregate = 0usize;
+        for entry in synthetic_stream(10_000, 60_000) {
+            batch.push(entry);
+            if batch.len() == batch.capacity() {
+                pipeline.push_batch(&batch);
+                batch.clear();
+                max_aggregate = max_aggregate.max(pipeline.stats().live_clients_aggregate);
+            }
+        }
+        pipeline.push_batch(&batch);
+        batch.clear();
+        let _ = pipeline.drain();
+        let stats = pipeline.stats();
+        max_aggregate = max_aggregate.max(stats.live_clients_aggregate);
+        let per_replica = budget / workers;
+        assert!(
+            stats.max_live_clients <= per_replica,
+            "workers={workers}: replica table {} exceeded its share {per_replica}",
+            stats.max_live_clients
+        );
+        assert!(
+            max_aggregate <= budget,
+            "workers={workers}: aggregate occupancy {max_aggregate} exceeded budget {budget}"
+        );
+        assert!(
+            stats.evicted_clients > 0,
+            "workers={workers}: 10k clients through a {budget}-client budget must evict"
+        );
+    }
+}
+
 #[test]
 #[ignore = "10x-paper-scale soak; minutes of runtime — run with --release -- --ignored"]
 fn capacity_bound_holds_at_ten_times_paper_scale() {
