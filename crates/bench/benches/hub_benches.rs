@@ -1,0 +1,103 @@
+//! Multi-tenant hub throughput: what does per-tenant isolation cost?
+//!
+//! One interleaved T-tenant stream is pushed two ways:
+//!
+//! 1. **`single_pipeline_interleaved`** — the pre-hub deployment: one
+//!    shared pipeline swallows all T tenants' traffic mixed together
+//!    (no isolation, shared detector state — cheaper, but wrong for a
+//!    multi-tenant service).
+//! 2. **`hub/T`** — a `PipelineHub` with T per-tenant pipelines of the
+//!    same composition, routing each entry to its owner.
+//!
+//! Scale defaults to `small` (12k requests per tenant); set
+//! `DIVSCRAPE_BENCH_SCALE` for paper-scale runs:
+//!
+//! ```text
+//! DIVSCRAPE_BENCH_SCALE=paper cargo bench -p divscrape-bench --bench hub_benches
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use divscrape_bench::scenario_for;
+use divscrape_detect::{Arcane, Sentinel, TenantId};
+use divscrape_httplog::LogEntry;
+use divscrape_pipeline::{Adjudication, PipelineBuilder, PipelineHub};
+
+const TENANTS: usize = 4;
+
+fn two_tool() -> PipelineBuilder {
+    PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .adjudication(Adjudication::k_of_n(1))
+        .workers(2)
+}
+
+/// Per-tenant logs plus the round-robin-interleaved tagged stream.
+fn tenant_traffic() -> (Vec<TenantId>, Vec<(usize, LogEntry)>) {
+    let scale = std::env::var("DIVSCRAPE_BENCH_SCALE").unwrap_or_else(|_| "small".to_owned());
+    let tenants: Vec<TenantId> = (0..TENANTS)
+        .map(|i| TenantId::new(format!("tenant-{i}")))
+        .collect();
+    let logs: Vec<Vec<LogEntry>> = (0..TENANTS)
+        .map(|i| {
+            let scenario = scenario_for(&scale, 11 + i as u64).expect("DIVSCRAPE_BENCH_SCALE");
+            divscrape_traffic::generate(&scenario)
+                .unwrap()
+                .entries()
+                .to_vec()
+        })
+        .collect();
+    let longest = logs.iter().map(Vec::len).max().unwrap();
+    let mut interleaved = Vec::with_capacity(logs.iter().map(Vec::len).sum());
+    for i in 0..longest {
+        for (t, log) in logs.iter().enumerate() {
+            if let Some(entry) = log.get(i) {
+                interleaved.push((t, entry.clone()));
+            }
+        }
+    }
+    (tenants, interleaved)
+}
+
+fn bench_hub_routing(c: &mut Criterion) {
+    let (tenants, interleaved) = tenant_traffic();
+
+    let mut g = c.benchmark_group("hub_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(interleaved.len() as u64));
+
+    // Baseline: every tenant's traffic through ONE shared pipeline.
+    g.bench_function("single_pipeline_interleaved", |b| {
+        b.iter(|| {
+            let mut pipeline = two_tool().build().unwrap();
+            for (_, entry) in &interleaved {
+                pipeline.push(entry.clone());
+            }
+            pipeline.drain().combined.count()
+        })
+    });
+
+    // The service: T isolated pipelines behind the routing hub.
+    g.bench_function(format!("hub/{TENANTS}_tenants"), |b| {
+        b.iter(|| {
+            let mut builder = PipelineHub::builder();
+            for tenant in &tenants {
+                builder = builder.tenant(tenant.clone(), two_tool());
+            }
+            let mut hub = builder.build().unwrap();
+            for (t, entry) in &interleaved {
+                hub.push(&tenants[*t], entry.clone());
+            }
+            let report = hub.drain_all();
+            report
+                .tenants
+                .iter()
+                .map(|(_, r)| r.combined.count())
+                .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hub_routing);
+criterion_main!(benches);

@@ -33,8 +33,10 @@
 //! idle-time order and the tail scan removes exactly the expired clients.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 
 use crate::session::ClientKey;
+use crate::tenant::TenantClientKey;
 
 /// Eviction policy for a [`ClientStateTable`]. Both knobs are optional
 /// and independent; the default ([`DISABLED`](Self::DISABLED)) keeps
@@ -130,8 +132,8 @@ impl EvictionStats {
 const NIL: usize = usize::MAX;
 
 #[derive(Debug, Clone)]
-struct Slot<V> {
-    key: ClientKey,
+struct Slot<K, V> {
+    key: K,
     value: V,
     /// Log-time of the client's most recent touch.
     last_seen: i64,
@@ -139,12 +141,31 @@ struct Slot<V> {
     next: usize,
 }
 
-/// A per-client state map with optional TTL and LRU-capacity eviction.
+/// The classic single-tenant table: keyed by bare client identity
+/// (address + user-agent fingerprint). What every stock detector uses
+/// for its own per-client state.
+pub type ClientStateTable<V> = StateTable<ClientKey, V>;
+
+/// A table shared across tenants: keyed by
+/// [`TenantClientKey`], so the same client
+/// identity observed by two tenants occupies two independent entries and
+/// one tenant's churn can never evict another tenant's evidence through
+/// key collision (the *capacity* of a shared table is still shared — a
+/// multi-tenant deployment that needs hard isolation gives each tenant
+/// its own tables, as the pipeline hub does).
+pub type TenantStateTable<V> = StateTable<TenantClientKey, V>;
+
+/// A keyed state map with optional TTL and LRU-capacity eviction.
 ///
-/// Semantically a `HashMap<ClientKey, V>` whose entries are touched with
-/// the current log time; see the [module docs](self) for the eviction
-/// model. All operations are O(1) (amortized): the LRU order lives in an
+/// Semantically a `HashMap<K, V>` whose entries are touched with the
+/// current log time; see the [module docs](self) for the eviction model.
+/// All operations are O(1) (amortized): the LRU order lives in an
 /// intrusive doubly-linked list threaded through a slot arena.
+///
+/// The key type is generic so the same machinery serves single-tenant
+/// detectors ([`ClientStateTable`], keyed by [`ClientKey`]) and shared
+/// multi-tenant state ([`TenantStateTable`], keyed by tenant-scoped
+/// client identity).
 ///
 /// ```
 /// use divscrape_detect::{ClientStateTable, EvictionConfig};
@@ -162,10 +183,10 @@ struct Slot<V> {
 /// assert_eq!(table.evicted_capacity(), 1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct ClientStateTable<V> {
+pub struct StateTable<K, V> {
     cfg: EvictionConfig,
-    map: HashMap<ClientKey, usize>,
-    slots: Vec<Slot<V>>,
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
     free: Vec<usize>,
     /// Most-recently-seen slot.
     head: usize,
@@ -175,13 +196,13 @@ pub struct ClientStateTable<V> {
     evicted_capacity: u64,
 }
 
-impl<V> Default for ClientStateTable<V> {
+impl<K: Eq + Hash + Clone, V> Default for StateTable<K, V> {
     fn default() -> Self {
         Self::new(EvictionConfig::DISABLED)
     }
 }
 
-impl<V> ClientStateTable<V> {
+impl<K: Eq + Hash + Clone, V> StateTable<K, V> {
     /// An empty table with the given eviction policy.
     pub fn new(cfg: EvictionConfig) -> Self {
         Self {
@@ -244,7 +265,7 @@ impl<V> ClientStateTable<V> {
     /// refresh recency and does not reap expired entries (an expired but
     /// not-yet-reaped entry is still returned); detector hot paths use
     /// the touching accessors instead.
-    pub fn get(&self, key: &ClientKey) -> Option<&V> {
+    pub fn get(&self, key: &K) -> Option<&V> {
         self.map.get(key).map(|&i| &self.slots[i].value)
     }
 
@@ -265,12 +286,7 @@ impl<V> ClientStateTable<V> {
     /// the previous state was just reaped), refreshes its recency, and
     /// enforces the capacity bound. The second component is `true` when
     /// the client was already tracked (and not expired).
-    pub fn upsert_with(
-        &mut self,
-        key: ClientKey,
-        now: i64,
-        init: impl FnOnce() -> V,
-    ) -> (&mut V, bool) {
+    pub fn upsert_with(&mut self, key: K, now: i64, init: impl FnOnce() -> V) -> (&mut V, bool) {
         self.expire(now);
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].last_seen = now;
@@ -285,7 +301,7 @@ impl<V> ClientStateTable<V> {
     /// Touches the client at log time `now` only if it is tracked and
     /// unexpired: reaps expired entries, and on a hit refreshes the
     /// client's recency and returns its state. Never inserts.
-    pub fn get_refresh(&mut self, key: &ClientKey, now: i64) -> Option<&mut V> {
+    pub fn get_refresh(&mut self, key: &K, now: i64) -> Option<&mut V> {
         self.expire(now);
         let &i = self.map.get(key)?;
         self.slots[i].last_seen = now;
@@ -295,7 +311,7 @@ impl<V> ClientStateTable<V> {
 
     /// Inserts or replaces the client's state at log time `now`,
     /// refreshing recency and enforcing the bounds.
-    pub fn insert(&mut self, key: ClientKey, now: i64, value: V) {
+    pub fn insert(&mut self, key: K, now: i64, value: V) {
         self.expire(now);
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].value = value;
@@ -308,7 +324,7 @@ impl<V> ClientStateTable<V> {
     }
 
     /// Iterates over `(key, value)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (&ClientKey, &V)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
         self.map.iter().map(|(k, &i)| (k, &self.slots[i].value))
     }
 
@@ -348,10 +364,10 @@ impl<V> ClientStateTable<V> {
         self.free.push(i);
     }
 
-    fn insert_slot(&mut self, key: ClientKey, now: i64, value: V) -> usize {
+    fn insert_slot(&mut self, key: K, now: i64, value: V) -> usize {
         let i = if let Some(i) = self.free.pop() {
             self.slots[i] = Slot {
-                key,
+                key: key.clone(),
                 value,
                 last_seen: now,
                 prev: NIL,
@@ -360,7 +376,7 @@ impl<V> ClientStateTable<V> {
             i
         } else {
             self.slots.push(Slot {
-                key,
+                key: key.clone(),
                 value,
                 last_seen: now,
                 prev: NIL,

@@ -96,12 +96,14 @@ pub mod evict;
 pub mod parallel;
 mod sentinel;
 mod session;
+pub mod tenant;
 mod trap;
 
 pub use arcane::{Arcane, ArcaneConfig};
 pub use committee::Committee;
 pub use detector::{run, run_alerts, Detector, Verdict};
-pub use evict::{ClientStateTable, EvictionConfig, EvictionStats};
+pub use evict::{ClientStateTable, EvictionConfig, EvictionStats, StateTable, TenantStateTable};
 pub use sentinel::{ReputationFeed, Sentinel, SentinelConfig, SentinelSignal, SignatureEngine};
 pub use session::{ClientKey, SessionFeatures, Sessionizer, SessionizerConfig};
+pub use tenant::{TenantClientKey, TenantId};
 pub use trap::TrapDetector;

@@ -196,6 +196,17 @@ impl LineFramer {
         self.buf.len() - self.start
     }
 
+    /// Whether the framer is mid-way through discarding an over-long
+    /// line (bytes are being dropped until its terminator arrives).
+    /// Checkpointing consumers must not record a resume offset in this
+    /// state: the dropped bytes are not in the buffer, so any offset
+    /// derived from [`pending_bytes`](Self::pending_bytes) would land
+    /// inside the over-long line and a restarted reader would emit its
+    /// remainder as a garbled ordinary line.
+    pub fn mid_discard(&self) -> bool {
+        self.discarding
+    }
+
     /// Marks everything through `newline` (inclusive) as consumed; the
     /// bytes are reclaimed by the next `push`.
     fn consume_through(&mut self, newline: usize) {

@@ -216,6 +216,12 @@ impl std::error::Error for IngestError {
 pub struct StopHandle(Arc<AtomicBool>);
 
 impl StopHandle {
+    /// Wraps a shared stop flag (crate-internal: drivers hand these
+    /// out).
+    pub(crate) fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        StopHandle(flag)
+    }
+
     /// Requests the stop. Idempotent; effective within one driver tick.
     pub fn stop(&self) {
         self.0.store(true, Ordering::Release);
@@ -296,7 +302,7 @@ impl IngestDriver {
 
     /// A handle that stops a [`run`](Self::run) from another thread.
     pub fn stop_handle(&self) -> StopHandle {
-        StopHandle(Arc::clone(&self.stop))
+        StopHandle::from_flag(Arc::clone(&self.stop))
     }
 
     /// Source-side counters so far (cumulative across runs).
@@ -386,14 +392,14 @@ impl IngestDriver {
                         }
                         Err(source) => {
                             self.stats.parse_errors += 1;
-                            self.handle_malformed(line, source)?;
+                            handle_malformed(&mut self.policy, &mut self.stats, line, source)?;
                         }
                     }
                 }
                 SourceEvent::Truncated { dropped_bytes } => {
                     self.stats.lines_read += 1;
                     self.stats.oversized_lines += 1;
-                    self.handle_oversized(dropped_bytes)?;
+                    handle_oversized(&mut self.policy, &mut self.stats, dropped_bytes)?;
                 }
                 SourceEvent::Idle => {
                     self.stats.source_wait += polled.elapsed();
@@ -410,41 +416,54 @@ impl IngestDriver {
             self.stats.max_source_backlog = self.stats.max_source_backlog.max(backlog);
         }
     }
+}
 
-    fn handle_malformed(&mut self, line: String, source: ParseLogError) -> Result<(), IngestError> {
-        match &mut self.policy {
-            ErrorPolicy::Skip => Ok(()),
-            ErrorPolicy::Abort => Err(IngestError::Malformed {
-                line_no: self.stats.lines_read,
-                line,
-                source,
-            }),
-            ErrorPolicy::Quarantine(writer) => {
-                writeln!(writer, "{line}").map_err(IngestError::Quarantine)?;
-                self.stats.quarantined += 1;
-                Ok(())
-            }
+/// Applies the [`ErrorPolicy`] to a malformed line. Shared by
+/// [`IngestDriver`] and the multi-tenant `HubDriver`.
+pub(crate) fn handle_malformed(
+    policy: &mut ErrorPolicy,
+    stats: &mut IngestStats,
+    line: String,
+    source: ParseLogError,
+) -> Result<(), IngestError> {
+    match policy {
+        ErrorPolicy::Skip => Ok(()),
+        ErrorPolicy::Abort => Err(IngestError::Malformed {
+            line_no: stats.lines_read,
+            line,
+            source,
+        }),
+        ErrorPolicy::Quarantine(writer) => {
+            writeln!(writer, "{line}").map_err(IngestError::Quarantine)?;
+            stats.quarantined += 1;
+            Ok(())
         }
     }
+}
 
-    fn handle_oversized(&mut self, dropped_bytes: usize) -> Result<(), IngestError> {
-        match &mut self.policy {
-            ErrorPolicy::Skip => Ok(()),
-            ErrorPolicy::Abort => Err(IngestError::Oversized {
-                line_no: self.stats.lines_read,
-                dropped_bytes,
-            }),
-            ErrorPolicy::Quarantine(writer) => {
-                // The bytes are gone; leave a marker that is invisible to
-                // a reprocessing run (parse-wise) yet greppable.
-                writeln!(
-                    writer,
-                    "# divscrape-ingest: oversized line dropped ({dropped_bytes} bytes)"
-                )
-                .map_err(IngestError::Quarantine)?;
-                self.stats.quarantined += 1;
-                Ok(())
-            }
+/// Applies the [`ErrorPolicy`] to an oversized-line discard. Shared by
+/// [`IngestDriver`] and the multi-tenant `HubDriver`.
+pub(crate) fn handle_oversized(
+    policy: &mut ErrorPolicy,
+    stats: &mut IngestStats,
+    dropped_bytes: usize,
+) -> Result<(), IngestError> {
+    match policy {
+        ErrorPolicy::Skip => Ok(()),
+        ErrorPolicy::Abort => Err(IngestError::Oversized {
+            line_no: stats.lines_read,
+            dropped_bytes,
+        }),
+        ErrorPolicy::Quarantine(writer) => {
+            // The bytes are gone; leave a marker that is invisible to
+            // a reprocessing run (parse-wise) yet greppable.
+            writeln!(
+                writer,
+                "# divscrape-ingest: oversized line dropped ({dropped_bytes} bytes)"
+            )
+            .map_err(IngestError::Quarantine)?;
+            stats.quarantined += 1;
+            Ok(())
         }
     }
 }

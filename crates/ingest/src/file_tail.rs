@@ -43,6 +43,12 @@ const QUIET_SLEEP: Duration = Duration::from_millis(10);
 /// [`read_to_end`](Self::read_to_end) reads the current content and
 /// reports [`SourceEvent::Eof`] instead of waiting (batch mode).
 ///
+/// For restartable ingestion, [`with_checkpoint`](Self::with_checkpoint)
+/// persists `(device, inode, offset)` to a sidecar file at every quiet
+/// point and on drop, and resumes from it on the next start — see the
+/// method docs for the exact semantics across appends, rotations and
+/// truncations.
+///
 /// ```
 /// use divscrape_ingest::{FileTail, LogSource, SourceEvent};
 /// use std::io::Write;
@@ -75,6 +81,16 @@ pub struct FileTail {
     finished: bool,
     rotations: u64,
     truncations: u64,
+    /// Checkpoint sidecar, when resumable tailing is enabled.
+    checkpoint: Option<CheckpointSidecar>,
+}
+
+/// The sidecar a resumable tail persists its position to.
+#[derive(Debug)]
+struct CheckpointSidecar {
+    path: PathBuf,
+    /// Last `(identity, offset)` written, to skip no-op rewrites.
+    written: Option<(FileId, u64)>,
 }
 
 /// What [`FileTail::check_rollover`] found at end-of-file.
@@ -96,6 +112,37 @@ struct FileId {
     dev: u64,
     #[cfg(unix)]
     ino: u64,
+}
+
+impl FileId {
+    /// The `(device, inode)` pair, for checkpoint persistence. All-zero
+    /// on platforms without file identity.
+    fn to_pair(self) -> (u64, u64) {
+        #[cfg(unix)]
+        {
+            (self.dev, self.ino)
+        }
+        #[cfg(not(unix))]
+        {
+            (0, 0)
+        }
+    }
+
+    /// Rebuilds an identity from a persisted `(device, inode)` pair.
+    fn from_pair(pair: (u64, u64)) -> FileId {
+        #[cfg(unix)]
+        {
+            FileId {
+                dev: pair.0,
+                ino: pair.1,
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = pair;
+            FileId {}
+        }
+    }
 }
 
 fn file_id(metadata: &Metadata) -> FileId {
@@ -170,7 +217,126 @@ impl FileTail {
             finished: false,
             rotations: 0,
             truncations: 0,
+            checkpoint: None,
         })
+    }
+
+    /// Makes this tail **resumable**: the position is persisted to the
+    /// sidecar file at `sidecar` (atomically: temp file + rename), and —
+    /// when the sidecar already holds a checkpoint for the *same* file
+    /// (matching device + inode) — reading resumes from the recorded
+    /// offset instead of the constructor's starting position.
+    ///
+    /// What is persisted is `(device, inode, offset)` where `offset` is
+    /// the first byte **not yet delivered** as a line: a half-line
+    /// buffered at checkpoint time is re-read (and delivered exactly
+    /// once) after the restart. Persistence happens at every quiet
+    /// point (idle polls, end-of-file) and on drop, best-effort; call
+    /// [`checkpoint_now`](Self::checkpoint_now) to force a durable write
+    /// (e.g. after a pipeline drain).
+    ///
+    /// After a **rotation** while the ingester was down, the sidecar's
+    /// identity no longer matches the file at the path; the replacement
+    /// file is then read **from its start** — whichever constructor was
+    /// used, [`follow`](Self::follow) included, because the checkpoint's
+    /// existence proves everything in the new file postdates the last
+    /// delivered line — so nothing from the new file is skipped. A
+    /// checkpoint beyond the file's current length (truncation while
+    /// down) also rewinds to the start. Only when **no** checkpoint
+    /// exists yet (first ever run) does the constructor's starting
+    /// position stand. On platforms without file identity the
+    /// checkpoint is still written but never resumed from (identity
+    /// cannot be trusted across restarts).
+    ///
+    /// One race is inherited from every identity-based tail (its
+    /// live-tailing twin is documented on [`FileTail`] itself): an
+    /// in-place truncation (`copytruncate`) that has **regrown past the
+    /// recorded offset** by the time the ingester restarts is
+    /// indistinguishable from plain appends — same identity, length ≥
+    /// offset — so the resume lands mid-content: bytes before the
+    /// offset are skipped and the first delivered line can be a
+    /// fragment. Regrowth *smaller* than the offset is caught by the
+    /// length check above. On busy logs prefer rename-based rotation,
+    /// which the identity check catches regardless of timing.
+    ///
+    /// Call this before the first [`poll`](LogSource::poll); applying a
+    /// checkpoint to a partially consumed tail would skip or repeat
+    /// lines.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sidecar exists but cannot be read, or the tailed
+    /// file cannot be repositioned.
+    pub fn with_checkpoint(mut self, sidecar: impl AsRef<Path>) -> io::Result<Self> {
+        let sidecar = sidecar.as_ref().to_path_buf();
+        if identity_is_reliable() {
+            if let Some((id, offset)) = read_checkpoint(&sidecar)? {
+                if let (Some(file), Some(current)) = (&mut self.file, self.identity) {
+                    let len = file.metadata()?.len();
+                    // Same file and the offset still exists → resume
+                    // there. Rotated away (identity mismatch) or
+                    // truncated below the offset → everything now in
+                    // the file postdates the last delivery: read it
+                    // from the start, even in `follow` mode (which
+                    // would otherwise seek to the end and silently drop
+                    // the lines written while we were down).
+                    let resume = if current == id && offset <= len {
+                        offset
+                    } else {
+                        0
+                    };
+                    file.seek(SeekFrom::Start(resume))?;
+                    self.pos = resume;
+                }
+            }
+        }
+        self.checkpoint = Some(CheckpointSidecar {
+            path: sidecar,
+            written: None,
+        });
+        Ok(self)
+    }
+
+    /// Forces the checkpoint to disk now (no-op without
+    /// [`with_checkpoint`](Self::with_checkpoint)).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sidecar cannot be written.
+    pub fn checkpoint_now(&mut self) -> io::Result<()> {
+        if self.framer.mid_discard() {
+            // Mid-way through dropping an over-long line: the dropped
+            // bytes are gone from the buffer, so `pos - pending` would
+            // point inside that line and a restart would deliver its
+            // tail as a garbled ordinary line. Keep the previous
+            // checkpoint; the next quiet point past the discard records
+            // a sound one.
+            return Ok(());
+        }
+        let offset = self.pos.saturating_sub(self.framer.pending_bytes() as u64);
+        let Some(identity) = self.identity else {
+            return Ok(()); // between rotations: nothing stable to record
+        };
+        let Some(sidecar) = &mut self.checkpoint else {
+            return Ok(());
+        };
+        if sidecar.written == Some((identity, offset)) {
+            return Ok(()); // unchanged: skip the write
+        }
+        let (dev, ino) = identity.to_pair();
+        let tmp = sidecar.path.with_extension("tmp");
+        std::fs::write(&tmp, format!("v1 {dev} {ino} {offset}\n"))?;
+        std::fs::rename(&tmp, &sidecar.path)?;
+        sidecar.written = Some((identity, offset));
+        Ok(())
+    }
+
+    /// Best-effort checkpoint at quiet points; persistence failures must
+    /// not take a live tail down (the next quiet point retries).
+    fn checkpoint_quietly(&mut self) {
+        if self.checkpoint.is_some() {
+            let _ = self.checkpoint_now();
+        }
     }
 
     /// Caps buffered line length at `max_line` bytes; over-long lines
@@ -266,9 +432,40 @@ impl FileTail {
     }
 }
 
+/// Parses a sidecar file: `v1 <dev> <ino> <offset>`. A missing or
+/// garbled sidecar yields `None` (start fresh) — only a real read
+/// failure is an error.
+fn read_checkpoint(path: &Path) -> io::Result<Option<(FileId, u64)>> {
+    let content = match std::fs::read_to_string(path) {
+        Ok(content) => content,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut parts = content.split_whitespace();
+    if parts.next() != Some("v1") {
+        return Ok(None);
+    }
+    let parsed: Option<(u64, u64, u64)> = (|| {
+        let dev = parts.next()?.parse().ok()?;
+        let ino = parts.next()?.parse().ok()?;
+        let offset = parts.next()?.parse().ok()?;
+        Some((dev, ino, offset))
+    })();
+    Ok(parsed.map(|(dev, ino, offset)| (FileId::from_pair((dev, ino)), offset)))
+}
+
+impl Drop for FileTail {
+    /// Best-effort final checkpoint, so an ingester torn down mid-file
+    /// resumes from its last delivered line.
+    fn drop(&mut self) {
+        self.checkpoint_quietly();
+    }
+}
+
 impl LogSource for FileTail {
     fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
         if self.finished {
+            self.checkpoint_quietly();
             return Ok(SourceEvent::Eof);
         }
         let deadline = Instant::now() + timeout;
@@ -297,10 +494,12 @@ impl LogSource for FileTail {
                 if let Some(framed) = self.framer.finish() {
                     return Ok(framed.into());
                 }
+                self.checkpoint_quietly();
                 return Ok(SourceEvent::Eof);
             }
             let now = Instant::now();
             if now >= deadline {
+                self.checkpoint_quietly();
                 return Ok(SourceEvent::Idle);
             }
             std::thread::sleep(QUIET_SLEEP.min(deadline - now));

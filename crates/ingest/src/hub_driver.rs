@@ -1,0 +1,226 @@
+//! The [`HubDriver`]: couples a [`TaggedSource`] to a
+//! [`PipelineHub`] — the multi-tenant composition root.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use divscrape_httplog::LogEntry;
+use divscrape_pipeline::{HubReport, HubStats, PipelineHub};
+
+use crate::driver::{
+    handle_malformed, handle_oversized, EndReason, ErrorPolicy, IngestError, IngestStats,
+    StopHandle,
+};
+use crate::tagged::{TaggedEvent, TaggedSource};
+
+/// Default source poll timeout (same rationale as the single-tenant
+/// driver's).
+const DEFAULT_TICK: Duration = Duration::from_millis(25);
+
+/// Everything a [`HubDriver::run`] produced: the drained per-tenant
+/// reports plus source-side and hub-side telemetry.
+#[derive(Debug)]
+pub struct HubIngestReport {
+    /// Per-tenant adjudicated alert vectors for everything ingested by
+    /// this run (and anything pushed since each pipeline's last drain).
+    pub report: HubReport,
+    /// Source-side counters, cumulative for the driver.
+    pub stats: IngestStats,
+    /// The hub's per-tenant and aggregate counters at drain time
+    /// (routing tallies included).
+    pub hub: HubStats,
+    /// Why ingestion ended.
+    pub end: EndReason,
+}
+
+/// Pumps a [`TaggedSource`] into a [`PipelineHub`]: every tagged line is
+/// parsed and routed to its tenant's pipeline. The single-tenant
+/// [`IngestDriver`](crate::IngestDriver) semantics carry over wholesale:
+/// parse failures go through the configured [`ErrorPolicy`], a
+/// [`StopHandle`] ends ingestion gracefully (every tenant's pipeline is
+/// drained — nothing ingested is lost), and [`IngestStats`] accounts for
+/// every line. Records whose tenant the hub does not serve are counted
+/// in [`HubStats::unrouted_entries`] and dropped — a stray stream must
+/// not take the service down.
+///
+/// ```
+/// use divscrape_detect::{Arcane, Sentinel};
+/// use divscrape_ingest::{HubDriver, MultiSource, Replay, ReplayPace, Tagged};
+/// use divscrape_pipeline::{Adjudication, PipelineBuilder, PipelineHub, TenantId};
+/// use divscrape_traffic::{generate, ScenarioConfig};
+///
+/// let eu = TenantId::new("shop-eu");
+/// let us = TenantId::new("shop-us");
+/// let two_tool = |k| {
+///     PipelineBuilder::new()
+///         .detector(Sentinel::stock())
+///         .detector(Arcane::stock())
+///         .adjudication(Adjudication::k_of_n(k))
+/// };
+/// let hub = PipelineHub::builder()
+///     .tenant(eu.clone(), two_tool(1))
+///     .tenant(us.clone(), two_tool(2)) // stricter rule for this tenant
+///     .build()
+///     .map_err(|e| e.to_string())?;
+///
+/// // Each tenant replays its own recorded log; the fan-in interleaves.
+/// let eu_log = generate(&ScenarioConfig::tiny(1)).map_err(|e| e.to_string())?;
+/// let us_log = generate(&ScenarioConfig::tiny(2)).map_err(|e| e.to_string())?;
+/// let mut source = MultiSource::new()
+///     .with(Tagged::new(eu.clone(), Replay::from_entries(eu_log.entries(), ReplayPace::Unlimited)))
+///     .with(Tagged::new(us.clone(), Replay::from_entries(us_log.entries(), ReplayPace::Unlimited)));
+///
+/// let mut driver = HubDriver::new(hub);
+/// let outcome = driver.run(&mut source).map_err(|e| e.to_string())?;
+/// assert_eq!(outcome.report.tenant(&eu).unwrap().requests(), eu_log.len());
+/// assert_eq!(outcome.report.tenant(&us).unwrap().requests(), us_log.len());
+/// assert_eq!(outcome.hub.unrouted_entries, 0);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug)]
+pub struct HubDriver {
+    hub: PipelineHub,
+    policy: ErrorPolicy,
+    tick: Duration,
+    stop: Arc<AtomicBool>,
+    stats: IngestStats,
+}
+
+impl HubDriver {
+    /// A driver over `hub` with [`ErrorPolicy::Skip`] and the default
+    /// tick.
+    pub fn new(hub: PipelineHub) -> Self {
+        Self {
+            hub,
+            policy: ErrorPolicy::Skip,
+            tick: DEFAULT_TICK,
+            stop: Arc::new(AtomicBool::new(false)),
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Sets the malformed-line policy (default: [`ErrorPolicy::Skip`]).
+    /// The policy is service-wide; quarantined lines from all tenants
+    /// land in the same writer, verbatim.
+    #[must_use]
+    pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the source poll timeout (default 25ms).
+    #[must_use]
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick.max(Duration::from_millis(1));
+        self
+    }
+
+    /// A handle that stops a [`run`](Self::run) from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle::from_flag(Arc::clone(&self.stop))
+    }
+
+    /// Source-side counters so far (cumulative across runs).
+    pub fn stats(&self) -> IngestStats {
+        self.stats.clone()
+    }
+
+    /// The driven hub.
+    pub fn hub(&self) -> &PipelineHub {
+        &self.hub
+    }
+
+    /// Mutable access to the driven hub (e.g. to
+    /// [`add_tenant`](PipelineHub::add_tenant) /
+    /// [`remove_tenant`](PipelineHub::remove_tenant) between runs, or
+    /// [`rebalance_eviction`](PipelineHub::rebalance_eviction) at a
+    /// quiesce point).
+    pub fn hub_mut(&mut self) -> &mut PipelineHub {
+        &mut self.hub
+    }
+
+    /// Releases the hub, all tenant state intact.
+    pub fn into_hub(self) -> PipelineHub {
+        self.hub
+    }
+
+    /// Pumps `source` into the hub until the source is exhausted or a
+    /// [`StopHandle`] fires, then drains **every** tenant's pipeline.
+    /// Detector state persists across runs per tenant. Semantics match
+    /// [`IngestDriver::run`](crate::IngestDriver::run), tenant-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError`] when the source fails, the quarantine
+    /// writer fails, or a malformed line arrives under
+    /// [`ErrorPolicy::Abort`]. Entries ingested before the failure stay
+    /// in their pipelines (not drained).
+    pub fn run<S: TaggedSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<HubIngestReport, IngestError> {
+        let end = self.pump(source);
+        if let ErrorPolicy::Quarantine(writer) = &mut self.policy {
+            writer.flush().map_err(IngestError::Quarantine)?;
+        }
+        let end = end?;
+        let report = self.hub.drain_all();
+        Ok(HubIngestReport {
+            report,
+            stats: self.stats.clone(),
+            hub: self.hub.stats(),
+            end,
+        })
+    }
+
+    /// The ingestion loop of [`run`](Self::run).
+    fn pump<S: TaggedSource + ?Sized>(&mut self, source: &mut S) -> Result<EndReason, IngestError> {
+        loop {
+            if self.stop.swap(false, Ordering::AcqRel) {
+                return Ok(EndReason::Stopped);
+            }
+            if self.stats.lines_read.is_multiple_of(1024) {
+                self.sample_backlog(&*source);
+            }
+            let polled = Instant::now();
+            match source.poll(self.tick).map_err(IngestError::Source)? {
+                TaggedEvent::Line { tenant, line } => {
+                    self.stats.lines_read += 1;
+                    match LogEntry::parse(&line) {
+                        Ok(entry) => {
+                            let pushed = Instant::now();
+                            let routed = self.hub.push(&tenant, entry);
+                            self.stats.blocked_in_push += pushed.elapsed();
+                            if routed {
+                                self.stats.entries_ingested += 1;
+                            }
+                        }
+                        Err(parse) => {
+                            self.stats.parse_errors += 1;
+                            handle_malformed(&mut self.policy, &mut self.stats, line, parse)?;
+                        }
+                    }
+                }
+                TaggedEvent::Truncated { dropped_bytes, .. } => {
+                    self.stats.lines_read += 1;
+                    self.stats.oversized_lines += 1;
+                    handle_oversized(&mut self.policy, &mut self.stats, dropped_bytes)?;
+                }
+                TaggedEvent::Idle => {
+                    self.stats.source_wait += polled.elapsed();
+                    self.sample_backlog(&*source);
+                }
+                TaggedEvent::Eof => return Ok(EndReason::SourceExhausted),
+            }
+        }
+    }
+
+    /// Updates the source-lag high-water mark with the fan-in's **total**
+    /// backlog (members that cannot tell contribute zero).
+    fn sample_backlog<S: TaggedSource + ?Sized>(&mut self, source: &S) {
+        let total: u64 = source.lags().iter().filter_map(|lag| lag.backlog).sum();
+        self.stats.max_source_backlog = self.stats.max_source_backlog.max(total);
+    }
+}

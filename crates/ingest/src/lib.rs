@@ -25,6 +25,17 @@
 //!   (read, parsed, rejected, quarantined, time blocked on
 //!   backpressure, source lag) alongside
 //!   [`Pipeline::stats`](divscrape_pipeline::Pipeline::stats).
+//! * For a **multi-tenant** service, [`Tagged`] stamps every record a
+//!   source produces with its [`TenantId`], [`MultiSource`] fans any
+//!   number of tagged sources (file + socket + replay freely mixed)
+//!   into one stream with round-robin fairness and per-member lag
+//!   accounting, and [`HubDriver`] pumps that stream into a
+//!   [`PipelineHub`](divscrape_pipeline::PipelineHub) — one isolated
+//!   pipeline per tenant.
+//! * [`FileTail`] can persist a **checkpoint** (file identity + byte
+//!   offset, [`FileTail::with_checkpoint`]) so a restarted ingester
+//!   resumes exactly where the previous one stopped, across appends and
+//!   rotations.
 //!
 //! Everything is built on `std` threads and bounded channels — the same
 //! idiom as the pipeline's worker pool; no async runtime. Backpressure
@@ -71,14 +82,22 @@
 
 mod driver;
 mod file_tail;
+mod hub_driver;
 mod replay;
 mod socket;
 mod source;
+mod tagged;
 
 pub use driver::{
     EndReason, ErrorPolicy, IngestDriver, IngestError, IngestReport, IngestStats, StopHandle,
 };
 pub use file_tail::FileTail;
+pub use hub_driver::{HubDriver, HubIngestReport};
 pub use replay::{Replay, ReplayPace};
 pub use socket::{SocketSource, SocketSourceConfig};
 pub use source::{LogSource, SourceEvent};
+pub use tagged::{MultiSource, SourceLag, Tagged, TaggedEvent, TaggedSource};
+
+// Re-exported so ingestion deployments can tag tenants without
+// depending on the detect crate directly.
+pub use divscrape_pipeline::TenantId;

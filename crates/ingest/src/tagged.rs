@@ -1,0 +1,488 @@
+//! Tenant tagging and fan-in: the multi-tenant face of [`LogSource`].
+//!
+//! A multi-tenant service ingests many log streams at once — one (or
+//! more) per monitored property — and every record must carry *whose*
+//! record it is before it can be routed. Two combinators provide that:
+//!
+//! * [`Tagged`] wraps any [`LogSource`] and stamps every polled record
+//!   with a [`TenantId`], turning a `LogSource` into a [`TaggedSource`].
+//! * [`MultiSource`] fans several tagged sources — file tails, sockets
+//!   and replays freely mixed — into **one** tagged stream, polling the
+//!   members round-robin so no tenant starves, keeping per-member
+//!   order (each tenant's lines arrive in its source's order), and
+//!   accounting lag per member ([`MultiSource::lags`]).
+//!
+//! The stream ends ([`TaggedEvent::Eof`]) only when *every* member is
+//! exhausted; a `HubDriver` pumps it into a
+//! [`PipelineHub`](divscrape_pipeline::PipelineHub).
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use divscrape_pipeline::TenantId;
+
+use crate::source::{LogSource, SourceEvent};
+
+/// How many lines a [`MultiSource`] member delivers between backlog
+/// samples (backlog can cost a syscall, so it is sampled, not paid per
+/// line).
+const LAG_SAMPLE_LINES: u64 = 256;
+
+/// One event pulled from a [`TaggedSource`]: a [`SourceEvent`] whose
+/// record-bearing variants carry the originating tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaggedEvent {
+    /// One complete log line from the given tenant's source.
+    Line {
+        /// The tenant the line belongs to.
+        tenant: TenantId,
+        /// The line (terminator stripped, never empty).
+        line: String,
+    },
+    /// The given tenant's source discarded an over-long line.
+    Truncated {
+        /// The tenant the discarded line belonged to.
+        tenant: TenantId,
+        /// Bytes of line content discarded.
+        dropped_bytes: usize,
+    },
+    /// Nothing arrived within the poll timeout; at least one source is
+    /// still live.
+    Idle,
+    /// Every source is exhausted; no further record will ever arrive.
+    Eof,
+}
+
+/// One member's lag snapshot (see [`TaggedSource::lags`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceLag {
+    /// The member's tenant.
+    pub tenant: TenantId,
+    /// The member's current backlog ([`LogSource::backlog`]), when the
+    /// source can tell.
+    pub backlog: Option<u64>,
+    /// High-water mark of the member's backlog as sampled by the
+    /// combinator (every idle moment and once per
+    /// few-hundred delivered lines — sampled, not exact).
+    pub max_backlog: u64,
+}
+
+/// A pull-based producer of **tenant-tagged** log lines: what a
+/// `HubDriver` consumes. Implemented by [`Tagged`] (one tenant, one
+/// source) and [`MultiSource`] (many of each).
+pub trait TaggedSource {
+    /// Pulls the next event, waiting up to `timeout` for one to arrive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when a member source fails
+    /// unrecoverably; the driver aborts the run on it.
+    fn poll(&mut self, timeout: Duration) -> io::Result<TaggedEvent>;
+
+    /// Per-member lag snapshots, in member order.
+    fn lags(&self) -> Vec<SourceLag>;
+}
+
+impl<S: TaggedSource + ?Sized> TaggedSource for &mut S {
+    fn poll(&mut self, timeout: Duration) -> io::Result<TaggedEvent> {
+        (**self).poll(timeout)
+    }
+
+    fn lags(&self) -> Vec<SourceLag> {
+        (**self).lags()
+    }
+}
+
+impl<S: TaggedSource + ?Sized> TaggedSource for Box<S> {
+    fn poll(&mut self, timeout: Duration) -> io::Result<TaggedEvent> {
+        (**self).poll(timeout)
+    }
+
+    fn lags(&self) -> Vec<SourceLag> {
+        (**self).lags()
+    }
+}
+
+/// Stamps every record a [`LogSource`] produces with one [`TenantId`].
+///
+/// ```
+/// use divscrape_ingest::{Replay, ReplayPace, Tagged, TaggedEvent, TaggedSource};
+/// use divscrape_pipeline::TenantId;
+/// use std::time::Duration;
+///
+/// let line = r#"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 200 12 "-" "curl/7.58.0""#;
+/// let replay = Replay::from_lines(vec![line.to_owned()], ReplayPace::Unlimited);
+/// let mut tagged = Tagged::new(TenantId::new("shop-eu"), replay);
+///
+/// match tagged.poll(Duration::from_millis(10))? {
+///     TaggedEvent::Line { tenant, line: got } => {
+///         assert_eq!(tenant.as_str(), "shop-eu");
+///         assert_eq!(got, line);
+///     }
+///     other => panic!("expected a tagged line, got {other:?}"),
+/// }
+/// assert_eq!(tagged.poll(Duration::from_millis(10))?, TaggedEvent::Eof);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Tagged<S> {
+    tenant: TenantId,
+    source: S,
+    max_backlog: u64,
+}
+
+impl<S: LogSource> Tagged<S> {
+    /// Tags `source`'s records with `tenant`.
+    pub fn new(tenant: TenantId, source: S) -> Self {
+        Self {
+            tenant,
+            source,
+            max_backlog: 0,
+        }
+    }
+
+    /// The stamping tenant.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+
+    /// The wrapped source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Releases the wrapped source.
+    pub fn into_inner(self) -> S {
+        self.source
+    }
+}
+
+impl<S: LogSource> TaggedSource for Tagged<S> {
+    fn poll(&mut self, timeout: Duration) -> io::Result<TaggedEvent> {
+        let event = self.source.poll(timeout)?;
+        if matches!(event, SourceEvent::Idle | SourceEvent::Eof) {
+            // Quiet moments are the cheap time to sample the lag gauge.
+            if let Some(backlog) = self.source.backlog() {
+                self.max_backlog = self.max_backlog.max(backlog);
+            }
+        }
+        Ok(match event {
+            SourceEvent::Line(line) => TaggedEvent::Line {
+                tenant: self.tenant.clone(),
+                line,
+            },
+            SourceEvent::Truncated { dropped_bytes } => TaggedEvent::Truncated {
+                tenant: self.tenant.clone(),
+                dropped_bytes,
+            },
+            SourceEvent::Idle => TaggedEvent::Idle,
+            SourceEvent::Eof => TaggedEvent::Eof,
+        })
+    }
+
+    fn lags(&self) -> Vec<SourceLag> {
+        vec![SourceLag {
+            tenant: self.tenant.clone(),
+            backlog: self.source.backlog(),
+            max_backlog: self.max_backlog,
+        }]
+    }
+}
+
+/// One member of a [`MultiSource`].
+struct Member {
+    tenant: TenantId,
+    source: Box<dyn LogSource>,
+    finished: bool,
+    /// Lines delivered, for sampled lag accounting.
+    lines: u64,
+    max_backlog: u64,
+}
+
+impl Member {
+    /// Samples the member's backlog into its high-water mark.
+    fn sample_lag(&mut self) {
+        if let Some(backlog) = self.source.backlog() {
+            self.max_backlog = self.max_backlog.max(backlog);
+        }
+    }
+}
+
+/// Fans several [`Tagged`] sources into one tagged stream.
+///
+/// Members are polled **round-robin** starting after the member that
+/// produced the previous record, so a firehose tenant cannot starve a
+/// trickle tenant; each member's own line order is preserved, which is
+/// what per-tenant verdict equivalence rests on. The fan-in reports
+/// [`TaggedEvent::Eof`] only when every member has; members can be
+/// heterogeneous (a file tail, two sockets and a replay are fine
+/// together).
+///
+/// ```
+/// use divscrape_ingest::{MultiSource, Replay, ReplayPace, Tagged, TaggedEvent, TaggedSource};
+/// use divscrape_pipeline::TenantId;
+/// use std::time::Duration;
+///
+/// let line = |ip: u8| format!(
+///     r#"10.0.0.{ip} - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 200 12 "-" "curl/7.58.0""#
+/// );
+/// let mut multi = MultiSource::new()
+///     .with(Tagged::new(
+///         TenantId::new("eu"),
+///         Replay::from_lines(vec![line(1)], ReplayPace::Unlimited),
+///     ))
+///     .with(Tagged::new(
+///         TenantId::new("us"),
+///         Replay::from_lines(vec![line(2)], ReplayPace::Unlimited),
+///     ));
+///
+/// let mut tenants_seen = Vec::new();
+/// loop {
+///     match multi.poll(Duration::from_millis(10))? {
+///         TaggedEvent::Line { tenant, .. } => tenants_seen.push(tenant.to_string()),
+///         TaggedEvent::Eof => break,
+///         _ => {}
+///     }
+/// }
+/// assert_eq!(tenants_seen, ["eu", "us"]);
+/// assert_eq!(multi.lags().len(), 2);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Default)]
+pub struct MultiSource {
+    members: Vec<Member>,
+    /// Member polled first on the next [`poll`](TaggedSource::poll).
+    cursor: usize,
+}
+
+impl std::fmt::Debug for MultiSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSource")
+            .field(
+                "members",
+                &self
+                    .members
+                    .iter()
+                    .map(|m| (&m.tenant, m.finished))
+                    .collect::<Vec<_>>(),
+            )
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+impl MultiSource {
+    /// An empty fan-in (polls as exhausted until members are added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a tagged member. Several members may carry the **same**
+    /// tenant (e.g. one file tail per frontend host, all feeding one
+    /// property) — their records merge into that tenant's stream in
+    /// poll order.
+    pub fn add<S: LogSource + 'static>(&mut self, tagged: Tagged<S>) {
+        self.members.push(Member {
+            tenant: tagged.tenant,
+            source: Box::new(tagged.source),
+            finished: false,
+            lines: 0,
+            max_backlog: tagged.max_backlog,
+        });
+    }
+
+    /// Builder-style [`add`](Self::add).
+    #[must_use]
+    pub fn with<S: LogSource + 'static>(mut self, tagged: Tagged<S>) -> Self {
+        self.add(tagged);
+        self
+    }
+
+    /// Number of members (exhausted ones included).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the fan-in has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members still producing (not yet at end-of-stream).
+    pub fn live_members(&self) -> usize {
+        self.members.iter().filter(|m| !m.finished).count()
+    }
+}
+
+impl TaggedSource for MultiSource {
+    fn poll(&mut self, timeout: Duration) -> io::Result<TaggedEvent> {
+        let live = self.live_members();
+        if live == 0 {
+            return Ok(TaggedEvent::Eof);
+        }
+        // Split the caller's timeout across the live members so one
+        // quiet source cannot eat the whole poll budget; the deadline
+        // below keeps the whole round near the caller's timeout even
+        // when the 1ms slice floor × many members would exceed it
+        // (overshoot is bounded by one member's slice).
+        let slice = (timeout / live as u32).max(Duration::from_millis(1));
+        let deadline = Instant::now() + timeout;
+        let n = self.members.len();
+        for step in 0..n {
+            let i = (self.cursor + step) % n;
+            let member = &mut self.members[i];
+            if member.finished {
+                continue;
+            }
+            if step > 0 && Instant::now() >= deadline {
+                // Out of budget mid-round: resume the round here on the
+                // next call (the cursor hand-off keeps tail members
+                // from being starved by early quiet ones).
+                self.cursor = i;
+                return Ok(TaggedEvent::Idle);
+            }
+            match member.source.poll(slice)? {
+                SourceEvent::Line(line) => {
+                    member.lines += 1;
+                    if member.lines.is_multiple_of(LAG_SAMPLE_LINES) {
+                        member.sample_lag();
+                    }
+                    let tenant = member.tenant.clone();
+                    // Next poll starts at the *next* member: round-robin
+                    // fairness under sustained load.
+                    self.cursor = (i + 1) % n;
+                    return Ok(TaggedEvent::Line { tenant, line });
+                }
+                SourceEvent::Truncated { dropped_bytes } => {
+                    let tenant = member.tenant.clone();
+                    self.cursor = (i + 1) % n;
+                    return Ok(TaggedEvent::Truncated {
+                        tenant,
+                        dropped_bytes,
+                    });
+                }
+                SourceEvent::Idle => {
+                    member.sample_lag();
+                }
+                SourceEvent::Eof => {
+                    member.finished = true;
+                    member.sample_lag();
+                    if self.live_members() == 0 {
+                        return Ok(TaggedEvent::Eof);
+                    }
+                }
+            }
+        }
+        Ok(TaggedEvent::Idle)
+    }
+
+    fn lags(&self) -> Vec<SourceLag> {
+        self.members
+            .iter()
+            .map(|m| SourceLag {
+                tenant: m.tenant.clone(),
+                backlog: m.source.backlog(),
+                max_backlog: m.max_backlog,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{Replay, ReplayPace};
+
+    fn line(tag: &str, i: usize) -> String {
+        format!(
+            "10.0.{}.{} - - [11/Mar/2018:00:00:{:02} +0000] \"GET /{tag}/{i} HTTP/1.1\" 200 10 \"-\" \"curl/7.58.0\"",
+            tag.len(),
+            i % 200 + 1,
+            i % 60,
+        )
+    }
+
+    fn replay_of(tag: &str, n: usize) -> Replay {
+        Replay::from_lines(
+            (0..n).map(|i| line(tag, i)).collect(),
+            ReplayPace::Unlimited,
+        )
+    }
+
+    fn drain(source: &mut impl TaggedSource) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        loop {
+            match source.poll(Duration::from_millis(20)).unwrap() {
+                TaggedEvent::Line { tenant, line } => out.push((tenant.to_string(), line)),
+                TaggedEvent::Idle => {}
+                TaggedEvent::Eof => return out,
+                TaggedEvent::Truncated { .. } => panic!("replay never truncates"),
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_stamps_every_record_and_reports_lag() {
+        let mut tagged = Tagged::new(TenantId::new("eu"), replay_of("eu", 5));
+        assert_eq!(tagged.tenant().as_str(), "eu");
+        let records = drain(&mut tagged);
+        assert_eq!(records.len(), 5);
+        assert!(records.iter().all(|(t, _)| t == "eu"));
+        assert_eq!(records[3].1, line("eu", 3));
+        let lags = tagged.lags();
+        assert_eq!(lags.len(), 1);
+        assert_eq!(lags[0].backlog, Some(0));
+    }
+
+    #[test]
+    fn multi_source_round_robins_and_preserves_member_order() {
+        let mut multi = MultiSource::new()
+            .with(Tagged::new(TenantId::new("a"), replay_of("a", 4)))
+            .with(Tagged::new(TenantId::new("b"), replay_of("b", 2)));
+        assert_eq!(multi.len(), 2);
+        let records = drain(&mut multi);
+        assert_eq!(records.len(), 6);
+        // Round-robin while both are live, then the longer one alone.
+        let tenants: Vec<&str> = records.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(tenants, ["a", "b", "a", "b", "a", "a"]);
+        // Each member's own order is intact.
+        let a_lines: Vec<&String> = records
+            .iter()
+            .filter(|(t, _)| t == "a")
+            .map(|(_, l)| l)
+            .collect();
+        assert_eq!(
+            a_lines,
+            (0..4)
+                .map(|i| line("a", i))
+                .collect::<Vec<_>>()
+                .iter()
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(multi.live_members(), 0);
+        // Eof is sticky.
+        assert_eq!(
+            multi.poll(Duration::from_millis(1)).unwrap(),
+            TaggedEvent::Eof
+        );
+    }
+
+    #[test]
+    fn empty_fan_in_is_exhausted_and_same_tenant_members_merge() {
+        let mut empty = MultiSource::new();
+        assert!(empty.is_empty());
+        assert_eq!(
+            empty.poll(Duration::from_millis(1)).unwrap(),
+            TaggedEvent::Eof
+        );
+
+        // Two members, one tenant: both feed the same stream.
+        let mut multi = MultiSource::new()
+            .with(Tagged::new(TenantId::new("a"), replay_of("host1", 2)))
+            .with(Tagged::new(TenantId::new("a"), replay_of("host2", 2)));
+        let records = drain(&mut multi);
+        assert_eq!(records.len(), 4);
+        assert!(records.iter().all(|(t, _)| t == "a"));
+        assert_eq!(multi.lags().len(), 2, "lag stays per member");
+    }
+}

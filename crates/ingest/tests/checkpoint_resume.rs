@@ -1,0 +1,278 @@
+//! `FileTail` checkpoint/resume: a restarted ingester continues exactly
+//! where the previous one stopped — mid-file, after further appends,
+//! and across rotation.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use divscrape_ingest::{FileTail, LogSource, SourceEvent};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "divscrape-ckpt-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn line(i: usize) -> String {
+    format!(
+        "10.0.0.{} - - [11/Mar/2018:00:00:{:02} +0000] \"GET /r/{} HTTP/1.1\" 200 10 \"-\" \"curl/7.58.0\"",
+        i % 200 + 1,
+        i % 60,
+        i
+    )
+}
+
+fn write_lines(path: &PathBuf, range: std::ops::Range<usize>, append: bool) {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(append)
+        .write(true)
+        .truncate(!append)
+        .open(path)
+        .unwrap();
+    for i in range {
+        writeln!(f, "{}", line(i)).unwrap();
+    }
+    f.flush().unwrap();
+}
+
+/// Collects exactly `n` lines, failing on EOF or timeout.
+fn collect(tail: &mut FileTail, n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while out.len() < n {
+        assert!(Instant::now() < deadline, "timed out with {out:?}");
+        match tail.poll(Duration::from_millis(20)).unwrap() {
+            SourceEvent::Line(l) => out.push(l),
+            SourceEvent::Idle => {}
+            SourceEvent::Eof => panic!("unexpected EOF with {out:?}"),
+            SourceEvent::Truncated { .. } => panic!("unexpected truncation"),
+        }
+    }
+    out
+}
+
+/// Reads until EOF (batch mode).
+fn collect_to_eof(tail: &mut FileTail) -> Vec<String> {
+    let mut out = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "timed out with {out:?}");
+        match tail.poll(Duration::from_millis(20)).unwrap() {
+            SourceEvent::Line(l) => out.push(l),
+            SourceEvent::Idle => {}
+            SourceEvent::Eof => return out,
+            SourceEvent::Truncated { .. } => panic!("unexpected truncation"),
+        }
+    }
+}
+
+#[test]
+fn restart_mid_file_resumes_at_the_first_undelivered_line() {
+    let dir = temp_dir("midfile");
+    let _cleanup = Cleanup(dir.clone());
+    let log = dir.join("access.log");
+    let sidecar = dir.join("access.ckpt");
+    write_lines(&log, 0..10, false);
+
+    // First incarnation: consume 4 of the 10 lines, then die (drop).
+    // The buffered-but-undelivered tail must NOT be marked consumed.
+    {
+        let mut tail = FileTail::read_to_end(&log)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        assert_eq!(collect(&mut tail, 4), (0..4).map(line).collect::<Vec<_>>());
+    } // Drop persists the checkpoint
+
+    // Second incarnation: exactly the undelivered lines, no repeats.
+    let mut tail = FileTail::read_to_end(&log)
+        .unwrap()
+        .with_checkpoint(&sidecar)
+        .unwrap();
+    assert_eq!(
+        collect_to_eof(&mut tail),
+        (4..10).map(line).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn restart_after_appends_reads_only_the_new_lines() {
+    let dir = temp_dir("append");
+    let _cleanup = Cleanup(dir.clone());
+    let log = dir.join("access.log");
+    let sidecar = dir.join("access.ckpt");
+    write_lines(&log, 0..5, false);
+
+    {
+        let mut tail = FileTail::read_to_end(&log)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        assert_eq!(collect_to_eof(&mut tail).len(), 5); // Eof persisted
+    }
+    // The file grows while the ingester is down.
+    write_lines(&log, 5..9, true);
+
+    let mut tail = FileTail::read_to_end(&log)
+        .unwrap()
+        .with_checkpoint(&sidecar)
+        .unwrap();
+    assert_eq!(
+        collect_to_eof(&mut tail),
+        (5..9).map(line).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn restart_after_rotation_reads_the_new_file_from_its_start() {
+    let dir = temp_dir("rotate");
+    let _cleanup = Cleanup(dir.clone());
+    let log = dir.join("access.log");
+    let sidecar = dir.join("access.ckpt");
+    write_lines(&log, 0..6, false);
+
+    {
+        let mut tail = FileTail::read_to_end(&log)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        assert_eq!(collect_to_eof(&mut tail).len(), 6);
+    }
+    // Rotation while down: rename away, recreate the path with fresh
+    // content. The sidecar's (dev, inode) no longer matches, so nothing
+    // from the new file may be skipped.
+    std::fs::rename(&log, dir.join("access.log.1")).unwrap();
+    write_lines(&log, 100..103, false);
+
+    let mut tail = FileTail::read_to_end(&log)
+        .unwrap()
+        .with_checkpoint(&sidecar)
+        .unwrap();
+    assert_eq!(
+        collect_to_eof(&mut tail),
+        (100..103).map(line).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn follow_mode_reads_rotated_in_content_from_the_start() {
+    let dir = temp_dir("follow-rotate");
+    let _cleanup = Cleanup(dir.clone());
+    let log = dir.join("access.log");
+    let sidecar = dir.join("access.ckpt");
+    write_lines(&log, 0..2, false);
+
+    // Live-tailing incarnation: starts at the current end (follow
+    // semantics), sees only what is appended afterwards.
+    {
+        let mut tail = FileTail::follow(&log)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        write_lines(&log, 2..4, true);
+        assert_eq!(collect(&mut tail, 2), (2..4).map(line).collect::<Vec<_>>());
+        // Reach a quiet point so the checkpoint is persisted.
+        assert_eq!(
+            tail.poll(Duration::from_millis(20)).unwrap(),
+            SourceEvent::Idle
+        );
+    }
+    // Rotation while down: the path now holds a different file. A bare
+    // `follow` would seek to its end and silently drop these lines; the
+    // checkpoint proves they postdate the last delivery, so the
+    // restarted tail must read the replacement from its start.
+    std::fs::rename(&log, dir.join("access.log.1")).unwrap();
+    write_lines(&log, 100..103, false);
+
+    let mut tail = FileTail::follow(&log)
+        .unwrap()
+        .with_checkpoint(&sidecar)
+        .unwrap();
+    assert_eq!(
+        collect(&mut tail, 3),
+        (100..103).map(line).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn truncation_below_the_checkpoint_rewinds_to_the_start() {
+    let dir = temp_dir("shrink");
+    let _cleanup = Cleanup(dir.clone());
+    let log = dir.join("access.log");
+    let sidecar = dir.join("access.ckpt");
+    write_lines(&log, 0..8, false);
+
+    {
+        let mut tail = FileTail::read_to_end(&log)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        assert_eq!(collect_to_eof(&mut tail).len(), 8);
+    }
+    // Same file identity, but truncated below the recorded offset
+    // (copytruncate while down): the offset no longer exists.
+    let f = std::fs::OpenOptions::new().write(true).open(&log).unwrap();
+    f.set_len(0).unwrap();
+    drop(f);
+    write_lines(&log, 50..52, true);
+
+    let mut tail = FileTail::read_to_end(&log)
+        .unwrap()
+        .with_checkpoint(&sidecar)
+        .unwrap();
+    assert_eq!(
+        collect_to_eof(&mut tail),
+        (50..52).map(line).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn checkpoint_now_is_durable_and_partial_lines_are_not_consumed() {
+    let dir = temp_dir("partial");
+    let _cleanup = Cleanup(dir.clone());
+    let log = dir.join("access.log");
+    let sidecar = dir.join("access.ckpt");
+    // One complete line plus half of the next (no terminator).
+    let half = line(1);
+    std::fs::write(&log, format!("{}\n{}", line(0), &half[..30])).unwrap();
+
+    {
+        let mut tail = FileTail::follow_from_start(&log)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        assert_eq!(collect(&mut tail, 1), vec![line(0)]);
+        // Pull the half-line into the framer (Idle: no terminator yet).
+        assert_eq!(
+            tail.poll(Duration::from_millis(30)).unwrap(),
+            SourceEvent::Idle
+        );
+        tail.checkpoint_now().unwrap();
+        assert!(sidecar.exists(), "checkpoint_now must write the sidecar");
+    }
+    // Finish the half-line while the ingester is down.
+    let mut f = std::fs::OpenOptions::new().append(true).open(&log).unwrap();
+    writeln!(f, "{}", &half[30..]).unwrap();
+    f.flush().unwrap();
+
+    // The restarted tail re-reads the half-line's bytes and delivers
+    // the completed line exactly once.
+    let mut tail = FileTail::read_to_end(&log)
+        .unwrap()
+        .with_checkpoint(&sidecar)
+        .unwrap();
+    assert_eq!(collect_to_eof(&mut tail), vec![half]);
+}

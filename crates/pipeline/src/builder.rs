@@ -1,6 +1,6 @@
 //! Pipeline composition.
 
-use divscrape_detect::EvictionConfig;
+use divscrape_detect::{EvictionConfig, TenantId};
 use divscrape_ensemble::{KOutOfN, WeightedVote};
 
 use crate::engine::Pipeline;
@@ -131,6 +131,7 @@ impl std::error::Error for BuildError {}
 pub struct PipelineBuilder {
     detectors: Vec<Box<dyn PipelineDetector>>,
     adjudication: Adjudication,
+    tenant: Option<TenantId>,
     sinks: Vec<Box<dyn AlertSink>>,
     workers: usize,
     chunk_capacity: usize,
@@ -157,6 +158,7 @@ impl std::fmt::Debug for PipelineBuilder {
                     .collect::<Vec<_>>(),
             )
             .field("adjudication", &self.adjudication)
+            .field("tenant", &self.tenant)
             .field("sinks", &self.sinks.len())
             .field("workers", &self.workers)
             .field("chunk_capacity", &self.chunk_capacity)
@@ -174,6 +176,7 @@ impl PipelineBuilder {
         Self {
             detectors: Vec::new(),
             adjudication: Adjudication::k_of_n(1),
+            tenant: None,
             sinks: Vec::new(),
             workers: 1,
             chunk_capacity: DEFAULT_CHUNK_CAPACITY,
@@ -199,6 +202,20 @@ impl PipelineBuilder {
     /// Sets the adjudication rule (default: 1-out-of-n).
     pub fn adjudication(mut self, adjudication: Adjudication) -> Self {
         self.adjudication = adjudication;
+        self
+    }
+
+    /// Labels the pipeline with the tenant it serves (default: none).
+    ///
+    /// The tenant id is stamped on every adjudicated [`Alert`] delivered
+    /// to the sinks — [`Alert::to_json`](crate::Alert::to_json) renders
+    /// it, so file and TCP alert streams from many tenants stay
+    /// attributable after mixing. A [`PipelineHub`](crate::PipelineHub)
+    /// sets this automatically for each member pipeline.
+    ///
+    /// [`Alert`]: crate::Alert
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
         self
     }
 
@@ -344,6 +361,7 @@ impl PipelineBuilder {
         Ok(Pipeline::assemble(
             self.detectors,
             rule,
+            self.tenant,
             self.sinks,
             self.workers,
             self.chunk_capacity,

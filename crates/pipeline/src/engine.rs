@@ -41,7 +41,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use divscrape_detect::parallel::run_index_runs;
-use divscrape_detect::{EvictionConfig, EvictionStats, Sessionizer, Verdict};
+use divscrape_detect::{EvictionConfig, EvictionStats, Sessionizer, TenantId, Verdict};
 use divscrape_ensemble::AlertVector;
 use divscrape_httplog::LogEntry;
 
@@ -66,6 +66,11 @@ enum Job {
     /// Reset every detector replica (queued in order, so it takes effect
     /// before any chunk submitted after it).
     Reset,
+    /// Install a new eviction policy on every detector replica (queued
+    /// in order: applies after previously queued chunks, before later
+    /// ones — deterministic relative to the chunk sequence). State is
+    /// kept; the new bounds apply from the next touch.
+    SetEviction(EvictionConfig),
 }
 
 /// Per-detector verdicts of one worker's shard.
@@ -149,6 +154,11 @@ fn spawn_worker(
                             det.reset();
                         }
                     }
+                    Job::SetEviction(cfg) => {
+                        for det in &mut detectors {
+                            det.set_eviction(cfg);
+                        }
+                    }
                 }
             }
         })
@@ -214,9 +224,15 @@ struct StatCounters {
 pub struct Pipeline {
     names: Vec<String>,
     rule: Rule,
+    /// The tenant this pipeline serves, stamped on every alert; `None`
+    /// for classic single-tenant deployments.
+    tenant: Option<TenantId>,
     sinks: Vec<Box<dyn AlertSink>>,
     chunk_capacity: usize,
     queue_depth: usize,
+    /// The eviction policy currently installed on every replica (post
+    /// budget split); base for runtime re-apportionment.
+    eviction: EvictionConfig,
     buffer: Vec<LogEntry>,
     acc_combined: Vec<bool>,
     acc_members: Vec<Vec<bool>>,
@@ -284,9 +300,11 @@ impl Pipeline {
     /// inline on the driver instead — there is no parallelism to buy, so
     /// the cross-thread handoff would be pure overhead (this mirrors the
     /// replaced engine, which only spawned threads for `workers > 1`).
+    #[allow(clippy::too_many_arguments)] // crate-private: called by the builder only
     pub(crate) fn assemble(
         detectors: Vec<Box<dyn PipelineDetector>>,
         rule: Rule,
+        tenant: Option<TenantId>,
         sinks: Vec<Box<dyn AlertSink>>,
         workers: usize,
         chunk_capacity: usize,
@@ -336,9 +354,11 @@ impl Pipeline {
         Self {
             names,
             rule,
+            tenant,
             sinks,
             chunk_capacity,
             queue_depth,
+            eviction,
             buffer: Vec::new(),
             acc_combined: Vec::new(),
             acc_members: vec![Vec::new(); n_members],
@@ -357,6 +377,66 @@ impl Pipeline {
     /// The composed detector names, in composition order.
     pub fn member_names(&self) -> Vec<&str> {
         self.names.iter().map(String::as_str).collect()
+    }
+
+    /// The tenant this pipeline serves
+    /// ([`PipelineBuilder::tenant`](crate::PipelineBuilder::tenant)), if
+    /// any. Alerts delivered to sinks carry it.
+    pub fn tenant(&self) -> Option<&TenantId> {
+        self.tenant.as_ref()
+    }
+
+    /// Replaces the eviction policy on **every** detector replica at
+    /// runtime. State is kept — clients tracked under the old policy
+    /// stay tracked; the new bounds apply from each table's next touch.
+    ///
+    /// The change is queued in feed order: chunks already submitted are
+    /// processed under the old policy, chunks pushed afterwards under
+    /// the new one, for any worker count — so re-configuration at a
+    /// known stream position is deterministic.
+    ///
+    /// Like any capacity bound, a tighter policy can change subsequent
+    /// verdicts (see [`PipelineBuilder::eviction`](crate::PipelineBuilder::eviction));
+    /// the point of runtime re-configuration is elasticity — a
+    /// multi-tenant hub re-apportioning one global budget as tenants
+    /// come and go ([`PipelineHub`](crate::PipelineHub)).
+    pub fn set_eviction(&mut self, eviction: EvictionConfig) {
+        // Submit anything still buffered so the policy boundary falls
+        // exactly between entries pushed before and after this call
+        // (chunk boundaries never change verdicts, so the early flush
+        // is otherwise unobservable).
+        if !self.buffer.is_empty() {
+            let residue = std::mem::take(&mut self.buffer);
+            self.submit_chunk(residue);
+        }
+        self.eviction = eviction;
+        if let Some(crew) = &mut self.inline_crew {
+            for det in crew {
+                det.set_eviction(eviction);
+            }
+            return;
+        }
+        for worker in &self.workers {
+            worker
+                .jobs
+                .as_ref()
+                .expect("worker pool running")
+                .send(Job::SetEviction(eviction))
+                .expect("pipeline worker thread died");
+        }
+    }
+
+    /// Re-bounds the **pipeline-wide** client budget at runtime: the
+    /// runtime form of
+    /// [`eviction_global_capacity`](crate::PipelineBuilder::eviction_global_capacity).
+    /// The budget is split evenly across the worker replicas; a budget
+    /// smaller than the worker count is clamped up so every replica
+    /// keeps at least one client. Any TTL in the current policy is
+    /// preserved. Returns the per-replica share actually installed.
+    pub fn set_eviction_global_capacity(&mut self, budget: usize) -> usize {
+        let share = (budget / self.worker_count()).max(1);
+        self.set_eviction(self.eviction.with_capacity(share));
+        share
     }
 
     /// Number of workers running detectors: the pool size, or 1 when the
@@ -769,6 +849,8 @@ impl Pipeline {
 
         if !self.sinks.is_empty() {
             let sink_started = Instant::now();
+            // Cheap Arc clone: frees `self.sinks` for the mutable loop.
+            let tenant = self.tenant.clone();
             let mut votes = vec![false; n_detectors];
             for (i, entry) in chunk.iter().enumerate() {
                 if combined_bools[i] {
@@ -777,6 +859,7 @@ impl Pipeline {
                     }
                     let alert = Alert {
                         index: self.finalized + i as u64,
+                        tenant: tenant.as_ref(),
                         entry,
                         votes: &votes,
                     };

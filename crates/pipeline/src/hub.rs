@@ -1,0 +1,831 @@
+//! The [`PipelineHub`]: one process serving many tenants.
+//!
+//! A shared scraping-defense service protects many properties at once,
+//! and each property needs its own detector state and its own
+//! calibration — scraper behaviour differs per target site, so a tenant
+//! mix of detectors, adjudication rule, eviction policy and sinks is a
+//! correctness requirement, not a luxury. The hub owns one fully
+//! independent [`Pipeline`] per tenant, built from a per-tenant
+//! [`PipelineBuilder`], and routes tenant-tagged entries to the owning
+//! pipeline:
+//!
+//! * **Isolation is structural.** Tenants share no detector state, no
+//!   adjudication, no sinks: for every tenant, the alerts the hub
+//!   produces on an interleaved multi-tenant stream are bit-identical
+//!   to running that tenant's log alone through a standalone pipeline
+//!   (pinned by this repository's `hub_equivalence` test).
+//! * **Capacity can be shared.** One
+//!   [`global_eviction_budget`](HubBuilder::global_eviction_budget)
+//!   bounds the *service-wide* client-state footprint;
+//!   [`rebalance_eviction`](PipelineHub::rebalance_eviction) re-apportions
+//!   it across tenants by live-client share as tenants grow, shrink,
+//!   [join](PipelineHub::add_tenant) or [leave](PipelineHub::remove_tenant).
+//! * **Operations see both views.** [`stats`](PipelineHub::stats)
+//!   returns [`HubStats`]: per-tenant [`PipelineStats`] plus aggregate
+//!   throughput, queue depth, live clients and routing counters.
+//!
+//! The ingestion-side counterpart lives in `divscrape-ingest`: a
+//! `Tagged` source combinator stamps records with their [`TenantId`],
+//! a `MultiSource` fans several tagged sources into one stream, and a
+//! `HubDriver` pumps that stream into a hub.
+
+use std::collections::HashMap;
+
+use divscrape_detect::TenantId;
+use divscrape_httplog::LogEntry;
+
+use crate::builder::{BuildError, PipelineBuilder};
+use crate::engine::{Pipeline, PipelineReport};
+use crate::stats::PipelineStats;
+
+/// Why a [`HubBuilder`] refused to build (or a
+/// [`PipelineHub::add_tenant`] refused the tenant).
+#[derive(Debug)]
+pub enum HubBuildError {
+    /// The hub has no tenants at all.
+    NoTenants,
+    /// The same tenant id was configured twice.
+    DuplicateTenant(TenantId),
+    /// One tenant's pipeline composition failed to build.
+    Tenant {
+        /// The offending tenant.
+        tenant: TenantId,
+        /// Its pipeline's build failure.
+        error: BuildError,
+    },
+    /// The global eviction budget cannot grant every tenant's every
+    /// worker replica at least one tracked client.
+    BadGlobalBudget {
+        /// The requested service-wide client budget.
+        budget: usize,
+        /// The minimum the configured tenants require (sum of worker
+        /// counts).
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for HubBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HubBuildError::NoTenants => write!(f, "hub needs at least one tenant"),
+            HubBuildError::DuplicateTenant(t) => write!(f, "tenant `{t}` configured twice"),
+            HubBuildError::Tenant { tenant, error } => {
+                write!(f, "tenant `{tenant}`: {error}")
+            }
+            HubBuildError::BadGlobalBudget { budget, required } => write!(
+                f,
+                "global eviction budget {budget} cannot cover the configured tenants \
+                 (their worker replicas need at least {required} clients)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HubBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HubBuildError::Tenant { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Composes per-tenant pipelines into a [`PipelineHub`].
+///
+/// Every tenant brings its own [`PipelineBuilder`] — detector mix,
+/// adjudication rule, eviction policy, chunk/worker/queue sizing and
+/// sinks can all differ per tenant.
+///
+/// ```
+/// use divscrape_detect::{Arcane, Sentinel, TenantId};
+/// use divscrape_pipeline::{Adjudication, PipelineBuilder, PipelineHub};
+///
+/// let hub = PipelineHub::builder()
+///     .tenant(
+///         TenantId::new("shop-eu"),
+///         PipelineBuilder::new()
+///             .detector(Sentinel::stock())
+///             .detector(Arcane::stock())
+///             .adjudication(Adjudication::k_of_n(1)),
+///     )
+///     .tenant(
+///         TenantId::new("shop-us"), // stricter: both tools must agree
+///         PipelineBuilder::new()
+///             .detector(Sentinel::stock())
+///             .detector(Arcane::stock())
+///             .adjudication(Adjudication::k_of_n(2)),
+///     )
+///     .build()
+///     .map_err(|e| e.to_string())?;
+/// assert_eq!(hub.len(), 2);
+/// # Ok::<(), String>(())
+/// ```
+#[must_use = "a builder does nothing until built"]
+#[derive(Default)]
+pub struct HubBuilder {
+    tenants: Vec<(TenantId, PipelineBuilder)>,
+    budget: Option<usize>,
+}
+
+impl std::fmt::Debug for HubBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HubBuilder")
+            .field(
+                "tenants",
+                &self.tenants.iter().map(|(t, _)| t).collect::<Vec<_>>(),
+            )
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl HubBuilder {
+    /// An empty hub composition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a tenant with its pipeline composition. The builder's
+    /// [`tenant` label](PipelineBuilder::tenant) is set to `id`
+    /// automatically, so the tenant's alerts carry its tag.
+    pub fn tenant(mut self, id: TenantId, pipeline: PipelineBuilder) -> Self {
+        self.tenants.push((id, pipeline));
+        self
+    }
+
+    /// Bounds the **service-wide** client-state footprint at `budget`
+    /// tracked clients, shared by all tenants.
+    ///
+    /// At build time the budget is apportioned evenly; as traffic
+    /// shapes diverge, [`PipelineHub::rebalance_eviction`] re-apportions
+    /// it by live-client share (see there for the exact split). Any
+    /// per-tenant eviction TTL composes with the shared budget; a
+    /// per-tenant `max_clients` is overridden by the apportioned cap.
+    pub fn global_eviction_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Validates the composition and builds the [`PipelineHub`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HubBuildError`] when no tenants are configured, a
+    /// tenant id repeats, a tenant's pipeline fails to build, or the
+    /// global eviction budget cannot cover every tenant's worker
+    /// replicas.
+    pub fn build(self) -> Result<PipelineHub, HubBuildError> {
+        if self.tenants.is_empty() {
+            return Err(HubBuildError::NoTenants);
+        }
+        let mut hub = PipelineHub {
+            slots: Vec::with_capacity(self.tenants.len()),
+            index: HashMap::new(),
+            budget: None,
+            routed: 0,
+            unrouted: 0,
+            departed_entries: 0,
+            departed_alerts: 0,
+        };
+        for (id, builder) in self.tenants {
+            hub.insert_tenant(id, builder)?;
+        }
+        if let Some(budget) = self.budget {
+            let required: usize = hub.slots.iter().map(|s| s.pipeline.worker_count()).sum();
+            if budget < required {
+                return Err(HubBuildError::BadGlobalBudget { budget, required });
+            }
+            hub.budget = Some(budget);
+            hub.rebalance_eviction();
+        }
+        Ok(hub)
+    }
+}
+
+/// One tenant's pipeline inside the hub.
+struct TenantSlot {
+    id: TenantId,
+    pipeline: Pipeline,
+}
+
+/// One tenant's slice of a [`HubStats`] snapshot.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Its pipeline's operational counters.
+    pub pipeline: PipelineStats,
+}
+
+/// A point-in-time snapshot of a [`PipelineHub`]: per-tenant pipeline
+/// counters plus the hub-level aggregates and routing tallies.
+#[derive(Debug, Clone, Default)]
+pub struct HubStats {
+    /// Per-tenant pipeline counters, in tenant registration order.
+    pub tenants: Vec<TenantStats>,
+    /// Entries finalized across all tenants, **including tenants that
+    /// have since left** — monotonic across membership churn, like
+    /// [`routed_entries`](Self::routed_entries).
+    pub entries_processed: u64,
+    /// Entries accepted but not yet finalized, across current tenants.
+    pub entries_pending: usize,
+    /// Adjudicated alerts raised across all tenants, including tenants
+    /// that have since left.
+    pub alerts: u64,
+    /// Chunks currently in flight across all tenant pools.
+    pub inflight_chunks: usize,
+    /// Sum of every tenant's
+    /// [`live_clients_aggregate`](PipelineStats::live_clients_aggregate)
+    /// — the service-wide client-state footprint the
+    /// [global budget](HubBuilder::global_eviction_budget) bounds.
+    pub live_clients_aggregate: usize,
+    /// Entries routed to a tenant pipeline so far.
+    pub routed_entries: u64,
+    /// Entries whose tenant the hub does not serve, counted and
+    /// dropped.
+    pub unrouted_entries: u64,
+    /// The configured service-wide client budget, if any.
+    pub eviction_budget: Option<usize>,
+}
+
+/// Everything a [`PipelineHub::drain_all`] returns: one
+/// [`PipelineReport`] per tenant, in registration order.
+#[derive(Debug)]
+pub struct HubReport {
+    /// Per-tenant drained reports.
+    pub tenants: Vec<(TenantId, PipelineReport)>,
+}
+
+impl HubReport {
+    /// The report of the given tenant, if the hub serves it.
+    pub fn tenant(&self, id: &TenantId) -> Option<&PipelineReport> {
+        self.tenants.iter().find(|(t, _)| t == id).map(|(_, r)| r)
+    }
+
+    /// Total requests covered across all tenants.
+    pub fn requests(&self) -> usize {
+        self.tenants.iter().map(|(_, r)| r.requests()).sum()
+    }
+}
+
+/// A multi-tenant detection service: N independent per-tenant
+/// [`Pipeline`]s behind one routing facade. Built by [`HubBuilder`].
+///
+/// Isolation is structural — tenants share no detector state, no
+/// adjudication and no sinks, so each tenant's output on an interleaved
+/// stream is bit-identical to a standalone pipeline over its log alone
+/// (pinned by this repository's `hub_equivalence` test). Capacity *can*
+/// be shared, by choice: one
+/// [`global_eviction_budget`](HubBuilder::global_eviction_budget) is
+/// apportioned across tenants by live-client share
+/// ([`rebalance_eviction`](Self::rebalance_eviction)) as tenants grow,
+/// shrink, [join](Self::add_tenant) or [leave](Self::remove_tenant).
+///
+/// ```
+/// use divscrape_detect::{Sentinel, TenantId};
+/// use divscrape_pipeline::{PipelineBuilder, PipelineHub};
+/// use divscrape_traffic::{generate, ScenarioConfig};
+///
+/// let eu = TenantId::new("shop-eu");
+/// let us = TenantId::new("shop-us");
+/// let mut hub = PipelineHub::builder()
+///     .tenant(eu.clone(), PipelineBuilder::new().detector(Sentinel::stock()))
+///     .tenant(us.clone(), PipelineBuilder::new().detector(Sentinel::stock()))
+///     .build()
+///     .map_err(|e| e.to_string())?;
+///
+/// // Route an interleaved stream; each entry reaches its tenant only.
+/// let log = generate(&ScenarioConfig::tiny(1))?;
+/// for (i, entry) in log.entries().iter().take(100).cloned().enumerate() {
+///     let tenant = if i % 2 == 0 { &eu } else { &us };
+///     assert!(hub.push(tenant, entry));
+/// }
+/// let report = hub.drain_all();
+/// assert_eq!(report.requests(), 100);
+/// assert_eq!(report.tenant(&eu).unwrap().requests(), 50);
+/// assert_eq!(hub.stats().routed_entries, 100);
+/// # Ok::<(), String>(())
+/// ```
+pub struct PipelineHub {
+    slots: Vec<TenantSlot>,
+    index: HashMap<TenantId, usize>,
+    budget: Option<usize>,
+    routed: u64,
+    unrouted: u64,
+    /// Entries finalized by tenants that have since left — keeps the
+    /// aggregate counters monotonic across membership churn.
+    departed_entries: u64,
+    /// Alerts raised by tenants that have since left.
+    departed_alerts: u64,
+}
+
+impl std::fmt::Debug for PipelineHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineHub")
+            .field(
+                "tenants",
+                &self.slots.iter().map(|s| &s.id).collect::<Vec<_>>(),
+            )
+            .field("budget", &self.budget)
+            .field("routed", &self.routed)
+            .field("unrouted", &self.unrouted)
+            .finish()
+    }
+}
+
+impl PipelineHub {
+    /// Starts a hub composition.
+    pub fn builder() -> HubBuilder {
+        HubBuilder::new()
+    }
+
+    /// Number of tenants served.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the hub serves no tenants (possible after removals).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The served tenant ids, in registration order.
+    pub fn tenant_ids(&self) -> Vec<&TenantId> {
+        self.slots.iter().map(|s| &s.id).collect()
+    }
+
+    /// Whether the hub serves the given tenant.
+    pub fn serves(&self, tenant: &TenantId) -> bool {
+        self.index.contains_key(tenant)
+    }
+
+    /// The given tenant's pipeline.
+    pub fn pipeline(&self, tenant: &TenantId) -> Option<&Pipeline> {
+        self.index.get(tenant).map(|&i| &self.slots[i].pipeline)
+    }
+
+    /// Mutable access to the given tenant's pipeline (e.g. to drive it
+    /// directly or reconfigure its eviction).
+    pub fn pipeline_mut(&mut self, tenant: &TenantId) -> Option<&mut Pipeline> {
+        self.index.get(tenant).map(|&i| &mut self.slots[i].pipeline)
+    }
+
+    /// The configured service-wide client budget, if any.
+    pub fn global_eviction_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Routes one entry to its tenant's pipeline (blocking on that
+    /// pipeline's backpressure like [`Pipeline::push`]). Returns `false`
+    /// — and counts the entry in
+    /// [`unrouted_entries`](HubStats::unrouted_entries) — when the hub
+    /// does not serve the tenant; routing problems must not take the
+    /// other tenants' detection down.
+    pub fn push(&mut self, tenant: &TenantId, entry: LogEntry) -> bool {
+        match self.index.get(tenant) {
+            Some(&i) => {
+                self.slots[i].pipeline.push(entry);
+                self.routed += 1;
+                true
+            }
+            None => {
+                self.unrouted += 1;
+                false
+            }
+        }
+    }
+
+    /// Drains one tenant's pipeline (its detector state persists, as
+    /// with [`Pipeline::drain`]); `None` when the hub does not serve the
+    /// tenant.
+    pub fn drain(&mut self, tenant: &TenantId) -> Option<PipelineReport> {
+        let &i = self.index.get(tenant)?;
+        Some(self.slots[i].pipeline.drain())
+    }
+
+    /// Drains every tenant's pipeline, in registration order.
+    pub fn drain_all(&mut self) -> HubReport {
+        HubReport {
+            tenants: self
+                .slots
+                .iter_mut()
+                .map(|s| (s.id.clone(), s.pipeline.drain()))
+                .collect(),
+        }
+    }
+
+    /// A snapshot of the hub's per-tenant and aggregate counters. Cost
+    /// is one [`Pipeline::stats`] per tenant (cheap: driver-side
+    /// accumulators only).
+    pub fn stats(&self) -> HubStats {
+        let tenants: Vec<TenantStats> = self
+            .slots
+            .iter()
+            .map(|s| TenantStats {
+                tenant: s.id.clone(),
+                pipeline: s.pipeline.stats(),
+            })
+            .collect();
+        HubStats {
+            entries_processed: self.departed_entries
+                + tenants
+                    .iter()
+                    .map(|t| t.pipeline.entries_processed)
+                    .sum::<u64>(),
+            entries_pending: tenants.iter().map(|t| t.pipeline.entries_pending).sum(),
+            alerts: self.departed_alerts + tenants.iter().map(|t| t.pipeline.alerts).sum::<u64>(),
+            inflight_chunks: tenants.iter().map(|t| t.pipeline.inflight_chunks).sum(),
+            live_clients_aggregate: tenants
+                .iter()
+                .map(|t| t.pipeline.live_clients_aggregate)
+                .sum(),
+            routed_entries: self.routed,
+            unrouted_entries: self.unrouted,
+            eviction_budget: self.budget,
+            tenants,
+        }
+    }
+
+    /// Adds a tenant to a running hub. Under a global budget the new
+    /// tenant is folded into the apportionment immediately (existing
+    /// tenants shrink to make room).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HubBuildError`] when the tenant is already served,
+    /// its pipeline fails to build, or the global budget cannot cover
+    /// the grown tenant set.
+    pub fn add_tenant(
+        &mut self,
+        id: TenantId,
+        pipeline: PipelineBuilder,
+    ) -> Result<(), HubBuildError> {
+        self.insert_tenant(id, pipeline)?;
+        if let Some(budget) = self.budget {
+            // The incoming tenant's worker count is only known after
+            // build, so validate the grown set now and roll the tenant
+            // back out if the budget cannot cover its replicas.
+            let required: usize = self.slots.iter().map(|s| s.pipeline.worker_count()).sum();
+            if budget < required {
+                let slot = self.slots.pop().expect("just inserted");
+                self.index.remove(&slot.id);
+                return Err(HubBuildError::BadGlobalBudget { budget, required });
+            }
+            self.rebalance_eviction();
+        }
+        Ok(())
+    }
+
+    /// Removes a tenant: drains its pipeline (sinks flush, the final
+    /// report is returned) and frees its budget share for the remaining
+    /// tenants. `None` when the hub does not serve the tenant.
+    pub fn remove_tenant(&mut self, tenant: &TenantId) -> Option<PipelineReport> {
+        let i = self.index.remove(tenant)?;
+        let mut slot = self.slots.remove(i);
+        // Positions after the removed slot shifted down.
+        for (pos, s) in self.slots.iter().enumerate().skip(i) {
+            *self.index.get_mut(&s.id).expect("indexed tenant") = pos;
+        }
+        let report = slot.pipeline.drain();
+        // Fold the departing tenant's lifetime totals into the hub's
+        // cumulative aggregates, so `stats()` counters stay monotonic
+        // (and consistent with `routed_entries`) across churn.
+        let parting = slot.pipeline.stats();
+        self.departed_entries += parting.entries_processed;
+        self.departed_alerts += parting.alerts;
+        self.rebalance_eviction();
+        Some(report)
+    }
+
+    /// Re-apportions the [global eviction
+    /// budget](HubBuilder::global_eviction_budget) across the tenants by
+    /// **live-client share**: every tenant keeps a floor of one client
+    /// per worker replica, and the remaining budget is split
+    /// proportionally to each tenant's current
+    /// [`live_clients_aggregate`](PipelineStats::live_clients_aggregate)
+    /// (evenly, while no tenant tracks any client yet). The new
+    /// per-tenant caps are installed through
+    /// [`Pipeline::set_eviction_global_capacity`] — tenant state is
+    /// kept; tighter caps bite on each table's next touch.
+    ///
+    /// Returns the per-tenant capacities **actually installed**
+    /// (registration order), or `None` when the hub has no global
+    /// budget. Each tenant's apportioned allotment is split evenly over
+    /// its worker replicas, so the installed capacity is
+    /// `⌊allotment / workers⌋ × workers` — at most the allotment, equal
+    /// to it whenever the worker count divides it. The sum of the
+    /// returned capacities therefore never exceeds the budget — scaling
+    /// tenants out never multiplies the service's memory bound — and
+    /// falls short of it by less than the hub's total worker count.
+    ///
+    /// The hub never rebalances behind the operator's back on `push`;
+    /// call this at natural quiesce points (after drains, after churn)
+    /// so verdict changes from re-apportionment land at known stream
+    /// positions.
+    pub fn rebalance_eviction(&mut self) -> Option<Vec<(TenantId, usize)>> {
+        let budget = self.budget?;
+        if self.slots.is_empty() {
+            return Some(Vec::new());
+        }
+        let floors: Vec<usize> = self
+            .slots
+            .iter()
+            .map(|s| s.pipeline.worker_count())
+            .collect();
+        let shares: Vec<usize> = self
+            .slots
+            .iter()
+            .map(|s| s.pipeline.stats().live_clients_aggregate)
+            .collect();
+        let allotments = apportion(budget, &floors, &shares);
+        let mut applied = Vec::with_capacity(self.slots.len());
+        for (slot, allotment) in self.slots.iter_mut().zip(&allotments) {
+            let per_replica = slot.pipeline.set_eviction_global_capacity(*allotment);
+            // Report what was installed, not what was granted: flooring
+            // over the replicas can leave up to `workers - 1` of the
+            // allotment unused.
+            applied.push((slot.id.clone(), per_replica * slot.pipeline.worker_count()));
+        }
+        Some(applied)
+    }
+
+    /// Builds one tenant's pipeline (tenant label stamped) and indexes
+    /// it.
+    fn insert_tenant(
+        &mut self,
+        id: TenantId,
+        pipeline: PipelineBuilder,
+    ) -> Result<(), HubBuildError> {
+        if self.index.contains_key(&id) {
+            return Err(HubBuildError::DuplicateTenant(id));
+        }
+        let pipeline =
+            pipeline
+                .tenant(id.clone())
+                .build()
+                .map_err(|error| HubBuildError::Tenant {
+                    tenant: id.clone(),
+                    error,
+                })?;
+        self.index.insert(id.clone(), self.slots.len());
+        self.slots.push(TenantSlot { id, pipeline });
+        Ok(())
+    }
+}
+
+/// Splits `budget` across tenants: everyone keeps their floor (one
+/// client per worker replica), the spare goes out proportionally to
+/// `shares` (evenly when all shares are zero), flooring remainders
+/// handed out front to back. The result sums to exactly `budget` when
+/// `budget >= Σfloors` (builders and `add_tenant` guarantee that).
+fn apportion(budget: usize, floors: &[usize], shares: &[usize]) -> Vec<usize> {
+    let n = floors.len();
+    let reserved: usize = floors.iter().sum();
+    let spare = budget.saturating_sub(reserved);
+    let total: usize = shares.iter().sum();
+    let mut out = floors.to_vec();
+    if total == 0 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot += spare / n + usize::from(i < spare % n);
+        }
+    } else {
+        let mut handed = 0usize;
+        for (slot, &share) in out.iter_mut().zip(shares) {
+            // u128 keeps budget × share exact for any realistic scale.
+            let grant = (spare as u128 * share as u128 / total as u128) as usize;
+            *slot += grant;
+            handed += grant;
+        }
+        for i in 0..spare - handed {
+            out[i % n] += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adjudication, CountingSink, EvictionConfig};
+    use divscrape_detect::{Arcane, Sentinel};
+    use divscrape_traffic::{generate, ScenarioConfig};
+
+    fn two_tool(adjudication: Adjudication) -> PipelineBuilder {
+        PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .adjudication(adjudication)
+    }
+
+    #[test]
+    fn empty_and_duplicate_compositions_are_rejected() {
+        assert!(matches!(
+            PipelineHub::builder().build().unwrap_err(),
+            HubBuildError::NoTenants
+        ));
+        let err = PipelineHub::builder()
+            .tenant(TenantId::new("a"), two_tool(Adjudication::k_of_n(1)))
+            .tenant(TenantId::new("a"), two_tool(Adjudication::k_of_n(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HubBuildError::DuplicateTenant(t) if t.as_str() == "a"));
+    }
+
+    #[test]
+    fn a_tenants_build_error_names_the_tenant() {
+        let err = PipelineHub::builder()
+            .tenant(TenantId::new("bad"), PipelineBuilder::new())
+            .build()
+            .unwrap_err();
+        match err {
+            HubBuildError::Tenant { tenant, error } => {
+                assert_eq!(tenant.as_str(), "bad");
+                assert_eq!(error, BuildError::NoDetectors);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn routing_reaches_only_the_owning_tenant() {
+        let log = generate(&ScenarioConfig::tiny(31)).unwrap();
+        let a = TenantId::new("a");
+        let b = TenantId::new("b");
+        let ghost = TenantId::new("ghost");
+        let count_a = CountingSink::new();
+        let seen_a = count_a.handle();
+        let mut hub = PipelineHub::builder()
+            .tenant(a.clone(), two_tool(Adjudication::k_of_n(1)).sink(count_a))
+            .tenant(b.clone(), two_tool(Adjudication::k_of_n(2)))
+            .build()
+            .unwrap();
+
+        for entry in log.entries().iter().cloned() {
+            hub.push(&a, entry);
+        }
+        assert!(!hub.push(&ghost, log.entries()[0].clone()));
+        let report = hub.drain_all();
+        assert_eq!(report.tenant(&a).unwrap().requests(), log.len());
+        assert_eq!(report.tenant(&b).unwrap().requests(), 0);
+        assert!(report.tenant(&ghost).is_none());
+        assert!(
+            seen_a.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "tenant a's sink must fire"
+        );
+        let stats = hub.stats();
+        assert_eq!(stats.routed_entries, log.len() as u64);
+        assert_eq!(stats.unrouted_entries, 1);
+        assert_eq!(stats.entries_processed, log.len() as u64);
+        assert_eq!(stats.tenants.len(), 2);
+        assert_eq!(stats.tenants[1].pipeline.entries_processed, 0);
+    }
+
+    #[test]
+    fn tenants_join_and_leave_at_runtime() {
+        let log = generate(&ScenarioConfig::tiny(32)).unwrap();
+        let a = TenantId::new("a");
+        let b = TenantId::new("b");
+        let c = TenantId::new("c");
+        let mut hub = PipelineHub::builder()
+            .tenant(a.clone(), two_tool(Adjudication::k_of_n(1)))
+            .tenant(b.clone(), two_tool(Adjudication::k_of_n(1)))
+            .build()
+            .unwrap();
+        for entry in log.entries()[..100].iter().cloned() {
+            hub.push(&b, entry);
+        }
+        // b leaves mid-stream: its drained report comes back, and its
+        // id stops routing.
+        let parting = hub.remove_tenant(&b).unwrap();
+        assert_eq!(parting.requests(), 100);
+        assert!(!hub.serves(&b));
+        assert!(hub.remove_tenant(&b).is_none());
+        // The departed tenant's work stays in the aggregates: counters
+        // never run backwards, and routing/processing tallies agree.
+        let stats = hub.stats();
+        assert_eq!(stats.entries_processed, 100);
+        assert_eq!(stats.routed_entries, 100);
+        // c joins; index integrity survives the membership churn.
+        hub.add_tenant(c.clone(), two_tool(Adjudication::k_of_n(2)))
+            .unwrap();
+        assert!(matches!(
+            hub.add_tenant(c.clone(), two_tool(Adjudication::k_of_n(2))),
+            Err(HubBuildError::DuplicateTenant(_))
+        ));
+        for entry in log.entries()[..40].iter().cloned() {
+            hub.push(&c, entry);
+        }
+        let report = hub.drain_all();
+        assert_eq!(hub.tenant_ids(), vec![&a, &c]);
+        assert_eq!(report.tenant(&c).unwrap().requests(), 40);
+        assert_eq!(hub.stats().entries_processed, 140, "departed + current");
+    }
+
+    #[test]
+    fn global_budget_is_validated_and_apportioned() {
+        // 2 tenants × 2 workers: at least 4 clients required.
+        let build = |budget: usize| {
+            PipelineHub::builder()
+                .tenant(
+                    TenantId::new("a"),
+                    two_tool(Adjudication::k_of_n(1)).workers(2),
+                )
+                .tenant(
+                    TenantId::new("b"),
+                    two_tool(Adjudication::k_of_n(1)).workers(2),
+                )
+                .global_eviction_budget(budget)
+                .build()
+        };
+        assert!(matches!(
+            build(3).unwrap_err(),
+            HubBuildError::BadGlobalBudget {
+                budget: 3,
+                required: 4
+            }
+        ));
+        let mut hub = build(64).unwrap();
+        let applied = hub.rebalance_eviction().unwrap();
+        assert_eq!(applied.iter().map(|(_, b)| b).sum::<usize>(), 64);
+        // No live clients yet: even split.
+        assert_eq!(applied[0].1, 32);
+        assert_eq!(applied[1].1, 32);
+    }
+
+    #[test]
+    fn add_tenant_budget_error_reports_the_true_requirement() {
+        // Budget 4 exactly covers two 2-worker tenants; a third
+        // 2-worker tenant needs 6 in total and must be rolled back
+        // with the accurate requirement in the error.
+        let c = TenantId::new("c");
+        let mut hub = PipelineHub::builder()
+            .tenant(
+                TenantId::new("a"),
+                two_tool(Adjudication::k_of_n(1)).workers(2),
+            )
+            .tenant(
+                TenantId::new("b"),
+                two_tool(Adjudication::k_of_n(1)).workers(2),
+            )
+            .global_eviction_budget(4)
+            .build()
+            .unwrap();
+        let err = hub
+            .add_tenant(c.clone(), two_tool(Adjudication::k_of_n(1)).workers(2))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            HubBuildError::BadGlobalBudget {
+                budget: 4,
+                required: 6
+            }
+        ));
+        assert!(!hub.serves(&c), "failed add must roll back");
+        assert_eq!(hub.len(), 2);
+    }
+
+    #[test]
+    fn rebalance_follows_live_client_share() {
+        let log = generate(&ScenarioConfig::tiny(33)).unwrap();
+        let a = TenantId::new("a");
+        let b = TenantId::new("b");
+        let mut hub = PipelineHub::builder()
+            .tenant(
+                a.clone(),
+                two_tool(Adjudication::k_of_n(1)).eviction(EvictionConfig::ttl(86_400)),
+            )
+            .tenant(b.clone(), two_tool(Adjudication::k_of_n(1)))
+            .global_eviction_budget(100)
+            .build()
+            .unwrap();
+        // All the traffic goes to tenant a; b stays idle.
+        for entry in log.entries().iter().cloned() {
+            hub.push(&a, entry);
+        }
+        let _ = hub.drain_all();
+        let applied = hub.rebalance_eviction().unwrap();
+        let (ref ta, budget_a) = applied[0];
+        let (ref tb, budget_b) = applied[1];
+        assert_eq!((ta, tb), (&a, &b));
+        assert!(
+            budget_a > budget_b,
+            "the busy tenant must out-apportion the idle one ({budget_a} vs {budget_b})"
+        );
+        assert!(budget_b >= 1, "every tenant keeps its floor");
+        assert_eq!(budget_a + budget_b, 100, "the whole budget is granted");
+        assert_eq!(hub.stats().eviction_budget, Some(100));
+    }
+
+    #[test]
+    fn apportion_is_exact_and_floored() {
+        // Spare 94 over shares 3:1 → floors 1,1 then 70,23 +1 remainder.
+        let out = apportion(96, &[1, 1], &[300, 100]);
+        assert_eq!(out.iter().sum::<usize>(), 96);
+        assert!(out[0] > out[1]);
+        assert!(out[1] >= 1);
+        // All-zero shares: even split with front-loaded remainder.
+        assert_eq!(apportion(10, &[1, 1, 1], &[0, 0, 0]), vec![4, 3, 3]);
+        // Budget below the floors: floors win (callers validate first).
+        assert_eq!(apportion(1, &[2, 2], &[0, 0]), vec![2, 2]);
+    }
+}

@@ -36,6 +36,12 @@
 //! * [`stats`](Pipeline::stats) snapshots the pipeline's operational
 //!   counters ([`PipelineStats`]): throughput, queue depth, per-stage
 //!   latency, and client-state occupancy/evictions.
+//! * For a service protecting **many properties at once**, [`PipelineHub`]
+//!   owns one fully isolated pipeline per tenant (detector mix,
+//!   adjudication rule, eviction policy and sinks can all differ), routes
+//!   tenant-tagged entries to the owning pipeline, snapshots per-tenant +
+//!   aggregate counters ([`HubStats`]), and can apportion one global
+//!   eviction budget across tenants by live-client share.
 //! * [`drain`](Pipeline::drain) flushes and returns a [`PipelineReport`]
 //!   with the adjudicated [`AlertVector`](divscrape_ensemble::AlertVector)
 //!   plus one per member, ready for the contingency/diversity analyses in
@@ -105,19 +111,21 @@
 
 mod builder;
 mod engine;
+mod hub;
 mod sink;
 mod stats;
 
 pub use builder::{Adjudication, BuildError, PipelineBuilder};
 pub use engine::{Pipeline, PipelineReport};
+pub use hub::{HubBuildError, HubBuilder, HubReport, HubStats, PipelineHub, TenantStats};
 pub use sink::{
     Alert, AlertSink, CollectingSink, CountingSink, JsonLinesSink, SinkTelemetry, TcpSink,
 };
 pub use stats::PipelineStats;
 
-// Re-exported so pipeline deployments can configure state eviction
-// without depending on `divscrape-detect` directly.
-pub use divscrape_detect::{EvictionConfig, EvictionStats};
+// Re-exported so pipeline deployments can configure state eviction and
+// tenancy without depending on `divscrape-detect` directly.
+pub use divscrape_detect::{EvictionConfig, EvictionStats, TenantId};
 
 use divscrape_detect::Detector;
 

@@ -7,17 +7,25 @@
 //! file/socket in *and* file/socket out.
 
 use std::io::{BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use divscrape_detect::TenantId;
 use divscrape_httplog::LogEntry;
 
 /// One adjudicated alert, borrowed from the chunk being flushed.
 #[derive(Debug, Clone, Copy)]
 pub struct Alert<'a> {
-    /// 0-based position of the entry in the pipeline's feed order.
+    /// 0-based position of the entry in the pipeline's feed order
+    /// (per-tenant feed order, for a pipeline inside a
+    /// [`PipelineHub`](crate::PipelineHub)).
     pub index: u64,
+    /// The tenant whose pipeline raised the alert
+    /// ([`PipelineBuilder::tenant`](crate::PipelineBuilder::tenant));
+    /// `None` for single-tenant deployments.
+    pub tenant: Option<&'a TenantId>,
     /// The alerting log entry.
     pub entry: &'a LogEntry,
     /// Which members voted to alert, in composition order.
@@ -33,12 +41,18 @@ impl Alert<'_> {
     /// Renders this alert as one self-contained JSON object (no trailing
     /// newline) — the line format of [`JsonLinesSink`] and [`TcpSink`].
     ///
-    /// Fields: `index` (feed order), `time` (CLF timestamp), `client`,
-    /// `agent`, `method`, `path`, `status`, `votes`.
+    /// Fields: `index` (feed order), `tenant` (only when the pipeline is
+    /// tenant-labelled), `time` (CLF timestamp), `client`, `agent`,
+    /// `method`, `path`, `status`, `votes`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(160);
         out.push_str("{\"index\":");
         out.push_str(&self.index.to_string());
+        if let Some(tenant) = self.tenant {
+            out.push_str(",\"tenant\":\"");
+            push_json_escaped(&mut out, tenant.as_str());
+            out.push('"');
+        }
         out.push_str(",\"time\":\"");
         push_json_escaped(&mut out, &self.entry.timestamp().to_string());
         out.push_str("\",\"client\":\"");
@@ -173,6 +187,7 @@ impl AlertSink for CollectingSink {
 struct SinkCounters {
     written: AtomicU64,
     errors: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 /// A live view of an I/O sink's delivery counters; stays valid after the
@@ -201,6 +216,12 @@ impl SinkTelemetry {
     /// counts here instead.
     pub fn errors(&self) -> u64 {
         self.0.errors.load(Ordering::Acquire)
+    }
+
+    /// Successful reconnections so far ([`TcpSink`] only: a broken
+    /// collector connection that was re-established).
+    pub fn reconnects(&self) -> u64 {
+        self.0.reconnects.load(Ordering::Acquire)
     }
 }
 
@@ -286,38 +307,92 @@ impl<W: Write + Send> AlertSink for JsonLinesSink<W> {
 /// as it is adjudicated (one line per write, `TCP_NODELAY` set) — a
 /// monitoring collector sees them live, not at the next drain.
 ///
-/// A broken connection is counted in [`SinkTelemetry::errors`] and the
-/// stream is dropped; subsequent alerts count as errors too (detection
-/// keeps running without the collector). Reconnection is deliberately
-/// left to the operator — silently re-connecting would hide gaps in the
-/// delivered alert stream.
+/// A broken connection is survived, never fatal: the sink drops the dead
+/// stream and attempts **one bounded-backoff reconnect per alert** — a
+/// single [`connect_timeout`](TcpStream::connect_timeout)-bounded attempt
+/// (the collector address is re-resolved first, so a DNS fail-over is
+/// followed), gated by an exponential backoff window
+/// ([`RECONNECT_BACKOFF_INITIAL`](Self::RECONNECT_BACKOFF_INITIAL) …
+/// [`RECONNECT_BACKOFF_CAP`](Self::RECONNECT_BACKOFF_CAP)) so a dead
+/// collector is not hammered on every alert. Only when the alert still
+/// cannot be written — no live stream and no (permitted, successful)
+/// reconnect — is it counted as dropped in [`SinkTelemetry::errors`];
+/// successful re-establishments count in [`SinkTelemetry::reconnects`].
+/// Alerts raised while the collector was down are *not* replayed — the
+/// error count is the delivered stream's honest gap record. (TCP can
+/// also buffer a handful of writes locally before noticing a dead peer;
+/// those alerts are counted written but never arrive — an inherent
+/// stream-socket limit.)
 ///
 /// ```no_run
 /// use divscrape_pipeline::TcpSink;
 ///
 /// let sink = TcpSink::connect("alerts.internal:6514")?;
 /// let telemetry = sink.telemetry();
-/// // ... builder.sink(sink) ...
+/// // ... builder.sink(sink) ... later:
+/// println!("delivered {} (+{} reconnects, {} dropped)",
+///     telemetry.written(), telemetry.reconnects(), telemetry.errors());
 /// # Ok::<(), std::io::Error>(())
 /// ```
-#[derive(Debug)]
 pub struct TcpSink {
+    /// Re-resolves the collector's address (captures what `connect` was
+    /// given), so reconnection follows DNS fail-over. Shared so the
+    /// resolution can run on a throwaway thread with a bounded wait.
+    resolve: Arc<dyn Fn() -> std::io::Result<Vec<SocketAddr>> + Send + Sync>,
+    /// Most recently resolved addresses — the fallback when a later
+    /// re-resolution fails (DNS down along with the collector).
+    addrs: Vec<SocketAddr>,
     stream: Option<TcpStream>,
     counters: Arc<SinkCounters>,
+    /// Next reconnect delay (doubles per failed attempt, capped).
+    backoff: Duration,
+    /// No reconnect attempt before this instant.
+    retry_at: Option<Instant>,
+}
+
+impl std::fmt::Debug for TcpSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSink")
+            .field("addrs", &self.addrs)
+            .field("connected", &self.stream.is_some())
+            .field("retry_at", &self.retry_at)
+            .finish()
+    }
 }
 
 impl TcpSink {
-    /// Connects to the collector.
+    /// First backoff delay after a failed reconnect attempt.
+    pub const RECONNECT_BACKOFF_INITIAL: Duration = Duration::from_millis(50);
+    /// Upper bound on the backoff delay between reconnect attempts.
+    pub const RECONNECT_BACKOFF_CAP: Duration = Duration::from_secs(5);
+    /// Per-attempt connection timeout: reconnection may run on the
+    /// pipeline's driver thread, so it must return promptly.
+    const RECONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+
+    /// Connects to the collector. The address input is kept and
+    /// **re-resolved on every reconnect attempt**, so a collector that
+    /// fails over behind a DNS name is found again.
     ///
     /// # Errors
     ///
-    /// Fails when the connection cannot be established.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+    /// Fails when the address cannot be resolved or the initial
+    /// connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs + Send + Sync + 'static) -> std::io::Result<Self> {
+        let resolve: Arc<dyn Fn() -> std::io::Result<Vec<SocketAddr>> + Send + Sync> =
+            Arc::new(move || Ok(addr.to_socket_addrs()?.collect()));
+        let addrs = resolve()?;
+        // std's ToSocketAddrs for &[SocketAddr] tries each address and
+        // returns the last error (or a resolution error for an empty
+        // list) — exactly the semantics reconnection wants too.
+        let stream = TcpStream::connect(&addrs[..])?;
         stream.set_nodelay(true).ok(); // alerts are latency-sensitive
         Ok(Self {
+            resolve,
+            addrs,
             stream: Some(stream),
             counters: Arc::default(),
+            backoff: Self::RECONNECT_BACKOFF_INITIAL,
+            retry_at: None,
         })
     }
 
@@ -325,25 +400,113 @@ impl TcpSink {
     pub fn telemetry(&self) -> SinkTelemetry {
         SinkTelemetry(Arc::clone(&self.counters))
     }
+
+    /// Attempts one reconnect if the backoff window allows it. On
+    /// success the stream is live again, the reconnect is counted and
+    /// the backoff resets; on failure the next window opens later.
+    fn try_reconnect(&mut self) {
+        if let Some(retry_at) = self.retry_at {
+            if Instant::now() < retry_at {
+                return; // inside the backoff window: do not hammer
+            }
+        }
+        // Follow DNS: the collector may have moved since the last look.
+        // Resolution can block far longer than this path may (it runs
+        // on the pipeline's driver thread), so it gets a throwaway
+        // thread and a bounded wait; a hung or failed resolver is
+        // abandoned (the thread exits on its own once the OS call
+        // returns) and the last known addresses are used instead.
+        let resolve = Arc::clone(&self.resolve);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let spawned = std::thread::Builder::new()
+            .name("divscrape-tcpsink-resolve".to_owned())
+            .spawn(move || {
+                let _ = tx.send(resolve());
+            })
+            .is_ok();
+        if spawned {
+            if let Ok(Ok(addrs)) = rx.recv_timeout(Self::RECONNECT_TIMEOUT) {
+                if !addrs.is_empty() {
+                    self.addrs = addrs;
+                }
+            }
+        }
+        for addr in &self.addrs {
+            if let Ok(stream) = TcpStream::connect_timeout(addr, Self::RECONNECT_TIMEOUT) {
+                stream.set_nodelay(true).ok();
+                self.stream = Some(stream);
+                self.counters.reconnects.fetch_add(1, Ordering::AcqRel);
+                // The backoff is NOT reset here: a collector that
+                // accepts and immediately closes (crash loop, LB
+                // health-check port) "succeeds" every connect. Only a
+                // successful *write* proves the connection useful and
+                // earns the reset (see `on_alert`).
+                self.retry_at = None;
+                return;
+            }
+        }
+        self.open_backoff_window();
+    }
+
+    /// Starts (or widens) the backoff window after a failed reconnect
+    /// or a connection that died before carrying a single write.
+    fn open_backoff_window(&mut self) {
+        self.retry_at = Some(Instant::now() + self.backoff);
+        self.backoff = (self.backoff * 2).min(Self::RECONNECT_BACKOFF_CAP);
+    }
+
+    /// Writes one line to the live stream; on failure the stream is
+    /// dropped. Returns whether the write succeeded.
+    fn write_line(&mut self, line: &[u8]) -> bool {
+        let Some(stream) = &mut self.stream else {
+            return false;
+        };
+        if stream.write_all(line).is_ok() {
+            true
+        } else {
+            self.stream = None;
+            false
+        }
+    }
 }
 
 impl AlertSink for TcpSink {
     fn on_alert(&mut self, alert: &Alert<'_>) {
-        let Some(stream) = &mut self.stream else {
-            self.counters.errors.fetch_add(1, Ordering::AcqRel);
-            return;
-        };
         let mut line = alert.to_json();
         line.push('\n');
-        match stream.write_all(line.as_bytes()) {
-            Ok(()) => {
+        // At most ONE reconnect attempt per alert: up front when the
+        // stream is already down, or after this write breaks a
+        // previously live stream — never both.
+        let had_stream = self.stream.is_some();
+        if !had_stream {
+            self.try_reconnect();
+        }
+        if self.write_line(line.as_bytes()) {
+            self.counters.written.fetch_add(1, Ordering::AcqRel);
+            // A delivered alert is the proof the connection works;
+            // earn the backoff reset here, not on mere connect success.
+            self.backoff = Self::RECONNECT_BACKOFF_INITIAL;
+            return;
+        }
+        if had_stream && self.retry_at.is_none() {
+            // The write broke a live stream just now: one reconnect
+            // attempt, then one retry of this alert, before giving it
+            // up as dropped.
+            self.try_reconnect();
+            if self.write_line(line.as_bytes()) {
                 self.counters.written.fetch_add(1, Ordering::AcqRel);
-            }
-            Err(_) => {
-                self.counters.errors.fetch_add(1, Ordering::AcqRel);
-                self.stream = None;
+                self.backoff = Self::RECONNECT_BACKOFF_INITIAL;
+                return;
             }
         }
+        // Undelivered despite a (permitted) reconnect: if the failure
+        // was a dead-on-arrival connection rather than a failed dial,
+        // open the window ourselves so the next alert does not redial
+        // immediately.
+        if self.retry_at.is_none() {
+            self.open_backoff_window();
+        }
+        self.counters.errors.fetch_add(1, Ordering::AcqRel);
     }
 
     // No flush override: every alert already went straight to the
@@ -370,6 +533,7 @@ mod tests {
         let entry = entry();
         let alert = Alert {
             index: 41,
+            tenant: None,
             entry: &entry,
             votes: &[true, false],
         };
@@ -383,6 +547,25 @@ mod tests {
         // object well-formed: `weird \"agent\"` → `weird \\\"agent\\\"`.
         assert!(json.contains(r#"weird \\\"agent\\\""#), "{json}");
         assert!(!json.contains('\n'));
+        // Untagged pipelines emit no tenant field at all.
+        assert!(!json.contains("tenant"));
+    }
+
+    #[test]
+    fn tenant_tag_travels_in_the_json() {
+        let entry = entry();
+        let tenant = TenantId::new("shop\"eu"); // hostile name: must escape
+        let alert = Alert {
+            index: 7,
+            tenant: Some(&tenant),
+            entry: &entry,
+            votes: &[true],
+        };
+        let json = alert.to_json();
+        assert!(
+            json.starts_with("{\"index\":7,\"tenant\":\"shop\\\"eu\","),
+            "{json}"
+        );
     }
 
     #[test]
@@ -393,6 +576,7 @@ mod tests {
         for index in 0..3 {
             sink.on_alert(&Alert {
                 index,
+                tenant: None,
                 entry: &entry,
                 votes: &[true],
             });
@@ -421,6 +605,7 @@ mod tests {
         let telemetry = sink.telemetry();
         sink.on_alert(&Alert {
             index: 0,
+            tenant: None,
             entry: &entry,
             votes: &[true],
         });
@@ -448,6 +633,7 @@ mod tests {
         for index in 0..2 {
             sink.on_alert(&Alert {
                 index,
+                tenant: None,
                 entry: &entry,
                 votes: &[false, true],
             });
@@ -459,5 +645,70 @@ mod tests {
         assert_eq!(received.len(), 2);
         assert!(received[0].starts_with("{\"index\":0,"));
         assert!(received[1].contains("\"votes\":[false,true]"));
+    }
+
+    #[test]
+    fn tcp_sink_reconnects_after_collector_restart() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut sink = TcpSink::connect(addr).unwrap();
+        let telemetry = sink.telemetry();
+        // Accept and immediately drop the first connection: the
+        // collector "restarted". The listener stays bound, so the
+        // sink's reconnect attempt can land.
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn);
+
+        let entry = entry();
+        // The local TCP buffer can absorb a few writes before the dead
+        // peer is noticed; keep alerting until the failure surfaces and
+        // the sink re-establishes the stream.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut index = 0u64;
+        while telemetry.reconnects() == 0 {
+            assert!(Instant::now() < deadline, "sink never reconnected");
+            sink.on_alert(&Alert {
+                index,
+                tenant: None,
+                entry: &entry,
+                votes: &[true],
+            });
+            index += 1;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(telemetry.reconnects(), 1);
+        // The replacement connection carries alerts end to end — the
+        // alert whose write failed was retried onto it, not dropped.
+        let (conn, _) = listener.accept().unwrap();
+        let mut first = String::new();
+        BufReader::new(conn).read_line(&mut first).unwrap();
+        assert!(first.starts_with("{\"index\":"), "{first}");
+    }
+
+    #[test]
+    fn dead_collector_counts_drops_without_reconnecting() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut sink = TcpSink::connect(addr).unwrap();
+        let telemetry = sink.telemetry();
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn);
+        drop(listener); // the collector is gone for good
+
+        let entry = entry();
+        for index in 0..20 {
+            sink.on_alert(&Alert {
+                index,
+                tenant: None,
+                entry: &entry,
+                votes: &[true],
+            });
+        }
+        // Never fatal: every alert was either absorbed by the dying
+        // socket's local buffer or counted dropped; no reconnection
+        // succeeded and detection kept running.
+        assert_eq!(telemetry.reconnects(), 0);
+        assert!(telemetry.errors() > 0, "drops must be counted");
+        assert_eq!(telemetry.written() + telemetry.errors(), 20);
     }
 }

@@ -194,7 +194,7 @@ fn run_listen(
         .workers(2)
         .sink(json_sink);
     if let Some(collector) = alerts_to {
-        builder = builder.sink(TcpSink::connect(collector)?);
+        builder = builder.sink(TcpSink::connect(collector.to_owned())?);
         println!("forwarding alerts to {collector}");
     }
 

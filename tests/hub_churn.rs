@@ -1,0 +1,260 @@
+//! Tenant churn: tenants join and leave a live hub, optionally while a
+//! shared global eviction budget is re-apportioned — and isolation
+//! still holds.
+//!
+//! The `--ignored` soak is the full scenario the multi-tenant refactor
+//! is for: interleaved traffic, membership churn, budget rebalancing by
+//! live-client share — asserting (a) **no cross-tenant verdict drift**
+//! (every tenant's verdicts are bit-identical to a standalone pipeline
+//! given the same budget schedule, so other tenants influence it
+//! through the declared budget channel only) and (b) the **aggregate
+//! live-client bound** (the service-wide footprint stays within the
+//! budget at every quiesce point).
+
+use std::collections::HashMap;
+
+use divscrape_detect::{Arcane, EvictionConfig, Sentinel, TenantId};
+use divscrape_pipeline::{Adjudication, Pipeline, PipelineBuilder, PipelineHub, PipelineReport};
+use divscrape_traffic::{generate, LabelledLog, ScenarioConfig};
+
+fn two_tool(workers: usize) -> PipelineBuilder {
+    PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .adjudication(Adjudication::k_of_n(1))
+        .workers(workers)
+        .chunk_capacity(257)
+}
+
+fn standalone_report(log: &[divscrape_httplog::LogEntry], workers: usize) -> PipelineReport {
+    let mut pipeline = two_tool(workers).build().unwrap();
+    pipeline.push_batch(log);
+    pipeline.drain()
+}
+
+fn assert_identical(case: &str, got: &PipelineReport, want: &PipelineReport) {
+    assert_eq!(
+        got.combined.to_bools(),
+        want.combined.to_bools(),
+        "{case}: combined alerts drifted"
+    );
+    for (g, w) in got.members.iter().zip(&want.members) {
+        assert_eq!(g.to_bools(), w.to_bools(), "{case}: member {}", g.name());
+    }
+}
+
+/// Tenants join and leave mid-stream (no shared budget): every tenant's
+/// output is exactly its standalone run, unmoved by the churn around
+/// it.
+#[test]
+fn membership_churn_does_not_disturb_the_other_tenants() {
+    let log_a = generate(&ScenarioConfig::tiny(81)).unwrap();
+    let log_b = generate(&ScenarioConfig::tiny(82)).unwrap();
+    let log_c = generate(&ScenarioConfig::tiny(83)).unwrap();
+    let (a, b, c) = (TenantId::new("a"), TenantId::new("b"), TenantId::new("c"));
+
+    let mut hub = PipelineHub::builder()
+        .tenant(a.clone(), two_tool(2))
+        .tenant(b.clone(), two_tool(2))
+        .build()
+        .unwrap();
+
+    // Phase 1: a's first half interleaved with all of b.
+    let split = log_a.len() / 2;
+    let mut b_iter = log_b.entries().iter();
+    for entry in &log_a.entries()[..split] {
+        hub.push(&a, entry.clone());
+        if let Some(be) = b_iter.next() {
+            hub.push(&b, be.clone());
+        }
+    }
+    for be in b_iter {
+        hub.push(&b, be.clone());
+    }
+
+    // Churn: b leaves (drained on the way out), c joins.
+    let b_report = hub.remove_tenant(&b).unwrap();
+    hub.add_tenant(c.clone(), two_tool(2)).unwrap();
+
+    // Phase 2: a's second half interleaved with all of c.
+    let mut c_iter = log_c.entries().iter();
+    for entry in &log_a.entries()[split..] {
+        hub.push(&a, entry.clone());
+        if let Some(ce) = c_iter.next() {
+            hub.push(&c, ce.clone());
+        }
+    }
+    for ce in c_iter {
+        hub.push(&c, ce.clone());
+    }
+    let report = hub.drain_all();
+
+    // a's stream spans the churn untouched; b and c match standalone
+    // runs of exactly what they fed.
+    assert_identical(
+        "tenant a across churn",
+        report.tenant(&a).unwrap(),
+        &standalone_report(log_a.entries(), 2),
+    );
+    assert_identical(
+        "departed tenant b",
+        &b_report,
+        &standalone_report(log_b.entries(), 2),
+    );
+    assert_identical(
+        "joined tenant c",
+        report.tenant(&c).unwrap(),
+        &standalone_report(log_c.entries(), 2),
+    );
+}
+
+/// The full elasticity soak (`--ignored`; run with `cargo test -q --
+/// --ignored`): tenants join and leave while one global budget is
+/// re-apportioned by live-client share at every round boundary.
+///
+/// * **No cross-tenant verdict drift:** each tenant's hub output is
+///   bit-identical to a standalone pipeline fed the same slices with
+///   the same recorded budget schedule applied at the same positions.
+/// * **Aggregate bound:** at every round boundary the apportioned
+///   budgets sum to exactly the global budget and the hub-wide
+///   live-client footprint stays at or under it.
+#[test]
+#[ignore = "multi-round churn soak; minutes in debug builds"]
+fn shared_budget_rebalances_across_tenant_churn() {
+    const BUDGET: usize = 512;
+    const WORKERS: usize = 4;
+    let ttl = EvictionConfig::ttl(3_600);
+    let compose = || two_tool(WORKERS).eviction(ttl);
+
+    let log_a = generate(&ScenarioConfig::small(91)).unwrap();
+    let log_b = generate(&ScenarioConfig::small(92)).unwrap();
+    let log_c = generate(&ScenarioConfig::small(93)).unwrap();
+    let (a, b, c) = (TenantId::new("a"), TenantId::new("b"), TenantId::new("c"));
+
+    // Feed plan: a is present for all 4 rounds; b leaves after round 1;
+    // c joins for rounds 2..3.
+    let slices = |log: &LabelledLog, n: usize| -> Vec<Vec<divscrape_httplog::LogEntry>> {
+        log.entries()
+            .chunks(log.len().div_ceil(n))
+            .map(<[divscrape_httplog::LogEntry]>::to_vec)
+            .collect()
+    };
+    let a_slices = slices(&log_a, 4);
+    let b_slices = slices(&log_b, 2);
+    let c_slices = slices(&log_c, 2);
+
+    let mut hub = PipelineHub::builder()
+        .tenant(a.clone(), compose())
+        .tenant(b.clone(), compose())
+        .global_eviction_budget(BUDGET)
+        .build()
+        .unwrap();
+
+    // Per-tenant recordings: the budget in effect for each fed slice,
+    // and the verdicts accumulated across round drains.
+    let mut schedule: HashMap<TenantId, Vec<usize>> = HashMap::new();
+    let mut verdicts: HashMap<TenantId, Vec<Vec<bool>>> = HashMap::new();
+    let mut caps: HashMap<TenantId, usize> = HashMap::new();
+    let record_rebalance = |hub: &mut PipelineHub, caps: &mut HashMap<TenantId, usize>| {
+        let applied = hub.rebalance_eviction().expect("budget configured");
+        // Installed capacity never exceeds the budget and loses less
+        // than one worker's worth per tenant to per-replica flooring.
+        let installed: usize = applied.iter().map(|(_, cap)| cap).sum();
+        assert!(
+            installed <= BUDGET && BUDGET - installed < WORKERS * applied.len(),
+            "installed capacity {installed} out of bounds for budget {BUDGET}: {applied:?}"
+        );
+        caps.clear();
+        for (tenant, cap) in applied {
+            caps.insert(tenant, cap);
+        }
+    };
+    record_rebalance(&mut hub, &mut caps);
+
+    for round in 0..4usize {
+        // Membership changes happen at round boundaries, while every
+        // pipeline is drained (a quiesce point).
+        if round == 2 {
+            let parting = hub.remove_tenant(&b).unwrap();
+            assert_eq!(parting.requests(), 0, "b was drained at the boundary");
+            hub.add_tenant(c.clone(), compose()).unwrap();
+            record_rebalance(&mut hub, &mut caps);
+        }
+
+        // This round's feed set.
+        let mut feeds: Vec<(&TenantId, &[divscrape_httplog::LogEntry])> =
+            vec![(&a, &a_slices[round])];
+        if round < 2 {
+            feeds.push((&b, &b_slices[round]));
+        } else {
+            feeds.push((&c, &c_slices[round - 2]));
+        }
+
+        // Record the budget each tenant runs this round under, then
+        // feed the slices interleaved entry by entry.
+        for (tenant, _) in &feeds {
+            schedule
+                .entry((*tenant).clone())
+                .or_default()
+                .push(caps[tenant]);
+        }
+        let longest = feeds.iter().map(|(_, s)| s.len()).max().unwrap();
+        for i in 0..longest {
+            for (tenant, slice) in &feeds {
+                if let Some(entry) = slice.get(i) {
+                    hub.push(tenant, entry.clone());
+                }
+            }
+        }
+
+        // Round boundary: drain, check the aggregate bound, rebalance.
+        let report = hub.drain_all();
+        for (tenant, slice) in &feeds {
+            let tenant_report = report.tenant(tenant).unwrap();
+            assert_eq!(tenant_report.requests(), slice.len());
+            let acc = verdicts
+                .entry((*tenant).clone())
+                .or_insert_with(|| vec![Vec::new(); 1 + tenant_report.members.len()]);
+            acc[0].extend(tenant_report.combined.to_bools());
+            for (m, member) in tenant_report.members.iter().enumerate() {
+                acc[1 + m].extend(member.to_bools());
+            }
+        }
+        let stats = hub.stats();
+        assert!(
+            stats.live_clients_aggregate <= BUDGET,
+            "round {round}: aggregate footprint {} exceeds the budget {BUDGET}",
+            stats.live_clients_aggregate
+        );
+        record_rebalance(&mut hub, &mut caps);
+    }
+
+    // Replay every tenant standalone under its recorded budget
+    // schedule: bit-identical verdicts prove the other tenants only
+    // ever reached it through the declared budget channel.
+    let replays: Vec<(&TenantId, Vec<&[divscrape_httplog::LogEntry]>)> = vec![
+        (&a, a_slices.iter().map(Vec::as_slice).collect()),
+        (&b, b_slices.iter().map(Vec::as_slice).collect()),
+        (&c, c_slices.iter().map(Vec::as_slice).collect()),
+    ];
+    for (tenant, tenant_slices) in replays {
+        let mut pipeline: Pipeline = compose().build().unwrap();
+        let mut expected: Vec<Vec<bool>> = Vec::new();
+        for (slice, cap) in tenant_slices.iter().zip(&schedule[tenant]) {
+            pipeline.set_eviction_global_capacity(*cap);
+            pipeline.push_batch(slice);
+            let report = pipeline.drain();
+            if expected.is_empty() {
+                expected = vec![Vec::new(); 1 + report.members.len()];
+            }
+            expected[0].extend(report.combined.to_bools());
+            for (m, member) in report.members.iter().enumerate() {
+                expected[1 + m].extend(member.to_bools());
+            }
+        }
+        assert_eq!(
+            verdicts[tenant], expected,
+            "tenant {tenant}: verdicts drifted from the standalone replay"
+        );
+    }
+}
