@@ -39,6 +39,30 @@ impl Verdict {
     pub fn new(alert: bool, score: f32) -> Self {
         Self { alert, score }
     }
+
+    /// The verdict's confidence metadata: the suspicion score clamped to
+    /// the unit interval (NaN maps to `0`).
+    ///
+    /// Raw [`score`](Self::score)s are tool-local — a rate limiter
+    /// reports load factors that sail past `1`, threshold detectors
+    /// report margins — so consumers that mix tools (alert sinks
+    /// rendering per-member scores, adjudication-weight recalibration)
+    /// read this normalized form instead.
+    ///
+    /// ```
+    /// use divscrape_detect::Verdict;
+    ///
+    /// assert_eq!(Verdict::new(true, 2.5).confidence(), 1.0);
+    /// assert_eq!(Verdict::new(false, 0.3).confidence(), 0.3);
+    /// assert_eq!(Verdict::new(false, -1.0).confidence(), 0.0);
+    /// ```
+    pub fn confidence(self) -> f32 {
+        if self.score.is_nan() {
+            0.0
+        } else {
+            self.score.clamp(0.0, 1.0)
+        }
+    }
 }
 
 /// A streaming per-request scraping detector.

@@ -116,6 +116,16 @@ impl WeightedVote {
         Ok(Self { weights, threshold })
     }
 
+    /// The per-tool weights, in tool order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The alarm threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
     /// Applies the rule.
     ///
     /// # Panics
@@ -193,6 +203,63 @@ mod tests {
         assert!(WeightedVote::new(vec![-1.0], 1.0).is_err());
         assert!(WeightedVote::new(vec![1.0], f64::NAN).is_err());
         assert!(WeightedVote::new(vec![1.0, 0.5], 1.0).is_ok());
+    }
+
+    #[test]
+    fn weighted_vote_exposes_its_parameters() {
+        let rule = WeightedVote::new(vec![1.5, 0.25], 1.0).unwrap();
+        assert_eq!(rule.weights(), &[1.5, 0.25]);
+        assert_eq!(rule.threshold(), 1.0);
+    }
+
+    #[test]
+    fn zero_weight_members_never_influence_the_outcome() {
+        // A runtime recalibrator with a zero floor can silence a member
+        // entirely; the silenced member's vote must be a no-op.
+        let noisy = AlertVector::from_bools("noisy", &[true, true, false, true]);
+        let a = AlertVector::from_bools("a", &[true, false, false, true]);
+        let b = AlertVector::from_bools("b", &[false, false, true, true]);
+        let silenced = WeightedVote::new(vec![0.0, 1.0, 1.0], 1.0).unwrap();
+        let without = WeightedVote::new(vec![1.0, 1.0], 1.0).unwrap();
+        assert_eq!(
+            silenced.apply(&[&noisy, &a, &b]).to_bools(),
+            without.apply(&[&a, &b]).to_bools()
+        );
+        // All weights zero: a valid rule that never alarms (threshold > 0).
+        let muted = WeightedVote::new(vec![0.0, 0.0, 0.0], 0.5).unwrap();
+        assert_eq!(muted.apply(&[&noisy, &a, &b]).count(), 0);
+    }
+
+    #[test]
+    fn all_equal_weights_degenerate_to_k_of_n() {
+        // The recalibrator's all-weights-equal degeneracy: w·alerting >= t
+        // is exactly ⌈t/w⌉-out-of-n, for any common weight w.
+        let a = AlertVector::from_bools("a", &[true, true, false, false]);
+        let b = AlertVector::from_bools("b", &[true, false, true, false]);
+        let c = AlertVector::from_bools("c", &[true, false, false, false]);
+        for &(w, t, k) in &[(0.8, 1.6, 2u32), (2.5, 2.5, 1), (0.05, 0.15, 3)] {
+            let weighted = WeightedVote::new(vec![w; 3], t).unwrap();
+            let kofn = KOutOfN::new(k, 3).unwrap();
+            assert_eq!(
+                weighted.apply(&[&a, &b, &c]).to_bools(),
+                kofn.apply(&[&a, &b, &c]).to_bools(),
+                "w={w} t={t} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_exactly_at_the_boundary_alarms() {
+        // The rule is `sum >= threshold`: a weighted sum landing exactly
+        // on the threshold must alarm, including sums assembled from
+        // several weights (no strict-inequality or epsilon drift).
+        let a = AlertVector::from_bools("a", &[true, true, false]);
+        let b = AlertVector::from_bools("b", &[true, false, true]);
+        let exact = WeightedVote::new(vec![0.75, 0.25], 1.0).unwrap();
+        assert_eq!(exact.apply(&[&a, &b]).to_bools(), vec![true, false, false]);
+        // Boundary from a single member's weight alone.
+        let solo = WeightedVote::new(vec![1.0, 0.999_999], 1.0).unwrap();
+        assert_eq!(solo.apply(&[&a, &b]).to_bools(), vec![true, true, false]);
     }
 
     #[test]

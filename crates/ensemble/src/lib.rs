@@ -11,6 +11,11 @@
 //!   alert counts).
 //! * [`KOutOfN`] / [`WeightedVote`] — the adjudication schemes of Section V
 //!   (1-out-of-2, 2-out-of-2, …).
+//! * [`Recalibrator`] / [`RecalibrationPolicy`] — online re-derivation of
+//!   weighted-rule weights from the live verdict stream (EWMA peer-support
+//!   precision proxies, optional labeled feedback), for adjudication that
+//!   tracks shifting scraper populations instead of freezing an offline
+//!   calibration.
 //! * [`metrics`] — confusion-matrix measures (sensitivity, specificity,
 //!   MCC, …), pairwise diversity statistics (Yule's Q, φ, disagreement,
 //!   kappa, double fault) and ROC/AUC analysis.
@@ -46,6 +51,7 @@ mod adjudication;
 mod alerts;
 mod contingency;
 pub mod metrics;
+mod recalib;
 pub mod report;
 pub mod rollup;
 pub mod timeseries;
@@ -55,6 +61,7 @@ pub use adjudication::{KOutOfN, WeightedVote};
 pub use alerts::AlertVector;
 pub use contingency::{Contingency, MultiContingency, StatusBreakdown};
 pub use metrics::{AgreementDiversity, ConfusionMatrix, OracleDiversity, RocCurve, RocPoint};
+pub use recalib::{RecalibrationPolicy, Recalibrator, WeightUpdate};
 pub use rollup::{latency_by_actor, rollup_sessions, LatencySummary, SessionOutcome};
 pub use timeseries::{DailySeries, DayStats};
 pub use topology::{run_parallel, run_serial, SerialMode, TopologyOutcome};

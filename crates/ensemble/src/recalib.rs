@@ -1,0 +1,783 @@
+//! Online recalibration of adjudication weights.
+//!
+//! The paper's adjudication weights are fixed offline, but detector
+//! precision is not a constant of the tool — it is a property of the tool
+//! *against the current traffic* (Lagopoulos et al. observe exactly this
+//! drift across traffic regimes, and BOTracle argues detector combinations
+//! must adapt to shifting bot populations). A weighted rule calibrated on a
+//! botnet-dominated week quietly degrades when the population shifts to
+//! stealth scrapers or when a noisy member starts false-alarming on a new
+//! class of benign traffic.
+//!
+//! The [`Recalibrator`] closes that loop online. It observes, per request,
+//! which members alerted, maintains an **EWMA peer-support proxy** for each
+//! member's precision — when a member alerts, what fraction of its peers
+//! agreed? — and periodically re-derives the weighted rule from those
+//! proxies: normalized so the mean weight stays `1`, clamped to the
+//! policy's floor/cap, threshold preserved. A member whose alerts stop
+//! being corroborated loses the weight to alert on its own; a member the
+//! rest of the ensemble keeps agreeing with gains it. An optional
+//! **labeled-feedback hook** ([`Recalibrator::observe_labeled`]) replaces
+//! the proxy with true precision evidence wherever ground truth (analyst
+//! triage, honeypot hits, delayed labels) is available.
+//!
+//! The proxy is deliberately *rule-independent*: support is measured
+//! against the other members, not against the adjudicated outcome, so a
+//! union-style rule (where every member alert trivially becomes an
+//! adjudicated alert) cannot saturate the signal.
+//!
+//! Everything here is deterministic — plain arithmetic over the observed
+//! alert sequence — which is what lets `divscrape-pipeline` offer its
+//! recorded-schedule replay guarantee: a run that re-applies a recorded
+//! sequence of [`WeightUpdate`]s is bit-identical to the live
+//! recalibrating run.
+//!
+//! ```
+//! use divscrape_ensemble::{RecalibrationPolicy, Recalibrator, WeightedVote};
+//!
+//! let rule = WeightedVote::new(vec![1.0, 1.0, 1.0], 1.0).unwrap();
+//! let policy = RecalibrationPolicy::new().window(8).update_every(100);
+//! let mut recal = Recalibrator::from_weighted(&rule, policy).unwrap();
+//!
+//! // Member 2 alerts alone, over and over; members 0 and 1 corroborate
+//! // each other. After one cadence interval the loner's weight sinks.
+//! for _ in 0..100 {
+//!     recal.observe(&[true, true, false]);
+//!     recal.observe(&[false, false, true]);
+//! }
+//! assert!(recal.due());
+//! let update = recal.rederive().unwrap();
+//! assert!(update.weights[2] < 1.0 && update.weights[0] > 1.0);
+//! assert_eq!(update.threshold, 1.0);
+//! ```
+
+use crate::adjudication::{KOutOfN, WeightedVote};
+
+/// Configuration of one [`Recalibrator`]: how fast it learns, how often it
+/// re-derives weights, and how far it may move them.
+///
+/// ```
+/// use divscrape_ensemble::RecalibrationPolicy;
+///
+/// let policy = RecalibrationPolicy::new()
+///     .window(256)        // EWMA effective window, in member alerts
+///     .update_every(4096) // re-derive every 4096 observed requests
+///     .weight_floor(0.1)  // never silence a member entirely
+///     .weight_cap(3.0);   // never let one member dominate
+/// assert!(policy.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecalibrationPolicy {
+    /// Effective EWMA window, measured in *that member's own alerts*: the
+    /// smoothing factor is `2 / (window + 1)`, so a member's support
+    /// estimate reflects roughly its last `window` alerts.
+    window: usize,
+    /// Entries between weight re-derivations ([`Recalibrator::due`] turns
+    /// true every `update_every` observed entries).
+    update_every: u64,
+    /// Lower clamp on every derived weight.
+    floor: f64,
+    /// Upper clamp on every derived weight.
+    cap: f64,
+    /// When frozen, the recalibrator keeps observing (the EWMA stays
+    /// warm) but never becomes [`due`](Recalibrator::due), so the active
+    /// weights hold still. Operators freeze during incidents or A/B
+    /// holdouts and thaw without losing the accumulated evidence.
+    frozen: bool,
+}
+
+impl Default for RecalibrationPolicy {
+    fn default() -> Self {
+        Self {
+            window: 256,
+            update_every: 4096,
+            floor: 0.05,
+            cap: 4.0,
+            frozen: false,
+        }
+    }
+}
+
+impl RecalibrationPolicy {
+    /// The default policy: window 256 alerts, update every 4096 entries,
+    /// weights clamped to `[0.05, 4.0]`, not frozen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the effective EWMA window, in member alerts (default 256).
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the update cadence, in observed entries (default 4096).
+    pub fn update_every(mut self, entries: u64) -> Self {
+        self.update_every = entries;
+        self
+    }
+
+    /// Sets the lower weight clamp (default 0.05). A floor of `0` allows
+    /// the recalibrator to silence a member entirely.
+    pub fn weight_floor(mut self, floor: f64) -> Self {
+        self.floor = floor;
+        self
+    }
+
+    /// Sets the upper weight clamp (default 4.0).
+    pub fn weight_cap(mut self, cap: f64) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Freezes (or thaws) the recalibrator (default: not frozen). Frozen
+    /// recalibrators observe but never re-derive weights.
+    pub fn freeze(mut self, frozen: bool) -> Self {
+        self.frozen = frozen;
+        self
+    }
+
+    /// Whether the policy is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// The configured EWMA window.
+    pub fn window_len(&self) -> usize {
+        self.window
+    }
+
+    /// The configured update cadence, in entries.
+    pub fn cadence(&self) -> u64 {
+        self.update_every
+    }
+
+    /// The configured weight clamps, `(floor, cap)`.
+    pub fn clamps(&self) -> (f64, f64) {
+        (self.floor, self.cap)
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero window or cadence, non-finite or negative clamps, a
+    /// floor above the cap, and clamps that exclude the neutral weight
+    /// `1` (the normalization target: if `1 ∉ [floor, cap]`, every
+    /// re-derivation would fight the clamp).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("recalibration window must be at least 1 alert".into());
+        }
+        if self.update_every == 0 {
+            return Err("update cadence must be at least 1 entry".into());
+        }
+        if !self.floor.is_finite() || self.floor < 0.0 {
+            return Err(format!(
+                "weight floor must be finite and >= 0, got {}",
+                self.floor
+            ));
+        }
+        if !self.cap.is_finite() || self.cap < self.floor {
+            return Err(format!(
+                "weight cap must be finite and >= the floor, got {} (floor {})",
+                self.cap, self.floor
+            ));
+        }
+        if self.floor > 1.0 || self.cap < 1.0 {
+            return Err(format!(
+                "clamps [{}, {}] must bracket the neutral weight 1",
+                self.floor, self.cap
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One derived weight update: the new per-member weights (composition
+/// order) and the preserved alarm threshold — everything needed to
+/// rebuild the [`WeightedVote`] it stands for, or to replay a recorded
+/// schedule of updates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightUpdate {
+    /// One non-negative weight per member, in composition order.
+    pub weights: Vec<f64>,
+    /// The alarm threshold (unchanged by recalibration).
+    pub threshold: f64,
+}
+
+impl WeightUpdate {
+    /// The [`WeightedVote`] rule this update describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WeightedVote::new`] validation (cannot fail for
+    /// updates produced by a [`Recalibrator`]).
+    pub fn to_rule(&self) -> Result<WeightedVote, String> {
+        WeightedVote::new(self.weights.clone(), self.threshold)
+    }
+}
+
+/// Online estimator of per-member adjudication weights: EWMA
+/// peer-support precision proxies per member (confidence-weighted, with
+/// an optional labeled-feedback path), periodically re-derived into
+/// normalized, clamped [`WeightUpdate`]s.
+///
+/// Drive it with one [`observe`](Self::observe) (or
+/// [`observe_labeled`](Self::observe_labeled)) call per adjudicated
+/// request, in feed order; whenever [`due`](Self::due) turns true, call
+/// [`rederive`](Self::rederive) and install the returned
+/// [`WeightUpdate`] on the adjudication stage.
+#[derive(Debug, Clone)]
+pub struct Recalibrator {
+    policy: RecalibrationPolicy,
+    /// The weights of the currently installed rule (composition order).
+    weights: Vec<f64>,
+    threshold: f64,
+    /// EWMA support estimate per member, `NaN` until first evidence.
+    support: Vec<f64>,
+    entries_observed: u64,
+    since_update: u64,
+    updates: u64,
+}
+
+impl Recalibrator {
+    /// A recalibrator seeded from a weighted rule.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid policy (see [`RecalibrationPolicy::validate`]).
+    pub fn from_weighted(rule: &WeightedVote, policy: RecalibrationPolicy) -> Result<Self, String> {
+        policy.validate()?;
+        Ok(Self {
+            support: vec![f64::NAN; rule.weights().len()],
+            weights: rule.weights().to_vec(),
+            threshold: rule.threshold(),
+            policy,
+            entries_observed: 0,
+            since_update: 0,
+            updates: 0,
+        })
+    }
+
+    /// A recalibrator seeded from a `k`-out-of-`n` rule, via its exact
+    /// weighted equivalent (unit weights, threshold `k`). The first
+    /// re-derivation turns the rigid vote count into learned weights.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid policy (see [`RecalibrationPolicy::validate`]).
+    pub fn from_k_of_n(rule: KOutOfN, policy: RecalibrationPolicy) -> Result<Self, String> {
+        let weighted = WeightedVote::new(vec![1.0; rule.n() as usize], f64::from(rule.k()))
+            .expect("unit weights are valid");
+        Self::from_weighted(&weighted, policy)
+    }
+
+    /// Number of members.
+    pub fn members(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The weights of the currently installed rule, in composition order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The preserved alarm threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RecalibrationPolicy {
+        &self.policy
+    }
+
+    /// Freezes or thaws re-derivation at runtime. Observation continues
+    /// either way; a thaw resumes from the evidence accumulated while
+    /// frozen.
+    pub fn set_frozen(&mut self, frozen: bool) {
+        self.policy.frozen = frozen;
+    }
+
+    /// Entries observed so far.
+    pub fn entries_observed(&self) -> u64 {
+        self.entries_observed
+    }
+
+    /// Weight updates derived so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The current EWMA support estimate per member (`None` while a
+    /// member has never alerted — its weight cannot matter until it
+    /// does).
+    pub fn support(&self) -> Vec<Option<f64>> {
+        self.support
+            .iter()
+            .map(|s| if s.is_nan() { None } else { Some(*s) })
+            .collect()
+    }
+
+    /// Adopts an externally installed rule (a manual
+    /// `set_adjudication`-style override) as the new base: weights and
+    /// threshold are replaced, accumulated evidence is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the weight count differs from the member count.
+    pub fn reseed(&mut self, weights: &[f64], threshold: f64) {
+        assert_eq!(
+            weights.len(),
+            self.weights.len(),
+            "reseed must keep the member count"
+        );
+        self.weights = weights.to_vec();
+        self.threshold = threshold;
+    }
+
+    /// Observes one adjudicated request through the **peer-support
+    /// proxy**: every alerting member's EWMA absorbs the fraction of its
+    /// peers that alerted with it (`1.0` for a single-member ensemble —
+    /// a lone member has no peers to dissent).
+    ///
+    /// This is [`observe_scored`](Self::observe_scored) with each peer's
+    /// confidence taken as its vote (`1.0`/`0.0`); prefer the scored
+    /// form when verdict confidence metadata is available — near-misses
+    /// then count as partial support, which keeps a *diverse but
+    /// precise* member (one whose true alerts its peers almost reach)
+    /// from being punished like a false-alarming one.
+    pub fn observe(&mut self, member_alerts: &[bool]) {
+        let confidence: Vec<f64> = member_alerts
+            .iter()
+            .map(|a| f64::from(u8::from(*a)))
+            .collect();
+        self.observe_scored(member_alerts, &confidence);
+    }
+
+    /// Observes one adjudicated request through the
+    /// **confidence-weighted peer-support proxy**: every alerting member
+    /// `d`'s EWMA absorbs the mean of its peers' `confidence` values
+    /// (each clamped to `[0, 1]`; `1.0` for a single-member ensemble).
+    /// A peer that almost alerted — high suspicion, under its threshold
+    /// — counts as partial corroboration, so unique-but-plausible alerts
+    /// (a reputation tool catching stealth scrapers its behavioural peer
+    /// only half-suspects) are not scored like uncorroborated noise.
+    ///
+    /// `confidence` is indexed like `member_alerts` (NaN is treated as
+    /// `0`); feed it from `Verdict::confidence` when driving this from
+    /// detector output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths differ from the member count.
+    pub fn observe_scored(&mut self, member_alerts: &[bool], confidence: &[f64]) {
+        let n = self.check_row(member_alerts);
+        assert_eq!(confidence.len(), n, "one confidence per member");
+        if !member_alerts.iter().any(|a| *a) {
+            return;
+        }
+        if n == 1 {
+            self.absorb(member_alerts, 1.0);
+            return;
+        }
+        // `clamp` propagates NaN, which would poison the EWMAs; map it
+        // to zero confidence instead, like `Verdict::confidence`.
+        let clamped: Vec<f64> = confidence
+            .iter()
+            .map(|c| if c.is_nan() { 0.0 } else { c.clamp(0.0, 1.0) })
+            .collect();
+        let total: f64 = clamped.iter().sum();
+        let alpha = 2.0 / (self.policy.window as f64 + 1.0);
+        for (d, (support, alerted)) in self.support.iter_mut().zip(member_alerts).enumerate() {
+            if !alerted {
+                continue;
+            }
+            let evidence = (total - clamped[d]) / (n - 1) as f64;
+            if support.is_nan() {
+                *support = evidence;
+            } else {
+                *support += alpha * (evidence - *support);
+            }
+        }
+    }
+
+    /// Observes one adjudicated request with **ground truth** attached:
+    /// every alerting member's EWMA absorbs `1.0` when the request was
+    /// truly malicious and `0.0` when it was benign — true precision
+    /// evidence, replacing the peer proxy for this request. Mix freely
+    /// with [`observe`](Self::observe): label whatever subset of the
+    /// stream ever gets labels.
+    pub fn observe_labeled(&mut self, member_alerts: &[bool], malicious: bool) {
+        self.check_row(member_alerts);
+        if !member_alerts.iter().any(|a| *a) {
+            return;
+        }
+        self.absorb(member_alerts, if malicious { 1.0 } else { 0.0 });
+    }
+
+    /// Whether a re-derivation is due: the cadence has elapsed and the
+    /// policy is not frozen.
+    pub fn due(&self) -> bool {
+        !self.policy.frozen && self.since_update >= self.policy.update_every
+    }
+
+    /// Re-derives the weights from the current support estimates and
+    /// resets the cadence clock. Returns `None` — no update, weights
+    /// unchanged — while the policy is frozen or no member has produced
+    /// any evidence yet.
+    ///
+    /// Derivation: members with evidence take their EWMA support as raw
+    /// weight, members without take the mean of the others (neutral —
+    /// their weight cannot have mattered); raws are normalized to mean
+    /// `1` and clamped to the policy's `[floor, cap]`. The threshold is
+    /// preserved, so *relative* corroboration is what moves alarms: a
+    /// member below threshold-weight can no longer alert alone.
+    pub fn rederive(&mut self) -> Option<WeightUpdate> {
+        self.since_update = 0;
+        if self.policy.frozen {
+            return None;
+        }
+        let seeded: Vec<f64> = self
+            .support
+            .iter()
+            .copied()
+            .filter(|s| !s.is_nan())
+            .collect();
+        if seeded.is_empty() {
+            return None;
+        }
+        let neutral = seeded.iter().sum::<f64>() / seeded.len() as f64;
+        let raw: Vec<f64> = self
+            .support
+            .iter()
+            .map(|s| if s.is_nan() { neutral } else { *s })
+            .collect();
+        let sum: f64 = raw.iter().sum();
+        let n = raw.len() as f64;
+        let (floor, cap) = (self.policy.floor, self.policy.cap);
+        let weights: Vec<f64> = if sum > 0.0 {
+            raw.iter()
+                .map(|r| (r * n / sum).clamp(floor, cap))
+                .collect()
+        } else {
+            // Nothing any member alerted on was ever corroborated (or
+            // labeled malicious): everyone drops to the floor.
+            vec![floor; raw.len()]
+        };
+        self.weights = weights.clone();
+        self.updates += 1;
+        Some(WeightUpdate {
+            weights,
+            threshold: self.threshold,
+        })
+    }
+
+    /// Validates one observation row and counts it; returns the member
+    /// count.
+    fn check_row(&mut self, member_alerts: &[bool]) -> usize {
+        assert_eq!(
+            member_alerts.len(),
+            self.weights.len(),
+            "one alert flag per member"
+        );
+        self.entries_observed += 1;
+        self.since_update += 1;
+        member_alerts.len()
+    }
+
+    /// Folds `evidence` into every alerting member's EWMA.
+    fn absorb(&mut self, member_alerts: &[bool], evidence: f64) {
+        let alpha = 2.0 / (self.policy.window as f64 + 1.0);
+        for (support, alerted) in self.support.iter_mut().zip(member_alerts) {
+            if !alerted {
+                continue;
+            }
+            if support.is_nan() {
+                *support = evidence;
+            } else {
+                *support += alpha * (evidence - *support);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_way(policy: RecalibrationPolicy) -> Recalibrator {
+        let rule = WeightedVote::new(vec![1.0, 1.0, 1.0], 1.0).unwrap();
+        Recalibrator::from_weighted(&rule, policy).unwrap()
+    }
+
+    #[test]
+    fn policy_validation_rejects_degenerate_configs() {
+        assert!(RecalibrationPolicy::new().validate().is_ok());
+        assert!(RecalibrationPolicy::new().window(0).validate().is_err());
+        assert!(RecalibrationPolicy::new()
+            .update_every(0)
+            .validate()
+            .is_err());
+        assert!(RecalibrationPolicy::new()
+            .weight_floor(-0.1)
+            .validate()
+            .is_err());
+        assert!(RecalibrationPolicy::new()
+            .weight_floor(2.0)
+            .weight_cap(3.0)
+            .validate()
+            .is_err());
+        assert!(RecalibrationPolicy::new()
+            .weight_cap(0.5)
+            .validate()
+            .is_err());
+        assert!(RecalibrationPolicy::new()
+            .weight_cap(f64::INFINITY)
+            .validate()
+            .is_err());
+        // Floor above cap.
+        assert!(RecalibrationPolicy::new()
+            .weight_floor(1.0)
+            .weight_cap(0.9)
+            .validate()
+            .is_err());
+        // Zero floor is allowed: members may be silenced entirely.
+        assert!(RecalibrationPolicy::new()
+            .weight_floor(0.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn uncorroborated_member_loses_weight_corroborated_members_gain() {
+        let mut recal = three_way(RecalibrationPolicy::new().window(8).update_every(10));
+        for _ in 0..10 {
+            recal.observe(&[true, true, false]);
+            recal.observe(&[false, false, true]);
+        }
+        assert!(recal.due());
+        let update = recal.rederive().unwrap();
+        assert!(!recal.due(), "cadence clock must reset");
+        assert!(
+            update.weights[2] < 1.0,
+            "loner kept weight: {:?}",
+            update.weights
+        );
+        assert!(update.weights[0] > 1.0 && update.weights[1] > 1.0);
+        assert_eq!(update.weights[0], update.weights[1], "symmetric evidence");
+        assert_eq!(update.threshold, 1.0);
+        assert_eq!(recal.updates(), 1);
+        assert_eq!(recal.weights(), update.weights.as_slice());
+    }
+
+    #[test]
+    fn near_miss_confidence_counts_as_partial_support() {
+        // Member 0 alerts alone every time. Plain observe() scores that
+        // as zero support; scored observation with peers at 0.8
+        // suspicion credits it with 0.8.
+        let policy = || RecalibrationPolicy::new().window(8).update_every(4);
+        let mut hard = three_way(policy());
+        let mut soft = three_way(policy());
+        for _ in 0..4 {
+            hard.observe(&[true, false, false]);
+            soft.observe_scored(&[true, false, false], &[1.0, 0.8, 0.8]);
+        }
+        let hard_update = hard.rederive().unwrap();
+        let soft_update = soft.rederive().unwrap();
+        assert!(
+            soft_update.weights[0] > hard_update.weights[0],
+            "soft {soft_update:?} vs hard {hard_update:?}"
+        );
+        assert_eq!(soft.support()[0], Some(0.8));
+        assert_eq!(hard.support()[0], Some(0.0));
+        // Out-of-range confidences are clamped, not trusted; NaN is
+        // zero confidence, never a poisoned EWMA.
+        let mut wild = three_way(policy());
+        wild.observe_scored(&[true, false, false], &[1.0, 7.5, -2.0]);
+        assert_eq!(wild.support()[0], Some(0.5));
+        wild.observe_scored(&[true, false, false], &[f64::NAN, f64::NAN, f64::NAN]);
+        let support = wild.support()[0].unwrap();
+        assert!(!support.is_nan(), "NaN confidence must not poison the EWMA");
+    }
+
+    #[test]
+    fn labeled_feedback_overrides_the_peer_proxy() {
+        // Member 0 alerts alone — the proxy would sink it — but ground
+        // truth says its alerts are all true positives.
+        let mut recal = three_way(RecalibrationPolicy::new().window(8).update_every(6));
+        for _ in 0..6 {
+            recal.observe_labeled(&[true, false, false], true);
+        }
+        let update = recal.rederive().unwrap();
+        assert!(
+            update.weights[0] >= 1.0,
+            "labeled true positives must not sink the member: {:?}",
+            update.weights
+        );
+        // And the converse: corroborated but labeled-benign alerts sink
+        // everyone involved.
+        let mut recal = three_way(RecalibrationPolicy::new().window(8).update_every(6));
+        for _ in 0..6 {
+            recal.observe_labeled(&[true, true, true], false);
+        }
+        let update = recal.rederive().unwrap();
+        let (floor, _) = recal.policy().clamps();
+        assert!(update.weights.iter().all(|w| *w == floor), "{update:?}");
+    }
+
+    #[test]
+    fn clamps_bound_every_derived_weight() {
+        let mut recal = three_way(
+            RecalibrationPolicy::new()
+                .window(4)
+                .update_every(4)
+                .weight_floor(0.5)
+                .weight_cap(1.2),
+        );
+        for _ in 0..8 {
+            recal.observe(&[true, true, false]);
+            recal.observe(&[false, false, true]);
+        }
+        let update = recal.rederive().unwrap();
+        for w in &update.weights {
+            assert!((0.5..=1.2).contains(w), "{update:?}");
+        }
+    }
+
+    #[test]
+    fn zero_floor_can_silence_a_member_entirely() {
+        // All alerts uncorroborated → support 0 for every alerting
+        // member → everyone at the floor, and a zero floor means zero
+        // weights (a valid WeightedVote that never alarms).
+        let mut recal = three_way(
+            RecalibrationPolicy::new()
+                .window(4)
+                .update_every(3)
+                .weight_floor(0.0),
+        );
+        for _ in 0..3 {
+            recal.observe(&[true, false, false]);
+        }
+        let update = recal.rederive().unwrap();
+        assert_eq!(update.weights[0], 0.0);
+        let rule = update.to_rule().unwrap();
+        use crate::AlertVector;
+        let a = AlertVector::from_bools("a", &[true]);
+        let b = AlertVector::from_bools("b", &[true]);
+        let c = AlertVector::from_bools("c", &[true]);
+        assert_eq!(
+            rule.apply(&[&a, &b, &c]).count(),
+            0,
+            "zero weights never alarm"
+        );
+    }
+
+    #[test]
+    fn frozen_policies_observe_but_never_update() {
+        let mut recal = three_way(RecalibrationPolicy::new().update_every(2).freeze(true));
+        for _ in 0..10 {
+            recal.observe(&[true, false, true]);
+        }
+        assert!(!recal.due(), "frozen recalibrators are never due");
+        assert!(recal.rederive().is_none());
+        assert_eq!(recal.updates(), 0);
+        assert_eq!(recal.weights(), &[1.0, 1.0, 1.0]);
+        // Thawing resumes from the evidence accumulated while frozen.
+        recal.set_frozen(false);
+        recal.observe(&[true, false, true]);
+        recal.observe(&[true, false, true]);
+        assert!(recal.due());
+        assert!(recal.rederive().is_some());
+        assert_eq!(recal.updates(), 1);
+    }
+
+    #[test]
+    fn no_evidence_means_no_update() {
+        let mut recal = three_way(RecalibrationPolicy::new().update_every(4));
+        for _ in 0..4 {
+            recal.observe(&[false, false, false]);
+        }
+        assert!(recal.due(), "cadence elapsed");
+        assert!(recal.rederive().is_none(), "but nothing was learned");
+        assert!(!recal.due(), "the clock still resets");
+        assert_eq!(recal.updates(), 0);
+    }
+
+    #[test]
+    fn members_without_evidence_take_the_neutral_weight() {
+        // Member 2 never alerts; its raw weight is the mean of the
+        // others', so normalization keeps it exactly at 1.
+        let mut recal = three_way(RecalibrationPolicy::new().window(4).update_every(8));
+        for _ in 0..8 {
+            recal.observe(&[true, true, false]);
+        }
+        let update = recal.rederive().unwrap();
+        assert_eq!(update.weights[2], 1.0, "{update:?}");
+        assert_eq!(recal.support()[2], None);
+    }
+
+    #[test]
+    fn k_of_n_seeds_as_its_weighted_equivalent() {
+        let recal =
+            Recalibrator::from_k_of_n(KOutOfN::new(2, 3).unwrap(), RecalibrationPolicy::new())
+                .unwrap();
+        assert_eq!(recal.weights(), &[1.0, 1.0, 1.0]);
+        assert_eq!(recal.threshold(), 2.0);
+        assert_eq!(recal.members(), 3);
+    }
+
+    #[test]
+    fn single_member_ensembles_self_support() {
+        let rule = WeightedVote::new(vec![1.0], 1.0).unwrap();
+        let mut recal =
+            Recalibrator::from_weighted(&rule, RecalibrationPolicy::new().update_every(2)).unwrap();
+        recal.observe(&[true]);
+        recal.observe(&[true]);
+        let update = recal.rederive().unwrap();
+        assert_eq!(update.weights, vec![1.0]);
+    }
+
+    #[test]
+    fn reseed_adopts_external_overrides() {
+        let mut recal = three_way(RecalibrationPolicy::new().window(2).update_every(2));
+        recal.observe(&[true, true, false]);
+        recal.reseed(&[0.5, 2.0, 0.5], 1.5);
+        assert_eq!(recal.weights(), &[0.5, 2.0, 0.5]);
+        assert_eq!(recal.threshold(), 1.5);
+        // Evidence survives the reseed; the next update still derives
+        // from it and preserves the new threshold.
+        recal.observe(&[true, true, false]);
+        let update = recal.rederive().unwrap();
+        assert_eq!(update.threshold, 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn observation_row_must_match_member_count() {
+        let mut recal = three_way(RecalibrationPolicy::new());
+        recal.observe(&[true, false]);
+    }
+
+    #[test]
+    fn determinism_same_stream_same_updates() {
+        let mut a = three_way(RecalibrationPolicy::new().window(16).update_every(7));
+        let mut b = three_way(RecalibrationPolicy::new().window(16).update_every(7));
+        let mut updates_a = Vec::new();
+        let mut updates_b = Vec::new();
+        for i in 0..100u32 {
+            let row = [i % 2 == 0, i % 3 == 0, i % 5 == 0];
+            a.observe(&row);
+            b.observe(&row);
+            if a.due() {
+                updates_a.push(a.rederive());
+            }
+            if b.due() {
+                updates_b.push(b.rederive());
+            }
+        }
+        assert!(!updates_a.is_empty());
+        assert_eq!(updates_a, updates_b);
+    }
+}

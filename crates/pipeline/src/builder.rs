@@ -1,7 +1,8 @@
 //! Pipeline composition.
 
 use divscrape_detect::{EvictionConfig, TenantId};
-use divscrape_ensemble::{KOutOfN, WeightedVote};
+use divscrape_ensemble::{KOutOfN, RecalibrationPolicy, Recalibrator, WeightedVote};
+use divscrape_httplog::LogEntry;
 
 use crate::engine::Pipeline;
 use crate::sink::AlertSink;
@@ -48,7 +49,43 @@ impl Adjudication {
     pub fn weighted(weights: Vec<f64>, threshold: f64) -> Self {
         Adjudication::Weighted { weights, threshold }
     }
+
+    /// Validates this scheme against a composition of `n` detectors and
+    /// resolves it into the executable rule — shared by
+    /// [`PipelineBuilder::build`] and the runtime
+    /// [`Pipeline::set_adjudication`](crate::Pipeline::set_adjudication),
+    /// so build-time and runtime installs can never diverge on what is
+    /// valid.
+    pub(crate) fn resolve(&self, n: usize) -> Result<Rule, BuildError> {
+        match self {
+            Adjudication::KOutOfN { k } => Ok(Rule::KOutOfN(
+                KOutOfN::new(*k, n as u32)
+                    .ok_or(BuildError::BadVoteCount { k: *k, n: n as u32 })?,
+            )),
+            Adjudication::Weighted { weights, threshold } => {
+                if weights.len() != n {
+                    return Err(BuildError::BadWeights(format!(
+                        "{} weights for {n} detectors",
+                        weights.len()
+                    )));
+                }
+                Ok(Rule::Weighted(
+                    WeightedVote::new(weights.clone(), *threshold)
+                        .map_err(BuildError::BadWeights)?,
+                ))
+            }
+        }
+    }
 }
+
+/// The optional labeled-feedback hook of an online recalibrator: maps an
+/// alert-stream position (`feed-order index`, `entry`) to ground truth —
+/// `Some(true)` for confirmed-malicious, `Some(false)` for
+/// confirmed-benign, `None` when no label is available (the recalibrator
+/// falls back to its peer-support proxy for that entry). Labels typically
+/// come from analyst triage queues, honeypot hits, or delayed offline
+/// labeling jobs.
+pub type LabelOracle = Box<dyn FnMut(u64, &LogEntry) -> Option<bool> + Send>;
 
 /// A resolved adjudication rule (validated against the detector count).
 #[derive(Debug, Clone)]
@@ -63,6 +100,20 @@ impl Rule {
         match self {
             Rule::KOutOfN(rule) => rule.label(),
             Rule::Weighted(_) => "weighted".to_owned(),
+        }
+    }
+
+    /// A fresh recalibrator seeded from this rule — the one seeding path
+    /// shared by [`PipelineBuilder::build`] and
+    /// [`Pipeline::reset`](crate::Pipeline::reset).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RecalibrationPolicy::validate`].
+    pub(crate) fn recalibrator(&self, policy: RecalibrationPolicy) -> Result<Recalibrator, String> {
+        match self {
+            Rule::KOutOfN(rule) => Recalibrator::from_k_of_n(*rule, policy),
+            Rule::Weighted(rule) => Recalibrator::from_weighted(rule, policy),
         }
     }
 }
@@ -96,6 +147,10 @@ pub enum BuildError {
         /// The configured worker count.
         workers: usize,
     },
+    /// The recalibration policy is malformed (zero window/cadence, bad
+    /// clamps — see
+    /// [`RecalibrationPolicy::validate`](divscrape_ensemble::RecalibrationPolicy::validate)).
+    BadRecalibration(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -117,6 +172,7 @@ impl std::fmt::Display for BuildError {
                 "global eviction budget {budget} cannot be split across {workers} workers \
                  (needs at least one client per worker)"
             ),
+            BuildError::BadRecalibration(msg) => write!(f, "bad recalibration policy: {msg}"),
         }
     }
 }
@@ -138,6 +194,10 @@ pub struct PipelineBuilder {
     queue_depth: usize,
     eviction: EvictionConfig,
     eviction_budget: Option<usize>,
+    /// `pub(crate)` so [`HubBuilder`](crate::HubBuilder) can fill in its
+    /// hub-wide default for tenants that did not set their own policy.
+    pub(crate) recalibration: Option<RecalibrationPolicy>,
+    labels: Option<LabelOracle>,
 }
 
 impl Default for PipelineBuilder {
@@ -165,6 +225,8 @@ impl std::fmt::Debug for PipelineBuilder {
             .field("queue_depth", &self.queue_depth)
             .field("eviction", &self.eviction)
             .field("eviction_budget", &self.eviction_budget)
+            .field("recalibration", &self.recalibration)
+            .field("labels", &self.labels.is_some())
             .finish()
     }
 }
@@ -183,6 +245,8 @@ impl PipelineBuilder {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             eviction: EvictionConfig::DISABLED,
             eviction_budget: None,
+            recalibration: None,
+            labels: None,
         }
     }
 
@@ -310,12 +374,78 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attaches an **online recalibrator** to the adjudication stage
+    /// (default: none — weights stay as composed).
+    ///
+    /// The recalibrator observes every member's verdict against its
+    /// peers' at chunk finalization (driver thread, strictly in feed
+    /// order) and, every [`update_every`](RecalibrationPolicy::update_every)
+    /// entries, re-derives the weighted rule's weights from EWMA
+    /// peer-support precision proxies — see
+    /// [`Recalibrator`](divscrape_ensemble::Recalibrator). Updates apply
+    /// **between** chunks, never mid-chunk, so the rule any entry is
+    /// adjudicated under is a deterministic function of its feed-order
+    /// position: replaying the recorded schedule through
+    /// [`set_adjudication`](Pipeline::set_adjudication) is bit-identical
+    /// to the live recalibrating run.
+    ///
+    /// A k-out-of-n composition is adopted as its exact weighted
+    /// equivalent (unit weights, threshold `k`) — the first derived
+    /// update turns the rigid vote count into learned weights.
+    ///
+    /// ```
+    /// use divscrape_detect::{Arcane, Sentinel};
+    /// use divscrape_pipeline::{Adjudication, PipelineBuilder, RecalibrationPolicy};
+    /// use divscrape_traffic::{generate, ScenarioConfig};
+    ///
+    /// let log = generate(&ScenarioConfig::tiny(6))?;
+    /// let mut pipeline = PipelineBuilder::new()
+    ///     .detector(Sentinel::stock())
+    ///     .detector(Arcane::stock())
+    ///     .adjudication(Adjudication::weighted(vec![1.0, 1.0], 0.95))
+    ///     .recalibration(RecalibrationPolicy::new().window(64).update_every(256))
+    ///     .build()
+    ///     .map_err(|e| e.to_string())?;
+    /// pipeline.push_batch(log.entries());
+    /// let _ = pipeline.drain();
+    /// let stats = pipeline.stats();
+    /// assert!(stats.runtime_updates.adjudication > 0); // weights moved
+    /// assert_eq!(stats.current_weights.as_ref().map(Vec::len), Some(2));
+    /// assert_eq!(
+    ///     pipeline.rule_updates().len() as u64,
+    ///     stats.runtime_updates.adjudication
+    /// );
+    /// # Ok::<(), String>(())
+    /// ```
+    pub fn recalibration(mut self, policy: RecalibrationPolicy) -> Self {
+        self.recalibration = Some(policy);
+        self
+    }
+
+    /// Supplies the recalibrator's **labeled-feedback hook** (default:
+    /// none — the peer-support proxy is used throughout).
+    ///
+    /// The oracle is consulted once per finalized entry with the entry's
+    /// feed-order index; returning `Some(label)` feeds the recalibrator
+    /// true precision evidence for that entry
+    /// ([`Recalibrator::observe_labeled`](divscrape_ensemble::Recalibrator::observe_labeled)),
+    /// `None` falls back to the proxy. Ignored unless
+    /// [`recalibration`](Self::recalibration) is configured.
+    pub fn recalibration_labels<F>(mut self, oracle: F) -> Self
+    where
+        F: FnMut(u64, &LogEntry) -> Option<bool> + Send + 'static,
+    {
+        self.labels = Some(Box::new(oracle));
+        self
+    }
+
     /// Validates the composition and builds the [`Pipeline`].
     ///
     /// # Errors
     ///
     /// Returns a [`BuildError`] when the composition is empty or the
-    /// adjudication rule, worker count or chunk capacity is invalid.
+    /// adjudication rule, worker count, chunk capacity or recalibration
+    /// policy is invalid.
     pub fn build(self) -> Result<Pipeline, BuildError> {
         let n = self.detectors.len();
         if n == 0 {
@@ -340,23 +470,13 @@ impl PipelineBuilder {
             }
             eviction = eviction.with_capacity(budget / self.workers);
         }
-        let rule = match &self.adjudication {
-            Adjudication::KOutOfN { k } => Rule::KOutOfN(
-                KOutOfN::new(*k, n as u32)
-                    .ok_or(BuildError::BadVoteCount { k: *k, n: n as u32 })?,
+        let rule = self.adjudication.resolve(n)?;
+        let recalibrator = match self.recalibration {
+            None => None,
+            Some(policy) => Some(
+                rule.recalibrator(policy)
+                    .map_err(BuildError::BadRecalibration)?,
             ),
-            Adjudication::Weighted { weights, threshold } => {
-                if weights.len() != n {
-                    return Err(BuildError::BadWeights(format!(
-                        "{} weights for {n} detectors",
-                        weights.len()
-                    )));
-                }
-                Rule::Weighted(
-                    WeightedVote::new(weights.clone(), *threshold)
-                        .map_err(BuildError::BadWeights)?,
-                )
-            }
         };
         Ok(Pipeline::assemble(
             self.detectors,
@@ -367,6 +487,8 @@ impl PipelineBuilder {
             self.chunk_capacity,
             self.queue_depth,
             eviction,
+            recalibrator,
+            self.labels,
         ))
     }
 }

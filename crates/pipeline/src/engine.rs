@@ -34,7 +34,7 @@
 //! their state per client, the output is bit-identical to a sequential
 //! run for any worker count, chunk size or push granularity.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -42,12 +42,12 @@ use std::time::{Duration, Instant};
 
 use divscrape_detect::parallel::run_index_runs;
 use divscrape_detect::{EvictionConfig, EvictionStats, Sessionizer, TenantId, Verdict};
-use divscrape_ensemble::AlertVector;
+use divscrape_ensemble::{AlertVector, Recalibrator};
 use divscrape_httplog::LogEntry;
 
-use crate::builder::Rule;
+use crate::builder::{Adjudication, BuildError, LabelOracle, Rule};
 use crate::sink::{Alert, AlertSink};
-use crate::stats::PipelineStats;
+use crate::stats::{PipelineStats, RuntimeUpdates};
 use crate::PipelineDetector;
 
 /// Work shipped to a pool worker.
@@ -189,6 +189,26 @@ struct StatCounters {
     adjudicate_busy: Duration,
     sink_busy: Duration,
     max_live_clients: usize,
+    updates: RuntimeUpdates,
+}
+
+/// One adjudication-rule install applied by a running pipeline — a
+/// recalibrator-derived weight update or a manual
+/// [`Pipeline::set_adjudication`] call. The recorded sequence is the
+/// pipeline's **weight-update schedule**: feeding the same stream to a
+/// fresh pipeline and re-applying each record at its
+/// [`at_entry`](Self::at_entry) position (via `set_adjudication`)
+/// reproduces the recalibrating run bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppliedRuleUpdate {
+    /// Feed-order position the rule took effect at: entries `0 ..
+    /// at_entry` were adjudicated under the previous rule, entries from
+    /// `at_entry` under this one.
+    pub at_entry: u64,
+    /// The installed per-member weights, in composition order.
+    pub weights: Vec<f64>,
+    /// The installed alarm threshold.
+    pub threshold: f64,
 }
 
 /// A composed streaming detection pipeline. Built by
@@ -224,6 +244,18 @@ struct StatCounters {
 pub struct Pipeline {
     names: Vec<String>,
     rule: Rule,
+    /// Runtime rule installs not yet applied, as `(first_seq, rule)`:
+    /// chunks with sequence >= `first_seq` finalize under `rule`.
+    /// Installation happens on the driver at finalization, strictly in
+    /// feed order, so a rule change never splits a chunk.
+    pending_rules: VecDeque<(u64, Rule)>,
+    /// The online recalibrator, when configured
+    /// ([`PipelineBuilder::recalibration`](crate::PipelineBuilder::recalibration)).
+    recalib: Option<Recalibrator>,
+    /// The labeled-feedback oracle for the recalibrator, if any.
+    labels: Option<LabelOracle>,
+    /// Every rule install applied so far, in application order.
+    schedule: Vec<AppliedRuleUpdate>,
     /// The tenant this pipeline serves, stamped on every alert; `None`
     /// for classic single-tenant deployments.
     tenant: Option<TenantId>,
@@ -310,6 +342,8 @@ impl Pipeline {
         chunk_capacity: usize,
         queue_depth: usize,
         eviction: EvictionConfig,
+        recalib: Option<Recalibrator>,
+        labels: Option<LabelOracle>,
     ) -> Self {
         let names: Vec<String> = detectors.iter().map(|d| d.name().to_owned()).collect();
         let n_members = names.len();
@@ -354,6 +388,10 @@ impl Pipeline {
         Self {
             names,
             rule,
+            pending_rules: VecDeque::new(),
+            recalib,
+            labels,
+            schedule: Vec::new(),
             tenant,
             sinks,
             chunk_capacity,
@@ -410,6 +448,7 @@ impl Pipeline {
             self.submit_chunk(residue);
         }
         self.eviction = eviction;
+        self.stats.updates.eviction += 1;
         if let Some(crew) = &mut self.inline_crew {
             for det in crew {
                 det.set_eviction(eviction);
@@ -437,6 +476,99 @@ impl Pipeline {
         let share = (budget / self.worker_count()).max(1);
         self.set_eviction(self.eviction.with_capacity(share));
         share
+    }
+
+    /// Replaces the adjudication rule at runtime, validated against the
+    /// composition exactly like
+    /// [`PipelineBuilder::adjudication`](crate::PipelineBuilder::adjudication)
+    /// at build time.
+    ///
+    /// The change is applied **in feed order at chunk finalization**:
+    /// entries pushed before this call are adjudicated under the old
+    /// rule, entries pushed after under the new one, for any worker
+    /// count and chunk geometry — a rule change never splits a chunk and
+    /// never depends on what is currently in flight. (Internally the
+    /// install is sequence-gated on the driver, mirroring how
+    /// `Job::SetEviction` orders eviction swaps relative to chunks.)
+    ///
+    /// When an online recalibrator is configured, it adopts the manually
+    /// installed rule as its new base at the same stream position
+    /// (accumulated evidence is kept), and the install is recorded in
+    /// the [`rule_updates`](Self::rule_updates) schedule like any
+    /// derived update.
+    ///
+    /// ```
+    /// use divscrape_detect::{Arcane, Sentinel};
+    /// use divscrape_pipeline::{Adjudication, PipelineBuilder};
+    /// use divscrape_traffic::{generate, ScenarioConfig};
+    ///
+    /// let log = generate(&ScenarioConfig::tiny(5))?;
+    /// let mut pipeline = PipelineBuilder::new()
+    ///     .detector(Sentinel::stock())
+    ///     .detector(Arcane::stock())
+    ///     .build()
+    ///     .map_err(|e| e.to_string())?;
+    /// pipeline.push_batch(&log.entries()[..600]);
+    /// // Tighten to unanimity from this exact stream position onward.
+    /// pipeline
+    ///     .set_adjudication(Adjudication::k_of_n(2))
+    ///     .map_err(|e| e.to_string())?;
+    /// pipeline.push_batch(&log.entries()[600..]);
+    /// let report = pipeline.drain();
+    /// assert_eq!(report.requests(), log.len());
+    /// // The install is recorded at its boundary, in weighted form.
+    /// assert_eq!(pipeline.rule_updates().len(), 1);
+    /// assert_eq!(pipeline.rule_updates()[0].at_entry, 600);
+    /// assert_eq!(pipeline.rule_updates()[0].threshold, 2.0);
+    /// # Ok::<(), String>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the scheme does not fit the
+    /// composition (vote count out of range, wrong weight count,
+    /// malformed weights).
+    pub fn set_adjudication(&mut self, adjudication: Adjudication) -> Result<(), BuildError> {
+        let rule = adjudication.resolve(self.names.len())?;
+        // Submit anything still buffered so the rule boundary falls
+        // exactly between entries pushed before and after this call
+        // (chunk boundaries never change member verdicts, so the early
+        // flush is otherwise unobservable).
+        if !self.buffer.is_empty() {
+            let residue = std::mem::take(&mut self.buffer);
+            self.submit_chunk(residue);
+        }
+        self.pending_rules.push_back((self.next_seq, rule));
+        Ok(())
+    }
+
+    /// The adjudication-rule installs applied so far — the pipeline's
+    /// recorded **weight-update schedule**, in application order. Covers
+    /// recalibrator-derived updates and manual
+    /// [`set_adjudication`](Self::set_adjudication) calls (a k-out-of-n
+    /// install is recorded as its exact weighted equivalent). Replaying
+    /// the schedule against the same stream reproduces this run's
+    /// output bit-for-bit; cleared by [`reset`](Self::reset).
+    pub fn rule_updates(&self) -> &[AppliedRuleUpdate] {
+        &self.schedule
+    }
+
+    /// The online recalibrator, when one is configured — current
+    /// weights, support estimates and update counts.
+    pub fn recalibrator(&self) -> Option<&Recalibrator> {
+        self.recalib.as_ref()
+    }
+
+    /// Freezes or thaws the online recalibrator (no-op without one).
+    /// Frozen, it keeps observing — the EWMA evidence stays warm — but
+    /// derives no updates, so the installed weights hold still; a thaw
+    /// resumes from the accumulated evidence. The freeze takes effect
+    /// immediately (it does not wait for in-flight chunks, which can
+    /// only *finalize* after this call returns).
+    pub fn set_recalibration_frozen(&mut self, frozen: bool) {
+        if let Some(recal) = &mut self.recalib {
+            recal.set_frozen(frozen);
+        }
     }
 
     /// Number of workers running detectors: the pool size, or 1 when the
@@ -470,7 +602,14 @@ impl Pipeline {
     /// are as of each worker's most recently collected result).
     pub fn stats(&self) -> PipelineStats {
         let inflight_entries: usize = self.inflight.values().map(|p| p.chunk.len()).sum();
+        let (current_weights, current_threshold) = match &self.rule {
+            Rule::Weighted(rule) => (Some(rule.weights().to_vec()), Some(rule.threshold())),
+            Rule::KOutOfN(_) => (None, None),
+        };
         PipelineStats {
+            current_weights,
+            current_threshold,
+            runtime_updates: self.stats.updates,
             entries_processed: self.finalized,
             entries_pending: self.buffer.len() + inflight_entries,
             chunks_processed: self.stats.chunks,
@@ -546,6 +685,12 @@ impl Pipeline {
             self.submit_chunk(residue);
         }
         self.wait_for_inflight();
+        // A rule change requested after the last pushed entry has no
+        // chunk left to gate on: install it now, at the stream's end,
+        // so a drained pipeline's stats and recorded schedule always
+        // reflect every `set_adjudication` call (entries pushed after
+        // this drain are adjudicated under it, exactly as requested).
+        self.install_due_rules(self.next_seq);
         // Every alert of the drained stream has been delivered; give
         // buffering sinks (files, sockets) the chance to make it
         // durable before the caller observes the report.
@@ -564,14 +709,32 @@ impl Pipeline {
     }
 
     /// Clears all state: detector evidence, buffered entries, accumulated
-    /// results and the feed-order counter. Sinks are kept but see a fresh
-    /// stream.
+    /// results, the feed-order counter and the recorded rule-update
+    /// schedule. Sinks are kept but see a fresh stream. Configuration
+    /// persists: the currently installed adjudication rule (including
+    /// recalibrated weights) and eviction policy carry over, and a
+    /// configured recalibrator restarts from that rule with its evidence
+    /// cleared.
     ///
     /// Chunks already submitted to the pool are finalized first (their
     /// sinks fire, as they would have at flush time in a synchronous
-    /// engine); buffered-but-unsubmitted entries are discarded.
+    /// engine); buffered-but-unsubmitted entries are discarded, and any
+    /// rule change still queued behind them is applied immediately.
     pub fn reset(&mut self) {
         self.wait_for_inflight();
+        // Queued-but-ungated rule installs take effect now: the operator
+        // asked for them before the reset, and the stream they were
+        // ordered against is gone. (The schedule records they produce
+        // are cleared with the rest of the telemetry below.)
+        self.install_due_rules(self.next_seq);
+        self.schedule.clear();
+        if let Some(recal) = &self.recalib {
+            self.recalib = Some(
+                self.rule
+                    .recalibrator(recal.policy().clone())
+                    .expect("policy validated at build time"),
+            );
+        }
         if let Some(crew) = &mut self.inline_crew {
             for det in crew {
                 det.reset();
@@ -736,11 +899,18 @@ impl Pipeline {
         self.stats.max_live_clients = self.stats.max_live_clients.max(evict.live_clients);
         self.worker_evict[0] = evict;
         self.submitted += chunk.len() as u64;
-        self.finalize(PendingChunk {
-            chunk,
-            awaiting: 0,
-            columns,
-        });
+        // Inline chunks share the pool's sequence numbering so rule
+        // installs queued by `set_adjudication` gate identically.
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.finalize(
+            seq,
+            PendingChunk {
+                chunk,
+                awaiting: 0,
+                columns,
+            },
+        );
     }
 
     /// Waits briefly for a worker result, detecting dead workers.
@@ -806,8 +976,9 @@ impl Pipeline {
             if entry.get().awaiting > 0 {
                 break;
             }
+            let seq = *entry.key();
             let pending = entry.remove();
-            self.finalize(pending);
+            self.finalize(seq, pending);
         }
     }
 
@@ -821,9 +992,16 @@ impl Pipeline {
         }
     }
 
-    /// Adjudicates one finished chunk, fires sinks and accumulates the
-    /// outcome. Runs on the driver thread, strictly in feed order.
-    fn finalize(&mut self, pending: PendingChunk) {
+    /// Adjudicates one finished chunk, fires sinks, feeds the online
+    /// recalibrator and accumulates the outcome. Runs on the driver
+    /// thread, strictly in feed order — which is what makes runtime rule
+    /// installs and recalibrator updates deterministic functions of the
+    /// stream position, independent of worker count.
+    fn finalize(&mut self, seq: u64, pending: PendingChunk) {
+        // Rule installs gate on the chunk sequence: anything queued at
+        // or before this chunk takes effect now, before adjudication —
+        // never mid-chunk.
+        self.install_due_rules(seq);
         let PendingChunk { chunk, columns, .. } = pending;
         let n_detectors = self.names.len();
 
@@ -852,16 +1030,21 @@ impl Pipeline {
             // Cheap Arc clone: frees `self.sinks` for the mutable loop.
             let tenant = self.tenant.clone();
             let mut votes = vec![false; n_detectors];
+            let mut scores = vec![0.0f32; n_detectors];
             for (i, entry) in chunk.iter().enumerate() {
                 if combined_bools[i] {
                     for (vote, member) in votes.iter_mut().zip(&member_bools) {
                         *vote = member[i];
+                    }
+                    for (score, column) in scores.iter_mut().zip(&columns) {
+                        *score = column[i].confidence();
                     }
                     let alert = Alert {
                         index: self.finalized + i as u64,
                         tenant: tenant.as_ref(),
                         entry,
                         votes: &votes,
+                        scores: &scores,
                     };
                     for sink in &mut self.sinks {
                         sink.on_alert(&alert);
@@ -871,12 +1054,104 @@ impl Pipeline {
             self.stats.sink_busy += sink_started.elapsed();
         }
 
+        self.observe_for_recalibration(&chunk, &columns, &member_bools);
+
         self.finalized += chunk.len() as u64;
         self.stats.chunks += 1;
         self.acc_combined.extend_from_slice(&combined_bools);
         for (acc, member) in self.acc_members.iter_mut().zip(member_bools) {
             acc.extend(member);
         }
+    }
+
+    /// Installs every queued rule change gating at or before `seq`.
+    fn install_due_rules(&mut self, seq: u64) {
+        while let Some((first_seq, _)) = self.pending_rules.front() {
+            if *first_seq > seq {
+                break;
+            }
+            let (_, rule) = self.pending_rules.pop_front().expect("front checked");
+            let (weights, threshold) = rule_parameters(&rule);
+            // A configured recalibrator adopts the manual override as
+            // its new base (evidence kept).
+            if let Some(recal) = &mut self.recalib {
+                recal.reseed(&weights, threshold);
+            }
+            self.rule = rule;
+            self.stats.updates.adjudication += 1;
+            self.schedule.push(AppliedRuleUpdate {
+                at_entry: self.finalized,
+                weights,
+                threshold,
+            });
+        }
+    }
+
+    /// Feeds one finalized chunk to the recalibrator — labeled evidence
+    /// where the oracle has labels, the confidence-weighted peer proxy
+    /// (from [`Verdict::confidence`]) otherwise — and, when the cadence
+    /// has elapsed, derives and installs a weight update taking effect
+    /// at the **next** chunk boundary.
+    fn observe_for_recalibration(
+        &mut self,
+        chunk: &[LogEntry],
+        columns: &[Vec<Verdict>],
+        member_bools: &[Vec<bool>],
+    ) {
+        let Some(recal) = self.recalib.as_mut() else {
+            return;
+        };
+        let mut labels = self.labels.as_mut();
+        let base = self.finalized;
+        let derived = {
+            let mut row = vec![false; member_bools.len()];
+            let mut confidence = vec![0.0f64; member_bools.len()];
+            for (i, entry) in chunk.iter().enumerate() {
+                for (slot, member) in row.iter_mut().zip(member_bools) {
+                    *slot = member[i];
+                }
+                let label = labels
+                    .as_mut()
+                    .and_then(|oracle| oracle(base + i as u64, entry));
+                match label {
+                    Some(malicious) => recal.observe_labeled(&row, malicious),
+                    None => {
+                        for (slot, column) in confidence.iter_mut().zip(columns) {
+                            *slot = f64::from(column[i].confidence());
+                        }
+                        recal.observe_scored(&row, &confidence);
+                    }
+                }
+            }
+            if recal.due() {
+                recal.rederive()
+            } else {
+                None
+            }
+        };
+        if let Some(update) = derived {
+            self.rule = Rule::Weighted(
+                update
+                    .to_rule()
+                    .expect("recalibrator emits validated weights"),
+            );
+            self.stats.updates.adjudication += 1;
+            self.schedule.push(AppliedRuleUpdate {
+                at_entry: base + chunk.len() as u64,
+                weights: update.weights,
+                threshold: update.threshold,
+            });
+        }
+    }
+}
+
+/// The weighted-form parameters of a rule: a weighted rule's own
+/// weights/threshold, a k-out-of-n rule's exact weighted equivalent
+/// (unit weights, threshold `k`).
+fn rule_parameters(rule: &Rule) -> (Vec<f64>, f64) {
+    match rule {
+        Rule::Weighted(rule) => (rule.weights().to_vec(), rule.threshold()),
+        Rule::KOutOfN(rule) => (vec![1.0; rule.n() as usize], f64::from(rule.k())),
     }
 }
 
@@ -1186,6 +1461,245 @@ mod tests {
             pipeline.pending()
         );
         assert_eq!(pipeline.drain().combined.to_bools(), expected);
+    }
+
+    #[test]
+    fn set_adjudication_applies_between_entries_never_mid_chunk() {
+        // The rule swap lands mid-buffer (the chunk capacity is larger
+        // than the whole log): entries pushed before it must adjudicate
+        // under the old rule, entries after under the new one — the
+        // buffered residue is flushed so no chunk straddles the change.
+        let log = generate(&ScenarioConfig::tiny(24)).unwrap();
+        let split = log.len() / 2;
+        for workers in [1usize, 3] {
+            let mut pipeline = PipelineBuilder::new()
+                .detector(Sentinel::stock())
+                .detector(Arcane::stock())
+                .adjudication(Adjudication::k_of_n(1))
+                .workers(workers)
+                .chunk_capacity(100_000)
+                .build()
+                .unwrap();
+            pipeline.push_batch(&log.entries()[..split]);
+            pipeline.set_adjudication(Adjudication::k_of_n(2)).unwrap();
+            pipeline.push_batch(&log.entries()[split..]);
+            let report = pipeline.drain();
+            let mut expected = offline_kofn(&log, 1)[..split].to_vec();
+            expected.extend_from_slice(&offline_kofn(&log, 2)[split..]);
+            assert_eq!(report.combined.to_bools(), expected, "workers={workers}");
+            // The manual install is recorded in the schedule, at the
+            // exact boundary, as its weighted equivalent.
+            let schedule = pipeline.rule_updates();
+            assert_eq!(schedule.len(), 1);
+            assert_eq!(schedule[0].at_entry, split as u64);
+            assert_eq!(schedule[0].weights, vec![1.0, 1.0]);
+            assert_eq!(schedule[0].threshold, 2.0);
+            assert_eq!(pipeline.stats().runtime_updates.adjudication, 1);
+        }
+    }
+
+    #[test]
+    fn rule_installed_after_the_last_entry_lands_at_drain() {
+        // A swap requested at the very end of a stream has no chunk
+        // left to gate on; drain() is its quiesce point. Stats and the
+        // recorded schedule must reflect it, and entries pushed after
+        // the drain adjudicate under it.
+        let log = generate(&ScenarioConfig::tiny(30)).unwrap();
+        for workers in [1usize, 2] {
+            let mut pipeline = PipelineBuilder::new()
+                .detector(Sentinel::stock())
+                .detector(Arcane::stock())
+                .workers(workers)
+                .chunk_capacity(64)
+                .build()
+                .unwrap();
+            pipeline.push_batch(log.entries());
+            pipeline
+                .set_adjudication(Adjudication::weighted(vec![2.0, 3.0], 5.0))
+                .unwrap();
+            let first = pipeline.drain();
+            assert_eq!(first.combined.to_bools(), offline_kofn(&log, 1));
+            let stats = pipeline.stats();
+            assert_eq!(
+                stats.current_weights,
+                Some(vec![2.0, 3.0]),
+                "workers={workers}"
+            );
+            assert_eq!(stats.runtime_updates.adjudication, 1);
+            let schedule = pipeline.rule_updates();
+            assert_eq!(schedule.len(), 1);
+            assert_eq!(schedule[0].at_entry, log.len() as u64);
+            // The installed rule (2 + 3 >= 5: unanimity) governs the
+            // stream's continuation.
+            pipeline.push_batch(log.entries());
+            let second = pipeline.drain();
+            assert_eq!(
+                second.combined.to_bools().iter().filter(|a| **a).count(),
+                second
+                    .members
+                    .iter()
+                    .map(|m| m.to_bools())
+                    .fold(None::<Vec<bool>>, |acc, m| Some(match acc {
+                        None => m,
+                        Some(acc) => acc.iter().zip(&m).map(|(a, b)| *a && *b).collect(),
+                    }))
+                    .unwrap()
+                    .iter()
+                    .filter(|a| **a)
+                    .count(),
+                "workers={workers}: continuation must run under unanimity"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_runtime_rules_are_rejected_and_change_nothing() {
+        let log = generate(&ScenarioConfig::tiny(25)).unwrap();
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            pipeline.set_adjudication(Adjudication::k_of_n(3)),
+            Err(crate::BuildError::BadVoteCount { k: 3, n: 2 })
+        ));
+        assert!(matches!(
+            pipeline.set_adjudication(Adjudication::weighted(vec![1.0], 1.0)),
+            Err(crate::BuildError::BadWeights(_))
+        ));
+        pipeline.push_batch(log.entries());
+        let report = pipeline.drain();
+        assert_eq!(report.combined.to_bools(), offline_kofn(&log, 1));
+        assert_eq!(pipeline.stats().runtime_updates.adjudication, 0);
+    }
+
+    #[test]
+    fn runtime_updates_share_one_telemetry_path() {
+        let log = generate(&ScenarioConfig::tiny(26)).unwrap();
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .workers(2)
+            .build()
+            .unwrap();
+        assert_eq!(pipeline.stats().runtime_updates.total(), 0);
+        pipeline.push_batch(log.entries());
+        pipeline.set_eviction(EvictionConfig::ttl(3_600));
+        pipeline
+            .set_adjudication(Adjudication::weighted(vec![1.0, 1.0], 1.0))
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let _ = pipeline.drain();
+        let updates = pipeline.stats().runtime_updates;
+        assert_eq!(updates.eviction, 1);
+        assert_eq!(updates.adjudication, 1);
+        assert_eq!(updates.total(), 2);
+        // The installed weighted rule is visible to operators.
+        let stats = pipeline.stats();
+        assert_eq!(stats.current_weights, Some(vec![1.0, 1.0]));
+        assert_eq!(stats.current_threshold, Some(1.0));
+        // k-of-n rules expose no weights.
+        pipeline.set_adjudication(Adjudication::k_of_n(1)).unwrap();
+        pipeline.push(log.entries()[0].clone());
+        let _ = pipeline.drain();
+        assert_eq!(pipeline.stats().current_weights, None);
+    }
+
+    #[test]
+    fn recalibration_derives_updates_at_chunk_boundaries_only() {
+        use divscrape_ensemble::RecalibrationPolicy;
+        let log = generate(&ScenarioConfig::tiny(27)).unwrap();
+        let chunk = 64usize;
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .detector(RateLimiter::new(20))
+            .adjudication(Adjudication::weighted(vec![1.0, 1.0, 1.0], 1.0))
+            // A cadence far below the chunk size: updates must still
+            // land only at chunk boundaries, never mid-chunk.
+            .recalibration(RecalibrationPolicy::new().window(32).update_every(17))
+            .chunk_capacity(chunk)
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let _ = pipeline.drain();
+        let schedule = pipeline.rule_updates().to_vec();
+        assert!(!schedule.is_empty(), "bot-heavy traffic must drive updates");
+        for update in &schedule {
+            assert!(
+                (update.at_entry as usize).is_multiple_of(chunk)
+                    || update.at_entry as usize == log.len(),
+                "update at {} not on a chunk boundary",
+                update.at_entry
+            );
+            assert_eq!(update.weights.len(), 3);
+        }
+        let stats = pipeline.stats();
+        assert_eq!(stats.runtime_updates.adjudication, schedule.len() as u64);
+        assert_eq!(
+            stats.current_weights.as_deref(),
+            Some(schedule.last().unwrap().weights.as_slice())
+        );
+        let recal = pipeline.recalibrator().unwrap();
+        assert_eq!(recal.entries_observed(), log.len() as u64);
+        assert_eq!(recal.updates(), schedule.len() as u64);
+    }
+
+    #[test]
+    fn frozen_recalibrators_hold_weights_still() {
+        use divscrape_ensemble::RecalibrationPolicy;
+        let log = generate(&ScenarioConfig::tiny(28)).unwrap();
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .adjudication(Adjudication::weighted(vec![1.0, 1.0], 1.0))
+            .recalibration(
+                RecalibrationPolicy::new()
+                    .window(32)
+                    .update_every(50)
+                    .freeze(true),
+            )
+            .chunk_capacity(64)
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let frozen_report = pipeline.drain();
+        assert!(pipeline.rule_updates().is_empty());
+        assert_eq!(pipeline.stats().runtime_updates.adjudication, 0);
+        assert_eq!(pipeline.stats().current_weights, Some(vec![1.0, 1.0]));
+        // Frozen recalibration is observationally identical to no
+        // recalibration at all.
+        assert_eq!(frozen_report.combined.to_bools(), offline_kofn(&log, 1));
+        // Thawing at runtime resumes updating from the warm evidence.
+        pipeline.set_recalibration_frozen(false);
+        pipeline.push_batch(log.entries());
+        let _ = pipeline.drain();
+        assert!(pipeline.stats().runtime_updates.adjudication > 0);
+    }
+
+    #[test]
+    fn reset_restarts_recalibration_from_the_installed_rule() {
+        use divscrape_ensemble::RecalibrationPolicy;
+        let log = generate(&ScenarioConfig::tiny(29)).unwrap();
+        let mut pipeline = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .detector(RateLimiter::new(20))
+            .adjudication(Adjudication::weighted(vec![1.0, 1.0, 1.0], 1.0))
+            .recalibration(RecalibrationPolicy::new().window(32).update_every(100))
+            .chunk_capacity(64)
+            .build()
+            .unwrap();
+        pipeline.push_batch(log.entries());
+        let _ = pipeline.drain();
+        let learned = pipeline.stats().current_weights.unwrap();
+        pipeline.reset();
+        // The schedule and telemetry rewind; the learned rule persists.
+        assert!(pipeline.rule_updates().is_empty());
+        assert_eq!(pipeline.stats().runtime_updates.adjudication, 0);
+        assert_eq!(pipeline.stats().current_weights, Some(learned));
+        assert_eq!(pipeline.recalibrator().unwrap().entries_observed(), 0);
     }
 
     #[test]

@@ -32,11 +32,12 @@
 use std::collections::HashMap;
 
 use divscrape_detect::TenantId;
+use divscrape_ensemble::RecalibrationPolicy;
 use divscrape_httplog::LogEntry;
 
 use crate::builder::{BuildError, PipelineBuilder};
 use crate::engine::{Pipeline, PipelineReport};
-use crate::stats::PipelineStats;
+use crate::stats::{PipelineStats, RuntimeUpdates};
 
 /// Why a [`HubBuilder`] refused to build (or a
 /// [`PipelineHub::add_tenant`] refused the tenant).
@@ -125,6 +126,7 @@ impl std::error::Error for HubBuildError {
 pub struct HubBuilder {
     tenants: Vec<(TenantId, PipelineBuilder)>,
     budget: Option<usize>,
+    recalibration: Option<RecalibrationPolicy>,
 }
 
 impl std::fmt::Debug for HubBuilder {
@@ -135,6 +137,7 @@ impl std::fmt::Debug for HubBuilder {
                 &self.tenants.iter().map(|(t, _)| t).collect::<Vec<_>>(),
             )
             .field("budget", &self.budget)
+            .field("recalibration", &self.recalibration)
             .finish()
     }
 }
@@ -166,6 +169,37 @@ impl HubBuilder {
         self
     }
 
+    /// Sets the hub-wide **default recalibration policy**: every tenant
+    /// whose [`PipelineBuilder`] did not configure its own
+    /// [`recalibration`](PipelineBuilder::recalibration) gets this one,
+    /// so the hub runs **one independent recalibrator per tenant** —
+    /// each tenant's weights track *its* traffic (scraper populations
+    /// differ per target site), with no cross-tenant learning channel.
+    /// Applies to tenants added at build time and through
+    /// [`PipelineHub::add_tenant`] alike; a tenant's own policy always
+    /// wins.
+    ///
+    /// ```
+    /// use divscrape_detect::{Sentinel, TenantId};
+    /// use divscrape_pipeline::{PipelineBuilder, PipelineHub, RecalibrationPolicy};
+    ///
+    /// let hub = PipelineHub::builder()
+    ///     .tenant(TenantId::new("eu"), PipelineBuilder::new().detector(Sentinel::stock()))
+    ///     .tenant(TenantId::new("us"), PipelineBuilder::new().detector(Sentinel::stock()))
+    ///     .default_recalibration(RecalibrationPolicy::new().update_every(8_192))
+    ///     .build()
+    ///     .map_err(|e| e.to_string())?;
+    /// // Each tenant runs its own independent recalibrator.
+    /// for tenant in hub.tenant_ids() {
+    ///     assert!(hub.pipeline(tenant).unwrap().recalibrator().is_some());
+    /// }
+    /// # Ok::<(), String>(())
+    /// ```
+    pub fn default_recalibration(mut self, policy: RecalibrationPolicy) -> Self {
+        self.recalibration = Some(policy);
+        self
+    }
+
     /// Validates the composition and builds the [`PipelineHub`].
     ///
     /// # Errors
@@ -182,10 +216,12 @@ impl HubBuilder {
             slots: Vec::with_capacity(self.tenants.len()),
             index: HashMap::new(),
             budget: None,
+            recalibration: self.recalibration,
             routed: 0,
             unrouted: 0,
             departed_entries: 0,
             departed_alerts: 0,
+            departed_updates: RuntimeUpdates::default(),
         };
         for (id, builder) in self.tenants {
             hub.insert_tenant(id, builder)?;
@@ -239,6 +275,12 @@ pub struct HubStats {
     /// — the service-wide client-state footprint the
     /// [global budget](HubBuilder::global_eviction_budget) bounds.
     pub live_clients_aggregate: usize,
+    /// Runtime reconfiguration applied across all tenants — eviction
+    /// installs (budget rebalances included) and adjudication updates
+    /// (per-tenant recalibrators included), tenants that have since left
+    /// folded in. A fleet of frozen recalibrators shows a flat
+    /// adjudication counter here.
+    pub runtime_updates: RuntimeUpdates,
     /// Entries routed to a tenant pipeline so far.
     pub routed_entries: u64,
     /// Entries whose tenant the hub does not serve, counted and
@@ -310,6 +352,9 @@ pub struct PipelineHub {
     slots: Vec<TenantSlot>,
     index: HashMap<TenantId, usize>,
     budget: Option<usize>,
+    /// Default recalibration policy applied to joining tenants that
+    /// bring none of their own ([`HubBuilder::default_recalibration`]).
+    recalibration: Option<RecalibrationPolicy>,
     routed: u64,
     unrouted: u64,
     /// Entries finalized by tenants that have since left — keeps the
@@ -317,6 +362,8 @@ pub struct PipelineHub {
     departed_entries: u64,
     /// Alerts raised by tenants that have since left.
     departed_alerts: u64,
+    /// Runtime updates applied by tenants that have since left.
+    departed_updates: RuntimeUpdates,
 }
 
 impl std::fmt::Debug for PipelineHub {
@@ -439,6 +486,9 @@ impl PipelineHub {
                 .iter()
                 .map(|t| t.pipeline.live_clients_aggregate)
                 .sum(),
+            runtime_updates: tenants.iter().fold(self.departed_updates, |acc, t| {
+                acc.merged(t.pipeline.runtime_updates)
+            }),
             routed_entries: self.routed,
             unrouted_entries: self.unrouted,
             eviction_budget: self.budget,
@@ -493,6 +543,7 @@ impl PipelineHub {
         let parting = slot.pipeline.stats();
         self.departed_entries += parting.entries_processed;
         self.departed_alerts += parting.alerts;
+        self.departed_updates = self.departed_updates.merged(parting.runtime_updates);
         self.rebalance_eviction();
         Some(report)
     }
@@ -554,10 +605,16 @@ impl PipelineHub {
     fn insert_tenant(
         &mut self,
         id: TenantId,
-        pipeline: PipelineBuilder,
+        mut pipeline: PipelineBuilder,
     ) -> Result<(), HubBuildError> {
         if self.index.contains_key(&id) {
             return Err(HubBuildError::DuplicateTenant(id));
+        }
+        // The hub's default recalibration policy covers tenants that
+        // brought none of their own: one independent recalibrator per
+        // tenant, each learning from its own traffic only.
+        if pipeline.recalibration.is_none() {
+            pipeline.recalibration = self.recalibration.clone();
         }
         let pipeline =
             pipeline
@@ -814,6 +871,54 @@ mod tests {
         assert!(budget_b >= 1, "every tenant keeps its floor");
         assert_eq!(budget_a + budget_b, 100, "the whole budget is granted");
         assert_eq!(hub.stats().eviction_budget, Some(100));
+    }
+
+    #[test]
+    fn default_recalibration_gives_each_tenant_its_own_recalibrator() {
+        use divscrape_ensemble::RecalibrationPolicy;
+        let log = generate(&ScenarioConfig::tiny(34)).unwrap();
+        let a = TenantId::new("a");
+        let b = TenantId::new("b");
+        let frozen = TenantId::new("frozen");
+        let policy = RecalibrationPolicy::new().window(32).update_every(64);
+        let mut hub = PipelineHub::builder()
+            .tenant(a.clone(), two_tool(Adjudication::k_of_n(1)))
+            .tenant(b.clone(), two_tool(Adjudication::k_of_n(1)))
+            .tenant(
+                frozen.clone(),
+                // A tenant's own policy beats the hub default.
+                two_tool(Adjudication::k_of_n(1)).recalibration(policy.clone().freeze(true)),
+            )
+            .default_recalibration(policy)
+            .build()
+            .unwrap();
+        // Only tenant a sees traffic: only its recalibrator may move.
+        for entry in log.entries().iter().cloned() {
+            hub.push(&a, entry);
+        }
+        let _ = hub.drain_all();
+        let stats = hub.stats();
+        let updates_of = |tenant: &TenantId| {
+            stats
+                .tenants
+                .iter()
+                .find(|t| &t.tenant == tenant)
+                .unwrap()
+                .pipeline
+                .runtime_updates
+                .adjudication
+        };
+        assert!(updates_of(&a) > 0, "busy tenant must recalibrate");
+        assert_eq!(updates_of(&b), 0, "idle tenant must not");
+        assert_eq!(updates_of(&frozen), 0, "frozen tenant must not");
+        assert_eq!(stats.runtime_updates.adjudication, updates_of(&a));
+        // Departure folds the tenant's update tally into the aggregate.
+        hub.remove_tenant(&a).unwrap();
+        assert_eq!(
+            hub.stats().runtime_updates.adjudication,
+            updates_of(&a),
+            "aggregate stays monotonic across churn"
+        );
     }
 
     #[test]

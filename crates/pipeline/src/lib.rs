@@ -33,9 +33,20 @@
 //!   per-client state tables with TTL and LRU-capacity policies
 //!   ([`EvictionConfig`], from `divscrape-detect`); off by default and
 //!   then bit-identical to the unbounded tables.
+//! * The adjudication stage can **recalibrate itself online**:
+//!   [`recalibration`](PipelineBuilder::recalibration) attaches a
+//!   [`Recalibrator`] that observes every member's verdicts against its
+//!   peers' (plus any ground truth a
+//!   [`recalibration_labels`](PipelineBuilder::recalibration_labels)
+//!   oracle supplies) and periodically re-derives the weighted rule's
+//!   weights — applied between chunks, in feed order, so the run is
+//!   reproducible from its recorded schedule
+//!   ([`Pipeline::rule_updates`]). [`Pipeline::set_adjudication`] is the
+//!   manual form of the same mechanism.
 //! * [`stats`](Pipeline::stats) snapshots the pipeline's operational
 //!   counters ([`PipelineStats`]): throughput, queue depth, per-stage
-//!   latency, and client-state occupancy/evictions.
+//!   latency, client-state occupancy/evictions, the currently installed
+//!   adjudication weights and runtime-reconfiguration tallies.
 //! * For a service protecting **many properties at once**, [`PipelineHub`]
 //!   owns one fully isolated pipeline per tenant (detector mix,
 //!   adjudication rule, eviction policy and sinks can all differ), routes
@@ -115,17 +126,20 @@ mod hub;
 mod sink;
 mod stats;
 
-pub use builder::{Adjudication, BuildError, PipelineBuilder};
-pub use engine::{Pipeline, PipelineReport};
+pub use builder::{Adjudication, BuildError, LabelOracle, PipelineBuilder};
+pub use engine::{AppliedRuleUpdate, Pipeline, PipelineReport};
 pub use hub::{HubBuildError, HubBuilder, HubReport, HubStats, PipelineHub, TenantStats};
 pub use sink::{
     Alert, AlertSink, CollectingSink, CountingSink, JsonLinesSink, SinkTelemetry, TcpSink,
 };
-pub use stats::PipelineStats;
+pub use stats::{PipelineStats, RuntimeUpdates};
 
 // Re-exported so pipeline deployments can configure state eviction and
 // tenancy without depending on `divscrape-detect` directly.
 pub use divscrape_detect::{EvictionConfig, EvictionStats, TenantId};
+// Re-exported so deployments can configure online recalibration without
+// depending on `divscrape-ensemble` directly.
+pub use divscrape_ensemble::{RecalibrationPolicy, Recalibrator, WeightUpdate};
 
 use divscrape_detect::Detector;
 

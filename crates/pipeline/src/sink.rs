@@ -30,6 +30,12 @@ pub struct Alert<'a> {
     pub entry: &'a LogEntry,
     /// Which members voted to alert, in composition order.
     pub votes: &'a [bool],
+    /// Per-member confidence scores
+    /// ([`Verdict::confidence`](divscrape_detect::Verdict::confidence)),
+    /// in composition order — the verdict metadata behind the votes, so
+    /// downstream triage can rank alerts by how firmly each member held
+    /// its position.
+    pub scores: &'a [f32],
 }
 
 impl Alert<'_> {
@@ -43,7 +49,8 @@ impl Alert<'_> {
     ///
     /// Fields: `index` (feed order), `tenant` (only when the pipeline is
     /// tenant-labelled), `time` (CLF timestamp), `client`, `agent`,
-    /// `method`, `path`, `status`, `votes`.
+    /// `method`, `path`, `status`, `votes`, `scores` (per-member
+    /// confidence, parallel to `votes`).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(160);
         out.push_str("{\"index\":");
@@ -71,6 +78,17 @@ impl Alert<'_> {
                 out.push(',');
             }
             out.push_str(if *vote { "true" } else { "false" });
+        }
+        out.push_str("],\"scores\":[");
+        for (i, score) in self.scores.iter().enumerate() {
+            use std::fmt::Write as _;
+            if i > 0 {
+                out.push(',');
+            }
+            // Two decimals keep the line compact; confidences live in
+            // [0, 1] so nothing is lost that triage would rank by.
+            // (Formatting into a String cannot fail.)
+            let _ = write!(out, "{score:.2}");
         }
         out.push_str("]}");
         out
@@ -536,6 +554,7 @@ mod tests {
             tenant: None,
             entry: &entry,
             votes: &[true, false],
+            scores: &[1.0, 0.25],
         };
         let json = alert.to_json();
         assert!(json.starts_with("{\"index\":41,"));
@@ -543,6 +562,7 @@ mod tests {
         assert!(json.contains("\"path\":\"/search?q=NCE\""));
         assert!(json.contains("\"status\":403"));
         assert!(json.contains("\"votes\":[true,false]"));
+        assert!(json.contains("\"scores\":[1.00,0.25]"), "{json}");
         // The agent's backslashes and quotes are escaped, keeping the
         // object well-formed: `weird \"agent\"` → `weird \\\"agent\\\"`.
         assert!(json.contains(r#"weird \\\"agent\\\""#), "{json}");
@@ -560,6 +580,7 @@ mod tests {
             tenant: Some(&tenant),
             entry: &entry,
             votes: &[true],
+            scores: &[0.5],
         };
         let json = alert.to_json();
         assert!(
@@ -579,6 +600,7 @@ mod tests {
                 tenant: None,
                 entry: &entry,
                 votes: &[true],
+                scores: &[0.5],
             });
         }
         sink.flush();
@@ -608,6 +630,7 @@ mod tests {
             tenant: None,
             entry: &entry,
             votes: &[true],
+            scores: &[0.5],
         });
         sink.flush();
         assert_eq!(telemetry.written(), 0);
@@ -636,6 +659,7 @@ mod tests {
                 tenant: None,
                 entry: &entry,
                 votes: &[false, true],
+                scores: &[0.5],
             });
         }
         sink.flush();
@@ -672,6 +696,7 @@ mod tests {
                 tenant: None,
                 entry: &entry,
                 votes: &[true],
+                scores: &[0.5],
             });
             index += 1;
             std::thread::sleep(Duration::from_millis(2));
@@ -702,6 +727,7 @@ mod tests {
                 tenant: None,
                 entry: &entry,
                 votes: &[true],
+                scores: &[0.5],
             });
         }
         // Never fatal: every alert was either absorbed by the dying

@@ -3,6 +3,41 @@
 
 use std::time::Duration;
 
+/// Lifetime tallies of **runtime reconfiguration** applied to a pipeline
+/// — the shared telemetry path for every `set_*`-style mutation
+/// ([`Pipeline::set_eviction`](crate::Pipeline::set_eviction),
+/// [`Pipeline::set_adjudication`](crate::Pipeline::set_adjudication),
+/// recalibrator-derived weight updates). Operators read it to tell a
+/// frozen recalibrator (adjudication counter flat) from one that is
+/// actually updating, and a hub that is rebalancing eviction budgets
+/// from one that is not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeUpdates {
+    /// Eviction-policy installs applied over the pipeline's lifetime
+    /// (builder-time configuration is not counted).
+    pub eviction: u64,
+    /// Adjudication-rule installs applied over the pipeline's lifetime:
+    /// manual [`set_adjudication`](crate::Pipeline::set_adjudication)
+    /// calls plus every weight update the online recalibrator derived
+    /// and applied.
+    pub adjudication: u64,
+}
+
+impl RuntimeUpdates {
+    /// Total runtime mutations applied, across all kinds.
+    pub fn total(&self) -> u64 {
+        self.eviction + self.adjudication
+    }
+
+    /// Element-wise sum — used by hub-level aggregation.
+    pub(crate) fn merged(self, other: RuntimeUpdates) -> RuntimeUpdates {
+        RuntimeUpdates {
+            eviction: self.eviction + other.eviction,
+            adjudication: self.adjudication + other.adjudication,
+        }
+    }
+}
+
 /// A point-in-time snapshot of a pipeline's operational counters.
 ///
 /// Returned by [`Pipeline::stats`](crate::Pipeline::stats). Counter
@@ -24,6 +59,12 @@ use std::time::Duration;
 ///   [`adjudicate_busy`](Self::adjudicate_busy) and
 ///   [`sink_busy`](Self::sink_busy) are driver-thread time spent
 ///   combining verdicts and delivering alerts.
+/// * **Adjudication** — [`current_weights`](Self::current_weights) and
+///   [`current_threshold`](Self::current_threshold) are the weighted
+///   rule currently installed on the adjudication stage (`None` under a
+///   k-out-of-n rule), and [`runtime_updates`](Self::runtime_updates)
+///   counts the runtime mutations — eviction installs and adjudication
+///   updates — applied so far.
 /// * **Eviction** — [`live_clients`](Self::live_clients) is the occupancy
 ///   of the largest single per-client state table across all detector
 ///   replicas (as of each worker's most recently collected result),
@@ -31,7 +72,7 @@ use std::time::Duration;
 ///   and [`evicted_clients`](Self::evicted_clients) the total clients
 ///   dropped by TTL or capacity eviction. With an eviction capacity `C`
 ///   configured, `max_live_clients <= C` holds for the whole run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineStats {
     /// Entries finalized: run through the detectors, adjudicated and
     /// accumulated.
@@ -66,4 +107,15 @@ pub struct PipelineStats {
     /// Clients evicted from detector state tables (TTL + capacity),
     /// summed across all replicas.
     pub evicted_clients: u64,
+    /// The weights of the currently installed weighted adjudication
+    /// rule, in composition order; `None` while a k-out-of-n rule is
+    /// installed. Under online recalibration this is the live, learned
+    /// weight vector.
+    pub current_weights: Option<Vec<f64>>,
+    /// The currently installed weighted rule's alarm threshold; `None`
+    /// while a k-out-of-n rule is installed.
+    pub current_threshold: Option<f64>,
+    /// Runtime reconfiguration applied so far (eviction installs,
+    /// adjudication updates) — see [`RuntimeUpdates`].
+    pub runtime_updates: RuntimeUpdates,
 }

@@ -1,0 +1,208 @@
+//! Drifting-traffic scenarios: population shifts mid-stream.
+//!
+//! The paper's dataset is one 8-day window with one population mix, but a
+//! deployed detector does not get that luxury: scraper populations shift —
+//! campaigns end, botnets are blocked, stealth operations ramp up — and a
+//! detector combination calibrated on last month's traffic can quietly
+//! lose precision on this month's (Lagopoulos et al. measure exactly this
+//! regime dependence; BOTracle argues combinations must adapt to it).
+//!
+//! A [`DriftScenario`] models the shift as a sequence of **phases**: each
+//! phase is a full [`ScenarioConfig`] (its own population mix, behaviour
+//! knobs and request budget) over a window that starts where the previous
+//! phase's ended, so [`generate`](DriftScenario::generate) yields one
+//! continuous timestamp-ordered [`LabelledLog`] whose ground truth spans
+//! the shift. [`phase_boundaries`](DriftScenario::phase_boundaries)
+//! reports where each phase begins in the combined log, so per-phase
+//! metrics (pre-shift vs post-shift precision) fall out directly.
+//!
+//! ```
+//! use divscrape_traffic::DriftScenario;
+//!
+//! // Bot-dominated week, then the stealth shift.
+//! let scenario = DriftScenario::scraper_population_shift(42, 1_200);
+//! let log = scenario.generate()?;
+//! assert_eq!(log.len(), 2_400);
+//! let bounds = scenario.phase_boundaries();
+//! assert_eq!(bounds, vec![0, 1_200]);
+//! // The first phase is far more malicious than the second.
+//! let malicious = |range: std::ops::Range<usize>| {
+//!     log.truth()[range].iter().filter(|t| t.is_malicious()).count()
+//! };
+//! assert!(malicious(0..1_200) > malicious(1_200..2_400));
+//! # Ok::<(), String>(())
+//! ```
+
+use divscrape_httplog::SECONDS_PER_DAY;
+
+use crate::{generate, LabelledLog, PopulationMix, ScenarioConfig};
+
+/// A multi-phase traffic scenario: consecutive [`ScenarioConfig`]s, each
+/// over the window right after its predecessor's, spliced by
+/// [`generate`](Self::generate) into one continuous labelled log whose
+/// population shifts at known [`phase_boundaries`](Self::phase_boundaries).
+#[derive(Debug, Clone)]
+pub struct DriftScenario {
+    phases: Vec<ScenarioConfig>,
+}
+
+impl DriftScenario {
+    /// A scenario starting with `first` as its only phase.
+    pub fn new(first: ScenarioConfig) -> Self {
+        Self {
+            phases: vec![first],
+        }
+    }
+
+    /// Appends a phase: the previous phase's configuration with a new
+    /// population `mix`, a `requests` budget, a derived seed (the phases
+    /// are distinct simulated populations) and a window starting where
+    /// the previous phase's ends.
+    pub fn then(mut self, mix: PopulationMix, requests: u64) -> Self {
+        let prev = self.phases.last().expect("at least one phase");
+        let mut next = prev.clone();
+        next.seed = prev
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
+        next.window_start = prev
+            .window_start
+            .plus_seconds(i64::from(prev.window_days) * SECONDS_PER_DAY);
+        next.mix = mix;
+        next.target_requests = requests;
+        self.phases.push(next);
+        self
+    }
+
+    /// The canonical two-phase drift: `requests_per_phase` requests of
+    /// the paper's default bot-dominated mix, then the same budget under
+    /// [`PopulationMix::stealth_shift`] — the aggressive botnet largely
+    /// gone, humans dominant, stealth scrapers and scanners up.
+    pub fn scraper_population_shift(seed: u64, requests_per_phase: u64) -> Self {
+        Self::new(ScenarioConfig::with_target(seed, requests_per_phase))
+            .then(PopulationMix::stealth_shift(), requests_per_phase)
+    }
+
+    /// The configured phases, in order.
+    pub fn phases(&self) -> &[ScenarioConfig] {
+        &self.phases
+    }
+
+    /// The feed-order index where each phase begins in the combined log
+    /// (`phase_boundaries()[i]` is the first entry of phase `i`; the
+    /// first element is always `0`).
+    pub fn phase_boundaries(&self) -> Vec<usize> {
+        let mut bounds = Vec::with_capacity(self.phases.len());
+        let mut offset = 0usize;
+        for phase in &self.phases {
+            bounds.push(offset);
+            offset += phase.target_requests as usize;
+        }
+        bounds
+    }
+
+    /// Generates every phase and splices them into one continuous
+    /// labelled log ([`LabelledLog::concat`]).
+    ///
+    /// Deterministic: the same scenario always produces the identical
+    /// log.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid phase configuration.
+    pub fn generate(&self) -> Result<LabelledLog, String> {
+        let mut phases = self.phases.iter();
+        let first = phases.next().expect("at least one phase");
+        let mut log = generate(first)?;
+        for phase in phases {
+            log = log.concat(generate(phase)?)?;
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stealth_shift_mix_is_valid_and_less_malicious() {
+        let shifted = PopulationMix::stealth_shift();
+        shifted.validate().unwrap();
+        assert!(shifted.malicious_fraction() < PopulationMix::default().malicious_fraction());
+        assert!(shifted.stealth > PopulationMix::default().stealth);
+    }
+
+    #[test]
+    fn phases_cover_consecutive_windows_in_timestamp_order() {
+        let scenario = DriftScenario::scraper_population_shift(7, 600);
+        assert_eq!(scenario.phases().len(), 2);
+        let [first, second] = scenario.phases() else {
+            panic!("two phases")
+        };
+        assert_eq!(
+            second.window_start,
+            first
+                .window_start
+                .plus_seconds(i64::from(first.window_days) * SECONDS_PER_DAY)
+        );
+        assert_ne!(first.seed, second.seed);
+
+        let log = scenario.generate().unwrap();
+        assert_eq!(log.len(), 1_200);
+        assert_eq!(log.window_days(), first.window_days + second.window_days);
+        for pair in log.entries().windows(2) {
+            assert!(pair[0].timestamp() <= pair[1].timestamp());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DriftScenario::scraper_population_shift(11, 400)
+            .generate()
+            .unwrap();
+        let b = DriftScenario::scraper_population_shift(11, 400)
+            .generate()
+            .unwrap();
+        assert_eq!(a.entries().len(), b.entries().len());
+        for (ea, eb) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(ea.to_string(), eb.to_string());
+        }
+    }
+
+    #[test]
+    fn concat_rounds_partial_day_offsets_up() {
+        // A later window starting 8.5 days after the first must report
+        // a 9 + 8 = 17-day combined window, never truncate to 16.
+        let first = ScenarioConfig::with_target(1, 300);
+        let mut second = ScenarioConfig::with_target(2, 300);
+        second.window_start = first
+            .window_start
+            .plus_seconds(i64::from(first.window_days) * SECONDS_PER_DAY + SECONDS_PER_DAY / 2);
+        let joined = generate(&first)
+            .unwrap()
+            .concat(generate(&second).unwrap())
+            .unwrap();
+        assert_eq!(
+            joined.window_days(),
+            first.window_days + 1 + second.window_days
+        );
+    }
+
+    #[test]
+    fn concat_rejects_overlapping_windows() {
+        let first = generate(&ScenarioConfig::tiny(1)).unwrap();
+        let second = generate(&ScenarioConfig::tiny(2)).unwrap();
+        // Same window: the second log starts before the first ends.
+        assert!(first.concat(second).is_err());
+    }
+
+    #[test]
+    fn extra_phases_stack() {
+        let scenario =
+            DriftScenario::scraper_population_shift(3, 300).then(PopulationMix::default(), 200);
+        assert_eq!(scenario.phase_boundaries(), vec![0, 300, 600]);
+        let log = scenario.generate().unwrap();
+        assert_eq!(log.len(), 800);
+    }
+}

@@ -93,6 +93,62 @@ impl LabelledLog {
         self.truth.iter().filter(|t| t.is_malicious()).count() as u64
     }
 
+    /// Appends a log covering a **later window** to this one, producing
+    /// one continuous timestamp-ordered log — the splice primitive
+    /// behind [`DriftScenario`](crate::DriftScenario).
+    ///
+    /// The combined window runs from this log's start to the end of the
+    /// later log's window ([`window_days`](Self::window_days) rounds a
+    /// sub-day window offset **up**, so the reported window always
+    /// covers every entry timestamp). Ground-truth client and session
+    /// ids stay
+    /// meaningful *within* their phase only (each phase is its own
+    /// simulated population; numeric ids can repeat across phases, like
+    /// recycled DHCP leases in a real log).
+    ///
+    /// ```
+    /// use divscrape_traffic::{generate, ScenarioConfig};
+    /// use divscrape_httplog::SECONDS_PER_DAY;
+    ///
+    /// let first = ScenarioConfig::tiny(1);
+    /// let mut second = ScenarioConfig::tiny(2);
+    /// second.window_start = first
+    ///     .window_start
+    ///     .plus_seconds(i64::from(first.window_days) * SECONDS_PER_DAY);
+    /// let joined = generate(&first)?.concat(generate(&second)?)?;
+    /// assert_eq!(joined.len(), 2_400);
+    /// assert_eq!(joined.window_days(), 16);
+    /// # Ok::<(), String>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Rejects a later log that starts before this one ends (the result
+    /// would not be timestamp-ordered).
+    pub fn concat(mut self, later: LabelledLog) -> Result<LabelledLog, String> {
+        if let (Some(last), Some(first)) = (self.entries.last(), later.entries.first()) {
+            if first.timestamp() < last.timestamp() {
+                return Err(format!(
+                    "later log starts at {} before this one ends at {}",
+                    first.timestamp(),
+                    last.timestamp()
+                ));
+            }
+        }
+        let offset = later.window_start - self.window_start;
+        if offset < 0 {
+            return Err("later log's window starts before this one's".into());
+        }
+        // Round a partial-day offset up: the combined window must cover
+        // the later log's whole span, not truncate its first hours.
+        let offset_days =
+            offset.div_euclid(SECONDS_PER_DAY) + i64::from(offset.rem_euclid(SECONDS_PER_DAY) != 0);
+        self.window_days = (offset_days as u32).saturating_add(later.window_days);
+        self.entries.extend(later.entries);
+        self.truth.extend(later.truth);
+        Ok(self)
+    }
+
     /// Writes the entries as Combined Log Format lines.
     ///
     /// # Errors

@@ -40,6 +40,7 @@
 pub mod actors;
 pub mod arrival;
 pub mod distrib;
+mod drift;
 mod generate;
 mod label;
 pub mod network;
@@ -48,6 +49,7 @@ mod session;
 mod site;
 pub mod useragents;
 
+pub use drift::DriftScenario;
 pub use generate::{generate, LabelledLog};
 pub use label::{ActorClass, GroundTruth};
 pub use scenario::{PopulationMix, ScenarioConfig, PAPER_TOTAL_REQUESTS};

@@ -58,6 +58,32 @@ impl Default for PopulationMix {
 }
 
 impl PopulationMix {
+    /// The **post-shift** population of a
+    /// [`DriftScenario`](crate::DriftScenario): the aggressive botnet is
+    /// largely gone (blocked, or simply moved on) and the remaining
+    /// traffic is human-dominated with a significant low-and-slow
+    /// stealth-scraper and scanner presence.
+    ///
+    /// This is the regime where an offline calibration quietly rots: a
+    /// rate-threshold member whose alerts were almost all true positives
+    /// under the default bot-dominated mix now fires mostly on
+    /// hyperactive humans, while the signature/behaviour tools keep
+    /// their precision — exactly the drift that online recalibration
+    /// (`divscrape-ensemble`) is built to absorb.
+    pub fn stealth_shift() -> Self {
+        Self {
+            human: 0.62,
+            crawler: 0.012,
+            monitor: 0.004,
+            partner: 0.008,
+            botnet_toolkit: 0.04,
+            botnet_spoofed: 0.04,
+            botnet_residential: 0.026,
+            stealth: 0.17,
+            scanner: 0.08,
+        }
+    }
+
     /// Sum of all fractions (should be ≈ 1).
     pub fn total(&self) -> f64 {
         self.human
