@@ -1,0 +1,147 @@
+//! Durable-store benches: what the append log costs on the pipeline's
+//! hot path, and what replay costs on restart.
+//!
+//! 1. **Append throughput by fsync policy** — per-record `append` vs
+//!    `append_batch` under `Never` / `OnFlush` (`Always` is measured at
+//!    a reduced record count; it is the worst case by design).
+//! 2. **Idempotent replay** — re-appending an already-stored prefix
+//!    (what a restarted exactly-once ingester does): all-duplicate
+//!    batches must be much cheaper than first-time writes.
+//! 3. **Read-back** — `records()` over a populated multi-segment store,
+//!    the retro-scoring tool's input path.
+//!
+//! Scale defaults to `small` (12k requests); set `DIVSCRAPE_BENCH_SCALE`
+//! for paper-scale runs:
+//!
+//! ```text
+//! DIVSCRAPE_BENCH_SCALE=paper cargo bench -p divscrape-bench --bench store_benches
+//! ```
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use divscrape_bench::scenario_for;
+use divscrape_store::{AlertStore, FsyncPolicy, Record, RecordKey, RecordKind, StoreConfig};
+use divscrape_traffic::LabelledLog;
+
+fn log() -> LabelledLog {
+    let scale = std::env::var("DIVSCRAPE_BENCH_SCALE").unwrap_or_else(|_| "small".to_owned());
+    let scenario = scenario_for(&scale, 5).expect("DIVSCRAPE_BENCH_SCALE");
+    divscrape_traffic::generate(&scenario).unwrap()
+}
+
+/// One store record per log entry, keyed and payloaded the way the
+/// pipeline's `StoreSink` does it.
+fn records(log: &LabelledLog) -> Vec<Record> {
+    log.entries()
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| Record {
+            key: RecordKey {
+                tenant: None,
+                client: entry.client_key(),
+                offset: i as u64,
+            },
+            kind: RecordKind::Score,
+            payload: entry.to_string().into_bytes(),
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("divscrape-storebench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(fsync: FsyncPolicy) -> StoreConfig {
+    StoreConfig::default().fsync(fsync)
+}
+
+fn bench_append(c: &mut Criterion) {
+    let log = log();
+    let all = records(&log);
+
+    let mut g = c.benchmark_group("store/append");
+    g.sample_size(10);
+    for (label, fsync, n) in [
+        ("never", FsyncPolicy::Never, all.len()),
+        ("on_flush", FsyncPolicy::OnFlush, all.len()),
+        // Syncing every record is the worst case by design; bench a
+        // slice so the group stays affordable.
+        ("always", FsyncPolicy::Always, all.len().min(512)),
+    ] {
+        let batch = &all[..n];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("one_by_one/{label}"), |b| {
+            b.iter(|| {
+                let dir = temp_dir("append");
+                let mut store = AlertStore::open(&dir, config(fsync)).unwrap();
+                for record in batch {
+                    store.append(record.clone()).unwrap();
+                }
+                store.flush().unwrap();
+                let len = store.len();
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+                len
+            })
+        });
+        g.bench_function(format!("batched/{label}"), |b| {
+            b.iter(|| {
+                let dir = temp_dir("append");
+                let mut store = AlertStore::open(&dir, config(fsync)).unwrap();
+                let summary = store.append_batch(batch.iter().cloned()).unwrap();
+                store.flush().unwrap();
+                assert_eq!(summary.appended, n as u64);
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+                summary.appended
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay_and_readback(c: &mut Criterion) {
+    let log = log();
+    let all = records(&log);
+
+    // A populated store the replay and read-back paths run against.
+    let dir = temp_dir("replay");
+    let mut store = AlertStore::open(&dir, config(FsyncPolicy::Never)).unwrap();
+    store.append_batch(all.iter().cloned()).unwrap();
+    store.flush().unwrap();
+    drop(store);
+
+    let mut g = c.benchmark_group("store/restart");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(all.len() as u64));
+    // What a restarted exactly-once ingester does: re-offer the whole
+    // already-stored prefix and let the keyed index turn it into no-ops.
+    g.bench_function("idempotent_replay", |b| {
+        let mut store = AlertStore::open(&dir, config(FsyncPolicy::Never)).unwrap();
+        b.iter(|| {
+            let summary = store.append_batch(all.iter().cloned()).unwrap();
+            assert_eq!(summary.skipped, all.len() as u64);
+            summary.skipped
+        })
+    });
+    // Open cost (index rebuild from segments) plus full record scan —
+    // the retro-scoring tool's input path.
+    g.bench_function("open_and_read_back", |b| {
+        b.iter(|| {
+            let mut store = AlertStore::open(&dir, config(FsyncPolicy::Never)).unwrap();
+            let records = store.records().unwrap();
+            assert_eq!(records.len(), all.len());
+            records.len()
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_append, bench_replay_and_readback);
+criterion_main!(benches);

@@ -6,6 +6,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use divscrape_httplog::LineFramer;
+use divscrape_store::crc32;
 
 use crate::source::{LogSource, SourceEvent};
 
@@ -44,10 +45,14 @@ const QUIET_SLEEP: Duration = Duration::from_millis(10);
 /// reports [`SourceEvent::Eof`] instead of waiting (batch mode).
 ///
 /// For restartable ingestion, [`with_checkpoint`](Self::with_checkpoint)
-/// persists `(device, inode, offset)` to a sidecar file at every quiet
-/// point and on drop, and resumes from it on the next start — see the
-/// method docs for the exact semantics across appends, rotations and
-/// truncations.
+/// persists `(device, inode, offset, delivered)` to a CRC-protected
+/// sidecar file at every quiet point and on drop, and resumes from it on
+/// the next start — see the method docs for the exact semantics across
+/// appends, rotations and truncations. For **exactly-once** delivery
+/// into an idempotent store,
+/// [`with_transactional_checkpoint`](Self::with_transactional_checkpoint)
+/// commits only on explicit [`checkpoint_now`](Self::checkpoint_now)
+/// calls and re-reads the file from its start on restart.
 ///
 /// ```
 /// use divscrape_ingest::{FileTail, LogSource, SourceEvent};
@@ -83,14 +88,45 @@ pub struct FileTail {
     truncations: u64,
     /// Checkpoint sidecar, when resumable tailing is enabled.
     checkpoint: Option<CheckpointSidecar>,
+    /// Transactional mode: automatic checkpoints (quiet points, drop)
+    /// are disabled and resume always re-reads from the file's start.
+    transactional: bool,
+    /// Lines delivered by this tail so far (including truncated-line
+    /// markers). Restored from the sidecar on a plain-checkpoint resume.
+    lines_delivered: u64,
+    /// Lines the previous run committed, per the resumed sidecar
+    /// (transactional mode only; see [`FileTail::committed_lines`]).
+    committed: u64,
+    /// Whether resume found the sidecar present but unreadable.
+    sidecar_recovered: bool,
 }
 
 /// The sidecar a resumable tail persists its position to.
 #[derive(Debug)]
 struct CheckpointSidecar {
     path: PathBuf,
-    /// Last `(identity, offset)` written, to skip no-op rewrites.
-    written: Option<(FileId, u64)>,
+    /// Last `(identity, offset, delivered)` written, to skip no-op
+    /// rewrites.
+    written: Option<(FileId, u64, u64)>,
+}
+
+/// What [`read_checkpoint`] found in a sidecar file.
+enum SidecarState {
+    /// No sidecar: first ever run, the constructor's position stands.
+    Missing,
+    /// A sidecar exists but cannot be trusted (torn write, bad
+    /// checksum, unknown format): re-read the file from its start
+    /// rather than skip anything silently.
+    Garbled,
+    /// A well-formed checkpoint.
+    Valid {
+        /// Identity of the file the checkpoint belongs to.
+        id: FileId,
+        /// First byte not yet delivered as a line.
+        offset: u64,
+        /// Lines delivered up to the checkpoint (`0` for v1 sidecars).
+        delivered: u64,
+    },
 }
 
 /// What [`FileTail::check_rollover`] found at end-of-file.
@@ -218,6 +254,10 @@ impl FileTail {
             rotations: 0,
             truncations: 0,
             checkpoint: None,
+            transactional: false,
+            lines_delivered: 0,
+            committed: 0,
+            sidecar_recovered: false,
         })
     }
 
@@ -227,7 +267,8 @@ impl FileTail {
     /// (matching device + inode) — reading resumes from the recorded
     /// offset instead of the constructor's starting position.
     ///
-    /// What is persisted is `(device, inode, offset)` where `offset` is
+    /// What is persisted is `(device, inode, offset, lines delivered)`
+    /// under a CRC32 checksum, where `offset` is
     /// the first byte **not yet delivered** as a line: a half-line
     /// buffered at checkpoint time is re-read (and delivered exactly
     /// once) after the restart. Persistence happens at every quiet
@@ -259,6 +300,14 @@ impl FileTail {
     /// length check above. On busy logs prefer rename-based rotation,
     /// which the identity check catches regardless of timing.
     ///
+    /// A sidecar whose content is present but unreadable — torn write,
+    /// checksum mismatch, unknown format — is **not** treated as "no
+    /// checkpoint": that would let `follow` mode seek to the end and
+    /// silently skip everything written while the ingester was down.
+    /// Instead the file is re-read from its start (at-least-once, never
+    /// silent loss) and [`sidecar_recovered`](Self::sidecar_recovered)
+    /// reports the fallback.
+    ///
     /// Call this before the first [`poll`](LogSource::poll); applying a
     /// checkpoint to a partially consumed tail would skip or repeat
     /// lines.
@@ -267,26 +316,131 @@ impl FileTail {
     ///
     /// Fails when the sidecar exists but cannot be read, or the tailed
     /// file cannot be repositioned.
-    pub fn with_checkpoint(mut self, sidecar: impl AsRef<Path>) -> io::Result<Self> {
-        let sidecar = sidecar.as_ref().to_path_buf();
+    pub fn with_checkpoint(self, sidecar: impl AsRef<Path>) -> io::Result<Self> {
+        self.attach_sidecar(sidecar.as_ref(), false)
+    }
+
+    /// Makes this tail resumable with **transactional** commit
+    /// semantics, for exactly-once delivery into an idempotent store
+    /// (see `divscrape_pipeline::StoreSink`):
+    ///
+    /// * **No automatic checkpoints.** Quiet points and drop persist
+    ///   nothing; [`checkpoint_now`](Self::checkpoint_now) — called
+    ///   *after* the downstream pipeline has drained and its sinks have
+    ///   flushed — is the only commit path. The sidecar therefore never
+    ///   runs ahead of the durable store.
+    /// * **Resume re-reads from the file's start**, not the recorded
+    ///   offset. Detectors are stateful per client; a kill loses that
+    ///   state, and replaying only the uncommitted suffix would score
+    ///   it against empty state. Re-reading the whole file re-warms the
+    ///   detectors deterministically, and the store's keyed idempotent
+    ///   appends turn the re-inserted prefix into no-ops — the store
+    ///   ends bit-identical to an uninterrupted run.
+    /// * A valid sidecar still matters: its identity detects rotation
+    ///   while down, and its delivered count is exposed as
+    ///   [`committed_lines`](Self::committed_lines) so operators can
+    ///   tell replayed prefix from new work.
+    ///
+    /// Use it with [`read_to_end`](Self::read_to_end) or
+    /// [`follow_from_start`](Self::follow_from_start); a
+    /// [`follow`](Self::follow) tail starts at the end on its *first*
+    /// run (no sidecar yet), which breaks the re-read-from-start
+    /// invariant.
+    ///
+    /// ```
+    /// use divscrape_ingest::{FileTail, LogSource, SourceEvent};
+    /// use std::time::Duration;
+    ///
+    /// let dir = std::env::temp_dir();
+    /// let path = dir.join(format!("divscrape-txn-doc-{}.log", std::process::id()));
+    /// let sidecar = dir.join(format!("divscrape-txn-doc-{}.ckpt", std::process::id()));
+    /// let line = r#"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 200 12 "-" "curl/7.58.0""#;
+    /// std::fs::write(&path, format!("{line}\n"))?;
+    ///
+    /// let mut tail = FileTail::read_to_end(&path)?.with_transactional_checkpoint(&sidecar)?;
+    /// assert!(matches!(tail.poll(Duration::from_millis(20))?, SourceEvent::Line(_)));
+    /// tail.checkpoint_now()?; // the only way a transactional tail commits
+    /// assert_eq!(tail.lines_delivered(), 1);
+    ///
+    /// // A restarted transactional tail re-reads from the file's start
+    /// // and reports how much of that is committed replay.
+    /// drop(tail);
+    /// let mut again = FileTail::read_to_end(&path)?.with_transactional_checkpoint(&sidecar)?;
+    /// assert_eq!(again.committed_lines(), 1);
+    /// assert!(matches!(again.poll(Duration::from_millis(20))?, SourceEvent::Line(_)));
+    /// std::fs::remove_file(&path)?;
+    /// std::fs::remove_file(&sidecar)?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sidecar exists but cannot be read, or the tailed
+    /// file cannot be repositioned.
+    pub fn with_transactional_checkpoint(self, sidecar: impl AsRef<Path>) -> io::Result<Self> {
+        self.attach_sidecar(sidecar.as_ref(), true)
+    }
+
+    /// Shared resume logic of [`with_checkpoint`](Self::with_checkpoint)
+    /// and
+    /// [`with_transactional_checkpoint`](Self::with_transactional_checkpoint).
+    fn attach_sidecar(mut self, sidecar: &Path, transactional: bool) -> io::Result<Self> {
+        let sidecar = sidecar.to_path_buf();
+        self.transactional = transactional;
         if identity_is_reliable() {
-            if let Some((id, offset)) = read_checkpoint(&sidecar)? {
-                if let (Some(file), Some(current)) = (&mut self.file, self.identity) {
-                    let len = file.metadata()?.len();
-                    // Same file and the offset still exists → resume
-                    // there. Rotated away (identity mismatch) or
-                    // truncated below the offset → everything now in
-                    // the file postdates the last delivery: read it
-                    // from the start, even in `follow` mode (which
-                    // would otherwise seek to the end and silently drop
-                    // the lines written while we were down).
-                    let resume = if current == id && offset <= len {
-                        offset
-                    } else {
-                        0
-                    };
-                    file.seek(SeekFrom::Start(resume))?;
-                    self.pos = resume;
+            match read_checkpoint(&sidecar)? {
+                SidecarState::Missing => {} // first run: constructor position stands
+                SidecarState::Garbled => {
+                    // A checkpoint existed but is unreadable: nothing in
+                    // the file can be proven delivered, so re-read it
+                    // all rather than skip anything silently.
+                    if let Some(file) = &mut self.file {
+                        file.seek(SeekFrom::Start(0))?;
+                    }
+                    self.pos = 0;
+                    self.sidecar_recovered = true;
+                }
+                SidecarState::Valid {
+                    id,
+                    offset,
+                    delivered,
+                } => {
+                    if transactional {
+                        // Resume ALWAYS re-reads from the start (see the
+                        // method docs); the checkpoint contributes the
+                        // rotation check and the replay telemetry.
+                        if let Some(file) = &mut self.file {
+                            file.seek(SeekFrom::Start(0))?;
+                        }
+                        self.pos = 0;
+                        // After a rotation the old file's commits do not
+                        // cover one byte of the replacement.
+                        self.committed = if self.identity == Some(id) {
+                            delivered
+                        } else {
+                            0
+                        };
+                    } else if let (Some(file), Some(current)) = (&mut self.file, self.identity) {
+                        let len = file.metadata()?.len();
+                        // Same file and the offset still exists → resume
+                        // there. Rotated away (identity mismatch) or
+                        // truncated below the offset → everything now in
+                        // the file postdates the last delivery: read it
+                        // from the start, even in `follow` mode (which
+                        // would otherwise seek to the end and silently
+                        // drop the lines written while we were down).
+                        let resume = if current == id && offset <= len {
+                            offset
+                        } else {
+                            0
+                        };
+                        file.seek(SeekFrom::Start(resume))?;
+                        self.pos = resume;
+                        // Keep the delivered count monotonic across
+                        // restarts (the rotated/truncated fallbacks only
+                        // deliver lines that postdate the count).
+                        self.lines_delivered = delivered;
+                    }
                 }
             }
         }
@@ -317,23 +471,35 @@ impl FileTail {
         let Some(identity) = self.identity else {
             return Ok(()); // between rotations: nothing stable to record
         };
+        let delivered = self.lines_delivered;
         let Some(sidecar) = &mut self.checkpoint else {
             return Ok(());
         };
-        if sidecar.written == Some((identity, offset)) {
+        if sidecar.written == Some((identity, offset, delivered)) {
             return Ok(()); // unchanged: skip the write
         }
         let (dev, ino) = identity.to_pair();
+        // `v2 <dev> <ino> <offset> <delivered> <crc32-of-those-fields>`:
+        // the checksum lets a restart distinguish a torn sidecar write
+        // from a sound checkpoint (a torn v2 line falls back to
+        // re-reading the file, never to trusting a garbled offset).
+        let body = format!("{dev} {ino} {offset} {delivered}");
+        let crc = crc32(body.as_bytes());
         let tmp = sidecar.path.with_extension("tmp");
-        std::fs::write(&tmp, format!("v1 {dev} {ino} {offset}\n"))?;
+        std::fs::write(&tmp, format!("v2 {body} {crc}\n"))?;
         std::fs::rename(&tmp, &sidecar.path)?;
-        sidecar.written = Some((identity, offset));
+        sidecar.written = Some((identity, offset, delivered));
         Ok(())
     }
 
     /// Best-effort checkpoint at quiet points; persistence failures must
-    /// not take a live tail down (the next quiet point retries).
+    /// not take a live tail down (the next quiet point retries). A
+    /// transactional tail never checkpoints implicitly — commits go
+    /// through [`checkpoint_now`](Self::checkpoint_now) alone.
     fn checkpoint_quietly(&mut self) {
+        if self.transactional {
+            return;
+        }
         if self.checkpoint.is_some() {
             let _ = self.checkpoint_now();
         }
@@ -361,6 +527,29 @@ impl FileTail {
     /// In-place truncations survived so far.
     pub fn truncations(&self) -> u64 {
         self.truncations
+    }
+
+    /// Lines delivered by this tail (truncated-line discards included).
+    /// With a plain [`with_checkpoint`](Self::with_checkpoint) resume
+    /// the count continues from the sidecar's, staying monotonic across
+    /// restarts; a transactional resume recounts from the file's start.
+    pub fn lines_delivered(&self) -> u64 {
+        self.lines_delivered
+    }
+
+    /// Lines the *previous* run had committed before this transactional
+    /// resume — the prefix of [`lines_delivered`](Self::lines_delivered)
+    /// that is replay of already-stored work. Zero outside transactional
+    /// mode, on a first run, and after a rotation while down.
+    pub fn committed_lines(&self) -> u64 {
+        self.committed
+    }
+
+    /// Whether resume found the sidecar present but unreadable (torn
+    /// write, checksum mismatch) and fell back to re-reading the file
+    /// from its start.
+    pub fn sidecar_recovered(&self) -> bool {
+        self.sidecar_recovered
     }
 
     /// Reads one buffer's worth from the open file into the framer.
@@ -432,26 +621,54 @@ impl FileTail {
     }
 }
 
-/// Parses a sidecar file: `v1 <dev> <ino> <offset>`. A missing or
-/// garbled sidecar yields `None` (start fresh) — only a real read
-/// failure is an error.
-fn read_checkpoint(path: &Path) -> io::Result<Option<(FileId, u64)>> {
+/// Parses a sidecar file. Two formats are understood:
+///
+/// * `v2 <dev> <ino> <offset> <delivered> <crc32>` — current, where the
+///   checksum covers `"<dev> <ino> <offset> <delivered>"`;
+/// * `v1 <dev> <ino> <offset>` — legacy, accepted with `delivered = 0`.
+///
+/// Anything else that is *present* — torn write, checksum mismatch,
+/// unknown version — is [`SidecarState::Garbled`], never silently
+/// "missing": the caller must fall back to re-reading the file, not to
+/// skipping it. Only a real read failure is an error.
+fn read_checkpoint(path: &Path) -> io::Result<SidecarState> {
     let content = match std::fs::read_to_string(path) {
         Ok(content) => content,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(SidecarState::Missing),
         Err(e) => return Err(e),
     };
-    let mut parts = content.split_whitespace();
-    if parts.next() != Some("v1") {
-        return Ok(None);
-    }
-    let parsed: Option<(u64, u64, u64)> = (|| {
-        let dev = parts.next()?.parse().ok()?;
-        let ino = parts.next()?.parse().ok()?;
-        let offset = parts.next()?.parse().ok()?;
-        Some((dev, ino, offset))
-    })();
-    Ok(parsed.map(|(dev, ino, offset)| (FileId::from_pair((dev, ino)), offset)))
+    let fields: Vec<&str> = content.split_whitespace().collect();
+    let parsed: Option<(u64, u64, u64, u64)> = match fields.as_slice() {
+        ["v1", dev, ino, offset] => (|| {
+            Some((
+                dev.parse().ok()?,
+                ino.parse().ok()?,
+                offset.parse().ok()?,
+                0,
+            ))
+        })(),
+        ["v2", dev, ino, offset, delivered, crc] => (|| {
+            let expected: u32 = crc.parse().ok()?;
+            if crc32(format!("{dev} {ino} {offset} {delivered}").as_bytes()) != expected {
+                return None;
+            }
+            Some((
+                dev.parse().ok()?,
+                ino.parse().ok()?,
+                offset.parse().ok()?,
+                delivered.parse().ok()?,
+            ))
+        })(),
+        _ => None,
+    };
+    Ok(match parsed {
+        Some((dev, ino, offset, delivered)) => SidecarState::Valid {
+            id: FileId::from_pair((dev, ino)),
+            offset,
+            delivered,
+        },
+        None => SidecarState::Garbled,
+    })
 }
 
 impl Drop for FileTail {
@@ -471,6 +688,7 @@ impl LogSource for FileTail {
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(framed) = self.framer.next_line() {
+                self.lines_delivered += 1;
                 return Ok(framed.into());
             }
             if self.fill()? > 0 {
@@ -482,6 +700,7 @@ impl LogSource for FileTail {
                     // Flush the old file's unterminated last line before
                     // any byte of the replacement reaches the framer.
                     if let Some(framed) = self.framer.finish() {
+                        self.lines_delivered += 1;
                         return Ok(framed.into());
                     }
                     continue;
@@ -492,6 +711,7 @@ impl LogSource for FileTail {
             if !self.follow {
                 self.finished = true;
                 if let Some(framed) = self.framer.finish() {
+                    self.lines_delivered += 1;
                     return Ok(framed.into());
                 }
                 self.checkpoint_quietly();
@@ -634,5 +854,176 @@ mod tests {
         std::fs::write(&path, &body).unwrap();
         let tail = FileTail::follow_from_start(&path).unwrap();
         assert_eq!(tail.backlog(), Some(body.len() as u64));
+    }
+
+    /// Sidecar path next to a log path.
+    fn sidecar_for(path: &Path) -> PathBuf {
+        path.with_extension("ckpt")
+    }
+
+    #[test]
+    fn checkpoint_resumes_after_restart_and_keeps_delivered_monotonic() {
+        let path = temp_path("ckpt-resume");
+        let sidecar = sidecar_for(&path);
+        let _cleanup = Cleanup(path.clone());
+        let _cleanup2 = Cleanup(sidecar.clone());
+        let body: String = (0..6).map(|i| format!("{}\n", line(i))).collect();
+        std::fs::write(&path, body).unwrap();
+
+        let mut tail = FileTail::read_to_end(&path)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        assert_eq!(collect(&mut tail, 4), (0..4).map(line).collect::<Vec<_>>());
+        tail.checkpoint_now().unwrap();
+        assert_eq!(tail.lines_delivered(), 4);
+        drop(tail); // drop re-checkpoints at the same position (no-op)
+
+        let mut resumed = FileTail::read_to_end(&path)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        assert!(!resumed.sidecar_recovered());
+        assert_eq!(resumed.lines_delivered(), 4, "count restored from sidecar");
+        assert_eq!(collect(&mut resumed, 2), vec![line(4), line(5)]);
+        assert_eq!(resumed.lines_delivered(), 6);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn legacy_v1_sidecar_still_resumes() {
+        use std::os::unix::fs::MetadataExt;
+        let path = temp_path("ckpt-v1");
+        let sidecar = sidecar_for(&path);
+        let _cleanup = Cleanup(path.clone());
+        let _cleanup2 = Cleanup(sidecar.clone());
+        let first = format!("{}\n", line(0));
+        let body = format!("{first}{}\n", line(1));
+        std::fs::write(&path, &body).unwrap();
+        let meta = std::fs::metadata(&path).unwrap();
+        std::fs::write(
+            &sidecar,
+            format!("v1 {} {} {}\n", meta.dev(), meta.ino(), first.len()),
+        )
+        .unwrap();
+
+        let mut tail = FileTail::read_to_end(&path)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        assert_eq!(tail.lines_delivered(), 0, "v1 carries no delivered count");
+        assert_eq!(collect(&mut tail, 1), vec![line(1)]);
+        assert_eq!(
+            tail.poll(Duration::from_millis(5)).unwrap(),
+            SourceEvent::Eof
+        );
+    }
+
+    #[test]
+    fn torn_sidecar_falls_back_to_rereading_from_the_start() {
+        let path = temp_path("ckpt-torn");
+        let sidecar = sidecar_for(&path);
+        let _cleanup = Cleanup(path.clone());
+        let _cleanup2 = Cleanup(sidecar.clone());
+        let body: String = (0..3).map(|i| format!("{}\n", line(i))).collect();
+        std::fs::write(&path, body).unwrap();
+
+        // A checkpoint gets written, then torn mid-write: keep only a
+        // prefix of the sidecar's content.
+        let mut tail = FileTail::read_to_end(&path)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        let _ = collect(&mut tail, 3);
+        tail.checkpoint_now().unwrap();
+        drop(tail);
+        let full = std::fs::read_to_string(&sidecar).unwrap();
+        std::fs::write(&sidecar, &full[..full.len() / 2]).unwrap();
+
+        // `follow` would normally seek to the end; the torn sidecar must
+        // force a full re-read instead of silently skipping everything.
+        let mut recovered = FileTail::follow(&path)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        assert!(recovered.sidecar_recovered());
+        assert_eq!(
+            collect(&mut recovered, 3),
+            (0..3).map(line).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn checksum_mismatch_is_garbled_not_trusted() {
+        let path = temp_path("ckpt-crc");
+        let sidecar = sidecar_for(&path);
+        let _cleanup = Cleanup(path.clone());
+        let _cleanup2 = Cleanup(sidecar.clone());
+        std::fs::write(&path, format!("{}\n", line(0))).unwrap();
+
+        let mut tail = FileTail::read_to_end(&path)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        let _ = collect(&mut tail, 1);
+        tail.checkpoint_now().unwrap();
+        drop(tail);
+        // Corrupt one digit of the offset field, leaving the line
+        // well-formed: only the checksum can catch this.
+        let full = std::fs::read_to_string(&sidecar).unwrap();
+        let mut fields: Vec<String> = full.split_whitespace().map(str::to_owned).collect();
+        fields[3] = format!("{}", fields[3].parse::<u64>().unwrap() + 1);
+        std::fs::write(&sidecar, format!("{}\n", fields.join(" "))).unwrap();
+
+        let recovered = FileTail::read_to_end(&path)
+            .unwrap()
+            .with_checkpoint(&sidecar)
+            .unwrap();
+        assert!(recovered.sidecar_recovered());
+    }
+
+    #[test]
+    fn transactional_tail_rereads_from_start_and_never_autocommits() {
+        let path = temp_path("ckpt-txn");
+        let sidecar = sidecar_for(&path);
+        let _cleanup = Cleanup(path.clone());
+        let _cleanup2 = Cleanup(sidecar.clone());
+        let body: String = (0..4).map(|i| format!("{}\n", line(i))).collect();
+        std::fs::write(&path, body).unwrap();
+
+        // Deliver everything but never call checkpoint_now: neither the
+        // quiet point at EOF nor the drop may write a sidecar.
+        let mut tail = FileTail::read_to_end(&path)
+            .unwrap()
+            .with_transactional_checkpoint(&sidecar)
+            .unwrap();
+        let _ = collect(&mut tail, 4);
+        assert_eq!(
+            tail.poll(Duration::from_millis(5)).unwrap(),
+            SourceEvent::Eof
+        );
+        drop(tail);
+        assert!(!sidecar.exists(), "transactional tails never auto-commit");
+
+        // Commit explicitly mid-file, then restart: the tail re-reads
+        // from the start and reports the committed prefix.
+        let mut tail = FileTail::read_to_end(&path)
+            .unwrap()
+            .with_transactional_checkpoint(&sidecar)
+            .unwrap();
+        let _ = collect(&mut tail, 3);
+        tail.checkpoint_now().unwrap();
+        drop(tail);
+
+        let mut restarted = FileTail::read_to_end(&path)
+            .unwrap()
+            .with_transactional_checkpoint(&sidecar)
+            .unwrap();
+        assert_eq!(restarted.committed_lines(), 3);
+        assert_eq!(restarted.lines_delivered(), 0, "recounts from the start");
+        assert_eq!(
+            collect(&mut restarted, 4),
+            (0..4).map(line).collect::<Vec<_>>()
+        );
     }
 }

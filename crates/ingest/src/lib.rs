@@ -33,9 +33,17 @@
 //!   [`PipelineHub`](divscrape_pipeline::PipelineHub) — one isolated
 //!   pipeline per tenant.
 //! * [`FileTail`] can persist a **checkpoint** (file identity + byte
-//!   offset, [`FileTail::with_checkpoint`]) so a restarted ingester
-//!   resumes exactly where the previous one stopped, across appends and
-//!   rotations.
+//!   offset + delivered count, CRC-protected;
+//!   [`FileTail::with_checkpoint`]) so a restarted ingester resumes
+//!   exactly where the previous one stopped, across appends and
+//!   rotations — a torn sidecar falls back to re-reading the file, never
+//!   to skipping it. For **exactly-once** delivery into the durable
+//!   store, [`FileTail::with_transactional_checkpoint`] +
+//!   [`IngestDriver::run_checkpointed`] commit the sidecar only after
+//!   the pipeline has drained and its sinks flushed, and re-read the
+//!   file from its start on restart: with a keyed idempotent
+//!   `StoreSink` downstream, a kill/restart mid-stream yields store
+//!   contents bit-identical to an uninterrupted run.
 //!
 //! Everything is built on `std` threads and bounded channels — the same
 //! idiom as the pipeline's worker pool; no async runtime. Backpressure

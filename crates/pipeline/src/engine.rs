@@ -46,7 +46,7 @@ use divscrape_ensemble::{AlertVector, Recalibrator};
 use divscrape_httplog::LogEntry;
 
 use crate::builder::{Adjudication, BuildError, LabelOracle, Rule};
-use crate::sink::{Alert, AlertSink};
+use crate::sink::{Alert, AlertSink, ScoredEntry};
 use crate::stats::{PipelineStats, RuntimeUpdates};
 use crate::PipelineDetector;
 
@@ -606,10 +606,23 @@ impl Pipeline {
             Rule::Weighted(rule) => (Some(rule.weights().to_vec()), Some(rule.threshold())),
             Rule::KOutOfN(_) => (None, None),
         };
+        let mut spool_depth = 0u64;
+        let mut spool_bytes_high_water = 0u64;
+        let mut replayed_alerts = 0u64;
+        for sink in &self.sinks {
+            if let Some(telemetry) = sink.sink_telemetry() {
+                spool_depth += telemetry.spool_depth();
+                spool_bytes_high_water += telemetry.spool_bytes_high_water();
+                replayed_alerts += telemetry.replayed();
+            }
+        }
         PipelineStats {
             current_weights,
             current_threshold,
             runtime_updates: self.stats.updates,
+            spool_depth,
+            spool_bytes_high_water,
+            replayed_alerts,
             entries_processed: self.finalized,
             entries_pending: self.buffer.len() + inflight_entries,
             chunks_processed: self.stats.chunks,
@@ -1029,18 +1042,45 @@ impl Pipeline {
             let sink_started = Instant::now();
             // Cheap Arc clone: frees `self.sinks` for the mutable loop.
             let tenant = self.tenant.clone();
+            // Sinks that asked for every finalized entry (the durable
+            // store); the per-entry record is only assembled when at
+            // least one is present.
+            let entry_sinks: Vec<usize> = self
+                .sinks
+                .iter()
+                .enumerate()
+                .filter_map(|(i, sink)| sink.wants_entries().then_some(i))
+                .collect();
             let mut votes = vec![false; n_detectors];
             let mut scores = vec![0.0f32; n_detectors];
             for (i, entry) in chunk.iter().enumerate() {
-                if combined_bools[i] {
-                    for (vote, member) in votes.iter_mut().zip(&member_bools) {
-                        *vote = member[i];
+                let alerted = combined_bools[i];
+                if !alerted && entry_sinks.is_empty() {
+                    continue;
+                }
+                for (vote, member) in votes.iter_mut().zip(&member_bools) {
+                    *vote = member[i];
+                }
+                for (score, column) in scores.iter_mut().zip(&columns) {
+                    *score = column[i].confidence();
+                }
+                let index = self.finalized + i as u64;
+                if !entry_sinks.is_empty() {
+                    let record = ScoredEntry {
+                        index,
+                        tenant: tenant.as_ref(),
+                        entry,
+                        alerted,
+                        votes: &votes,
+                        scores: &scores,
+                    };
+                    for &si in &entry_sinks {
+                        self.sinks[si].on_entry(&record);
                     }
-                    for (score, column) in scores.iter_mut().zip(&columns) {
-                        *score = column[i].confidence();
-                    }
+                }
+                if alerted {
                     let alert = Alert {
-                        index: self.finalized + i as u64,
+                        index,
                         tenant: tenant.as_ref(),
                         entry,
                         votes: &votes,

@@ -54,7 +54,7 @@
 //!   aggregate counters ([`HubStats`]), and can apportion one global
 //!   eviction budget across tenants by live-client share.
 //! * [`drain`](Pipeline::drain) flushes and returns a [`PipelineReport`]
-//!   with the adjudicated [`AlertVector`](divscrape_ensemble::AlertVector)
+//!   with the adjudicated [`AlertVector`]
 //!   plus one per member, ready for the contingency/diversity analyses in
 //!   `divscrape-ensemble`.
 //!
@@ -123,23 +123,29 @@
 mod builder;
 mod engine;
 mod hub;
+mod record;
 mod sink;
 mod stats;
+mod store_sink;
 
 pub use builder::{Adjudication, BuildError, LabelOracle, PipelineBuilder};
 pub use engine::{AppliedRuleUpdate, Pipeline, PipelineReport};
 pub use hub::{HubBuildError, HubBuilder, HubReport, HubStats, PipelineHub, TenantStats};
+pub use record::{AlertParseError, AlertRecord, ScoreRecord};
 pub use sink::{
-    Alert, AlertSink, CollectingSink, CountingSink, JsonLinesSink, SinkTelemetry, TcpSink,
+    Alert, AlertSink, CollectingSink, CountingSink, JsonLinesSink, ScoredEntry, SinkTelemetry,
+    TcpSink,
 };
 pub use stats::{PipelineStats, RuntimeUpdates};
+pub use store_sink::{RecordPolicy, StoreSink};
 
 // Re-exported so pipeline deployments can configure state eviction and
 // tenancy without depending on `divscrape-detect` directly.
 pub use divscrape_detect::{EvictionConfig, EvictionStats, TenantId};
-// Re-exported so deployments can configure online recalibration without
-// depending on `divscrape-ensemble` directly.
-pub use divscrape_ensemble::{RecalibrationPolicy, Recalibrator, WeightUpdate};
+// Re-exported so deployments can configure online recalibration and
+// post-process [`PipelineReport`]s without depending on
+// `divscrape-ensemble` directly.
+pub use divscrape_ensemble::{AlertVector, RecalibrationPolicy, Recalibrator, WeightUpdate};
 
 use divscrape_detect::Detector;
 

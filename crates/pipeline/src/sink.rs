@@ -1,19 +1,25 @@
 //! Alert sinks: where adjudicated alerts go.
 //!
 //! Beyond the in-memory [`CountingSink`]/[`CollectingSink`] test
-//! helpers, two production backends ship here: [`JsonLinesSink`]
-//! (append alerts to a file, one JSON object per line) and [`TcpSink`]
-//! (stream the same lines to a TCP collector) — so a pipeline can be
-//! file/socket in *and* file/socket out.
+//! helpers, three production backends ship: [`JsonLinesSink`] (append
+//! alerts to a file, one JSON object per line), [`TcpSink`] (stream the
+//! same lines to a TCP collector, optionally spooling to disk while the
+//! collector is down) and [`StoreSink`](crate::StoreSink) (append to the
+//! embedded durable store) — so a pipeline can be file/socket in *and*
+//! file/socket/store out.
 
-use std::io::{BufWriter, Write};
+use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use divscrape_detect::TenantId;
 use divscrape_httplog::LogEntry;
+use divscrape_store::{SpoolQueue, StoreConfig};
+
+use crate::record::{parse_alert_record, AlertParseError, AlertRecord};
 
 /// One adjudicated alert, borrowed from the chunk being flushed.
 #[derive(Debug, Clone, Copy)]
@@ -72,31 +78,115 @@ impl Alert<'_> {
         push_json_escaped(&mut out, self.entry.request().path().as_str());
         out.push_str("\",\"status\":");
         out.push_str(&self.entry.status().as_u16().to_string());
-        out.push_str(",\"votes\":[");
-        for (i, vote) in self.votes.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(if *vote { "true" } else { "false" });
+        out.push_str(",\"votes\":");
+        push_votes(&mut out, self.votes);
+        out.push_str(",\"scores\":");
+        push_scores(&mut out, self.scores);
+        out.push('}');
+        out
+    }
+
+    /// Parses one [`to_json`](Self::to_json) line back into an owned
+    /// [`AlertRecord`] — the inverse used by collectors and the retro
+    /// tool. Round-trips byte-for-byte: `record.to_json()` reproduces
+    /// the input line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlertParseError`] on malformed JSON, unknown fields or
+    /// missing required fields.
+    ///
+    /// ```
+    /// use divscrape_pipeline::Alert;
+    ///
+    /// let line = r#"{"index":0,"time":"11/Mar/2018:06:25:14 +0000","client":"10.0.0.9","agent":"curl","method":"GET","path":"/","status":200,"votes":[true],"scores":[0.80]}"#;
+    /// let record = Alert::from_json(line)?;
+    /// assert_eq!(record.scores, vec![0.8]);
+    /// assert_eq!(record.to_json(), line);
+    /// # Ok::<(), divscrape_pipeline::AlertParseError>(())
+    /// ```
+    pub fn from_json(json: &str) -> Result<AlertRecord, AlertParseError> {
+        parse_alert_record(json)
+    }
+}
+
+/// Renders `votes` as a JSON bool array, appending to `out`.
+pub(crate) fn push_votes(out: &mut String, votes: &[bool]) {
+    out.push('[');
+    for (i, vote) in votes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
         }
-        out.push_str("],\"scores\":[");
-        for (i, score) in self.scores.iter().enumerate() {
-            use std::fmt::Write as _;
-            if i > 0 {
-                out.push(',');
-            }
-            // Two decimals keep the line compact; confidences live in
-            // [0, 1] so nothing is lost that triage would rank by.
-            // (Formatting into a String cannot fail.)
-            let _ = write!(out, "{score:.2}");
+        out.push_str(if *vote { "true" } else { "false" });
+    }
+    out.push(']');
+}
+
+/// Renders `scores` as a JSON number array with two decimals, appending
+/// to `out`. Two decimals keep the line compact; confidences live in
+/// [0, 1] so nothing is lost that triage would rank by.
+pub(crate) fn push_scores(out: &mut String, scores: &[f32]) {
+    use std::fmt::Write as _;
+    out.push('[');
+    for (i, score) in scores.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
         }
-        out.push_str("]}");
+        // Formatting into a String cannot fail.
+        let _ = write!(out, "{score:.2}");
+    }
+    out.push(']');
+}
+
+/// One finalized entry with its member votes and scores — alerting or
+/// not — delivered to sinks that opted in via
+/// [`AlertSink::wants_entries`]. This is the full per-entry history the
+/// durable store keeps so offline tooling can re-adjudicate it.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoredEntry<'a> {
+    /// 0-based position of the entry in the pipeline's feed order.
+    pub index: u64,
+    /// The owning tenant, `None` for single-tenant deployments.
+    pub tenant: Option<&'a TenantId>,
+    /// The finalized log entry.
+    pub entry: &'a LogEntry,
+    /// Whether the live rule alerted on this entry.
+    pub alerted: bool,
+    /// Which members voted to alert, in composition order.
+    pub votes: &'a [bool],
+    /// Per-member confidence scores, parallel to `votes`.
+    pub scores: &'a [f32],
+}
+
+impl ScoredEntry<'_> {
+    /// Renders this record as one self-contained JSON object (no
+    /// trailing newline), carrying the entry's full CLF `line` so the
+    /// entry can be re-parsed offline. The inverse is
+    /// [`ScoreRecord::from_json`](crate::ScoreRecord::from_json).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(200);
+        out.push_str("{\"index\":");
+        out.push_str(&self.index.to_string());
+        if let Some(tenant) = self.tenant {
+            out.push_str(",\"tenant\":\"");
+            push_json_escaped(&mut out, tenant.as_str());
+            out.push('"');
+        }
+        out.push_str(",\"alerted\":");
+        out.push_str(if self.alerted { "true" } else { "false" });
+        out.push_str(",\"votes\":");
+        push_votes(&mut out, self.votes);
+        out.push_str(",\"scores\":");
+        push_scores(&mut out, self.scores);
+        out.push_str(",\"line\":\"");
+        push_json_escaped(&mut out, &self.entry.to_string());
+        out.push_str("\"}");
         out
     }
 }
 
 /// Appends `s` to `out` with JSON string escaping.
-fn push_json_escaped(out: &mut String, s: &str) {
+pub(crate) fn push_json_escaped(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -129,6 +219,27 @@ pub trait AlertSink: Send {
     /// (files, sockets) flush here so a drained pipeline's alerts are
     /// durably out the door; the default is a no-op.
     fn flush(&mut self) {}
+
+    /// Called once per finalized entry — alerting or not — when
+    /// [`wants_entries`](Self::wants_entries) returns `true`. The store
+    /// sink records these so stored history can be re-adjudicated
+    /// offline; the default ignores them.
+    fn on_entry(&mut self, _record: &ScoredEntry<'_>) {}
+
+    /// Opts in to per-entry [`on_entry`](Self::on_entry) callbacks. The
+    /// pipeline only assembles [`ScoredEntry`] values when at least one
+    /// sink wants them, so the default (`false`) keeps the common
+    /// alert-only path free of the overhead.
+    fn wants_entries(&self) -> bool {
+        false
+    }
+
+    /// This sink's delivery counters, if it keeps any. Lets
+    /// [`PipelineStats`](crate::PipelineStats) surface spool depth and
+    /// replay progress without knowing concrete sink types.
+    fn sink_telemetry(&self) -> Option<SinkTelemetry> {
+        None
+    }
 }
 
 impl<F: FnMut(&Alert<'_>) + Send> AlertSink for F {
@@ -202,10 +313,18 @@ impl AlertSink for CollectingSink {
 /// Delivery counters shared by the I/O-backed sinks, observable from
 /// outside the pipeline through [`SinkTelemetry`].
 #[derive(Debug, Default)]
-struct SinkCounters {
-    written: AtomicU64,
-    errors: AtomicU64,
-    reconnects: AtomicU64,
+pub(crate) struct SinkCounters {
+    pub(crate) written: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) reconnects: AtomicU64,
+    /// Alerts pushed to the disk spool (total, monotonic).
+    pub(crate) spooled: AtomicU64,
+    /// Current spool backlog depth (gauge).
+    pub(crate) spool_depth: AtomicU64,
+    /// Largest spool backlog observed, in bytes.
+    pub(crate) spool_bytes_hw: AtomicU64,
+    /// Spooled alerts later delivered to the collector.
+    pub(crate) replayed: AtomicU64,
 }
 
 /// A live view of an I/O sink's delivery counters; stays valid after the
@@ -221,7 +340,7 @@ struct SinkCounters {
 /// assert_eq!(telemetry.errors(), 0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct SinkTelemetry(Arc<SinkCounters>);
+pub struct SinkTelemetry(pub(crate) Arc<SinkCounters>);
 
 impl SinkTelemetry {
     /// Alerts successfully written so far.
@@ -240,6 +359,30 @@ impl SinkTelemetry {
     /// collector connection that was re-established).
     pub fn reconnects(&self) -> u64 {
         self.0.reconnects.load(Ordering::Acquire)
+    }
+
+    /// Alerts pushed to the disk spool so far ([`TcpSink`] with
+    /// [`with_spool`](TcpSink::with_spool) only). Monotonic.
+    pub fn spooled(&self) -> u64 {
+        self.0.spooled.load(Ordering::Acquire)
+    }
+
+    /// Alerts currently queued in the disk spool (a gauge: rises while
+    /// the collector is down, drains back to zero after reconnect).
+    pub fn spool_depth(&self) -> u64 {
+        self.0.spool_depth.load(Ordering::Acquire)
+    }
+
+    /// Largest spool backlog observed, in payload bytes (high-water
+    /// mark; never decreases).
+    pub fn spool_bytes_high_water(&self) -> u64 {
+        self.0.spool_bytes_hw.load(Ordering::Acquire)
+    }
+
+    /// Spooled alerts that were later delivered to the collector — a
+    /// rising number while a backlog drains after reconnect.
+    pub fn replayed(&self) -> u64 {
+        self.0.replayed.load(Ordering::Acquire)
     }
 }
 
@@ -262,6 +405,10 @@ impl SinkTelemetry {
 pub struct JsonLinesSink<W: Write + Send> {
     out: W,
     counters: Arc<SinkCounters>,
+    /// A second handle to the backing file (when there is one), kept so
+    /// `flush` can `fdatasync` it when `fsync_on_flush` is enabled.
+    sync_handle: Option<std::fs::File>,
+    fsync_on_flush: bool,
 }
 
 impl JsonLinesSink<BufWriter<std::fs::File>> {
@@ -276,7 +423,27 @@ impl JsonLinesSink<BufWriter<std::fs::File>> {
             .create(true)
             .append(true)
             .open(path)?;
-        Ok(Self::new(BufWriter::new(file)))
+        let sync_handle = file.try_clone().ok();
+        let mut sink = Self::new(BufWriter::new(file));
+        sink.sync_handle = sync_handle;
+        Ok(sink)
+    }
+
+    /// Opts in to an `fdatasync` on every [`flush`](AlertSink::flush)
+    /// (i.e. every pipeline drain), so a crash after a drain cannot lose
+    /// alerts that the OS had only buffered. Off by default: syncing
+    /// costs latency and most deployments tolerate losing the final
+    /// unsynced window on power failure.
+    ///
+    /// ```no_run
+    /// use divscrape_pipeline::JsonLinesSink;
+    ///
+    /// let sink = JsonLinesSink::append("alerts.jsonl")?.fsync_on_flush(true);
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn fsync_on_flush(mut self, enabled: bool) -> Self {
+        self.fsync_on_flush = enabled;
+        self
     }
 }
 
@@ -286,6 +453,8 @@ impl<W: Write + Send> JsonLinesSink<W> {
         Self {
             out,
             counters: Arc::default(),
+            sync_handle: None,
+            fsync_on_flush: false,
         }
     }
 
@@ -313,6 +482,17 @@ impl<W: Write + Send> AlertSink for JsonLinesSink<W> {
         if self.out.flush().is_err() {
             self.counters.errors.fetch_add(1, Ordering::AcqRel);
         }
+        if self.fsync_on_flush {
+            if let Some(file) = &self.sync_handle {
+                if file.sync_data().is_err() {
+                    self.counters.errors.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+
+    fn sink_telemetry(&self) -> Option<SinkTelemetry> {
+        Some(self.telemetry())
     }
 }
 
@@ -366,6 +546,10 @@ pub struct TcpSink {
     backoff: Duration,
     /// No reconnect attempt before this instant.
     retry_at: Option<Instant>,
+    /// Disk spool ([`with_spool`](Self::with_spool)): alerts queue here
+    /// while the collector is unreachable and replay in order on
+    /// reconnect.
+    spool: Option<SpoolQueue>,
 }
 
 impl std::fmt::Debug for TcpSink {
@@ -374,6 +558,7 @@ impl std::fmt::Debug for TcpSink {
             .field("addrs", &self.addrs)
             .field("connected", &self.stream.is_some())
             .field("retry_at", &self.retry_at)
+            .field("spooling", &self.spool.is_some())
             .finish()
     }
 }
@@ -411,7 +596,52 @@ impl TcpSink {
             counters: Arc::default(),
             backoff: Self::RECONNECT_BACKOFF_INITIAL,
             retry_at: None,
+            spool: None,
         })
+    }
+
+    /// Adds a disk spool at `dir` (created if missing), closing the
+    /// at-most-once hole: alerts that cannot be delivered are queued in
+    /// a durable [`SpoolQueue`] instead of dropped, and the backlog
+    /// replays **in order, before newer alerts** once the collector is
+    /// reachable again. While a backlog exists every new alert goes
+    /// through the spool too, so the collector always sees the original
+    /// feed order.
+    ///
+    /// In spool mode the sink also probes the peer before direct writes
+    /// (a closed collector is detected immediately instead of after the
+    /// local TCP buffer absorbs a few lines), and
+    /// [`SinkTelemetry::errors`] counts only spool I/O failures — a down
+    /// collector no longer drops alerts.
+    ///
+    /// A backlog left on disk by a previous process is picked up on
+    /// construction and replayed first (delivery to the collector is
+    /// then at-least-once across process restarts — the collector should
+    /// dedupe on `index` if that matters, e.g. via [`Alert::from_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the spool directory cannot be created or its contents
+    /// are corrupt beyond the recoverable torn tail.
+    ///
+    /// ```no_run
+    /// use divscrape_pipeline::TcpSink;
+    ///
+    /// let sink = TcpSink::connect("alerts.internal:6514")?.with_spool("alert-spool")?;
+    /// let telemetry = sink.telemetry();
+    /// // ... later: telemetry.spool_depth() shows the live backlog.
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn with_spool(mut self, dir: impl AsRef<Path>) -> io::Result<Self> {
+        let spool = SpoolQueue::open(dir, StoreConfig::default())?;
+        self.counters
+            .spool_depth
+            .store(spool.depth(), Ordering::Release);
+        self.counters
+            .spool_bytes_hw
+            .fetch_max(spool.queued_bytes(), Ordering::AcqRel);
+        self.spool = Some(spool);
+        Ok(self)
     }
 
     /// A live view of this sink's delivery counters.
@@ -486,12 +716,151 @@ impl TcpSink {
             false
         }
     }
+
+    /// True when the peer has closed or reset the connection. A
+    /// non-blocking `peek` sees a pending FIN (`Ok(0)`) or error
+    /// immediately, where a `write` would succeed into the local buffer
+    /// and lose the line — this is what lets spool mode detect a downed
+    /// collector *before* handing it an alert.
+    fn peer_gone(stream: &TcpStream) -> bool {
+        if stream.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut probe = [0u8; 1];
+        let gone = match stream.peek(&mut probe) {
+            Ok(0) => true,                                            // FIN: peer closed
+            Ok(_) => false,                                           // unread data: alive
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => false, // quiet: alive
+            Err(_) => true,                                           // RST or worse
+        };
+        stream.set_nonblocking(false).is_err() || gone
+    }
+
+    /// Ensures a live, probed-healthy stream, spending at most
+    /// `reconnects` reconnect attempts (backoff-gated). Returns whether
+    /// a write can be attempted.
+    fn stream_usable(&mut self, reconnects: &mut u32) -> bool {
+        if let Some(stream) = &self.stream {
+            if !Self::peer_gone(stream) {
+                return true;
+            }
+            self.stream = None;
+        }
+        if *reconnects == 0 {
+            return false;
+        }
+        *reconnects -= 1;
+        self.try_reconnect();
+        match &self.stream {
+            Some(stream) if !Self::peer_gone(stream) => true,
+            Some(_) => {
+                // Reconnected straight into a dead peer (crash loop):
+                // drop it and back off.
+                self.stream = None;
+                if self.retry_at.is_none() {
+                    self.open_backoff_window();
+                }
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Copies the spool's live backlog figures into the shared counters.
+    fn publish_spool_gauges(&self, spool: &SpoolQueue) {
+        self.counters
+            .spool_depth
+            .store(spool.depth(), Ordering::Release);
+        self.counters
+            .spool_bytes_hw
+            .fetch_max(spool.queued_bytes(), Ordering::AcqRel);
+    }
+
+    /// Delivers spooled alerts oldest-first while the stream stays
+    /// healthy, spending at most `reconnects` reconnect attempts.
+    fn drain_spool(&mut self, reconnects: &mut u32) {
+        let Some(mut spool) = self.spool.take() else {
+            return;
+        };
+        while spool.depth() > 0 {
+            if !self.stream_usable(reconnects) {
+                break;
+            }
+            let mut line = match spool.front() {
+                Ok(Some(line)) => line,
+                Ok(None) => break,
+                Err(_) => {
+                    self.counters.errors.fetch_add(1, Ordering::AcqRel);
+                    break;
+                }
+            };
+            line.push(b'\n');
+            if !self.write_line(&line) {
+                // The write broke the stream; leave the alert queued for
+                // the next attempt.
+                if self.retry_at.is_none() {
+                    self.open_backoff_window();
+                }
+                continue;
+            }
+            self.backoff = Self::RECONNECT_BACKOFF_INITIAL;
+            self.counters.written.fetch_add(1, Ordering::AcqRel);
+            self.counters.replayed.fetch_add(1, Ordering::AcqRel);
+            if spool.pop_front().is_err() {
+                self.counters.errors.fetch_add(1, Ordering::AcqRel);
+                break;
+            }
+        }
+        self.publish_spool_gauges(&spool);
+        self.spool = Some(spool);
+    }
+
+    /// Spool-mode alert path: deliver directly when there is no backlog
+    /// and the peer looks alive; otherwise enqueue (order preserved) and
+    /// try to drain.
+    fn on_alert_spooled(&mut self, line: &str) {
+        // One backoff-gated reconnect attempt per alert, shared by every
+        // stage of this call — same budget as the spool-less path.
+        let mut reconnects = 1u32;
+        self.drain_spool(&mut reconnects);
+        let backlog = self
+            .spool
+            .as_ref()
+            .map(SpoolQueue::depth)
+            .unwrap_or_default();
+        if backlog == 0 && self.stream_usable(&mut reconnects) && self.write_line(line.as_bytes()) {
+            self.counters.written.fetch_add(1, Ordering::AcqRel);
+            self.backoff = Self::RECONNECT_BACKOFF_INITIAL;
+            return;
+        }
+        let spool = self.spool.as_mut().expect("spool mode");
+        match spool.push(line.trim_end_matches('\n').as_bytes()) {
+            Ok(()) => {
+                self.counters.spooled.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(_) => {
+                // The alert is genuinely lost only when the spool itself
+                // fails.
+                self.counters.errors.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        let spool = self.spool.as_ref().expect("spool mode");
+        self.publish_spool_gauges(spool);
+        // The push may have happened while the collector is healthy
+        // (e.g. the direct write broke the stream just now): drain what
+        // we can immediately so a transient blip doesn't strand lines.
+        self.drain_spool(&mut reconnects);
+    }
 }
 
 impl AlertSink for TcpSink {
     fn on_alert(&mut self, alert: &Alert<'_>) {
         let mut line = alert.to_json();
         line.push('\n');
+        if self.spool.is_some() {
+            self.on_alert_spooled(&line);
+            return;
+        }
         // At most ONE reconnect attempt per alert: up front when the
         // stream is already down, or after this write breaks a
         // previously live stream — never both.
@@ -527,8 +896,24 @@ impl AlertSink for TcpSink {
         self.counters.errors.fetch_add(1, Ordering::AcqRel);
     }
 
-    // No flush override: every alert already went straight to the
-    // socket in `on_alert`.
+    // Every alert already went straight to the socket in `on_alert`;
+    // flush only gives a spool backlog another drain opportunity and
+    // persists the spool's read cursor.
+    fn flush(&mut self) {
+        if self.spool.is_some() {
+            let mut reconnects = 1u32;
+            self.drain_spool(&mut reconnects);
+            if let Some(spool) = &mut self.spool {
+                if spool.flush().is_err() {
+                    self.counters.errors.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+
+    fn sink_telemetry(&self) -> Option<SinkTelemetry> {
+        Some(self.telemetry())
+    }
 }
 
 #[cfg(test)]
@@ -736,5 +1121,179 @@ mod tests {
         assert_eq!(telemetry.reconnects(), 0);
         assert!(telemetry.errors() > 0, "drops must be counted");
         assert_eq!(telemetry.written() + telemetry.errors(), 20);
+    }
+
+    /// A unique temp dir per test (tests run concurrently).
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "divscrape-sink-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    struct CleanupDir(std::path::PathBuf);
+    impl Drop for CleanupDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Rebinds a just-released local address, riding out TIME_WAIT.
+    fn rebind(addr: std::net::SocketAddr) -> TcpListener {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpListener::bind(addr) {
+                Ok(l) => return l,
+                Err(e) => assert!(Instant::now() < deadline, "rebind failed: {e}"),
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn fire(sink: &mut TcpSink, entry: &LogEntry, index: u64) {
+        sink.on_alert(&Alert {
+            index,
+            tenant: None,
+            entry,
+            votes: &[true],
+            scores: &[0.5],
+        });
+    }
+
+    fn read_index(line: &str) -> u64 {
+        let rest = line.strip_prefix("{\"index\":").expect("alert json");
+        rest[..rest.find(',').unwrap()].parse().unwrap()
+    }
+
+    #[test]
+    fn spooling_sink_replays_collector_outage_in_order_exactly_once() {
+        let dir = temp_dir("spool-replay");
+        let _cleanup = CleanupDir(dir.clone());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut sink = TcpSink::connect(addr).unwrap().with_spool(&dir).unwrap();
+        let telemetry = sink.telemetry();
+        let entry = entry();
+
+        // Healthy collector: alerts 0..2 flow straight through.
+        let (conn1, _) = listener.accept().unwrap();
+        let mut delivered = Vec::new();
+        fire(&mut sink, &entry, 0);
+        fire(&mut sink, &entry, 1);
+        let mut reader = BufReader::new(conn1);
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            delivered.push(read_index(&line));
+        }
+
+        // The collector goes away mid-window: connection closed AND the
+        // port unbound, so both the probe and any reconnect attempt fail.
+        drop(reader);
+        drop(listener);
+        std::thread::sleep(Duration::from_millis(50)); // let the FIN land
+        for index in 2..5 {
+            fire(&mut sink, &entry, index);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(telemetry.spooled(), 3, "outage alerts must be queued");
+        assert_eq!(telemetry.spool_depth(), 3);
+        assert_eq!(telemetry.errors(), 0, "a spooled alert is not an error");
+        assert!(telemetry.spool_bytes_high_water() > 0);
+
+        // The collector returns. Keep alerting: once the backoff window
+        // opens, the sink reconnects, replays the backlog in order, and
+        // only then delivers the new alerts.
+        let listener = rebind(addr);
+        let mut index = 5u64;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while telemetry.replayed() < 3 || telemetry.spool_depth() > 0 {
+            assert!(Instant::now() < deadline, "backlog never drained");
+            fire(&mut sink, &entry, index);
+            index += 1;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sink.flush();
+        let last = index - 1;
+        drop(sink); // close the stream so the read below terminates
+
+        let (conn2, _) = listener.accept().unwrap();
+        for line in BufReader::new(conn2).lines() {
+            delivered.push(read_index(&line.unwrap()));
+        }
+        // Exactly once, in feed order, across the outage: every index
+        // 0..=last appears once, sorted — no loss, no duplicates, no
+        // reordering of the replayed backlog against the new alerts.
+        assert_eq!(delivered, (0..=last).collect::<Vec<_>>());
+        assert_eq!(telemetry.errors(), 0);
+        // At least the 3 outage alerts went through the spool; alerts
+        // fired while the reconnect backoff window was still closed may
+        // have joined them (also replayed, also in order).
+        assert!(telemetry.replayed() >= 3, "{}", telemetry.replayed());
+    }
+
+    #[test]
+    fn spool_backlog_survives_sink_restart() {
+        let dir = temp_dir("spool-restart");
+        let _cleanup = CleanupDir(dir.clone());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut sink = TcpSink::connect(addr).unwrap().with_spool(&dir).unwrap();
+        let entry = entry();
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn);
+        drop(listener);
+        std::thread::sleep(Duration::from_millis(50));
+        for index in 0..3 {
+            fire(&mut sink, &entry, index);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(sink.telemetry().spool_depth(), 3);
+        drop(sink); // process "restart": the backlog stays on disk
+
+        let listener = rebind(addr);
+        let mut sink = TcpSink::connect(addr).unwrap().with_spool(&dir).unwrap();
+        let telemetry = sink.telemetry();
+        assert_eq!(telemetry.spool_depth(), 3, "backlog picked up from disk");
+        let (conn2, _) = listener.accept().unwrap();
+        sink.flush(); // a healthy stream: flush drains the backlog
+        assert_eq!(telemetry.replayed(), 3);
+        assert_eq!(telemetry.spool_depth(), 0);
+        let mut reader = BufReader::new(conn2);
+        for expected in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(read_index(&line), expected);
+        }
+    }
+
+    #[test]
+    fn json_lines_sink_fsync_on_flush_is_durable_and_clean() {
+        let dir = temp_dir("fsync");
+        let _cleanup = CleanupDir(dir.clone());
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alerts.jsonl");
+        let entry = entry();
+        let mut sink = JsonLinesSink::append(&path).unwrap().fsync_on_flush(true);
+        let telemetry = sink.telemetry();
+        for index in 0..2 {
+            sink.on_alert(&Alert {
+                index,
+                tenant: None,
+                entry: &entry,
+                votes: &[true],
+                scores: &[0.5],
+            });
+        }
+        sink.flush();
+        assert_eq!(telemetry.written(), 2);
+        assert_eq!(telemetry.errors(), 0, "fdatasync must succeed cleanly");
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with("{\"index\":1,"));
     }
 }

@@ -118,4 +118,16 @@ pub struct PipelineStats {
     /// Runtime reconfiguration applied so far (eviction installs,
     /// adjudication updates) — see [`RuntimeUpdates`].
     pub runtime_updates: RuntimeUpdates,
+    /// Alerts currently queued in sink disk spools (summed over sinks
+    /// that report telemetry — see
+    /// [`TcpSink::with_spool`](crate::TcpSink::with_spool)). A non-zero
+    /// value means a collector is, or recently was, unreachable; watch
+    /// it fall to see the backlog drain.
+    pub spool_depth: u64,
+    /// Largest spooled backlog observed, in payload bytes (per-sink
+    /// high-water marks, summed).
+    pub spool_bytes_high_water: u64,
+    /// Spooled alerts that were later delivered (summed over sinks) — a
+    /// rising number while a backlog drains after reconnect.
+    pub replayed_alerts: u64,
 }

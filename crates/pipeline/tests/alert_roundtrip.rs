@@ -1,0 +1,72 @@
+//! Property test: [`Alert::from_json`] inverts the alert JSON
+//! rendering. Every field — hostile strings included — must survive
+//! `render → parse → render` with the second rendering byte-identical
+//! to the first, so stored alert history ([`divscrape_store`]) and
+//! retro-scoring tools can trust the parsed form completely.
+
+use std::net::Ipv4Addr;
+
+use divscrape_pipeline::{Alert, AlertRecord, TenantId};
+use proptest::prelude::*;
+use proptest::{collection, option, sample};
+
+/// Character pool spanning every class the JSON escaper treats
+/// specially: plain ASCII, the two mandatory escapes (`"`, `\`), the
+/// named control escapes, arbitrary control characters (`\u` escapes on
+/// output), and multi-byte UTF-8 up to a non-BMP emoji.
+const CHARS: &[char] = &[
+    'a', 'Z', '7', '/', '?', '=', '.', '-', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}',
+    'é', 'Ω', '→', '🛒',
+];
+
+/// Strategy for a string drawn from the hostile pool.
+fn hostile(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<char>> {
+    collection::vec(sample::select(CHARS.to_vec()), len)
+}
+
+proptest! {
+    #[test]
+    fn alert_json_round_trips(
+        index in 0u64..u64::MAX,
+        tenant in option::of(hostile(1..10)),
+        time in hostile(0..24),
+        octets in (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+        agent in hostile(0..16),
+        method in hostile(0..8),
+        path in hostile(0..24),
+        status in 100u16..1000,
+        votes in collection::vec(any::<bool>(), 0..6),
+        score_cents in collection::vec(-10_000i32..10_000, 0..6),
+    ) {
+        let record = AlertRecord {
+            index,
+            tenant: tenant.map(|name| TenantId::new(name.into_iter().collect::<String>())),
+            time: time.into_iter().collect(),
+            client: Ipv4Addr::new(octets.0, octets.1, octets.2, octets.3),
+            agent: agent.into_iter().collect(),
+            method: method.into_iter().collect(),
+            path: path.into_iter().collect(),
+            status,
+            // Scores render with two decimals, so only grid values can
+            // round-trip the in-memory form exactly; the JSON form
+            // round-trips regardless.
+            scores: score_cents.iter().map(|&c| c as f32 / 100.0).collect(),
+            votes,
+        };
+        let json = record.to_json();
+        let parsed = Alert::from_json(&json).unwrap_or_else(|e| panic!("{e}: {json}"));
+        prop_assert_eq!(&parsed, &record);
+        prop_assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn garbage_never_panics_the_parser(
+        bytes in collection::vec(sample::select(CHARS.to_vec()), 0..40),
+    ) {
+        // Arbitrary non-JSON input must come back as a structured error
+        // (or, vanishingly unlikely from this pool, a valid alert) —
+        // never a panic.
+        let input: String = bytes.into_iter().collect();
+        let _ = Alert::from_json(&input);
+    }
+}

@@ -1,0 +1,192 @@
+//! On-disk frame format shared by the [`AlertStore`](crate::AlertStore)
+//! segments and the [`SpoolQueue`](crate::SpoolQueue) segments.
+//!
+//! Every record is written as one *frame*:
+//!
+//! ```text
+//! [payload length: u32 LE][CRC-32 of payload: u32 LE][payload bytes]
+//! ```
+//!
+//! The checksum lets a reader distinguish a torn tail (the process died
+//! mid-`write`) from an intact record: scanning stops at the first frame
+//! whose header or payload is short or whose checksum mismatches, and the
+//! segment is truncated back to the last byte of the last valid frame.
+
+/// Bytes of frame header preceding each payload (length + checksum).
+pub(crate) const FRAME_HEADER_BYTES: usize = 8;
+
+/// Upper bound on a single frame payload. Anything larger in a length
+/// header is treated as corruption rather than an allocation request.
+pub(crate) const MAX_FRAME_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// CRC-32 (IEEE 802.3 polynomial, as used by zip/gzip/Ethernet) of `bytes`.
+///
+/// Exposed so sibling crates can checksum their own sidecar files with the
+/// same algorithm the store uses for its frames.
+///
+/// # Examples
+///
+/// ```
+/// // Standard check value for the ASCII string "123456789".
+/// assert_eq!(divscrape_store::crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(divscrape_store::crc32(b""), 0);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Encodes `payload` as one frame (header + payload), appending to `out`.
+pub(crate) fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD as usize);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Total on-disk size of a frame holding `payload_len` payload bytes.
+pub(crate) fn frame_len(payload_len: usize) -> u64 {
+    (FRAME_HEADER_BYTES + payload_len) as u64
+}
+
+/// One step of a [`FrameScanner`].
+#[derive(Debug)]
+pub(crate) enum ScanStep<'a> {
+    /// A complete, checksum-valid frame payload.
+    Frame(&'a [u8]),
+    /// Clean end of buffer: every byte belonged to a valid frame.
+    End,
+    /// Remaining bytes do not form a valid frame (short header, short
+    /// payload, oversized length, or checksum mismatch) — a torn tail.
+    Torn,
+}
+
+/// Sequential scanner over the frames in one segment's bytes.
+#[derive(Debug)]
+pub(crate) struct FrameScanner<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameScanner<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes consumed by complete valid frames so far — the truncation
+    /// point when the scan ends in [`ScanStep::Torn`].
+    pub(crate) fn valid_len(&self) -> u64 {
+        self.pos as u64
+    }
+
+    pub(crate) fn next_frame(&mut self) -> ScanStep<'a> {
+        let rest = &self.buf[self.pos..];
+        if rest.is_empty() {
+            return ScanStep::End;
+        }
+        if rest.len() < FRAME_HEADER_BYTES {
+            return ScanStep::Torn;
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let sum = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_FRAME_PAYLOAD {
+            return ScanStep::Torn;
+        }
+        let end = FRAME_HEADER_BYTES + len as usize;
+        if rest.len() < end {
+            return ScanStep::Torn;
+        }
+        let payload = &rest[FRAME_HEADER_BYTES..end];
+        if crc32(payload) != sum {
+            return ScanStep::Torn;
+        }
+        self.pos += end;
+        ScanStep::Frame(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn scanner_round_trips_frames() {
+        let mut buf = Vec::new();
+        encode_frame(b"first", &mut buf);
+        encode_frame(b"", &mut buf);
+        encode_frame(b"third record", &mut buf);
+        let mut scanner = FrameScanner::new(&buf);
+        assert!(matches!(scanner.next_frame(), ScanStep::Frame(b"first")));
+        assert!(matches!(scanner.next_frame(), ScanStep::Frame(b"")));
+        assert!(matches!(
+            scanner.next_frame(),
+            ScanStep::Frame(b"third record")
+        ));
+        assert!(matches!(scanner.next_frame(), ScanStep::End));
+        assert_eq!(scanner.valid_len(), buf.len() as u64);
+    }
+
+    #[test]
+    fn scanner_stops_at_torn_tail() {
+        let mut buf = Vec::new();
+        encode_frame(b"intact", &mut buf);
+        let keep = buf.len() as u64;
+        encode_frame(b"this one is cut short", &mut buf);
+        buf.truncate(buf.len() - 5);
+        let mut scanner = FrameScanner::new(&buf);
+        assert!(matches!(scanner.next_frame(), ScanStep::Frame(b"intact")));
+        assert!(matches!(scanner.next_frame(), ScanStep::Torn));
+        assert_eq!(scanner.valid_len(), keep);
+    }
+
+    #[test]
+    fn scanner_rejects_bit_flips() {
+        let mut buf = Vec::new();
+        encode_frame(b"payload under test", &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let mut scanner = FrameScanner::new(&buf);
+        assert!(matches!(scanner.next_frame(), ScanStep::Torn));
+        assert_eq!(scanner.valid_len(), 0);
+    }
+
+    #[test]
+    fn scanner_rejects_absurd_lengths() {
+        let mut buf = (MAX_FRAME_PAYLOAD + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 12]);
+        let mut scanner = FrameScanner::new(&buf);
+        assert!(matches!(scanner.next_frame(), ScanStep::Torn));
+    }
+}

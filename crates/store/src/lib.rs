@@ -1,0 +1,55 @@
+//! Embedded durable storage for the `divscrape` pipeline: an
+//! append-optimized alert/score store and a durable FIFO spool, both on a
+//! shared CRC-framed segment format.
+//!
+//! The DSN'18 pipeline detects at line rate but its outputs were
+//! ephemeral; this crate is the durability layer underneath the sinks:
+//!
+//! * [`AlertStore`] — a segmented append log plus an in-memory key index.
+//!   Records (emitted alerts and per-member score vectors) are keyed by
+//!   `(tenant, client, feed-order offset)`; re-appending an
+//!   already-stored key is a cheap no-op, which is what makes
+//!   replay-after-restart exactly-once at the store.
+//! * [`SpoolQueue`] — a durable FIFO used by the pipeline's `TcpSink` to
+//!   queue alerts while a collector is unreachable and replay them in
+//!   order on reconnect.
+//! * [`crc32`] — the shared checksum, exposed so sidecar files elsewhere
+//!   (e.g. the ingest checkpoint) can use the same algorithm.
+//!
+//! Both structures truncate a torn tail (a crash mid-write) on open and
+//! refuse interior corruption with [`std::io::ErrorKind::InvalidData`].
+//! Durability is tuned with [`FsyncPolicy`] via [`StoreConfig`].
+//!
+//! # Example
+//!
+//! ```
+//! use divscrape_store::{AlertStore, Record, RecordKey, RecordKind, StoreConfig};
+//! use std::net::Ipv4Addr;
+//!
+//! let dir = std::env::temp_dir().join(format!("divscrape-lib-doc-{}", std::process::id()));
+//! let mut store = AlertStore::open(&dir, StoreConfig::default())?;
+//! let record = Record {
+//!     key: RecordKey { tenant: None, client: (Ipv4Addr::LOCALHOST, 3), offset: 7 },
+//!     kind: RecordKind::Alert,
+//!     payload: br#"{"index":7}"#.to_vec(),
+//! };
+//! store.append(record.clone())?;
+//! store.append(record)?; // idempotent no-op
+//! assert_eq!(store.len(), 1);
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frame;
+mod spool;
+mod store;
+
+pub use frame::crc32;
+pub use spool::SpoolQueue;
+pub use store::{
+    AlertStore, AppendSummary, FsyncPolicy, Record, RecordKey, RecordKind, SharedAlertStore,
+    StoreConfig, StoreStats,
+};

@@ -1,0 +1,528 @@
+//! A durable FIFO byte-payload queue backed by the same CRC-framed
+//! segment format as the [`AlertStore`](crate::AlertStore).
+//!
+//! Built for the `TcpSink` disk spool: while a collector is unreachable,
+//! alert lines are pushed here; on reconnect the backlog is drained in
+//! order, then the spool resets to empty.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::frame::{
+    crc32, encode_frame, frame_len, FrameScanner, ScanStep, FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD,
+};
+use crate::store::{FsyncPolicy, StoreConfig};
+
+const CURSOR_FILE: &str = "cursor";
+
+fn segment_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("spool-{n:08}.log"))
+}
+
+fn list_segments(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut nums = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(num) = name
+            .strip_prefix("spool-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+        {
+            if let Ok(n) = num.parse::<u64>() {
+                nums.push(n);
+            }
+        }
+    }
+    nums.sort_unstable();
+    Ok(nums)
+}
+
+/// Parses the cursor sidecar: `v1 <segment> <offset> <crc>\n` where the
+/// checksum covers `"<segment> <offset>"`. Anything malformed (torn
+/// write, stale version) yields `None` — the spool then re-delivers from
+/// the oldest retained frame, which is safe (at-least-once).
+fn read_cursor(dir: &Path) -> Option<(u64, u64)> {
+    let text = fs::read_to_string(dir.join(CURSOR_FILE)).ok()?;
+    let mut parts = text.split_whitespace();
+    if parts.next()? != "v1" {
+        return None;
+    }
+    let seg: u64 = parts.next()?.parse().ok()?;
+    let off: u64 = parts.next()?.parse().ok()?;
+    let sum: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || crc32(format!("{seg} {off}").as_bytes()) != sum {
+        return None;
+    }
+    Some((seg, off))
+}
+
+/// A durable FIFO queue of opaque byte payloads.
+///
+/// Frames are appended to `spool-NNNNNNNN.log` segments; a reader cursor
+/// (persisted to a `cursor` sidecar on [`flush`](SpoolQueue::flush) and on
+/// segment hand-off) marks how far the consumer has gotten. Fully
+/// consumed segments are deleted, and a fully drained spool truncates
+/// back to zero bytes.
+///
+/// Crash semantics: payloads are never lost once written (modulo the
+/// configured [`FsyncPolicy`]), but a crash after a `pop_front` and
+/// before the next cursor persist re-delivers the popped payloads on
+/// reopen — i.e. the queue is exactly-once within a process lifetime and
+/// at-least-once across restarts.
+///
+/// # Examples
+///
+/// ```
+/// use divscrape_store::{SpoolQueue, StoreConfig};
+///
+/// let dir = std::env::temp_dir().join(format!("divscrape-spool-doc-{}", std::process::id()));
+/// let mut spool = SpoolQueue::open(&dir, StoreConfig::default())?;
+/// spool.push(b"first")?;
+/// spool.push(b"second")?;
+/// assert_eq!(spool.depth(), 2);
+/// assert_eq!(spool.front()?.as_deref(), Some(&b"first"[..]));
+/// spool.pop_front()?;
+/// assert_eq!(spool.front()?.as_deref(), Some(&b"second"[..]));
+/// spool.pop_front()?;
+/// assert_eq!(spool.depth(), 0);
+/// std::fs::remove_dir_all(&dir)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct SpoolQueue {
+    dir: PathBuf,
+    config: StoreConfig,
+    write_seg: u64,
+    writer: File,
+    write_len: u64,
+    read_seg: u64,
+    read_off: u64,
+    depth: u64,
+    queued_bytes: u64,
+    total_pushed: u64,
+    /// Cached payload + total frame length at the read cursor.
+    front: Option<(Vec<u8>, u64)>,
+}
+
+impl SpoolQueue {
+    /// Opens (or creates) a spool rooted at `dir`, validating segments
+    /// (torn tails truncate; interior corruption errors), restoring the
+    /// persisted cursor and recomputing the queue depth.
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut segments = list_segments(&dir)?;
+        if segments.is_empty() {
+            File::create(segment_path(&dir, 0))?;
+            segments.push(0);
+        }
+        let last = *segments.last().expect("at least one segment");
+
+        // Validate every segment; truncate a torn tail on the last one.
+        let mut seg_lens = Vec::with_capacity(segments.len());
+        for &n in &segments {
+            let path = segment_path(&dir, n);
+            let bytes = fs::read(&path)?;
+            let mut scanner = FrameScanner::new(&bytes);
+            let valid = loop {
+                match scanner.next_frame() {
+                    ScanStep::Frame(_) => {}
+                    ScanStep::End => break bytes.len() as u64,
+                    ScanStep::Torn if n == last => {
+                        let keep = scanner.valid_len();
+                        OpenOptions::new().write(true).open(&path)?.set_len(keep)?;
+                        break keep;
+                    }
+                    ScanStep::Torn => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "{}: corrupt frame in interior spool segment",
+                                path.display()
+                            ),
+                        ));
+                    }
+                }
+            };
+            seg_lens.push((n, valid));
+        }
+
+        // Restore the cursor, clamping it into the retained range and
+        // snapping a misaligned offset back to the segment start (the
+        // only consequence is re-delivery).
+        let first = segments[0];
+        let (mut read_seg, mut read_off) = read_cursor(&dir).unwrap_or((first, 0));
+        if read_seg < first || !segments.contains(&read_seg) {
+            read_seg = first;
+            read_off = 0;
+        }
+        let seg_valid = |n: u64| seg_lens.iter().find(|&&(s, _)| s == n).map(|&(_, l)| l);
+        let valid = seg_valid(read_seg).unwrap_or(0);
+        if read_off > valid {
+            read_off = valid;
+        }
+
+        // Count unconsumed frames (and verify cursor frame alignment).
+        let mut depth = 0u64;
+        let mut queued_bytes = 0u64;
+        for &(n, _) in &seg_lens {
+            if n < read_seg {
+                continue;
+            }
+            let bytes = fs::read(segment_path(&dir, n))?;
+            let mut scanner = FrameScanner::new(&bytes);
+            let skip_to = if n == read_seg { read_off } else { 0 };
+            let mut aligned = skip_to == 0;
+            while let ScanStep::Frame(payload) = scanner.next_frame() {
+                if scanner.valid_len() <= skip_to {
+                    aligned = scanner.valid_len() == skip_to || aligned;
+                    continue;
+                }
+                depth += 1;
+                queued_bytes += payload.len() as u64;
+            }
+            if n == read_seg && !aligned {
+                // Misaligned cursor (should not happen; be safe): rescan
+                // the whole segment.
+                read_off = 0;
+                depth = 0;
+                queued_bytes = 0;
+                let mut scanner = FrameScanner::new(&bytes);
+                while let ScanStep::Frame(payload) = scanner.next_frame() {
+                    depth += 1;
+                    queued_bytes += payload.len() as u64;
+                }
+            }
+        }
+
+        // Drop fully consumed segments behind the cursor.
+        for &n in &segments {
+            if n < read_seg {
+                fs::remove_file(segment_path(&dir, n))?;
+            }
+        }
+
+        let writer = OpenOptions::new()
+            .append(true)
+            .open(segment_path(&dir, last))?;
+        let write_len = seg_valid(last).unwrap_or(0);
+        let mut spool = Self {
+            dir,
+            config,
+            write_seg: last,
+            writer,
+            write_len,
+            read_seg,
+            read_off,
+            depth,
+            queued_bytes,
+            total_pushed: 0,
+            front: None,
+        };
+        if spool.depth == 0 {
+            spool.reset_empty()?;
+        }
+        Ok(spool)
+    }
+
+    /// Appends one payload to the back of the queue.
+    pub fn push(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_FRAME_PAYLOAD as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "spool payload exceeds maximum frame size",
+            ));
+        }
+        let framed_len = frame_len(payload.len());
+        if self.write_len > 0 && self.write_len + framed_len > self.config.segment_max_bytes {
+            self.rotate()?;
+        }
+        let mut framed = Vec::with_capacity(framed_len as usize);
+        encode_frame(payload, &mut framed);
+        self.writer.write_all(&framed)?;
+        self.write_len += framed_len;
+        self.depth += 1;
+        self.queued_bytes += payload.len() as u64;
+        self.total_pushed += 1;
+        if self.config.fsync == FsyncPolicy::Always {
+            self.writer.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        if self.config.fsync != FsyncPolicy::Never {
+            self.writer.sync_data()?;
+        }
+        let next = self.write_seg + 1;
+        self.writer = OpenOptions::new()
+            .append(true)
+            .create_new(true)
+            .open(segment_path(&self.dir, next))?;
+        self.write_seg = next;
+        self.write_len = 0;
+        Ok(())
+    }
+
+    /// Returns (a copy of) the oldest unconsumed payload, or `None` when
+    /// the queue is empty.
+    pub fn front(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.depth == 0 {
+            return Ok(None);
+        }
+        if self.front.is_none() {
+            self.load_front()?;
+        }
+        Ok(self.front.as_ref().map(|(payload, _)| payload.clone()))
+    }
+
+    fn load_front(&mut self) -> io::Result<()> {
+        let mut file = File::open(segment_path(&self.dir, self.read_seg))?;
+        file.seek(SeekFrom::Start(self.read_off))?;
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        file.read_exact(&mut header)?;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let sum = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "spool frame length out of range at read cursor",
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        file.read_exact(&mut payload)?;
+        if crc32(&payload) != sum {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "spool frame checksum mismatch at read cursor",
+            ));
+        }
+        self.front = Some((payload, frame_len(len as usize)));
+        Ok(())
+    }
+
+    /// Discards the oldest unconsumed payload (after a successful
+    /// delivery). No-op on an empty queue.
+    pub fn pop_front(&mut self) -> io::Result<()> {
+        if self.depth == 0 {
+            return Ok(());
+        }
+        if self.front.is_none() {
+            self.load_front()?;
+        }
+        let (payload, framed_len) = self.front.take().expect("front loaded above");
+        self.read_off += framed_len;
+        self.depth -= 1;
+        self.queued_bytes -= payload.len() as u64;
+
+        // Hand off to the next segment once this one is fully consumed.
+        while self.read_seg < self.write_seg {
+            let path = segment_path(&self.dir, self.read_seg);
+            let seg_end = fs::metadata(&path)?.len();
+            if self.read_off < seg_end {
+                break;
+            }
+            fs::remove_file(&path)?;
+            self.read_seg += 1;
+            self.read_off = 0;
+            self.persist_cursor()?;
+        }
+        if self.depth == 0 {
+            self.reset_empty()?;
+        }
+        Ok(())
+    }
+
+    /// Truncates a fully drained spool back to zero bytes.
+    fn reset_empty(&mut self) -> io::Result<()> {
+        debug_assert_eq!(self.read_seg, self.write_seg);
+        if self.write_len > 0 || self.read_off > 0 {
+            self.writer.set_len(0)?;
+            self.write_len = 0;
+            self.read_off = 0;
+            self.persist_cursor()?;
+        }
+        Ok(())
+    }
+
+    fn persist_cursor(&self) -> io::Result<()> {
+        let body = format!("{} {}", self.read_seg, self.read_off);
+        let line = format!("v1 {body} {}\n", crc32(body.as_bytes()));
+        let tmp = self.dir.join("cursor.tmp");
+        let mut file = File::create(&tmp)?;
+        file.write_all(line.as_bytes())?;
+        if self.config.fsync != FsyncPolicy::Never {
+            file.sync_data()?;
+        }
+        drop(file);
+        fs::rename(&tmp, self.dir.join(CURSOR_FILE))
+    }
+
+    /// Syncs pending writes per the [`FsyncPolicy`] and persists the read
+    /// cursor.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.config.fsync != FsyncPolicy::Never {
+            self.writer.sync_data()?;
+        }
+        self.persist_cursor()
+    }
+
+    /// Payloads currently queued.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Sum of queued payload sizes in bytes.
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Payloads pushed over this handle's lifetime (not counting what was
+    /// already on disk at open).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// The spool's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for SpoolQueue {
+    fn drop(&mut self) {
+        let _ = self.persist_cursor();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "divscrape-spool-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let dir = temp_dir("fifo");
+        let mut spool = SpoolQueue::open(&dir, StoreConfig::default()).unwrap();
+        for i in 0..10 {
+            spool.push(format!("payload-{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(spool.depth(), 10);
+        for i in 0..10 {
+            let front = spool.front().unwrap().unwrap();
+            assert_eq!(front, format!("payload-{i}").as_bytes());
+            spool.pop_front().unwrap();
+        }
+        assert_eq!(spool.depth(), 0);
+        assert!(spool.front().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backlog_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let mut spool = SpoolQueue::open(&dir, StoreConfig::default()).unwrap();
+        for i in 0..5 {
+            spool.push(format!("line-{i}").as_bytes()).unwrap();
+        }
+        spool.front().unwrap();
+        spool.pop_front().unwrap();
+        spool.flush().unwrap();
+        drop(spool);
+
+        let mut spool = SpoolQueue::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(spool.depth(), 4);
+        assert_eq!(spool.front().unwrap().unwrap(), b"line-1");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn consumed_segments_are_deleted_and_empty_spool_truncates() {
+        let dir = temp_dir("segments");
+        let config = StoreConfig::default().segment_max_bytes(64);
+        let mut spool = SpoolQueue::open(&dir, config).unwrap();
+        for i in 0..30 {
+            spool
+                .push(format!("payload-number-{i:04}").as_bytes())
+                .unwrap();
+        }
+        assert!(list_segments(&dir).unwrap().len() > 1);
+        for _ in 0..30 {
+            spool.pop_front().unwrap();
+        }
+        assert_eq!(spool.depth(), 0);
+        let remaining = list_segments(&dir).unwrap();
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(
+            fs::metadata(segment_path(&dir, remaining[0]))
+                .unwrap()
+                .len(),
+            0
+        );
+        // Reuse after draining still works.
+        spool.push(b"fresh").unwrap();
+        assert_eq!(spool.front().unwrap().unwrap(), b"fresh");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_on_open() {
+        let dir = temp_dir("torn");
+        let mut spool = SpoolQueue::open(&dir, StoreConfig::default()).unwrap();
+        spool.push(b"kept").unwrap();
+        drop(spool);
+        let path = segment_path(&dir, 0);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&[9u8; 3]).unwrap();
+        drop(file);
+
+        let mut spool = SpoolQueue::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(spool.depth(), 1);
+        assert_eq!(spool.front().unwrap().unwrap(), b"kept");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbled_cursor_redelivers_from_the_start() {
+        let dir = temp_dir("cursor");
+        let mut spool = SpoolQueue::open(&dir, StoreConfig::default()).unwrap();
+        for i in 0..4 {
+            spool.push(format!("p{i}").as_bytes()).unwrap();
+        }
+        spool.pop_front().unwrap();
+        spool.pop_front().unwrap();
+        spool.flush().unwrap();
+        drop(spool);
+        fs::write(dir.join(CURSOR_FILE), b"v1 0 99").unwrap(); // torn write
+
+        let mut spool = SpoolQueue::open(&dir, StoreConfig::default()).unwrap();
+        // At-least-once: the two already-popped payloads come back.
+        assert_eq!(spool.depth(), 4);
+        assert_eq!(spool.front().unwrap().unwrap(), b"p0");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn depth_and_bytes_track_the_backlog() {
+        let dir = temp_dir("depth");
+        let mut spool = SpoolQueue::open(&dir, StoreConfig::default()).unwrap();
+        spool.push(b"12345").unwrap();
+        spool.push(b"678").unwrap();
+        assert_eq!(spool.depth(), 2);
+        assert_eq!(spool.queued_bytes(), 8);
+        assert_eq!(spool.total_pushed(), 2);
+        spool.pop_front().unwrap();
+        assert_eq!(spool.queued_bytes(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,285 @@
+//! Retro-scoring: re-adjudicate a durable store's recorded history
+//! offline — no detector re-run needed for rule changes, and stored CLF
+//! lines are complete enough to re-run a *candidate detector* too.
+//!
+//! ```text
+//! store (Score records) ──► recorded schedule ──► live alert set (bit-exact)
+//!                       ├─► candidate rule     ──► precision/recall delta
+//!                       └─► candidate detector ──► precision/recall delta
+//! ```
+//!
+//! Default (also `--smoke`, the CI gate): a fully self-driving run — a
+//! recalibrating pipeline streams the population-shift drift scenario
+//! into a `StoreSink`, then three offline passes read the store back:
+//!
+//! 1. **Recorded schedule** — the weight updates the live recalibrator
+//!    applied ([`Pipeline::rule_updates`]) replayed over the stored
+//!    votes must reproduce the live alert set *exactly*; the process
+//!    exits non-zero on any mismatch.
+//! 2. **Candidate rule** — the initial (frozen) weighted rule over the
+//!    same votes: what precision/recall *would have been* without
+//!    recalibration.
+//! 3. **Candidate detector** — a retuned rate-limiter re-run over the
+//!    stored CLF lines, its votes substituted for the noisy member's.
+//!
+//! `--store <dir>` instead retro-scores an existing store directory
+//! with a candidate alarm threshold (`--alarm <t>`, default 0.95) and
+//! prints the alert-set diff against what the live run recorded.
+//!
+//! ```text
+//! cargo run --release --example retro -- --smoke
+//! cargo run --release --example retro -- --store ./alerts --alarm 1.5
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use divscrape_detect::baselines::RateLimiter;
+use divscrape_detect::{run_alerts, Arcane, Sentinel};
+use divscrape_ensemble::{ConfusionMatrix, RecalibrationPolicy};
+use divscrape_pipeline::{
+    Adjudication, AppliedRuleUpdate, PipelineBuilder, RecordPolicy, ScoreRecord, StoreSink,
+};
+use divscrape_store::{AlertStore, RecordKind, StoreConfig};
+use divscrape_traffic::DriftScenario;
+
+const INITIAL_WEIGHTS: [f64; 3] = [1.0, 1.0, 1.0];
+const ALARM: f64 = 0.95;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut store: Option<String> = None;
+    let mut alarm = ALARM;
+    let mut smoke = args.is_empty();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--store" => store = Some(it.next().ok_or("--store needs a directory")?),
+            "--alarm" => alarm = it.next().ok_or("--alarm needs a threshold")?.parse()?,
+            "--help" | "-h" => {
+                eprintln!("usage: retro [--smoke | --store <dir> [--alarm <t>]]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)").into()),
+        }
+    }
+    match store {
+        Some(dir) if !smoke => run_store(Path::new(&dir), alarm),
+        _ => run_smoke(),
+    }
+}
+
+/// Reads every Score record back from a store, in feed order.
+fn read_scored(dir: &Path) -> Result<Vec<ScoreRecord>, Box<dyn std::error::Error>> {
+    let mut store = AlertStore::open(dir, StoreConfig::default())?;
+    let mut scored = Vec::new();
+    for record in store.records()? {
+        if record.kind == RecordKind::Score {
+            scored.push(ScoreRecord::from_json(std::str::from_utf8(
+                &record.payload,
+            )?)?);
+        }
+    }
+    scored.sort_by_key(|r| r.index);
+    Ok(scored)
+}
+
+/// The engine's weighted rule, reapplied offline.
+fn weighted_alert(votes: &[bool], weights: &[f64], threshold: f64) -> bool {
+    let sum: f64 = votes
+        .iter()
+        .zip(weights)
+        .filter(|(v, _)| **v)
+        .map(|(_, w)| *w)
+        .sum();
+    sum >= threshold
+}
+
+/// Adjudicates stored votes under a recorded weight schedule: an update
+/// at `at_entry` governs that entry onward.
+fn apply_schedule(scored: &[ScoreRecord], schedule: &[AppliedRuleUpdate]) -> Vec<bool> {
+    scored
+        .iter()
+        .map(|record| {
+            let mut weights: &[f64] = &INITIAL_WEIGHTS;
+            let mut threshold = ALARM;
+            for update in schedule {
+                if update.at_entry <= record.index {
+                    weights = &update.weights;
+                    threshold = update.threshold;
+                }
+            }
+            weighted_alert(&record.votes, weights, threshold)
+        })
+        .collect()
+}
+
+fn print_row(label: &str, flags: &[bool], truth: &[bool], baseline: Option<&ConfusionMatrix>) {
+    let m = ConfusionMatrix::from_flags(flags, truth);
+    match baseline {
+        Some(b) => println!(
+            "  {label:<22} precision {:.3} ({:+.3})  recall {:.3} ({:+.3})",
+            m.precision(),
+            m.precision() - b.precision(),
+            m.sensitivity(),
+            m.sensitivity() - b.sensitivity()
+        ),
+        None => println!(
+            "  {label:<22} precision {:.3}           recall {:.3}",
+            m.precision(),
+            m.sensitivity()
+        ),
+    }
+}
+
+/// Self-driving run: live recalibrated pipeline into a store, then the
+/// three offline passes, with ground truth for precision/recall.
+fn run_smoke() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("divscrape-retro-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let cleanup = Cleanup(dir.clone());
+
+    let scenario = DriftScenario::scraper_population_shift(2024, 3_000);
+    let shift = scenario.phase_boundaries()[1];
+    let log = scenario.generate()?;
+    let truth: Vec<bool> = log.truth().iter().map(|t| t.is_malicious()).collect();
+    println!(
+        "drift stream: {} requests, population shift at {shift}",
+        log.len()
+    );
+
+    // Live run — recalibrating trio, full history into the store.
+    let sink = StoreSink::with_config(&dir, StoreConfig::default())?
+        .record_policy(RecordPolicy::AllEntries);
+    let mut live = PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .detector(RateLimiter::new(8))
+        .adjudication(Adjudication::weighted(INITIAL_WEIGHTS.to_vec(), ALARM))
+        .chunk_capacity(256)
+        .recalibration(RecalibrationPolicy::new().window(256).update_every(512))
+        .sink(sink)
+        .build()
+        .map_err(|e| e.to_string())?;
+    live.push_batch(log.entries());
+    let live_report = live.drain();
+    let schedule = live.rule_updates().to_vec();
+    drop(live);
+    println!(
+        "live run: {} alerts, {} recorded weight updates",
+        live_report.combined.count(),
+        schedule.len()
+    );
+
+    // Pass 1 — recorded schedule must reproduce the live run exactly.
+    let scored = read_scored(&dir)?;
+    if scored.len() != log.len() {
+        return Err(format!("store holds {} of {} entries", scored.len(), log.len()).into());
+    }
+    let retro = apply_schedule(&scored, &schedule);
+    let live_flags = live_report.combined.to_bools();
+    let mismatches = retro
+        .iter()
+        .zip(&live_flags)
+        .filter(|(a, b)| a != b)
+        .count();
+    println!("retro (recorded schedule): {mismatches} mismatches vs live alert set");
+    if mismatches != 0 {
+        return Err("retro-scored alert set diverged from the live run".into());
+    }
+
+    // Pass 2 — candidate rule: the initial weights, frozen.
+    let frozen: Vec<bool> = scored
+        .iter()
+        .map(|r| weighted_alert(&r.votes, &INITIAL_WEIGHTS, ALARM))
+        .collect();
+
+    // Pass 3 — candidate detector: a retuned rate limiter re-run over
+    // the stored CLF lines, substituted for the noisy member.
+    let entries = scored
+        .iter()
+        .map(|r| r.entry())
+        .collect::<Result<Vec<_>, _>>()?;
+    let candidate_votes = run_alerts(&mut RateLimiter::new(16), &entries);
+    let candidate: Vec<bool> = scored
+        .iter()
+        .zip(&candidate_votes)
+        .map(|(r, &rl)| {
+            let votes = [r.votes[0], r.votes[1], rl];
+            weighted_alert(&votes, &INITIAL_WEIGHTS, ALARM)
+        })
+        .collect();
+
+    let live_post = ConfusionMatrix::from_flags(&retro[shift..], &truth[shift..]);
+    println!("post-shift window ({} requests):", truth.len() - shift);
+    print_row(
+        "live (recalibrated)",
+        &retro[shift..],
+        &truth[shift..],
+        None,
+    );
+    print_row(
+        "frozen initial rule",
+        &frozen[shift..],
+        &truth[shift..],
+        Some(&live_post),
+    );
+    print_row(
+        "retuned rate limiter",
+        &candidate[shift..],
+        &truth[shift..],
+        Some(&live_post),
+    );
+
+    let frozen_post = ConfusionMatrix::from_flags(&frozen[shift..], &truth[shift..]);
+    if live_post.precision() <= frozen_post.precision() {
+        return Err("recalibrated rule should beat the frozen rule post-shift".into());
+    }
+    drop(cleanup);
+    println!("OK: retro-scored history reproduces the live run exactly");
+    Ok(())
+}
+
+/// Retro-scores an existing store with a candidate alarm threshold and
+/// diffs the result against the alerts the live run recorded.
+fn run_store(dir: &Path, alarm: f64) -> Result<(), Box<dyn std::error::Error>> {
+    let scored = read_scored(dir)?;
+    if scored.is_empty() {
+        return Err(format!("no score records in {} — was the sink built with RecordPolicy::AllEntries or VotedEntries?", dir.display()).into());
+    }
+    let members = scored[0].votes.len();
+    let weights = vec![1.0; members];
+    println!(
+        "{}: {} scored entries, {members} members; candidate rule: unit weights, alarm {alarm}",
+        dir.display(),
+        scored.len()
+    );
+
+    let recorded: BTreeSet<u64> = scored
+        .iter()
+        .filter(|r| r.alerted)
+        .map(|r| r.index)
+        .collect();
+    let candidate: BTreeSet<u64> = scored
+        .iter()
+        .filter(|r| weighted_alert(&r.votes, &weights, alarm))
+        .map(|r| r.index)
+        .collect();
+    let added = candidate.difference(&recorded).count();
+    let removed = recorded.difference(&candidate).count();
+    println!(
+        "recorded {} alerts; candidate {} alerts ({added} new, {removed} dropped)",
+        recorded.len(),
+        candidate.len()
+    );
+    Ok(())
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

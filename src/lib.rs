@@ -14,6 +14,8 @@
 //!   online adjudication, sinks, sharded workers).
 //! * [`ingest`] — live ingestion: file-tail, TCP-socket and replay log
 //!   sources driving the pipeline.
+//! * [`store`] — durable storage: the embedded alert/score store and the
+//!   spool queue behind the sinks.
 //! * [`study`] — the end-to-end diversity-study pipeline (`divscrape` core).
 //!
 //! See the individual crates for documentation, and `examples/quickstart.rs`
@@ -27,4 +29,5 @@ pub use divscrape_ensemble as ensemble;
 pub use divscrape_httplog as httplog;
 pub use divscrape_ingest as ingest;
 pub use divscrape_pipeline as pipeline;
+pub use divscrape_store as store;
 pub use divscrape_traffic as traffic;

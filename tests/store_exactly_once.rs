@@ -1,0 +1,236 @@
+//! The durable store's headline guarantee: **kill/restart mid-stream is
+//! invisible in the store**. A checkpointed `FileTail` feeding a
+//! pipeline with a `StoreSink` is killed mid-file (no drain, no final
+//! checkpoint, the store's last segment torn mid-frame); after restart
+//! the store's segment files are **byte-identical** to those of an
+//! uninterrupted run, with no duplicate keys — across worker counts
+//! {1, 4} and eviction {off, on}.
+//!
+//! The mechanism under test: `with_transactional_checkpoint` re-reads
+//! the log from its start on restart (re-warming per-client detector
+//! state deterministically), `run_checkpointed` commits the sidecar only
+//! after the pipeline drains (the sidecar never runs ahead of the
+//! store), and the store's keyed idempotent appends turn the replayed
+//! prefix into no-ops.
+
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use divscrape_detect::{Arcane, EvictionConfig, Sentinel};
+use divscrape_httplog::{LogEntry, LogWriter};
+use divscrape_ingest::{EndReason, FileTail, IngestDriver, LogSource, SourceEvent};
+use divscrape_pipeline::{Adjudication, Pipeline, PipelineBuilder, RecordPolicy, StoreSink};
+use divscrape_store::{AlertStore, StoreConfig};
+use divscrape_traffic::{generate, ScenarioConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "divscrape-exactly-once-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A small segment cap so even the tiny scenario spans several segment
+/// files — byte-identity must hold across rotation boundaries too.
+fn store_config() -> StoreConfig {
+    StoreConfig::default().segment_max_bytes(16 * 1024)
+}
+
+fn build_pipeline(dir: &PathBuf, workers: usize, eviction: Option<EvictionConfig>) -> Pipeline {
+    let sink = StoreSink::with_config(dir, store_config())
+        .unwrap()
+        .record_policy(RecordPolicy::AllEntries);
+    let mut builder = PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        // Static rule: chunk boundaries (and therefore drain points)
+        // never change verdicts, which is what lets the interrupted and
+        // uninterrupted runs agree bit for bit.
+        .adjudication(Adjudication::k_of_n(1))
+        .workers(workers)
+        .chunk_capacity(257)
+        .sink(sink);
+    if let Some(eviction) = eviction {
+        builder = builder.eviction(eviction);
+    }
+    builder.build().unwrap()
+}
+
+/// Drives the whole log file through a checkpointed tail, end to end.
+fn run_uninterrupted(
+    log_path: &PathBuf,
+    dir: &PathBuf,
+    workers: usize,
+    eviction: Option<EvictionConfig>,
+) {
+    let mut driver = IngestDriver::new(build_pipeline(dir, workers, eviction)).checkpoint_every(97);
+    let mut tail = FileTail::read_to_end(log_path)
+        .unwrap()
+        .with_transactional_checkpoint(dir.join("tail.ckpt"))
+        .unwrap();
+    let outcome = driver.run_checkpointed(&mut tail).unwrap();
+    assert_eq!(outcome.end, EndReason::SourceExhausted);
+    assert_eq!(outcome.stats.parse_errors, 0);
+}
+
+/// Feeds `n` lines from the tail into the pipeline by hand (the manual
+/// form of the driver loop, so the test controls exactly where the kill
+/// lands).
+fn push_lines(tail: &mut FileTail, pipeline: &mut Pipeline, n: usize) {
+    let mut pushed = 0;
+    while pushed < n {
+        match tail.poll(Duration::from_millis(20)).unwrap() {
+            SourceEvent::Line(line) => {
+                pipeline.push(LogEntry::parse(&line).unwrap());
+                pushed += 1;
+            }
+            SourceEvent::Idle => {}
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}
+
+/// Runs the same feed but dies mid-file: commit at ~1/3, push on to
+/// ~2/3 uncommitted, then drop everything without drain or checkpoint
+/// and tear the store's last segment mid-frame. The restarted run must
+/// heal all of it.
+fn run_interrupted(
+    log_path: &PathBuf,
+    dir: &PathBuf,
+    workers: usize,
+    eviction: Option<EvictionConfig>,
+    total: usize,
+) {
+    let sidecar = dir.join("tail.ckpt");
+    let mut pipeline = build_pipeline(dir, workers, eviction);
+    let mut tail = FileTail::read_to_end(log_path)
+        .unwrap()
+        .with_transactional_checkpoint(&sidecar)
+        .unwrap();
+
+    push_lines(&mut tail, &mut pipeline, total / 3);
+    let _ = pipeline.drain(); // records durable …
+    tail.checkpoint_now().unwrap(); // … then the commit
+    push_lines(&mut tail, &mut pipeline, total / 3);
+
+    // KILL: no drain, no checkpoint, sinks dropped cold. (The sidecar
+    // on disk is the mid-file commit — a transactional tail never
+    // auto-checkpoints on drop.)
+    drop(pipeline);
+    drop(tail);
+
+    // Torn write: the process died halfway through an append. Chop the
+    // last segment mid-frame; reopen must truncate the torn tail and
+    // the replay must restore the lost record.
+    let store = AlertStore::open(dir, store_config()).unwrap();
+    let last = store.segment_paths().pop().unwrap();
+    drop(store);
+    let bytes = std::fs::read(&last).unwrap();
+    assert!(bytes.len() > 5, "segment unexpectedly empty");
+    std::fs::write(&last, &bytes[..bytes.len() - 5]).unwrap();
+
+    // RESTART: same sidecar, same store dir, fresh pipeline. The tail
+    // re-reads from the file's start; the store skips everything it
+    // already holds and appends only the lost suffix.
+    let mut driver = IngestDriver::new(build_pipeline(dir, workers, eviction)).checkpoint_every(97);
+    let mut tail = FileTail::read_to_end(log_path)
+        .unwrap()
+        .with_transactional_checkpoint(&sidecar)
+        .unwrap();
+    assert!(
+        tail.committed_lines() >= (total / 3) as u64,
+        "the mid-file commit must be visible to the restarted tail"
+    );
+    let outcome = driver.run_checkpointed(&mut tail).unwrap();
+    assert_eq!(outcome.end, EndReason::SourceExhausted);
+    assert_eq!(outcome.stats.entries_ingested, total as u64);
+}
+
+/// Byte-for-byte comparison of two stores' segment files, plus a
+/// duplicate-key sweep over the healed store.
+fn assert_stores_identical(case: &str, reference: &PathBuf, healed: &PathBuf) {
+    let ref_store = AlertStore::open(reference, store_config()).unwrap();
+    let mut healed_store = AlertStore::open(healed, store_config()).unwrap();
+    let ref_segments = ref_store.segment_paths();
+    let healed_segments = healed_store.segment_paths();
+    assert_eq!(
+        ref_segments.len(),
+        healed_segments.len(),
+        "{case}: segment count diverged"
+    );
+    assert!(
+        ref_segments.len() > 1,
+        "{case}: want multiple segments for the comparison to mean anything"
+    );
+    for (r, h) in ref_segments.iter().zip(&healed_segments) {
+        assert_eq!(
+            r.file_name(),
+            h.file_name(),
+            "{case}: segment naming diverged"
+        );
+        assert_eq!(
+            std::fs::read(r).unwrap(),
+            std::fs::read(h).unwrap(),
+            "{case}: segment {:?} is not byte-identical",
+            r.file_name()
+        );
+    }
+    // No duplicate keys despite the replayed prefix.
+    let records = healed_store.records().unwrap();
+    let keys: HashSet<_> = records
+        .iter()
+        .map(|r| (r.key.tenant.clone(), r.kind, r.key.offset))
+        .collect();
+    assert_eq!(
+        keys.len(),
+        records.len(),
+        "{case}: duplicate keys in the healed store"
+    );
+    assert_eq!(
+        records.len() as u64,
+        ref_store.len(),
+        "{case}: record count diverged"
+    );
+}
+
+#[test]
+fn kill_and_restart_is_bit_identical_to_an_uninterrupted_run() {
+    let root = temp_dir("matrix");
+    let _cleanup = Cleanup(root.clone());
+    let log = generate(&ScenarioConfig::tiny(2024)).unwrap();
+    let entries = log.entries();
+    let log_path = root.join("access.log");
+    let mut writer = LogWriter::new(std::io::BufWriter::new(
+        std::fs::File::create(&log_path).unwrap(),
+    ));
+    writer.write_all(entries).unwrap();
+    writer.finish().unwrap().flush().unwrap();
+    let eviction = EvictionConfig::ttl(3_600).with_capacity(64);
+
+    for workers in [1usize, 4] {
+        for evict in [None, Some(eviction)] {
+            let case = format!("workers={workers} eviction={}", evict.is_some());
+            let ref_dir = root.join(format!("ref-w{workers}-e{}", evict.is_some()));
+            let healed_dir = root.join(format!("healed-w{workers}-e{}", evict.is_some()));
+            std::fs::create_dir_all(&ref_dir).unwrap();
+            std::fs::create_dir_all(&healed_dir).unwrap();
+
+            run_uninterrupted(&log_path, &ref_dir, workers, evict);
+            run_interrupted(&log_path, &healed_dir, workers, evict, entries.len());
+            assert_stores_identical(&case, &ref_dir, &healed_dir);
+        }
+    }
+}
