@@ -20,7 +20,7 @@ pub use config::ArcaneConfig;
 
 use std::collections::BTreeMap;
 
-use divscrape_httplog::{AgentFamily, LogEntry};
+use divscrape_httplog::{AgentFamily, EntryRef, EntryView, LogEntry};
 
 use crate::session::{SessionFeatures, Sessionizer, SessionizerConfig};
 use crate::{Detector, Verdict};
@@ -45,7 +45,7 @@ const PARTNER_UA_PREFIX: &str = "FareConnect-Partner-Client";
 pub struct Arcane {
     cfg: ArcaneConfig,
     sessions: Sessionizer,
-    rule_hits: BTreeMap<&'static str, u64>,
+    hit_counts: [u64; RULE_COUNT],
 }
 
 impl Arcane {
@@ -65,7 +65,7 @@ impl Arcane {
         Self {
             cfg,
             sessions: Sessionizer::new(SessionizerConfig::default()),
-            rule_hits: BTreeMap::new(),
+            hit_counts: [0; RULE_COUNT],
         }
     }
 
@@ -75,100 +75,173 @@ impl Arcane {
     }
 
     /// Requests on which each rule contributed score, since construction or
-    /// [`reset`](Detector::reset).
-    pub fn rule_hits(&self) -> &BTreeMap<&'static str, u64> {
-        &self.rule_hits
+    /// [`reset`](Detector::reset). Rules that never fired are absent.
+    ///
+    /// Built on demand: the hot path tallies into a fixed per-rule
+    /// counter array (indexed by rule-name position), not a map.
+    pub fn rule_hits(&self) -> BTreeMap<&'static str, u64> {
+        RULE_NAMES
+            .iter()
+            .zip(self.hit_counts)
+            .filter(|&(_, count)| count > 0)
+            .map(|(&name, count)| (name, count))
+            .collect()
     }
 
-    fn is_whitelisted(&self, entry: &LogEntry) -> bool {
+    fn is_whitelisted<E: EntryView>(&self, entry: &E) -> bool {
         if !self.cfg.enable_whitelist {
             return false;
         }
         // The in-house tool trusts identity alone (it has no address
         // intelligence) — a deliberate design difference from Sentinel.
         matches!(
-            entry.user_agent().family(),
+            entry.agent_family(),
             AgentFamily::KnownCrawler | AgentFamily::Monitor
-        ) || entry.user_agent().as_str().starts_with(PARTNER_UA_PREFIX)
+        ) || entry.ua_str().starts_with(PARTNER_UA_PREFIX)
+    }
+
+    /// The batch engine shared by the owned and borrowed batch paths —
+    /// generic over [`EntryView`], so both produce identical verdicts by
+    /// construction. Whitelisting, the key hash and the agent-family
+    /// classification are identity-derived: once per client run.
+    fn batch_core<E: EntryView>(&mut self, entries: &[E], out: &mut Vec<Verdict>) {
+        out.reserve(entries.len());
+        for run in crate::detector::client_runs(entries) {
+            let first = &run[0];
+
+            if self.is_whitelisted(first) {
+                out.extend(std::iter::repeat_n(Verdict::CLEAR, run.len()));
+                continue;
+            }
+            let key = first.client_key();
+            let family = first.agent_family();
+
+            for entry in run {
+                let features = self.sessions.observe_with_key(key, entry);
+                let (score, hits) = Self::score(&self.cfg, features, family);
+                let alert = score >= self.cfg.alert_threshold;
+                if alert {
+                    for rule in hits.iter() {
+                        self.hit_counts[rule] += 1;
+                    }
+                }
+                out.push(Verdict::new(alert, score as f32));
+            }
+        }
     }
 
     /// Scores the session this entry belongs to (after incorporating it).
     ///
     /// `family` is the entry's user-agent family — client-constant, so the
     /// batch path classifies it once per client run.
-    fn score(
-        cfg: &ArcaneConfig,
-        f: &SessionFeatures,
-        family: AgentFamily,
-    ) -> (u32, Vec<&'static str>) {
+    fn score(cfg: &ArcaneConfig, f: &SessionFeatures, family: AgentFamily) -> (u32, RuleHits) {
         let mut score = 0u32;
-        let mut hits = Vec::new();
-        let mut apply = |w: u32, name: &'static str, cond: bool| {
+        let mut hits = RuleHits::default();
+        let mut apply = |w: u32, rule: usize, cond: bool| {
             if w > 0 && cond {
                 score += w;
-                hits.push(name);
+                hits.set(rule);
             }
         };
 
         apply(
             cfg.w_tool_agent,
-            "tool_agent",
+            0, // tool_agent
             matches!(family, AgentFamily::HttpTool | AgentFamily::Empty),
         );
         apply(
             cfg.w_nonbrowsing_method,
-            "nonbrowsing_method",
+            1, // nonbrowsing_method
             f.nonbrowsing_methods > 0,
         );
-        apply(cfg.w_probe_path, "probe_path", f.probes > 0);
+        apply(
+            cfg.w_probe_path,
+            2, // probe_path
+            f.probes > 0,
+        );
         apply(
             cfg.w_asset_starvation,
-            "asset_starvation",
+            3, // asset_starvation
             f.pages >= cfg.starvation_min_pages && f.assets == 0,
         );
         apply(
             cfg.w_beacon_anomaly,
-            "beacon_anomaly",
+            4, // beacon_anomaly
             f.requests >= cfg.beacon_min_requests
                 && f.no_content >= cfg.beacon_min_count
                 && f.no_content_ratio() >= cfg.beacon_min_ratio,
         );
         apply(
             cfg.w_burst,
-            "burst",
+            5, // burst
             f.current_burst() >= cfg.burst_threshold,
         );
         apply(
             cfg.w_sustained_rate,
-            "sustained_rate",
+            6, // sustained_rate
             f.requests >= cfg.sustained_min_requests && f.mean_gap_secs() < cfg.sustained_gap_secs,
         );
         apply(
             cfg.w_error_ratio,
-            "error_ratio",
+            7, // error_ratio
             f.requests >= cfg.error_min_requests && f.error_ratio() >= cfg.error_ratio_threshold,
         );
         apply(
             cfg.w_bad_requests,
-            "bad_requests",
+            8, // bad_requests
             f.bad_requests >= cfg.bad_request_min,
         );
         apply(
             cfg.w_repetition,
-            "repetition",
+            9, // repetition
             f.offer_hits >= cfg.repetition_min_offers,
         );
         apply(
             cfg.w_robots_fetch,
-            "robots_fetch",
+            10, // robots_fetch
             f.robots_fetches > 0 && family != AgentFamily::KnownCrawler,
         );
         apply(
             cfg.w_no_referrer,
-            "no_referrer",
+            11, // no_referrer
             f.requests >= cfg.referrer_min_requests && f.referrer_ratio() < cfg.referrer_max_ratio,
         );
         (score, hits)
+    }
+}
+
+/// The rules one entry tripped, as a bitmask over rule ids (indices
+/// into [`RULE_NAMES`]). `score` runs once per entry on the hot path,
+/// so this must not heap-allocate.
+#[derive(Debug, Clone, Copy, Default)]
+struct RuleHits(u16);
+
+/// How many weighted rules `score` can trip for a single entry.
+const RULE_COUNT: usize = 12;
+
+/// Display names for the rules, indexed by the rule ids `score` uses.
+const RULE_NAMES: [&str; RULE_COUNT] = [
+    "tool_agent",
+    "nonbrowsing_method",
+    "probe_path",
+    "asset_starvation",
+    "beacon_anomaly",
+    "burst",
+    "sustained_rate",
+    "error_ratio",
+    "bad_requests",
+    "repetition",
+    "robots_fetch",
+    "no_referrer",
+];
+
+impl RuleHits {
+    fn set(&mut self, rule: usize) {
+        self.0 |= 1 << rule;
+    }
+
+    fn iter(self) -> impl Iterator<Item = usize> {
+        (0..RULE_COUNT).filter(move |rule| self.0 & (1 << rule) != 0)
     }
 }
 
@@ -186,44 +259,24 @@ impl Detector for Arcane {
         let (score, hits) = Self::score(&self.cfg, features, family);
         let alert = score >= self.cfg.alert_threshold;
         if alert {
-            for h in hits {
-                *self.rule_hits.entry(h).or_insert(0) += 1;
+            for rule in hits.iter() {
+                self.hit_counts[rule] += 1;
             }
         }
         Verdict::new(alert, score as f32)
     }
 
     fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
-        out.reserve(entries.len());
-        for run in crate::detector::client_runs(entries) {
-            let first = &run[0];
+        self.batch_core(entries, out);
+    }
 
-            // Whitelisting, the key hash and the agent-family
-            // classification are identity-derived: once per client run.
-            if self.is_whitelisted(first) {
-                out.extend(std::iter::repeat_n(Verdict::CLEAR, run.len()));
-                continue;
-            }
-            let key = first.client_key();
-            let family = first.user_agent().family();
-
-            for entry in run {
-                let features = self.sessions.observe_with_key(key, entry);
-                let (score, hits) = Self::score(&self.cfg, features, family);
-                let alert = score >= self.cfg.alert_threshold;
-                if alert {
-                    for h in hits {
-                        *self.rule_hits.entry(h).or_insert(0) += 1;
-                    }
-                }
-                out.push(Verdict::new(alert, score as f32));
-            }
-        }
+    fn observe_batch_refs(&mut self, entries: &[EntryRef<'_>], out: &mut Vec<Verdict>) {
+        self.batch_core(entries, out);
     }
 
     fn reset(&mut self) {
         self.sessions.reset();
-        self.rule_hits.clear();
+        self.hit_counts = [0; RULE_COUNT];
     }
 
     fn set_eviction(&mut self, cfg: crate::EvictionConfig) {

@@ -8,7 +8,7 @@
 //! committee can sit in a real pipeline and also exposes each member's
 //! contribution for the exclusive-alert investigation.
 
-use divscrape_httplog::LogEntry;
+use divscrape_httplog::{EntryRef, LogEntry};
 
 use crate::{Detector, Verdict};
 
@@ -106,6 +106,40 @@ impl Committee {
     }
 }
 
+impl Committee {
+    /// Folds one batch through every member: `feed` hands the batch to a
+    /// member (owned or borrowed form), and the member columns are folded
+    /// into k-out-of-n committee votes.
+    fn fold_batch(
+        &mut self,
+        len: usize,
+        out: &mut Vec<Verdict>,
+        mut feed: impl FnMut(&mut Box<dyn Detector + Send>, &mut Vec<Verdict>),
+    ) {
+        self.requests_seen += len as u64;
+        let mut votes = vec![0u32; len];
+        let mut buf = Vec::with_capacity(len);
+        for (i, member) in self.members.iter_mut().enumerate() {
+            buf.clear();
+            feed(member, &mut buf);
+            debug_assert_eq!(buf.len(), len, "member verdict count");
+            for (votes, v) in votes.iter_mut().zip(&buf) {
+                if v.alert {
+                    *votes += 1;
+                    self.member_alerts[i] += 1;
+                }
+            }
+        }
+        let n = self.members.len() as f32;
+        out.reserve(len);
+        out.extend(
+            votes
+                .into_iter()
+                .map(|v| Verdict::new(v as usize >= self.k, v as f32 / n)),
+        );
+    }
+}
+
 impl Detector for Committee {
     fn name(&self) -> &str {
         "committee"
@@ -133,27 +167,17 @@ impl Detector for Committee {
         // paths apply, then fold the member columns into committee votes.
         // Members only ever see entries in log order, so this is
         // verdict-identical to the per-entry path.
-        self.requests_seen += entries.len() as u64;
-        let mut votes = vec![0u32; entries.len()];
-        let mut buf = Vec::with_capacity(entries.len());
-        for (i, member) in self.members.iter_mut().enumerate() {
-            buf.clear();
-            member.observe_batch(entries, &mut buf);
-            debug_assert_eq!(buf.len(), entries.len(), "member verdict count");
-            for (votes, v) in votes.iter_mut().zip(&buf) {
-                if v.alert {
-                    *votes += 1;
-                    self.member_alerts[i] += 1;
-                }
-            }
-        }
-        let n = self.members.len() as f32;
-        out.reserve(entries.len());
-        out.extend(
-            votes
-                .into_iter()
-                .map(|v| Verdict::new(v as usize >= self.k, v as f32 / n)),
-        );
+        self.fold_batch(entries.len(), out, |member, buf| {
+            member.observe_batch(entries, buf)
+        });
+    }
+
+    fn observe_batch_refs(&mut self, entries: &[EntryRef<'_>], out: &mut Vec<Verdict>) {
+        // The borrowed twin: each member gets the refs batch, so members
+        // with a zero-copy path keep it under adjudication.
+        self.fold_batch(entries.len(), out, |member, buf| {
+            member.observe_batch_refs(entries, buf)
+        });
     }
 
     fn reset(&mut self) {

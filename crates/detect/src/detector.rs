@@ -6,7 +6,7 @@
 //! tables, so the trait is deliberately minimal: observe one entry, return a
 //! [`Verdict`].
 
-use divscrape_httplog::LogEntry;
+use divscrape_httplog::{EntryRef, EntryView, LogEntry};
 
 use crate::evict::{EvictionConfig, EvictionStats};
 
@@ -117,6 +117,22 @@ pub trait Detector {
         }
     }
 
+    /// Consumes a batch of **borrowed** entries ([`EntryRef`]), appending
+    /// one verdict per entry to `out` in order — the zero-copy twin of
+    /// [`observe_batch`](Self::observe_batch), fed by the pipeline's
+    /// arena-backed hot path.
+    ///
+    /// The default implementation materializes owned [`LogEntry`]s and
+    /// delegates, so every detector is correct out of the box; the stock
+    /// detectors override it with an allocation-free path generic over
+    /// [`EntryView`]. Overrides carry the same contract as
+    /// `observe_batch`: verdicts must be exactly what the owned path
+    /// would produce for the same lines, in any batching.
+    fn observe_batch_refs(&mut self, entries: &[EntryRef<'_>], out: &mut Vec<Verdict>) {
+        let owned: Vec<LogEntry> = entries.iter().map(EntryRef::to_entry).collect();
+        self.observe_batch(&owned, out);
+    }
+
     /// Clears all accumulated state, as if freshly constructed.
     fn reset(&mut self);
 
@@ -150,6 +166,10 @@ impl<D: Detector + ?Sized> Detector for Box<D> {
         (**self).observe_batch(entries, out)
     }
 
+    fn observe_batch_refs(&mut self, entries: &[EntryRef<'_>], out: &mut Vec<Verdict>) {
+        (**self).observe_batch_refs(entries, out)
+    }
+
     fn reset(&mut self) {
         (**self).reset()
     }
@@ -176,6 +196,10 @@ impl<D: Detector + ?Sized> Detector for &mut D {
         (**self).observe_batch(entries, out)
     }
 
+    fn observe_batch_refs(&mut self, entries: &[EntryRef<'_>], out: &mut Vec<Verdict>) {
+        (**self).observe_batch_refs(entries, out)
+    }
+
     fn reset(&mut self) {
         (**self).reset()
     }
@@ -196,15 +220,15 @@ impl<D: Detector + ?Sized> Detector for &mut D {
 /// work — key hashing, whitelist checks, signature and reputation lookups,
 /// state-table probes — over such runs, which real access logs are full of
 /// (bots burst, page views tow their asset fetches).
-pub(crate) fn client_span(entries: &[LogEntry]) -> usize {
+pub(crate) fn client_span<E: EntryView>(entries: &[E]) -> usize {
     let Some(first) = entries.first() else {
         return 0;
     };
     let addr = first.addr();
-    let agent = first.user_agent().as_str();
+    let agent = first.ua_str();
     1 + entries[1..]
         .iter()
-        .take_while(|e| e.addr() == addr && e.user_agent().as_str() == agent)
+        .take_while(|e| e.addr() == addr && e.ua_str() == agent)
         .count()
 }
 
@@ -212,7 +236,7 @@ pub(crate) fn client_span(entries: &[LogEntry]) -> usize {
 /// in order. The shared skeleton of every specialized `observe_batch`:
 /// detectors iterate the runs and hoist their client-constant work out of
 /// the per-entry loop.
-pub(crate) fn client_runs(entries: &[LogEntry]) -> impl Iterator<Item = &[LogEntry]> {
+pub(crate) fn client_runs<E: EntryView>(entries: &[E]) -> impl Iterator<Item = &[E]> {
     let mut rest = entries;
     std::iter::from_fn(move || {
         if rest.is_empty() {
@@ -358,7 +382,7 @@ mod tests {
             spans += 1;
         }
         assert!(spans < entries.len(), "log should contain client bursts");
-        assert_eq!(client_span(&[]), 0);
+        assert_eq!(client_span::<LogEntry>(&[]), 0);
     }
 
     #[test]

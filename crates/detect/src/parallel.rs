@@ -13,7 +13,7 @@
 //! [`Detector::observe_batch`], so detectors with a specialized batch path
 //! keep it under sharding.
 
-use divscrape_httplog::LogEntry;
+use divscrape_httplog::{EntryRef, LogEntry};
 
 use crate::session::Sessionizer;
 use crate::{Detector, Verdict};
@@ -111,6 +111,34 @@ pub fn run_index_runs<D: Detector + ?Sized>(
         }
         buf.clear();
         det.observe_batch(&entries[start..start + (end - pos)], &mut buf);
+        out.extend(buf.drain(..).enumerate().map(|(k, v)| (start + k, v)));
+        pos = end;
+    }
+    out
+}
+
+/// The borrowed twin of [`run_index_runs`]: feeds one shard's (sorted)
+/// indices into `entries` — a chunk's [`EntryRef`] views — through the
+/// detector via [`observe_batch_refs`](Detector::observe_batch_refs),
+/// batching maximal runs of consecutive indices. Returns
+/// `(original_index, verdict)` pairs. Used by the `divscrape-pipeline`
+/// worker pool's zero-copy path.
+pub fn run_index_runs_refs<D: Detector + ?Sized>(
+    det: &mut D,
+    entries: &[EntryRef<'_>],
+    indices: &[usize],
+) -> Vec<(usize, Verdict)> {
+    let mut out = Vec::with_capacity(indices.len());
+    let mut buf = Vec::new();
+    let mut pos = 0;
+    while pos < indices.len() {
+        let start = indices[pos];
+        let mut end = pos + 1;
+        while end < indices.len() && indices[end] == indices[end - 1] + 1 {
+            end += 1;
+        }
+        buf.clear();
+        det.observe_batch_refs(&entries[start..start + (end - pos)], &mut buf);
         out.extend(buf.drain(..).enumerate().map(|(k, v)| (start + k, v)));
         pos = end;
     }

@@ -30,7 +30,7 @@ pub use signature::SignatureEngine;
 
 use std::collections::{BTreeMap, VecDeque};
 
-use divscrape_httplog::{AgentFamily, LogEntry, ResourceClass};
+use divscrape_httplog::{AgentFamily, EntryRef, EntryView, LogEntry, ResourceClass};
 use divscrape_traffic::network::{self, IpPool};
 
 use crate::evict::{ClientStateTable, EvictionConfig, EvictionStats};
@@ -157,19 +157,16 @@ impl Sentinel {
         &self.trip_counts
     }
 
-    fn is_whitelisted(&self, entry: &LogEntry) -> bool {
+    fn is_whitelisted<E: EntryView>(&self, entry: &E) -> bool {
         if !self.cfg.enable_whitelist {
             return false;
         }
-        let family = entry.user_agent().family();
+        let family = entry.agent_family();
         let addr = entry.addr();
         match family {
             AgentFamily::KnownCrawler => self.crawler_ranges.iter().any(|r| r.contains(addr)),
             AgentFamily::Monitor => self.monitor_range.contains(addr),
-            _ => {
-                entry.user_agent().as_str().starts_with(PARTNER_UA_PREFIX)
-                    && self.partner_range.contains(addr)
-            }
+            _ => entry.ua_str().starts_with(PARTNER_UA_PREFIX) && self.partner_range.contains(addr),
         }
     }
 
@@ -179,14 +176,14 @@ impl Sentinel {
     /// The identity signals — signature and reputation — depend only on the
     /// client, so callers evaluate them once per client run and pass the
     /// results in; this is what the batch path amortizes.
-    fn update_and_signal(
+    fn update_and_signal<E: EntryView>(
         cfg: &SentinelConfig,
         state: &mut ClientState,
-        entry: &LogEntry,
+        entry: &E,
         signature_hit: bool,
         reputation_hit: bool,
     ) -> (Option<SentinelSignal>, u32) {
-        let ts = entry.timestamp().epoch_seconds();
+        let ts = entry.epoch_seconds();
 
         // Session-scoped challenge counters reset on idle.
         if state.last_ts != 0 && ts - state.last_ts > cfg.session_idle_secs {
@@ -196,10 +193,10 @@ impl Sentinel {
         }
         state.last_ts = ts;
 
-        let class = entry.request().path().resource_class();
+        let class = entry.resource_class();
         match class {
             ResourceClass::Page => state.pages_in_session += 1,
-            ResourceClass::Asset if entry.request().path().path().ends_with(".js") => {
+            ResourceClass::Asset if entry.path().ends_with(".js") => {
                 state.js_in_session += 1;
             }
             _ => {}
@@ -243,11 +240,90 @@ impl Sentinel {
     }
 
     /// Evaluates the client-constant identity signals for an entry.
-    fn identity_hits(&self, entry: &LogEntry) -> (bool, bool) {
+    fn identity_hits<E: EntryView>(&self, entry: &E) -> (bool, bool) {
         (
-            self.cfg.enable_signature && self.signatures.matches(entry.user_agent()),
+            self.cfg.enable_signature
+                && self
+                    .signatures
+                    .matches_parts(entry.agent_family(), entry.ua_str()),
             self.cfg.enable_reputation && self.reputation.is_listed(entry.addr()),
         )
+    }
+
+    /// The batch engine shared by the owned and borrowed batch paths —
+    /// generic over [`EntryView`], so both produce identical verdicts by
+    /// construction. Hoists identity-derived work (whitelist, key hash,
+    /// signature, reputation) out of each single-client run.
+    fn batch_core<E: EntryView>(&mut self, entries: &[E], out: &mut Vec<Verdict>) {
+        out.reserve(entries.len());
+        let evicting = self.eviction_enabled();
+        for run in crate::detector::client_runs(entries) {
+            let first = &run[0];
+
+            // Everything identity-derived is constant across the run:
+            // whitelisting, the client key hash, signature and reputation.
+            if self.is_whitelisted(first) {
+                out.extend(std::iter::repeat_n(Verdict::CLEAR, run.len()));
+                continue;
+            }
+            let key = first.client_key();
+            let (signature_hit, reputation_hit) = self.identity_hits(first);
+
+            if evicting {
+                // With eviction enabled the state tables must be touched
+                // per entry — a large idle gap *inside* a client run (the
+                // log held no other traffic in between) can expire state
+                // mid-run, and the per-entry path would see that. The
+                // identity work above stays amortized over the run.
+                for entry in run {
+                    let ts = entry.epoch_seconds();
+                    let cached = self.cfg.enable_violator_cache
+                        && self.violators.get_refresh(&key, ts).is_some();
+                    let (state, _) = self.clients.upsert_with(key, ts, ClientState::default);
+                    let (verdict, _) = Self::decide(
+                        &self.cfg,
+                        &mut self.violators,
+                        &mut self.trip_counts,
+                        state,
+                        entry,
+                        key,
+                        ts,
+                        cached,
+                        signature_hit,
+                        reputation_hit,
+                    );
+                    out.push(verdict);
+                }
+                continue;
+            }
+
+            // Eviction off: the tables behave like plain maps, so one
+            // probe per run is exact (what the batch path amortizes).
+            let ts0 = run[0].epoch_seconds();
+            let mut cached =
+                self.cfg.enable_violator_cache && self.violators.get_refresh(&key, ts0).is_some();
+            let (state, _) = self.clients.upsert_with(key, ts0, ClientState::default);
+
+            for entry in run {
+                let ts = entry.epoch_seconds();
+                // `cached` reflects the violator cache *before* this entry,
+                // exactly as the per-entry path's lookup sees it.
+                let (verdict, now_cached) = Self::decide(
+                    &self.cfg,
+                    &mut self.violators,
+                    &mut self.trip_counts,
+                    state,
+                    entry,
+                    key,
+                    ts,
+                    cached,
+                    signature_hit,
+                    reputation_hit,
+                );
+                cached = now_cached;
+                out.push(verdict);
+            }
+        }
     }
 
     /// The shared per-entry tail of both observe paths: update the
@@ -256,12 +332,12 @@ impl Sentinel {
     /// cache held this client before the entry; the second return value
     /// is whether it holds the client after.
     #[allow(clippy::too_many_arguments)]
-    fn decide(
+    fn decide<E: EntryView>(
         cfg: &SentinelConfig,
         violators: &mut ClientStateTable<SentinelSignal>,
         trip_counts: &mut BTreeMap<&'static str, u64>,
         state: &mut ClientState,
-        entry: &LogEntry,
+        entry: &E,
         key: ClientKey,
         ts: i64,
         cached_before: bool,
@@ -298,7 +374,7 @@ impl Detector for Sentinel {
         if self.is_whitelisted(entry) {
             return Verdict::CLEAR;
         }
-        let key = entry.client_key();
+        let key = EntryView::client_key(entry);
         let ts = entry.timestamp().epoch_seconds();
         let cached =
             self.cfg.enable_violator_cache && self.violators.get_refresh(&key, ts).is_some();
@@ -320,75 +396,11 @@ impl Detector for Sentinel {
     }
 
     fn observe_batch(&mut self, entries: &[LogEntry], out: &mut Vec<Verdict>) {
-        out.reserve(entries.len());
-        let evicting = self.eviction_enabled();
-        for run in crate::detector::client_runs(entries) {
-            let first = &run[0];
+        self.batch_core(entries, out);
+    }
 
-            // Everything identity-derived is constant across the run:
-            // whitelisting, the client key hash, signature and reputation.
-            if self.is_whitelisted(first) {
-                out.extend(std::iter::repeat_n(Verdict::CLEAR, run.len()));
-                continue;
-            }
-            let key = first.client_key();
-            let (signature_hit, reputation_hit) = self.identity_hits(first);
-
-            if evicting {
-                // With eviction enabled the state tables must be touched
-                // per entry — a large idle gap *inside* a client run (the
-                // log held no other traffic in between) can expire state
-                // mid-run, and the per-entry path would see that. The
-                // identity work above stays amortized over the run.
-                for entry in run {
-                    let ts = entry.timestamp().epoch_seconds();
-                    let cached = self.cfg.enable_violator_cache
-                        && self.violators.get_refresh(&key, ts).is_some();
-                    let (state, _) = self.clients.upsert_with(key, ts, ClientState::default);
-                    let (verdict, _) = Self::decide(
-                        &self.cfg,
-                        &mut self.violators,
-                        &mut self.trip_counts,
-                        state,
-                        entry,
-                        key,
-                        ts,
-                        cached,
-                        signature_hit,
-                        reputation_hit,
-                    );
-                    out.push(verdict);
-                }
-                continue;
-            }
-
-            // Eviction off: the tables behave like plain maps, so one
-            // probe per run is exact (what the batch path amortizes).
-            let ts0 = run[0].timestamp().epoch_seconds();
-            let mut cached =
-                self.cfg.enable_violator_cache && self.violators.get_refresh(&key, ts0).is_some();
-            let (state, _) = self.clients.upsert_with(key, ts0, ClientState::default);
-
-            for entry in run {
-                let ts = entry.timestamp().epoch_seconds();
-                // `cached` reflects the violator cache *before* this entry,
-                // exactly as the per-entry path's lookup sees it.
-                let (verdict, now_cached) = Self::decide(
-                    &self.cfg,
-                    &mut self.violators,
-                    &mut self.trip_counts,
-                    state,
-                    entry,
-                    key,
-                    ts,
-                    cached,
-                    signature_hit,
-                    reputation_hit,
-                );
-                cached = now_cached;
-                out.push(verdict);
-            }
-        }
+    fn observe_batch_refs(&mut self, entries: &[EntryRef<'_>], out: &mut Vec<Verdict>) {
+        self.batch_core(entries, out);
     }
 
     fn reset(&mut self) {

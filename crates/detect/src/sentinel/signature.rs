@@ -48,10 +48,16 @@ impl SignatureEngine {
 
     /// Whether the agent matches the blocklist.
     pub fn matches(&self, agent: &UserAgent) -> bool {
-        if self.blocked_families.contains(&agent.family()) {
+        self.matches_parts(agent.family(), agent.as_str())
+    }
+
+    /// [`matches`](Self::matches) with the family precomputed — the
+    /// allocation-free form used by the borrowed-entry hot path, where
+    /// the family was classified once at parse time (or interned).
+    pub fn matches_parts(&self, family: AgentFamily, raw: &str) -> bool {
+        if self.blocked_families.contains(&family) {
             return true;
         }
-        let raw = agent.as_str();
         self.fingerprint_markers.iter().any(|m| raw.contains(m))
     }
 

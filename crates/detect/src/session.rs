@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
-use divscrape_httplog::{ip::addr_hash, HttpMethod, LogEntry, ResourceClass};
+use divscrape_httplog::{fnv1a, ip::addr_hash, EntryView, HttpMethod, ResourceClass};
 
 use crate::evict::{ClientStateTable, EvictionConfig, EvictionStats};
 
@@ -83,27 +83,27 @@ pub struct SessionFeatures {
 }
 
 impl SessionFeatures {
-    fn start(entry: &LogEntry) -> Self {
+    fn start<E: EntryView>(entry: &E) -> Self {
         let mut f = SessionFeatures {
-            first_ts: entry.timestamp().epoch_seconds(),
-            last_ts: entry.timestamp().epoch_seconds(),
+            first_ts: entry.epoch_seconds(),
+            last_ts: entry.epoch_seconds(),
             ..SessionFeatures::default()
         };
         f.update(entry);
         f
     }
 
-    fn update(&mut self, entry: &LogEntry) {
-        let ts = entry.timestamp().epoch_seconds();
+    fn update<E: EntryView>(&mut self, entry: &E) {
+        let ts = entry.epoch_seconds();
         self.requests += 1;
         self.last_ts = ts;
 
-        let path = entry.request().path();
-        match path.resource_class() {
+        let path = entry.path();
+        match entry.resource_class() {
             ResourceClass::Page => self.pages += 1,
             ResourceClass::Asset => {
                 self.assets += 1;
-                if path.path().ends_with(".js") {
+                if path.ends_with(".js") {
                     self.js_assets += 1;
                 }
             }
@@ -112,10 +112,10 @@ impl SessionFeatures {
             ResourceClass::RobotsTxt => self.robots_fetches += 1,
             _ => {}
         }
-        if path.path().starts_with("/offers/") {
+        if path.starts_with("/offers/") {
             self.offer_hits += 1;
         }
-        if path.path().starts_with("/search") {
+        if path.starts_with("/search") {
             self.search_hits += 1;
         }
 
@@ -130,22 +130,17 @@ impl SessionFeatures {
             _ => {}
         }
 
-        match entry.request().method() {
+        match entry.method() {
             HttpMethod::Head => self.heads += 1,
             HttpMethod::Post => self.posts += 1,
             HttpMethod::Get => {}
             _ => self.nonbrowsing_methods += 1,
         }
-        if entry.referrer().is_some() {
+        if entry.has_referrer() {
             self.with_referrer += 1;
         }
 
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in path.as_str().as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        self.distinct.insert(h);
+        self.distinct.insert(fnv1a(entry.target().as_bytes()));
 
         while let Some(&front) = self.burst_window.front() {
             if ts - front >= BURST_WINDOW_SECS {
@@ -306,7 +301,7 @@ impl Sessionizer {
 
     /// Feeds one entry; returns the features of the session it belongs to
     /// (after incorporating the entry).
-    pub fn observe(&mut self, entry: &LogEntry) -> &SessionFeatures {
+    pub fn observe<E: EntryView>(&mut self, entry: &E) -> &SessionFeatures {
         let key = entry.client_key();
         self.observe_with_key(key, entry)
     }
@@ -318,8 +313,12 @@ impl Sessionizer {
     ///
     /// `key` must equal `entry.client_key()`; feeding a mismatched key
     /// files the entry under the wrong client.
-    pub fn observe_with_key(&mut self, key: ClientKey, entry: &LogEntry) -> &SessionFeatures {
-        let ts = entry.timestamp().epoch_seconds();
+    pub fn observe_with_key<E: EntryView>(
+        &mut self,
+        key: ClientKey,
+        entry: &E,
+    ) -> &SessionFeatures {
+        let ts = entry.epoch_seconds();
         let timeout = self.cfg.idle_timeout_secs;
         let completed = &mut self.completed;
         let (features, existed) = self

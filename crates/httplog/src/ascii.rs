@@ -1,0 +1,91 @@
+//! Allocation-free ASCII case-insensitive string predicates.
+//!
+//! The allocating classifiers ([`UserAgent::family`](crate::UserAgent::family),
+//! [`RequestPath::resource_class`](crate::RequestPath::resource_class))
+//! lowercase the whole haystack with `to_ascii_lowercase()` and then run
+//! case-sensitive matches against lowercase ASCII markers. These helpers
+//! compute the identical answers by comparing byte windows with
+//! [`eq_ignore_ascii_case`](slice::eq_ignore_ascii_case) instead:
+//! `to_ascii_lowercase` maps only ASCII uppercase bytes (non-ASCII bytes
+//! are untouched), so for a pure-lowercase-ASCII needle the two forms
+//! agree on every input. The equality is pinned by property tests in
+//! [`view`](crate::view).
+
+/// `haystack.to_ascii_lowercase() == needle` for lowercase-ASCII needles.
+pub(crate) fn eq_ignore_case(haystack: &str, needle: &str) -> bool {
+    haystack.len() == needle.len() && haystack.as_bytes().eq_ignore_ascii_case(needle.as_bytes())
+}
+
+/// `haystack.to_ascii_lowercase().starts_with(needle)` for
+/// lowercase-ASCII needles.
+pub(crate) fn starts_with_ignore_case(haystack: &str, needle: &str) -> bool {
+    haystack.len() >= needle.len()
+        && haystack.as_bytes()[..needle.len()].eq_ignore_ascii_case(needle.as_bytes())
+}
+
+/// `haystack.to_ascii_lowercase().ends_with(needle)` for lowercase-ASCII
+/// needles.
+pub(crate) fn ends_with_ignore_case(haystack: &str, needle: &str) -> bool {
+    haystack.len() >= needle.len()
+        && haystack.as_bytes()[haystack.len() - needle.len()..]
+            .eq_ignore_ascii_case(needle.as_bytes())
+}
+
+/// `haystack.to_ascii_lowercase().contains(needle)` for lowercase-ASCII
+/// needles.
+pub(crate) fn contains_ignore_case(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if haystack.len() < needle.len() {
+        return false;
+    }
+    haystack
+        .as_bytes()
+        .windows(needle.len())
+        .any(|w| w.eq_ignore_ascii_case(needle.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_match_their_allocating_forms() {
+        let cases = [
+            "",
+            "CURL/7.58.0",
+            "Mozilla/5.0 (compatible; Googlebot/2.1)",
+            "/Search?Q=x",
+            "/OFFERS/42",
+            "caf\u{e9}/UTF8\u{2603}",
+            "/sitemap-OFFERS.XML",
+        ];
+        let needles = ["curl/", "googlebot", "/search", ".xml", "mozilla/", ""];
+        for hay in cases {
+            let lower = hay.to_ascii_lowercase();
+            for needle in needles {
+                assert_eq!(
+                    contains_ignore_case(hay, needle),
+                    lower.contains(needle),
+                    "contains {hay:?} {needle:?}"
+                );
+                assert_eq!(
+                    starts_with_ignore_case(hay, needle),
+                    lower.starts_with(needle),
+                    "starts {hay:?} {needle:?}"
+                );
+                assert_eq!(
+                    ends_with_ignore_case(hay, needle),
+                    lower.ends_with(needle),
+                    "ends {hay:?} {needle:?}"
+                );
+                assert_eq!(
+                    eq_ignore_case(hay, needle),
+                    lower == needle,
+                    "eq {hay:?} {needle:?}"
+                );
+            }
+        }
+    }
+}

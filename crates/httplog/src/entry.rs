@@ -318,6 +318,16 @@ impl<'a> Cursor<'a> {
         if !rest.starts_with('"') {
             return Err(self.err(ParseLogErrorKind::MissingDelimiter("quoted field")));
         }
+        // Fast path — no escape before the closing quote (every line the
+        // workspace generator or a stock Apache emits): two vectorized
+        // scans instead of the byte-at-a-time escape walk below.
+        let body = &rest[1..];
+        if let Some(close) = body.find('"') {
+            if !body[..close].contains('\\') {
+                self.pos += close + 2;
+                return Ok(&body[..close]);
+            }
+        }
         let bytes = rest.as_bytes();
         let mut i = 1;
         while i < bytes.len() {
@@ -345,17 +355,43 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn dash_to_none(tok: &str) -> Option<String> {
-    (tok != "-").then(|| tok.to_owned())
+fn dash_to_none(tok: &str) -> Option<&str> {
+    (tok != "-").then_some(tok)
 }
 
-fn parse_line(line: &str) -> Result<LogEntry, ParseLogError> {
-    let mut cur = Cursor::new(line.trim_end_matches(['\r', '\n']));
+/// The fields of one Combined Log Format line, borrowed from the input —
+/// the shared parse core behind both [`LogEntry::parse`] (which
+/// materialises owned `String`s) and the zero-copy
+/// [`EntryRef`](crate::EntryRef) / [`EntryBlock`](crate::EntryBlock)
+/// spine (which keeps the borrows). One implementation means the two
+/// paths accept and reject exactly the same inputs with exactly the same
+/// [`ParseLogError`]s, by construction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RawParts<'s> {
+    pub(crate) addr: Ipv4Addr,
+    pub(crate) ident: Option<&'s str>,
+    pub(crate) user: Option<&'s str>,
+    pub(crate) timestamp: ClfTimestamp,
+    pub(crate) method: crate::HttpMethod,
+    pub(crate) target: &'s str,
+    pub(crate) version: crate::HttpVersion,
+    pub(crate) status: HttpStatus,
+    pub(crate) bytes: Option<u64>,
+    pub(crate) referrer: Option<&'s str>,
+    /// Raw user-agent field; `"-"` (CLF absent) is **not** yet
+    /// normalised, and a plain Common Log Format line yields `""`.
+    pub(crate) ua: &'s str,
+}
+
+/// Parses one CLF line into borrowed [`RawParts`]. The caller is
+/// expected to have stripped the line terminator (`parse_parts` of a
+/// string with trailing `\r`/`\n` fails on the final field).
+pub(crate) fn parse_parts(line: &str) -> Result<RawParts<'_>, ParseLogError> {
+    let mut cur = Cursor::new(line);
 
     let addr_tok = cur.take_token()?;
-    let addr: Ipv4Addr = addr_tok
-        .parse()
-        .map_err(|_| ParseLogError::new(ParseLogErrorKind::InvalidAddr, 0))?;
+    let addr = crate::ip::parse_ipv4(addr_tok)
+        .ok_or_else(|| ParseLogError::new(ParseLogErrorKind::InvalidAddr, 0))?;
 
     let ident = dash_to_none(cur.take_token()?);
     let user = dash_to_none(cur.take_token()?);
@@ -367,9 +403,8 @@ fn parse_line(line: &str) -> Result<LogEntry, ParseLogError> {
     cur.expect_space("request")?;
 
     let req_raw = cur.take_quoted()?;
-    let request: RequestLine = req_raw
-        .parse()
-        .map_err(|_| cur.err(ParseLogErrorKind::InvalidRequestLine(req_raw.to_owned())))?;
+    let (method, target, version) = parse_request_parts(req_raw)
+        .ok_or_else(|| cur.err(ParseLogErrorKind::InvalidRequestLine(req_raw.to_owned())))?;
     cur.expect_space("status")?;
 
     let status_tok = cur.take_token()?;
@@ -394,16 +429,18 @@ fn parse_line(line: &str) -> Result<LogEntry, ParseLogError> {
     // fields. Both occur in the wild (and the format is per-vhost
     // configuration), so accept either.
     if cur.rest().is_empty() {
-        return Ok(LogEntry {
+        return Ok(RawParts {
             addr,
             ident,
             user,
             timestamp,
-            request,
+            method,
+            target,
+            version,
             status,
             bytes,
             referrer: None,
-            user_agent: UserAgent::empty(),
+            ua: "",
         });
     }
 
@@ -411,23 +448,60 @@ fn parse_line(line: &str) -> Result<LogEntry, ParseLogError> {
     let referrer = dash_to_none(referrer_raw);
     cur.expect_space("user agent")?;
 
-    let ua_raw = cur.take_quoted()?;
-    let user_agent = UserAgent::new(ua_raw);
+    let ua = cur.take_quoted()?;
 
     if !cur.rest().is_empty() {
         return Err(cur.err(ParseLogErrorKind::MissingDelimiter("end of line")));
     }
 
-    Ok(LogEntry {
+    Ok(RawParts {
         addr,
         ident,
         user,
         timestamp,
-        request,
+        method,
+        target,
+        version,
         status,
         bytes,
         referrer,
-        user_agent,
+        ua,
+    })
+}
+
+/// Splits a quoted request field into (method, target, version) without
+/// allocating — the same validation `RequestLine::from_str` applies
+/// (known method, non-empty target, known version, no trailing parts).
+fn parse_request_parts(raw: &str) -> Option<(crate::HttpMethod, &str, crate::HttpVersion)> {
+    let mut parts = raw.split(' ');
+    let method: crate::HttpMethod = parts.next()?.parse().ok()?;
+    let target = parts.next()?;
+    if target.is_empty() {
+        return None;
+    }
+    let version: crate::HttpVersion = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((method, target, version))
+}
+
+fn parse_line(line: &str) -> Result<LogEntry, ParseLogError> {
+    let parts = parse_parts(line.trim_end_matches(['\r', '\n']))?;
+    Ok(LogEntry {
+        addr: parts.addr,
+        ident: parts.ident.map(str::to_owned),
+        user: parts.user.map(str::to_owned),
+        timestamp: parts.timestamp,
+        request: RequestLine::new(
+            parts.method,
+            crate::RequestPath::parse(parts.target),
+            parts.version,
+        ),
+        status: parts.status,
+        bytes: parts.bytes,
+        referrer: parts.referrer.map(str::to_owned),
+        user_agent: UserAgent::new(parts.ua),
     })
 }
 

@@ -14,8 +14,10 @@
 //!   discarded as it streams in — the framer never buffers more than the
 //!   cap — and surfaces as one [`FramedLine::Oversized`] event so callers
 //!   can count it, instead of silently vanishing or exhausting memory.
-//! * **Terminators and encoding are normalized.** Trailing `\r` is
-//!   stripped (CRLF senders welcome), blank lines are skipped (matching
+//! * **Terminators and encoding are normalized.** A line ends at
+//!   `\n` or `\r\n` — one trailing `\r` is stripped, like
+//!   [`BufRead::lines`](std::io::BufRead::lines) — blank lines are
+//!   skipped (matching
 //!   [`LogReader`](crate::LogReader)), and invalid UTF-8 is replaced
 //!   lossily so one mangled byte cannot wedge a feed.
 //!
@@ -32,11 +34,42 @@ pub enum FramedLine {
     /// A complete line (terminator stripped, never empty).
     Complete(String),
     /// A line longer than the framer's cap was discarded; `dropped_bytes`
-    /// is its length excluding the terminator.
+    /// is its length excluding the `\r?\n` terminator.
     Oversized {
         /// Bytes of line content discarded.
         dropped_bytes: usize,
     },
+}
+
+/// One framed unit borrowed from the framer's buffer — the zero-copy
+/// form of [`FramedLine`], returned by
+/// [`LineFramer::next_line_ref`]. The borrow is valid until the next
+/// call on the framer; consumers copy-free parse it in place
+/// (e.g. [`EntryBlock::push_line`](crate::EntryBlock::push_line)).
+#[derive(Debug, PartialEq, Eq)]
+pub enum FramedLineRef<'a> {
+    /// A complete line (terminator stripped, never empty). Invalid UTF-8
+    /// is replaced lossily, exactly like [`FramedLine::Complete`].
+    Complete(&'a str),
+    /// A line longer than the framer's cap was discarded; `dropped_bytes`
+    /// is its length excluding the `\r?\n` terminator.
+    Oversized {
+        /// Bytes of line content discarded.
+        dropped_bytes: usize,
+    },
+}
+
+impl FramedLineRef<'_> {
+    /// The owned form — what [`LineFramer::next_line`] would have
+    /// returned for the same bytes.
+    pub fn to_owned_line(&self) -> FramedLine {
+        match self {
+            FramedLineRef::Complete(s) => FramedLine::Complete((*s).to_owned()),
+            FramedLineRef::Oversized { dropped_bytes } => FramedLine::Oversized {
+                dropped_bytes: *dropped_bytes,
+            },
+        }
+    }
 }
 
 /// Reassembles complete lines from arbitrarily chunked bytes.
@@ -77,6 +110,10 @@ pub struct LineFramer {
     dropped: usize,
     lines: u64,
     oversized: u64,
+    /// Scratch for the rare invalid-UTF-8 line: `next_line_ref` rewrites
+    /// it lossily here instead of allocating, so the hot path (valid
+    /// UTF-8) borrows straight from `buf`.
+    lossy: String,
 }
 
 impl Default for LineFramer {
@@ -103,6 +140,7 @@ impl LineFramer {
             dropped: 0,
             lines: 0,
             oversized: 0,
+            lossy: String::new(),
         }
     }
 
@@ -124,39 +162,91 @@ impl LineFramer {
     /// Pops the next framed line, or `None` when no complete line is
     /// buffered yet. Blank lines are skipped; a buffered line exceeding
     /// the cap is discarded and reported as [`FramedLine::Oversized`].
+    ///
+    /// This is the owned convenience form of
+    /// [`next_line_ref`](Self::next_line_ref) (one `String` per line);
+    /// the two yield identical sequences on identical input.
     pub fn next_line(&mut self) -> Option<FramedLine> {
+        Some(self.next_line_ref()?.to_owned_line())
+    }
+
+    /// Pops the next framed line **without copying**: the returned
+    /// `&str` borrows the framer's internal buffer and stays valid until
+    /// the next call. Semantics are exactly [`next_line`](Self::next_line)'s
+    /// — blank lines skipped, over-long lines discarded and reported,
+    /// invalid UTF-8 replaced lossily (the one case that writes to an
+    /// internal scratch `String` instead of borrowing the buffer).
+    pub fn next_line_ref(&mut self) -> Option<FramedLineRef<'_>> {
         loop {
             let Some(rel) = self.buf[self.scan..].iter().position(|&b| b == b'\n') else {
                 self.scan = self.buf.len();
-                // No terminator in sight: once the pending line exceeds
-                // the cap (+1 slack for a buffered `\r`), stop buffering
-                // and discard until the terminator shows up.
-                if self.discarding || self.pending_bytes() > self.max_line + 1 {
-                    self.dropped += self.pending_bytes();
+                // No terminator in sight: once the pending *content*
+                // exceeds the cap, stop buffering and discard until the
+                // terminator shows up. A trailing `\r` is retained and
+                // not yet counted — it may turn out to be half of a
+                // `\r\n` terminator, which is never content — so the
+                // dropped-byte count is identical however the stream is
+                // chunked (at most one byte is held back).
+                let tail_cr = usize::from(self.buf.last() == Some(&b'\r'));
+                let content = self.pending_bytes() - tail_cr;
+                if self.discarding || content > self.max_line {
+                    self.dropped += content;
                     self.reset_buffer();
+                    if tail_cr == 1 {
+                        self.buf.push(b'\r');
+                        self.scan = 1;
+                    }
                     self.discarding = true;
                 }
                 return None;
             };
             let newline = self.scan + rel;
             if self.discarding {
-                let dropped_bytes = self.dropped + (newline - self.start);
+                let mut end = newline;
+                if end > self.start && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                let dropped_bytes = self.dropped + (end - self.start);
                 self.consume_through(newline);
                 self.discarding = false;
                 self.dropped = 0;
                 self.oversized += 1;
-                return Some(FramedLine::Oversized { dropped_bytes });
+                return Some(FramedLineRef::Oversized { dropped_bytes });
             }
             let mut end = newline;
-            while end > self.start && self.buf[end - 1] == b'\r' {
+            if end > self.start && self.buf[end - 1] == b'\r' {
                 end -= 1;
             }
-            let framed = self.frame(end);
+            let start = self.start;
+            let len = end - start;
+            // Consume first: it only moves indices, the bytes in
+            // `buf[start..end]` stay put until the next `push`.
             self.consume_through(newline);
-            if let Some(framed) = framed {
-                return Some(framed);
+            if len == 0 {
+                continue; // Blank line: keep scanning.
             }
-            // Blank line: keep scanning.
+            if len > self.max_line {
+                self.oversized += 1;
+                return Some(FramedLineRef::Oversized { dropped_bytes: len });
+            }
+            self.lines += 1;
+            return Some(FramedLineRef::Complete(Self::as_line_str(
+                &self.buf[start..end],
+                &mut self.lossy,
+            )));
+        }
+    }
+
+    /// Views framed bytes as a line: a direct borrow for valid UTF-8,
+    /// a lossy rewrite into `lossy` otherwise.
+    fn as_line_str<'a>(bytes: &'a [u8], lossy: &'a mut String) -> &'a str {
+        match std::str::from_utf8(bytes) {
+            Ok(s) => s,
+            Err(_) => {
+                lossy.clear();
+                lossy.extend(String::from_utf8_lossy(bytes).chars());
+                lossy
+            }
         }
     }
 
@@ -164,17 +254,17 @@ impl LineFramer {
     /// end-of-stream (a closed connection, the end of a static file).
     /// Afterwards the framer is empty and reusable.
     pub fn finish(&mut self) -> Option<FramedLine> {
+        let mut end = self.buf.len();
+        if end > self.start && self.buf[end - 1] == b'\r' {
+            end -= 1;
+        }
         if self.discarding {
-            let dropped_bytes = self.dropped + self.pending_bytes();
+            let dropped_bytes = self.dropped + (end - self.start);
             self.reset_buffer();
             self.discarding = false;
             self.dropped = 0;
             self.oversized += 1;
             return Some(FramedLine::Oversized { dropped_bytes });
-        }
-        let mut end = self.buf.len();
-        while end > self.start && self.buf[end - 1] == b'\r' {
-            end -= 1;
         }
         let framed = self.frame(end);
         self.reset_buffer();
@@ -361,6 +451,72 @@ mod tests {
         f.push(b"fresh\n");
         assert_eq!(complete(f.next_line()), "fresh");
         assert_eq!(f.lines_framed(), 1);
+    }
+
+    #[test]
+    fn oversized_crlf_dropped_count_is_chunking_invariant() {
+        // The `\r` of a `\r\n` terminator is never dropped content,
+        // however the bytes are chunked (found by the widened property
+        // sweep: the incremental discard path used to count it, the
+        // arrived-whole path did not).
+        let data = b"0123456789\r\nok\n";
+        let mut whole = LineFramer::with_max_line(4);
+        whole.push(data);
+        assert_eq!(
+            whole.next_line(),
+            Some(FramedLine::Oversized { dropped_bytes: 10 })
+        );
+        for chunk in 1..data.len() {
+            let mut f = LineFramer::with_max_line(4);
+            let mut got = Vec::new();
+            for piece in data.chunks(chunk) {
+                f.push(piece);
+                while let Some(line) = f.next_line() {
+                    got.push(line);
+                }
+            }
+            assert_eq!(
+                got,
+                vec![
+                    FramedLine::Oversized { dropped_bytes: 10 },
+                    FramedLine::Complete("ok".into())
+                ],
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_one_trailing_cr_is_terminator() {
+        // `\r\r\n` ends at `\r\n`; the first `\r` is line content. A
+        // multi-`\r` run at the cap boundary must classify the same way
+        // (Complete vs Oversized) on every chunking, which an
+        // all-trailing-`\r`s-stripped rule cannot guarantee.
+        let mut f = LineFramer::with_max_line(4);
+        f.push(b"ab\r\r\nxyzzy\r\r\n");
+        assert_eq!(f.next_line(), Some(FramedLine::Complete("ab\r".into())));
+        assert_eq!(
+            f.next_line(),
+            Some(FramedLine::Oversized { dropped_bytes: 6 })
+        );
+        for chunk in 1..13 {
+            let mut f = LineFramer::with_max_line(4);
+            let mut got = Vec::new();
+            for piece in b"ab\r\r\nxyzzy\r\r\n".chunks(chunk) {
+                f.push(piece);
+                while let Some(line) = f.next_line() {
+                    got.push(line);
+                }
+            }
+            assert_eq!(
+                got,
+                vec![
+                    FramedLine::Complete("ab\r".into()),
+                    FramedLine::Oversized { dropped_bytes: 6 }
+                ],
+                "chunk size {chunk}"
+            );
+        }
     }
 
     #[test]

@@ -122,6 +122,40 @@ impl FromStr for Cidr {
     }
 }
 
+/// Parses a dotted-quad IPv4 address, accepting exactly the strings
+/// `str::parse::<Ipv4Addr>` accepts (four decimal octets 0–255, no
+/// leading zeros, nothing else) — pinned against the standard parser
+/// by [`tests::fast_ipv4_parse_matches_std`]. Hand-rolled because the
+/// log-line hot path pays this per entry and the standard parser's
+/// generality costs measurably there.
+pub(crate) fn parse_ipv4(s: &str) -> Option<Ipv4Addr> {
+    let b = s.as_bytes();
+    let mut octets = [0u8; 4];
+    let mut i = 0;
+    for octet in &mut octets {
+        if i > 0 {
+            if b.get(i) != Some(&b'.') {
+                return None;
+            }
+            i += 1;
+        }
+        let start = i;
+        let mut value = 0u32;
+        while let Some(d) = b.get(i).filter(|d| d.is_ascii_digit()) {
+            value = value * 10 + u32::from(d - b'0');
+            i += 1;
+            if i - start > 3 {
+                return None;
+            }
+        }
+        if i == start || (i - start > 1 && b[start] == b'0') || value > 255 {
+            return None;
+        }
+        *octet = value as u8;
+    }
+    (i == b.len()).then(|| Ipv4Addr::from(octets))
+}
+
 /// A deterministic, well-distributed 64-bit hash of an IPv4 address.
 ///
 /// Used wherever the workspace needs a stable pseudo-random stream keyed by
@@ -207,6 +241,64 @@ mod tests {
         assert_eq!(host.host_count(), 1);
         assert!(host.contains(ip(8, 8, 8, 8)));
         assert!(!host.contains(ip(8, 8, 8, 9)));
+    }
+
+    #[test]
+    fn fast_ipv4_parse_matches_std() {
+        let mut corpus: Vec<String> = [
+            "",
+            ".",
+            "...",
+            "1.2.3.4",
+            "0.0.0.0",
+            "255.255.255.255",
+            "256.1.1.1",
+            "1.256.1.1",
+            "1.1.1.256",
+            "999.1.1.1",
+            "1.2.3",
+            "1.2.3.4.5",
+            "1.2.3.4.",
+            ".1.2.3.4",
+            "01.2.3.4",
+            "1.02.3.4",
+            "1.2.3.04",
+            "00.0.0.0",
+            "0.0.0.00",
+            "1.2.3.4 ",
+            " 1.2.3.4",
+            "1 .2.3.4",
+            "a.b.c.d",
+            "1.2.3.x",
+            "1,2,3,4",
+            "1..3.4",
+            "1.2.3.+4",
+            "1.2.3.-4",
+            "1.2.3.4\n",
+            "0x1.2.3.4",
+            "1.2.3.4/8",
+            "1234",
+            "192.168.000.001",
+            "１.2.3.4",
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+        // Dense sweep of single-octet edge values in every position.
+        for v in [0u32, 1, 9, 10, 99, 100, 199, 249, 250, 255, 256, 999] {
+            for pos in 0..4 {
+                let mut parts = ["1", "22", "3", "44"].map(str::to_owned);
+                parts[pos] = v.to_string();
+                corpus.push(parts.join("."));
+            }
+        }
+        for s in corpus {
+            assert_eq!(
+                parse_ipv4(&s),
+                s.parse::<Ipv4Addr>().ok(),
+                "fast parser diverged on {s:?}"
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ascii;
 mod entry;
 mod error;
 mod framing;
@@ -51,10 +52,11 @@ mod request;
 mod status;
 mod timestamp;
 mod useragent;
+pub mod view;
 
 pub use entry::{LogEntry, LogEntryBuilder};
 pub use error::{BuildLogEntryError, ParseLogError, ParseLogErrorKind};
-pub use framing::{FramedLine, LineFramer, DEFAULT_MAX_LINE};
+pub use framing::{FramedLine, FramedLineRef, LineFramer, DEFAULT_MAX_LINE};
 pub use io::{LogReader, LogWriter};
 pub use ip::Cidr;
 pub use method::{HttpMethod, ParseMethodError};
@@ -63,3 +65,4 @@ pub use request::{HttpVersion, RequestLine};
 pub use status::{HttpStatus, StatusClass};
 pub use timestamp::{ClfTimestamp, ParseTimestampError, SECONDS_PER_DAY};
 pub use useragent::{AgentFamily, UserAgent};
+pub use view::{fnv1a, EntryBlock, EntryRef, EntryView, UaInterner};

@@ -34,6 +34,53 @@ pub enum ResourceClass {
 }
 
 impl ResourceClass {
+    /// Classifies a path component (everything before `?`) **without
+    /// allocating** — byte-for-byte the same answer as
+    /// [`RequestPath::resource_class`] on a target with the same path
+    /// component. This is the hot-path form used by the borrowed-entry
+    /// spine ([`EntryRef`](crate::EntryRef)); the equivalence is pinned
+    /// by property tests in [`view`](crate::view).
+    pub fn classify(path: &str) -> ResourceClass {
+        use crate::ascii::{ends_with_ignore_case, eq_ignore_case, starts_with_ignore_case};
+        if contains_probe_marker(path) {
+            return ResourceClass::Probe;
+        }
+        if eq_ignore_case(path, "/robots.txt") {
+            return ResourceClass::RobotsTxt;
+        }
+        if eq_ignore_case(path, "/sitemap.xml")
+            || starts_with_ignore_case(path, "/sitemap") && ends_with_ignore_case(path, ".xml")
+        {
+            return ResourceClass::Sitemap;
+        }
+        if eq_ignore_case(path, "/favicon.ico") {
+            return ResourceClass::Favicon;
+        }
+        if eq_ignore_case(path, "/health")
+            || eq_ignore_case(path, "/ping")
+            || eq_ignore_case(path, "/status")
+        {
+            return ResourceClass::Health;
+        }
+        if has_asset_suffix(path) {
+            return ResourceClass::Asset;
+        }
+        if starts_with_ignore_case(path, "/api/") || eq_ignore_case(path, "/api") {
+            return ResourceClass::Api;
+        }
+        if eq_ignore_case(path, "/")
+            || starts_with_ignore_case(path, "/search")
+            || starts_with_ignore_case(path, "/offers")
+            || starts_with_ignore_case(path, "/booking")
+            || starts_with_ignore_case(path, "/deals")
+            || starts_with_ignore_case(path, "/destinations")
+            || ends_with_ignore_case(path, ".html")
+        {
+            return ResourceClass::Page;
+        }
+        ResourceClass::Other
+    }
+
     /// Whether requests of this class are normally produced by a browser
     /// rendering a page (pages and the subresources they pull in).
     pub fn is_browser_initiated(self) -> bool {
@@ -66,6 +113,65 @@ const PROBE_MARKERS: [&str; 12] = [
     "/vendor/phpunit",
     "/shell",
 ];
+
+/// Single pass over `path` testing every probe marker at once — the
+/// same answer as running `contains_ignore_case(path, m)` for each `m`
+/// in [`PROBE_MARKERS`] (pinned by [`tests::probe_scan_matches_marker_loop`]).
+/// Every marker starts with `/` or `.` and those anchor bytes have no
+/// case, so each candidate window begins at an anchor byte; the scan
+/// dispatches on the lowercased byte after the anchor instead of
+/// re-walking the haystack once per marker.
+fn contains_probe_marker(path: &str) -> bool {
+    let b = path.as_bytes();
+    let tail = |i: usize, needle: &str| {
+        let n = needle.as_bytes();
+        b.len() - i >= n.len() && b[i..i + n.len()].eq_ignore_ascii_case(n)
+    };
+    for i in 0..b.len() {
+        match b[i] {
+            b'/' => {
+                let Some(next) = b.get(i + 1) else { break };
+                let hit = match next.to_ascii_lowercase() {
+                    b'w' => tail(i, "/wp-admin") || tail(i, "/wp-login"),
+                    b'.' => tail(i, "/.env") || tail(i, "/.git"),
+                    b'p' => tail(i, "/phpmyadmin"),
+                    b'e' => tail(i, "/etc/passwd"),
+                    b'c' => tail(i, "/cgi-bin") || tail(i, "/config.php"),
+                    b'a' => tail(i, "/admin.php"),
+                    b'v' => tail(i, "/vendor/phpunit"),
+                    b's' => tail(i, "/shell"),
+                    _ => false,
+                };
+                if hit {
+                    return true;
+                }
+            }
+            b'.' if tail(i, "..%2f") => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// `ends_with_ignore_case(path, s)` for any `s` in [`ASSET_SUFFIXES`],
+/// dispatching on the lowercased final byte instead of testing all
+/// twelve suffixes (pinned by [`tests::asset_suffix_scan_matches_suffix_loop`]).
+fn has_asset_suffix(path: &str) -> bool {
+    use crate::ascii::ends_with_ignore_case;
+    let Some(last) = path.as_bytes().last() else {
+        return false;
+    };
+    let ends = |s: &str| ends_with_ignore_case(path, s);
+    match last.to_ascii_lowercase() {
+        b's' => ends(".css") || ends(".js"),
+        b'g' => ends(".png") || ends(".jpg") || ends(".jpeg") || ends(".svg"),
+        b'f' => ends(".gif") || ends(".woff") || ends(".ttf"),
+        b'2' => ends(".woff2"),
+        b'o' => ends(".ico"),
+        b'p' => ends(".map"),
+        _ => false,
+    }
+}
 
 /// A parsed request target: path plus optional query string.
 ///
@@ -285,6 +391,89 @@ mod tests {
         let raw = "/offers/99?x=1&y=2";
         assert_eq!(RequestPath::parse(raw).to_string(), raw);
         assert_eq!(RequestPath::from(raw).as_str(), raw);
+    }
+
+    /// Exhaustive-ish corpus for the scan-vs-loop equivalence tests:
+    /// every marker/suffix verbatim, uppercased, embedded mid-path,
+    /// truncated, and near-miss variants.
+    fn scan_corpus() -> Vec<String> {
+        let mut corpus: Vec<String> = [
+            "",
+            "/",
+            "/offers/42",
+            "/search?q=x",
+            "/static/app.js",
+            "/A/B/C",
+            "/.",
+            "/..",
+            "/wp",
+            "/wp-",
+            "/wp-admi",
+            "/shel",
+            "/shellx",
+            "/x/shell",
+            "/conf.php",
+            "/a/..%2",
+            "..%2f",
+            "..%2F",
+            "/a/..%2f/etc/passwd",
+            "/.envy",
+            "/.gitignore",
+            "/file.jpg",
+            "/file.JPEG?x=1",
+            "/file.jpgx",
+            "/woff2",
+            ".css",
+            "/a.tar.css",
+            "/a.css.bak",
+            "/x.ph",
+            "/etc/passw",
+            "/vendor/phpuni",
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+        for marker in PROBE_MARKERS {
+            corpus.push(marker.to_owned());
+            corpus.push(marker.to_ascii_uppercase());
+            corpus.push(format!("/pre{marker}/post"));
+            corpus.push(marker[..marker.len() - 1].to_owned());
+        }
+        for suffix in ASSET_SUFFIXES {
+            corpus.push(format!("/static/app{suffix}"));
+            corpus.push(format!("/static/app{}", suffix.to_ascii_uppercase()));
+            corpus.push(format!("/static/app{suffix}.bak"));
+            corpus.push(suffix.to_owned());
+        }
+        corpus
+    }
+
+    #[test]
+    fn probe_scan_matches_marker_loop() {
+        use crate::ascii::contains_ignore_case;
+        for path in scan_corpus() {
+            let reference = PROBE_MARKERS.iter().any(|m| contains_ignore_case(&path, m));
+            assert_eq!(
+                contains_probe_marker(&path),
+                reference,
+                "probe scan diverged on {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn asset_suffix_scan_matches_suffix_loop() {
+        use crate::ascii::ends_with_ignore_case;
+        for path in scan_corpus() {
+            let reference = ASSET_SUFFIXES
+                .iter()
+                .any(|s| ends_with_ignore_case(&path, s));
+            assert_eq!(
+                has_asset_suffix(&path),
+                reference,
+                "asset suffix scan diverged on {path:?}"
+            );
+        }
     }
 
     #[test]

@@ -279,11 +279,55 @@ fn month_from_abbrev(abbrev: &str) -> Option<u32> {
         .map(|i| i as u32 + 1)
 }
 
+/// The fixed-width shape Apache always writes (`dd/Mon/yyyy:HH:MM:SS
+/// ±zzzz`, exactly 26 bytes), decoded straight from the bytes — the
+/// parse-to-verdict hot path runs this once per log line, so it must
+/// not pay the general tokenizer's splitting and re-validation.
+/// Returns `None` for anything off-shape; the caller falls back to the
+/// flexible parser, which accepts the same values, so the two paths
+/// decide identically.
+fn parse_fixed_width(s: &str) -> Option<ClfTimestamp> {
+    let b = s.as_bytes();
+    if b.len() != 26
+        || b[2] != b'/'
+        || b[6] != b'/'
+        || b[11] != b':'
+        || b[14] != b':'
+        || b[17] != b':'
+        || b[20] != b' '
+    {
+        return None;
+    }
+    // Two decimal digits starting at `i`, already bounds-checked above.
+    let two = |i: usize| -> Option<u32> {
+        let (hi, lo) = (b[i].wrapping_sub(b'0'), b[i + 1].wrapping_sub(b'0'));
+        (hi <= 9 && lo <= 9).then_some(u32::from(hi) * 10 + u32::from(lo))
+    };
+    let day = two(0)?;
+    let month = month_from_abbrev(&s[3..6])?;
+    let year = i64::from(two(7)? * 100 + two(9)?);
+    let (hour, minute, second) = (two(12)?, two(15)?, two(18)?);
+    let sign = match b[21] {
+        b'+' => 1i64,
+        b'-' => -1i64,
+        _ => return None,
+    };
+    let (zh, zm) = (i64::from(two(22)?), i64::from(two(24)?));
+    if zh > 14 || zm > 59 {
+        return None;
+    }
+    let local = ClfTimestamp::from_ymd_hms(year, month, day, hour, minute, second)?;
+    Some(local.plus_seconds(-sign * (zh * 3600 + zm * 60)))
+}
+
 impl FromStr for ClfTimestamp {
     type Err = ParseTimestampError;
 
     /// Parses `dd/Mon/yyyy:HH:MM:SS ±zzzz`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(ts) = parse_fixed_width(s) {
+            return Ok(ts);
+        }
         let err = |reason| ParseTimestampError::new(s, reason);
 
         let (datetime, zone) = s.split_once(' ').ok_or_else(|| err("missing zone"))?;

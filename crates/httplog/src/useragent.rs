@@ -53,6 +53,34 @@ const TOOL_MARKERS: [&str; 12] = [
 
 const MONITOR_MARKERS: [&str; 4] = ["pingdom", "uptimerobot", "statuscake", "site24x7"];
 
+impl AgentFamily {
+    /// Classifies a raw user-agent string **without allocating** —
+    /// byte-for-byte the same answer as
+    /// [`UserAgent::family`] on the same (already `-`-normalised)
+    /// string. This is the hot-path form used by the borrowed-entry
+    /// spine ([`EntryRef`](crate::EntryRef)); the equivalence is pinned
+    /// by property tests in [`view`](crate::view).
+    pub fn classify(raw: &str) -> AgentFamily {
+        use crate::ascii::{contains_ignore_case, starts_with_ignore_case};
+        if raw.is_empty() {
+            return AgentFamily::Empty;
+        }
+        if CRAWLER_MARKERS.iter().any(|m| contains_ignore_case(raw, m)) {
+            return AgentFamily::KnownCrawler;
+        }
+        if MONITOR_MARKERS.iter().any(|m| contains_ignore_case(raw, m)) {
+            return AgentFamily::Monitor;
+        }
+        if TOOL_MARKERS.iter().any(|m| contains_ignore_case(raw, m)) {
+            return AgentFamily::HttpTool;
+        }
+        if starts_with_ignore_case(raw, "mozilla/") {
+            return AgentFamily::Browser;
+        }
+        AgentFamily::Unknown
+    }
+}
+
 /// A user-agent string as logged, with lazy classification.
 ///
 /// ```

@@ -1,0 +1,789 @@
+//! The zero-copy entry spine: borrowed log-entry views, the per-chunk
+//! text arena, and the user-agent interner.
+//!
+//! [`LogEntry`] owns heap `String`s for every text field, which is the
+//! right shape for serialization and long-lived storage but wasteful on
+//! the parse → detect hot path, where an entry is inspected once and
+//! dropped. This module provides the borrowed alternative:
+//!
+//! * [`EntryRef`] is a `Copy` view of one parsed line, borrowing its
+//!   text from wherever the line lives. Classification
+//!   (resource class, agent family, fingerprint) is computed **once at
+//!   parse time** with the allocation-free classifiers
+//!   ([`AgentFamily::classify`], [`ResourceClass::classify`]) instead of
+//!   per detector per entry.
+//! * [`EntryView`] abstracts over owned and borrowed entries, so a
+//!   detector's core logic is written once and runs on both. The
+//!   [`LogEntry`] implementation delegates to the existing (allocating)
+//!   accessors — the owned path's cost and verdicts are untouched.
+//! * [`EntryBlock`] is the per-chunk arena: parsed lines are appended to
+//!   one contiguous text buffer with compact per-entry metadata, so a
+//!   whole chunk of entries is freed (and the buffers reused) in O(1)
+//!   when the chunk finalizes.
+//! * [`UaInterner`] caches `(fingerprint, family)` per distinct
+//!   user-agent string, so repeated agents — the overwhelmingly common
+//!   case — cost one hash lookup instead of a classify pass.
+//!
+//! Both parse paths share one core (`parse_parts` in the entry module),
+//! so [`EntryRef::parse`] and [`LogEntry::parse`] accept and reject
+//! exactly the same lines with exactly the same errors, by construction;
+//! the property tests at the bottom of this module pin that and the
+//! classifier equivalences on hostile inputs.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::entry::{parse_parts, RawParts};
+use crate::error::ParseLogError;
+use crate::{AgentFamily, ClfTimestamp, HttpMethod, HttpStatus, LogEntry, ResourceClass};
+
+/// FNV-1a over raw bytes — the same stable 64-bit hash as
+/// [`UserAgent::fingerprint`](crate::UserAgent::fingerprint), usable
+/// without materialising a [`UserAgent`](crate::UserAgent).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Everything a detector reads from a log entry, abstracted over owned
+/// ([`LogEntry`]) and borrowed ([`EntryRef`]) representations.
+///
+/// The detectors' batch cores are generic over this trait, which is what
+/// makes the zero-copy path verdict-identical to the owned path: both
+/// run the *same* code, they only differ in where the bytes live and
+/// whether classification was precomputed.
+pub trait EntryView {
+    /// The client address.
+    fn addr(&self) -> Ipv4Addr;
+    /// When the request completed, as Unix epoch seconds.
+    fn epoch_seconds(&self) -> i64;
+    /// The request method.
+    fn method(&self) -> HttpMethod;
+    /// The full request target, query string included.
+    fn target(&self) -> &str;
+    /// The path component of the target (everything before `?`).
+    fn path(&self) -> &str;
+    /// The response status.
+    fn status(&self) -> HttpStatus;
+    /// Whether a `Referer` header was sent.
+    fn has_referrer(&self) -> bool;
+    /// The user-agent string (empty when absent; `-` is normalised away).
+    fn ua_str(&self) -> &str;
+    /// The user agent's coarse family.
+    fn agent_family(&self) -> AgentFamily;
+    /// The user agent's stable 64-bit fingerprint.
+    fn ua_fingerprint(&self) -> u64;
+    /// The target's resource class.
+    fn resource_class(&self) -> ResourceClass;
+
+    /// Key identifying the client: address plus user-agent fingerprint
+    /// (see [`LogEntry::client_key`]).
+    fn client_key(&self) -> (Ipv4Addr, u64) {
+        (self.addr(), self.ua_fingerprint())
+    }
+}
+
+impl EntryView for LogEntry {
+    fn addr(&self) -> Ipv4Addr {
+        LogEntry::addr(self)
+    }
+
+    fn epoch_seconds(&self) -> i64 {
+        self.timestamp().epoch_seconds()
+    }
+
+    fn method(&self) -> HttpMethod {
+        self.request().method()
+    }
+
+    fn target(&self) -> &str {
+        self.request().path().as_str()
+    }
+
+    fn path(&self) -> &str {
+        self.request().path().path()
+    }
+
+    fn status(&self) -> HttpStatus {
+        LogEntry::status(self)
+    }
+
+    fn has_referrer(&self) -> bool {
+        self.referrer().is_some()
+    }
+
+    fn ua_str(&self) -> &str {
+        self.user_agent().as_str()
+    }
+
+    fn agent_family(&self) -> AgentFamily {
+        self.user_agent().family()
+    }
+
+    fn ua_fingerprint(&self) -> u64 {
+        self.user_agent().fingerprint()
+    }
+
+    fn resource_class(&self) -> ResourceClass {
+        self.request().path().resource_class()
+    }
+
+    fn client_key(&self) -> (Ipv4Addr, u64) {
+        LogEntry::client_key(self)
+    }
+}
+
+/// A borrowed, `Copy` view of one parsed Combined Log Format line — the
+/// zero-copy counterpart of [`LogEntry`].
+///
+/// Text fields borrow from the parsed line (or from an [`EntryBlock`]'s
+/// arena); classification is precomputed at parse time. Fields detectors
+/// never read (ident, user, referrer text, response size) are not
+/// carried — [`to_entry`](Self::to_entry) reparses the retained full
+/// line when an owned entry is needed, so nothing is lost.
+///
+/// ```
+/// use divscrape_httplog::{EntryRef, EntryView, ResourceClass};
+///
+/// let line = r#"10.0.0.9 - - [11/Mar/2018:00:00:05 +0000] "GET /offers?p=2 HTTP/1.1" 200 77 "-" "curl/7.58.0""#;
+/// let view = EntryRef::parse(line)?;
+/// assert_eq!(view.path(), "/offers");
+/// assert_eq!(view.resource_class(), ResourceClass::Page);
+/// assert_eq!(view.to_entry(), divscrape_httplog::LogEntry::parse(line)?);
+/// # Ok::<(), divscrape_httplog::ParseLogError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryRef<'s> {
+    line: &'s str,
+    addr: Ipv4Addr,
+    timestamp: ClfTimestamp,
+    method: HttpMethod,
+    target: &'s str,
+    /// Bytes of `target` before `?` (the whole target when no query).
+    path_len: u32,
+    status: HttpStatus,
+    has_referrer: bool,
+    ua: &'s str,
+    ua_fp: u64,
+    family: AgentFamily,
+    resource: ResourceClass,
+}
+
+impl<'s> EntryRef<'s> {
+    /// Parses a Combined Log Format line in place — no allocation, same
+    /// accept/reject behaviour and [`ParseLogError`]s as
+    /// [`LogEntry::parse`] (both delegate to one shared core).
+    pub fn parse(line: &'s str) -> Result<Self, ParseLogError> {
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        let parts = parse_parts(trimmed)?;
+        let ua = normalize_ua(parts.ua);
+        Ok(Self::from_parts(
+            trimmed,
+            &parts,
+            ua,
+            fnv1a(ua.as_bytes()),
+            AgentFamily::classify(ua),
+        ))
+    }
+
+    /// Assembles the view from parsed parts plus precomputed (possibly
+    /// interned) agent identity.
+    fn from_parts(
+        line: &'s str,
+        parts: &RawParts<'s>,
+        ua: &'s str,
+        ua_fp: u64,
+        family: AgentFamily,
+    ) -> Self {
+        let path_len = parts.target.find('?').unwrap_or(parts.target.len());
+        EntryRef {
+            line,
+            addr: parts.addr,
+            timestamp: parts.timestamp,
+            method: parts.method,
+            target: parts.target,
+            path_len: path_len as u32,
+            status: parts.status,
+            has_referrer: parts.referrer.is_some(),
+            ua,
+            ua_fp,
+            family,
+            resource: ResourceClass::classify(&parts.target[..path_len]),
+        }
+    }
+
+    /// The full original line (terminator stripped).
+    pub fn line(&self) -> &'s str {
+        self.line
+    }
+
+    /// When the request completed.
+    pub fn timestamp(&self) -> ClfTimestamp {
+        self.timestamp
+    }
+
+    /// Materialises the owned [`LogEntry`] by reparsing the retained
+    /// line — bit-identical to [`LogEntry::parse`] of the original
+    /// input, including the fields the view itself does not carry.
+    pub fn to_entry(&self) -> LogEntry {
+        LogEntry::parse(self.line).expect("EntryRef always wraps a line that parsed")
+    }
+}
+
+impl EntryView for EntryRef<'_> {
+    fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    fn epoch_seconds(&self) -> i64 {
+        self.timestamp.epoch_seconds()
+    }
+
+    fn method(&self) -> HttpMethod {
+        self.method
+    }
+
+    fn target(&self) -> &str {
+        self.target
+    }
+
+    fn path(&self) -> &str {
+        &self.target[..self.path_len as usize]
+    }
+
+    fn status(&self) -> HttpStatus {
+        self.status
+    }
+
+    fn has_referrer(&self) -> bool {
+        self.has_referrer
+    }
+
+    fn ua_str(&self) -> &str {
+        self.ua
+    }
+
+    fn agent_family(&self) -> AgentFamily {
+        self.family
+    }
+
+    fn ua_fingerprint(&self) -> u64 {
+        self.ua_fp
+    }
+
+    fn resource_class(&self) -> ResourceClass {
+        self.resource
+    }
+}
+
+/// The CLF absent marker normalised away, mirroring [`UserAgent::new`].
+fn normalize_ua(raw: &str) -> &str {
+    if raw == "-" {
+        ""
+    } else {
+        raw
+    }
+}
+
+/// Default capacity bound of a [`UaInterner`] (distinct agents).
+const DEFAULT_INTERNER_CAP: usize = 4096;
+
+/// Caches `(fingerprint, family)` per distinct user-agent string.
+///
+/// Real traffic repeats a small set of agent strings millions of times;
+/// interning turns the per-entry classify-and-hash into one map lookup
+/// (allocation-free: the probe borrows the candidate string). The table
+/// is cleared when it reaches its capacity bound, so a hostile feed of
+/// unique agents costs re-classification, never unbounded memory.
+#[derive(Debug, Clone)]
+pub struct UaInterner {
+    map: HashMap<String, (u64, AgentFamily)>,
+    cap: usize,
+}
+
+impl Default for UaInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UaInterner {
+    /// An interner with the default capacity bound.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_INTERNER_CAP)
+    }
+
+    /// An interner holding at most `cap` distinct agents (≥ 1) before
+    /// clearing.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The agent's `(fingerprint, family)`, computed on first sight and
+    /// cached. `ua` must already be `-`-normalised (empty when absent).
+    pub fn resolve(&mut self, ua: &str) -> (u64, AgentFamily) {
+        if let Some(&cached) = self.map.get(ua) {
+            return cached;
+        }
+        let identity = (fnv1a(ua.as_bytes()), AgentFamily::classify(ua));
+        if self.map.len() >= self.cap {
+            self.map.clear();
+        }
+        self.map.insert(ua.to_owned(), identity);
+        identity
+    }
+
+    /// Distinct agents currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Per-entry metadata inside an [`EntryBlock`]: `Copy` scalars plus byte
+/// ranges into the block's text arena.
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    line: (u32, u32),
+    addr: Ipv4Addr,
+    timestamp: ClfTimestamp,
+    method: HttpMethod,
+    target: (u32, u32),
+    path_len: u32,
+    status: HttpStatus,
+    has_referrer: bool,
+    ua: (u32, u32),
+    ua_fp: u64,
+    family: AgentFamily,
+    resource: ResourceClass,
+}
+
+/// A chunk-sized arena of parsed entries: one contiguous text buffer
+/// plus compact per-entry metadata.
+///
+/// Lines are parsed **before** being appended (a malformed line leaves
+/// the block untouched), so every stored entry is valid by construction
+/// and [`view`](Self::view) is infallible. Finalizing a chunk frees all
+/// of its entries at once — [`clear`](Self::clear) keeps the buffers'
+/// capacity, so a recycled block's steady state performs **zero heap
+/// allocations per entry** (pinned by the repository's counting-allocator
+/// test).
+///
+/// ```
+/// use divscrape_httplog::{EntryBlock, EntryView};
+///
+/// let mut block = EntryBlock::new();
+/// block.push_line(r#"10.0.0.9 - - [11/Mar/2018:00:00:05 +0000] "GET /offers HTTP/1.1" 200 77 "-" "curl/7.58.0""#)?;
+/// assert_eq!(block.len(), 1);
+/// assert_eq!(block.view(0).path(), "/offers");
+/// # Ok::<(), divscrape_httplog::ParseLogError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct EntryBlock {
+    text: String,
+    metas: Vec<EntryMeta>,
+    interner: UaInterner,
+}
+
+impl EntryBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses one CLF line and appends it to the arena. On error nothing
+    /// is stored and the error is exactly what [`LogEntry::parse`] would
+    /// report for the same line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLogError`] with the failing field kind and byte
+    /// offset.
+    pub fn push_line(&mut self, line: &str) -> Result<(), ParseLogError> {
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        let parts = parse_parts(trimmed)?;
+        let ua = normalize_ua(parts.ua);
+        let (ua_fp, family) = self.interner.resolve(ua);
+        let base = self.text.len();
+        let range = |s: &str| -> (u32, u32) {
+            if s.is_empty() {
+                return (0, 0);
+            }
+            let start = base + (s.as_ptr() as usize - trimmed.as_ptr() as usize);
+            (start as u32, (start + s.len()) as u32)
+        };
+        let path_len = parts.target.find('?').unwrap_or(parts.target.len());
+        self.metas.push(EntryMeta {
+            line: (base as u32, (base + trimmed.len()) as u32),
+            addr: parts.addr,
+            timestamp: parts.timestamp,
+            method: parts.method,
+            target: range(parts.target),
+            path_len: path_len as u32,
+            status: parts.status,
+            has_referrer: parts.referrer.is_some(),
+            ua: range(ua),
+            ua_fp,
+            family,
+            resource: ResourceClass::classify(&parts.target[..path_len]),
+        });
+        self.text.push_str(trimmed);
+        Ok(())
+    }
+
+    /// The `i`-th entry as a borrowed view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn view(&self, i: usize) -> EntryRef<'_> {
+        let m = &self.metas[i];
+        let slice = |r: (u32, u32)| &self.text[r.0 as usize..r.1 as usize];
+        EntryRef {
+            line: slice(m.line),
+            addr: m.addr,
+            timestamp: m.timestamp,
+            method: m.method,
+            target: slice(m.target),
+            path_len: m.path_len,
+            status: m.status,
+            has_referrer: m.has_referrer,
+            ua: slice(m.ua),
+            ua_fp: m.ua_fp,
+            family: m.family,
+            resource: m.resource,
+        }
+    }
+
+    /// The `i`-th entry's full original line (terminator stripped) —
+    /// what [`LogEntry::parse`] reconstructs the owned entry from.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn line(&self, i: usize) -> &str {
+        let (start, end) = self.metas[i].line;
+        &self.text[start as usize..end as usize]
+    }
+
+    /// Entries stored.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Whether the block holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Bytes of line text stored.
+    pub fn text_bytes(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Drops every entry at once, keeping the text and metadata buffers'
+    /// capacity **and** the warm interner — the recycling step that makes
+    /// a steady-state chunk allocation-free.
+    pub fn clear(&mut self) {
+        self.text.clear();
+        self.metas.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FramedLine, FramedLineRef, LineFramer, RequestPath, UserAgent};
+    use proptest::prelude::*;
+
+    const SAMPLE: &str = r#"198.51.100.7 - - [11/Mar/2018:06:25:14 +0000] "GET /search?q=NCE-LHR HTTP/1.1" 200 5123 "https://shop.example/" "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36""#;
+
+    /// A pool of line fragments property tests mutate and splice —
+    /// valid lines, truncations, and hostile garbage.
+    fn fragment_pool() -> Vec<String> {
+        vec![
+            SAMPLE.to_owned(),
+            r#"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] "HEAD / HTTP/1.0" 204 - "-" "-""#.to_owned(),
+            r#"10.0.0.1 ident alice [11/Mar/2018:00:00:00 +0000] "GET /api/v1 HTTP/1.1" 200 1 "-" "curl/7.58.0""#
+                .to_owned(),
+            r#"10.0.0.1 - frank [11/Mar/2018:10:00:00 +0000] "GET /offers/3 HTTP/1.0" 200 2326"#
+                .to_owned(),
+            r#"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 200 1 "-" "weird \"agent\"""#
+                .to_owned(),
+            "not a log line at all".to_owned(),
+            String::new(),
+            "\u{0}\u{0}\u{0}".to_owned(),
+        ]
+    }
+
+    /// Byte-for-byte agreement of the borrowed and owned parsers on one
+    /// input: same accept/reject, same error kind and offset, and on
+    /// success every shared field matches.
+    fn assert_parsers_agree(line: &str) {
+        let owned = LogEntry::parse(line);
+        let borrowed = EntryRef::parse(line);
+        match (owned, borrowed) {
+            (Ok(o), Ok(b)) => {
+                assert_eq!(b.to_entry(), o, "to_entry mismatch on {line:?}");
+                assert_eq!(EntryView::addr(&b), EntryView::addr(&o));
+                assert_eq!(b.epoch_seconds(), EntryView::epoch_seconds(&o));
+                assert_eq!(EntryView::method(&b), EntryView::method(&o));
+                assert_eq!(b.target(), EntryView::target(&o));
+                assert_eq!(EntryView::path(&b), EntryView::path(&o));
+                assert_eq!(EntryView::status(&b), EntryView::status(&o));
+                assert_eq!(b.has_referrer(), o.has_referrer());
+                assert_eq!(b.ua_str(), EntryView::ua_str(&o));
+                assert_eq!(b.agent_family(), o.agent_family());
+                assert_eq!(b.ua_fingerprint(), o.ua_fingerprint());
+                assert_eq!(EntryView::resource_class(&b), EntryView::resource_class(&o));
+                assert_eq!(EntryView::client_key(&b), EntryView::client_key(&o));
+            }
+            (Err(oe), Err(be)) => {
+                assert_eq!(oe, be, "error mismatch on {line:?}");
+            }
+            (o, b) => panic!("accept/reject mismatch on {line:?}: owned {o:?} vs borrowed {b:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowed_parse_agrees_on_fixtures() {
+        for line in fragment_pool() {
+            assert_parsers_agree(&line);
+        }
+    }
+
+    #[test]
+    fn block_views_match_standalone_parse() {
+        let mut block = EntryBlock::new();
+        let lines: Vec<String> = fragment_pool()
+            .into_iter()
+            .filter(|l| LogEntry::parse(l).is_ok())
+            .collect();
+        for line in &lines {
+            block.push_line(line).unwrap();
+        }
+        assert_eq!(block.len(), lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(block.line(i), line.trim_end_matches(['\r', '\n']));
+            let from_block = block.view(i);
+            let standalone = EntryRef::parse(line).unwrap();
+            assert_eq!(from_block, standalone, "view {i} diverged");
+            assert_eq!(from_block.to_entry(), LogEntry::parse(line).unwrap());
+        }
+    }
+
+    #[test]
+    fn block_rejects_malformed_lines_without_storing() {
+        let mut block = EntryBlock::new();
+        block.push_line(SAMPLE).unwrap();
+        let before = (block.len(), block.text_bytes());
+        assert!(block.push_line("garbage").is_err());
+        assert_eq!((block.len(), block.text_bytes()), before);
+        // The good entry is still intact after the rejected push.
+        assert_eq!(block.view(0).to_entry(), LogEntry::parse(SAMPLE).unwrap());
+    }
+
+    #[test]
+    fn block_clear_keeps_capacity_and_interner() {
+        let mut block = EntryBlock::new();
+        block.push_line(SAMPLE).unwrap();
+        let interned = block.interner.len();
+        assert!(interned > 0);
+        block.clear();
+        assert!(block.is_empty());
+        assert_eq!(block.interner.len(), interned, "interner was cleared");
+        block.push_line(SAMPLE).unwrap();
+        assert_eq!(block.view(0).to_entry(), LogEntry::parse(SAMPLE).unwrap());
+    }
+
+    #[test]
+    fn interner_clears_at_capacity_and_stays_correct() {
+        let mut interner = UaInterner::with_capacity(4);
+        for i in 0..40 {
+            let ua = format!("agent/{i}");
+            let (fp, family) = interner.resolve(&ua);
+            assert_eq!(fp, fnv1a(ua.as_bytes()));
+            assert_eq!(family, AgentFamily::classify(&ua));
+            assert!(interner.len() <= 4);
+        }
+        // Cached answers equal fresh answers.
+        assert_eq!(
+            interner.resolve("agent/39"),
+            (fnv1a(b"agent/39"), AgentFamily::classify("agent/39"))
+        );
+    }
+
+    proptest! {
+        // Borrowed parse == owned parse on arbitrary hostile bytes
+        // (lossily decoded, as a framer would deliver them).
+        #[test]
+        fn parsers_agree_on_hostile_bytes(
+            bytes in proptest::collection::vec(0u8..=255, 0..200),
+        ) {
+            let line = String::from_utf8_lossy(&bytes);
+            assert_parsers_agree(&line);
+        }
+
+        // Borrowed parse == owned parse on mutated valid lines:
+        // truncations, byte flips and splices of real CLF fragments.
+        #[test]
+        fn parsers_agree_on_mutated_lines(
+            which in 0usize..8,
+            cut in 0usize..200,
+            flip_at in 0usize..200,
+            flip_to in 0u8..=255,
+            splice in 0usize..8,
+        ) {
+            let pool = fragment_pool();
+            let mut line = pool[which % pool.len()].clone();
+            line.push_str(&pool[splice % pool.len()]);
+            let cut = cut.min(line.len());
+            if !line.is_char_boundary(cut) {
+                // reject cuts landing mid-character so truncate is valid
+                return Err(proptest::TestCaseError::Reject);
+            }
+            line.truncate(cut);
+            let mut bytes = line.into_bytes();
+            if !bytes.is_empty() {
+                let at = flip_at % bytes.len();
+                bytes[at] = flip_to;
+            }
+            let line = String::from_utf8_lossy(&bytes).into_owned();
+            assert_parsers_agree(&line);
+        }
+
+        // The allocation-free classifiers equal their allocating forms
+        // on arbitrary (lossily decoded) strings.
+        #[test]
+        fn classifiers_match_allocating_forms(
+            bytes in proptest::collection::vec(0u8..=255, 0..64),
+        ) {
+            let s = String::from_utf8_lossy(&bytes).into_owned();
+            assert_eq!(
+                AgentFamily::classify(&s),
+                UserAgent::new(s.clone()).family(),
+                "family mismatch on {s:?}"
+            );
+            let target = format!("/{s}");
+            let p = RequestPath::parse(&target);
+            assert_eq!(
+                ResourceClass::classify(p.path()),
+                p.resource_class(),
+                "resource mismatch on {target:?}"
+            );
+            assert_eq!(fnv1a(s.as_bytes()), UserAgent::new(s).fingerprint());
+        }
+
+        // The framer never panics on hostile bytes, the borrowed and
+        // owned line streams are identical, chunking is invisible, and
+        // framed lines respect the cap.
+        #[test]
+        fn framer_is_hostile_input_safe(
+            bytes in proptest::collection::vec(0u8..=255, 0..400),
+            chunk in 1usize..17,
+            max_line in 1usize..64,
+        ) {
+            // Owned stream, fed whole.
+            let mut whole = LineFramer::with_max_line(max_line);
+            whole.push(&bytes);
+            let mut from_whole = Vec::new();
+            while let Some(line) = whole.next_line() {
+                from_whole.push(line);
+            }
+            if let Some(line) = whole.finish() {
+                from_whole.push(line);
+            }
+
+            // Borrowed stream, fed in chunks (boundaries land anywhere,
+            // including mid-escape and mid-UTF-8-sequence).
+            let mut chunked = LineFramer::with_max_line(max_line);
+            let mut from_chunks = Vec::new();
+            for piece in bytes.chunks(chunk) {
+                chunked.push(piece);
+                while let Some(line) = chunked.next_line_ref() {
+                    from_chunks.push(line.to_owned_line());
+                }
+            }
+            if let Some(line) = chunked.finish() {
+                from_chunks.push(line);
+            }
+
+            assert_eq!(from_whole, from_chunks);
+            for framed in &from_whole {
+                if let FramedLine::Complete(line) = framed {
+                    assert!(!line.is_empty());
+                    // Raw byte length is capped by the framer; lossy
+                    // decoding maps each raw byte to at most one char.
+                    assert!(
+                        line.chars().count() <= max_line,
+                        "line exceeds cap: {line:?}"
+                    );
+                    // Every framed line parses the same way on both paths.
+                    assert_parsers_agree(line);
+                }
+            }
+        }
+
+        // `next_line_ref` and `next_line` yield identical sequences.
+        #[test]
+        fn borrowed_and_owned_framing_agree(
+            bytes in proptest::collection::vec(0u8..=255, 0..300),
+            max_line in 4usize..80,
+        ) {
+            let mut owned = LineFramer::with_max_line(max_line);
+            let mut borrowed = LineFramer::with_max_line(max_line);
+            owned.push(&bytes);
+            borrowed.push(&bytes);
+            loop {
+                let o = owned.next_line();
+                let b = borrowed.next_line_ref().map(|l| l.to_owned_line());
+                assert_eq!(o, b);
+                if o.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(owned.finish(), borrowed.finish());
+            assert_eq!(owned.lines_framed(), borrowed.lines_framed());
+            assert_eq!(owned.lines_oversized(), borrowed.lines_oversized());
+        }
+    }
+
+    #[test]
+    fn framed_ref_survives_truncated_final_record() {
+        let mut framer = LineFramer::new();
+        framer.push(SAMPLE.as_bytes()); // no terminator
+        assert!(framer.next_line_ref().is_none());
+        match framer.finish() {
+            Some(FramedLine::Complete(line)) => assert_parsers_agree(&line),
+            other => panic!("expected the partial line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framed_ref_handles_invalid_utf8_and_nuls() {
+        let mut framer = LineFramer::new();
+        framer.push(b"ok \xff\xfe\x00 bytes\nplain\n");
+        match framer.next_line_ref() {
+            Some(FramedLineRef::Complete(line)) => {
+                assert!(line.contains('\u{FFFD}'));
+                assert!(line.contains('\u{0}'));
+            }
+            other => panic!("expected lossy line, got {other:?}"),
+        }
+        assert_eq!(
+            framer.next_line_ref(),
+            Some(FramedLineRef::Complete("plain"))
+        );
+    }
+}

@@ -6,11 +6,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use divscrape_httplog::{LogEntry, ParseLogError};
+use divscrape_httplog::ParseLogError;
 use divscrape_pipeline::{AlertVector, Pipeline, PipelineReport, PipelineStats};
 
 use crate::file_tail::FileTail;
-use crate::source::{LogSource, SourceEvent};
+use crate::source::{LogSource, SourceEventRef};
 
 /// Default source poll timeout: long enough to sleep efficiently, short
 /// enough that a stop request is honoured promptly.
@@ -114,9 +114,10 @@ pub struct IngestStats {
     /// in source units (bytes for a file tail, entries for a replay).
     /// Sampled (every idle tick and once per 1024 lines), not exact.
     pub max_source_backlog: u64,
-    /// Total time spent inside [`Pipeline::push`]. Pushes are cheap
-    /// buffer appends until the worker pool saturates, so this is in
-    /// effect the time ingestion spent blocked on pipeline backpressure.
+    /// Total time spent inside [`Pipeline::push_line`]. Pushes are
+    /// cheap in-place parses until the worker pool saturates, so this is
+    /// in effect the time ingestion spent blocked on pipeline
+    /// backpressure.
     pub blocked_in_push: Duration,
     /// Total time spent waiting on a quiet source.
     pub source_wait: Duration,
@@ -125,7 +126,7 @@ pub struct IngestStats {
 /// Why an [`IngestDriver::run`] stopped ingesting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EndReason {
-    /// The source reported [`SourceEvent::Eof`].
+    /// The source reported [`SourceEvent::Eof`](crate::SourceEvent::Eof).
     SourceExhausted,
     /// A [`StopHandle`] requested shutdown.
     Stopped,
@@ -478,6 +479,7 @@ impl IngestDriver {
         acc: &mut ReportAccumulator,
     ) -> Result<EndReason, IngestError> {
         let mut uncommitted: u64 = 0;
+        let mut scratch = String::new();
         loop {
             if self.stop.swap(false, Ordering::AcqRel) {
                 return Ok(EndReason::Stopped);
@@ -486,43 +488,49 @@ impl IngestDriver {
                 self.sample_backlog(tail);
             }
             let polled = Instant::now();
-            match tail.poll(self.tick).map_err(IngestError::Source)? {
-                SourceEvent::Line(line) => {
+            let mut commit_due = false;
+            match tail
+                .poll_ref(self.tick, &mut scratch)
+                .map_err(IngestError::Source)?
+            {
+                SourceEventRef::Line(line) => {
                     self.stats.lines_read += 1;
-                    match LogEntry::parse(&line) {
-                        Ok(entry) => {
-                            let pushed = Instant::now();
-                            self.pipeline.push(entry);
+                    let pushed = Instant::now();
+                    match self.pipeline.push_line(line) {
+                        Ok(()) => {
                             self.stats.blocked_in_push += pushed.elapsed();
                             self.stats.entries_ingested += 1;
                             uncommitted += 1;
-                            if uncommitted >= self.checkpoint_every {
-                                self.commit(tail, acc)?;
-                                uncommitted = 0;
-                            }
+                            commit_due = uncommitted >= self.checkpoint_every;
                         }
-                        Err(source) => {
+                        Err(err) => {
                             self.stats.parse_errors += 1;
-                            handle_malformed(&mut self.policy, &mut self.stats, line, source)?;
+                            // The only owned copy of the line, made on
+                            // the error path alone.
+                            let line = line.to_owned();
+                            handle_malformed(&mut self.policy, &mut self.stats, line, err)?;
                         }
                     }
                 }
-                SourceEvent::Truncated { dropped_bytes } => {
+                SourceEventRef::Truncated { dropped_bytes } => {
                     self.stats.lines_read += 1;
                     self.stats.oversized_lines += 1;
                     handle_oversized(&mut self.policy, &mut self.stats, dropped_bytes)?;
                 }
-                SourceEvent::Idle => {
+                SourceEventRef::Idle => {
                     self.stats.source_wait += polled.elapsed();
                     self.sample_backlog(tail);
                     // A quiet source is the cheapest moment to commit:
                     // nothing is waiting behind the drain barrier.
-                    if uncommitted > 0 {
-                        self.commit(tail, acc)?;
-                        uncommitted = 0;
-                    }
+                    commit_due = uncommitted > 0;
                 }
-                SourceEvent::Eof => return Ok(EndReason::SourceExhausted),
+                SourceEventRef::Eof => return Ok(EndReason::SourceExhausted),
+            }
+            // Outside the match: the polled line's borrow of `tail` must
+            // end before `commit` can checkpoint it.
+            if commit_due {
+                self.commit(tail, acc)?;
+                uncommitted = 0;
             }
         }
     }
@@ -542,6 +550,10 @@ impl IngestDriver {
     /// The ingestion loop of [`run`](Self::run): pulls source events
     /// until EOF, a stop request, or a failure.
     fn pump<S: LogSource + ?Sized>(&mut self, source: &mut S) -> Result<EndReason, IngestError> {
+        // One scratch buffer serves the whole run: sources without a
+        // borrowed fast path land each polled line here instead of the
+        // driver copying it onward.
+        let mut scratch = String::new();
         loop {
             // `swap` consumes the request: a stop raised before this run
             // even started still ends it (never silently discarded), and
@@ -556,32 +568,40 @@ impl IngestDriver {
                 self.sample_backlog(&*source);
             }
             let polled = Instant::now();
-            match source.poll(self.tick).map_err(IngestError::Source)? {
-                SourceEvent::Line(line) => {
+            match source
+                .poll_ref(self.tick, &mut scratch)
+                .map_err(IngestError::Source)?
+            {
+                SourceEventRef::Line(line) => {
                     self.stats.lines_read += 1;
-                    match LogEntry::parse(&line) {
-                        Ok(entry) => {
-                            let pushed = Instant::now();
-                            self.pipeline.push(entry);
+                    let pushed = Instant::now();
+                    // The borrowed line parses in place inside the
+                    // pipeline's entry arena — no owned `LogEntry` is
+                    // built on the ingest path.
+                    match self.pipeline.push_line(line) {
+                        Ok(()) => {
                             self.stats.blocked_in_push += pushed.elapsed();
                             self.stats.entries_ingested += 1;
                         }
-                        Err(source) => {
+                        Err(err) => {
                             self.stats.parse_errors += 1;
-                            handle_malformed(&mut self.policy, &mut self.stats, line, source)?;
+                            // The only owned copy of the line, made on
+                            // the error path alone.
+                            let line = line.to_owned();
+                            handle_malformed(&mut self.policy, &mut self.stats, line, err)?;
                         }
                     }
                 }
-                SourceEvent::Truncated { dropped_bytes } => {
+                SourceEventRef::Truncated { dropped_bytes } => {
                     self.stats.lines_read += 1;
                     self.stats.oversized_lines += 1;
                     handle_oversized(&mut self.policy, &mut self.stats, dropped_bytes)?;
                 }
-                SourceEvent::Idle => {
+                SourceEventRef::Idle => {
                     self.stats.source_wait += polled.elapsed();
                     self.sample_backlog(&*source);
                 }
-                SourceEvent::Eof => return Ok(EndReason::SourceExhausted),
+                SourceEventRef::Eof => return Ok(EndReason::SourceExhausted),
             }
         }
     }

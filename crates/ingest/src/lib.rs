@@ -9,7 +9,12 @@
 //! whether it is replaying history or watching production.
 //!
 //! * [`LogSource`] is the abstraction: a pull-based line producer with
-//!   bounded [`poll`](LogSource::poll)s. Three production backends ship:
+//!   bounded [`poll`](LogSource::poll)s and a zero-copy
+//!   [`poll_ref`](LogSource::poll_ref) that lends each line instead of
+//!   handing out an owned `String` — the driver feeds it straight into
+//!   [`Pipeline::push_line`](divscrape_pipeline::Pipeline::push_line),
+//!   so no per-line `LogEntry` is materialized on the ingest path.
+//!   Three production backends ship:
 //!   * [`FileTail`] follows a growing log file through rotation and
 //!     truncation (`tail -F` semantics);
 //!   * [`SocketSource`] accepts Combined Log Format lines over TCP from
@@ -103,7 +108,7 @@ pub use file_tail::FileTail;
 pub use hub_driver::{HubDriver, HubIngestReport};
 pub use replay::{Replay, ReplayPace};
 pub use socket::{SocketSource, SocketSourceConfig};
-pub use source::{LogSource, SourceEvent};
+pub use source::{LogSource, SourceEvent, SourceEventRef};
 pub use tagged::{MultiSource, SourceLag, Tagged, TaggedEvent, TaggedSource};
 
 // Re-exported so ingestion deployments can tag tenants without

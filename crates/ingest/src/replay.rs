@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use divscrape_httplog::LogEntry;
 
-use crate::source::{LogSource, SourceEvent};
+use crate::source::{LogSource, SourceEvent, SourceEventRef};
 
 /// How fast a [`Replay`] re-emits its log.
 ///
@@ -135,10 +135,23 @@ fn fixed_rate_offsets(n: usize, pace: ReplayPace) -> Vec<Duration> {
     }
 }
 
-impl LogSource for Replay {
-    fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
+/// What one poll's pacing gate decided (shared by both poll forms).
+enum Gate {
+    /// Every line has been emitted.
+    Eof,
+    /// The next line is not yet due within the poll timeout.
+    Idle,
+    /// The line at `next` is due: emit it and advance.
+    Due,
+}
+
+impl Replay {
+    /// The EOF check and pacing sleep shared by [`LogSource::poll`] and
+    /// [`LogSource::poll_ref`]: on [`Gate::Due`] the caller emits
+    /// `lines[next]` and advances the cursor.
+    fn gate(&mut self, timeout: Duration) -> Gate {
         if self.next >= self.lines.len() {
-            return Ok(SourceEvent::Eof);
+            return Gate::Eof;
         }
         // The pacing clock starts at the first poll, not construction.
         let started = *self.started.get_or_insert_with(Instant::now);
@@ -148,14 +161,46 @@ impl LogSource for Replay {
                 let wait = due - elapsed;
                 if wait > timeout {
                     std::thread::sleep(timeout);
-                    return Ok(SourceEvent::Idle);
+                    return Gate::Idle;
                 }
                 std::thread::sleep(wait);
             }
         }
-        let line = std::mem::take(&mut self.lines[self.next]);
-        self.next += 1;
-        Ok(SourceEvent::Line(line))
+        Gate::Due
+    }
+}
+
+impl LogSource for Replay {
+    fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
+        Ok(match self.gate(timeout) {
+            Gate::Eof => SourceEvent::Eof,
+            Gate::Idle => SourceEvent::Idle,
+            Gate::Due => {
+                let line = std::mem::take(&mut self.lines[self.next]);
+                self.next += 1;
+                SourceEvent::Line(line)
+            }
+        })
+    }
+
+    /// The zero-copy poll: lends the recorded line in place — no
+    /// per-line `String` leaves the replay, and the recording stays
+    /// intact (unlike [`poll`](LogSource::poll), which moves each line
+    /// out as it goes).
+    fn poll_ref<'a>(
+        &'a mut self,
+        timeout: Duration,
+        _scratch: &'a mut String,
+    ) -> io::Result<SourceEventRef<'a>> {
+        Ok(match self.gate(timeout) {
+            Gate::Eof => SourceEventRef::Eof,
+            Gate::Idle => SourceEventRef::Idle,
+            Gate::Due => {
+                let i = self.next;
+                self.next += 1;
+                SourceEventRef::Line(&self.lines[i])
+            }
+        })
     }
 
     fn backlog(&self) -> Option<u64> {
@@ -200,6 +245,60 @@ mod tests {
         assert_eq!(drain(&mut replay), input);
         assert_eq!(replay.backlog(), Some(0));
         assert_eq!(replay.poll(Duration::ZERO).unwrap(), SourceEvent::Eof);
+    }
+
+    #[test]
+    fn poll_ref_lends_lines_in_place_and_matches_poll() {
+        let input = lines(8);
+        let mut replay = Replay::from_lines(input.clone(), ReplayPace::Unlimited);
+        let mut scratch = String::new();
+        let mut out = Vec::new();
+        loop {
+            match replay
+                .poll_ref(Duration::from_millis(5), &mut scratch)
+                .unwrap()
+            {
+                SourceEventRef::Line(l) => out.push(l.to_owned()),
+                SourceEventRef::Idle => {}
+                SourceEventRef::Eof => break,
+                SourceEventRef::Truncated { .. } => panic!("replay never truncates"),
+            }
+        }
+        assert_eq!(out, input);
+        // The borrowed poll never moved a line out: the recording is
+        // intact (poll, by contrast, mem::takes each emitted line).
+        assert_eq!(replay.lines, input);
+        // The default poll_ref copies nothing into the scratch either —
+        // the borrow came straight from the recording.
+        assert!(scratch.is_empty());
+        assert_eq!(replay.backlog(), Some(0));
+    }
+
+    #[test]
+    fn poll_and_poll_ref_share_one_cursor() {
+        let input = lines(3);
+        let mut replay = Replay::from_lines(input.clone(), ReplayPace::Unlimited);
+        let mut scratch = String::new();
+        assert_eq!(
+            replay.poll(Duration::from_millis(5)).unwrap(),
+            SourceEvent::Line(input[0].clone())
+        );
+        assert_eq!(
+            replay
+                .poll_ref(Duration::from_millis(5), &mut scratch)
+                .unwrap(),
+            SourceEventRef::Line(&input[1])
+        );
+        assert_eq!(
+            replay.poll(Duration::from_millis(5)).unwrap(),
+            SourceEvent::Line(input[2].clone())
+        );
+        assert_eq!(
+            replay
+                .poll_ref(Duration::from_millis(5), &mut scratch)
+                .unwrap(),
+            SourceEventRef::Eof
+        );
     }
 
     #[test]

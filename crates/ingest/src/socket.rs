@@ -4,13 +4,18 @@ use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use divscrape_httplog::{FramedLine, LineFramer, DEFAULT_MAX_LINE};
+use divscrape_httplog::{FramedLine, FramedLineRef, LineFramer, DEFAULT_MAX_LINE};
 
-use crate::source::{LogSource, SourceEvent};
+use crate::source::{LogSource, SourceEvent, SourceEventRef};
+
+/// Shared pool of recycled line buffers. Readers pop a buffer per
+/// framed line instead of allocating a fresh `String`; the consumer
+/// returns each buffer once [`LogSource::poll_ref`] is done lending it.
+type BufferPool = Arc<Mutex<Vec<String>>>;
 
 /// How often the acceptor re-checks for new connections / shutdown.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -76,6 +81,13 @@ struct Counters {
 /// queue; a slow consumer therefore backpressures the senders through
 /// TCP instead of buffering without bound.
 ///
+/// Line buffers are **pooled**: readers fill recycled `String`s instead
+/// of allocating one per line, and a consumer polling through
+/// [`poll_ref`](LogSource::poll_ref) returns each buffer to the pool
+/// after the lend ([`buffers_recycled`](Self::buffers_recycled) counts
+/// the round trips), so sustained ingestion settles into a fixed set of
+/// buffers cycling between readers and consumer.
+///
 /// ```
 /// use divscrape_ingest::{LogSource, SocketSource, SocketSourceConfig, SourceEvent};
 /// use std::io::Write;
@@ -114,6 +126,17 @@ pub struct SocketSource {
     acceptor: Option<JoinHandle<()>>,
     finish_on_disconnect: bool,
     finished: bool,
+    /// Recycled line buffers shared with the connection readers: once
+    /// the pool is warm, the steady state allocates no `String` per
+    /// line — readers pop, the consumer pushes back after the lend.
+    pool: BufferPool,
+    /// Pool size cap — the queue depth bounds how many buffers can be
+    /// in flight, so anything beyond it would never be popped.
+    pool_cap: usize,
+    /// The buffer currently lent out by [`LogSource::poll_ref`],
+    /// recycled on the next poll.
+    held: Option<String>,
+    recycled: u64,
 }
 
 impl SocketSource {
@@ -139,12 +162,14 @@ impl SocketSource {
         let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
+        let pool: BufferPool = Arc::new(Mutex::new(Vec::new()));
         let acceptor = std::thread::Builder::new()
             .name("divscrape-ingest-accept".to_owned())
             .spawn({
                 let stop = Arc::clone(&stop);
                 let counters = Arc::clone(&counters);
-                move || accept_loop(listener, tx, stop, counters, config.max_line)
+                let pool = Arc::clone(&pool);
+                move || accept_loop(listener, tx, stop, counters, pool, config.max_line)
             })?;
         Ok(Self {
             addr,
@@ -154,6 +179,10 @@ impl SocketSource {
             acceptor: Some(acceptor),
             finish_on_disconnect: config.finish_on_disconnect,
             finished: false,
+            pool,
+            pool_cap: config.queue_depth.max(1),
+            held: None,
+            recycled: 0,
         })
     }
 
@@ -171,10 +200,33 @@ impl SocketSource {
     pub fn connections_open(&self) -> usize {
         self.counters.open.load(Ordering::Acquire)
     }
-}
 
-impl LogSource for SocketSource {
-    fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
+    /// Line buffers returned to the shared pool so far — each one a
+    /// per-line `String` allocation the readers did **not** have to
+    /// make. Only [`poll_ref`](LogSource::poll_ref) recycles (a line
+    /// handed out as an owned `String` by [`poll`](LogSource::poll)
+    /// cannot come back); polling exclusively through `poll_ref` keeps
+    /// the steady state allocation-free per line once the pool is warm.
+    pub fn buffers_recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Returns the buffer lent out by the previous `poll_ref` to the
+    /// shared pool (bounded by `pool_cap`; beyond it the queue depth
+    /// guarantees the buffer would never be popped, so let it drop).
+    fn recycle_held(&mut self) {
+        if let Some(buf) = self.held.take() {
+            if let Ok(mut pool) = self.pool.lock() {
+                if pool.len() < self.pool_cap {
+                    pool.push(buf);
+                    self.recycled += 1;
+                }
+            }
+        }
+    }
+
+    /// The shared poll core of both [`LogSource::poll`] forms.
+    fn poll_owned(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
         if self.finished {
             return Ok(SourceEvent::Eof);
         }
@@ -208,6 +260,32 @@ impl LogSource for SocketSource {
     }
 }
 
+impl LogSource for SocketSource {
+    fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
+        // A buffer still held from an earlier `poll_ref` lend can be
+        // recycled even though this line leaves as an owned `String`.
+        self.recycle_held();
+        self.poll_owned(timeout)
+    }
+
+    /// The zero-copy poll: lends each queued line buffer and returns it
+    /// to the reader-shared pool on the next call, so the steady state
+    /// moves buffers in a cycle instead of allocating per line.
+    fn poll_ref<'a>(
+        &'a mut self,
+        timeout: Duration,
+        _scratch: &'a mut String,
+    ) -> io::Result<SourceEventRef<'a>> {
+        self.recycle_held();
+        Ok(match self.poll_owned(timeout)? {
+            SourceEvent::Line(line) => SourceEventRef::Line(self.held.insert(line)),
+            SourceEvent::Truncated { dropped_bytes } => SourceEventRef::Truncated { dropped_bytes },
+            SourceEvent::Idle => SourceEventRef::Idle,
+            SourceEvent::Eof => SourceEventRef::Eof,
+        })
+    }
+}
+
 impl Drop for SocketSource {
     /// Stops the acceptor and asks connection readers to exit (they
     /// notice within their read timeout, or immediately when blocked on
@@ -226,6 +304,7 @@ fn accept_loop(
     tx: SyncSender<FramedLine>,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
+    pool: BufferPool,
     max_line: usize,
 ) {
     while !stop.load(Ordering::Acquire) {
@@ -250,8 +329,9 @@ fn accept_loop(
                         let tx = tx.clone();
                         let stop = Arc::clone(&stop);
                         let counters = Arc::clone(&counters);
+                        let pool = Arc::clone(&pool);
                         move || {
-                            read_connection(stream, &tx, &stop, max_line);
+                            read_connection(stream, &tx, &stop, &pool, max_line);
                             counters.open.fetch_sub(1, Ordering::AcqRel);
                         }
                     });
@@ -274,6 +354,7 @@ fn read_connection(
     mut stream: TcpStream,
     tx: &SyncSender<FramedLine>,
     stop: &AtomicBool,
+    pool: &Mutex<Vec<String>>,
     max_line: usize,
 ) {
     let mut framer = LineFramer::with_max_line(max_line);
@@ -293,7 +374,25 @@ fn read_connection(
             }
             Ok(n) => {
                 framer.push(&buf[..n]);
-                while let Some(framed) = framer.next_line() {
+                // Frame in place and land each line in a pooled buffer:
+                // once the consumer has cycled buffers back, the steady
+                // state allocates nothing per line.
+                while let Some(framed) = framer.next_line_ref() {
+                    let framed = match framed {
+                        FramedLineRef::Complete(line) => {
+                            let mut slot = pool
+                                .lock()
+                                .ok()
+                                .and_then(|mut p| p.pop())
+                                .unwrap_or_default();
+                            slot.clear();
+                            slot.push_str(line);
+                            FramedLine::Complete(slot)
+                        }
+                        FramedLineRef::Oversized { dropped_bytes } => {
+                            FramedLine::Oversized { dropped_bytes }
+                        }
+                    };
                     if tx.send(framed).is_err() {
                         return; // consumer gone
                     }
@@ -396,6 +495,53 @@ mod tests {
         let got = drain_to_eof(&mut source);
         sender.join().unwrap();
         assert_eq!(got, vec![l0, l1]);
+    }
+
+    #[test]
+    fn poll_ref_recycles_line_buffers_through_the_pool() {
+        let mut source = SocketSource::bind_with(
+            "127.0.0.1:0",
+            SocketSourceConfig {
+                finish_on_disconnect: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = source.local_addr();
+        let n = 40;
+        let sender = std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            for i in 0..n {
+                writeln!(conn, "{}", line(i)).unwrap();
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut scratch = String::new();
+        let mut got = Vec::new();
+        loop {
+            assert!(Instant::now() < deadline, "timed out with {got:?}");
+            match source
+                .poll_ref(Duration::from_millis(20), &mut scratch)
+                .unwrap()
+            {
+                SourceEventRef::Line(l) => got.push(l.to_owned()),
+                SourceEventRef::Idle | SourceEventRef::Truncated { .. } => {}
+                SourceEventRef::Eof => break,
+            }
+        }
+        sender.join().unwrap();
+        assert_eq!(got, (0..n).map(line).collect::<Vec<_>>());
+        // Every lent buffer came back to the pool (the final one is
+        // recycled by the Eof-returning poll itself); each round trip
+        // is a per-line allocation the readers did not make.
+        assert!(
+            source.buffers_recycled() >= n as u64 - 1,
+            "recycled only {}",
+            source.buffers_recycled()
+        );
+        // The lines were lent straight from the queue's pooled buffers,
+        // never copied into the caller's scratch.
+        assert!(scratch.is_empty());
     }
 
     #[test]

@@ -43,6 +43,35 @@ impl From<FramedLine> for SourceEvent {
     }
 }
 
+/// One event pulled from a [`LogSource`] **without copying** — the
+/// borrowed twin of [`SourceEvent`], returned by
+/// [`LogSource::poll_ref`]. The line borrows either the source's own
+/// storage or the caller-supplied scratch buffer and stays valid until
+/// the next call on the source.
+///
+/// ```
+/// use divscrape_ingest::SourceEventRef;
+///
+/// let event = SourceEventRef::Line("10.0.0.1 - - ...");
+/// assert!(matches!(event, SourceEventRef::Line(_)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceEventRef<'a> {
+    /// One complete log line (terminator stripped, never empty).
+    Line(&'a str),
+    /// The source discarded an over-long line (see
+    /// [`SourceEvent::Truncated`]).
+    Truncated {
+        /// Bytes of line content discarded.
+        dropped_bytes: usize,
+    },
+    /// Nothing arrived within the poll timeout; the source is still
+    /// live.
+    Idle,
+    /// The source is exhausted and will never produce another line.
+    Eof,
+}
+
 /// A pull-based producer of log lines: the input side of an
 /// [`IngestDriver`](crate::IngestDriver).
 ///
@@ -80,6 +109,45 @@ pub trait LogSource {
     /// unrecoverably; the driver aborts the run on it.
     fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent>;
 
+    /// Pulls the next event **without handing out an owned `String`** —
+    /// the zero-copy form of [`poll`](Self::poll), feeding
+    /// [`Pipeline::push_line`](divscrape_pipeline::Pipeline::push_line)
+    /// directly. The returned line borrows the source (or `scratch`) and
+    /// stays valid until the next call on either.
+    ///
+    /// The default delegates to [`poll`](Self::poll), landing the line
+    /// in `scratch` (a move, not a copy); sources that already hold
+    /// their lines in memory override it to lend them out in place —
+    /// [`Replay`](crate::Replay) borrows straight from its recorded
+    /// lines, [`SocketSource`](crate::SocketSource) lends each queued
+    /// buffer and recycles it through a pool on the next call.
+    ///
+    /// The two polls yield identical event sequences on identical input;
+    /// they share the source's cursor, so calls can be freely mixed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the source fails
+    /// unrecoverably; the driver aborts the run on it.
+    fn poll_ref<'a>(
+        &'a mut self,
+        timeout: Duration,
+        scratch: &'a mut String,
+    ) -> io::Result<SourceEventRef<'a>> {
+        Ok(match self.poll(timeout)? {
+            SourceEvent::Line(line) => {
+                // Move the polled String into the scratch slot rather
+                // than copying its bytes; the caller's borrow points at
+                // the same allocation the source produced.
+                *scratch = line;
+                SourceEventRef::Line(scratch)
+            }
+            SourceEvent::Truncated { dropped_bytes } => SourceEventRef::Truncated { dropped_bytes },
+            SourceEvent::Idle => SourceEventRef::Idle,
+            SourceEvent::Eof => SourceEventRef::Eof,
+        })
+    }
+
     /// How far behind the source's producer this consumer is, in
     /// source-specific units (bytes not yet read for a file tail,
     /// entries not yet emitted for a replay), when the source can tell.
@@ -94,6 +162,14 @@ impl<S: LogSource + ?Sized> LogSource for &mut S {
         (**self).poll(timeout)
     }
 
+    fn poll_ref<'a>(
+        &'a mut self,
+        timeout: Duration,
+        scratch: &'a mut String,
+    ) -> io::Result<SourceEventRef<'a>> {
+        (**self).poll_ref(timeout, scratch)
+    }
+
     fn backlog(&self) -> Option<u64> {
         (**self).backlog()
     }
@@ -102,6 +178,14 @@ impl<S: LogSource + ?Sized> LogSource for &mut S {
 impl<S: LogSource + ?Sized> LogSource for Box<S> {
     fn poll(&mut self, timeout: Duration) -> io::Result<SourceEvent> {
         (**self).poll(timeout)
+    }
+
+    fn poll_ref<'a>(
+        &'a mut self,
+        timeout: Duration,
+        scratch: &'a mut String,
+    ) -> io::Result<SourceEventRef<'a>> {
+        (**self).poll_ref(timeout, scratch)
     }
 
     fn backlog(&self) -> Option<u64> {

@@ -14,8 +14,10 @@
 //! backpressures maximally (every chunk is fully processed inside
 //! `push`). For the pool, work flows through two kinds of channels:
 //!
-//! * **Jobs** travel over a *bounded* SPSC channel per worker
-//!   (`std::sync::mpsc::sync_channel`). When a target worker's queue is
+//! * **Jobs** travel over a *bounded* SPSC ring per worker (the
+//!   [`spsc`](crate::spsc) Lamport queue: exactly one producer — the
+//!   driver — and one consumer per worker, so the hand-off is lock- and
+//!   allocation-free on the hot path). When a target worker's queue is
 //!   full, or the reorder buffer is at its cap, [`Pipeline::push`]
 //!   blocks until the pool catches up — backpressure instead of
 //!   unbounded buffering. Entries held driver-side are bounded by
@@ -33,22 +35,63 @@
 //! scatter back to chunk positions. Because all stock detectors keep
 //! their state per client, the output is bit-identical to a sequential
 //! run for any worker count, chunk size or push granularity.
+//!
+//! # The zero-copy spine
+//!
+//! Chunks come in two representations ([`ChunkPayload`]).
+//! [`Pipeline::push`]/[`push_batch`](Pipeline::push_batch) carry owned
+//! [`LogEntry`] values, exactly as before. [`Pipeline::push_line`]
+//! instead parses each raw log line **in place** into an
+//! [`EntryBlock`] arena — one contiguous text buffer plus `Copy`
+//! metadata per entry, with user-agent classification interned — and
+//! ships the whole arena to the pool when it reaches the chunk
+//! capacity. Workers run such chunks through the detectors' borrowed
+//! fast path ([`Detector::observe_batch_refs`]) over [`EntryRef`]
+//! views, so the steady-state path from line bytes to verdict performs
+//! no per-entry heap allocation. Owned `LogEntry` values are
+//! materialized lazily at finalization, only for the few positions a
+//! sink or label oracle actually consumes; finalized arenas are
+//! recycled (capacity and warm interner kept) through a small pool.
+//!
+//! [`Detector::observe_batch_refs`]: divscrape_detect::Detector::observe_batch_refs
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use divscrape_detect::parallel::run_index_runs;
+use divscrape_detect::parallel::{run_index_runs, run_index_runs_refs};
 use divscrape_detect::{EvictionConfig, EvictionStats, Sessionizer, TenantId, Verdict};
 use divscrape_ensemble::{AlertVector, Recalibrator};
-use divscrape_httplog::LogEntry;
+use divscrape_httplog::{EntryBlock, EntryRef, EntryView, LogEntry, ParseLogError};
 
 use crate::builder::{Adjudication, BuildError, LabelOracle, Rule};
 use crate::sink::{Alert, AlertSink, ScoredEntry};
+use crate::spsc::{self, TrySendError};
 use crate::stats::{PipelineStats, RuntimeUpdates};
 use crate::PipelineDetector;
+
+/// The entries of one submitted chunk, in either representation.
+#[derive(Clone)]
+enum ChunkPayload {
+    /// Owned entries, from [`Pipeline::push`]/[`Pipeline::push_batch`].
+    Owned(Arc<Vec<LogEntry>>),
+    /// A borrowed-entry arena from [`Pipeline::push_line`]: the raw line
+    /// text plus per-entry parse metadata, viewed as [`EntryRef`]s on
+    /// demand — no owned `LogEntry` exists unless finalization needs
+    /// one.
+    Views(Arc<EntryBlock>),
+}
+
+impl ChunkPayload {
+    fn len(&self) -> usize {
+        match self {
+            ChunkPayload::Owned(chunk) => chunk.len(),
+            ChunkPayload::Views(block) => block.len(),
+        }
+    }
+}
 
 /// Work shipped to a pool worker.
 enum Job {
@@ -57,7 +100,7 @@ enum Job {
         /// Feed-order chunk sequence number, echoed back in the result.
         seq: u64,
         /// The whole chunk, shared across the participating workers.
-        chunk: Arc<Vec<LogEntry>>,
+        payload: ChunkPayload,
         /// Sorted chunk positions owned by this worker's shard, or
         /// `None` when the worker owns the entire chunk (single-worker
         /// pools skip the index bookkeeping entirely).
@@ -96,8 +139,62 @@ struct WorkerResult {
 /// A long-lived pool worker: its bounded job queue and join handle.
 struct WorkerHandle {
     /// `None` only during teardown.
-    jobs: Option<SyncSender<Job>>,
+    jobs: Option<spsc::Producer<Job>>,
     thread: Option<JoinHandle<()>>,
+}
+
+/// Runs one shard of one chunk through a crew of detectors, producing
+/// per-detector verdict columns. Shared by the pool workers and the
+/// single-worker inline path, so both representations take the same
+/// detector fast paths everywhere.
+fn run_shard(
+    detectors: &mut [Box<dyn PipelineDetector>],
+    payload: &ChunkPayload,
+    indices: Option<&[usize]>,
+) -> ShardColumns {
+    match payload {
+        ChunkPayload::Owned(chunk) => match indices {
+            None => ShardColumns::Whole(
+                detectors
+                    .iter_mut()
+                    .map(|det| {
+                        let mut col = Vec::with_capacity(chunk.len());
+                        det.observe_batch(chunk, &mut col);
+                        col
+                    })
+                    .collect(),
+            ),
+            Some(indices) => ShardColumns::Pairs(
+                detectors
+                    .iter_mut()
+                    .map(|det| run_index_runs(det, chunk, indices))
+                    .collect(),
+            ),
+        },
+        ChunkPayload::Views(block) => {
+            // One `Copy` view per entry, borrowed from the arena: built
+            // once per shard, shared by every detector.
+            let refs: Vec<EntryRef<'_>> = (0..block.len()).map(|i| block.view(i)).collect();
+            match indices {
+                None => ShardColumns::Whole(
+                    detectors
+                        .iter_mut()
+                        .map(|det| {
+                            let mut col = Vec::with_capacity(refs.len());
+                            det.observe_batch_refs(&refs, &mut col);
+                            col
+                        })
+                        .collect(),
+                ),
+                Some(indices) => ShardColumns::Pairs(
+                    detectors
+                        .iter_mut()
+                        .map(|det| run_index_runs_refs(det, &refs, indices))
+                        .collect(),
+                ),
+            }
+        }
+    }
 }
 
 /// Spawns a pool worker owning `detectors` for the pipeline's lifetime.
@@ -107,7 +204,7 @@ fn spawn_worker(
     queue_depth: usize,
     results: mpsc::Sender<WorkerResult>,
 ) -> WorkerHandle {
-    let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(queue_depth);
+    let (jobs_tx, jobs_rx) = spsc::channel::<Job>(queue_depth);
     let thread = std::thread::Builder::new()
         .name(format!("divscrape-pipeline-{id}"))
         .spawn(move || {
@@ -115,28 +212,11 @@ fn spawn_worker(
                 match job {
                     Job::Chunk {
                         seq,
-                        chunk,
+                        payload,
                         indices,
                     } => {
                         let started = Instant::now();
-                        let columns = match &indices {
-                            None => ShardColumns::Whole(
-                                detectors
-                                    .iter_mut()
-                                    .map(|det| {
-                                        let mut col = Vec::with_capacity(chunk.len());
-                                        det.observe_batch(&chunk, &mut col);
-                                        col
-                                    })
-                                    .collect(),
-                            ),
-                            Some(indices) => ShardColumns::Pairs(
-                                detectors
-                                    .iter_mut()
-                                    .map(|det| run_index_runs(det, &chunk, indices))
-                                    .collect(),
-                            ),
-                        };
+                        let columns = run_shard(&mut detectors, &payload, indices.as_deref());
                         let evict = EvictionStats::merge_all(
                             detectors.iter().map(|det| det.eviction_stats()),
                         );
@@ -171,7 +251,7 @@ fn spawn_worker(
 
 /// A submitted chunk waiting for its worker results.
 struct PendingChunk {
-    chunk: Arc<Vec<LogEntry>>,
+    payload: ChunkPayload,
     /// Workers that still owe a result for this chunk.
     awaiting: usize,
     /// Per detector, one verdict per chunk position (scattered in as
@@ -266,6 +346,16 @@ pub struct Pipeline {
     /// budget split); base for runtime re-apportionment.
     eviction: EvictionConfig,
     buffer: Vec<LogEntry>,
+    /// The borrowed-entry arena [`push_line`](Self::push_line) parses
+    /// into; submitted as a [`ChunkPayload::Views`] chunk when it
+    /// reaches the chunk capacity. At most one of `buffer`/`block` is
+    /// non-empty (each push flavor flushes the other's residue first,
+    /// preserving feed order across mixed ingestion).
+    block: EntryBlock,
+    /// Finalized arenas ready for reuse — text/meta capacity and the
+    /// warm user-agent interner kept, so steady-state `push_line`
+    /// traffic allocates nothing per entry.
+    block_pool: Vec<EntryBlock>,
     acc_combined: Vec<bool>,
     acc_members: Vec<Vec<bool>>,
     /// `Some` for a single-worker pipeline: the detectors run inline on
@@ -398,6 +488,8 @@ impl Pipeline {
             queue_depth,
             eviction,
             buffer: Vec::new(),
+            block: EntryBlock::new(),
+            block_pool: Vec::new(),
             acc_combined: Vec::new(),
             acc_members: vec![Vec::new(); n_members],
             worker_evict: vec![EvictionStats::default(); tracked_workers],
@@ -443,10 +535,7 @@ impl Pipeline {
         // exactly between entries pushed before and after this call
         // (chunk boundaries never change verdicts, so the early flush
         // is otherwise unobservable).
-        if !self.buffer.is_empty() {
-            let residue = std::mem::take(&mut self.buffer);
-            self.submit_chunk(residue);
-        }
+        self.flush_residue();
         self.eviction = eviction;
         self.stats.updates.eviction += 1;
         if let Some(crew) = &mut self.inline_crew {
@@ -534,10 +623,7 @@ impl Pipeline {
         // exactly between entries pushed before and after this call
         // (chunk boundaries never change member verdicts, so the early
         // flush is otherwise unobservable).
-        if !self.buffer.is_empty() {
-            let residue = std::mem::take(&mut self.buffer);
-            self.submit_chunk(residue);
-        }
+        self.flush_residue();
         self.pending_rules.push_back((self.next_seq, rule));
         Ok(())
     }
@@ -588,12 +674,13 @@ impl Pipeline {
 
     /// Entries accepted so far (finalized, in flight, or buffered).
     pub fn requests_seen(&self) -> u64 {
-        self.submitted + self.buffer.len() as u64
+        self.submitted + self.pending() as u64
     }
 
-    /// Entries buffered on the driver and not yet submitted to the pool.
+    /// Entries buffered on the driver and not yet submitted to the pool
+    /// (owned entries plus lines parsed in place).
     pub fn pending(&self) -> usize {
-        self.buffer.len()
+        self.buffer.len() + self.block.len()
     }
 
     /// A snapshot of the pipeline's operational counters: throughput,
@@ -601,7 +688,7 @@ impl Pipeline {
     /// reads driver-side accumulators only (worker eviction footprints
     /// are as of each worker's most recently collected result).
     pub fn stats(&self) -> PipelineStats {
-        let inflight_entries: usize = self.inflight.values().map(|p| p.chunk.len()).sum();
+        let inflight_entries: usize = self.inflight.values().map(|p| p.payload.len()).sum();
         let (current_weights, current_threshold) = match &self.rule {
             Rule::Weighted(rule) => (Some(rule.weights().to_vec()), Some(rule.threshold())),
             Rule::KOutOfN(_) => (None, None),
@@ -624,7 +711,7 @@ impl Pipeline {
             spool_bytes_high_water,
             replayed_alerts,
             entries_processed: self.finalized,
-            entries_pending: self.buffer.len() + inflight_entries,
+            entries_pending: self.pending() + inflight_entries,
             chunks_processed: self.stats.chunks,
             alerts: self.stats.alerts,
             inflight_chunks: self.inflight.len(),
@@ -649,8 +736,61 @@ impl Pipeline {
     /// either a target worker's job queue is full or the number of
     /// in-flight chunks has reached `workers × queue_depth + 1`.
     pub fn push(&mut self, entry: LogEntry) {
+        self.flush_block_residue();
         self.buffer.push(entry);
         self.flush_full_chunks();
+    }
+
+    /// Feeds one raw Combined Log Format line, parsed **in place** into
+    /// the pipeline's current entry arena — the zero-copy twin of
+    /// [`push`](Self::push). The line text is copied once into the
+    /// arena's contiguous buffer and never again: detectors observe it
+    /// through borrowed [`EntryRef`] views, and an owned [`LogEntry`] is
+    /// materialized only if an alert sink or label oracle needs one at
+    /// finalization. Arenas are recycled after finalization, so
+    /// steady-state ingestion performs no per-entry heap allocation.
+    ///
+    /// Verdicts are bit-identical to parsing the line yourself and
+    /// calling [`push`](Self::push) — both flavors share one parser —
+    /// and the two can be mixed freely on one stream (feed order is
+    /// preserved). Blocks exactly like `push` when a chunk must be
+    /// submitted against a saturated pool.
+    ///
+    /// A trailing `"\n"`/`"\r\n"` is accepted and ignored.
+    ///
+    /// ```
+    /// use divscrape_detect::{Arcane, Sentinel};
+    /// use divscrape_pipeline::PipelineBuilder;
+    ///
+    /// let mut pipeline = PipelineBuilder::new()
+    ///     .detector(Sentinel::stock())
+    ///     .detector(Arcane::stock())
+    ///     .build()
+    ///     .map_err(|e| e.to_string())?;
+    /// let line = r#"198.51.100.7 - - [11/Mar/2018:06:25:14 +0000] "GET /search HTTP/1.1" 200 5123 "-" "curl/7.58.0""#;
+    /// pipeline.push_line(line).map_err(|e| e.to_string())?;
+    /// assert!(pipeline.push_line("not a log line").is_err());
+    /// let report = pipeline.drain();
+    /// assert_eq!(report.requests(), 1); // the malformed line never entered
+    /// # Ok::<(), String>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for a malformed line; nothing is stored
+    /// and the stream is unaffected — identical accept/reject behavior
+    /// to [`LogEntry::parse`].
+    pub fn push_line(&mut self, line: &str) -> Result<(), ParseLogError> {
+        // Feed order across mixed ingestion: owned residue first.
+        if !self.buffer.is_empty() {
+            let residue = std::mem::take(&mut self.buffer);
+            self.submit_chunk(residue);
+        }
+        self.block.push_line(line)?;
+        if self.block.len() >= self.chunk_capacity {
+            self.flush_block_residue();
+        }
+        Ok(())
     }
 
     /// Feeds a batch of entries, submitting chunks as they fill. Any
@@ -662,6 +802,7 @@ impl Pipeline {
     /// in-flight budget simply blocks in here (backpressure) while the
     /// caller's slice is read in place.
     pub fn push_batch(&mut self, entries: &[LogEntry]) {
+        self.flush_block_residue();
         let mut rest = entries;
         loop {
             let room = self.chunk_capacity - self.buffer.len();
@@ -693,10 +834,7 @@ impl Pipeline {
     /// order.
     pub fn drain(&mut self) -> PipelineReport {
         self.flush_full_chunks();
-        if !self.buffer.is_empty() {
-            let residue = std::mem::take(&mut self.buffer);
-            self.submit_chunk(residue);
-        }
+        self.flush_residue();
         self.wait_for_inflight();
         // A rule change requested after the last pushed entry has no
         // chunk left to gate on: install it now, at the stream's end,
@@ -762,6 +900,7 @@ impl Pipeline {
                 .expect("pipeline worker thread died");
         }
         self.buffer.clear();
+        self.block.clear();
         self.acc_combined.clear();
         for acc in &mut self.acc_members {
             acc.clear();
@@ -781,6 +920,29 @@ impl Pipeline {
         }
     }
 
+    /// Submits whatever is buffered in either representation — the
+    /// boundary flush used by `drain`, `set_eviction` and
+    /// `set_adjudication`. At most one of the two buffers is non-empty
+    /// (see the field invariant), so the order here is immaterial.
+    fn flush_residue(&mut self) {
+        if !self.buffer.is_empty() {
+            let residue = std::mem::take(&mut self.buffer);
+            self.submit_chunk(residue);
+        }
+        self.flush_block_residue();
+    }
+
+    /// Submits the partially filled entry arena, swapping in a recycled
+    /// (or fresh) one.
+    fn flush_block_residue(&mut self) {
+        if self.block.is_empty() {
+            return;
+        }
+        let fresh = self.block_pool.pop().unwrap_or_default();
+        let block = std::mem::replace(&mut self.block, fresh);
+        self.submit_payload(ChunkPayload::Views(Arc::new(block)));
+    }
+
     /// Hard cap on chunks in flight. Per-worker queues alone do not
     /// bound the reorder buffer: fast workers could complete chunk after
     /// chunk behind one slow chunk that blocks in-order finalization,
@@ -791,16 +953,22 @@ impl Pipeline {
         self.workers.len() * self.queue_depth + 1
     }
 
-    /// Ships one chunk to the pool: client-shards it, enqueues a job per
-    /// participating worker (blocking on full queues or a full reorder
-    /// buffer — this is where backpressure bites) and opportunistically
-    /// finalizes any chunks whose results are already back.
+    /// Ships one owned chunk to the pool.
     fn submit_chunk(&mut self, chunk: Vec<LogEntry>) {
-        debug_assert!(!chunk.is_empty(), "never submit an empty chunk");
+        self.submit_payload(ChunkPayload::Owned(Arc::new(chunk)));
+    }
+
+    /// Ships one chunk (either representation) to the pool: client-shards
+    /// it, enqueues a job per participating worker (blocking on full
+    /// queues or a full reorder buffer — this is where backpressure
+    /// bites) and opportunistically finalizes any chunks whose results
+    /// are already back.
+    fn submit_payload(&mut self, payload: ChunkPayload) {
+        debug_assert!(payload.len() > 0, "never submit an empty chunk");
         // Single-worker pipelines run the chunk inline on the driver:
         // maximal backpressure, zero handoff.
         if self.inline_crew.is_some() {
-            self.process_chunk_inline(chunk);
+            self.process_chunk_inline(payload);
             return;
         }
         // Backpressure, part one: keep the reorder buffer at or under
@@ -814,10 +982,9 @@ impl Pipeline {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        let n = chunk.len();
+        let n = payload.len();
         let n_detectors = self.names.len();
         let shard_count = self.workers.len();
-        let chunk = Arc::new(chunk);
 
         // A chunk wholly owned by one worker (single-worker pool, or all
         // clients hashing to one shard) skips the index bookkeeping: the
@@ -826,8 +993,18 @@ impl Pipeline {
             vec![(0, None)]
         } else {
             let mut shards: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
-            for (i, e) in chunk.iter().enumerate() {
-                shards[Sessionizer::shard_of(&e.client_key(), shard_count)].push(i);
+            match &payload {
+                ChunkPayload::Owned(chunk) => {
+                    for (i, e) in chunk.iter().enumerate() {
+                        shards[Sessionizer::shard_of(&e.client_key(), shard_count)].push(i);
+                    }
+                }
+                ChunkPayload::Views(block) => {
+                    for i in 0..block.len() {
+                        let key = block.view(i).client_key();
+                        shards[Sessionizer::shard_of(&key, shard_count)].push(i);
+                    }
+                }
             }
             if shards.iter().filter(|shard| !shard.is_empty()).count() == 1 {
                 let owner = shards.iter().position(|shard| !shard.is_empty()).unwrap();
@@ -849,7 +1026,7 @@ impl Pipeline {
         self.inflight.insert(
             seq,
             PendingChunk {
-                chunk: Arc::clone(&chunk),
+                payload: payload.clone(),
                 awaiting: jobs.len(),
                 columns,
             },
@@ -860,7 +1037,7 @@ impl Pipeline {
         for (worker, indices) in jobs {
             let mut job = Job::Chunk {
                 seq,
-                chunk: Arc::clone(&chunk),
+                payload: payload.clone(),
                 indices,
             };
             loop {
@@ -895,23 +1072,18 @@ impl Pipeline {
 
     /// Runs one chunk through the inline crew on the driver thread and
     /// finalizes it immediately — the single-worker execution path.
-    fn process_chunk_inline(&mut self, chunk: Vec<LogEntry>) {
+    fn process_chunk_inline(&mut self, payload: ChunkPayload) {
         let started = Instant::now();
-        let chunk = Arc::new(chunk);
         let crew = self.inline_crew.as_mut().expect("inline pipeline");
-        let columns: Vec<Vec<Verdict>> = crew
-            .iter_mut()
-            .map(|det| {
-                let mut col = Vec::with_capacity(chunk.len());
-                det.observe_batch(&chunk, &mut col);
-                col
-            })
-            .collect();
+        let columns = match run_shard(crew, &payload, None) {
+            ShardColumns::Whole(columns) => columns,
+            ShardColumns::Pairs(_) => unreachable!("unsharded run returns whole columns"),
+        };
         let evict = EvictionStats::merge_all(crew.iter().map(|det| det.eviction_stats()));
         self.stats.detect_busy += started.elapsed();
         self.stats.max_live_clients = self.stats.max_live_clients.max(evict.live_clients);
         self.worker_evict[0] = evict;
-        self.submitted += chunk.len() as u64;
+        self.submitted += payload.len() as u64;
         // Inline chunks share the pool's sequence numbering so rule
         // installs queued by `set_adjudication` gate identically.
         let seq = self.next_seq;
@@ -919,7 +1091,7 @@ impl Pipeline {
         self.finalize(
             seq,
             PendingChunk {
-                chunk,
+                payload,
                 awaiting: 0,
                 columns,
             },
@@ -1015,7 +1187,10 @@ impl Pipeline {
         // or before this chunk takes effect now, before adjudication —
         // never mid-chunk.
         self.install_due_rules(seq);
-        let PendingChunk { chunk, columns, .. } = pending;
+        let PendingChunk {
+            payload, columns, ..
+        } = pending;
+        let n = payload.len();
         let n_detectors = self.names.len();
 
         // Online adjudication, reusing the ensemble rules verbatim.
@@ -1053,11 +1228,22 @@ impl Pipeline {
                 .collect();
             let mut votes = vec![false; n_detectors];
             let mut scores = vec![0.0f32; n_detectors];
-            for (i, entry) in chunk.iter().enumerate() {
+            for i in 0..n {
                 let alerted = combined_bools[i];
                 if !alerted && entry_sinks.is_empty() {
                     continue;
                 }
+                // Borrowed chunks materialize an owned entry only here
+                // — for the few positions a sink actually consumes.
+                let materialized;
+                let entry: &LogEntry = match &payload {
+                    ChunkPayload::Owned(chunk) => &chunk[i],
+                    ChunkPayload::Views(block) => {
+                        materialized = LogEntry::parse(block.line(i))
+                            .expect("arena lines are stored only after a successful parse");
+                        &materialized
+                    }
+                };
                 for (vote, member) in votes.iter_mut().zip(&member_bools) {
                     *vote = member[i];
                 }
@@ -1094,13 +1280,25 @@ impl Pipeline {
             self.stats.sink_busy += sink_started.elapsed();
         }
 
-        self.observe_for_recalibration(&chunk, &columns, &member_bools);
+        self.observe_for_recalibration(&payload, &columns, &member_bools);
 
-        self.finalized += chunk.len() as u64;
+        self.finalized += n as u64;
         self.stats.chunks += 1;
         self.acc_combined.extend_from_slice(&combined_bools);
         for (acc, member) in self.acc_members.iter_mut().zip(member_bools) {
             acc.extend(member);
+        }
+
+        // Recycle the chunk's arena: once the workers have dropped their
+        // handles this is the last one, so the block (its capacity and
+        // warm interner) goes back to the pool for the next chunk.
+        if let ChunkPayload::Views(block) = payload {
+            if self.block_pool.len() <= self.inflight_cap() {
+                if let Ok(mut block) = Arc::try_unwrap(block) {
+                    block.clear();
+                    self.block_pool.push(block);
+                }
+            }
         }
     }
 
@@ -1134,7 +1332,7 @@ impl Pipeline {
     /// at the **next** chunk boundary.
     fn observe_for_recalibration(
         &mut self,
-        chunk: &[LogEntry],
+        payload: &ChunkPayload,
         columns: &[Vec<Verdict>],
         member_bools: &[Vec<bool>],
     ) {
@@ -1146,13 +1344,25 @@ impl Pipeline {
         let derived = {
             let mut row = vec![false; member_bools.len()];
             let mut confidence = vec![0.0f64; member_bools.len()];
-            for (i, entry) in chunk.iter().enumerate() {
+            for i in 0..payload.len() {
                 for (slot, member) in row.iter_mut().zip(member_bools) {
                     *slot = member[i];
                 }
-                let label = labels
-                    .as_mut()
-                    .and_then(|oracle| oracle(base + i as u64, entry));
+                // The oracle is the one consumer here that needs an
+                // owned entry; borrowed chunks materialize it lazily,
+                // and not at all without an oracle.
+                let label = labels.as_mut().and_then(|oracle| {
+                    let materialized;
+                    let entry: &LogEntry = match payload {
+                        ChunkPayload::Owned(chunk) => &chunk[i],
+                        ChunkPayload::Views(block) => {
+                            materialized = LogEntry::parse(block.line(i))
+                                .expect("arena lines are stored only after a successful parse");
+                            &materialized
+                        }
+                    };
+                    oracle(base + i as u64, entry)
+                });
                 match label {
                     Some(malicious) => recal.observe_labeled(&row, malicious),
                     None => {
@@ -1177,7 +1387,7 @@ impl Pipeline {
             );
             self.stats.updates.adjudication += 1;
             self.schedule.push(AppliedRuleUpdate {
-                at_entry: base + chunk.len() as u64,
+                at_entry: base + payload.len() as u64,
                 weights: update.weights,
                 threshold: update.threshold,
             });

@@ -1,0 +1,383 @@
+//! A bounded single-producer / single-consumer ring queue — the job
+//! channel between the pipeline driver and each pool worker.
+//!
+//! `std::sync::mpsc::sync_channel` is multi-producer: every send takes an
+//! internal lock and its buffer is a linked structure of heap nodes. The
+//! pipeline never needs that generality — exactly one driver feeds
+//! exactly one worker — so this module implements the classic Lamport
+//! ring instead: a fixed slot array indexed by two monotonic positions,
+//! where the producer only writes `tail` and the consumer only writes
+//! `head`. The hot paths ([`Producer::try_send`], [`Consumer::try_recv`])
+//! are lock- and allocation-free; blocking ([`Producer::send`],
+//! [`Consumer::recv`]) parks on a `Mutex`/`Condvar` pair that is touched
+//! only when one side actually has to wait.
+//!
+//! This is the one module in the crate that uses `unsafe` (the slot array
+//! holds `MaybeUninit` values handed across the two threads); everything
+//! else remains `#[deny(unsafe_code)]`. The safety argument is local and
+//! small — see the invariants on [`Shared`].
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a [`Producer::try_send`] could not enqueue. Mirrors
+/// `std::sync::mpsc::TrySendError`, handing the value back in both cases.
+pub(crate) enum TrySendError<T> {
+    /// The ring is at capacity; the value is returned for a retry.
+    Full(T),
+    /// The consumer is gone; the value can never be delivered.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+/// The consumer is gone; returned by [`Producer::send`] with the
+/// undeliverable value.
+pub(crate) struct SendError<T>(pub(crate) T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// The producer is gone and the ring is drained; returned by
+/// [`Consumer::recv`].
+#[derive(Debug)]
+pub(crate) struct RecvError;
+
+/// State shared by the two endpoints.
+///
+/// # Invariants (the entire safety argument)
+///
+/// * `head` and `tail` are slot indices in `0..slots.len()`, with
+///   `slots.len() == capacity + 1` (one slot is always left empty so
+///   `head == tail` unambiguously means "empty" and
+///   `(tail + 1) % len == head` means "full").
+/// * Slots in `head..tail` (modular) are initialized; all others are
+///   uninitialized. Only the producer writes `tail` (after initializing
+///   the slot, with `Release`), only the consumer writes `head` (after
+///   moving the value out, with `Release`); each side reads the other's
+///   index with `Acquire`. The index handoff is therefore the
+///   happens-before edge that publishes slot contents — a slot is read
+///   only after the write that filled it, and rewritten only after the
+///   read that drained it.
+/// * Exactly one `Producer` and one `Consumer` exist per ring (enforced
+///   by construction: [`channel`] makes one of each and neither is
+///   `Clone`), so there is never more than one writer per index.
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer reads.
+    head: AtomicUsize,
+    /// Next slot the producer writes.
+    tail: AtomicUsize,
+    producer_dropped: AtomicBool,
+    consumer_dropped: AtomicBool,
+    /// Set (under `lock`) by a side about to park; cleared by whoever
+    /// wakes it. The fast paths skip the mutex entirely while no one
+    /// waits.
+    producer_waiting: AtomicBool,
+    consumer_waiting: AtomicBool,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+// SAFETY: the ring hands `T` values across threads by move (each value is
+// written by one thread and read by exactly one other, synchronized by
+// the head/tail handoff documented on the struct), which is exactly the
+// `T: Send` contract. No `&T` is ever shared across threads.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    fn is_full(&self) -> bool {
+        let tail = self.tail.load(Ordering::Acquire);
+        (tail + 1) % self.slots.len() == self.head.load(Ordering::Acquire)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
+    }
+
+    /// Wakes the other side if it flagged itself as parked. Taking the
+    /// mutex before notifying closes the race with a side that has set
+    /// its flag but not yet entered `Condvar::wait` (it holds the lock
+    /// for that whole window).
+    fn wake(&self, flag: &AtomicBool) {
+        if flag.swap(false, Ordering::SeqCst) {
+            let _guard = self.lock.lock().expect("spsc lock poisoned");
+            self.cond.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Sole owner now: drain whatever was queued but never received.
+        let mut head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        while head != tail {
+            // SAFETY: slots in head..tail are initialized (struct
+            // invariant) and dropped exactly once here.
+            unsafe { (*self.slots[head].get()).assume_init_drop() };
+            head = (head + 1) % self.slots.len();
+        }
+    }
+}
+
+/// The sending endpoint. Dropping it disconnects the ring: the consumer
+/// drains what was already queued, then [`Consumer::recv`] errors.
+pub(crate) struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving endpoint. Dropping it disconnects the ring: subsequent
+/// sends fail with the value handed back.
+pub(crate) struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded SPSC ring holding up to `capacity` values
+/// (`capacity >= 1`).
+pub(crate) fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity >= 1, "spsc ring needs capacity >= 1");
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..=capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let shared = Arc::new(Shared {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        producer_dropped: AtomicBool::new(false),
+        consumer_dropped: AtomicBool::new(false),
+        producer_waiting: AtomicBool::new(false),
+        consumer_waiting: AtomicBool::new(false),
+        lock: Mutex::new(()),
+        cond: Condvar::new(),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Enqueues without blocking, handing the value back when the ring is
+    /// full or the consumer is gone.
+    pub(crate) fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let shared = &*self.shared;
+        if shared.consumer_dropped.load(Ordering::SeqCst) {
+            return Err(TrySendError::Disconnected(value));
+        }
+        let tail = shared.tail.load(Ordering::Relaxed);
+        let next = (tail + 1) % shared.slots.len();
+        if next == shared.head.load(Ordering::Acquire) {
+            return Err(TrySendError::Full(value));
+        }
+        // SAFETY: `tail` is outside head..tail, hence uninitialized, and
+        // only this (sole) producer writes it; the Release store below
+        // publishes the write to the consumer.
+        unsafe { (*shared.slots[tail].get()).write(value) };
+        shared.tail.store(next, Ordering::Release);
+        shared.wake(&shared.consumer_waiting);
+        Ok(())
+    }
+
+    /// Enqueues, parking until a slot frees up. Errs (returning the
+    /// value) only when the consumer is gone.
+    pub(crate) fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut value = value;
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(v)) => return Err(SendError(v)),
+                Err(TrySendError::Full(v)) => {
+                    value = v;
+                    let shared = &*self.shared;
+                    let guard = shared.lock.lock().expect("spsc lock poisoned");
+                    shared.producer_waiting.store(true, Ordering::SeqCst);
+                    // Re-check under the lock: a pop (or disconnect)
+                    // between the failed try_send and the flag store
+                    // would otherwise be missed forever.
+                    if !shared.is_full() || shared.consumer_dropped.load(Ordering::SeqCst) {
+                        shared.producer_waiting.store(false, Ordering::SeqCst);
+                        continue;
+                    }
+                    // Spurious wakes just loop back into try_send.
+                    drop(shared.cond.wait(guard).expect("spsc lock poisoned"));
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_dropped.store(true, Ordering::SeqCst);
+        self.shared.wake(&self.shared.consumer_waiting);
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues without blocking. `Ok(None)` means the ring is empty but
+    /// the producer may still send; `Err(RecvError)` means drained and
+    /// disconnected.
+    pub(crate) fn try_recv(&self) -> Result<Option<T>, RecvError> {
+        let shared = &*self.shared;
+        let head = shared.head.load(Ordering::Relaxed);
+        if head == shared.tail.load(Ordering::Acquire) {
+            // Empty. Check for disconnect, then re-check the ring: the
+            // producer could have pushed between the first load and the
+            // dropped-flag load (drop sets the flag after its last send).
+            if shared.producer_dropped.load(Ordering::SeqCst)
+                && head == shared.tail.load(Ordering::Acquire)
+            {
+                return Err(RecvError);
+            }
+            return Ok(None);
+        }
+        // SAFETY: `head` is inside head..tail, hence initialized and
+        // published by the producer's Release store of `tail`; only this
+        // (sole) consumer reads it, and the Release store below lets the
+        // producer reuse the slot.
+        let value = unsafe { (*shared.slots[head].get()).assume_init_read() };
+        shared
+            .head
+            .store((head + 1) % shared.slots.len(), Ordering::Release);
+        shared.wake(&shared.producer_waiting);
+        Ok(Some(value))
+    }
+
+    /// Dequeues, parking until a value arrives. Errs only when the
+    /// producer is gone and everything queued has been received.
+    pub(crate) fn recv(&self) -> Result<T, RecvError> {
+        loop {
+            match self.try_recv() {
+                Ok(Some(value)) => return Ok(value),
+                Err(RecvError) => return Err(RecvError),
+                Ok(None) => {
+                    let shared = &*self.shared;
+                    let guard = shared.lock.lock().expect("spsc lock poisoned");
+                    shared.consumer_waiting.store(true, Ordering::SeqCst);
+                    if !shared.is_empty() || shared.producer_dropped.load(Ordering::SeqCst) {
+                        shared.consumer_waiting.store(false, Ordering::SeqCst);
+                        continue;
+                    }
+                    drop(shared.cond.wait(guard).expect("spsc lock poisoned"));
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_dropped.store(true, Ordering::SeqCst);
+        self.shared.wake(&self.shared.producer_waiting);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn values_cross_in_order() {
+        let (tx, rx) = channel::<u32>(4);
+        for i in 0..4 {
+            tx.try_send(i).unwrap();
+        }
+        assert!(matches!(tx.try_send(99), Err(TrySendError::Full(99))));
+        for i in 0..4 {
+            assert_eq!(rx.try_recv().unwrap(), Some(i));
+        }
+        assert!(rx.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn disconnects_propagate_both_ways() {
+        let (tx, rx) = channel::<u8>(2);
+        tx.try_send(7).unwrap();
+        drop(tx);
+        // Queued values survive the producer's drop...
+        assert_eq!(rx.recv().unwrap(), 7);
+        // ...then the drained ring reports the disconnect.
+        assert!(rx.recv().is_err());
+
+        let (tx, rx) = channel::<u8>(2);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+        assert!(tx.send(2).is_err());
+    }
+
+    #[test]
+    fn blocking_send_and_recv_stream_a_million_values() {
+        let (tx, rx) = channel::<u64>(3);
+        let n = 1_000_000u64;
+        let consumer = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            let mut expect = 0u64;
+            while let Ok(v) = rx.recv() {
+                assert_eq!(v, expect, "FIFO order violated");
+                expect += 1;
+                sum += v;
+            }
+            (expect, sum)
+        });
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let (count, sum) = consumer.join().unwrap();
+        assert_eq!(count, n);
+        assert_eq!(sum, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn undelivered_values_are_dropped_exactly_once() {
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (tx, rx) = channel::<Counted>(8);
+        for _ in 0..5 {
+            tx.try_send(Counted).unwrap();
+        }
+        drop(rx.try_recv().unwrap()); // one delivered and dropped
+        drop(tx);
+        drop(rx); // four still queued: drained by the ring's Drop
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn full_ring_backpressures_until_the_consumer_catches_up() {
+        let (tx, rx) = channel::<u32>(1);
+        tx.try_send(0).unwrap();
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Full(1))));
+        let producer = std::thread::spawn(move || {
+            // Blocks until the main thread pops.
+            tx.send(1).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.try_recv().unwrap(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

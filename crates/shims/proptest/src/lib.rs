@@ -12,14 +12,26 @@
 //!
 //! Unlike real proptest there is no shrinking: a failing case panics with
 //! the generated values left to the assertion message. Each test runs
-//! [`CASES`] cases from a seed derived from the test's name, so runs are
+//! [`cases()`](cases) cases ([`CASES`] unless `PROPTEST_CASES` overrides
+//! it) from a seed derived from the test's name, so runs are
 //! reproducible.
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SampleRange, SeedableRng, StandardSample};
 
-/// Number of cases each property runs.
+/// Number of cases each property runs when `PROPTEST_CASES` is unset.
 pub const CASES: usize = 64;
+
+/// Number of cases each property runs: the `PROPTEST_CASES` environment
+/// variable when set to a positive integer (CI's fuzz job widens the
+/// sweep this way, mirroring real proptest's knob), [`CASES`] otherwise.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(CASES)
+}
 
 /// Deterministic per-test random source.
 #[derive(Debug, Clone)]
@@ -253,7 +265,8 @@ pub mod prelude {
     };
 }
 
-/// Defines property tests: each `fn` runs [`CASES`] generated cases.
+/// Defines property tests: each `fn` runs [`cases()`](cases) generated
+/// cases.
 #[macro_export]
 macro_rules! proptest {
     ($( #[test] $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )+) => {
@@ -262,12 +275,13 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let cases = $crate::cases();
                 let mut accepted = 0usize;
                 let mut attempts = 0usize;
-                while accepted < $crate::CASES {
+                while accepted < cases {
                     attempts += 1;
                     assert!(
-                        attempts <= $crate::CASES * 20,
+                        attempts <= cases * 20,
                         "prop_assume! rejected too many cases"
                     );
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+

@@ -1,0 +1,246 @@
+//! The replay bench behind `BENCH_zero_copy.json`: the owned path
+//! (every line parsed into a heap-backed `LogEntry` before the
+//! detectors see it — the spine before the zero-copy rework) raced
+//! against the borrowed path (`Pipeline::push_line`, parsed in place
+//! into the chunk arena) over the identical generated log, on one
+//! worker so the numbers are per-core.
+//!
+//! Reported per path: entries/sec, ns/entry and allocs/entry (via a
+//! counting global allocator), measured over timed passes after an
+//! untimed warm-up pass. The run appends one record to the trajectory
+//! file (default `BENCH_zero_copy.json`), so successive PRs extend a
+//! measured history instead of overwriting it — see `docs/CI.md` for
+//! the format.
+//!
+//! ```text
+//! cargo run --release --example zero_copy_bench -- --smoke
+//! cargo run --release --example zero_copy_bench -- --full --label pr8
+//! ```
+//!
+//! `--smoke` (the CI gate) runs at small scale and exits non-zero
+//! unless (a) both paths produce the same alert count and (b) the
+//! borrowed path clears 1.5× the owned path's throughput — headroom
+//! below the ≥2× seen on idle hardware, so a loaded CI runner does not
+//! flake the gate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use divscrape_detect::{Arcane, Sentinel};
+use divscrape_httplog::LogEntry;
+use divscrape_pipeline::{Adjudication, Pipeline, PipelineBuilder};
+use divscrape_traffic::{generate, ScenarioConfig};
+
+/// Counts every heap allocation (fresh and growing) in the process so
+/// the bench can report allocs/entry alongside the throughput numbers.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counter never influences
+// the returned pointers.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+struct PathResult {
+    entries_per_sec: f64,
+    ns_per_entry: f64,
+    allocs_per_entry: f64,
+    alerts: u64,
+}
+
+fn build_pipeline() -> Pipeline {
+    PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .adjudication(Adjudication::k_of_n(1))
+        .workers(1)
+        .build()
+        .expect("bench pipeline")
+}
+
+/// One warm-up pass, then `passes` timed passes of `feed` over the
+/// whole log on a fresh pipeline. Each pass is timed separately and
+/// the **best pass** is reported: the paths are deterministic, so the
+/// fastest pass is the one least perturbed by other tenants of the
+/// machine — per-pass minimums compare far more stably than means on
+/// shared hardware. The allocator delta spans all timed passes (it is
+/// load-independent).
+fn run_path(lines: &[String], passes: u32, feed: impl Fn(&mut Pipeline, &str)) -> PathResult {
+    let mut pipeline = build_pipeline();
+    for line in lines {
+        feed(&mut pipeline, line);
+    }
+
+    let entries_per_pass = lines.len() as u64;
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let started = Instant::now();
+        for line in lines {
+            feed(&mut pipeline, line);
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+
+    let report = pipeline.drain();
+    let total_entries = entries_per_pass * u64::from(passes);
+    PathResult {
+        entries_per_sec: entries_per_pass as f64 / best,
+        ns_per_entry: best * 1e9 / entries_per_pass as f64,
+        allocs_per_entry: allocs as f64 / total_entries as f64,
+        alerts: report.combined.count(),
+    }
+}
+
+fn record_json(
+    label: &str,
+    scale: &str,
+    n: usize,
+    passes: u32,
+    owned: &PathResult,
+    zero_copy: &PathResult,
+    speedup: f64,
+) -> String {
+    let path_json = |p: &PathResult| {
+        format!(
+            "{{ \"entries_per_sec\": {:.0}, \"ns_per_entry\": {:.1}, \"allocs_per_entry\": {:.3} }}",
+            p.entries_per_sec, p.ns_per_entry, p.allocs_per_entry
+        )
+    };
+    format!(
+        "  {{\n    \"label\": \"{label}\",\n    \"scale\": \"{scale}\",\n    \"entries\": {n},\n    \"passes\": {passes},\n    \"workers\": 1,\n    \"owned\": {},\n    \"zero_copy\": {},\n    \"speedup\": {speedup:.2}\n  }}",
+        path_json(owned),
+        path_json(zero_copy)
+    )
+}
+
+/// Appends one record to the JSON-array trajectory file, creating it
+/// (or replacing a non-array file) as a one-record array.
+fn append_record(path: &str, record: &str) -> std::io::Result<()> {
+    let prefix = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(body) if body.trim_end().is_empty() || body.trim_end() == "[" => {
+                    "[\n".to_owned()
+                }
+                Some(body) => format!("{},\n", body.trim_end()),
+                None => "[\n".to_owned(),
+            }
+        }
+        Err(_) => "[\n".to_owned(),
+    };
+    std::fs::write(path, format!("{prefix}{record}\n]\n"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = args.is_empty();
+    let mut full = false;
+    let mut label = "smoke".to_owned();
+    let mut out = "BENCH_zero_copy.json".to_owned();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--full" => full = true,
+            "--label" => label = it.next().ok_or("--label needs a value")?,
+            "--out" => out = it.next().ok_or("--out needs a path")?,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: zero_copy_bench [--smoke | --full] [--label <name>] [--out <path>]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)").into()),
+        }
+    }
+    let (scale, config, passes) = if full {
+        ("medium", ScenarioConfig::medium(2018), 5u32)
+    } else {
+        smoke = true;
+        ("small", ScenarioConfig::small(2018), 5u32)
+    };
+
+    let log = generate(&config)?;
+    // Render the raw CLF lines up front: both paths consume the same
+    // borrowed `&str`s, so the race is parse-and-feed strategy only.
+    let lines: Vec<String> = log.entries().iter().map(|e| e.to_string()).collect();
+    eprintln!(
+        "zero_copy_bench: {} entries × {passes} timed passes ({scale} scale)",
+        lines.len()
+    );
+
+    let owned = run_path(&lines, passes, |pipeline, line| {
+        pipeline.push(LogEntry::parse(line).expect("generated line parses"));
+    });
+    let zero_copy = run_path(&lines, passes, |pipeline, line| {
+        pipeline.push_line(line).expect("generated line parses");
+    });
+    let speedup = zero_copy.entries_per_sec / owned.entries_per_sec;
+
+    eprintln!(
+        "owned:     {:>10.0} entries/s  {:>7.1} ns/entry  {:>6.3} allocs/entry  {} alerts",
+        owned.entries_per_sec, owned.ns_per_entry, owned.allocs_per_entry, owned.alerts
+    );
+    eprintln!(
+        "zero-copy: {:>10.0} entries/s  {:>7.1} ns/entry  {:>6.3} allocs/entry  {} alerts",
+        zero_copy.entries_per_sec,
+        zero_copy.ns_per_entry,
+        zero_copy.allocs_per_entry,
+        zero_copy.alerts
+    );
+    eprintln!("speedup:   {speedup:.2}x");
+
+    let record = record_json(
+        &label,
+        scale,
+        lines.len(),
+        passes,
+        &owned,
+        &zero_copy,
+        speedup,
+    );
+    append_record(&out, &record)?;
+    eprintln!("appended record to {out}");
+
+    // The two paths share one parser and one detector stack: any alert
+    // drift means the zero-copy spine changed a verdict.
+    if owned.alerts != zero_copy.alerts {
+        return Err(format!(
+            "alert drift: owned path raised {} alerts, zero-copy path {}",
+            owned.alerts, zero_copy.alerts
+        )
+        .into());
+    }
+    if smoke && speedup < 1.5 {
+        return Err(
+            format!("zero-copy speedup {speedup:.2}x is under the 1.5x smoke floor").into(),
+        );
+    }
+    Ok(())
+}
