@@ -9,6 +9,11 @@
 //! 2. **`hub/T`** — a `PipelineHub` with T per-tenant pipelines of the
 //!    same composition, routing each entry to its owner.
 //!
+//! A second group, `service_sharding`, prices the service plane's
+//! per-tenant *driver* threads: the same line stream through a
+//! 1-shard `ServicePlane` (one driver, the hub's execution model) vs a
+//! 4-shard plane (client-hash sharding, one driver thread per shard).
+//!
 //! Scale defaults to `small` (12k requests per tenant); set
 //! `DIVSCRAPE_BENCH_SCALE` for paper-scale runs:
 //!
@@ -21,6 +26,7 @@ use divscrape_bench::scenario_for;
 use divscrape_detect::{Arcane, Sentinel, TenantId};
 use divscrape_httplog::LogEntry;
 use divscrape_pipeline::{Adjudication, PipelineBuilder, PipelineHub};
+use divscrape_service::ServicePlane;
 
 const TENANTS: usize = 4;
 
@@ -99,5 +105,41 @@ fn bench_hub_routing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hub_routing);
+fn bench_service_sharding(c: &mut Criterion) {
+    let (_, interleaved) = tenant_traffic();
+    // The plane ingests rendered CLF lines (its shard router hashes the
+    // client fields straight off the line), so render once up front.
+    let lines: Vec<String> = interleaved.iter().map(|(_, e)| e.to_string()).collect();
+
+    let mut g = c.benchmark_group("service_sharding");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(lines.len() as u64));
+
+    for shards in [1usize, 4] {
+        g.bench_function(format!("plane/{shards}_shard_drivers"), |b| {
+            b.iter(|| {
+                let tenant = TenantId::new("bench");
+                let plane = ServicePlane::builder()
+                    .queue_depth(4096)
+                    .tenant(tenant.clone(), shards, |_, _| two_tool())
+                    .build()
+                    .unwrap();
+                for line in &lines {
+                    plane.ingest(&tenant, line.clone());
+                }
+                let reports = plane.drain_all();
+                let alerts: u64 = reports
+                    .iter()
+                    .flat_map(|(_, rs)| rs.iter())
+                    .map(|r| r.combined.count())
+                    .sum();
+                plane.shutdown();
+                alerts
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hub_routing, bench_service_sharding);
 criterion_main!(benches);

@@ -100,6 +100,7 @@ mod replay;
 mod socket;
 mod source;
 mod tagged;
+mod udp;
 
 pub use driver::{
     EndReason, ErrorPolicy, IngestDriver, IngestError, IngestReport, IngestStats, StopHandle,
@@ -110,6 +111,7 @@ pub use replay::{Replay, ReplayPace};
 pub use socket::{SocketSource, SocketSourceConfig};
 pub use source::{LogSource, SourceEvent, SourceEventRef};
 pub use tagged::{MultiSource, SourceLag, Tagged, TaggedEvent, TaggedSource};
+pub use udp::{UdpSource, UdpSourceConfig, UdpSourceStats};
 
 // Re-exported so ingestion deployments can tag tenants without
 // depending on the detect crate directly.

@@ -588,7 +588,7 @@ impl PipelineHub {
             .iter()
             .map(|s| s.pipeline.stats().live_clients_aggregate)
             .collect();
-        let allotments = apportion(budget, &floors, &shares);
+        let allotments = apportion_budget(budget, &floors, &shares);
         let mut applied = Vec::with_capacity(self.slots.len());
         for (slot, allotment) in self.slots.iter_mut().zip(&allotments) {
             let per_replica = slot.pipeline.set_eviction_global_capacity(*allotment);
@@ -630,12 +630,25 @@ impl PipelineHub {
     }
 }
 
-/// Splits `budget` across tenants: everyone keeps their floor (one
+/// Splits `budget` across pools: everyone keeps their floor (one
 /// client per worker replica), the spare goes out proportionally to
 /// `shares` (evenly when all shares are zero), flooring remainders
 /// handed out front to back. The result sums to exactly `budget` when
 /// `budget >= Σfloors` (builders and `add_tenant` guarantee that).
-fn apportion(budget: usize, floors: &[usize], shares: &[usize]) -> Vec<usize> {
+///
+/// This is the same arithmetic [`PipelineHub`] uses to rebalance its
+/// global eviction budget, exposed so external service planes (e.g.
+/// `divscrape-service`) apportion identically across their shards.
+///
+/// ```
+/// use divscrape_pipeline::apportion_budget;
+///
+/// // Floors 1+1 reserved, spare 94 split 3:1 by live-client share.
+/// let out = apportion_budget(96, &[1, 1], &[300, 100]);
+/// assert_eq!(out.iter().sum::<usize>(), 96);
+/// assert!(out[0] > out[1]);
+/// ```
+pub fn apportion_budget(budget: usize, floors: &[usize], shares: &[usize]) -> Vec<usize> {
     let n = floors.len();
     let reserved: usize = floors.iter().sum();
     let spare = budget.saturating_sub(reserved);
@@ -924,13 +937,13 @@ mod tests {
     #[test]
     fn apportion_is_exact_and_floored() {
         // Spare 94 over shares 3:1 → floors 1,1 then 70,23 +1 remainder.
-        let out = apportion(96, &[1, 1], &[300, 100]);
+        let out = apportion_budget(96, &[1, 1], &[300, 100]);
         assert_eq!(out.iter().sum::<usize>(), 96);
         assert!(out[0] > out[1]);
         assert!(out[1] >= 1);
         // All-zero shares: even split with front-loaded remainder.
-        assert_eq!(apportion(10, &[1, 1, 1], &[0, 0, 0]), vec![4, 3, 3]);
+        assert_eq!(apportion_budget(10, &[1, 1, 1], &[0, 0, 0]), vec![4, 3, 3]);
         // Budget below the floors: floors win (callers validate first).
-        assert_eq!(apportion(1, &[2, 2], &[0, 0]), vec![2, 2]);
+        assert_eq!(apportion_budget(1, &[2, 2], &[0, 0]), vec![2, 2]);
     }
 }

@@ -126,6 +126,7 @@
 mod builder;
 mod engine;
 mod hub;
+mod mux;
 mod record;
 mod sink;
 mod spsc;
@@ -134,7 +135,10 @@ mod store_sink;
 
 pub use builder::{Adjudication, BuildError, LabelOracle, PipelineBuilder};
 pub use engine::{AppliedRuleUpdate, Pipeline, PipelineReport};
-pub use hub::{HubBuildError, HubBuilder, HubReport, HubStats, PipelineHub, TenantStats};
+pub use hub::{
+    apportion_budget, HubBuildError, HubBuilder, HubReport, HubStats, PipelineHub, TenantStats,
+};
+pub use mux::{MuxCollector, MuxCollectorSink};
 pub use record::{AlertParseError, AlertRecord, ScoreRecord};
 pub use sink::{
     Alert, AlertSink, CollectingSink, CountingSink, JsonLinesSink, ScoredEntry, SinkTelemetry,

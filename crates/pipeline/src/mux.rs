@@ -1,0 +1,389 @@
+//! One collector connection, many tenants: the multiplexed alert sink.
+//!
+//! At service scale every tenant's pipeline wants its alerts at the
+//! same collector, but one TCP connection *per tenant* multiplies
+//! file descriptors, TLS handshakes and collector-side accept load by
+//! the tenant count. [`MuxCollector`] shares a single reconnecting
+//! [`TcpSink`] (spool and all) between any number of per-tenant
+//! [`MuxCollectorSink`] handles: every alert line already carries its
+//! tenant tag (see [`Alert::to_json`]), so the wire format *is* the
+//! tenant-tagged frame, and each handle splits its own delivery
+//! telemetry back out of the shared stream.
+
+use std::io;
+use std::net::ToSocketAddrs;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::sink::{Alert, AlertSink, SinkCounters, SinkTelemetry, TcpSink};
+
+/// A shared, multiplexed collector connection.
+///
+/// Construct it once (optionally with a disk spool for outages), then
+/// hand a [`handle`](Self::handle) to each tenant pipeline as its
+/// [`AlertSink`]. All handles write through the same socket in
+/// arrival order; [`telemetry`](Self::telemetry) aggregates the whole
+/// stream (including reconnects and the spool backlog), while each
+/// handle's [`MuxCollectorSink::telemetry`] counts only that tenant's
+/// alerts.
+///
+/// **Sharing caveat:** one connection means one write path — a
+/// *slow-but-alive* collector backpressures every tenant sharing the
+/// mux (use per-tenant [`TcpSink`]s where that isolation matters more
+/// than the connection count). A *dead* collector costs almost
+/// nothing when a spool is attached: the peer probe fails fast and
+/// alerts queue on disk.
+///
+/// ```no_run
+/// use divscrape_pipeline::{MuxCollector, PipelineBuilder, TenantId};
+/// # use divscrape_pipeline::Adjudication;
+/// # use divscrape_detect::Sentinel;
+///
+/// let mux = MuxCollector::connect("alerts.internal:6514")?.with_spool("mux-spool")?;
+/// let eu = PipelineBuilder::new()
+///     .detector(Sentinel::stock())
+///     .adjudication(Adjudication::k_of_n(1))
+///     .tenant(TenantId::new("eu"))
+///     .sink(mux.handle())
+///     .build()?;
+/// # let _ = eu;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MuxCollector {
+    core: Arc<Mutex<TcpSink>>,
+}
+
+impl MuxCollector {
+    /// Wraps an already-configured [`TcpSink`] — the general form when
+    /// the sink needs non-default options before sharing.
+    pub fn new(sink: TcpSink) -> Self {
+        Self {
+            core: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// Connects one shared collector connection (see
+    /// [`TcpSink::connect`] for the reconnect/backoff behavior).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the initial connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs + Send + Sync + 'static) -> io::Result<Self> {
+        Ok(Self::new(TcpSink::connect(addr)?))
+    }
+
+    /// Adds a disk spool to the shared connection (see
+    /// [`TcpSink::with_spool`]): during a collector outage every
+    /// tenant's alerts queue on disk, in arrival order, and replay
+    /// exactly once on reconnect.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the spool directory cannot be created or recovered.
+    pub fn with_spool(self, dir: impl AsRef<Path>) -> io::Result<Self> {
+        let core = Arc::try_unwrap(self.core)
+            .map_err(|_| {
+                io::Error::other("with_spool must be called before handing out mux handles")
+            })?
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(Self::new(core.with_spool(dir)?))
+    }
+
+    /// A per-tenant sink handle. Attach one per pipeline; alerts it
+    /// delivers are tenant-tagged by the pipeline itself
+    /// ([`PipelineBuilder::tenant`](crate::PipelineBuilder::tenant)).
+    pub fn handle(&self) -> MuxCollectorSink {
+        MuxCollectorSink {
+            core: Arc::clone(&self.core),
+            counters: Arc::default(),
+        }
+    }
+
+    /// Aggregate telemetry for the whole multiplexed stream: total
+    /// writes, reconnects, spool depth/backlog — the shared
+    /// connection's view, summed over every tenant.
+    pub fn telemetry(&self) -> SinkTelemetry {
+        self.lock().telemetry()
+    }
+
+    /// Flushes the shared connection (drains what the spool can).
+    pub fn flush(&self) {
+        self.lock().flush();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TcpSink> {
+        // A panic on another shard thread must not cascade here: the
+        // sink's state is a socket + counters, safe to keep using.
+        self.core
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// One tenant's handle on a [`MuxCollector`]: an [`AlertSink`] whose
+/// telemetry counts only this tenant's slice of the shared stream.
+///
+/// Per-tenant counters: [`written`](SinkTelemetry::written) (delivered
+/// directly), [`spooled`](SinkTelemetry::spooled) (queued for an
+/// outage), [`errors`](SinkTelemetry::errors) (genuinely lost). The
+/// shared backlog gauges (spool depth, replays, reconnects) describe
+/// the *connection*, not any one tenant — read them from
+/// [`MuxCollector::telemetry`].
+///
+/// Cloning a handle shares its counters: hand one clone to each shard
+/// of the *same* tenant and the telemetry still reads as that tenant's
+/// total. For a fresh counter slice (a different tenant), take a new
+/// [`MuxCollector::handle`] instead.
+#[derive(Debug, Clone)]
+pub struct MuxCollectorSink {
+    core: Arc<Mutex<TcpSink>>,
+    counters: Arc<SinkCounters>,
+}
+
+impl MuxCollectorSink {
+    /// This tenant's delivery counters.
+    pub fn telemetry(&self) -> SinkTelemetry {
+        SinkTelemetry(Arc::clone(&self.counters))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TcpSink> {
+        self.core
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl AlertSink for MuxCollectorSink {
+    fn on_alert(&mut self, alert: &Alert<'_>) {
+        let mut core = self.lock();
+        // Attribute this alert's fate by diffing the shared counters
+        // around the write. Spool replays of *other* tenants' backlog
+        // piggyback on this call, so a direct delivery of this alert is
+        // a written-increment beyond the replayed-increment.
+        let shared = core.telemetry();
+        let (written, replayed, spooled) = (shared.written(), shared.replayed(), shared.spooled());
+        core.on_alert(alert);
+        let direct = (shared.written() - written) > (shared.replayed() - replayed);
+        if direct {
+            self.counters.written.fetch_add(1, Ordering::AcqRel);
+        } else if shared.spooled() > spooled {
+            self.counters.spooled.fetch_add(1, Ordering::AcqRel);
+        } else {
+            self.counters.errors.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.lock().flush();
+    }
+
+    fn sink_telemetry(&self) -> Option<SinkTelemetry> {
+        Some(self.telemetry())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_httplog::LogEntry;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    use divscrape_detect::TenantId;
+
+    fn entry() -> LogEntry {
+        LogEntry::parse(
+            r#"203.0.113.9 - - [11/Mar/2018:06:25:14 +0000] "GET /prod HTTP/1.1" 200 321 "-" "muxbot/1.0""#,
+        )
+        .unwrap()
+    }
+
+    /// A loopback collector that records every line it receives.
+    fn collector() -> (std::net::SocketAddr, std::thread::JoinHandle<Vec<String>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut lines = Vec::new();
+            // One shared connection is the whole point: a single accept.
+            let (stream, _) = listener.accept().unwrap();
+            for line in BufReader::new(stream).lines() {
+                match line {
+                    Ok(line) => lines.push(line),
+                    Err(_) => break,
+                }
+            }
+            lines
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn tenants_share_one_connection_with_split_telemetry() {
+        let (addr, collector) = collector();
+        let mux = MuxCollector::connect(addr).unwrap();
+        let mut eu = mux.handle();
+        let mut us = mux.handle();
+        let entry = entry();
+        let (eu_id, us_id) = (TenantId::new("eu"), TenantId::new("us"));
+
+        for index in 0..3 {
+            eu.on_alert(&Alert {
+                index,
+                tenant: Some(&eu_id),
+                entry: &entry,
+                votes: &[true],
+                scores: &[0.9],
+            });
+        }
+        us.on_alert(&Alert {
+            index: 0,
+            tenant: Some(&us_id),
+            entry: &entry,
+            votes: &[true],
+            scores: &[0.4],
+        });
+        drop(mux);
+        drop(eu);
+        drop(us); // closes the one socket; the collector thread finishes
+
+        let lines = collector.join().unwrap();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"tenant\":\"eu\""))
+                .count(),
+            3,
+            "{lines:?}"
+        );
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"tenant\":\"us\""))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn per_tenant_counters_split_back_out() {
+        let (addr, collector) = collector();
+        let mux = MuxCollector::connect(addr).unwrap();
+        let mut eu = mux.handle();
+        let mut us = mux.handle();
+        let (eu_tel, us_tel) = (eu.telemetry(), us.telemetry());
+        let entry = entry();
+        let (eu_id, us_id) = (TenantId::new("eu"), TenantId::new("us"));
+
+        for index in 0..5 {
+            eu.on_alert(&Alert {
+                index,
+                tenant: Some(&eu_id),
+                entry: &entry,
+                votes: &[true],
+                scores: &[1.0],
+            });
+        }
+        for index in 0..2 {
+            us.on_alert(&Alert {
+                index,
+                tenant: Some(&us_id),
+                entry: &entry,
+                votes: &[true],
+                scores: &[1.0],
+            });
+        }
+        assert_eq!(eu_tel.written(), 5);
+        assert_eq!(us_tel.written(), 2);
+        assert_eq!(eu_tel.errors() + us_tel.errors(), 0);
+        // The aggregate sees the union.
+        assert_eq!(mux.telemetry().written(), 7);
+        drop((mux, eu, us));
+        assert_eq!(collector.join().unwrap().len(), 7);
+    }
+
+    /// A dead collector with a spool attached: every tenant's alerts
+    /// land in the shared spool (split out per tenant as `spooled`),
+    /// nothing is lost, and a later healthy mux replays them in order.
+    #[test]
+    fn outage_spools_per_tenant_and_replays_once() {
+        let dir = std::env::temp_dir().join(format!(
+            "mux-spool-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A collector that goes away immediately: accept then drop.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept_and_die = std::thread::spawn(move || {
+            let _ = listener.accept();
+            // connection dropped
+        });
+        let mux = MuxCollector::connect(addr)
+            .unwrap()
+            .with_spool(&dir)
+            .unwrap();
+        accept_and_die.join().unwrap();
+        // Give the FIN time to land so the peer probe sees it.
+        std::thread::sleep(Duration::from_millis(50));
+
+        let mut eu = mux.handle();
+        let eu_tel = eu.telemetry();
+        let entry = entry();
+        let eu_id = TenantId::new("eu");
+        for index in 0..3 {
+            eu.on_alert(&Alert {
+                index,
+                tenant: Some(&eu_id),
+                entry: &entry,
+                votes: &[true],
+                scores: &[1.0],
+            });
+        }
+        assert_eq!(eu_tel.spooled(), 3, "outage alerts spool, not drop");
+        assert_eq!(eu_tel.errors(), 0);
+        assert_eq!(mux.telemetry().spool_depth(), 3);
+        drop((mux, eu));
+
+        // A fresh mux over the same spool dir + a live collector:
+        // the backlog replays exactly once, in order.
+        let (addr, collector) = collector();
+        let mux = MuxCollector::connect(addr)
+            .unwrap()
+            .with_spool(&dir)
+            .unwrap();
+        let mut us = mux.handle();
+        let us_id = TenantId::new("us");
+        us.on_alert(&Alert {
+            index: 0,
+            tenant: Some(&us_id),
+            entry: &entry,
+            votes: &[true],
+            scores: &[1.0],
+        });
+        assert_eq!(mux.telemetry().replayed(), 3);
+        assert_eq!(mux.telemetry().spool_depth(), 0);
+        // The replaying tenant's own counter stays its own: one direct
+        // write, no spools.
+        assert_eq!(us.telemetry().written(), 1);
+        assert_eq!(us.telemetry().spooled(), 0);
+        drop((mux, us));
+        let lines = collector.join().unwrap();
+        assert_eq!(lines.len(), 4);
+        // Replayed backlog first (order preserved), then the new alert.
+        for (i, line) in lines[..3].iter().enumerate() {
+            assert!(
+                line.contains("\"tenant\":\"eu\"") && line.contains(&format!("\"index\":{i},")),
+                "replay order violated at {i}: {line}"
+            );
+        }
+        assert!(lines[3].contains("\"tenant\":\"us\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -391,7 +391,10 @@ impl SinkTelemetry {
 /// [`Pipeline::drain`](crate::Pipeline::drain).
 ///
 /// Write failures are counted in [`SinkTelemetry::errors`] and otherwise
-/// ignored: a full disk must not stop detection.
+/// ignored: a full disk must not stop detection. With
+/// [`with_spool`](Self::with_spool), failures *spool* instead of
+/// dropping — point the spool at a different filesystem and a full disk
+/// or an `EROFS` remount on the primary path costs nothing but latency.
 ///
 /// ```
 /// use divscrape_pipeline::JsonLinesSink;
@@ -409,6 +412,10 @@ pub struct JsonLinesSink<W: Write + Send> {
     /// `flush` can `fdatasync` it when `fsync_on_flush` is enabled.
     sync_handle: Option<std::fs::File>,
     fsync_on_flush: bool,
+    /// Disk spool ([`with_spool`](Self::with_spool)): lines the primary
+    /// writer rejected queue here until a later write or flush succeeds
+    /// in replaying them, oldest first.
+    spool: Option<SpoolQueue>,
 }
 
 impl JsonLinesSink<BufWriter<std::fs::File>> {
@@ -455,6 +462,7 @@ impl<W: Write + Send> JsonLinesSink<W> {
             counters: Arc::default(),
             sync_handle: None,
             fsync_on_flush: false,
+            spool: None,
         }
     }
 
@@ -462,12 +470,126 @@ impl<W: Write + Send> JsonLinesSink<W> {
     pub fn telemetry(&self) -> SinkTelemetry {
         SinkTelemetry(Arc::clone(&self.counters))
     }
+
+    /// Adds a disk spool at `dir` (created if missing; an existing
+    /// backlog is resumed): a line the primary writer rejects — disk
+    /// full, `EROFS`, any I/O error — is pushed to the spool instead of
+    /// dropped, and replayed oldest-first once writes succeed again.
+    /// While a backlog exists, *new* lines also pass through the spool,
+    /// so the primary file always receives the original order.
+    ///
+    /// Telemetry is counted exactly like [`TcpSink::with_spool`]:
+    /// [`SinkTelemetry::spooled`]/[`spool_depth`](SinkTelemetry::spool_depth)/
+    /// [`replayed`](SinkTelemetry::replayed) track the backlog, and
+    /// [`SinkTelemetry::errors`] counts only spool I/O failures — a
+    /// rejecting primary path with a healthy spool drops nothing.
+    ///
+    /// Put the spool on a *different* filesystem than the primary path;
+    /// a spool sharing the primary's full disk fails with it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the spool directory cannot be created or its contents
+    /// cannot be recovered.
+    ///
+    /// ```
+    /// use divscrape_pipeline::JsonLinesSink;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("jsonl-spool-doc-{}", std::process::id()));
+    /// let sink = JsonLinesSink::new(Vec::new()).with_spool(&dir)?;
+    /// assert_eq!(sink.telemetry().spool_depth(), 0);
+    /// std::fs::remove_dir_all(&dir)?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn with_spool(mut self, dir: impl AsRef<Path>) -> io::Result<Self> {
+        let spool = SpoolQueue::open(dir, StoreConfig::default())?;
+        self.counters
+            .spool_depth
+            .store(spool.depth(), Ordering::Release);
+        self.counters
+            .spool_bytes_hw
+            .fetch_max(spool.queued_bytes(), Ordering::AcqRel);
+        self.spool = Some(spool);
+        Ok(self)
+    }
+
+    /// Replays the spooled backlog into the primary writer, oldest
+    /// first, stopping at the first write that still fails.
+    fn drain_spool(&mut self) {
+        let Some(mut spool) = self.spool.take() else {
+            return;
+        };
+        while spool.depth() > 0 {
+            let mut line = match spool.front() {
+                Ok(Some(line)) => line,
+                Ok(None) => break,
+                Err(_) => {
+                    self.counters.errors.fetch_add(1, Ordering::AcqRel);
+                    break;
+                }
+            };
+            line.push(b'\n');
+            if self.out.write_all(&line).is_err() {
+                // Primary still rejecting; the line stays queued.
+                break;
+            }
+            self.counters.written.fetch_add(1, Ordering::AcqRel);
+            self.counters.replayed.fetch_add(1, Ordering::AcqRel);
+            if spool.pop_front().is_err() {
+                self.counters.errors.fetch_add(1, Ordering::AcqRel);
+                break;
+            }
+        }
+        self.counters
+            .spool_depth
+            .store(spool.depth(), Ordering::Release);
+        self.counters
+            .spool_bytes_hw
+            .fetch_max(spool.queued_bytes(), Ordering::AcqRel);
+        self.spool = Some(spool);
+    }
+
+    /// Spool-mode line path: replay the backlog first (order!), then
+    /// write directly when the backlog is clear, else spool this line.
+    fn write_spooled(&mut self, line: &str) {
+        self.drain_spool();
+        let backlog = self
+            .spool
+            .as_ref()
+            .map(SpoolQueue::depth)
+            .unwrap_or_default();
+        if backlog == 0 && self.out.write_all(line.as_bytes()).is_ok() {
+            self.counters.written.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
+        let spool = self.spool.as_mut().expect("spool mode");
+        match spool.push(line.trim_end_matches('\n').as_bytes()) {
+            Ok(()) => {
+                self.counters.spooled.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(_) => {
+                // Lost only when the spool itself fails too.
+                self.counters.errors.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        let spool = self.spool.as_ref().expect("spool mode");
+        self.counters
+            .spool_depth
+            .store(spool.depth(), Ordering::Release);
+        self.counters
+            .spool_bytes_hw
+            .fetch_max(spool.queued_bytes(), Ordering::AcqRel);
+    }
 }
 
 impl<W: Write + Send> AlertSink for JsonLinesSink<W> {
     fn on_alert(&mut self, alert: &Alert<'_>) {
         let mut line = alert.to_json();
         line.push('\n');
+        if self.spool.is_some() {
+            self.write_spooled(&line);
+            return;
+        }
         match self.out.write_all(line.as_bytes()) {
             Ok(()) => {
                 self.counters.written.fetch_add(1, Ordering::AcqRel);
@@ -479,6 +601,12 @@ impl<W: Write + Send> AlertSink for JsonLinesSink<W> {
     }
 
     fn flush(&mut self) {
+        // A drain is the natural recovery point: retry the backlog
+        // before flushing, so a healed primary catches up at the next
+        // pipeline drain even with no new alerts arriving.
+        if self.spool.is_some() {
+            self.drain_spool();
+        }
         if self.out.flush().is_err() {
             self.counters.errors.fetch_add(1, Ordering::AcqRel);
         }
@@ -994,6 +1122,141 @@ mod tests {
         let lines: Vec<&str> = std::str::from_utf8(&sink.out).unwrap().lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[2].starts_with("{\"index\":2,"));
+    }
+
+    /// A writer that can be flipped between healthy and "disk full",
+    /// recording what actually lands — the deterministic stand-in for a
+    /// primary path going `ENOSPC`/`EROFS` and later healing.
+    #[derive(Clone)]
+    struct FlakyDisk {
+        healthy: Arc<std::sync::atomic::AtomicBool>,
+        landed: Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl FlakyDisk {
+        fn new(healthy: bool) -> Self {
+            Self {
+                healthy: Arc::new(std::sync::atomic::AtomicBool::new(healthy)),
+                landed: Arc::default(),
+            }
+        }
+
+        fn set_healthy(&self, healthy: bool) {
+            self.healthy.store(healthy, Ordering::Release);
+        }
+
+        fn lines(&self) -> Vec<String> {
+            let bytes = self.landed.lock().unwrap();
+            std::str::from_utf8(&bytes)
+                .unwrap()
+                .lines()
+                .map(str::to_owned)
+                .collect()
+        }
+    }
+
+    impl Write for FlakyDisk {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if !self.healthy.load(Ordering::Acquire) {
+                return Err(std::io::Error::other("no space left on device"));
+            }
+            self.landed.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Spool mode: a rejecting primary path spools instead of dropping,
+    /// and a healed path replays the backlog in original order —
+    /// telemetry counted like `TcpSink`'s (errors stay zero throughout).
+    #[test]
+    fn json_lines_spool_survives_full_disk_and_replays_in_order() {
+        let dir = std::env::temp_dir().join(format!(
+            "jsonl-spool-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let entry = entry();
+        let disk = FlakyDisk::new(true);
+        let mut sink = JsonLinesSink::new(disk.clone()).with_spool(&dir).unwrap();
+        let telemetry = sink.telemetry();
+        let alert = |index| Alert {
+            index,
+            tenant: None,
+            entry: &entry,
+            votes: &[true],
+            scores: &[0.5],
+        };
+
+        // Healthy: straight through, nothing spooled.
+        sink.on_alert(&alert(0));
+        assert_eq!(telemetry.written(), 1);
+        assert_eq!(telemetry.spooled(), 0);
+
+        // Disk full: everything spools, nothing is dropped or errored.
+        disk.set_healthy(false);
+        for index in 1..4 {
+            sink.on_alert(&alert(index));
+        }
+        sink.flush(); // drain attempt fails quietly; backlog intact
+        assert_eq!(telemetry.written(), 1);
+        assert_eq!(telemetry.spooled(), 3);
+        assert_eq!(telemetry.spool_depth(), 3);
+        assert_eq!(telemetry.errors(), 0, "healthy spool means zero losses");
+
+        // Healed: the next alert replays the backlog first, then itself.
+        disk.set_healthy(true);
+        sink.on_alert(&alert(4));
+        assert_eq!(telemetry.written(), 5);
+        assert_eq!(telemetry.replayed(), 3);
+        assert_eq!(telemetry.spool_depth(), 0);
+        assert_eq!(telemetry.errors(), 0);
+        let lines = disk.lines();
+        assert_eq!(lines.len(), 5);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.starts_with(&format!("{{\"index\":{i},")),
+                "order violated at {i}: {line}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// With no new alerts arriving, a pipeline drain (sink flush) is
+    /// enough to push a spooled backlog through a healed primary.
+    #[test]
+    fn json_lines_spool_drains_on_flush_alone() {
+        let dir = std::env::temp_dir().join(format!(
+            "jsonl-spool-flush-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let entry = entry();
+        let disk = FlakyDisk::new(false);
+        let mut sink = JsonLinesSink::new(disk.clone()).with_spool(&dir).unwrap();
+        let telemetry = sink.telemetry();
+        for index in 0..2 {
+            sink.on_alert(&Alert {
+                index,
+                tenant: None,
+                entry: &entry,
+                votes: &[true],
+                scores: &[0.5],
+            });
+        }
+        assert_eq!(telemetry.spool_depth(), 2);
+
+        disk.set_healthy(true);
+        sink.flush();
+        assert_eq!(telemetry.written(), 2);
+        assert_eq!(telemetry.replayed(), 2);
+        assert_eq!(telemetry.spool_depth(), 0);
+        assert_eq!(disk.lines().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! [`SourcePump`]: a per-tenant thread feeding one [`LogSource`] into
+//! the plane.
+//!
+//! The pump is where the plane's isolation story meets the sources: a
+//! blocking pump absorbs backpressure from its own tenant's full shard
+//! queues on its own thread, so a TCP or replay feed slows down instead
+//! of losing lines — while a *lossy* pump (the UDP/syslog path) drops
+//! and counts. Either way, no other tenant's intake is involved.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use divscrape_detect::TenantId;
+use divscrape_ingest::{LogSource, SourceEvent};
+
+use crate::plane::{IngestOutcome, ServicePlane};
+
+/// How long the pump waits in each [`LogSource::poll`] before checking
+/// its stop flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Whether a [`SourcePump`] blocks or drops when the owning shard's
+/// queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpMode {
+    /// Wait for queue space ([`ServicePlane::ingest`]) — lossless feeds:
+    /// TCP sources, replays, file tails.
+    Blocking,
+    /// Drop the line and count it ([`ServicePlane::offer`]) — lossy
+    /// feeds: UDP/syslog intake, where the datagram was already
+    /// fire-and-forget.
+    Lossy,
+}
+
+#[derive(Default)]
+struct PumpCounters {
+    lines: AtomicU64,
+    truncated: AtomicU64,
+    dropped: AtomicU64,
+    unrouted: AtomicU64,
+    errors: AtomicU64,
+    done: AtomicBool,
+}
+
+/// A snapshot of one pump's counters ([`SourcePump::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpStats {
+    /// Lines pulled from the source.
+    pub lines: u64,
+    /// Oversized lines the source discarded
+    /// ([`SourceEvent::Truncated`]).
+    pub truncated: u64,
+    /// Lines dropped by a [`PumpMode::Lossy`] pump because the shard
+    /// queue was full.
+    pub dropped: u64,
+    /// Lines discarded because the tenant is no longer served.
+    pub unrouted: u64,
+    /// Unrecoverable source errors (the pump exits on the first).
+    pub errors: u64,
+    /// Whether the pump thread has exited (EOF, error or
+    /// [`SourcePump::stop`]).
+    pub done: bool,
+}
+
+/// A thread pumping one [`LogSource`] into one tenant of a
+/// [`ServicePlane`] — see the module docs for the isolation rationale.
+///
+/// ```
+/// use divscrape_detect::{Sentinel, TenantId};
+/// use divscrape_ingest::{Replay, ReplayPace};
+/// use divscrape_pipeline::PipelineBuilder;
+/// use divscrape_service::{PumpMode, ServicePlane, SourcePump};
+/// use std::time::Duration;
+///
+/// let shop = TenantId::new("shop");
+/// let plane = ServicePlane::builder()
+///     .tenant(shop.clone(), 2, |_, _| {
+///         PipelineBuilder::new().detector(Sentinel::stock())
+///     })
+///     .build()
+///     .map_err(|e| e.to_string())?;
+///
+/// let line = r#"10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 200 5 "-" "curl/7.58.0""#;
+/// let source = Replay::from_lines(vec![line.to_owned()], ReplayPace::Unlimited);
+/// let pump = SourcePump::spawn(&plane, &shop, source, PumpMode::Blocking);
+/// assert!(pump.wait(Duration::from_secs(10)), "replay finishes");
+/// let stats = pump.stop();
+/// assert_eq!(stats.lines, 1);
+/// assert_eq!(plane.drain(&shop).unwrap().iter().map(|r| r.requests()).sum::<usize>(), 1);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug)]
+pub struct SourcePump {
+    thread: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<PumpCounters>,
+}
+
+impl std::fmt::Debug for PumpCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PumpCounters")
+            .field("lines", &self.lines.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl SourcePump {
+    /// Spawns the pump thread. The pump runs until the source reports
+    /// [`SourceEvent::Eof`], fails, or [`stop`](Self::stop) is called.
+    pub fn spawn<S>(
+        plane: &ServicePlane,
+        tenant: &TenantId,
+        source: S,
+        mode: PumpMode,
+    ) -> SourcePump
+    where
+        S: LogSource + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(PumpCounters::default());
+        let thread = {
+            let plane = plane.clone();
+            let tenant = tenant.clone();
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            thread::Builder::new()
+                .name("divscrape-pump".into())
+                .spawn(move || run_pump(plane, tenant, source, mode, stop, counters))
+                .expect("spawn source pump")
+        };
+        SourcePump {
+            thread: Some(thread),
+            stop,
+            counters,
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PumpStats {
+        PumpStats {
+            lines: self.counters.lines.load(Ordering::Relaxed),
+            truncated: self.counters.truncated.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            unrouted: self.counters.unrouted.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            done: self.counters.done.load(Ordering::Acquire),
+        }
+    }
+
+    /// Whether the pump thread has exited on its own (source EOF or
+    /// error).
+    pub fn is_done(&self) -> bool {
+        self.counters.done.load(Ordering::Acquire)
+    }
+
+    /// Waits up to `timeout` for the pump to finish on its own; `true`
+    /// when it did.
+    pub fn wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.is_done() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Signals the pump to stop, joins its thread and returns the final
+    /// counters.
+    pub fn stop(mut self) -> PumpStats {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for SourcePump {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn run_pump<S: LogSource>(
+    plane: ServicePlane,
+    tenant: TenantId,
+    mut source: S,
+    mode: PumpMode,
+    stop: Arc<AtomicBool>,
+    counters: Arc<PumpCounters>,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match source.poll(POLL) {
+            Ok(SourceEvent::Line(line)) => {
+                counters.lines.fetch_add(1, Ordering::Relaxed);
+                let outcome = match mode {
+                    PumpMode::Blocking => plane.ingest(&tenant, line),
+                    PumpMode::Lossy => plane.offer(&tenant, line),
+                };
+                match outcome {
+                    IngestOutcome::Routed => {}
+                    IngestOutcome::Dropped => {
+                        counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    IngestOutcome::UnknownTenant => {
+                        counters.unrouted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Ok(SourceEvent::Truncated { .. }) => {
+                counters.truncated.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(SourceEvent::Idle) => {}
+            Ok(SourceEvent::Eof) => break,
+            Err(_) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    counters.done.store(true, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divscrape_detect::Sentinel;
+    use divscrape_ingest::{Replay, ReplayPace};
+    use divscrape_pipeline::{Adjudication, PipelineBuilder};
+
+    fn factory(_: &TenantId, _: usize) -> PipelineBuilder {
+        PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .adjudication(Adjudication::k_of_n(1))
+    }
+
+    #[test]
+    fn replay_pump_feeds_all_lines_and_reports_done() {
+        let shop = TenantId::new("shop");
+        let plane = ServicePlane::builder()
+            .tenant(shop.clone(), 2, factory)
+            .build()
+            .expect("plane builds");
+        let lines: Vec<String> = (0..25)
+            .map(|i| {
+                format!(
+                    "10.2.0.{} - - [11/Mar/2018:00:00:{:02} +0000] \"GET /p/{i} HTTP/1.1\" 200 9 \"-\" \"curl/7.58.0\"",
+                    i % 9 + 1,
+                    i % 60
+                )
+            })
+            .collect();
+        let pump = SourcePump::spawn(
+            &plane,
+            &shop,
+            Replay::from_lines(lines, ReplayPace::Unlimited),
+            PumpMode::Blocking,
+        );
+        assert!(pump.wait(Duration::from_secs(10)));
+        let stats = pump.stop();
+        assert_eq!(stats.lines, 25);
+        assert_eq!(stats.dropped + stats.unrouted + stats.errors, 0);
+        let total: usize = plane
+            .drain(&shop)
+            .expect("served")
+            .iter()
+            .map(|r| r.requests())
+            .sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn pump_for_unknown_tenant_counts_unrouted() {
+        let plane = ServicePlane::builder().build().expect("plane builds");
+        let ghost = TenantId::new("ghost");
+        let line = "10.0.0.1 - - [11/Mar/2018:00:00:00 +0000] \"GET / HTTP/1.1\" 200 5 \"-\" \"x\"";
+        let pump = SourcePump::spawn(
+            &plane,
+            &ghost,
+            Replay::from_lines(vec![line.to_owned()], ReplayPace::Unlimited),
+            PumpMode::Lossy,
+        );
+        assert!(pump.wait(Duration::from_secs(10)));
+        assert_eq!(pump.stop().unrouted, 1);
+    }
+}

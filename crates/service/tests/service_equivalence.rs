@@ -1,0 +1,242 @@
+//! The service plane's headline invariant: **sharded isolation is
+//! exact**.
+//!
+//! For every tenant and every shard, the alerts the plane produces on an
+//! interleaved multi-transport stream — one tenant arriving over UDP
+//! datagrams, one over a TCP socket, one from an in-process replay — are
+//! bit-identical (combined + every member) to a standalone pipeline fed
+//! only that shard's clients, across shard counts {1, 4} and eviction
+//! {off, TTL+capacity}. Client-hash sharding (`shard_of`) is what makes
+//! this hold: a client's whole session lands on one shard, so no
+//! detector's per-client state ever splits.
+
+use std::net::{TcpStream, UdpSocket};
+use std::time::{Duration, Instant};
+
+use divscrape_detect::baselines::RateLimiter;
+use divscrape_detect::{Arcane, EvictionConfig, Sentinel, TenantId};
+use divscrape_ingest::{
+    Replay, ReplayPace, SocketSource, SocketSourceConfig, UdpSource, UdpSourceConfig,
+};
+use divscrape_pipeline::{Adjudication, PipelineBuilder, PipelineReport};
+use divscrape_service::{shard_of, PumpMode, ServicePlane, SourcePump};
+use divscrape_traffic::{generate, LabelledLog, ScenarioConfig};
+use std::io::Write;
+
+struct TenantSpec {
+    id: TenantId,
+    seed: u64,
+    compose: fn() -> PipelineBuilder,
+}
+
+fn specs() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            id: TenantId::new("alpha-udp"),
+            seed: 81,
+            compose: || {
+                PipelineBuilder::new()
+                    .detector(Sentinel::stock())
+                    .detector(Arcane::stock())
+                    .adjudication(Adjudication::k_of_n(1))
+                    .chunk_capacity(257)
+            },
+        },
+        TenantSpec {
+            id: TenantId::new("bravo-tcp"),
+            seed: 82,
+            compose: || {
+                PipelineBuilder::new()
+                    .detector(Sentinel::stock())
+                    .detector(Arcane::stock())
+                    .adjudication(Adjudication::k_of_n(2))
+                    .chunk_capacity(113)
+            },
+        },
+        TenantSpec {
+            id: TenantId::new("charlie-replay"),
+            seed: 83,
+            compose: || {
+                PipelineBuilder::new()
+                    .detector(Sentinel::stock())
+                    .detector(RateLimiter::new(40))
+                    .detector(Arcane::stock())
+                    .adjudication(Adjudication::weighted(vec![1.0, 0.5, 1.0], 1.5))
+            },
+        },
+    ]
+}
+
+fn configure(spec: &TenantSpec, eviction: Option<EvictionConfig>) -> PipelineBuilder {
+    let mut builder = (spec.compose)().workers(2);
+    if let Some(eviction) = eviction {
+        builder = builder.eviction(eviction);
+    }
+    builder
+}
+
+/// The reference: a standalone pipeline over only the lines that
+/// `shard_of` routes to shard `k`.
+fn standalone_shard(
+    spec: &TenantSpec,
+    log: &LabelledLog,
+    shards: usize,
+    k: usize,
+    eviction: Option<EvictionConfig>,
+) -> PipelineReport {
+    let mut pipeline = configure(spec, eviction).build().unwrap();
+    for entry in log.entries() {
+        if shard_of(&entry.to_string(), shards) == k {
+            pipeline.push(entry.clone());
+        }
+    }
+    pipeline.drain()
+}
+
+fn assert_identical(case: &str, got: &PipelineReport, want: &PipelineReport) {
+    assert_eq!(
+        got.combined.to_bools(),
+        want.combined.to_bools(),
+        "{case}: combined alerts diverged from the standalone pipeline"
+    );
+    assert_eq!(got.members.len(), want.members.len(), "{case}");
+    for (g, w) in got.members.iter().zip(&want.members) {
+        assert_eq!(g.name(), w.name(), "{case}");
+        assert_eq!(
+            g.to_bools(),
+            w.to_bools(),
+            "{case}: member {} diverged from the standalone pipeline",
+            g.name()
+        );
+    }
+}
+
+#[test]
+fn sharded_plane_is_bit_identical_to_standalone_pipelines_per_shard() {
+    let specs = specs();
+    let logs: Vec<LabelledLog> = specs
+        .iter()
+        .map(|s| generate(&ScenarioConfig::tiny(s.seed)).unwrap())
+        .collect();
+    let eviction = EvictionConfig::ttl(3_600).with_capacity(64);
+
+    for shards in [1usize, 4] {
+        for evict in [None, Some(eviction)] {
+            let case_base = format!("shards={shards} eviction={}", evict.is_some());
+            let mut builder = ServicePlane::builder().queue_depth(4096);
+            for spec in &specs {
+                let compose = spec.compose;
+                builder = builder.tenant(spec.id.clone(), shards, move |_, _| {
+                    let mut b = compose().workers(2);
+                    if let Some(e) = evict {
+                        b = b.eviction(e);
+                    }
+                    b
+                });
+            }
+            let plane = builder.build().unwrap();
+
+            // Leg 1 — UDP datagrams, lossy intake, one line per datagram.
+            // Queue depths are deep and the sender paced, so nothing
+            // drops and the equivalence comparison stays exact (the
+            // lossy accounting itself is pinned by `udp_edge_cases`).
+            let udp_source = UdpSource::bind_with(
+                "127.0.0.1:0",
+                UdpSourceConfig {
+                    queue_depth: 8192,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let udp_addr = udp_source.local_addr();
+            let udp_pump = SourcePump::spawn(&plane, &specs[0].id, udp_source, PumpMode::Lossy);
+            let udp_lines = logs[0].len() as u64;
+
+            // Leg 2 — TCP socket source, blocking intake.
+            let tcp_source = SocketSource::bind_with(
+                "127.0.0.1:0",
+                SocketSourceConfig {
+                    queue_depth: 4096,
+                    finish_on_disconnect: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let tcp_addr = tcp_source.local_addr();
+            let tcp_pump = SourcePump::spawn(&plane, &specs[1].id, tcp_source, PumpMode::Blocking);
+
+            // Leg 3 — in-process replay, blocking intake.
+            let replay = Replay::from_entries(logs[2].entries(), ReplayPace::Unlimited);
+            let replay_pump = SourcePump::spawn(&plane, &specs[2].id, replay, PumpMode::Blocking);
+
+            // Feed the two network legs concurrently with the replay.
+            let udp_payload: Vec<String> =
+                logs[0].entries().iter().map(|e| e.to_string()).collect();
+            let udp_feeder = std::thread::spawn(move || {
+                let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+                for (i, line) in udp_payload.iter().enumerate() {
+                    socket.send_to(line.as_bytes(), udp_addr).unwrap();
+                    if i % 16 == 15 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            });
+            let tcp_payload: Vec<String> =
+                logs[1].entries().iter().map(|e| e.to_string()).collect();
+            let tcp_feeder = std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(tcp_addr).unwrap();
+                for line in &tcp_payload {
+                    writeln!(conn, "{line}").unwrap();
+                }
+            });
+            udp_feeder.join().unwrap();
+            tcp_feeder.join().unwrap();
+
+            // UDP has no EOF: wait until every datagram came through,
+            // then stop the pump. The TCP and replay pumps finish on
+            // their own.
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while udp_pump.stats().lines < udp_lines {
+                assert!(
+                    Instant::now() < deadline,
+                    "{case_base}: UDP leg delivered {}/{udp_lines}",
+                    udp_pump.stats().lines
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let udp_stats = udp_pump.stop();
+            assert_eq!(udp_stats.lines, udp_lines, "{case_base}");
+            assert_eq!(udp_stats.dropped, 0, "{case_base}: lossy path dropped");
+            assert!(tcp_pump.wait(Duration::from_secs(60)), "{case_base}");
+            let tcp_stats = tcp_pump.stop();
+            assert_eq!(tcp_stats.lines, logs[1].len() as u64, "{case_base}");
+            assert!(replay_pump.wait(Duration::from_secs(60)), "{case_base}");
+            assert_eq!(replay_pump.stop().lines, logs[2].len() as u64);
+
+            let plane_stats_pre = plane.stats();
+            assert_eq!(plane_stats_pre.dropped_lines, 0, "{case_base}");
+            assert_eq!(plane_stats_pre.unrouted_lines, 0, "{case_base}");
+
+            for (spec, log) in specs.iter().zip(&logs) {
+                let case = format!("{case_base} tenant={}", spec.id.as_str());
+                let reports = plane.drain(&spec.id).unwrap();
+                assert_eq!(reports.len(), shards, "{case}");
+                let total: usize = reports.iter().map(|r| r.requests()).sum();
+                assert_eq!(total, log.len(), "{case}: entry count");
+                let mut tenant_alerts = 0u64;
+                for (k, got) in reports.iter().enumerate() {
+                    let shard_case = format!("{case} shard={k}");
+                    let want = standalone_shard(spec, log, shards, k, evict);
+                    assert_eq!(got.requests(), want.requests(), "{shard_case}: count");
+                    assert_identical(&shard_case, got, &want);
+                    tenant_alerts += want.combined.count();
+                }
+                assert!(
+                    tenant_alerts > 0,
+                    "{case}: reference must alert for the comparison to bite"
+                );
+            }
+            assert_eq!(plane.stats().parse_errors, 0, "{case_base}");
+        }
+    }
+}

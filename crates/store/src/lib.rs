@@ -50,6 +50,6 @@ mod store;
 pub use frame::crc32;
 pub use spool::SpoolQueue;
 pub use store::{
-    AlertStore, AppendSummary, FsyncPolicy, Record, RecordKey, RecordKind, SharedAlertStore,
-    StoreConfig, StoreStats,
+    AlertStore, AppendSummary, FsyncPolicy, Record, RecordKey, RecordKind, RetentionPolicy,
+    RetentionSummary, SharedAlertStore, StoreConfig, StoreStats,
 };

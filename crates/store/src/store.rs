@@ -7,6 +7,7 @@ use std::io::{self, BufWriter, Write};
 use std::net::Ipv4Addr;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
 
 use divscrape_detect::TenantId;
 
@@ -249,6 +250,26 @@ impl OffsetRanges {
     fn last(&self) -> Option<u64> {
         self.0.last().map(|&(_, hi)| hi)
     }
+
+    /// Merges an inclusive range wholesale (used when re-loading the
+    /// retained-key sidecar), coalescing overlaps and adjacency.
+    fn insert_range(&mut self, lo: u64, hi: u64) {
+        debug_assert!(lo <= hi);
+        self.0.push((lo, hi));
+        self.0.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.0.len());
+        for &(lo, hi) in &self.0 {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.0 = merged;
+    }
+
+    fn ranges(&self) -> &[(u64, u64)] {
+        &self.0
+    }
 }
 
 /// Outcome of [`AlertStore::append_batch`].
@@ -275,8 +296,127 @@ pub struct StoreStats {
     pub torn_bytes_truncated: u64,
 }
 
+/// How much history [`AlertStore::retain_segments`] keeps.
+///
+/// Retention drops whole **closed** segments, oldest first — the active
+/// segment is never dropped — while preserving the dropped records'
+/// idempotence keys (see the method docs).
+///
+/// # Examples
+///
+/// ```
+/// use divscrape_store::RetentionPolicy;
+/// use std::time::Duration;
+///
+/// let by_size = RetentionPolicy::KeepBytes(64 * 1024 * 1024);
+/// let by_age = RetentionPolicy::KeepDuration(Duration::from_secs(7 * 24 * 3600));
+/// assert_ne!(by_size, by_age);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetentionPolicy {
+    /// Drop the oldest closed segments until total on-disk bytes fit
+    /// under this budget (the active segment always survives, even if
+    /// it alone exceeds the budget).
+    KeepBytes(u64),
+    /// Drop closed segments whose file modification time is at least
+    /// this old.
+    KeepDuration(Duration),
+}
+
+/// Outcome of one [`AlertStore::retain_segments`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetentionSummary {
+    /// Segment files unlinked.
+    pub segments_dropped: u64,
+    /// Bytes reclaimed.
+    pub bytes_dropped: u64,
+    /// Records that lived in the dropped segments (their keys stay
+    /// indexed — re-appending them remains a no-op).
+    pub records_dropped: u64,
+}
+
 fn segment_path(dir: &Path, n: u64) -> PathBuf {
     dir.join(format!("seg-{n:08}.log"))
+}
+
+/// The retained-key sidecar: written atomically whenever retention
+/// drops segments, so the dropped records' `(tenant, kind, offset)`
+/// keys survive a reopen even though their frames are gone.
+fn retained_index_path(dir: &Path) -> PathBuf {
+    dir.join("retained.idx")
+}
+
+/// Serializes the whole key index into sidecar frames: one frame per
+/// `(tenant, kind)` slot, each listing its inclusive offset ranges.
+fn encode_retained_index(index: &HashMap<(Option<TenantId>, RecordKind), OffsetRanges>) -> Vec<u8> {
+    let mut out = Vec::new();
+    // Deterministic file bytes: sort slots by (tenant, kind byte).
+    let mut slots: Vec<_> = index.iter().collect();
+    slots.sort_by_key(|((tenant, kind), _)| {
+        (
+            tenant
+                .as_ref()
+                .map(TenantId::as_str)
+                .unwrap_or("")
+                .to_owned(),
+            kind.to_byte(),
+        )
+    });
+    for ((tenant, kind), ranges) in slots {
+        let tenant = tenant.as_ref().map(TenantId::as_str).unwrap_or("");
+        let mut payload = Vec::with_capacity(7 + tenant.len() + ranges.ranges().len() * 16);
+        payload.push(kind.to_byte());
+        payload.extend_from_slice(&(tenant.len() as u16).to_le_bytes());
+        payload.extend_from_slice(tenant.as_bytes());
+        payload.extend_from_slice(&(ranges.ranges().len() as u32).to_le_bytes());
+        for &(lo, hi) in ranges.ranges() {
+            payload.extend_from_slice(&lo.to_le_bytes());
+            payload.extend_from_slice(&hi.to_le_bytes());
+        }
+        encode_frame(&payload, &mut out);
+    }
+    out
+}
+
+/// One decoded sidecar slot: the `(tenant, kind)` pair and its
+/// retained `(lo, hi)` offset ranges.
+type RetainedSlot = ((Option<TenantId>, RecordKind), Vec<(u64, u64)>);
+
+/// Parses one sidecar frame back into a `(tenant, kind)` slot plus its
+/// ranges.
+fn decode_retained_slot(payload: &[u8]) -> Option<RetainedSlot> {
+    if payload.len() < 7 {
+        return None;
+    }
+    let kind = RecordKind::from_byte(payload[0])?;
+    let tenant_len = u16::from_le_bytes([payload[1], payload[2]]) as usize;
+    let rest = payload.get(3..)?;
+    if rest.len() < tenant_len + 4 {
+        return None;
+    }
+    let tenant = if tenant_len == 0 {
+        None
+    } else {
+        Some(TenantId::new(
+            std::str::from_utf8(&rest[..tenant_len]).ok()?,
+        ))
+    };
+    let rest = &rest[tenant_len..];
+    let count = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+    let body = rest.get(4..)?;
+    if body.len() != count * 16 {
+        return None;
+    }
+    let mut ranges = Vec::with_capacity(count);
+    for chunk in body.chunks_exact(16) {
+        let lo = u64::from_le_bytes(chunk[..8].try_into().ok()?);
+        let hi = u64::from_le_bytes(chunk[8..].try_into().ok()?);
+        if lo > hi {
+            return None;
+        }
+        ranges.push((lo, hi));
+    }
+    Some(((tenant, kind), ranges))
 }
 
 fn list_segments(dir: &Path) -> io::Result<Vec<u64>> {
@@ -418,6 +558,34 @@ impl AlertStore {
             }
         }
 
+        // Merge the retained-key sidecar (if any): keys whose segments a
+        // past retention pass dropped. They don't count as live records
+        // — they only keep re-appends idempotent.
+        let sidecar = retained_index_path(&dir);
+        if sidecar.exists() {
+            let bytes = fs::read(&sidecar)?;
+            let mut scanner = FrameScanner::new(&bytes);
+            loop {
+                match scanner.next_frame() {
+                    ScanStep::Frame(payload) => {
+                        let (slot, ranges) = decode_retained_slot(payload)
+                            .ok_or_else(|| corrupt(&sidecar, "undecodable retained-key slot"))?;
+                        let entry = index.entry(slot).or_default();
+                        for (lo, hi) in ranges {
+                            entry.insert_range(lo, hi);
+                        }
+                    }
+                    ScanStep::End => break,
+                    // The sidecar is written whole via temp-file +
+                    // rename, so a torn frame means real corruption,
+                    // not a crash mid-append.
+                    ScanStep::Torn => {
+                        return Err(corrupt(&sidecar, "corrupt retained-key sidecar"));
+                    }
+                }
+            }
+        }
+
         let writer = BufWriter::new(
             OpenOptions::new()
                 .append(true)
@@ -505,6 +673,113 @@ impl AlertStore {
         self.seg_len = 0;
         self.segments.push(next);
         Ok(())
+    }
+
+    /// Drops old, fully-indexed **closed** segments according to
+    /// `policy`, reclaiming disk while **preserving idempotence**: the
+    /// dropped records' keys are first persisted to a `retained.idx`
+    /// sidecar (written atomically via temp file + rename), which
+    /// [`open`](Self::open) merges back into the key index — so
+    /// re-appending a record whose segment retention removed is still a
+    /// no-op, even across a reopen.
+    ///
+    /// The active segment is never dropped, and segments are only ever
+    /// dropped oldest-first, so the surviving log remains a contiguous
+    /// suffix of write order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing, sidecar writing, or
+    /// unlinking; the sidecar is durable *before* the first unlink, so
+    /// a crash mid-retention can leave extra segments but never lose
+    /// keys.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use divscrape_store::{AlertStore, RetentionPolicy, StoreConfig};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("divscrape-retain-doc-{}", std::process::id()));
+    /// let mut store = AlertStore::open(&dir, StoreConfig::default())?;
+    /// // Nothing to drop in a fresh store; the call is a cheap no-op.
+    /// let summary = store.retain_segments(RetentionPolicy::KeepBytes(1024))?;
+    /// assert_eq!(summary.segments_dropped, 0);
+    /// std::fs::remove_dir_all(&dir)?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn retain_segments(&mut self, policy: RetentionPolicy) -> io::Result<RetentionSummary> {
+        self.writer.flush()?;
+        let closed = &self.segments[..self.segments.len() - 1];
+
+        // Decide the drop set: a prefix of the closed segments.
+        let mut drop_until = 0usize; // index into `closed`, exclusive
+        match policy {
+            RetentionPolicy::KeepBytes(keep) => {
+                let mut total = self.closed_bytes + self.seg_len;
+                for &n in closed {
+                    if total <= keep {
+                        break;
+                    }
+                    total -= fs::metadata(segment_path(&self.dir, n))?.len();
+                    drop_until += 1;
+                }
+            }
+            RetentionPolicy::KeepDuration(age) => {
+                let now = SystemTime::now();
+                for &n in closed {
+                    let modified = fs::metadata(segment_path(&self.dir, n))?.modified()?;
+                    let old_enough = now
+                        .duration_since(modified)
+                        .map(|elapsed| elapsed >= age)
+                        .unwrap_or(false);
+                    if !old_enough {
+                        break;
+                    }
+                    drop_until += 1;
+                }
+            }
+        }
+        if drop_until == 0 {
+            return Ok(RetentionSummary::default());
+        }
+
+        // Persist every key (live + already-retained) before unlinking
+        // anything: crash-safe ordering — worst case is extra segments
+        // plus a sidecar that over-covers them, which open() merges
+        // harmlessly.
+        let sidecar = retained_index_path(&self.dir);
+        let tmp = self.dir.join("retained.idx.tmp");
+        let bytes = encode_retained_index(&self.index);
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            if self.config.fsync != FsyncPolicy::Never {
+                file.sync_data()?;
+            }
+        }
+        fs::rename(&tmp, &sidecar)?;
+
+        let mut summary = RetentionSummary::default();
+        for &n in &self.segments[..drop_until] {
+            let path = segment_path(&self.dir, n);
+            // Count the records being retired (the file is going away;
+            // one last scan is cheap relative to the unlink).
+            let bytes = fs::read(&path)?;
+            let mut scanner = FrameScanner::new(&bytes);
+            while let ScanStep::Frame(_) = scanner.next_frame() {
+                summary.records_dropped += 1;
+            }
+            summary.bytes_dropped += bytes.len() as u64;
+            fs::remove_file(&path)?;
+            summary.segments_dropped += 1;
+        }
+        self.segments.drain(..drop_until);
+        self.closed_bytes -= summary.bytes_dropped;
+        // Saturating: after a crash mid-retention, reopened frames whose
+        // keys the sidecar already covered were counted as duplicates,
+        // not live records.
+        self.records = self.records.saturating_sub(summary.records_dropped);
+        Ok(summary)
     }
 
     /// Flushes buffered writes; under [`FsyncPolicy::OnFlush`] (or
@@ -784,6 +1059,120 @@ mod tests {
         let mut store = AlertStore::open(&dir, config).unwrap();
         assert_eq!(store.len(), 40);
         assert_eq!(store.records().unwrap().len(), 40);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The retention headline: after dropping old segments *and
+    /// reopening*, re-appending the dropped records is still an
+    /// idempotent no-op — the keys outlive the frames via the sidecar.
+    #[test]
+    fn reopening_after_retention_preserves_idempotent_append_keys() {
+        let dir = temp_dir("retain-reopen");
+        let config = StoreConfig::default().segment_max_bytes(256);
+        let mut store = AlertStore::open(&dir, config).unwrap();
+        for i in 0..40 {
+            store.append(record(i, RecordKind::Alert, None)).unwrap();
+        }
+        store.flush().unwrap();
+        let before = store.stats();
+        assert!(before.segments > 2, "need several segments: {before:?}");
+
+        // Keep only the newest bytes; at least one closed segment goes.
+        let summary = store
+            .retain_segments(RetentionPolicy::KeepBytes(before.bytes / 2))
+            .unwrap();
+        assert!(summary.segments_dropped > 0, "{summary:?}");
+        assert!(summary.records_dropped > 0);
+        let after = store.stats();
+        assert_eq!(after.segments, before.segments - summary.segments_dropped);
+        assert_eq!(after.bytes, before.bytes - summary.bytes_dropped);
+        assert_eq!(after.records, 40 - summary.records_dropped);
+        // Keys survive in-process too.
+        assert!(store.contains(None, RecordKind::Alert, 0));
+        drop(store);
+
+        let mut store = AlertStore::open(&dir, config).unwrap();
+        assert_eq!(store.len(), 40 - summary.records_dropped);
+        // The headline: every original key — including those whose
+        // segments are gone — still dedupes after the reopen.
+        let replay = store
+            .append_batch((0..40).map(|i| record(i, RecordKind::Alert, None)))
+            .unwrap();
+        assert_eq!(
+            replay,
+            AppendSummary {
+                appended: 0,
+                skipped: 40
+            }
+        );
+        assert_eq!(store.last_offset(None, RecordKind::Alert), Some(39));
+        // Surviving records read back intact, as a contiguous suffix.
+        let records = store.records().unwrap();
+        assert_eq!(records.len() as u64, 40 - summary.records_dropped);
+        assert_eq!(records.last().unwrap().key.offset, 39);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `KeepDuration(0)` retires every closed segment; the active one
+    /// always survives, and tenant-partitioned keys stay partitioned in
+    /// the sidecar.
+    #[test]
+    fn keep_duration_drops_aged_segments_and_keeps_tenant_keys() {
+        let dir = temp_dir("retain-age");
+        let config = StoreConfig::default().segment_max_bytes(256);
+        let mut store = AlertStore::open(&dir, config).unwrap();
+        for i in 0..20 {
+            store
+                .append(record(i, RecordKind::Alert, Some("eu")))
+                .unwrap();
+            store
+                .append(record(i, RecordKind::Alert, Some("us")))
+                .unwrap();
+        }
+        store.flush().unwrap();
+        let closed = store.stats().segments - 1;
+        assert!(closed > 0);
+
+        let summary = store
+            .retain_segments(RetentionPolicy::KeepDuration(Duration::ZERO))
+            .unwrap();
+        assert_eq!(summary.segments_dropped, closed);
+        assert_eq!(store.stats().segments, 1);
+        drop(store);
+
+        let mut store = AlertStore::open(&dir, config).unwrap();
+        let eu = TenantId::new("eu");
+        let us = TenantId::new("us");
+        for i in 0..20 {
+            assert!(store.contains(Some(&eu), RecordKind::Alert, i), "eu {i}");
+            assert!(store.contains(Some(&us), RecordKind::Alert, i), "us {i}");
+        }
+        assert!(!store.contains(Some(&eu), RecordKind::Score, 0));
+        // A genuinely new offset still appends.
+        assert!(store
+            .append(record(20, RecordKind::Alert, Some("eu")))
+            .unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Retention is a no-op when everything fits the budget, and never
+    /// touches the active segment.
+    #[test]
+    fn retention_never_drops_the_active_segment() {
+        let dir = temp_dir("retain-active");
+        let mut store = AlertStore::open(&dir, StoreConfig::default()).unwrap();
+        for i in 0..10 {
+            store.append(record(i, RecordKind::Alert, None)).unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(store.stats().segments, 1);
+        // Budget zero, but the only segment is active: nothing to drop.
+        let summary = store
+            .retain_segments(RetentionPolicy::KeepBytes(0))
+            .unwrap();
+        assert_eq!(summary, RetentionSummary::default());
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.records().unwrap().len(), 10);
         fs::remove_dir_all(&dir).unwrap();
     }
 

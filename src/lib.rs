@@ -16,6 +16,8 @@
 //!   sources driving the pipeline.
 //! * [`store`] — durable storage: the embedded alert/score store and the
 //!   spool queue behind the sinks.
+//! * [`service`] — the sharded service plane: per-tenant driver shards,
+//!   UDP/syslog intake, multiplexed collector, line-protocol admin.
 //! * [`study`] — the end-to-end diversity-study pipeline (`divscrape` core).
 //!
 //! See the individual crates for documentation, and `examples/quickstart.rs`
@@ -29,5 +31,6 @@ pub use divscrape_ensemble as ensemble;
 pub use divscrape_httplog as httplog;
 pub use divscrape_ingest as ingest;
 pub use divscrape_pipeline as pipeline;
+pub use divscrape_service as service;
 pub use divscrape_store as store;
 pub use divscrape_traffic as traffic;
