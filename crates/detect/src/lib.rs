@@ -41,6 +41,12 @@
 //! Eviction is off by default, in which case output is bit-identical to
 //! the unbounded tables.
 //!
+//! For deployments where almost all traffic is benign, the [`triage`]
+//! module provides a near-free first-pass filter ([`TriageFilter`] /
+//! [`FastTriage`]) that classifies clients as benign-so-far or
+//! escalated, so a pipeline can skip the detectors for the benign pool
+//! and lazily replay a client's history the moment it escalates.
+//!
 //! # Streaming quickstart
 //!
 //! ```
@@ -98,6 +104,7 @@ mod sentinel;
 mod session;
 pub mod tenant;
 mod trap;
+pub mod triage;
 
 pub use arcane::{Arcane, ArcaneConfig};
 pub use committee::Committee;
@@ -107,3 +114,4 @@ pub use sentinel::{ReputationFeed, Sentinel, SentinelConfig, SentinelSignal, Sig
 pub use session::{ClientKey, SessionFeatures, Sessionizer, SessionizerConfig};
 pub use tenant::{TenantClientKey, TenantId};
 pub use trap::TrapDetector;
+pub use triage::{FastTriage, TriageDecision, TriageFilter, TriagePolicy};

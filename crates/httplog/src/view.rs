@@ -296,12 +296,20 @@ const DEFAULT_INTERNER_CAP: usize = 4096;
 ///
 /// Real traffic repeats a small set of agent strings millions of times;
 /// interning turns the per-entry classify-and-hash into one map lookup
-/// (allocation-free: the probe borrows the candidate string). The table
-/// is cleared when it reaches its capacity bound, so a hostile feed of
-/// unique agents costs re-classification, never unbounded memory.
+/// (allocation-free: the probe borrows the candidate string). Growth is
+/// bounded by **generation swap**: when the current generation reaches
+/// its capacity bound it is demoted to the previous generation (whose
+/// contents are dropped) instead of being cleared outright, and a miss
+/// in the current generation promotes a previous-generation hit back.
+/// A hostile feed of unique agents therefore costs re-classification,
+/// never unbounded memory — at most `2 × cap` agents are ever cached —
+/// while the popular agents of real traffic survive the swap. Cached
+/// identities are content-derived (FNV-1a over the agent bytes), so an
+/// interned fingerprint never changes across swaps.
 #[derive(Debug, Clone)]
 pub struct UaInterner {
     map: HashMap<String, (u64, AgentFamily)>,
+    prev: HashMap<String, (u64, AgentFamily)>,
     cap: usize,
 }
 
@@ -317,11 +325,12 @@ impl UaInterner {
         Self::with_capacity(DEFAULT_INTERNER_CAP)
     }
 
-    /// An interner holding at most `cap` distinct agents (≥ 1) before
-    /// clearing.
+    /// An interner holding at most `cap` distinct agents (≥ 1) per
+    /// generation before swapping generations.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
             map: HashMap::new(),
+            prev: HashMap::new(),
             cap: cap.max(1),
         }
     }
@@ -332,22 +341,35 @@ impl UaInterner {
         if let Some(&cached) = self.map.get(ua) {
             return cached;
         }
-        let identity = (fnv1a(ua.as_bytes()), AgentFamily::classify(ua));
+        // Promote a previous-generation hit instead of re-classifying:
+        // popular agents survive the swap, churny one-offs age out.
+        let identity = match self.prev.remove_entry(ua) {
+            Some((owned, identity)) => {
+                if self.map.len() >= self.cap {
+                    self.prev.clear();
+                    std::mem::swap(&mut self.map, &mut self.prev);
+                }
+                self.map.insert(owned, identity);
+                return identity;
+            }
+            None => (fnv1a(ua.as_bytes()), AgentFamily::classify(ua)),
+        };
         if self.map.len() >= self.cap {
-            self.map.clear();
+            self.prev.clear();
+            std::mem::swap(&mut self.map, &mut self.prev);
         }
         self.map.insert(ua.to_owned(), identity);
         identity
     }
 
-    /// Distinct agents currently cached.
+    /// Distinct agents currently cached across both generations.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.map.len() + self.prev.len()
     }
 
     /// Whether nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.map.is_empty() && self.prev.is_empty()
     }
 }
 
@@ -615,13 +637,60 @@ mod tests {
             let (fp, family) = interner.resolve(&ua);
             assert_eq!(fp, fnv1a(ua.as_bytes()));
             assert_eq!(family, AgentFamily::classify(&ua));
-            assert!(interner.len() <= 4);
+            // Two generations of at most `cap` agents each.
+            assert!(interner.len() <= 8, "interner grew past both generations");
         }
         // Cached answers equal fresh answers.
         assert_eq!(
             interner.resolve("agent/39"),
             (fnv1a(b"agent/39"), AgentFamily::classify("agent/39"))
         );
+    }
+
+    #[test]
+    fn interner_ids_are_stable_across_generation_swaps() {
+        // Adversarial churn: a popular agent interleaved with unique
+        // one-offs that force generation swaps. The popular agent's
+        // interned id must never change — within a chunk or across the
+        // whole churn — because ids are content-derived.
+        let mut interner = UaInterner::with_capacity(4);
+        let popular = "Mozilla/5.0 (Windows NT 10.0) Chrome/64.0";
+        let (first_fp, first_family) = interner.resolve(popular);
+        for i in 0..200 {
+            let churn = format!("hostile-bot/{i}");
+            interner.resolve(&churn);
+            assert_eq!(
+                interner.resolve(popular),
+                (first_fp, first_family),
+                "interned id drifted after {i} churn agents"
+            );
+            assert!(interner.len() <= 8);
+        }
+        // A block fed the same churn keeps every stored entry's
+        // fingerprint equal to the standalone parse.
+        let mut block = EntryBlock::new();
+        let mut lines = Vec::new();
+        for i in 0..200 {
+            let ua = if i % 3 == 0 {
+                popular.to_owned()
+            } else {
+                format!("hostile-bot/{i}")
+            };
+            lines.push(format!(
+                "10.0.0.9 - - [11/Mar/2018:00:00:05 +0000] \"GET /offers HTTP/1.1\" 200 77 \"-\" \"{ua}\""
+            ));
+        }
+        for line in &lines {
+            block.push_line(line).unwrap();
+        }
+        for (i, line) in lines.iter().enumerate() {
+            let standalone = EntryRef::parse(line).unwrap();
+            assert_eq!(
+                block.view(i).ua_fingerprint(),
+                standalone.ua_fingerprint(),
+                "fingerprint {i} diverged under interner churn"
+            );
+        }
     }
 
     proptest! {

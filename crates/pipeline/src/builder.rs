@@ -1,6 +1,6 @@
 //! Pipeline composition.
 
-use divscrape_detect::{EvictionConfig, TenantId};
+use divscrape_detect::{EvictionConfig, TenantId, TriagePolicy};
 use divscrape_ensemble::{KOutOfN, RecalibrationPolicy, Recalibrator, WeightedVote};
 use divscrape_httplog::LogEntry;
 
@@ -151,6 +151,13 @@ pub enum BuildError {
     /// clamps — see
     /// [`RecalibrationPolicy::validate`](divscrape_ensemble::RecalibrationPolicy::validate)).
     BadRecalibration(String),
+    /// Triage and online recalibration were both requested. Triage
+    /// suppresses benign entries' member verdicts (they reach the
+    /// recalibrator as all-CLEAR rows, or late), so the learned weights
+    /// would be fit to a different verdict stream than the one a
+    /// triage-off pipeline sees — the combination is rejected rather
+    /// than silently skewed.
+    TriageWithRecalibration,
 }
 
 impl std::fmt::Display for BuildError {
@@ -173,6 +180,11 @@ impl std::fmt::Display for BuildError {
                  (needs at least one client per worker)"
             ),
             BuildError::BadRecalibration(msg) => write!(f, "bad recalibration policy: {msg}"),
+            BuildError::TriageWithRecalibration => write!(
+                f,
+                "triage and online recalibration cannot be combined: suppressed entries \
+                 would skew the recalibrator's member-verdict evidence"
+            ),
         }
     }
 }
@@ -194,6 +206,7 @@ pub struct PipelineBuilder {
     queue_depth: usize,
     eviction: EvictionConfig,
     eviction_budget: Option<usize>,
+    triage: Option<TriagePolicy>,
     /// `pub(crate)` so [`HubBuilder`](crate::HubBuilder) can fill in its
     /// hub-wide default for tenants that did not set their own policy.
     pub(crate) recalibration: Option<RecalibrationPolicy>,
@@ -225,6 +238,7 @@ impl std::fmt::Debug for PipelineBuilder {
             .field("queue_depth", &self.queue_depth)
             .field("eviction", &self.eviction)
             .field("eviction_budget", &self.eviction_budget)
+            .field("triage", &self.triage)
             .field("recalibration", &self.recalibration)
             .field("labels", &self.labels.is_some())
             .finish()
@@ -245,6 +259,7 @@ impl PipelineBuilder {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             eviction: EvictionConfig::DISABLED,
             eviction_budget: None,
+            triage: None,
             recalibration: None,
             labels: None,
         }
@@ -374,6 +389,64 @@ impl PipelineBuilder {
         self
     }
 
+    /// Puts a **hierarchical triage stage** in front of the detectors
+    /// (default: none — every entry pays full detector cost).
+    ///
+    /// The triage filter classifies each entry's client on the driver,
+    /// before sharding, from cheap per-client counters
+    /// ([`TriagePolicy::fast`] installs the stock
+    /// [`FastTriage`](divscrape_detect::FastTriage)). Benign-so-far
+    /// clients' entries are buffered — bounded by the policy's replay
+    /// byte cap, spilling oldest-first — and skipped by the detectors;
+    /// the moment a client escalates, its buffered history replays
+    /// through the full detector set in feed order on the client's
+    /// owning worker, so detector state and all subsequent verdicts
+    /// match a triage-off run exactly.
+    ///
+    /// As long as no entry spilled
+    /// ([`triage_spilled_entries`](crate::PipelineStats::triage_spilled_entries)
+    /// stays 0 — the cap is sized for that), the drained report is
+    /// **bit-identical** to the same pipeline without triage, for any
+    /// worker count, chunk geometry or push flavor; with the stock
+    /// filter and stock detectors the live alert stream is identical
+    /// too, because every stock-detector alert implies a triage
+    /// escalation at or before the same entry. What triage buys is
+    /// skipping the expensive detectors for the benign majority —
+    /// multiplicative throughput on benign-heavy traffic.
+    ///
+    /// Rejected in combination with [`recalibration`](Self::recalibration)
+    /// ([`BuildError::TriageWithRecalibration`]): the recalibrator
+    /// learns from member-verdict evidence that triage suppresses.
+    ///
+    /// ```
+    /// use divscrape_detect::{Arcane, Sentinel};
+    /// use divscrape_pipeline::{PipelineBuilder, TriagePolicy};
+    /// use divscrape_traffic::{generate, ScenarioConfig};
+    ///
+    /// let log = generate(&ScenarioConfig::tiny(3))?;
+    /// let run = |triage: bool| {
+    ///     let mut builder = PipelineBuilder::new()
+    ///         .detector(Sentinel::stock())
+    ///         .detector(Arcane::stock());
+    ///     if triage {
+    ///         builder = builder.triage(TriagePolicy::fast());
+    ///     }
+    ///     let mut pipeline = builder.build().map_err(|e| e.to_string())?;
+    ///     pipeline.push_batch(log.entries());
+    ///     Ok::<_, String>((pipeline.drain(), pipeline.stats()))
+    /// };
+    /// let (off, _) = run(false)?;
+    /// let (on, stats) = run(true)?;
+    /// assert_eq!(on.combined.to_bools(), off.combined.to_bools());
+    /// assert_eq!(stats.triage_spilled_entries, 0);
+    /// assert!(stats.triage_suppressed_entries > 0); // detectors skipped work
+    /// # Ok::<(), String>(())
+    /// ```
+    pub fn triage(mut self, policy: TriagePolicy) -> Self {
+        self.triage = Some(policy);
+        self
+    }
+
     /// Attaches an **online recalibrator** to the adjudication stage
     /// (default: none — weights stay as composed).
     ///
@@ -470,6 +543,9 @@ impl PipelineBuilder {
             }
             eviction = eviction.with_capacity(budget / self.workers);
         }
+        if self.triage.is_some() && self.recalibration.is_some() {
+            return Err(BuildError::TriageWithRecalibration);
+        }
         let rule = self.adjudication.resolve(n)?;
         let recalibrator = match self.recalibration {
             None => None,
@@ -487,6 +563,7 @@ impl PipelineBuilder {
             self.chunk_capacity,
             self.queue_depth,
             eviction,
+            self.triage,
             recalibrator,
             self.labels,
         ))
@@ -557,6 +634,24 @@ mod tests {
             .detector(Sentinel::stock())
             .workers(4)
             .eviction_global_capacity(4)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn triage_and_recalibration_are_mutually_exclusive() {
+        let err = PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .triage(TriagePolicy::fast())
+            .recalibration(RecalibrationPolicy::new())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::TriageWithRecalibration);
+        assert!(PipelineBuilder::new()
+            .detector(Sentinel::stock())
+            .detector(Arcane::stock())
+            .triage(TriagePolicy::fast())
             .build()
             .is_ok());
     }

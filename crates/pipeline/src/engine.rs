@@ -63,13 +63,14 @@ use std::time::{Duration, Instant};
 
 use divscrape_detect::parallel::{run_index_runs, run_index_runs_refs};
 use divscrape_detect::{EvictionConfig, EvictionStats, Sessionizer, TenantId, Verdict};
-use divscrape_ensemble::{AlertVector, Recalibrator};
+use divscrape_ensemble::{AlertVector, Recalibrator, WeightedVote};
 use divscrape_httplog::{EntryBlock, EntryRef, EntryView, LogEntry, ParseLogError};
 
 use crate::builder::{Adjudication, BuildError, LabelOracle, Rule};
 use crate::sink::{Alert, AlertSink, ScoredEntry};
 use crate::spsc::{self, TrySendError};
 use crate::stats::{PipelineStats, RuntimeUpdates};
+use crate::triage::{EntryAction, ReplayLoad, RetroVerdict, TriageStage};
 use crate::PipelineDetector;
 
 /// The entries of one submitted chunk, in either representation.
@@ -105,6 +106,11 @@ enum Job {
         /// `None` when the worker owns the entire chunk (single-worker
         /// pools skip the index bookkeeping entirely).
         indices: Option<Vec<usize>>,
+        /// Escalated clients owned by this shard whose buffered history
+        /// must replay through the detectors at each client's escalation
+        /// point, interleaved with the shard's live entries (triage
+        /// only; empty otherwise).
+        replays: Vec<ReplayLoad>,
     },
     /// Reset every detector replica (queued in order, so it takes effect
     /// before any chunk submitted after it).
@@ -130,6 +136,9 @@ struct WorkerResult {
     seq: u64,
     worker: usize,
     columns: ShardColumns,
+    /// Verdicts for replayed (previously triage-suppressed) entries,
+    /// echoed back for driver-side patching; empty without triage.
+    retro: Vec<RetroVerdict>,
     /// Wall time the worker spent in the detectors for this shard.
     busy: Duration,
     /// The worker's client-state footprint after this shard.
@@ -197,6 +206,124 @@ fn run_shard(
     }
 }
 
+/// Replays one escalated client's buffered history through a crew of
+/// detectors, appending one [`RetroVerdict`] per replayed entry.
+fn replay_one_load(
+    detectors: &mut [Box<dyn PipelineDetector>],
+    load: ReplayLoad,
+    block: &mut EntryBlock,
+    out: &mut Vec<RetroVerdict>,
+) {
+    block.clear();
+    for (_, line) in &load.entries {
+        block
+            .push_line(line)
+            .expect("replay lines were parsed before buffering");
+    }
+    // The borrowed fast path, exactly like a live `Views` chunk (the
+    // borrowed and owned paths are pinned verdict-identical).
+    let refs: Vec<EntryRef<'_>> = (0..block.len()).map(|i| block.view(i)).collect();
+    let columns: Vec<Vec<Verdict>> = detectors
+        .iter_mut()
+        .map(|det| {
+            let mut col = Vec::with_capacity(refs.len());
+            det.observe_batch_refs(&refs, &mut col);
+            col
+        })
+        .collect();
+    for (pos, (index, line)) in load.entries.into_iter().enumerate() {
+        out.push(RetroVerdict {
+            index,
+            line,
+            verdicts: columns.iter().map(|col| col[pos]).collect(),
+        });
+    }
+}
+
+/// Runs one contiguous live segment of a triaged shard, appending each
+/// detector's `(chunk_position, verdict)` pairs.
+fn run_live_segment(
+    detectors: &mut [Box<dyn PipelineDetector>],
+    payload: &ChunkPayload,
+    refs: Option<&[EntryRef<'_>]>,
+    indices: &[usize],
+    pairs: &mut [Vec<(usize, Verdict)>],
+) {
+    if indices.is_empty() {
+        return;
+    }
+    match payload {
+        ChunkPayload::Owned(chunk) => {
+            for (det, out) in detectors.iter_mut().zip(pairs.iter_mut()) {
+                out.extend(run_index_runs(det, chunk, indices));
+            }
+        }
+        ChunkPayload::Views(_) => {
+            let refs = refs.expect("views payloads carry prebuilt refs");
+            for (det, out) in detectors.iter_mut().zip(pairs.iter_mut()) {
+                out.extend(run_index_runs_refs(det, refs, indices));
+            }
+        }
+    }
+}
+
+/// Runs a triaged shard: the live entries in feed order, with each
+/// escalated client's buffered history replayed through the detectors
+/// **at its escalation point** — immediately before the live entry that
+/// escalated the client. Interleaving at the trigger (rather than
+/// replaying every load up front) keeps the detectors' observation clock
+/// consistent with a triage-off run: a client escalating late in the
+/// chunk carries late timestamps, and replaying it first would advance
+/// TTL eviction past an earlier client's freshly replayed state. Shared
+/// by the pool workers and the single-worker inline path.
+fn run_shard_with_replays(
+    detectors: &mut [Box<dyn PipelineDetector>],
+    payload: &ChunkPayload,
+    indices: Option<&[usize]>,
+    mut loads: Vec<ReplayLoad>,
+) -> (ShardColumns, Vec<RetroVerdict>) {
+    if loads.is_empty() {
+        return (run_shard(detectors, payload, indices), Vec::new());
+    }
+    let whole: Vec<usize>;
+    let indices = match indices {
+        Some(indices) => indices,
+        None => {
+            whole = (0..payload.len()).collect();
+            &whole
+        }
+    };
+    let refs: Option<Vec<EntryRef<'_>>> = match payload {
+        ChunkPayload::Owned(_) => None,
+        ChunkPayload::Views(block) => Some((0..block.len()).map(|i| block.view(i)).collect()),
+    };
+    loads.sort_by_key(|load| load.trigger_pos);
+    let mut pairs: Vec<Vec<(usize, Verdict)>> = vec![Vec::new(); detectors.len()];
+    let mut retro = Vec::new();
+    let mut block = EntryBlock::new();
+    let mut start = 0usize;
+    for load in loads {
+        let cut = start + indices[start..].partition_point(|&pos| pos < load.trigger_pos);
+        run_live_segment(
+            detectors,
+            payload,
+            refs.as_deref(),
+            &indices[start..cut],
+            &mut pairs,
+        );
+        start = cut;
+        replay_one_load(detectors, load, &mut block, &mut retro);
+    }
+    run_live_segment(
+        detectors,
+        payload,
+        refs.as_deref(),
+        &indices[start..],
+        &mut pairs,
+    );
+    (ShardColumns::Pairs(pairs), retro)
+}
+
 /// Spawns a pool worker owning `detectors` for the pipeline's lifetime.
 fn spawn_worker(
     id: usize,
@@ -214,9 +341,15 @@ fn spawn_worker(
                         seq,
                         payload,
                         indices,
+                        replays,
                     } => {
                         let started = Instant::now();
-                        let columns = run_shard(&mut detectors, &payload, indices.as_deref());
+                        let (columns, retro) = run_shard_with_replays(
+                            &mut detectors,
+                            &payload,
+                            indices.as_deref(),
+                            replays,
+                        );
                         let evict = EvictionStats::merge_all(
                             detectors.iter().map(|det| det.eviction_stats()),
                         );
@@ -225,6 +358,7 @@ fn spawn_worker(
                             seq,
                             worker: id,
                             columns,
+                            retro,
                             busy: started.elapsed(),
                             evict,
                         });
@@ -255,8 +389,25 @@ struct PendingChunk {
     /// Workers that still owe a result for this chunk.
     awaiting: usize,
     /// Per detector, one verdict per chunk position (scattered in as
-    /// results arrive).
+    /// results arrive). Triage-suppressed positions stay at their
+    /// pre-initialized [`Verdict::CLEAR`].
     columns: Vec<Vec<Verdict>>,
+    /// Replayed-history verdicts collected from this chunk's workers,
+    /// applied at finalization (empty without triage).
+    retro: Vec<RetroVerdict>,
+}
+
+/// The triage stage's decision for one chunk, computed serially on the
+/// driver before sharding. `None` when every entry processes normally
+/// (triage off, or nothing suppressed and nobody escalated with
+/// buffered history).
+struct TriagePlan {
+    /// `true` per suppressed chunk position — skipped by the detectors
+    /// (never assigned to a shard), verdicts stay CLEAR.
+    mask: Vec<bool>,
+    /// Escalated clients' buffered history to replay, routed to each
+    /// client's owning shard.
+    loads: Vec<ReplayLoad>,
 }
 
 /// Driver-side stat accumulators (see [`PipelineStats`] for semantics).
@@ -345,6 +496,18 @@ pub struct Pipeline {
     /// The eviction policy currently installed on every replica (post
     /// budget split); base for runtime re-apportionment.
     eviction: EvictionConfig,
+    /// The triage stage, when configured
+    /// ([`PipelineBuilder::triage`](crate::PipelineBuilder::triage)):
+    /// runs serially on the driver ahead of sharding.
+    triage: Option<TriageStage>,
+    /// The rule in effect at stream start (or since the last
+    /// [`reset`](Self::reset)) — the fallback for re-adjudicating
+    /// replayed entries that predate every recorded rule install.
+    initial_rule: Rule,
+    /// Feed-order index of the first entry in the current accumulation
+    /// window (advances at [`drain`](Self::drain)); maps a replayed
+    /// entry's index to its `acc_*` position.
+    acc_base: u64,
     buffer: Vec<LogEntry>,
     /// The borrowed-entry arena [`push_line`](Self::push_line) parses
     /// into; submitted as a [`ChunkPayload::Views`] chunk when it
@@ -432,11 +595,22 @@ impl Pipeline {
         chunk_capacity: usize,
         queue_depth: usize,
         eviction: EvictionConfig,
+        triage: Option<divscrape_detect::TriagePolicy>,
         recalib: Option<Recalibrator>,
         labels: Option<LabelOracle>,
     ) -> Self {
         let names: Vec<String> = detectors.iter().map(|d| d.name().to_owned()).collect();
         let n_members = names.len();
+        // The triage filter's per-client state obeys the same eviction
+        // policy as the detectors, so both tiers forget clients in
+        // lockstep.
+        let triage = triage.map(|policy| {
+            let (mut filter, cap_bytes) = policy.into_parts();
+            if !eviction.is_disabled() {
+                filter.set_eviction(eviction);
+            }
+            TriageStage::new(filter, cap_bytes)
+        });
 
         let (results_tx, results_rx) = mpsc::channel();
         let mut inline_crew = None;
@@ -477,7 +651,10 @@ impl Pipeline {
         };
         Self {
             names,
+            initial_rule: rule.clone(),
             rule,
+            triage,
+            acc_base: 0,
             pending_rules: VecDeque::new(),
             recalib,
             labels,
@@ -538,6 +715,11 @@ impl Pipeline {
         self.flush_residue();
         self.eviction = eviction;
         self.stats.updates.eviction += 1;
+        // The triage filter lives on the driver: its state table swaps
+        // policy at the same stream position as every detector replica.
+        if let Some(stage) = &mut self.triage {
+            stage.filter.set_eviction(eviction);
+        }
         if let Some(crew) = &mut self.inline_crew {
             for det in crew {
                 det.set_eviction(eviction);
@@ -693,6 +875,11 @@ impl Pipeline {
             Rule::Weighted(rule) => (Some(rule.weights().to_vec()), Some(rule.threshold())),
             Rule::KOutOfN(_) => (None, None),
         };
+        let triage = self
+            .triage
+            .as_ref()
+            .map(|stage| stage.counters)
+            .unwrap_or_default();
         let mut spool_depth = 0u64;
         let mut spool_bytes_high_water = 0u64;
         let mut replayed_alerts = 0u64;
@@ -728,6 +915,10 @@ impl Pipeline {
             live_clients_aggregate: self.worker_evict.iter().map(|e| e.live_clients).sum(),
             max_live_clients: self.stats.max_live_clients,
             evicted_clients: self.worker_evict.iter().map(|e| e.evicted_clients).sum(),
+            triage_escalations: triage.escalations,
+            triage_suppressed_entries: triage.suppressed,
+            triage_replayed_entries: triage.replayed,
+            triage_spilled_entries: triage.spilled,
         }
     }
 
@@ -856,6 +1047,8 @@ impl Pipeline {
             .zip(self.acc_members.iter_mut())
             .map(|(name, acc)| AlertVector::from_bools(name, &std::mem::take(acc)))
             .collect();
+        // The taken accumulators restart at the current stream position.
+        self.acc_base = self.finalized;
         PipelineReport { combined, members }
     }
 
@@ -899,12 +1092,18 @@ impl Pipeline {
                 .send(Job::Reset)
                 .expect("pipeline worker thread died");
         }
+        if let Some(stage) = &mut self.triage {
+            stage.reset();
+        }
+        // The stream restarts under whatever rule is installed now.
+        self.initial_rule = self.rule.clone();
         self.buffer.clear();
         self.block.clear();
         self.acc_combined.clear();
         for acc in &mut self.acc_members {
             acc.clear();
         }
+        self.acc_base = 0;
         self.next_seq = 0;
         self.submitted = 0;
         self.finalized = 0;
@@ -965,10 +1164,14 @@ impl Pipeline {
     /// are already back.
     fn submit_payload(&mut self, payload: ChunkPayload) {
         debug_assert!(payload.len() > 0, "never submit an empty chunk");
+        // Triage runs serially on the driver, in feed order, before
+        // sharding — so a client's escalation point is a deterministic
+        // function of its stream position, independent of worker count.
+        let plan = self.triage_chunk(&payload);
         // Single-worker pipelines run the chunk inline on the driver:
         // maximal backpressure, zero handoff.
         if self.inline_crew.is_some() {
-            self.process_chunk_inline(payload);
+            self.process_chunk_inline(payload, plan);
             return;
         }
         // Backpressure, part one: keep the reorder buffer at or under
@@ -989,8 +1192,35 @@ impl Pipeline {
         // A chunk wholly owned by one worker (single-worker pool, or all
         // clients hashing to one shard) skips the index bookkeeping: the
         // worker runs the plain batch path and returns in-order columns.
-        let jobs: Vec<(usize, Option<Vec<usize>>)> = if shard_count == 1 {
-            vec![(0, None)]
+        // Triaged chunks always carry explicit (live-only) indices, so
+        // suppressed positions are simply never assigned to any shard.
+        let jobs: Vec<(usize, Option<Vec<usize>>, Vec<ReplayLoad>)> = if let Some(plan) = plan {
+            let key_of = |i: usize| match &payload {
+                ChunkPayload::Owned(chunk) => chunk[i].client_key(),
+                ChunkPayload::Views(block) => block.view(i).client_key(),
+            };
+            let mut shards: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+            for i in 0..n {
+                if !plan.mask[i] {
+                    shards[Sessionizer::shard_of(&key_of(i), shard_count)].push(i);
+                }
+            }
+            // A replay load always reaches the worker that owns its
+            // client: the escalating entry is live in this very chunk.
+            let mut shard_loads: Vec<Vec<ReplayLoad>> =
+                (0..shard_count).map(|_| Vec::new()).collect();
+            for load in plan.loads {
+                shard_loads[Sessionizer::shard_of(&load.key, shard_count)].push(load);
+            }
+            shards
+                .into_iter()
+                .zip(shard_loads)
+                .enumerate()
+                .filter(|(_, (shard, loads))| !shard.is_empty() || !loads.is_empty())
+                .map(|(worker, (shard, loads))| (worker, Some(shard), loads))
+                .collect()
+        } else if shard_count == 1 {
+            vec![(0, None, Vec::new())]
         } else {
             let mut shards: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
             match &payload {
@@ -1008,19 +1238,22 @@ impl Pipeline {
             }
             if shards.iter().filter(|shard| !shard.is_empty()).count() == 1 {
                 let owner = shards.iter().position(|shard| !shard.is_empty()).unwrap();
-                vec![(owner, None)]
+                vec![(owner, None, Vec::new())]
             } else {
                 shards
                     .into_iter()
                     .enumerate()
                     .filter(|(_, shard)| !shard.is_empty())
-                    .map(|(worker, shard)| (worker, Some(shard)))
+                    .map(|(worker, shard)| (worker, Some(shard), Vec::new()))
                     .collect()
             }
         };
-        let columns = if matches!(jobs.as_slice(), [(_, None)]) {
+        let columns = if matches!(jobs.as_slice(), [(_, None, _)]) {
             Vec::new() // replaced wholesale by the whole-chunk result
         } else {
+            // Also covers triaged chunks: suppressed positions keep this
+            // CLEAR pre-initialization (a fully suppressed chunk has no
+            // jobs at all and finalizes as all-CLEAR).
             vec![vec![Verdict::CLEAR; n]; n_detectors]
         };
         self.inflight.insert(
@@ -1029,16 +1262,18 @@ impl Pipeline {
                 payload: payload.clone(),
                 awaiting: jobs.len(),
                 columns,
+                retro: Vec::new(),
             },
         );
         self.submitted += n as u64;
         self.stats.max_inflight = self.stats.max_inflight.max(self.inflight.len());
 
-        for (worker, indices) in jobs {
+        for (worker, indices, replays) in jobs {
             let mut job = Job::Chunk {
                 seq,
                 payload: payload.clone(),
                 indices,
+                replays,
             };
             loop {
                 let sender = self.workers[worker].jobs.as_ref().expect("pool running");
@@ -1070,20 +1305,89 @@ impl Pipeline {
         self.finalize_ready();
     }
 
+    /// Runs the triage stage over one chunk, in feed order, before it is
+    /// sharded. Returns the suppression mask and replay loads, or `None`
+    /// when every entry should process normally.
+    fn triage_chunk(&mut self, payload: &ChunkPayload) -> Option<TriagePlan> {
+        let base = self.submitted;
+        let stage = self.triage.as_mut()?;
+        let n = payload.len();
+        let mut mask = vec![false; n];
+        let mut suppressed = 0usize;
+        let mut loads = Vec::new();
+        for i in 0..n {
+            let index = base + i as u64;
+            let action = match payload {
+                // Buffered lines round-trip through the shared CLF
+                // parser, so a replayed entry is bit-identical to the
+                // one the detectors would have seen live.
+                ChunkPayload::Owned(chunk) => {
+                    let entry = &chunk[i];
+                    stage.admit(entry, index, || entry.to_string())
+                }
+                ChunkPayload::Views(block) => {
+                    let view = block.view(i);
+                    stage.admit(&view, index, || block.line(i).to_owned())
+                }
+            };
+            match action {
+                EntryAction::Process => {}
+                EntryAction::Suppress => {
+                    mask[i] = true;
+                    suppressed += 1;
+                }
+                EntryAction::Replay(mut load) => {
+                    // The escalating entry itself runs live at chunk
+                    // position `i`; the load replays right before it.
+                    load.trigger_pos = i;
+                    loads.push(load);
+                }
+            }
+        }
+        if suppressed == 0 && loads.is_empty() {
+            return None;
+        }
+        Some(TriagePlan { mask, loads })
+    }
+
     /// Runs one chunk through the inline crew on the driver thread and
     /// finalizes it immediately — the single-worker execution path.
-    fn process_chunk_inline(&mut self, payload: ChunkPayload) {
+    fn process_chunk_inline(&mut self, payload: ChunkPayload, plan: Option<TriagePlan>) {
         let started = Instant::now();
         let crew = self.inline_crew.as_mut().expect("inline pipeline");
-        let columns = match run_shard(crew, &payload, None) {
-            ShardColumns::Whole(columns) => columns,
-            ShardColumns::Pairs(_) => unreachable!("unsharded run returns whole columns"),
+        let n = payload.len();
+        let n_detectors = self.names.len();
+        let (columns, retro) = match plan {
+            None => {
+                let columns = match run_shard(crew, &payload, None) {
+                    ShardColumns::Whole(columns) => columns,
+                    ShardColumns::Pairs(_) => unreachable!("unsharded run returns whole columns"),
+                };
+                (columns, Vec::new())
+            }
+            Some(plan) => {
+                let live: Vec<usize> = (0..n).filter(|&i| !plan.mask[i]).collect();
+                let mut columns = vec![vec![Verdict::CLEAR; n]; n_detectors];
+                let (shard, retro) =
+                    run_shard_with_replays(crew, &payload, Some(&live), plan.loads);
+                match shard {
+                    ShardColumns::Pairs(per_detector) => {
+                        for (det, pairs) in per_detector.into_iter().enumerate() {
+                            for (i, v) in pairs {
+                                columns[det][i] = v;
+                            }
+                        }
+                    }
+                    ShardColumns::Whole(whole) => columns = whole,
+                }
+                (columns, retro)
+            }
         };
         let evict = EvictionStats::merge_all(crew.iter().map(|det| det.eviction_stats()));
         self.stats.detect_busy += started.elapsed();
         self.stats.max_live_clients = self.stats.max_live_clients.max(evict.live_clients);
         self.worker_evict[0] = evict;
-        self.submitted += payload.len() as u64;
+        self.submitted += n as u64;
         // Inline chunks share the pool's sequence numbering so rule
         // installs queued by `set_adjudication` gate identically.
         let seq = self.next_seq;
@@ -1094,6 +1398,7 @@ impl Pipeline {
                 payload,
                 awaiting: 0,
                 columns,
+                retro,
             },
         );
     }
@@ -1139,6 +1444,7 @@ impl Pipeline {
             .inflight
             .get_mut(&result.seq)
             .expect("result for unknown chunk");
+        pending.retro.extend(result.retro);
         match result.columns {
             ShardColumns::Whole(columns) => {
                 debug_assert_eq!(pending.awaiting, 1, "whole-chunk result shares a chunk");
@@ -1188,10 +1494,37 @@ impl Pipeline {
         // never mid-chunk.
         self.install_due_rules(seq);
         let PendingChunk {
-            payload, columns, ..
+            payload,
+            mut columns,
+            retro,
+            ..
         } = pending;
         let n = payload.len();
         let n_detectors = self.names.len();
+
+        // Replayed-history verdicts. An entry replayed from **this**
+        // chunk (suppressed earlier in the same chunk as its client's
+        // escalation) gets its verdict row patched in before
+        // adjudication — it then flows through sinks and accumulation
+        // exactly like a live entry. Entries from already-finalized
+        // chunks are re-adjudicated below, before this chunk's sinks
+        // fire, so late alerts come out in feed order.
+        let base = self.finalized;
+        let mut early: Vec<RetroVerdict> = Vec::new();
+        for rv in retro {
+            if rv.index >= base {
+                let pos = (rv.index - base) as usize;
+                for (col, v) in columns.iter_mut().zip(&rv.verdicts) {
+                    col[pos] = *v;
+                }
+            } else {
+                early.push(rv);
+            }
+        }
+        if !early.is_empty() {
+            early.sort_by_key(|rv| rv.index);
+            self.apply_retro_verdicts(early);
+        }
 
         // Online adjudication, reusing the ensemble rules verbatim.
         let adjudicate_started = Instant::now();
@@ -1300,6 +1633,76 @@ impl Pipeline {
                 }
             }
         }
+    }
+
+    /// Delivers replayed-history verdicts for entries finalized in
+    /// **earlier** chunks (their client escalated later): patches the
+    /// accumulated report vectors in place and, when an entry's combined
+    /// verdict flips under the rule that was in effect at its stream
+    /// position, counts the alert and fires it late to every sink.
+    ///
+    /// Entries suppressed at finalization time carried all-CLEAR member
+    /// votes, so a flip here is always CLEAR→alert; entry-record sinks
+    /// ([`AlertSink::wants_entries`]) that already consumed the
+    /// suppressed record only see the late alert, not a rewritten
+    /// record — the one documented divergence of the replay path.
+    fn apply_retro_verdicts(&mut self, early: Vec<RetroVerdict>) {
+        for rv in early {
+            let votes: Vec<bool> = rv.verdicts.iter().map(|v| v.alert).collect();
+            let combined = self.adjudicate_at(rv.index, &votes);
+            let mut was = false;
+            if rv.index >= self.acc_base {
+                let pos = (rv.index - self.acc_base) as usize;
+                was = self.acc_combined[pos];
+                self.acc_combined[pos] = combined;
+                for (acc, vote) in self.acc_members.iter_mut().zip(&votes) {
+                    acc[pos] = *vote;
+                }
+            }
+            if combined && !was {
+                self.stats.alerts += 1;
+                if !self.sinks.is_empty() {
+                    let sink_started = Instant::now();
+                    let entry = LogEntry::parse(&rv.line)
+                        .expect("replay lines were parsed before buffering");
+                    let scores: Vec<f32> = rv.verdicts.iter().map(|v| v.confidence()).collect();
+                    let alert = Alert {
+                        index: rv.index,
+                        tenant: self.tenant.as_ref(),
+                        entry: &entry,
+                        votes: &votes,
+                        scores: &scores,
+                    };
+                    for sink in &mut self.sinks {
+                        sink.on_alert(&alert);
+                    }
+                    self.stats.sink_busy += sink_started.elapsed();
+                }
+            }
+        }
+    }
+
+    /// Combines one entry's member votes under the rule that was in
+    /// effect at its feed position: the last recorded install at or
+    /// before the index, or the stream-start rule before any install.
+    fn adjudicate_at(&self, index: u64, votes: &[bool]) -> bool {
+        let vectors: Vec<AlertVector> = self
+            .names
+            .iter()
+            .zip(votes)
+            .map(|(name, vote)| AlertVector::from_bools(name, &[*vote]))
+            .collect();
+        let refs: Vec<&AlertVector> = vectors.iter().collect();
+        let combined = match self.schedule.iter().rev().find(|u| u.at_entry <= index) {
+            Some(update) => WeightedVote::new(update.weights.clone(), update.threshold)
+                .expect("recorded updates hold validated parameters")
+                .apply(&refs),
+            None => match &self.initial_rule {
+                Rule::KOutOfN(rule) => rule.apply(&refs),
+                Rule::Weighted(rule) => rule.apply(&refs),
+            },
+        };
+        combined.to_bools()[0]
     }
 
     /// Installs every queued rule change gating at or before `seq`.

@@ -33,6 +33,15 @@
 //!   per-client state tables with TTL and LRU-capacity policies
 //!   ([`EvictionConfig`], from `divscrape-detect`); off by default and
 //!   then bit-identical to the unbounded tables.
+//! * With [`triage`](PipelineBuilder::triage), a near-free first-pass
+//!   filter ([`FastTriage`], from `divscrape-detect`) classifies each
+//!   entry's client *before* sharding: benign-so-far clients' entries are
+//!   buffered and skipped by the detectors, and the moment a client
+//!   escalates its buffered history is replayed through the full
+//!   detector set in feed order — so the verdict stream stays
+//!   bit-identical to a triage-off run whenever no replay buffer
+//!   spilled, while benign-heavy feeds pay the detectors only for the
+//!   suspicious residue.
 //! * The adjudication stage can **recalibrate itself online**:
 //!   [`recalibration`](PipelineBuilder::recalibration) attaches a
 //!   [`Recalibrator`] that observes every member's verdicts against its
@@ -132,6 +141,7 @@ mod sink;
 mod spsc;
 mod stats;
 mod store_sink;
+mod triage;
 
 pub use builder::{Adjudication, BuildError, LabelOracle, PipelineBuilder};
 pub use engine::{AppliedRuleUpdate, Pipeline, PipelineReport};
@@ -147,9 +157,11 @@ pub use sink::{
 pub use stats::{PipelineStats, RuntimeUpdates};
 pub use store_sink::{RecordPolicy, StoreSink};
 
-// Re-exported so pipeline deployments can configure state eviction and
-// tenancy without depending on `divscrape-detect` directly.
-pub use divscrape_detect::{EvictionConfig, EvictionStats, TenantId};
+// Re-exported so pipeline deployments can configure state eviction,
+// tenancy and triage without depending on `divscrape-detect` directly.
+pub use divscrape_detect::{
+    EvictionConfig, EvictionStats, FastTriage, TenantId, TriageFilter, TriagePolicy,
+};
 // Re-exported so deployments can configure online recalibration and
 // post-process [`PipelineReport`]s without depending on
 // `divscrape-ensemble` directly.

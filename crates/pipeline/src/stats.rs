@@ -130,4 +130,20 @@ pub struct PipelineStats {
     /// Spooled alerts that were later delivered (summed over sinks) — a
     /// rising number while a backlog drains after reconnect.
     pub replayed_alerts: u64,
+    /// Clients escalated by the triage filter (zero while triage is
+    /// off — see [`PipelineBuilder::triage`](crate::PipelineBuilder::triage)).
+    pub triage_escalations: u64,
+    /// Entries the triage stage suppressed at admission (buffered and
+    /// skipped by the detectors). Each is later replayed, spilled, or
+    /// still buffered.
+    pub triage_suppressed_entries: u64,
+    /// Suppressed entries replayed through the full detector set after
+    /// their client escalated.
+    pub triage_replayed_entries: u64,
+    /// Suppressed entries dropped oldest-first under the replay-buffer
+    /// byte cap; a spilled entry is never replayed, so non-zero spills
+    /// void the bit-identity guarantee (recall stays bounded: an
+    /// escalated client is still scored from its surviving history
+    /// onward).
+    pub triage_spilled_entries: u64,
 }

@@ -87,6 +87,10 @@ struct Departed {
     alerts: u64,
     parse_errors: u64,
     updates: RuntimeUpdates,
+    triage_escalations: u64,
+    triage_suppressed: u64,
+    triage_replayed: u64,
+    triage_spilled: u64,
 }
 
 struct TenantRuntime {
@@ -563,6 +567,10 @@ impl ServicePlane {
                 parting.parse_errors += fin.parse_errors;
                 parting.updates.eviction += fin.stats.runtime_updates.eviction;
                 parting.updates.adjudication += fin.stats.runtime_updates.adjudication;
+                parting.triage_escalations += fin.stats.triage_escalations;
+                parting.triage_suppressed += fin.stats.triage_suppressed_entries;
+                parting.triage_replayed += fin.stats.triage_replayed_entries;
+                parting.triage_spilled += fin.stats.triage_spilled_entries;
                 reports.push(fin.report);
             }
         }
@@ -573,6 +581,10 @@ impl ServicePlane {
             departed.parse_errors += parting.parse_errors;
             departed.updates.eviction += parting.updates.eviction;
             departed.updates.adjudication += parting.updates.adjudication;
+            departed.triage_escalations += parting.triage_escalations;
+            departed.triage_suppressed += parting.triage_suppressed;
+            departed.triage_replayed += parting.triage_replayed;
+            departed.triage_spilled += parting.triage_spilled;
         }
         self.rebalance_eviction();
         Some(reports)
@@ -826,6 +838,12 @@ impl ServicePlane {
             },
             parse_errors: departed.parse_errors
                 + tenants.iter().map(|t| t.parse_errors).sum::<u64>(),
+            triage_escalations: departed.triage_escalations + live(&|s| s.triage_escalations),
+            triage_suppressed_entries: departed.triage_suppressed
+                + live(&|s| s.triage_suppressed_entries),
+            triage_replayed_entries: departed.triage_replayed
+                + live(&|s| s.triage_replayed_entries),
+            triage_spilled_entries: departed.triage_spilled + live(&|s| s.triage_spilled_entries),
             routed_lines: self.shared.routing.routed.load(Ordering::Relaxed),
             dropped_lines: self.shared.routing.dropped.load(Ordering::Relaxed),
             unrouted_lines: self.shared.routing.unrouted.load(Ordering::Relaxed),
@@ -976,6 +994,20 @@ impl TenantShardStats {
     pub fn live_clients(&self) -> usize {
         self.shards.iter().map(|s| s.live_clients_aggregate).sum()
     }
+
+    /// Triage counters summed across this tenant's shards, as
+    /// `(escalations, suppressed, replayed, spilled)` — all zero for a
+    /// tenant whose pipelines run without a triage stage.
+    pub fn triage_counters(&self) -> (u64, u64, u64, u64) {
+        self.shards.iter().fold((0, 0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.triage_escalations,
+                acc.1 + s.triage_suppressed_entries,
+                acc.2 + s.triage_replayed_entries,
+                acc.3 + s.triage_spilled_entries,
+            )
+        })
+    }
 }
 
 /// A point-in-time snapshot of a [`ServicePlane`]. The `entries_processed`,
@@ -1003,6 +1035,18 @@ pub struct ServiceStats {
     pub runtime_updates: RuntimeUpdates,
     /// Lines rejected by CLF parsing, departed tenants included.
     pub parse_errors: u64,
+    /// Clients escalated by triage filters across the plane, departed
+    /// tenants included — monotonic (zero when no tenant runs triage).
+    pub triage_escalations: u64,
+    /// Entries suppressed by triage stages across the plane, departed
+    /// tenants included — monotonic.
+    pub triage_suppressed_entries: u64,
+    /// Suppressed entries replayed through the detectors across the
+    /// plane, departed tenants included — monotonic.
+    pub triage_replayed_entries: u64,
+    /// Suppressed entries spilled under replay-buffer caps across the
+    /// plane, departed tenants included — monotonic.
+    pub triage_spilled_entries: u64,
     /// Lines accepted onto a shard queue.
     pub routed_lines: u64,
     /// Lines dropped by the lossy path because the owning shard's queue
@@ -1059,6 +1103,14 @@ impl ServiceStats {
         push_field(&mut out, "eviction", self.runtime_updates.eviction);
         out.push(',');
         push_field(&mut out, "adjudication", self.runtime_updates.adjudication);
+        out.push_str("},\"triage\":{");
+        push_field(&mut out, "escalations", self.triage_escalations);
+        out.push(',');
+        push_field(&mut out, "suppressed", self.triage_suppressed_entries);
+        out.push(',');
+        push_field(&mut out, "replayed", self.triage_replayed_entries);
+        out.push(',');
+        push_field(&mut out, "spilled", self.triage_spilled_entries);
         out.push_str("},\"tenants\":[");
         for (i, tenant) in self.tenants.iter().enumerate() {
             if i > 0 {
@@ -1076,7 +1128,16 @@ impl ServiceStats {
             push_field(&mut out, "live_clients", tenant.live_clients() as u64);
             out.push(',');
             push_field(&mut out, "parse_errors", tenant.parse_errors);
-            out.push_str(",\"frozen\":");
+            let (escalations, suppressed, replayed, spilled) = tenant.triage_counters();
+            out.push_str(",\"triage\":{");
+            push_field(&mut out, "escalations", escalations);
+            out.push(',');
+            push_field(&mut out, "suppressed", suppressed);
+            out.push(',');
+            push_field(&mut out, "replayed", replayed);
+            out.push(',');
+            push_field(&mut out, "spilled", spilled);
+            out.push_str("},\"frozen\":");
             out.push_str(if tenant.frozen { "true" } else { "false" });
             out.push('}');
         }

@@ -5,7 +5,7 @@
 //! counters into the departed totals).
 
 use divscrape_detect::{Sentinel, TenantId};
-use divscrape_pipeline::{Adjudication, PipelineBuilder};
+use divscrape_pipeline::{Adjudication, PipelineBuilder, TriagePolicy};
 use divscrape_service::{IngestOutcome, ServicePlane, ServiceStats};
 use divscrape_traffic::{generate, ScenarioConfig};
 
@@ -14,6 +14,7 @@ fn factory(_: &TenantId, _: usize) -> PipelineBuilder {
         .detector(Sentinel::stock())
         .adjudication(Adjudication::k_of_n(1))
         .workers(2)
+        .triage(TriagePolicy::fast())
 }
 
 fn assert_monotonic(earlier: &ServiceStats, later: &ServiceStats, step: &str) {
@@ -40,6 +41,26 @@ fn assert_monotonic(earlier: &ServiceStats, later: &ServiceStats, step: &str) {
     assert!(
         later.routed_lines >= earlier.routed_lines,
         "{step}: routed_lines regressed"
+    );
+    assert!(
+        later.triage_escalations >= earlier.triage_escalations,
+        "{step}: triage_escalations regressed {} -> {}",
+        earlier.triage_escalations,
+        later.triage_escalations
+    );
+    assert!(
+        later.triage_suppressed_entries >= earlier.triage_suppressed_entries,
+        "{step}: triage_suppressed_entries regressed {} -> {}",
+        earlier.triage_suppressed_entries,
+        later.triage_suppressed_entries
+    );
+    assert!(
+        later.triage_replayed_entries >= earlier.triage_replayed_entries,
+        "{step}: triage_replayed_entries regressed"
+    );
+    assert!(
+        later.triage_spilled_entries >= earlier.triage_spilled_entries,
+        "{step}: triage_spilled_entries regressed"
     );
 }
 
@@ -76,6 +97,27 @@ fn aggregates_stay_monotonic_across_shard_merge_and_tenant_departure() {
     let summed_alerts: u64 = s1.tenants.iter().map(|t| t.alerts()).sum();
     assert_eq!(s1.entries_processed, summed_entries, "shard merge drifted");
     assert_eq!(s1.alerts, summed_alerts, "shard merge drifted");
+    let summed_triage = s1
+        .tenants
+        .iter()
+        .map(|t| t.triage_counters())
+        .fold((0u64, 0u64, 0u64, 0u64), |acc, t| {
+            (acc.0 + t.0, acc.1 + t.1, acc.2 + t.2, acc.3 + t.3)
+        });
+    assert_eq!(
+        (
+            s1.triage_escalations,
+            s1.triage_suppressed_entries,
+            s1.triage_replayed_entries,
+            s1.triage_spilled_entries
+        ),
+        summed_triage,
+        "triage shard merge drifted"
+    );
+    assert!(
+        s1.triage_suppressed_entries > 0,
+        "triage-enabled tenants must suppress benign traffic for the churn checks to bite"
+    );
     assert_eq!(
         s1.entries_processed,
         (eu_log.len() + us_log.len() / 2) as u64
@@ -107,6 +149,11 @@ fn aggregates_stay_monotonic_across_shard_merge_and_tenant_departure() {
         "departed entries vanished from the aggregate"
     );
     assert_eq!(s2.alerts, s1.alerts, "departed alerts vanished");
+    assert_eq!(
+        s2.triage_suppressed_entries, s1.triage_suppressed_entries,
+        "departed triage counters vanished from the aggregate"
+    );
+    assert_eq!(s2.triage_escalations, s1.triage_escalations);
     assert!(s2.entries_processed >= eu_final.0);
     assert!(s2.alerts >= eu_final.1);
 
@@ -128,8 +175,16 @@ fn aggregates_stay_monotonic_across_shard_merge_and_tenant_departure() {
     assert_eq!(s4.alerts, s3.alerts);
     assert_eq!(s4.parse_errors, 1);
 
-    // The JSON rendering reflects the same (monotonic) aggregates.
+    // The JSON rendering reflects the same (monotonic) aggregates,
+    // triage included.
     let json = s4.to_json();
     assert!(json.contains(&format!("\"entries_processed\":{}", s4.entries_processed)));
     assert!(json.contains("\"tenants\":[]"));
+    assert!(json.contains(&format!(
+        "\"triage\":{{\"escalations\":{},\"suppressed\":{},\"replayed\":{},\"spilled\":{}}}",
+        s4.triage_escalations,
+        s4.triage_suppressed_entries,
+        s4.triage_replayed_entries,
+        s4.triage_spilled_entries
+    )));
 }

@@ -84,6 +84,33 @@ impl PopulationMix {
         }
     }
 
+    /// A benign-dominated mix with exactly `suspicious` of the traffic
+    /// malicious — the operating regime hierarchical triage is built
+    /// for, where almost every entry can be dismissed by a cheap
+    /// first-pass filter and only the residue pays full detector cost.
+    ///
+    /// The benign share `1 - suspicious` is almost entirely human
+    /// (98.5%), with a sliver of crawlers, monitors and partners; the
+    /// suspicious share keeps the default campaign proportions (toolkit-
+    /// and spoofed-heavy, with residential, stealth and scanner tails).
+    /// `suspicious` must be in `[0, 1]`; typical triage operating points
+    /// are `0.01`, `0.10` and `0.50`.
+    pub fn benign_heavy(suspicious: f64) -> Self {
+        let s = suspicious.clamp(0.0, 1.0);
+        let benign = 1.0 - s;
+        Self {
+            human: benign * 0.985,
+            crawler: benign * 0.009,
+            monitor: benign * 0.003,
+            partner: benign * 0.003,
+            botnet_toolkit: s * 0.35,
+            botnet_spoofed: s * 0.30,
+            botnet_residential: s * 0.15,
+            stealth: s * 0.12,
+            scanner: s * 0.08,
+        }
+    }
+
     /// Sum of all fractions (should be ≈ 1).
     pub fn total(&self) -> f64 {
         self.human
@@ -215,6 +242,16 @@ impl ScenarioConfig {
         Self::with_target(seed, 1_200)
     }
 
+    /// A benign-heavy triage scenario: `target_requests` requests with
+    /// [`PopulationMix::benign_heavy`]`(suspicious)` — the sweep axis of
+    /// the triage benchmarks (1%/10%/50% suspicious share).
+    pub fn benign_heavy(seed: u64, target_requests: u64, suspicious: f64) -> Self {
+        Self {
+            mix: PopulationMix::benign_heavy(suspicious),
+            ..Self::with_target(seed, target_requests)
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -280,6 +317,24 @@ mod tests {
         small.validate().unwrap();
         ScenarioConfig::medium(1).validate().unwrap();
         ScenarioConfig::tiny(1).validate().unwrap();
+    }
+
+    #[test]
+    fn benign_heavy_mix_hits_the_requested_suspicious_share() {
+        for s in [0.0, 0.01, 0.10, 0.50, 1.0] {
+            let mix = PopulationMix::benign_heavy(s);
+            mix.validate().unwrap();
+            assert!(
+                (mix.malicious_fraction() - s).abs() < 1e-9,
+                "suspicious share {s}: got {}",
+                mix.malicious_fraction()
+            );
+        }
+        // Out-of-range inputs clamp instead of producing a bad mix.
+        PopulationMix::benign_heavy(2.0).validate().unwrap();
+        let cfg = ScenarioConfig::benign_heavy(7, 5_000, 0.01);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.target_requests, 5_000);
     }
 
     #[test]
