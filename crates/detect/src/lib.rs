@@ -114,4 +114,4 @@ pub use sentinel::{ReputationFeed, Sentinel, SentinelConfig, SentinelSignal, Sig
 pub use session::{ClientKey, SessionFeatures, Sessionizer, SessionizerConfig};
 pub use tenant::{TenantClientKey, TenantId};
 pub use trap::TrapDetector;
-pub use triage::{FastTriage, TriageDecision, TriageFilter, TriagePolicy};
+pub use triage::{FastTriage, TriageCalibration, TriageDecision, TriageFilter, TriagePolicy};

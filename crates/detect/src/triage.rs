@@ -120,6 +120,51 @@ const MAX_QUIET_REQUESTS: u64 = 256;
 /// generation) — same figure as the httplog interner's default.
 const UA_CACHE_CAP: usize = 4096;
 
+/// The cover thresholds of the stock [`FastTriage`] rules, exposed for
+/// calibration audits ([`FastTriage::calibration`]).
+///
+/// Each field mirrors one private rule constant. The superset-cover
+/// property — every stock-detector alert implies a triage escalation at
+/// or before the same entry — only holds while each threshold here
+/// covers (is at least as eager as) the corresponding detector config
+/// value; a detector config change that outruns these numbers silently
+/// breaks bit-identity. The repository's `triage_calibration` test
+/// derives the required bounds from [`SentinelConfig`] and
+/// [`ArcaneConfig`] defaults and fails the build-out when a threshold
+/// drifts out of cover.
+///
+/// [`SentinelConfig`]: crate::SentinelConfig
+/// [`ArcaneConfig`]: crate::ArcaneConfig
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriageCalibration {
+    /// Joint request count over two adjacent aligned minutes that
+    /// escalates — must cover Arcane's burst threshold and Sentinel's
+    /// per-minute page-rate threshold.
+    pub burst_pair_threshold: u32,
+    /// Session requests before sustained-pacing can escalate — must
+    /// cover Arcane's `sustained_min_requests`.
+    pub sustained_min_requests: u32,
+    /// Mean inter-request gap (seconds) below which a session paces
+    /// like a machine — must cover Arcane's `sustained_gap_secs` (be at
+    /// least as large: a larger gap escalates more sessions).
+    pub sustained_gap_secs: f64,
+    /// Idle gap that rolls a client into a fresh session — must equal
+    /// the detectors' sessionizer idle timeout exactly, so the pacing
+    /// rule evaluates the same session the detector scores.
+    pub session_idle_secs: i64,
+    /// Lifetime requests before a seen error escalates — must cover
+    /// Arcane's `error_min_requests`.
+    pub error_min_requests: u64,
+    /// Page views without a `.js` fetch that escalate — must cover
+    /// Sentinel's challenge-page threshold.
+    pub pages_without_js: u32,
+    /// `204` responses that escalate — must cover Arcane's beacon
+    /// count threshold.
+    pub no_content_limit: u32,
+    /// Hard ceiling on requests a client may make without escalating.
+    pub max_quiet_requests: u64,
+}
+
 /// Caches the UA-derived identity verdict (non-browser family or a
 /// signature match) per distinct agent string.
 ///
@@ -276,6 +321,22 @@ impl FastTriage {
             reputation,
             clients: ClientStateTable::new(EvictionConfig::DISABLED),
             ua_cache: UaIdentityCache::new(UA_CACHE_CAP),
+        }
+    }
+
+    /// The stock rules' cover thresholds, for calibration audits
+    /// against the deployed detector configs — see
+    /// [`TriageCalibration`].
+    pub fn calibration() -> TriageCalibration {
+        TriageCalibration {
+            burst_pair_threshold: BURST_PAIR_THRESHOLD,
+            sustained_min_requests: SUSTAINED_MIN_REQUESTS,
+            sustained_gap_secs: SUSTAINED_GAP_SECS,
+            session_idle_secs: SESSION_IDLE_SECS,
+            error_min_requests: ERROR_MIN_REQUESTS,
+            pages_without_js: PAGES_WITHOUT_JS,
+            no_content_limit: NO_CONTENT_LIMIT,
+            max_quiet_requests: MAX_QUIET_REQUESTS,
         }
     }
 

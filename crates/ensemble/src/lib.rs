@@ -61,7 +61,10 @@ pub use adjudication::{KOutOfN, WeightedVote};
 pub use alerts::AlertVector;
 pub use contingency::{Contingency, MultiContingency, StatusBreakdown};
 pub use metrics::{AgreementDiversity, ConfusionMatrix, OracleDiversity, RocCurve, RocPoint};
-pub use recalib::{RecalibrationPolicy, Recalibrator, WeightUpdate};
+pub use recalib::{
+    DriftAlarm, RecalibrationPolicy, Recalibrator, ThresholdController, ThresholdPolicy,
+    WeightUpdate,
+};
 pub use rollup::{latency_by_actor, rollup_sessions, LatencySummary, SessionOutcome};
 pub use timeseries::{DailySeries, DayStats};
 pub use topology::{run_parallel, run_serial, SerialMode, TopologyOutcome};

@@ -32,6 +32,24 @@
 //! sequence of [`WeightUpdate`]s is bit-identical to the live
 //! recalibrating run.
 //!
+//! Two companions close the rest of the adaptation loop:
+//!
+//! * [`ThresholdController`] learns the weighted rule's **alarm
+//!   threshold** from a target alert rate — the operator's
+//!   false-positive budget expressed as the fraction of traffic that
+//!   should alarm. An EWMA of the observed adjudicated alert rate,
+//!   compared against the target, drives clamped step updates; the
+//!   pipeline installs them only at chunk boundaries through its
+//!   recorded rule schedule, so the replay guarantee extends to learned
+//!   thresholds.
+//! * [`DriftAlarm`]s make qualitative population change *visible*: each
+//!   member's support runs a second, slower companion EWMA, and when
+//!   the fast estimate races away from the slow one further than the
+//!   policy's [`drift_threshold`](RecalibrationPolicy::drift_threshold),
+//!   the recalibrator raises a first-class alarm instead of only
+//!   silently re-weighting. Alarms never touch weights or thresholds,
+//!   so observability costs nothing in replay fidelity.
+//!
 //! ```
 //! use divscrape_ensemble::{RecalibrationPolicy, Recalibrator, WeightedVote};
 //!
@@ -52,6 +70,12 @@
 //! ```
 
 use crate::adjudication::{KOutOfN, WeightedVote};
+
+/// The slow companion EWMA's window is this multiple of the policy
+/// window: wide enough that a genuine population shift opens a gap the
+/// fast estimate crosses, narrow enough that the slow estimate still
+/// re-converges and re-arms the alarm within a few windows.
+const DRIFT_SLOW_FACTOR: f64 = 4.0;
 
 /// Configuration of one [`Recalibrator`]: how fast it learns, how often it
 /// re-derives weights, and how far it may move them.
@@ -84,6 +108,11 @@ pub struct RecalibrationPolicy {
     /// weights hold still. Operators freeze during incidents or A/B
     /// holdouts and thaw without losing the accumulated evidence.
     frozen: bool,
+    /// Drift-alarm gap: when a member's fast support EWMA moves further
+    /// than this from its slow (`window × 4`) companion, a
+    /// [`DriftAlarm`] is raised (edge-triggered, with hysteresis).
+    /// `f64::INFINITY` disables drift alarms.
+    drift_threshold: f64,
 }
 
 impl Default for RecalibrationPolicy {
@@ -94,6 +123,7 @@ impl Default for RecalibrationPolicy {
             floor: 0.05,
             cap: 4.0,
             frozen: false,
+            drift_threshold: 0.25,
         }
     }
 }
@@ -137,6 +167,14 @@ impl RecalibrationPolicy {
         self
     }
 
+    /// Sets the drift-alarm gap (default 0.25): the absolute difference
+    /// between a member's fast and slow support EWMAs that raises a
+    /// [`DriftAlarm`]. Pass [`f64::INFINITY`] to disable drift alarms.
+    pub fn drift_threshold(mut self, gap: f64) -> Self {
+        self.drift_threshold = gap;
+        self
+    }
+
     /// Whether the policy is frozen.
     pub fn is_frozen(&self) -> bool {
         self.frozen
@@ -155,6 +193,11 @@ impl RecalibrationPolicy {
     /// The configured weight clamps, `(floor, cap)`.
     pub fn clamps(&self) -> (f64, f64) {
         (self.floor, self.cap)
+    }
+
+    /// The configured drift-alarm gap (`f64::INFINITY` when disabled).
+    pub fn drift_gap(&self) -> f64 {
+        self.drift_threshold
     }
 
     /// Validates the policy.
@@ -190,6 +233,12 @@ impl RecalibrationPolicy {
                 self.floor, self.cap
             ));
         }
+        if self.drift_threshold.is_nan() || self.drift_threshold <= 0.0 {
+            return Err(format!(
+                "drift threshold must be positive (or infinite to disable), got {}",
+                self.drift_threshold
+            ));
+        }
         Ok(())
     }
 }
@@ -218,6 +267,32 @@ impl WeightUpdate {
     }
 }
 
+/// A first-class drift event: one member's fast support EWMA moved
+/// further from its slow (`window × 4`) companion than the policy's
+/// [`drift_threshold`](RecalibrationPolicy::drift_threshold) — the
+/// population this member alerts on changed *qualitatively*, faster
+/// than the policy window tracks, and an operator should rethink the
+/// detector mix rather than trust silent re-weighting to absorb it.
+///
+/// Alarms are observability only: they never touch weights or
+/// thresholds, so raising them cannot perturb the recorded-schedule
+/// replay guarantee. Drain them with
+/// [`Recalibrator::take_drift_alarms`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftAlarm {
+    /// The drifting member, in composition order.
+    pub member: usize,
+    /// The recalibrator's observation count when the alarm fired
+    /// (1-based: the value of [`Recalibrator::entries_observed`] at the
+    /// firing observation — in a pipeline, the feed-order position
+    /// right after the firing entry).
+    pub at_entry: u64,
+    /// The fast (policy-window) support estimate at firing time.
+    pub fast: f64,
+    /// The slow (`window × 4`) support estimate at firing time.
+    pub slow: f64,
+}
+
 /// Online estimator of per-member adjudication weights: EWMA
 /// peer-support precision proxies per member (confidence-weighted, with
 /// an optional labeled-feedback path), periodically re-derived into
@@ -236,6 +311,19 @@ pub struct Recalibrator {
     threshold: f64,
     /// EWMA support estimate per member, `NaN` until first evidence.
     support: Vec<f64>,
+    /// Slow companion EWMA per member (`window × 4`), `NaN` until first
+    /// evidence — the reference the drift check measures the fast
+    /// estimate against.
+    drift_slow: Vec<f64>,
+    /// Evidence samples absorbed per member — the drift warmup clock.
+    drift_seen: Vec<u64>,
+    /// Drift hysteresis per member: `true` while the next
+    /// threshold-crossing gap may fire an alarm.
+    drift_armed: Vec<bool>,
+    /// Alarms raised and not yet drained by
+    /// [`take_drift_alarms`](Self::take_drift_alarms).
+    pending_drift: Vec<DriftAlarm>,
+    drift_alarm_count: u64,
     entries_observed: u64,
     since_update: u64,
     updates: u64,
@@ -249,8 +337,14 @@ impl Recalibrator {
     /// Rejects an invalid policy (see [`RecalibrationPolicy::validate`]).
     pub fn from_weighted(rule: &WeightedVote, policy: RecalibrationPolicy) -> Result<Self, String> {
         policy.validate()?;
+        let n = rule.weights().len();
         Ok(Self {
-            support: vec![f64::NAN; rule.weights().len()],
+            support: vec![f64::NAN; n],
+            drift_slow: vec![f64::NAN; n],
+            drift_seen: vec![0; n],
+            drift_armed: vec![true; n],
+            pending_drift: Vec::new(),
+            drift_alarm_count: 0,
             weights: rule.weights().to_vec(),
             threshold: rule.threshold(),
             policy,
@@ -318,6 +412,18 @@ impl Recalibrator {
             .iter()
             .map(|s| if s.is_nan() { None } else { Some(*s) })
             .collect()
+    }
+
+    /// Lifetime count of drift alarms raised, including already-drained
+    /// ones.
+    pub fn drift_alarm_count(&self) -> u64 {
+        self.drift_alarm_count
+    }
+
+    /// Drains the drift alarms raised since the last call (or since
+    /// construction), in firing order. See [`DriftAlarm`].
+    pub fn take_drift_alarms(&mut self) -> Vec<DriftAlarm> {
+        std::mem::take(&mut self.pending_drift)
     }
 
     /// Adopts an externally installed rule (a manual
@@ -389,17 +495,12 @@ impl Recalibrator {
             .map(|c| if c.is_nan() { 0.0 } else { c.clamp(0.0, 1.0) })
             .collect();
         let total: f64 = clamped.iter().sum();
-        let alpha = 2.0 / (self.policy.window as f64 + 1.0);
-        for (d, (support, alerted)) in self.support.iter_mut().zip(member_alerts).enumerate() {
+        for (d, alerted) in member_alerts.iter().enumerate() {
             if !alerted {
                 continue;
             }
             let evidence = (total - clamped[d]) / (n - 1) as f64;
-            if support.is_nan() {
-                *support = evidence;
-            } else {
-                *support += alpha * (evidence - *support);
-            }
+            self.absorb_member(d, evidence);
         }
     }
 
@@ -489,17 +590,371 @@ impl Recalibrator {
 
     /// Folds `evidence` into every alerting member's EWMA.
     fn absorb(&mut self, member_alerts: &[bool], evidence: f64) {
-        let alpha = 2.0 / (self.policy.window as f64 + 1.0);
-        for (support, alerted) in self.support.iter_mut().zip(member_alerts) {
-            if !alerted {
-                continue;
-            }
-            if support.is_nan() {
-                *support = evidence;
-            } else {
-                *support += alpha * (evidence - *support);
+        for (d, alerted) in member_alerts.iter().enumerate() {
+            if *alerted {
+                self.absorb_member(d, evidence);
             }
         }
+    }
+
+    /// Folds one evidence sample into member `d`'s fast and slow
+    /// support EWMAs, then runs the drift check. The smoothing factor
+    /// is clamped to `1`: an unclamped degenerate zero-entry window
+    /// would give `alpha = 2 / (0 + 1) = 2`, making every sample
+    /// *diverge* the estimate outside the evidence range instead of
+    /// averaging within it (validated policies reject a zero window,
+    /// but the arithmetic must be safe regardless — labeled feedback
+    /// feeds raw `0.0`/`1.0` evidence straight through here).
+    fn absorb_member(&mut self, d: usize, evidence: f64) {
+        let alpha = (2.0 / (self.policy.window as f64 + 1.0)).min(1.0);
+        let support = &mut self.support[d];
+        if support.is_nan() {
+            *support = evidence;
+        } else {
+            *support += alpha * (evidence - *support);
+        }
+        let slow_alpha = (2.0 / (self.policy.window as f64 * DRIFT_SLOW_FACTOR + 1.0)).min(1.0);
+        let slow = &mut self.drift_slow[d];
+        if slow.is_nan() {
+            *slow = evidence;
+        } else {
+            *slow += slow_alpha * (evidence - *slow);
+        }
+        self.drift_seen[d] = self.drift_seen[d].saturating_add(1);
+        self.check_drift(d);
+    }
+
+    /// Edge-triggered drift check for member `d`: fires when the fast
+    /// support estimate has moved further than the policy's
+    /// `drift_threshold` from the slow companion (the population this
+    /// member alerts on changed faster than the policy window tracks),
+    /// then disarms until the gap closes below half the threshold.
+    ///
+    /// Warmup: no alarm until the member has absorbed enough evidence
+    /// for *both* EWMAs to have converged (`window × 4` samples), so a
+    /// cold start on stationary traffic — where the fast estimate
+    /// reaches the mean long before the slow one does — can never fire.
+    fn check_drift(&mut self, d: usize) {
+        let threshold = self.policy.drift_threshold;
+        if !threshold.is_finite() {
+            return;
+        }
+        let warmup = (self.policy.window as f64 * DRIFT_SLOW_FACTOR) as u64;
+        if self.drift_seen[d] < warmup {
+            return;
+        }
+        let (fast, slow) = (self.support[d], self.drift_slow[d]);
+        let gap = (fast - slow).abs();
+        if self.drift_armed[d] {
+            if gap > threshold {
+                self.drift_armed[d] = false;
+                self.drift_alarm_count += 1;
+                self.pending_drift.push(DriftAlarm {
+                    member: d,
+                    at_entry: self.entries_observed,
+                    fast,
+                    slow,
+                });
+            }
+        } else if gap < threshold / 2.0 {
+            self.drift_armed[d] = true;
+        }
+    }
+}
+
+/// Configuration of one [`ThresholdController`]: the target alert rate
+/// (the operator's false-positive budget, expressed as the fraction of
+/// traffic that *should* alarm), how fast the observed rate is
+/// estimated, and how far, how often and within what bounds the
+/// threshold may move.
+///
+/// ```
+/// use divscrape_ensemble::ThresholdPolicy;
+///
+/// let policy = ThresholdPolicy::new(0.4) // aim for ~40% of entries alerting
+///     .window(512)                       // alert-rate EWMA window, in entries
+///     .update_every(1024)                // propose at most every 1024 entries
+///     .max_step(0.25)                    // clamp every move
+///     .bounds(0.5, 3.0)                  // never leave this threshold range
+///     .dead_band(0.1);                   // ignore ±10% error around the target
+/// assert!(policy.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdPolicy {
+    /// The alert rate to steer toward, in `(0, 1)`.
+    target_rate: f64,
+    /// Effective EWMA window of the observed-rate estimate, in entries.
+    window: usize,
+    /// Entries between proposals ([`ThresholdController::due`] turns
+    /// true every `update_every` observed entries, once warmed up).
+    update_every: u64,
+    /// Largest threshold move per proposal.
+    max_step: f64,
+    /// Lower bound on the proposed threshold.
+    min_threshold: f64,
+    /// Upper bound on the proposed threshold.
+    max_threshold: f64,
+    /// Relative error around the target inside which no move is
+    /// proposed (`0.1` = hold still within ±10% of the target rate).
+    dead_band: f64,
+}
+
+impl ThresholdPolicy {
+    /// A policy steering toward `target_rate` (the fraction of entries
+    /// expected to alarm, in `(0, 1)`), with the defaults: window 1024
+    /// entries, propose every 2048 entries, steps clamped to 0.25, the
+    /// threshold bounded to `[0.25, 8.0]`, ±10% dead band.
+    pub fn new(target_rate: f64) -> Self {
+        Self {
+            target_rate,
+            window: 1024,
+            update_every: 2048,
+            max_step: 0.25,
+            min_threshold: 0.25,
+            max_threshold: 8.0,
+            dead_band: 0.1,
+        }
+    }
+
+    /// Sets the observed-rate EWMA window, in entries (default 1024).
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the proposal cadence, in observed entries (default 2048).
+    pub fn update_every(mut self, entries: u64) -> Self {
+        self.update_every = entries;
+        self
+    }
+
+    /// Sets the largest threshold move per proposal (default 0.25).
+    pub fn max_step(mut self, step: f64) -> Self {
+        self.max_step = step;
+        self
+    }
+
+    /// Sets the threshold bounds (default `[0.25, 8.0]`): no proposal
+    /// ever leaves `[min, max]`, whatever the observed rate does.
+    pub fn bounds(mut self, min: f64, max: f64) -> Self {
+        self.min_threshold = min;
+        self.max_threshold = max;
+        self
+    }
+
+    /// Sets the relative dead band around the target rate (default
+    /// 0.1): no move is proposed while `|observed/target − 1|` is
+    /// within it, so a converged controller stops churning the rule.
+    pub fn dead_band(mut self, band: f64) -> Self {
+        self.dead_band = band;
+        self
+    }
+
+    /// The configured target alert rate.
+    pub fn target_rate(&self) -> f64 {
+        self.target_rate
+    }
+
+    /// The configured EWMA window, in entries.
+    pub fn window_len(&self) -> usize {
+        self.window
+    }
+
+    /// The configured proposal cadence, in entries.
+    pub fn cadence(&self) -> u64 {
+        self.update_every
+    }
+
+    /// The configured per-proposal step clamp.
+    pub fn step(&self) -> f64 {
+        self.max_step
+    }
+
+    /// The configured threshold bounds, `(min, max)`.
+    pub fn threshold_bounds(&self) -> (f64, f64) {
+        (self.min_threshold, self.max_threshold)
+    }
+
+    /// The configured relative dead band.
+    pub fn dead_band_width(&self) -> f64 {
+        self.dead_band
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a target rate outside `(0, 1)`, a zero window or
+    /// cadence, a non-positive or non-finite step, bounds that are
+    /// non-finite, non-positive or inverted, and a negative or
+    /// non-finite dead band.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.target_rate.is_finite() || self.target_rate <= 0.0 || self.target_rate >= 1.0 {
+            return Err(format!(
+                "target alert rate must be in (0, 1), got {}",
+                self.target_rate
+            ));
+        }
+        if self.window == 0 {
+            return Err("alert-rate window must be at least 1 entry".into());
+        }
+        if self.update_every == 0 {
+            return Err("proposal cadence must be at least 1 entry".into());
+        }
+        if !self.max_step.is_finite() || self.max_step <= 0.0 {
+            return Err(format!(
+                "threshold step must be finite and positive, got {}",
+                self.max_step
+            ));
+        }
+        if !self.min_threshold.is_finite() || self.min_threshold <= 0.0 {
+            return Err(format!(
+                "threshold lower bound must be finite and positive, got {}",
+                self.min_threshold
+            ));
+        }
+        if !self.max_threshold.is_finite() || self.max_threshold < self.min_threshold {
+            return Err(format!(
+                "threshold upper bound must be finite and >= the lower bound, got {} (min {})",
+                self.max_threshold, self.min_threshold
+            ));
+        }
+        if !self.dead_band.is_finite() || self.dead_band < 0.0 {
+            return Err(format!(
+                "dead band must be finite and >= 0, got {}",
+                self.dead_band
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Online controller for the weighted rule's **alarm threshold** — the
+/// other half of the adaptation loop next to the [`Recalibrator`]'s
+/// weights. It maintains an EWMA of the observed adjudicated alert
+/// rate and, once per cadence, proposes a clamped threshold step
+/// toward the policy's target rate: an observed rate above the target
+/// raises the threshold (alerts need more corroboration to fire), a
+/// rate below lowers it.
+///
+/// Deterministic, like everything in this module: `divscrape-pipeline`
+/// installs proposals only at chunk boundaries through its recorded
+/// rule schedule, so a replay of the schedule is bit-identical to the
+/// learning run.
+///
+/// ```
+/// use divscrape_ensemble::{ThresholdController, ThresholdPolicy};
+///
+/// let policy = ThresholdPolicy::new(0.10).window(16).update_every(32);
+/// let mut ctrl = ThresholdController::new(policy).unwrap();
+/// // Every entry alerts — ten times the 10% budget.
+/// for _ in 0..32 {
+///     ctrl.observe(true);
+/// }
+/// assert!(ctrl.due());
+/// let next = ctrl.propose(1.0).unwrap();
+/// assert!(next > 1.0, "over budget must raise the threshold");
+/// assert!(!ctrl.due(), "the cadence clock resets");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThresholdController {
+    policy: ThresholdPolicy,
+    /// EWMA of the adjudicated alert rate, `NaN` until the first entry.
+    observed: f64,
+    entries_observed: u64,
+    since_update: u64,
+    updates: u64,
+}
+
+impl ThresholdController {
+    /// A controller with the given policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid policy (see [`ThresholdPolicy::validate`]).
+    pub fn new(policy: ThresholdPolicy) -> Result<Self, String> {
+        policy.validate()?;
+        Ok(Self {
+            policy,
+            observed: f64::NAN,
+            entries_observed: 0,
+            since_update: 0,
+            updates: 0,
+        })
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &ThresholdPolicy {
+        &self.policy
+    }
+
+    /// The current EWMA estimate of the alert rate (`None` before the
+    /// first observation).
+    pub fn observed_rate(&self) -> Option<f64> {
+        if self.observed.is_nan() {
+            None
+        } else {
+            Some(self.observed)
+        }
+    }
+
+    /// Entries observed so far.
+    pub fn entries_observed(&self) -> u64 {
+        self.entries_observed
+    }
+
+    /// Threshold proposals emitted so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Observes one adjudicated entry's combined verdict, in feed
+    /// order. (The smoothing factor is clamped to `1` like the
+    /// recalibrator's, so even a degenerate window keeps the estimate
+    /// inside `[0, 1]`.)
+    pub fn observe(&mut self, alerted: bool) {
+        self.entries_observed += 1;
+        self.since_update += 1;
+        let sample = f64::from(u8::from(alerted));
+        let alpha = (2.0 / (self.policy.window as f64 + 1.0)).min(1.0);
+        if self.observed.is_nan() {
+            self.observed = sample;
+        } else {
+            self.observed += alpha * (sample - self.observed);
+        }
+    }
+
+    /// Whether a proposal is due: the cadence has elapsed **and** the
+    /// rate estimate has seen at least one full window of entries (a
+    /// cold estimate must not steer the rule).
+    pub fn due(&self) -> bool {
+        self.since_update >= self.policy.update_every
+            && self.entries_observed >= self.policy.window as u64
+    }
+
+    /// Proposes the next threshold from the `current` one and resets
+    /// the cadence clock. The relative rate error
+    /// `observed/target − 1` is clamped to `±1`, scaled by the
+    /// policy's step and added to `current`, then clamped to the
+    /// policy's bounds. Returns `None` — threshold unchanged — while
+    /// the estimate is cold, the error sits inside the dead band, or
+    /// the bounds leave no room to move.
+    pub fn propose(&mut self, current: f64) -> Option<f64> {
+        self.since_update = 0;
+        if self.observed.is_nan() {
+            return None;
+        }
+        let err = (self.observed / self.policy.target_rate - 1.0).clamp(-1.0, 1.0);
+        if err.abs() <= self.policy.dead_band {
+            return None;
+        }
+        let next = (current + self.policy.max_step * err)
+            .clamp(self.policy.min_threshold, self.policy.max_threshold);
+        if next == current {
+            return None;
+        }
+        self.updates += 1;
+        Some(next)
     }
 }
 
@@ -779,5 +1234,224 @@ mod tests {
         }
         assert!(!updates_a.is_empty());
         assert_eq!(updates_a, updates_b);
+    }
+
+    /// Builds a recalibrator directly (bypassing `from_weighted`'s
+    /// policy validation) so degenerate policies can be exercised.
+    fn raw_recalibrator(members: usize, policy: RecalibrationPolicy) -> Recalibrator {
+        Recalibrator {
+            support: vec![f64::NAN; members],
+            drift_slow: vec![f64::NAN; members],
+            drift_seen: vec![0; members],
+            drift_armed: vec![true; members],
+            pending_drift: Vec::new(),
+            drift_alarm_count: 0,
+            weights: vec![1.0; members],
+            threshold: 1.0,
+            policy,
+            entries_observed: 0,
+            since_update: 0,
+            updates: 0,
+        }
+    }
+
+    #[test]
+    fn zero_window_labeled_feedback_cannot_diverge_the_ewma() {
+        // A zero-entry window is rejected by validation, but the EWMA
+        // arithmetic must be bounded regardless: unclamped, alpha would
+        // be 2/(0+1) = 2 and every labeled sample would *diverge* the
+        // estimate outside [0, 1] (s=1 absorbing a 0 label would land
+        // at -1, then +3, ...). The clamp pins alpha at 1.
+        let policy = RecalibrationPolicy {
+            window: 0,
+            ..RecalibrationPolicy::default()
+        };
+        assert!(policy.validate().is_err(), "still rejected up front");
+        let mut recal = raw_recalibrator(2, policy);
+        for i in 0..64u32 {
+            recal.observe_labeled(&[true, true], i % 2 == 0);
+        }
+        for support in recal.support().into_iter().flatten() {
+            assert!(
+                (0.0..=1.0).contains(&support),
+                "support diverged outside the evidence range: {support}"
+            );
+        }
+        // The scored path shares the same arithmetic.
+        recal.observe_scored(&[true, true], &[1.0, 1.0]);
+        for support in recal.support().into_iter().flatten() {
+            assert!((0.0..=1.0).contains(&support));
+        }
+    }
+
+    #[test]
+    fn drift_alarm_fires_on_a_support_shift_then_rearms() {
+        // Window 4 → slow window 16, warmup 16 samples per member.
+        let policy = RecalibrationPolicy::new()
+            .window(4)
+            .update_every(1_000_000)
+            .drift_threshold(0.25);
+        let mut recal = three_way(policy);
+        // Phase 1: member 0's alerts are always corroborated (labeled
+        // malicious). Long enough to warm up and pin both EWMAs at 1.
+        for _ in 0..40 {
+            recal.observe_labeled(&[true, false, false], true);
+        }
+        assert_eq!(recal.drift_alarm_count(), 0, "stationary support");
+        // Phase 2: the population changes — every alert is now a false
+        // positive. The fast EWMA races down, the slow one lags, the
+        // gap crosses the threshold exactly once (edge-triggered).
+        for _ in 0..8 {
+            recal.observe_labeled(&[true, false, false], false);
+        }
+        assert_eq!(recal.drift_alarm_count(), 1);
+        let alarms = recal.take_drift_alarms();
+        assert_eq!(alarms.len(), 1);
+        let alarm = &alarms[0];
+        assert_eq!(alarm.member, 0);
+        assert!(alarm.fast < alarm.slow, "support fell: {alarm:?}");
+        assert!((alarm.slow - alarm.fast) > 0.25);
+        assert!(alarm.at_entry > 40);
+        assert!(recal.take_drift_alarms().is_empty(), "drained");
+        // Keep feeding the new regime: the slow EWMA converges to the
+        // fast one, the gap closes below threshold/2, the alarm re-arms
+        // — and a shift *back* fires a second alarm.
+        for _ in 0..120 {
+            recal.observe_labeled(&[true, false, false], false);
+        }
+        assert_eq!(recal.drift_alarm_count(), 1, "no re-fire while drifted");
+        for _ in 0..8 {
+            recal.observe_labeled(&[true, false, false], true);
+        }
+        assert_eq!(recal.drift_alarm_count(), 2, "re-armed and re-fired");
+        assert_eq!(recal.take_drift_alarms()[0].member, 0);
+    }
+
+    #[test]
+    fn drift_alarms_respect_warmup_and_the_disable_knob() {
+        // The same shift inside the warmup window stays silent: the
+        // fast estimate converging ahead of the slow one at cold start
+        // is exactly what warmup exists to ignore.
+        let policy = || {
+            RecalibrationPolicy::new()
+                .window(4)
+                .update_every(1_000_000)
+                .drift_threshold(0.25)
+        };
+        let mut recal = three_way(policy());
+        for _ in 0..6 {
+            recal.observe_labeled(&[true, false, false], true);
+        }
+        for _ in 0..6 {
+            recal.observe_labeled(&[true, false, false], false);
+        }
+        assert_eq!(recal.drift_alarm_count(), 0, "inside warmup");
+        // Infinity disables the check entirely, warmup or not.
+        let mut recal = three_way(policy().drift_threshold(f64::INFINITY));
+        for _ in 0..40 {
+            recal.observe_labeled(&[true, false, false], true);
+        }
+        for _ in 0..40 {
+            recal.observe_labeled(&[true, false, false], false);
+        }
+        assert_eq!(recal.drift_alarm_count(), 0, "disabled");
+        assert!(recal.take_drift_alarms().is_empty());
+        // And validation rejects non-positive or NaN gaps.
+        assert!(policy().drift_threshold(0.0).validate().is_err());
+        assert!(policy().drift_threshold(-1.0).validate().is_err());
+        assert!(policy().drift_threshold(f64::NAN).validate().is_err());
+        assert!(policy().drift_threshold(f64::INFINITY).validate().is_ok());
+    }
+
+    #[test]
+    fn threshold_policy_validation_rejects_degenerate_configs() {
+        assert!(ThresholdPolicy::new(0.4).validate().is_ok());
+        assert!(ThresholdPolicy::new(0.0).validate().is_err());
+        assert!(ThresholdPolicy::new(1.0).validate().is_err());
+        assert!(ThresholdPolicy::new(f64::NAN).validate().is_err());
+        assert!(ThresholdPolicy::new(0.4).window(0).validate().is_err());
+        assert!(ThresholdPolicy::new(0.4)
+            .update_every(0)
+            .validate()
+            .is_err());
+        assert!(ThresholdPolicy::new(0.4).max_step(0.0).validate().is_err());
+        assert!(ThresholdPolicy::new(0.4)
+            .max_step(f64::INFINITY)
+            .validate()
+            .is_err());
+        assert!(ThresholdPolicy::new(0.4)
+            .bounds(0.0, 2.0)
+            .validate()
+            .is_err());
+        assert!(ThresholdPolicy::new(0.4)
+            .bounds(2.0, 1.0)
+            .validate()
+            .is_err());
+        assert!(ThresholdPolicy::new(0.4)
+            .dead_band(-0.1)
+            .validate()
+            .is_err());
+        assert!(ThresholdController::new(ThresholdPolicy::new(2.0)).is_err());
+    }
+
+    #[test]
+    fn threshold_controller_steps_toward_the_target_rate() {
+        let policy = ThresholdPolicy::new(0.5)
+            .window(8)
+            .update_every(16)
+            .max_step(0.25)
+            .bounds(0.5, 2.0)
+            .dead_band(0.1);
+        let mut ctrl = ThresholdController::new(policy).unwrap();
+        assert_eq!(ctrl.observed_rate(), None);
+        // Every entry alerts: rate 1.0 vs target 0.5 → error clamps to
+        // +1 → one full step up.
+        for _ in 0..16 {
+            ctrl.observe(true);
+        }
+        assert!(ctrl.due());
+        assert_eq!(ctrl.propose(1.0), Some(1.25));
+        assert_eq!(ctrl.updates(), 1);
+        assert!(!ctrl.due(), "cadence clock resets");
+        // No entry alerts: the estimate sinks toward 0, error saturates
+        // near −1 → close to a full step down; the lower bound stops it
+        // short. (The EWMA only *approaches* 0, so compare with slack.)
+        for _ in 0..64 {
+            ctrl.observe(false);
+        }
+        let down = ctrl.propose(1.25).expect("well under budget");
+        assert!((down - 1.0).abs() < 1e-6, "near-full step down: {down}");
+        assert_eq!(ctrl.propose(0.6), Some(0.5), "clamped to the lower bound");
+        assert_eq!(ctrl.propose(0.5), None, "no room left to move");
+        // On-target rates sit inside the dead band: no proposal. (The
+        // short-window EWMA oscillates ~±0.125 around 0.5 on a strictly
+        // alternating stream, so give the band room for that ripple.)
+        let mut ctrl = ThresholdController::new(
+            ThresholdPolicy::new(0.5)
+                .window(8)
+                .update_every(16)
+                .dead_band(0.2),
+        )
+        .unwrap();
+        for i in 0..200u32 {
+            ctrl.observe(i % 2 == 0);
+        }
+        assert!(ctrl.due());
+        assert_eq!(ctrl.propose(1.0), None, "inside the dead band");
+        assert_eq!(ctrl.updates(), 0);
+    }
+
+    #[test]
+    fn threshold_controller_warmup_gates_due() {
+        // Cadence 4 elapses long before the 64-entry window has been
+        // seen; `due` must stay false until the estimate is warm.
+        let policy = ThresholdPolicy::new(0.5).window(64).update_every(4);
+        let mut ctrl = ThresholdController::new(policy).unwrap();
+        for _ in 0..63 {
+            ctrl.observe(true);
+        }
+        assert!(!ctrl.due(), "estimate still cold");
+        ctrl.observe(true);
+        assert!(ctrl.due(), "warm and over cadence");
     }
 }

@@ -1,7 +1,10 @@
 //! Pipeline composition.
 
 use divscrape_detect::{EvictionConfig, TenantId, TriagePolicy};
-use divscrape_ensemble::{KOutOfN, RecalibrationPolicy, Recalibrator, WeightedVote};
+use divscrape_ensemble::{
+    DriftAlarm, KOutOfN, RecalibrationPolicy, Recalibrator, ThresholdController, ThresholdPolicy,
+    WeightedVote,
+};
 use divscrape_httplog::LogEntry;
 
 use crate::engine::Pipeline;
@@ -87,6 +90,15 @@ impl Adjudication {
 /// labeling jobs.
 pub type LabelOracle = Box<dyn FnMut(u64, &LogEntry) -> Option<bool> + Send>;
 
+/// An observer for recalibrator **drift alarms**
+/// ([`PipelineBuilder::on_drift`]): invoked on the driver thread, in
+/// feed order, for every [`DriftAlarm`] the recalibrator raises —
+/// typically to page an operator or log the event to a side channel.
+/// Alarm counts also flow through
+/// [`PipelineStats::drift_alarms`](crate::PipelineStats::drift_alarms)
+/// whether or not a hook is installed.
+pub type DriftHook = Box<dyn FnMut(&DriftAlarm) + Send>;
+
 /// A resolved adjudication rule (validated against the detector count).
 #[derive(Debug, Clone)]
 pub(crate) enum Rule {
@@ -158,6 +170,17 @@ pub enum BuildError {
     /// triage-off pipeline sees — the combination is rejected rather
     /// than silently skewed.
     TriageWithRecalibration,
+    /// The threshold-control policy is malformed (target rate outside
+    /// (0, 1), zero window/cadence, bad step or bounds — see
+    /// [`ThresholdPolicy::validate`](divscrape_ensemble::ThresholdPolicy::validate)).
+    BadThresholdControl(String),
+    /// Triage and online threshold control were both requested. Triage
+    /// retro-flips suppressed entries' combined verdicts at escalation
+    /// time, so the alert rate the controller observes live differs
+    /// from the rate a triage-off (or schedule-replay) run sees over
+    /// the same stream — the combination is rejected rather than
+    /// silently skewed.
+    TriageWithThresholdControl,
 }
 
 impl std::fmt::Display for BuildError {
@@ -185,6 +208,14 @@ impl std::fmt::Display for BuildError {
                 "triage and online recalibration cannot be combined: suppressed entries \
                  would skew the recalibrator's member-verdict evidence"
             ),
+            BuildError::BadThresholdControl(msg) => {
+                write!(f, "bad threshold-control policy: {msg}")
+            }
+            BuildError::TriageWithThresholdControl => write!(
+                f,
+                "triage and online threshold control cannot be combined: retro-flipped \
+                 verdicts would skew the controller's observed alert rate"
+            ),
         }
     }
 }
@@ -211,6 +242,8 @@ pub struct PipelineBuilder {
     /// hub-wide default for tenants that did not set their own policy.
     pub(crate) recalibration: Option<RecalibrationPolicy>,
     labels: Option<LabelOracle>,
+    threshold_control: Option<ThresholdPolicy>,
+    drift_hook: Option<DriftHook>,
 }
 
 impl Default for PipelineBuilder {
@@ -241,6 +274,8 @@ impl std::fmt::Debug for PipelineBuilder {
             .field("triage", &self.triage)
             .field("recalibration", &self.recalibration)
             .field("labels", &self.labels.is_some())
+            .field("threshold_control", &self.threshold_control)
+            .field("drift_hook", &self.drift_hook.is_some())
             .finish()
     }
 }
@@ -262,6 +297,8 @@ impl PipelineBuilder {
             triage: None,
             recalibration: None,
             labels: None,
+            threshold_control: None,
+            drift_hook: None,
         }
     }
 
@@ -512,6 +549,71 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attaches an **online alarm-threshold controller** to the
+    /// adjudication stage (default: none — the threshold stays as
+    /// composed or as the recalibrator preserves it).
+    ///
+    /// The controller tracks the pipeline's combined alert rate with an
+    /// EWMA and, every [`update_every`](ThresholdPolicy::update_every)
+    /// entries, steps the weighted rule's alarm threshold toward the
+    /// policy's [`target rate`](ThresholdPolicy::target_rate) — up when
+    /// the pipeline over-alerts (spends FP budget), down when it
+    /// under-alerts. Steps are clamped and bounded, install **between**
+    /// chunks through the same sequence-gated path as every other rule
+    /// change, and are recorded in
+    /// [`rule_updates`](Pipeline::rule_updates) with
+    /// [`LearnedThreshold`](crate::RuleProvenance::LearnedThreshold)
+    /// provenance — so replaying the recorded schedule through
+    /// [`set_adjudication`](Pipeline::set_adjudication) reproduces the
+    /// run bit-for-bit with the controller off.
+    ///
+    /// Composes with [`recalibration`](Self::recalibration): the
+    /// recalibrator moves the weights (threshold preserved), the
+    /// controller moves the threshold (weights preserved), and each
+    /// adopts the other's installs as its new base. A k-out-of-n
+    /// composition is adopted as its exact weighted equivalent on the
+    /// first step. Rejected in combination with
+    /// [`triage`](Self::triage)
+    /// ([`BuildError::TriageWithThresholdControl`]).
+    ///
+    /// ```
+    /// use divscrape_detect::{Arcane, Sentinel};
+    /// use divscrape_pipeline::{Adjudication, PipelineBuilder, ThresholdPolicy};
+    /// use divscrape_traffic::{generate, ScenarioConfig};
+    ///
+    /// let log = generate(&ScenarioConfig::tiny(7))?;
+    /// let mut pipeline = PipelineBuilder::new()
+    ///     .detector(Sentinel::stock())
+    ///     .detector(Arcane::stock())
+    ///     .adjudication(Adjudication::weighted(vec![1.0, 1.0], 0.95))
+    ///     .threshold_control(ThresholdPolicy::new(0.05).window(64).update_every(256))
+    ///     .build()
+    ///     .map_err(|e| e.to_string())?;
+    /// pipeline.push_batch(log.entries());
+    /// let _ = pipeline.drain();
+    /// let rate = pipeline.threshold_controller().unwrap().observed_rate();
+    /// assert!(rate.is_some()); // the controller tracked the stream
+    /// # Ok::<(), String>(())
+    /// ```
+    pub fn threshold_control(mut self, policy: ThresholdPolicy) -> Self {
+        self.threshold_control = Some(policy);
+        self
+    }
+
+    /// Installs an observer invoked for every recalibrator
+    /// [`DriftAlarm`] (default: none — alarms still count in
+    /// [`PipelineStats::drift_alarms`](crate::PipelineStats::drift_alarms)).
+    /// Runs on the driver thread at chunk finalization, in feed order.
+    /// Ignored unless [`recalibration`](Self::recalibration) is
+    /// configured.
+    pub fn on_drift<F>(mut self, hook: F) -> Self
+    where
+        F: FnMut(&DriftAlarm) + Send + 'static,
+    {
+        self.drift_hook = Some(Box::new(hook));
+        self
+    }
+
     /// Validates the composition and builds the [`Pipeline`].
     ///
     /// # Errors
@@ -546,6 +648,9 @@ impl PipelineBuilder {
         if self.triage.is_some() && self.recalibration.is_some() {
             return Err(BuildError::TriageWithRecalibration);
         }
+        if self.triage.is_some() && self.threshold_control.is_some() {
+            return Err(BuildError::TriageWithThresholdControl);
+        }
         let rule = self.adjudication.resolve(n)?;
         let recalibrator = match self.recalibration {
             None => None,
@@ -553,6 +658,12 @@ impl PipelineBuilder {
                 rule.recalibrator(policy)
                     .map_err(BuildError::BadRecalibration)?,
             ),
+        };
+        let thresholds = match self.threshold_control {
+            None => None,
+            Some(policy) => {
+                Some(ThresholdController::new(policy).map_err(BuildError::BadThresholdControl)?)
+            }
         };
         Ok(Pipeline::assemble(
             self.detectors,
@@ -566,6 +677,8 @@ impl PipelineBuilder {
             self.triage,
             recalibrator,
             self.labels,
+            thresholds,
+            self.drift_hook,
         ))
     }
 }

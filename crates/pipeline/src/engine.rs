@@ -63,10 +63,10 @@ use std::time::{Duration, Instant};
 
 use divscrape_detect::parallel::{run_index_runs, run_index_runs_refs};
 use divscrape_detect::{EvictionConfig, EvictionStats, Sessionizer, TenantId, Verdict};
-use divscrape_ensemble::{AlertVector, Recalibrator, WeightedVote};
+use divscrape_ensemble::{AlertVector, Recalibrator, ThresholdController, WeightedVote};
 use divscrape_httplog::{EntryBlock, EntryRef, EntryView, LogEntry, ParseLogError};
 
-use crate::builder::{Adjudication, BuildError, LabelOracle, Rule};
+use crate::builder::{Adjudication, BuildError, DriftHook, LabelOracle, Rule};
 use crate::sink::{Alert, AlertSink, ScoredEntry};
 use crate::spsc::{self, TrySendError};
 use crate::stats::{PipelineStats, RuntimeUpdates};
@@ -420,14 +420,36 @@ struct StatCounters {
     adjudicate_busy: Duration,
     sink_busy: Duration,
     max_live_clients: usize,
+    drift_alarms: u64,
     updates: RuntimeUpdates,
 }
 
+/// Where an [`AppliedRuleUpdate`] came from: a manual operator call, the
+/// online weight recalibrator, or the online threshold controller.
+///
+/// Provenance is telemetry, not semantics — replaying a recorded
+/// schedule through [`Pipeline::set_adjudication`] reproduces the run's
+/// verdicts bit-for-bit even though the replay's records are all
+/// [`Manual`](Self::Manual).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleProvenance {
+    /// Installed by an operator via [`Pipeline::set_adjudication`]
+    /// (includes schedule replays, which re-apply learned updates
+    /// through the same path).
+    Manual,
+    /// Derived by the online [`Recalibrator`] from the verdict stream
+    /// (weights moved, threshold preserved).
+    LearnedWeights,
+    /// Derived by the online [`ThresholdController`] from the observed
+    /// alert rate (threshold moved, weights preserved).
+    LearnedThreshold,
+}
+
 /// One adjudication-rule install applied by a running pipeline — a
-/// recalibrator-derived weight update or a manual
-/// [`Pipeline::set_adjudication`] call. The recorded sequence is the
-/// pipeline's **weight-update schedule**: feeding the same stream to a
-/// fresh pipeline and re-applying each record at its
+/// recalibrator-derived weight update, a threshold-controller step, or a
+/// manual [`Pipeline::set_adjudication`] call. The recorded sequence is
+/// the pipeline's **weight-update schedule**: feeding the same stream to
+/// a fresh pipeline and re-applying each record at its
 /// [`at_entry`](Self::at_entry) position (via `set_adjudication`)
 /// reproduces the recalibrating run bit-for-bit.
 #[derive(Debug, Clone, PartialEq)]
@@ -440,6 +462,8 @@ pub struct AppliedRuleUpdate {
     pub weights: Vec<f64>,
     /// The installed alarm threshold.
     pub threshold: f64,
+    /// Who installed this rule (telemetry; see [`RuleProvenance`]).
+    pub provenance: RuleProvenance,
 }
 
 /// A composed streaming detection pipeline. Built by
@@ -485,6 +509,12 @@ pub struct Pipeline {
     recalib: Option<Recalibrator>,
     /// The labeled-feedback oracle for the recalibrator, if any.
     labels: Option<LabelOracle>,
+    /// The online alarm-threshold controller, when configured
+    /// ([`PipelineBuilder::threshold_control`](crate::PipelineBuilder::threshold_control)).
+    thresholds: Option<ThresholdController>,
+    /// Optional observer invoked for every recalibrator drift alarm
+    /// ([`PipelineBuilder::on_drift`](crate::PipelineBuilder::on_drift)).
+    drift_hook: Option<DriftHook>,
     /// Every rule install applied so far, in application order.
     schedule: Vec<AppliedRuleUpdate>,
     /// The tenant this pipeline serves, stamped on every alert; `None`
@@ -598,6 +628,8 @@ impl Pipeline {
         triage: Option<divscrape_detect::TriagePolicy>,
         recalib: Option<Recalibrator>,
         labels: Option<LabelOracle>,
+        thresholds: Option<ThresholdController>,
+        drift_hook: Option<DriftHook>,
     ) -> Self {
         let names: Vec<String> = detectors.iter().map(|d| d.name().to_owned()).collect();
         let n_members = names.len();
@@ -658,6 +690,8 @@ impl Pipeline {
             pending_rules: VecDeque::new(),
             recalib,
             labels,
+            thresholds,
+            drift_hook,
             schedule: Vec::new(),
             tenant,
             sinks,
@@ -827,6 +861,12 @@ impl Pipeline {
         self.recalib.as_ref()
     }
 
+    /// The online alarm-threshold controller, when one is configured —
+    /// observed alert rate and update count.
+    pub fn threshold_controller(&self) -> Option<&ThresholdController> {
+        self.thresholds.as_ref()
+    }
+
     /// Freezes or thaws the online recalibrator (no-op without one).
     /// Frozen, it keeps observing — the EWMA evidence stays warm — but
     /// derives no updates, so the installed weights hold still; a thaw
@@ -919,6 +959,7 @@ impl Pipeline {
             triage_suppressed_entries: triage.suppressed,
             triage_replayed_entries: triage.replayed,
             triage_spilled_entries: triage.spilled,
+            drift_alarms: self.stats.drift_alarms,
         }
     }
 
@@ -1076,6 +1117,12 @@ impl Pipeline {
             self.recalib = Some(
                 self.rule
                     .recalibrator(recal.policy().clone())
+                    .expect("policy validated at build time"),
+            );
+        }
+        if let Some(ctrl) = &self.thresholds {
+            self.thresholds = Some(
+                ThresholdController::new(ctrl.policy().clone())
                     .expect("policy validated at build time"),
             );
         }
@@ -1614,6 +1661,7 @@ impl Pipeline {
         }
 
         self.observe_for_recalibration(&payload, &columns, &member_bools);
+        self.observe_for_threshold_control(&combined_bools);
 
         self.finalized += n as u64;
         self.stats.chunks += 1;
@@ -1724,6 +1772,7 @@ impl Pipeline {
                 at_entry: self.finalized,
                 weights,
                 threshold,
+                provenance: RuleProvenance::Manual,
             });
         }
     }
@@ -1793,8 +1842,66 @@ impl Pipeline {
                 at_entry: base + payload.len() as u64,
                 weights: update.weights,
                 threshold: update.threshold,
+                provenance: RuleProvenance::LearnedWeights,
             });
         }
+        self.drain_drift_alarms();
+    }
+
+    /// Moves any drift alarms raised by the recalibrator during the
+    /// just-observed chunk into driver-side telemetry, notifying the
+    /// optional observer hook for each.
+    fn drain_drift_alarms(&mut self) {
+        let Some(recal) = self.recalib.as_mut() else {
+            return;
+        };
+        let alarms = recal.take_drift_alarms();
+        if alarms.is_empty() {
+            return;
+        }
+        self.stats.drift_alarms += alarms.len() as u64;
+        if let Some(hook) = self.drift_hook.as_mut() {
+            for alarm in &alarms {
+                hook(alarm);
+            }
+        }
+    }
+
+    /// Feeds one finalized chunk's combined verdicts to the threshold
+    /// controller and, when its cadence has elapsed, installs the
+    /// proposed alarm threshold at the **next** chunk boundary — the
+    /// same install path (and schedule record) as every other rule
+    /// change, so recorded-schedule replay stays bit-identical.
+    fn observe_for_threshold_control(&mut self, combined_bools: &[bool]) {
+        let Some(ctrl) = self.thresholds.as_mut() else {
+            return;
+        };
+        for &alerted in combined_bools {
+            ctrl.observe(alerted);
+        }
+        if !ctrl.due() {
+            return;
+        }
+        let (weights, current) = rule_parameters(&self.rule);
+        let Some(next) = ctrl.propose(current) else {
+            return;
+        };
+        self.rule = Rule::Weighted(
+            WeightedVote::new(weights.clone(), next)
+                .expect("controller preserves validated weights and proposes a finite threshold"),
+        );
+        // A configured recalibrator adopts the new threshold as its
+        // base, exactly as for a manual install (evidence kept).
+        if let Some(recal) = &mut self.recalib {
+            recal.reseed(&weights, next);
+        }
+        self.stats.updates.adjudication += 1;
+        self.schedule.push(AppliedRuleUpdate {
+            at_entry: self.finalized + combined_bools.len() as u64,
+            weights,
+            threshold: next,
+            provenance: RuleProvenance::LearnedThreshold,
+        });
     }
 }
 

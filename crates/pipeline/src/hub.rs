@@ -222,6 +222,7 @@ impl HubBuilder {
             departed_entries: 0,
             departed_alerts: 0,
             departed_updates: RuntimeUpdates::default(),
+            departed_drift_alarms: 0,
         };
         for (id, builder) in self.tenants {
             hub.insert_tenant(id, builder)?;
@@ -281,6 +282,10 @@ pub struct HubStats {
     /// folded in. A fleet of frozen recalibrators shows a flat
     /// adjudication counter here.
     pub runtime_updates: RuntimeUpdates,
+    /// Drift alarms raised across all tenants' recalibrators, tenants
+    /// that have since left folded in — see
+    /// [`PipelineStats::drift_alarms`].
+    pub drift_alarms: u64,
     /// Entries routed to a tenant pipeline so far.
     pub routed_entries: u64,
     /// Entries whose tenant the hub does not serve, counted and
@@ -364,6 +369,8 @@ pub struct PipelineHub {
     departed_alerts: u64,
     /// Runtime updates applied by tenants that have since left.
     departed_updates: RuntimeUpdates,
+    /// Drift alarms raised by tenants that have since left.
+    departed_drift_alarms: u64,
 }
 
 impl std::fmt::Debug for PipelineHub {
@@ -489,6 +496,8 @@ impl PipelineHub {
             runtime_updates: tenants.iter().fold(self.departed_updates, |acc, t| {
                 acc.merged(t.pipeline.runtime_updates)
             }),
+            drift_alarms: self.departed_drift_alarms
+                + tenants.iter().map(|t| t.pipeline.drift_alarms).sum::<u64>(),
             routed_entries: self.routed,
             unrouted_entries: self.unrouted,
             eviction_budget: self.budget,
@@ -544,6 +553,7 @@ impl PipelineHub {
         self.departed_entries += parting.entries_processed;
         self.departed_alerts += parting.alerts;
         self.departed_updates = self.departed_updates.merged(parting.runtime_updates);
+        self.departed_drift_alarms += parting.drift_alarms;
         self.rebalance_eviction();
         Some(report)
     }

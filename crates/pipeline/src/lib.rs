@@ -143,8 +143,8 @@ mod stats;
 mod store_sink;
 mod triage;
 
-pub use builder::{Adjudication, BuildError, LabelOracle, PipelineBuilder};
-pub use engine::{AppliedRuleUpdate, Pipeline, PipelineReport};
+pub use builder::{Adjudication, BuildError, DriftHook, LabelOracle, PipelineBuilder};
+pub use engine::{AppliedRuleUpdate, Pipeline, PipelineReport, RuleProvenance};
 pub use hub::{
     apportion_budget, HubBuildError, HubBuilder, HubReport, HubStats, PipelineHub, TenantStats,
 };
@@ -165,7 +165,10 @@ pub use divscrape_detect::{
 // Re-exported so deployments can configure online recalibration and
 // post-process [`PipelineReport`]s without depending on
 // `divscrape-ensemble` directly.
-pub use divscrape_ensemble::{AlertVector, RecalibrationPolicy, Recalibrator, WeightUpdate};
+pub use divscrape_ensemble::{
+    AlertVector, DriftAlarm, RecalibrationPolicy, Recalibrator, ThresholdController,
+    ThresholdPolicy, WeightUpdate,
+};
 
 use divscrape_detect::Detector;
 

@@ -146,4 +146,12 @@ pub struct PipelineStats {
     /// escalated client is still scored from its surviving history
     /// onward).
     pub triage_spilled_entries: u64,
+    /// Drift alarms raised by the online recalibrator: a per-member
+    /// EWMA support estimate moved faster than the policy window
+    /// tracks, i.e. the scraper population changed *qualitatively*
+    /// rather than the rule merely re-weighting — see
+    /// [`DriftAlarm`](divscrape_ensemble::DriftAlarm) and
+    /// [`PipelineBuilder::on_drift`](crate::PipelineBuilder::on_drift).
+    /// Zero without recalibration.
+    pub drift_alarms: u64,
 }

@@ -91,6 +91,7 @@ struct Departed {
     triage_suppressed: u64,
     triage_replayed: u64,
     triage_spilled: u64,
+    drift_alarms: u64,
 }
 
 struct TenantRuntime {
@@ -571,6 +572,7 @@ impl ServicePlane {
                 parting.triage_suppressed += fin.stats.triage_suppressed_entries;
                 parting.triage_replayed += fin.stats.triage_replayed_entries;
                 parting.triage_spilled += fin.stats.triage_spilled_entries;
+                parting.drift_alarms += fin.stats.drift_alarms;
                 reports.push(fin.report);
             }
         }
@@ -585,6 +587,7 @@ impl ServicePlane {
             departed.triage_suppressed += parting.triage_suppressed;
             departed.triage_replayed += parting.triage_replayed;
             departed.triage_spilled += parting.triage_spilled;
+            departed.drift_alarms += parting.drift_alarms;
         }
         self.rebalance_eviction();
         Some(reports)
@@ -844,6 +847,7 @@ impl ServicePlane {
             triage_replayed_entries: departed.triage_replayed
                 + live(&|s| s.triage_replayed_entries),
             triage_spilled_entries: departed.triage_spilled + live(&|s| s.triage_spilled_entries),
+            drift_alarms: departed.drift_alarms + live(&|s| s.drift_alarms),
             routed_lines: self.shared.routing.routed.load(Ordering::Relaxed),
             dropped_lines: self.shared.routing.dropped.load(Ordering::Relaxed),
             unrouted_lines: self.shared.routing.unrouted.load(Ordering::Relaxed),
@@ -1047,6 +1051,11 @@ pub struct ServiceStats {
     /// Suppressed entries spilled under replay-buffer caps across the
     /// plane, departed tenants included — monotonic.
     pub triage_spilled_entries: u64,
+    /// Drift alarms raised by tenant recalibrators across the plane,
+    /// departed tenants included — monotonic (zero when no tenant runs
+    /// recalibration). See
+    /// [`PipelineStats::drift_alarms`](divscrape_pipeline::PipelineStats::drift_alarms).
+    pub drift_alarms: u64,
     /// Lines accepted onto a shard queue.
     pub routed_lines: u64,
     /// Lines dropped by the lossy path because the owning shard's queue
@@ -1111,7 +1120,9 @@ impl ServiceStats {
         push_field(&mut out, "replayed", self.triage_replayed_entries);
         out.push(',');
         push_field(&mut out, "spilled", self.triage_spilled_entries);
-        out.push_str("},\"tenants\":[");
+        out.push_str("},");
+        push_field(&mut out, "drift_alarms", self.drift_alarms);
+        out.push_str(",\"tenants\":[");
         for (i, tenant) in self.tenants.iter().enumerate() {
             if i > 0 {
                 out.push(',');

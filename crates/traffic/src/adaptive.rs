@@ -1,0 +1,399 @@
+//! Closed-loop adaptive-adversary scenarios: scrapers that react to
+//! being detected.
+//!
+//! A [`DriftScenario`](crate::DriftScenario) shifts the population on a
+//! fixed script, whatever the detector does. Real scraping operations
+//! are not that polite: they probe the defence, notice which sessions
+//! got challenged or blocked, and change tactics — rotate exit IPs and
+//! browser identities, slow to human pace, split long crawls into short
+//! sessions ("Detecting Bot Detection" documents exactly this
+//! observe-and-evade loop). An [`AdaptiveScenario`] closes that loop in
+//! simulation: traffic is generated one **round** at a time, a
+//! caller-supplied feedback function reports which entries the defence
+//! alerted on, and when enough of the malicious sessions were caught
+//! the scraper population *escalates* its tradecraft for the next round.
+//!
+//! The result is an arms race the adaptation machinery can be stressed
+//! by end to end — the learned thresholds and recalibrated weights face
+//! an adversary that moves *because* of them, not on a timetable.
+//!
+//! ```
+//! use divscrape_traffic::AdaptiveScenario;
+//!
+//! // A defence that alerts on everything is maximally informative to
+//! // the adversary: every round escalates.
+//! let outcome = AdaptiveScenario::arms_race(7, 3, 400)
+//!     .run(|round| vec![true; round.len()])?;
+//! assert_eq!(outcome.log().len(), 1_200);
+//! assert_eq!(outcome.rounds().len(), 3);
+//! assert!(outcome.rounds().iter().all(|r| r.escalated));
+//! assert_eq!(outcome.escalations(), 3);
+//! # Ok::<(), String>(())
+//! ```
+
+use std::collections::HashMap;
+
+use divscrape_httplog::SECONDS_PER_DAY;
+
+use crate::{generate, LabelledLog, PopulationMix, ScenarioConfig};
+
+/// Escalation multiplier on the stealth population's mean inter-request
+/// interval (slow to human pace), capped at [`MAX_INTERVAL_SECS`].
+const SLOWDOWN_FACTOR: f64 = 1.6;
+
+/// Interval cap: beyond ~2 minutes between pages the operation stops
+/// being a scrape at all.
+const MAX_INTERVAL_SECS: f64 = 120.0;
+
+/// Escalation multiplier on mean session length (split sessions),
+/// floored at [`MIN_SESSION_PAGES`].
+const SESSION_SPLIT_FACTOR: f64 = 0.6;
+
+/// Session-length floor: a "session" of fewer pages carries no crawl.
+const MIN_SESSION_PAGES: f64 = 12.0;
+
+/// Escalation multiplier on the honeytrap-link follow probability —
+/// a caught operation maps the traps and routes around them.
+const TRAP_AVOIDANCE_FACTOR: f64 = 0.3;
+
+/// How far each escalation moves the population mix toward
+/// [`PopulationMix::stealth_shift`] (component-wise interpolation).
+const MIX_SHIFT_STEP: f64 = 0.5;
+
+/// One round of an adaptive run: where its entries sit in the combined
+/// log, how visible the malicious population was to the defence, and
+/// whether the adversary escalated afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveRound {
+    /// Feed-order index of this round's first entry in the combined log.
+    pub start: usize,
+    /// Number of entries generated this round.
+    pub len: usize,
+    /// Share of this round's **malicious sessions** with at least one
+    /// alerted entry — the signal the adversary reacts to. `0.0` when
+    /// the round had no malicious sessions.
+    pub alerted_share: f64,
+    /// Whether the share exceeded the scenario's reaction threshold, so
+    /// the *next* round runs under escalated tradecraft.
+    pub escalated: bool,
+}
+
+/// Everything an [`AdaptiveScenario::run`] produces: the combined
+/// labelled log across all rounds plus the per-round feedback record.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    log: LabelledLog,
+    rounds: Vec<AdaptiveRound>,
+}
+
+impl AdaptiveOutcome {
+    /// The combined timestamp-ordered log across all rounds.
+    pub fn log(&self) -> &LabelledLog {
+        &self.log
+    }
+
+    /// Consumes the outcome, keeping only the combined log.
+    pub fn into_log(self) -> LabelledLog {
+        self.log
+    }
+
+    /// The per-round record, in round order.
+    pub fn rounds(&self) -> &[AdaptiveRound] {
+        &self.rounds
+    }
+
+    /// Number of rounds after which the adversary escalated.
+    pub fn escalations(&self) -> usize {
+        self.rounds.iter().filter(|r| r.escalated).count()
+    }
+}
+
+/// A closed-loop traffic scenario: rounds of generated traffic whose
+/// scraper population escalates its tradecraft whenever the defence's
+/// per-round feedback shows too many of its sessions getting caught.
+///
+/// Escalation compounds across rounds, always under the same moves an
+/// operator has available mid-campaign:
+///
+/// * **rotate identities** — every round draws from a fresh derived
+///   seed, so exit IPs and per-session browser identities rotate
+///   whether or not the round escalated (rotation is cheap; real
+///   operations do it constantly);
+/// * **slow to human pace** — the stealth population's mean
+///   inter-request interval grows (capped at two minutes);
+/// * **split sessions** — mean session length shrinks (floored at
+///   twelve pages), so per-session request counts stop tripping
+///   sustained-rate rules;
+/// * **avoid honeytraps** — the trap-link follow probability collapses;
+/// * **shift the mix** — the aggressive botnets stand down and the
+///   population interpolates toward [`PopulationMix::stealth_shift`],
+///   the regime where offline calibrations rot.
+///
+/// Determinism: the generated traffic is a pure function of the
+/// scenario and the feedback values — the same feedback decisions
+/// reproduce the identical log, which is what lets pipeline runs over
+/// an adaptive log be replayed bit-for-bit from a recorded schedule.
+#[derive(Debug, Clone)]
+pub struct AdaptiveScenario {
+    config: ScenarioConfig,
+    rounds: usize,
+    react_threshold: f64,
+}
+
+impl AdaptiveScenario {
+    /// A scenario starting from `first`, running one round per call to
+    /// the defence (configure with [`rounds`](Self::rounds)) and
+    /// escalating when more than half of the malicious sessions in a
+    /// round were alerted (configure with
+    /// [`react_threshold`](Self::react_threshold)).
+    pub fn new(first: ScenarioConfig) -> Self {
+        Self {
+            config: first,
+            rounds: 2,
+            react_threshold: 0.5,
+        }
+    }
+
+    /// The canonical arms race: `rounds` rounds of `requests_per_round`
+    /// requests starting from the paper's bot-dominated default mix,
+    /// escalating whenever more than 30 % of a round's malicious
+    /// sessions got alerted. A competent defence catches the noisy
+    /// opening population immediately, so the interesting regime — the
+    /// population going quiet *because it was caught* — is reached
+    /// within a round or two.
+    pub fn arms_race(seed: u64, rounds: usize, requests_per_round: u64) -> Self {
+        Self::new(ScenarioConfig::with_target(seed, requests_per_round))
+            .rounds(rounds)
+            .react_threshold(0.3)
+    }
+
+    /// Sets the number of rounds (default 2).
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the alerted-session share above which the adversary
+    /// escalates (default 0.5).
+    pub fn react_threshold(mut self, share: f64) -> Self {
+        self.react_threshold = share;
+        self
+    }
+
+    /// The starting configuration (round 0 runs exactly this).
+    pub fn initial_config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Runs the closed loop: generates each round, hands its log to
+    /// `feedback` (which must return one alert flag per entry, in feed
+    /// order — typically by streaming the round through a detection
+    /// pipeline and draining it), measures how many malicious sessions
+    /// were caught, and escalates the next round's tradecraft when the
+    /// share exceeds the reaction threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid round configuration,
+    /// or of a feedback vector whose length does not match the round.
+    pub fn run(
+        &self,
+        mut feedback: impl FnMut(&LabelledLog) -> Vec<bool>,
+    ) -> Result<AdaptiveOutcome, String> {
+        if self.rounds == 0 {
+            return Err("adaptive scenario needs at least one round".to_owned());
+        }
+        if !(0.0..=1.0).contains(&self.react_threshold) {
+            return Err(format!(
+                "reaction threshold must be a share in [0, 1], got {}",
+                self.react_threshold
+            ));
+        }
+        let mut config = self.config.clone();
+        let mut combined: Option<LabelledLog> = None;
+        let mut rounds = Vec::with_capacity(self.rounds);
+        let mut start = 0usize;
+        for _ in 0..self.rounds {
+            let round_log = generate(&config)?;
+            let flags = feedback(&round_log);
+            if flags.len() != round_log.len() {
+                return Err(format!(
+                    "feedback returned {} flags for a round of {} entries",
+                    flags.len(),
+                    round_log.len()
+                ));
+            }
+            let alerted_share = malicious_session_alert_share(&round_log, &flags);
+            let escalated = alerted_share > self.react_threshold;
+            rounds.push(AdaptiveRound {
+                start,
+                len: round_log.len(),
+                alerted_share,
+                escalated,
+            });
+            start += round_log.len();
+            combined = Some(match combined {
+                None => round_log,
+                Some(log) => log.concat(round_log)?,
+            });
+            config = next_round_config(&config, escalated);
+        }
+        Ok(AdaptiveOutcome {
+            log: combined.expect("at least one round"),
+            rounds,
+        })
+    }
+}
+
+/// Share of the round's malicious sessions with at least one alerted
+/// entry — what the operation can actually observe (per-session
+/// challenges, blocks and honeytrap hits), as opposed to per-request
+/// verdicts it never sees.
+fn malicious_session_alert_share(log: &LabelledLog, flags: &[bool]) -> f64 {
+    let mut sessions: HashMap<(u32, u32), bool> = HashMap::new();
+    for (truth, &alerted) in log.truth().iter().zip(flags) {
+        if !truth.is_malicious() {
+            continue;
+        }
+        let caught = sessions
+            .entry((truth.client_id(), truth.session_id()))
+            .or_insert(false);
+        *caught = *caught || alerted;
+    }
+    if sessions.is_empty() {
+        return 0.0;
+    }
+    let caught = sessions.values().filter(|c| **c).count();
+    caught as f64 / sessions.len() as f64
+}
+
+/// The next round's configuration: identities always rotate (derived
+/// seed, consecutive window — the same derivation as
+/// [`DriftScenario::then`](crate::DriftScenario::then), so adaptive and
+/// scripted drift stay comparable); a caught round additionally
+/// escalates the stealth tradecraft and shifts the mix.
+fn next_round_config(prev: &ScenarioConfig, escalated: bool) -> ScenarioConfig {
+    let mut next = prev.clone();
+    next.seed = prev
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(1);
+    next.window_start = prev
+        .window_start
+        .plus_seconds(i64::from(prev.window_days) * SECONDS_PER_DAY);
+    if escalated {
+        next.stealth.interval_mean_secs =
+            (prev.stealth.interval_mean_secs * SLOWDOWN_FACTOR).min(MAX_INTERVAL_SECS);
+        next.stealth.session_pages_mean =
+            (prev.stealth.session_pages_mean * SESSION_SPLIT_FACTOR).max(MIN_SESSION_PAGES);
+        next.stealth.trap_prob = prev.stealth.trap_prob * TRAP_AVOIDANCE_FACTOR;
+        next.mix = lerp_mix(&prev.mix, &PopulationMix::stealth_shift(), MIX_SHIFT_STEP);
+    }
+    next
+}
+
+/// Component-wise interpolation `a + t·(b − a)`; two valid mixes (each
+/// summing to 1) interpolate to another valid mix for any `t` in
+/// `[0, 1]`.
+fn lerp_mix(a: &PopulationMix, b: &PopulationMix, t: f64) -> PopulationMix {
+    let lerp = |x: f64, y: f64| x + t * (y - x);
+    PopulationMix {
+        human: lerp(a.human, b.human),
+        crawler: lerp(a.crawler, b.crawler),
+        monitor: lerp(a.monitor, b.monitor),
+        partner: lerp(a.partner, b.partner),
+        botnet_toolkit: lerp(a.botnet_toolkit, b.botnet_toolkit),
+        botnet_spoofed: lerp(a.botnet_spoofed, b.botnet_spoofed),
+        botnet_residential: lerp(a.botnet_residential, b.botnet_residential),
+        stealth: lerp(a.stealth, b.stealth),
+        scanner: lerp(a.scanner, b.scanner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_defence_never_provokes_escalation() {
+        let outcome = AdaptiveScenario::arms_race(5, 3, 300)
+            .run(|round| vec![false; round.len()])
+            .unwrap();
+        assert_eq!(outcome.escalations(), 0);
+        assert!(outcome.rounds().iter().all(|r| r.alerted_share == 0.0));
+        // Without escalation the rounds are plain drift-style phases:
+        // same mix, same tradecraft, rotated seeds.
+        assert_eq!(outcome.log().len(), 900);
+    }
+
+    #[test]
+    fn loud_defence_escalates_every_round_and_goes_quiet() {
+        let scenario = AdaptiveScenario::arms_race(5, 3, 300);
+        let outcome = scenario.run(|round| vec![true; round.len()]).unwrap();
+        assert_eq!(outcome.escalations(), 3);
+        assert!(outcome.rounds().iter().all(|r| r.alerted_share == 1.0));
+        // Escalation compounds: replaying the escalation chain shows the
+        // malicious share falling and the stealth pace slowing.
+        let mut config = scenario.initial_config().clone();
+        for _ in 0..3 {
+            config = next_round_config(&config, true);
+        }
+        let base = scenario.initial_config();
+        assert!(config.mix.malicious_fraction() < base.mix.malicious_fraction());
+        assert!(config.stealth.interval_mean_secs > base.stealth.interval_mean_secs);
+        assert!(config.stealth.session_pages_mean < base.stealth.session_pages_mean);
+        assert!(config.stealth.trap_prob < base.stealth.trap_prob);
+        config.validate().unwrap();
+    }
+
+    #[test]
+    fn rounds_are_deterministic_given_the_same_feedback() {
+        let run = || {
+            AdaptiveScenario::arms_race(11, 2, 250)
+                .run(|round| round.truth().iter().map(|t| t.is_malicious()).collect())
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.rounds(), b.rounds());
+        assert_eq!(a.log().len(), b.log().len());
+        for (ea, eb) in a.log().entries().iter().zip(b.log().entries()) {
+            assert_eq!(ea.to_string(), eb.to_string());
+        }
+    }
+
+    #[test]
+    fn session_share_counts_sessions_not_requests() {
+        let log = generate(&ScenarioConfig::with_target(3, 400)).unwrap();
+        // Alert on exactly one entry of every malicious session: the
+        // session-level share must still be 1.0.
+        let mut seen = std::collections::HashSet::new();
+        let flags: Vec<bool> = log
+            .truth()
+            .iter()
+            .map(|t| t.is_malicious() && seen.insert((t.client_id(), t.session_id())))
+            .collect();
+        assert!((flags.iter().filter(|f| **f).count() as u64) < log.malicious_count());
+        assert_eq!(malicious_session_alert_share(&log, &flags), 1.0);
+        // And per-request alerts on benign traffic move nothing.
+        let benign: Vec<bool> = log.truth().iter().map(|t| !t.is_malicious()).collect();
+        assert_eq!(malicious_session_alert_share(&log, &benign), 0.0);
+    }
+
+    #[test]
+    fn degenerate_scenarios_are_rejected() {
+        let err = AdaptiveScenario::arms_race(1, 0, 100)
+            .run(|round| vec![false; round.len()])
+            .unwrap_err();
+        assert!(err.contains("at least one round"), "{err}");
+        let err = AdaptiveScenario::arms_race(1, 1, 100)
+            .react_threshold(1.5)
+            .run(|round| vec![false; round.len()])
+            .unwrap_err();
+        assert!(err.contains("share"), "{err}");
+        let err = AdaptiveScenario::arms_race(1, 1, 100)
+            .run(|_| Vec::new())
+            .unwrap_err();
+        assert!(err.contains("flags"), "{err}");
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod actors;
+mod adaptive;
 pub mod arrival;
 pub mod distrib;
 mod drift;
@@ -49,6 +50,7 @@ mod session;
 mod site;
 pub mod useragents;
 
+pub use adaptive::{AdaptiveOutcome, AdaptiveRound, AdaptiveScenario};
 pub use drift::DriftScenario;
 pub use generate::{generate, LabelledLog};
 pub use label::{ActorClass, GroundTruth};

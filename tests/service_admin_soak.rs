@@ -1,0 +1,230 @@
+//! `--ignored` soak: tenant churn driven entirely through the
+//! [`AdminServer`] socket while traffic keeps flowing.
+//!
+//! The scheduled CI soak job runs this (`cargo test --release -q --
+//! --ignored`). Every membership operation goes over the wire exactly
+//! as an operator's `nc` session would — `JOIN` mid-traffic, `FREEZE` /
+//! `THAW` around a round, `LEAVE` while the departing tenant still has
+//! work behind it — and after every round the `STATS` reply is parsed
+//! and checked against the previous sample:
+//!
+//! * the monotonic aggregates (`entries_processed`, `alerts`,
+//!   `routed_lines`, `drift_alarms`, adjudication updates) never move
+//!   backwards, across joins, freezes and departures alike;
+//! * nothing is lost or misrouted on the blocking ingest path
+//!   (`parse_errors == 0`, `dropped_lines == 0`, `unrouted_lines == 0`);
+//! * at the end, `entries_processed` accounts for every line ingested
+//!   across all tenants that ever existed, departed ones included.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use divscrape_detect::baselines::RateLimiter;
+use divscrape_detect::{Arcane, Sentinel};
+use divscrape_ensemble::RecalibrationPolicy;
+use divscrape_pipeline::{Adjudication, PipelineBuilder, TenantId};
+use divscrape_service::{AdminServer, IngestOutcome, ServicePlane};
+use divscrape_traffic::{generate, ScenarioConfig};
+
+const ROUNDS: usize = 6;
+const REQUESTS_PER_ROUND: u64 = 4_000;
+
+/// Recalibrating trio, so the soak also exercises the drift-alarm and
+/// learned-weight paths under churn.
+fn tenant_pipeline() -> PipelineBuilder {
+    PipelineBuilder::new()
+        .detector(Sentinel::stock())
+        .detector(Arcane::stock())
+        .detector(RateLimiter::new(8))
+        .adjudication(Adjudication::weighted(vec![1.0, 1.0, 1.0], 0.95))
+        .recalibration(RecalibrationPolicy::new().window(256).update_every(512))
+        .chunk_capacity(256)
+}
+
+/// One admin-protocol connection: line out, line back.
+struct Admin {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Admin {
+    fn connect(server: &AdminServer) -> Admin {
+        let stream = TcpStream::connect(server.local_addr()).expect("admin connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
+        Admin {
+            reader: BufReader::new(stream.try_clone().expect("clone admin stream")),
+            writer: stream,
+        }
+    }
+
+    fn command(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("admin send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("admin reply");
+        assert!(!reply.is_empty(), "admin closed on {line:?}");
+        reply.trim_end().to_owned()
+    }
+
+    fn ok(&mut self, line: &str) -> String {
+        let reply = self.command(line);
+        assert!(reply.starts_with("OK"), "{line:?} failed: {reply}");
+        reply
+    }
+}
+
+/// Pulls one numeric field out of the flat STATS JSON. Only the
+/// top-level aggregates are read, all of which appear before the
+/// per-tenant array.
+fn stat(json: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\":");
+    let start = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{field} missing: {json}"))
+        + needle.len();
+    let digits: String = json[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|e| panic!("{field} not a number ({e}): {json}"))
+}
+
+/// The monotonic aggregates sampled after every round.
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+struct Sample {
+    entries_processed: u64,
+    alerts: u64,
+    routed_lines: u64,
+    drift_alarms: u64,
+    adjudication_updates: u64,
+}
+
+impl Sample {
+    fn parse(json: &str) -> Sample {
+        // `runtime_updates` nests `adjudication`; the flat scanner still
+        // finds it because the key is unique in the reply.
+        Sample {
+            entries_processed: stat(json, "entries_processed"),
+            alerts: stat(json, "alerts"),
+            routed_lines: stat(json, "routed_lines"),
+            drift_alarms: stat(json, "drift_alarms"),
+            adjudication_updates: stat(json, "adjudication"),
+        }
+    }
+
+    fn assert_monotonic_from(&self, prev: &Sample, round: usize) {
+        assert!(
+            self.entries_processed >= prev.entries_processed
+                && self.alerts >= prev.alerts
+                && self.routed_lines >= prev.routed_lines
+                && self.drift_alarms >= prev.drift_alarms
+                && self.adjudication_updates >= prev.adjudication_updates,
+            "round {round}: aggregates moved backwards: {prev:?} -> {self:?}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "multi-round admin churn soak; minutes in debug builds"]
+fn admin_socket_churn_keeps_aggregates_monotonic() {
+    let anchor = TenantId::new("anchor");
+    let plane = ServicePlane::builder()
+        .tenant(anchor.clone(), 2, |_, _| tenant_pipeline())
+        .default_factory(|_, _| tenant_pipeline())
+        .default_shards(2)
+        .queue_depth(4_096)
+        .build()
+        .expect("plane builds");
+    let server = AdminServer::bind("127.0.0.1:0", plane.clone()).expect("admin binds");
+    let mut admin = Admin::connect(&server);
+
+    let mut live: Vec<TenantId> = vec![anchor.clone()];
+    let mut ingested: u64 = 0;
+    let mut prev = Sample::default();
+    for round in 0..ROUNDS {
+        // Fresh traffic each round: a drifting seed so the recalibrating
+        // tenants keep seeing new clients and populations.
+        let log = generate(&ScenarioConfig::with_target(
+            9_000 + round as u64,
+            REQUESTS_PER_ROUND,
+        ))
+        .expect("scenario generates");
+        let lines: Vec<String> = log.entries().iter().map(|e| e.to_string()).collect();
+
+        // JOIN a new tenant over the socket while the anchor is already
+        // mid-round: push the first half, join, push the rest to both.
+        let joiner = TenantId::new(format!("round-{round}"));
+        let half = lines.len() / 2;
+        for line in &lines[..half] {
+            assert_eq!(plane.ingest(&anchor, line.clone()), IngestOutcome::Routed);
+            ingested += 1;
+        }
+        let reply = admin.ok(&format!("JOIN {} 2", joiner.as_str()));
+        assert_eq!(reply, format!("OK joined {} shards=2", joiner.as_str()));
+        live.push(joiner.clone());
+        assert!(
+            admin.command("TENANTS").contains(joiner.as_str()),
+            "joined tenant must be listed"
+        );
+        for line in &lines[half..] {
+            for tenant in &live {
+                assert_eq!(plane.ingest(tenant, line.clone()), IngestOutcome::Routed);
+                ingested += 1;
+            }
+        }
+
+        // FREEZE the anchor's recalibration for the drain, THAW after —
+        // the round must complete and the aggregates keep counting
+        // either way.
+        assert_eq!(admin.ok("FREEZE anchor"), "OK frozen anchor");
+        for tenant in &live {
+            let _ = plane.drain(tenant);
+        }
+        assert_eq!(admin.ok("THAW anchor"), "OK thawed anchor");
+
+        // LEAVE the tenant joined two rounds ago, mid-life: its counts
+        // must fold into the departed baseline, not vanish.
+        if live.len() > 2 {
+            let parting = live.remove(1);
+            let reply = admin.ok(&format!("LEAVE {}", parting.as_str()));
+            assert!(
+                reply.starts_with(&format!("OK left {} entries=", parting.as_str())),
+                "unexpected LEAVE reply: {reply}"
+            );
+        }
+
+        let sample = Sample::parse(&admin.command("STATS"));
+        sample.assert_monotonic_from(&prev, round);
+        prev = sample;
+    }
+
+    // Wind the remaining joiners down over the socket; the aggregates
+    // must survive every departure.
+    for tenant in live.iter().skip(1) {
+        admin.ok(&format!("LEAVE {}", tenant.as_str()));
+    }
+    let finale = Sample::parse(&admin.command("STATS"));
+    finale.assert_monotonic_from(&prev, ROUNDS);
+    assert_eq!(
+        finale.entries_processed, ingested,
+        "every ingested line must be finalized and stay on the books"
+    );
+    assert_eq!(finale.routed_lines, ingested);
+    let json = admin.command("STATS");
+    assert_eq!(stat(&json, "parse_errors"), 0);
+    assert_eq!(stat(&json, "dropped_lines"), 0);
+    assert_eq!(stat(&json, "unrouted_lines"), 0);
+    // Six rounds of shifting populations through recalibrating tenants
+    // must have exercised the learning paths at least once.
+    assert!(
+        finale.adjudication_updates > 0,
+        "no weight updates all soak"
+    );
+
+    assert_eq!(admin.command("QUIT"), "OK bye");
+    plane.shutdown();
+}

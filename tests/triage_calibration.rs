@@ -1,0 +1,100 @@
+//! Triage cover-threshold calibration, derived from the detector
+//! configs.
+//!
+//! The triage fast path's superset-cover property — every stock-detector
+//! alert implies a triage escalation at or before the same entry (pinned
+//! end-to-end by `tests/triage.rs`) — rests on each [`FastTriage`] rule
+//! threshold *covering* the corresponding [`SentinelConfig`] /
+//! [`ArcaneConfig`] value. Those detector configs are public and
+//! tunable; this test derives the required bound for every triage rule
+//! directly from the deployed defaults, so a detector config change that
+//! outruns the triage calibration fails here with a named threshold
+//! instead of silently voiding bit-identity.
+
+use divscrape_detect::{ArcaneConfig, FastTriage, SentinelConfig, SessionizerConfig};
+
+#[test]
+fn every_triage_threshold_covers_its_detector_config() {
+    let cal = FastTriage::calibration();
+    let sentinel = SentinelConfig::default();
+    let arcane = ArcaneConfig::default();
+    let sessions = SessionizerConfig::default();
+
+    // Burst: two adjacent aligned minutes jointly holding the pair
+    // threshold must cover both rate-style detector signals — Arcane's
+    // sliding one-minute burst window and Sentinel's per-minute page
+    // rate (whose counted set is a subset of all requests).
+    assert!(
+        cal.burst_pair_threshold <= arcane.burst_threshold,
+        "burst pair threshold {} must not exceed Arcane's burst threshold {}",
+        cal.burst_pair_threshold,
+        arcane.burst_threshold
+    );
+    assert!(
+        cal.burst_pair_threshold <= sentinel.rate_threshold_per_min,
+        "burst pair threshold {} must not exceed Sentinel's rate threshold {}",
+        cal.burst_pair_threshold,
+        sentinel.rate_threshold_per_min
+    );
+
+    // Sustained pacing: escalate at or before the request count Arcane
+    // needs, and treat at least as wide a gap as machine-paced.
+    assert!(
+        cal.sustained_min_requests <= arcane.sustained_min_requests,
+        "sustained-min {} must not exceed Arcane's {}",
+        cal.sustained_min_requests,
+        arcane.sustained_min_requests
+    );
+    assert!(
+        cal.sustained_gap_secs >= arcane.sustained_gap_secs,
+        "sustained gap {} must cover Arcane's {} (larger gap escalates more)",
+        cal.sustained_gap_secs,
+        arcane.sustained_gap_secs
+    );
+
+    // Session rollover must match the detectors' sessionizer exactly:
+    // a triage "session" that rolls earlier or later than the scored
+    // session would pace-check different entries than Arcane scores.
+    assert_eq!(
+        cal.session_idle_secs, sessions.idle_timeout_secs,
+        "triage session idle must equal the sessionizer default"
+    );
+    assert_eq!(
+        cal.session_idle_secs, sentinel.session_idle_secs,
+        "triage session idle must equal Sentinel's challenge-session idle"
+    );
+
+    // Errors: escalate at or before the history Arcane's error-ratio
+    // rule needs.
+    assert!(
+        cal.error_min_requests <= u64::from(arcane.error_min_requests),
+        "error-min {} must not exceed Arcane's {}",
+        cal.error_min_requests,
+        arcane.error_min_requests
+    );
+
+    // JS challenge: escalate at or before Sentinel's page budget.
+    assert!(
+        cal.pages_without_js <= sentinel.challenge_page_threshold,
+        "pages-without-js {} must not exceed Sentinel's challenge threshold {}",
+        cal.pages_without_js,
+        sentinel.challenge_page_threshold
+    );
+
+    // Beacons: escalate at or before Arcane's 204-count threshold.
+    assert!(
+        cal.no_content_limit <= arcane.beacon_min_count,
+        "no-content limit {} must not exceed Arcane's beacon count {}",
+        cal.no_content_limit,
+        arcane.beacon_min_count
+    );
+
+    // The quiet ceiling backstops everything above: any client that
+    // could still alert later escalates long before this many requests,
+    // and the ceiling itself bounds per-client replay buffering. It
+    // must sit strictly above every per-rule threshold or the dedicated
+    // rules would be dead code.
+    assert!(cal.max_quiet_requests > u64::from(cal.sustained_min_requests));
+    assert!(cal.max_quiet_requests > u64::from(cal.burst_pair_threshold));
+    assert!(cal.max_quiet_requests > cal.error_min_requests);
+}
